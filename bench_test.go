@@ -1,0 +1,305 @@
+// Package mapsynth's root benchmark harness: one testing.B benchmark per
+// table/figure of the paper's evaluation (EXPERIMENTS.md maps them), plus
+// micro-benchmarks for the hot primitives. Run with:
+//
+//	go test -bench=. -benchmem
+package mapsynth
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+
+	"mapsynth/internal/baselines"
+	"mapsynth/internal/compat"
+	"mapsynth/internal/core"
+	"mapsynth/internal/corpusgen"
+	"mapsynth/internal/experiments"
+	"mapsynth/internal/graph"
+	"mapsynth/internal/index"
+	"mapsynth/internal/mapping"
+	"mapsynth/internal/mapreduce"
+	"mapsynth/internal/stats"
+	"mapsynth/internal/strmatch"
+	"mapsynth/internal/synthesis"
+	"mapsynth/internal/table"
+)
+
+var (
+	envOnce sync.Once
+	env     *experiments.Env
+)
+
+func sharedEnv() *experiments.Env {
+	envOnce.Do(func() {
+		env = experiments.NewEnv(experiments.DefaultSeed)
+	})
+	return env
+}
+
+// BenchmarkFigure7_Synthesis regenerates the paper's headline number: the
+// full Synthesis pipeline over the web corpus (quality is asserted in the
+// experiments tests; here we measure end-to-end cost).
+func BenchmarkFigure7_Synthesis(b *testing.B) {
+	e := sharedEnv()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := core.New(core.DefaultConfig()).Synthesize(e.Corpus.Tables)
+		if len(res.Mappings) == 0 {
+			b.Fatal("no mappings")
+		}
+	}
+}
+
+// BenchmarkFigure8 regenerates the runtime comparison: one sub-benchmark per
+// method, measuring only the method-specific work over shared artifacts
+// (extraction/graph timings are reported by the figure driver itself).
+func BenchmarkFigure8(b *testing.B) {
+	e := sharedEnv()
+	b.Run("Synthesis", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.New(core.DefaultConfig()).Synthesize(e.Corpus.Tables)
+		}
+	})
+	b.Run("SynthesisPos", func(b *testing.B) {
+		cfg := core.DefaultConfig()
+		cfg.DisableNegativeSignal = true
+		for i := 0; i < b.N; i++ {
+			core.New(cfg).Synthesize(e.Corpus.Tables)
+		}
+	})
+	b.Run("WikiTable", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			baselines.SingleTables(e.Bins, corpusgen.WikipediaDomain)
+		}
+	})
+	b.Run("WebTable", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			baselines.SingleTables(e.Bins, "")
+		}
+	})
+	b.Run("UnionDomain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			baselines.UnionDomain(e.Bins)
+		}
+	})
+	b.Run("UnionWeb", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			baselines.UnionWeb(e.Bins)
+		}
+	})
+	b.Run("SchemaCC", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for th := 0.0; th <= 1.0001; th += 0.1 {
+				baselines.SchemaCC(e.Graph, th, true)
+			}
+		}
+	})
+	b.Run("Correlation", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			baselines.Correlation(e.Graph, 42, 0)
+		}
+	})
+	b.Run("WiseIntegrator", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			baselines.WiseIntegrator(e.Bins)
+		}
+	})
+}
+
+// BenchmarkFigure9_Scale regenerates the scalability series: full pipeline
+// over sampled corpora.
+func BenchmarkFigure9_Scale(b *testing.B) {
+	for _, frac := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
+		frac := frac
+		b.Run(fmt.Sprintf("input%.0f%%", frac*100), func(b *testing.B) {
+			corpus := corpusgen.GenerateWeb(corpusgen.Options{
+				Seed: experiments.DefaultSeed, SampleFraction: frac,
+			})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.New(core.DefaultConfig()).Synthesize(corpus.Tables)
+			}
+		})
+	}
+}
+
+// BenchmarkFigure10_Enterprise regenerates the enterprise pipeline run.
+func BenchmarkFigure10_Enterprise(b *testing.B) {
+	corpus := corpusgen.GenerateEnterprise(corpusgen.Options{Seed: experiments.DefaultSeed})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.New(core.DefaultConfig()).Synthesize(corpus.Tables)
+	}
+}
+
+// BenchmarkFigure15_ConflictResolution compares the resolution strategies of
+// Section 5.6 (greedy removal vs majority voting vs none).
+func BenchmarkFigure15_ConflictResolution(b *testing.B) {
+	e := sharedEnv()
+	for _, v := range []struct {
+		name string
+		res  core.ResolutionStrategy
+	}{
+		{"greedy", core.ResolveGreedy},
+		{"majority", core.ResolveMajority},
+		{"none", core.ResolveNone},
+	} {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.Resolution = v.res
+			for i := 0; i < b.N; i++ {
+				core.New(cfg).Synthesize(e.Corpus.Tables)
+			}
+		})
+	}
+}
+
+// BenchmarkSensitivityTau regenerates the τ sweep of Section 5.4.
+func BenchmarkSensitivityTau(b *testing.B) {
+	e := sharedEnv()
+	for _, tau := range []float64{-0.05, -0.2, -0.8} {
+		tau := tau
+		b.Run(fmt.Sprintf("tau%+.2f", tau), func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.Tau = tau
+			for i := 0; i < b.N; i++ {
+				core.New(cfg).Synthesize(e.Corpus.Tables)
+			}
+		})
+	}
+}
+
+// BenchmarkPartitioners is the trichotomy ablation (Theorem 13): greedy vs
+// exact vs min-cut on small graphs.
+func BenchmarkPartitioners(b *testing.B) {
+	g := graph.New(10)
+	for i := 0; i < 10; i++ {
+		for j := i + 1; j < 10; j++ {
+			if (i+j)%3 == 0 {
+				g.AddEdge(i, j, float64(i+j)/20, 0)
+			}
+		}
+	}
+	g.AddEdge(0, 9, 0, -1)
+	b.Run("greedy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			synthesis.Greedy(g, synthesis.DefaultTau)
+		}
+	})
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			synthesis.Exact(g, synthesis.DefaultTau)
+		}
+	})
+	b.Run("mincut", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, ok := synthesis.MinCutSingleNegative(g, synthesis.DefaultTau); !ok {
+				b.Fatal("mincut rejected")
+			}
+		}
+	})
+}
+
+// BenchmarkEditDistance compares the banded check (Appendix B) against the
+// full dynamic program.
+func BenchmarkEditDistance(b *testing.B) {
+	a := "korea republic of south korea"
+	c := "korea republic of north korea"
+	b.Run("banded", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			strmatch.WithinDistance(a, c, 5)
+		}
+	})
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			strmatch.Distance(a, c)
+		}
+	})
+}
+
+// BenchmarkBlocking measures inverted-index pair blocking over the full
+// candidate set.
+func BenchmarkBlocking(b *testing.B) {
+	e := sharedEnv()
+	cands := compat.Precompute(e.Bins)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		compat.BlockedPairs(cands, 2)
+	}
+}
+
+// BenchmarkCompatibilityGraph measures full graph construction (weights +
+// blocking), the dominant cost of table synthesis.
+func BenchmarkCompatibilityGraph(b *testing.B) {
+	e := sharedEnv()
+	cands := compat.Precompute(e.Bins)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		compat.BuildGraph(cands, compat.DefaultOptions(), 0)
+	}
+}
+
+// BenchmarkCoherenceIndex measures co-occurrence index construction.
+func BenchmarkCoherenceIndex(b *testing.B) {
+	e := sharedEnv()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats.BuildIndex(e.Corpus.Tables)
+	}
+}
+
+// BenchmarkHashToMin measures map-reduce connected components against BFS.
+func BenchmarkHashToMin(b *testing.B) {
+	e := sharedEnv()
+	b.Run("hashtomin", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e.Graph.HashToMinComponents(mapreduce.Config{})
+		}
+	})
+	b.Run("bfs", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e.Graph.ConnectedComponents()
+		}
+	})
+}
+
+// BenchmarkIndexLookup measures bloom-backed containment lookup (the paper's
+// "easy to index and efficient to scale" claim for materialized mappings).
+func BenchmarkIndexLookup(b *testing.B) {
+	maps := make([]*mapping.Mapping, 0, 200)
+	for mi := 0; mi < 200; mi++ {
+		pairs := make([]table.Pair, 50)
+		ls := make([]string, 50)
+		rs := make([]string, 50)
+		for i := range pairs {
+			ls[i] = fmt.Sprintf("left-%d-%d", mi, i)
+			rs[i] = fmt.Sprintf("right-%d-%d", mi, i)
+		}
+		bt := table.NewBinaryTable(mi, mi, "d", "l", "r", ls, rs)
+		maps = append(maps, mapping.Build(mi, []*table.BinaryTable{bt}))
+	}
+	ix := index.Build(maps)
+	query := []string{"left-137-1", "left-137-2", "left-137-3", "left-137-4"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if hits := ix.LookupLeft(query, 0.9); len(hits) != 1 {
+			b.Fatalf("hits = %d", len(hits))
+		}
+	}
+}
+
+// BenchmarkExperimentFigure7 runs the entire 12-method comparison once per
+// iteration — the full evaluation harness cost.
+func BenchmarkExperimentFigure7(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full comparison")
+	}
+	e := sharedEnv()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Figure7(io.Discard, e, experiments.DefaultSeed)
+	}
+}

@@ -1,0 +1,99 @@
+// Command synthesize runs the full mapping-synthesis pipeline over a
+// generated corpus and prints the most popular synthesized mappings — the
+// curation view of Section 4.3 of the paper.
+//
+// Usage:
+//
+//	synthesize [-profile web|enterprise] [-seed N] [-top K] [-min-domains D]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mapsynth/internal/core"
+	"mapsynth/internal/corpusgen"
+	"mapsynth/internal/corpusio"
+	"mapsynth/internal/curation"
+)
+
+func main() {
+	profile := flag.String("profile", "web", "corpus profile: web or enterprise")
+	seed := flag.Int64("seed", 42, "corpus generation seed")
+	top := flag.Int("top", 20, "number of top mappings to print")
+	minDomains := flag.Int("min-domains", 2, "curation filter: min contributing domains")
+	exportTSV := flag.String("o", "", "export synthesized mappings to this TSV file")
+	report := flag.String("report", "", "write a curation report (TSV) to this file")
+	flag.Parse()
+
+	var corpus *corpusgen.Corpus
+	switch *profile {
+	case "web":
+		corpus = corpusgen.GenerateWeb(corpusgen.Options{Seed: *seed})
+	case "enterprise":
+		corpus = corpusgen.GenerateEnterprise(corpusgen.Options{Seed: *seed})
+	default:
+		fmt.Fprintf(os.Stderr, "unknown profile %q\n", *profile)
+		os.Exit(2)
+	}
+	fmt.Printf("corpus: %d tables (%s profile, seed %d)\n", len(corpus.Tables), *profile, *seed)
+
+	cfg := core.DefaultConfig()
+	cfg.MinDomains = *minDomains
+	res := core.New(cfg).Synthesize(corpus.Tables)
+
+	s := res.ExtractStats
+	fmt.Printf("extraction: %d candidates from %d raw column pairs (%.1f%% filtered)\n",
+		s.Candidates, s.PairsRaw, s.FilterRate()*100)
+	fmt.Printf("synthesis: %d edges, %d partitions, %d tables removed by conflict resolution\n",
+		res.Edges, res.Partitions, res.TablesRemoved)
+	fmt.Printf("pipeline: index=%v extract=%v graph=%v partition=%v resolve=%v total=%v\n",
+		res.Timings.Index.Round(1e6), res.Timings.Extract.Round(1e6),
+		res.Timings.Graph.Round(1e6), res.Timings.Partition.Round(1e6),
+		res.Timings.Resolve.Round(1e6), res.Timings.Total.Round(1e6))
+	fmt.Printf("\ntop %d synthesized mappings by popularity:\n", *top)
+	for i, m := range res.Mappings {
+		if i >= *top {
+			break
+		}
+		example := ""
+		if len(m.Pairs) > 0 {
+			example = fmt.Sprintf("e.g. (%s -> %s)", m.Pairs[0].L, m.Pairs[0].R)
+		}
+		ds := m.Directions()
+		kind := "N:1"
+		if ds.RightToLeft > 0.95 {
+			kind = "1:1"
+		}
+		fmt.Printf("  #%02d %4d pairs %3d tables %3d domains %s %s\n",
+			i+1, m.Size(), m.NumTables(), m.NumDomains(), kind, example)
+	}
+
+	if *exportTSV != "" {
+		f, err := os.Create(*exportTSV)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := corpusio.WriteMappingsTSV(f, res.Mappings); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("\nexported %d mappings to %s\n", len(res.Mappings), *exportTSV)
+	}
+	if *report != "" {
+		f, err := os.Create(*report)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := curation.Report(f, res.Mappings, *top); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("wrote curation report to %s\n", *report)
+	}
+}

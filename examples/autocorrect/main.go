@@ -1,0 +1,48 @@
+// Auto-correction (Table 3 of the paper): a user column mixes full US state
+// names with abbreviations; the synthesized (state → abbreviation) mapping
+// detects the inconsistency and suggests corrections.
+//
+// Run with: go run ./examples/autocorrect
+package main
+
+import (
+	"fmt"
+
+	"mapsynth/internal/apps"
+	"mapsynth/internal/core"
+	"mapsynth/internal/corpusgen"
+	"mapsynth/internal/index"
+)
+
+func main() {
+	fmt.Println("generating web corpus and synthesizing mappings...")
+	corpus := corpusgen.GenerateWeb(corpusgen.Options{Seed: 42})
+	res := core.New(core.DefaultConfig()).Synthesize(corpus.Tables)
+	ix := index.Build(res.Mappings)
+	fmt.Printf("indexed %d mappings\n\n", ix.Len())
+
+	// The employee table of the paper's Table 3: the state column mixes
+	// full names with abbreviations.
+	employees := []struct{ name, state string }{
+		{"Brent, Steven", "California"},
+		{"Morris, Peggy", "Washington"},
+		{"Raynal, David", "Oregon"},
+		{"Crispin, Neal", "CA"},
+		{"Wells, William", "WA"},
+	}
+	column := make([]string, len(employees))
+	for i, e := range employees {
+		column[i] = e.state
+	}
+
+	result := apps.AutoCorrect(ix, column, 2, 0.8)
+	if result.MappingIndex < 0 {
+		fmt.Println("no mixed-representation mapping detected")
+		return
+	}
+	fmt.Println("detected inconsistent state column; suggested corrections:")
+	for _, c := range result.Corrections {
+		fmt.Printf("  row %d (%s): %q -> %q\n",
+			c.Row, employees[c.Row].name, c.Original, c.Suggested)
+	}
+}

@@ -1,0 +1,45 @@
+// Auto-fill (Table 4 of the paper): given a column of city names and a
+// single example pair (San Francisco → California), the system finds the
+// synthesized (city → state) mapping that agrees with the example and fills
+// the remaining rows.
+//
+// Run with: go run ./examples/autofill
+package main
+
+import (
+	"fmt"
+
+	"mapsynth/internal/apps"
+	"mapsynth/internal/core"
+	"mapsynth/internal/corpusgen"
+	"mapsynth/internal/index"
+)
+
+func main() {
+	fmt.Println("generating web corpus and synthesizing mappings...")
+	corpus := corpusgen.GenerateWeb(corpusgen.Options{Seed: 42})
+	res := core.New(core.DefaultConfig()).Synthesize(corpus.Tables)
+	ix := index.Build(res.Mappings)
+	fmt.Printf("indexed %d mappings\n\n", ix.Len())
+
+	cities := []string{"San Francisco", "Seattle", "Los Angeles", "Houston", "Denver"}
+	examples := []apps.Example{{Left: "San Francisco", Right: "California"}}
+
+	result := apps.AutoFill(ix, cities, examples, 0.8)
+	if result.MappingIndex < 0 {
+		fmt.Println("no mapping matches the example")
+		return
+	}
+	fmt.Println("auto-filled states:")
+	for i, city := range cities {
+		state, ok := result.Filled[i]
+		if !ok {
+			state = "(unknown)"
+		}
+		marker := ""
+		if i == 0 {
+			marker = "  (user example)"
+		}
+		fmt.Printf("  %-15s %s%s\n", city, state, marker)
+	}
+}

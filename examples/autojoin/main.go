@@ -1,0 +1,61 @@
+// Auto-join (Table 5 of the paper): one table keys stocks by ticker, the
+// other by company name. The synthesized (ticker → company) mapping bridges
+// them in a three-way join — no manual mapping required.
+//
+// Run with: go run ./examples/autojoin
+package main
+
+import (
+	"fmt"
+
+	"mapsynth/internal/apps"
+	"mapsynth/internal/core"
+	"mapsynth/internal/corpusgen"
+	"mapsynth/internal/index"
+)
+
+func main() {
+	fmt.Println("generating web corpus and synthesizing mappings...")
+	corpus := corpusgen.GenerateWeb(corpusgen.Options{Seed: 42})
+	res := core.New(core.DefaultConfig()).Synthesize(corpus.Tables)
+	ix := index.Build(res.Mappings)
+	fmt.Printf("indexed %d mappings\n\n", ix.Len())
+
+	// Left table: stocks by market capitalization (keyed by ticker).
+	stocks := []struct {
+		ticker string
+		cap    string
+	}{
+		{"GE", "255.88B"}, {"WMT", "212.13B"}, {"MSFT", "380.15B"},
+		{"ORCL", "255.88B"}, {"UPS", "94.27B"},
+	}
+	// Right table: political contributions (keyed by company name).
+	contributions := []struct {
+		company string
+		total   string
+	}{
+		{"General Electric", "$59,456,031"}, {"Walmart", "$47,497,295"},
+		{"Oracle", "$34,216,308"}, {"Microsoft Corp", "$33,910,357"},
+		{"AT&T Inc.", "$33,752,009"},
+	}
+	keysA := make([]string, len(stocks))
+	for i, s := range stocks {
+		keysA[i] = s.ticker
+	}
+	keysB := make([]string, len(contributions))
+	for i, c := range contributions {
+		keysB[i] = c.company
+	}
+
+	result := apps.AutoJoin(ix, keysA, keysB, 0.6)
+	if result.MappingIndex < 0 {
+		fmt.Println("no bridging mapping found")
+		return
+	}
+	fmt.Printf("joined %d of %d rows via mapping #%d:\n",
+		result.Bridged, len(stocks), result.MappingIndex)
+	for _, row := range result.Rows {
+		s, c := stocks[row.LeftRow], contributions[row.RightRow]
+		fmt.Printf("  %-5s %-8s <-> %-18s %s\n", s.ticker, s.cap, c.company, c.total)
+	}
+}

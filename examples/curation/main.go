@@ -1,0 +1,79 @@
+// Curation workflow (Section 4.3 + Appendix I of the paper): synthesize
+// mappings, rank them by popularity for human review, grow a robust core
+// from a trusted feed, and diff the refreshed result against the previous
+// run so a curator only re-reviews what changed.
+//
+// Run with: go run ./examples/curation
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"mapsynth/internal/core"
+	"mapsynth/internal/corpusgen"
+	"mapsynth/internal/curation"
+	"mapsynth/internal/expansion"
+	"mapsynth/internal/mapping"
+	"mapsynth/internal/refdata"
+	"mapsynth/internal/table"
+	"mapsynth/internal/textnorm"
+)
+
+func main() {
+	fmt.Println("generating web corpus and synthesizing mappings...")
+	corpus := corpusgen.GenerateWeb(corpusgen.Options{Seed: 42})
+	res := core.New(core.DefaultConfig()).Synthesize(corpus.Tables)
+
+	// 1. Curation view: popularity-ranked report of the clusters a human
+	// would inspect (the paper reviews only mappings from >= 8 domains).
+	reviewable := curation.Filter(res.Mappings, 8, 8, 10)
+	fmt.Printf("\n%d of %d mappings pass the popularity bar (>= 8 domains); top of the review queue:\n\n",
+		len(reviewable), len(res.Mappings))
+	if err := curation.Report(os.Stdout, reviewable, 8); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	// 2. Refresh: expand robust cores from a trusted feed (Appendix I) and
+	// alert the curator about what changed.
+	feed := &expansion.TrustedSource{Name: "data.gov/airports"}
+	for _, p := range refdata.AirportExpansionPairs() {
+		feed.Pairs = append(feed.Pairs, table.Pair{L: p[0], R: p[1]})
+	}
+	var refreshed []*mapping.Mapping
+	expandedCount := 0
+	for _, m := range res.Mappings {
+		pairs, info := expansion.Expand(m, []*expansion.TrustedSource{feed}, expansion.DefaultOptions())
+		if info.PairsAdded == 0 {
+			refreshed = append(refreshed, m)
+			continue
+		}
+		expandedCount++
+		// Rebuild the mapping over the expanded pair list; provenance of
+		// the additions is the trusted feed.
+		expandedTable := &table.BinaryTable{
+			ID: -1, TableID: -1, Domain: feed.Name, Pairs: pairs,
+		}
+		refreshed = append(refreshed, mapping.Build(m.ID, []*table.BinaryTable{expandedTable}))
+	}
+	fmt.Printf("\nexpansion grew %d mapping(s) from %s\n", expandedCount, feed.Name)
+
+	diffs := curation.ChangedOnly(curation.Diff(res.Mappings, refreshed))
+	fmt.Printf("refresh diff: %d mapping(s) need curator re-review\n", len(diffs))
+	for i, d := range diffs {
+		if i >= 5 {
+			fmt.Printf("  ... and %d more\n", len(diffs)-5)
+			break
+		}
+		fmt.Printf("  mapping %d -> %d: +%d pairs, -%d pairs (overlap %d)\n",
+			d.OldID, d.NewID, len(d.Added), len(d.Removed), d.Overlap)
+		for j, a := range d.Added {
+			if j >= 3 {
+				break
+			}
+			l, r := textnorm.SplitPairKey(a)
+			fmt.Printf("      added: %s -> %s\n", l, r)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+// Quickstart: synthesize mapping relationships from a handful of toy tables
+// and look values up in the result.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"mapsynth/internal/core"
+	"mapsynth/internal/table"
+)
+
+func main() {
+	// A miniature "web corpus": fragments of a country→ISO3 mapping spread
+	// over several small tables from different sites, one of which uses a
+	// synonym ("Korea, Republic of") and one of which carries an error.
+	corpus := []*table.Table{
+		tbl(0, "siteA.com",
+			col("country", "United States", "Canada", "South Korea", "Japan"),
+			col("code", "USA", "CAN", "KOR", "JPN")),
+		tbl(1, "siteB.com",
+			col("name", "Japan", "China", "Germany", "France"),
+			col("code", "JPN", "CHN", "DEU", "FRA")),
+		tbl(2, "siteC.com",
+			col("country", "Korea, Republic of", "China", "France", "Canada"),
+			col("iso", "KOR", "CHN", "FRA", "CAN")),
+		tbl(3, "siteD.com",
+			col("nation", "Germany", "United States", "South Korea", "China"),
+			col("code", "DEU", "USA", "KOR", "CHN")),
+		tbl(4, "siteE.com", // IOC codes: a *different* mapping for Germany
+			col("country", "Germany", "Canada", "South Korea", "Japan"),
+			col("code", "GER", "CAN", "KOR", "JPN")),
+		tbl(5, "siteF.com",
+			col("country", "Germany", "United States", "France", "China"),
+			col("ioc", "GER", "USA", "FRA", "CHN")),
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.Extract.CoherenceThreshold = -1 // toy corpus: skip statistics filter
+	result := core.New(cfg).Synthesize(corpus)
+
+	fmt.Printf("synthesized %d mappings from %d tables\n\n", len(result.Mappings), len(corpus))
+	for _, m := range result.Mappings {
+		fmt.Printf("%s\n", m)
+		for _, p := range m.Pairs {
+			fmt.Printf("    %-22s -> %s\n", p.L, p.R)
+		}
+	}
+
+	// Lookup uses any surface form, including synonyms merged from other
+	// tables.
+	best := result.Mappings[0]
+	for _, q := range []string{"South Korea", "Korea, Republic of", "Germany"} {
+		if code, ok := best.Lookup(q); ok {
+			fmt.Printf("lookup %-22q -> %s\n", q, code)
+		}
+	}
+}
+
+func tbl(id int, domain string, cols ...table.Column) *table.Table {
+	return &table.Table{ID: id, Domain: domain, Columns: cols}
+}
+
+func col(name string, values ...string) table.Column {
+	return table.Column{Name: name, Values: values}
+}

@@ -1,0 +1,55 @@
+package apps
+
+import (
+	"mapsynth/internal/index"
+	"mapsynth/internal/textnorm"
+)
+
+// Example is one user-provided (left, right) demonstration for auto-fill.
+type Example struct {
+	Left, Right string
+}
+
+// AutoFillResult reports the outcome of auto-fill on one column.
+type AutoFillResult struct {
+	// MappingIndex is the position of the mapping used, -1 if none found.
+	MappingIndex int
+	// Filled maps row index -> suggested right value for rows that could
+	// be filled. Rows whose left value the mapping does not know are
+	// absent.
+	Filled map[int]string
+}
+
+// AutoFill implements the Table-4 scenario: the user has a column of left
+// values and demonstrates the intended relationship with a few example
+// pairs; the system finds a synthesized mapping that covers the column and
+// agrees with every example, then fills the remaining rows.
+//
+// minCoverage is the minimum fraction of column values the mapping's left
+// column must contain.
+func AutoFill(ix *index.MappingIndex, column []string, examples []Example, minCoverage float64) AutoFillResult {
+	hits := ix.LookupLeft(column, minCoverage)
+	for _, hit := range hits {
+		m := hit.Mapping
+		// Every example must agree with the mapping.
+		ok := true
+		for _, ex := range examples {
+			got, found := m.Lookup(ex.Left)
+			if !found || textnorm.Normalize(got) != textnorm.Normalize(ex.Right) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		res := AutoFillResult{MappingIndex: hit.Index, Filled: make(map[int]string)}
+		for i, v := range column {
+			if r, found := m.Lookup(v); found {
+				res.Filled[i] = r
+			}
+		}
+		return res
+	}
+	return AutoFillResult{MappingIndex: -1}
+}

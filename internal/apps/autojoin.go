@@ -1,0 +1,80 @@
+package apps
+
+import (
+	"sort"
+
+	"mapsynth/internal/index"
+	"mapsynth/internal/textnorm"
+)
+
+// JoinRow is one joined output row: the row indexes of the two input tables
+// that were bridged by the mapping.
+type JoinRow struct {
+	LeftRow, RightRow int
+}
+
+// AutoJoinResult reports the outcome of auto-join between two key columns.
+type AutoJoinResult struct {
+	// MappingIndex is the position of the bridging mapping, -1 if none.
+	MappingIndex int
+	// Rows lists the joined row pairs, ordered by (LeftRow, RightRow).
+	Rows []JoinRow
+	// Bridged is the number of left rows that found a join partner.
+	Bridged int
+}
+
+// AutoJoin implements the Table-5 scenario: table A's key column and table
+// B's key column use different representations (stock tickers vs company
+// names); a synthesized mapping whose left column covers A's keys and whose
+// right column covers B's keys acts as the bridge of a three-way join.
+//
+// The mapping is chosen to maximize the number of bridged rows; minCoverage
+// applies to A's column against the mapping's left side.
+func AutoJoin(ix *index.MappingIndex, keysA, keysB []string, minCoverage float64) AutoJoinResult {
+	hits := ix.LookupLeft(keysA, minCoverage)
+	if len(hits) == 0 {
+		return AutoJoinResult{MappingIndex: -1}
+	}
+	// Index B's keys by normalized value.
+	bRows := make(map[string][]int, len(keysB))
+	for i, v := range keysB {
+		nv := textnorm.Normalize(v)
+		if nv == "" {
+			continue
+		}
+		bRows[nv] = append(bRows[nv], i)
+	}
+	best := AutoJoinResult{MappingIndex: -1}
+	for _, hit := range hits {
+		m := hit.Mapping
+		res := AutoJoinResult{MappingIndex: hit.Index}
+		seenLeft := make(map[int]struct{})
+		for i, v := range keysA {
+			// Try every recorded right surface form: synthesized mappings
+			// carry synonymous mentions, and B may use any of them.
+			seenJoin := make(map[int]struct{})
+			for _, r := range m.LookupAll(v) {
+				nr := textnorm.Normalize(r)
+				for _, j := range bRows[nr] {
+					if _, dup := seenJoin[j]; dup {
+						continue
+					}
+					seenJoin[j] = struct{}{}
+					res.Rows = append(res.Rows, JoinRow{LeftRow: i, RightRow: j})
+					seenLeft[i] = struct{}{}
+				}
+			}
+		}
+		res.Bridged = len(seenLeft)
+		if res.Bridged > best.Bridged {
+			best = res
+		}
+	}
+	sort.Slice(best.Rows, func(i, j int) bool {
+		if best.Rows[i].LeftRow != best.Rows[j].LeftRow {
+			return best.Rows[i].LeftRow < best.Rows[j].LeftRow
+		}
+		return best.Rows[i].RightRow < best.Rows[j].RightRow
+	})
+	return best
+}

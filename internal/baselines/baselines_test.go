@@ -1,0 +1,186 @@
+package baselines
+
+import (
+	"testing"
+
+	"mapsynth/internal/graph"
+	"mapsynth/internal/table"
+)
+
+func bin(id int, domain, ln, rn string, pairs [][2]string) *table.BinaryTable {
+	ls := make([]string, len(pairs))
+	rs := make([]string, len(pairs))
+	for i, p := range pairs {
+		ls[i] = p[0]
+		rs[i] = p[1]
+	}
+	return table.NewBinaryTable(id, id, domain, ln, rn, ls, rs)
+}
+
+func TestUnionDomainGroupsByDomainAndHeaders(t *testing.T) {
+	bins := []*table.BinaryTable{
+		bin(0, "a.com", "country", "code", [][2]string{{"Japan", "JPN"}}),
+		bin(1, "a.com", "country", "code", [][2]string{{"Peru", "PER"}}),
+		bin(2, "b.com", "country", "code", [][2]string{{"Kenya", "KEN"}}),
+		bin(3, "a.com", "city", "state", [][2]string{{"Austin", "Texas"}}),
+	}
+	groups := UnionDomain(bins)
+	if len(groups) != 3 {
+		t.Fatalf("groups = %d, want 3", len(groups))
+	}
+	// The a.com country group unions tables 0 and 1.
+	found := false
+	for _, g := range groups {
+		if len(g) == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no unioned group found: %v", groups)
+	}
+}
+
+func TestUnionWebIgnoresDomain(t *testing.T) {
+	bins := []*table.BinaryTable{
+		bin(0, "a.com", "country", "code", [][2]string{{"Japan", "JPN"}}),
+		bin(1, "b.com", "Country", "Code", [][2]string{{"Peru", "PER"}}), // case-insensitive headers
+		bin(2, "c.com", "city", "state", [][2]string{{"Austin", "Texas"}}),
+	}
+	groups := UnionWeb(bins)
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(groups))
+	}
+}
+
+func TestUnionDedupsPairs(t *testing.T) {
+	bins := []*table.BinaryTable{
+		bin(0, "a.com", "l", "r", [][2]string{{"x", "1"}, {"y", "2"}}),
+		bin(1, "a.com", "l", "r", [][2]string{{"x", "1"}, {"z", "3"}}),
+	}
+	groups := UnionDomain(bins)
+	if len(groups) != 1 || len(groups[0]) != 3 {
+		t.Fatalf("groups = %v", groups)
+	}
+}
+
+func TestSingleTablesDomainFilter(t *testing.T) {
+	bins := []*table.BinaryTable{
+		bin(0, "en.wikipedia.org", "l", "r", [][2]string{{"a", "1"}}),
+		bin(1, "other.com", "l", "r", [][2]string{{"b", "2"}}),
+	}
+	if got := SingleTables(bins, "en.wikipedia.org"); len(got) != 1 {
+		t.Errorf("wiki filter: %d lists", len(got))
+	}
+	if got := SingleTables(bins, ""); len(got) != 2 {
+		t.Errorf("no filter: %d lists", len(got))
+	}
+}
+
+func TestSchemaCCThresholdAndNegative(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1, 0.9, 0)
+	g.AddEdge(1, 2, 0.6, -0.5) // combined 0.1
+	// Positive-only at threshold 0.5 merges everything.
+	pos := SchemaCC(g, 0.5, false)
+	if len(pos) != 1 {
+		t.Errorf("SchemaPosCC groups = %v", pos)
+	}
+	// With negative signal the 1-2 edge drops below threshold.
+	neg := SchemaCC(g, 0.5, true)
+	if len(neg) != 2 {
+		t.Errorf("SchemaCC groups = %v", neg)
+	}
+	// Very high threshold keeps everything apart.
+	apart := SchemaCC(g, 0.95, true)
+	if len(apart) != 3 {
+		t.Errorf("high threshold groups = %v", apart)
+	}
+}
+
+func TestCorrelationClustersPositiveComponents(t *testing.T) {
+	// Two positive cliques joined by a negative edge must form >= 2 clusters.
+	g := graph.New(6)
+	g.AddEdge(0, 1, 0.9, 0)
+	g.AddEdge(1, 2, 0.9, 0)
+	g.AddEdge(0, 2, 0.9, 0)
+	g.AddEdge(3, 4, 0.9, 0)
+	g.AddEdge(4, 5, 0.9, 0)
+	g.AddEdge(3, 5, 0.9, 0)
+	g.AddEdge(2, 3, 0.1, -0.8) // net negative bridge
+	groups := Correlation(g, 1, 0)
+	if len(groups) < 2 {
+		t.Fatalf("groups = %v, want at least the two cliques apart", groups)
+	}
+	// Every vertex appears exactly once.
+	seen := map[int]int{}
+	for _, grp := range groups {
+		for _, v := range grp {
+			seen[v]++
+		}
+	}
+	for v := 0; v < 6; v++ {
+		if seen[v] != 1 {
+			t.Errorf("vertex %d appears %d times", v, seen[v])
+		}
+	}
+}
+
+func TestCorrelationDeterministicPerSeed(t *testing.T) {
+	g := graph.New(8)
+	for i := 0; i < 7; i++ {
+		g.AddEdge(i, i+1, 0.5, 0)
+	}
+	a := Correlation(g, 42, 0)
+	b := Correlation(g, 42, 0)
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic: %v vs %v", a, b)
+	}
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("non-deterministic: %v vs %v", a, b)
+			}
+		}
+	}
+}
+
+func TestWiseIntegratorGroupsBySimilarHeadersAndTypes(t *testing.T) {
+	bins := []*table.BinaryTable{
+		bin(0, "a.com", "country", "code", [][2]string{{"Japan", "JPN"}, {"Kenya", "KEN"}, {"Ghana", "GHA"}, {"Brazil", "BRA"}}),
+		bin(1, "b.com", "country", "codes", [][2]string{{"Norway", "NOR"}, {"Chile", "CHL"}, {"Sweden", "SWE"}, {"Poland", "POL"}}),
+		bin(2, "c.com", "country", "population", [][2]string{{"Japan", "125000000"}, {"Chile", "34000000"}, {"Ghana", "17000000"}, {"Sweden", "11000000"}}),
+	}
+	groups := WiseIntegrator(bins)
+	// Tables 0 and 1 share identical left headers, contained right headers
+	// ("code"/"codes") and code-typed rights; table 2's numeric right keeps
+	// it apart.
+	if len(groups) != 2 {
+		t.Fatalf("groups = %v, want 2", groups)
+	}
+	if len(groups[0]) != 2 || groups[0][0] != 0 || groups[0][1] != 1 {
+		t.Errorf("first group = %v", groups[0])
+	}
+}
+
+func TestUnionGroups(t *testing.T) {
+	bins := []*table.BinaryTable{
+		bin(0, "a", "l", "r", [][2]string{{"x", "1"}}),
+		bin(1, "a", "l", "r", [][2]string{{"x", "1"}, {"y", "2"}}),
+	}
+	lists := UnionGroups(bins, [][]int{{0, 1}})
+	if len(lists) != 1 || len(lists[0]) != 2 {
+		t.Errorf("UnionGroups = %v", lists)
+	}
+}
+
+func TestValueTyping(t *testing.T) {
+	if classifyValue("12345") != typeNumeric {
+		t.Error("digits should be numeric")
+	}
+	if classifyValue("JPN") != typeCode {
+		t.Error("short alpha should be code")
+	}
+	if classifyValue("United States") != typeText {
+		t.Error("long names should be text")
+	}
+}

@@ -1,0 +1,150 @@
+package baselines
+
+import (
+	"math/rand"
+	"sort"
+	"strconv"
+
+	"mapsynth/internal/graph"
+	"mapsynth/internal/mapreduce"
+)
+
+// correlationEpsilon is the activation growth rate of the parallel-pivot
+// algorithm; round i activates the first (1+ε)^i vertices of a random
+// permutation. Smaller ε is closer to sequential pivoting (better quality,
+// more rounds); the KDD-2014 paper uses a small constant.
+const correlationEpsilon = 0.1
+
+// Correlation implements parallel-pivot correlation clustering
+// (Chierichetti, Dalvi & Kumar, KDD 2014 [12]) over the mapreduce engine,
+// exactly as the paper's Correlation baseline. Edges are signed by the
+// combined weight w+ + w-: positive edges attract, the rest repel.
+//
+// The algorithm draws one random permutation as priorities and activates
+// vertices in geometrically growing batches; in each Map-Reduce round, an
+// active unclustered vertex with no lower-priority active unclustered
+// positive neighbor becomes a pivot, and unclustered positive neighbors join
+// their lowest-priority adjacent pivot. The paper highlights two weaknesses
+// this implementation reproduces: pivots only look at one-hop neighborhoods
+// (chains of small tables fragment), and convergence takes
+// O(log |V| · Δ+) rounds — which is why Correlation is the slowest method in
+// Figure 8.
+func Correlation(g *graph.Graph, seed int64, maxRounds int) [][]int {
+	n := g.NumVertices()
+	adj := make([][]int, n)
+	for _, e := range g.Edges() {
+		if e.Pos+e.Neg > 0 {
+			adj[e.A] = append(adj[e.A], e.B)
+			adj[e.B] = append(adj[e.B], e.A)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n) // perm[i] = vertex with priority rank i
+	rank := make([]int, n)
+	for i, v := range perm {
+		rank[v] = i
+	}
+	cluster := make([]int, n)
+	for i := range cluster {
+		cluster[i] = -1
+	}
+	if maxRounds <= 0 {
+		maxRounds = 4 * n
+	}
+	cfg := mapreduce.Config{}
+	activeSize := 1.0
+	for round := 0; round < maxRounds; round++ {
+		if activeSize < float64(n) {
+			activeSize *= 1 + correlationEpsilon
+			if activeSize > float64(n) {
+				activeSize = float64(n)
+			}
+		}
+		limit := int(activeSize)
+		active := func(v int) bool { return rank[v] < limit && cluster[v] == -1 }
+
+		var inputs []interface{}
+		for _, v := range perm[:limit] {
+			if cluster[v] == -1 {
+				inputs = append(inputs, v)
+			}
+		}
+		if len(inputs) == 0 {
+			if limit >= n {
+				break
+			}
+			continue
+		}
+		// Map: every active unclustered vertex publishes its rank to its
+		// active unclustered positive neighbors (and itself).
+		m := func(in interface{}, emit func(string, interface{})) {
+			v := in.(int)
+			emit(strconv.Itoa(v), [2]int{v, rank[v]})
+			for _, u := range adj[v] {
+				if active(u) {
+					emit(strconv.Itoa(u), [2]int{v, rank[v]})
+				}
+			}
+		}
+		// Reduce: v finds the minimum-rank vertex among itself and its
+		// active neighbors; if that is v itself, v pivots, otherwise v
+		// proposes to join that vertex.
+		r := func(key string, values []interface{}, emit func(interface{})) {
+			v, _ := strconv.Atoi(key)
+			bestV, bestR := -1, n+1
+			for _, val := range values {
+				pr := val.([2]int)
+				if pr[1] < bestR {
+					bestV, bestR = pr[0], pr[1]
+				}
+			}
+			if bestV == v {
+				emit([2]int{v, v})
+			} else if bestV >= 0 {
+				emit([2]int{v, bestV})
+			}
+		}
+		outs := mapreduce.Run(inputs, m, r, cfg)
+		pivots := make(map[int]bool)
+		for _, o := range outs {
+			pr := o.([2]int)
+			if pr[0] == pr[1] {
+				pivots[pr[0]] = true
+			}
+		}
+		for _, o := range outs {
+			pr := o.([2]int)
+			v, target := pr[0], pr[1]
+			if cluster[v] == -1 && pivots[target] {
+				cluster[v] = target
+			}
+		}
+		if limit >= n {
+			done := true
+			for v := 0; v < n; v++ {
+				if cluster[v] == -1 {
+					done = false
+					break
+				}
+			}
+			if done {
+				break
+			}
+		}
+	}
+	groups := make(map[int][]int)
+	for v := 0; v < n; v++ {
+		c := cluster[v]
+		if c == -1 {
+			c = v
+		}
+		groups[c] = append(groups[c], v)
+	}
+	out := make([][]int, 0, len(groups))
+	for _, members := range groups {
+		sort.Ints(members)
+		out = append(out, members)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}

@@ -1,0 +1,58 @@
+package baselines
+
+import (
+	"mapsynth/internal/graph"
+	"mapsynth/internal/unionfind"
+)
+
+// SchemaCC mimics pair-wise schema matchers that use the same positive and
+// negative signals as Synthesis but aggregate binary match decisions by
+// transitivity: two candidates land in the same cluster when any chain of
+// pair-wise matches connects them (connected components). A pair matches
+// when its combined score w+ + w- reaches the threshold. The paper sweeps
+// thresholds in [0, 1] and reports the best; callers do the same.
+//
+// With useNegative false this is SchemaPosCC: the negative signal is
+// ignored entirely, as in the schema-matching literature.
+func SchemaCC(g *graph.Graph, threshold float64, useNegative bool) [][]int {
+	uf := unionfind.New(g.NumVertices())
+	for _, e := range g.Edges() {
+		score := e.Pos
+		if useNegative {
+			score += e.Neg
+		}
+		if score >= threshold && score > 0 {
+			uf.Union(e.A, e.B)
+		}
+	}
+	return groupsSorted(uf)
+}
+
+// groupsSorted converts union-find groups to deterministically ordered
+// component lists.
+func groupsSorted(uf *unionfind.UF) [][]int {
+	gm := uf.Groups()
+	reps := make([]int, 0, len(gm))
+	for r := range gm {
+		reps = append(reps, r)
+	}
+	// Groups() returns members ascending; order groups by smallest member.
+	out := make([][]int, 0, len(gm))
+	minOf := make(map[int]int, len(gm))
+	for r, members := range gm {
+		minOf[r] = members[0]
+	}
+	sortInts(reps, func(a, b int) bool { return minOf[a] < minOf[b] })
+	for _, r := range reps {
+		out = append(out, gm[r])
+	}
+	return out
+}
+
+func sortInts(s []int, less func(a, b int) bool) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && less(s[j], s[j-1]); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Package baselines implements the comparison methods of Section 5.1:
+// UnionDomain / UnionWeb (Ling & Halevy [30]), SchemaCC / SchemaPosCC
+// (pair-wise schema matching aggregated by connected components),
+// Correlation (parallel-pivot correlation clustering [12]), WiseIntegrator
+// [22, 23], and the raw single-table pickers behind WikiTable / WebTable /
+// EntTable. All baselines consume the same candidate binary tables as
+// Synthesis so that differences measure the grouping strategy, not the
+// extraction.
+package baselines
+
+import (
+	"sort"
+	"strings"
+
+	"mapsynth/internal/table"
+	"mapsynth/internal/textnorm"
+)
+
+// unionKey builds the header-based grouping key of the Union* baselines.
+func unionKey(b *table.BinaryTable, withDomain bool) string {
+	l := textnorm.Normalize(b.LeftName)
+	r := textnorm.Normalize(b.RightName)
+	if withDomain {
+		return b.Domain + "\x1f" + l + "\x1f" + r
+	}
+	return l + "\x1f" + r
+}
+
+// unionBy groups candidates by key and unions their pairs per group.
+// Groups are returned in ascending key order; pairs are deduplicated on
+// exact surface form.
+func unionBy(bins []*table.BinaryTable, withDomain bool) [][]table.Pair {
+	groups := make(map[string][]table.Pair)
+	seen := make(map[string]map[table.Pair]struct{})
+	for _, b := range bins {
+		k := unionKey(b, withDomain)
+		if seen[k] == nil {
+			seen[k] = make(map[table.Pair]struct{})
+		}
+		for _, p := range b.Pairs {
+			if _, dup := seen[k][p]; dup {
+				continue
+			}
+			seen[k][p] = struct{}{}
+			groups[k] = append(groups[k], p)
+		}
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([][]table.Pair, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, groups[k])
+	}
+	return out
+}
+
+// UnionDomain implements Ling & Halevy's same-domain table stitching [30]
+// adapted to mapping synthesis: candidates are unioned when they come from
+// the same web domain and share identical (normalized) column headers.
+func UnionDomain(bins []*table.BinaryTable) [][]table.Pair {
+	return unionBy(bins, true)
+}
+
+// UnionWeb extends UnionDomain across the whole web: candidates are unioned
+// whenever their (normalized) column headers match, regardless of domain.
+// With undescriptive headers ("name", "code") this over-groups aggressively,
+// which is the failure mode the paper demonstrates.
+func UnionWeb(bins []*table.BinaryTable) [][]table.Pair {
+	return unionBy(bins, false)
+}
+
+// SingleTables returns each candidate's pairs as its own relation,
+// optionally restricted to one provenance domain — the WikiTable (domain =
+// Wikipedia), WebTable and EntTable baselines, which upper-bound what
+// picking the single best raw table can achieve.
+func SingleTables(bins []*table.BinaryTable, domain string) [][]table.Pair {
+	var out [][]table.Pair
+	for _, b := range bins {
+		if domain != "" && !strings.EqualFold(b.Domain, domain) {
+			continue
+		}
+		out = append(out, b.Pairs)
+	}
+	return out
+}

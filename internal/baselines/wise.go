@@ -1,0 +1,195 @@
+package baselines
+
+import (
+	"sort"
+	"unicode"
+
+	"mapsynth/internal/strmatch"
+	"mapsynth/internal/table"
+	"mapsynth/internal/textnorm"
+	"mapsynth/internal/unionfind"
+)
+
+// valueType is WiseIntegrator's coarse value typing.
+type valueType int
+
+const (
+	typeText    valueType = iota // multi-word or long alphabetic values
+	typeCode                     // short alphanumeric codes
+	typeNumeric                  // digit-dominated values
+)
+
+// WiseIntegrator implements the collective web-interface schema matcher of
+// He, Meng, Yu & Wu [22, 23] adapted to table columns: candidates are
+// clustered greedily by linguistic similarity of attribute names (exact or
+// near-exact normalized headers) combined with compatibility of value types.
+// It uses no instance-level FD reasoning, so confusable code systems with
+// matching headers merge — the failure mode the paper contrasts against.
+func WiseIntegrator(bins []*table.BinaryTable) [][]int {
+	type sig struct {
+		l, r   string
+		lt, rt valueType
+	}
+	sigs := make([]sig, len(bins))
+	for i, b := range bins {
+		sigs[i] = sig{
+			l:  textnorm.Normalize(b.LeftName),
+			r:  textnorm.Normalize(b.RightName),
+			lt: typeOfColumn(b, true),
+			rt: typeOfColumn(b, false),
+		}
+	}
+	// Bucket candidates by exact signature first (cheap), then greedily
+	// merge buckets whose headers are within edit distance 1 per side and
+	// whose value types agree.
+	bucketOf := make(map[sig][]int)
+	for i, s := range sigs {
+		bucketOf[s] = append(bucketOf[s], i)
+	}
+	keys := make([]sig, 0, len(bucketOf))
+	for s := range bucketOf {
+		keys = append(keys, s)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].l != keys[j].l {
+			return keys[i].l < keys[j].l
+		}
+		if keys[i].r != keys[j].r {
+			return keys[i].r < keys[j].r
+		}
+		if keys[i].lt != keys[j].lt {
+			return keys[i].lt < keys[j].lt
+		}
+		return keys[i].rt < keys[j].rt
+	})
+	uf := unionfind.New(len(keys))
+	for i := 0; i < len(keys); i++ {
+		for j := i + 1; j < len(keys); j++ {
+			a, b := keys[i], keys[j]
+			if a.lt != b.lt || a.rt != b.rt {
+				continue
+			}
+			if headerSimilar(a.l, b.l) && headerSimilar(a.r, b.r) {
+				uf.Union(i, j)
+			}
+		}
+	}
+	groupsIdx := uf.Groups()
+	reps := make([]int, 0, len(groupsIdx))
+	for r := range groupsIdx {
+		reps = append(reps, r)
+	}
+	sort.Ints(reps)
+	var out [][]int
+	for _, r := range reps {
+		var members []int
+		for _, ki := range groupsIdx[r] {
+			members = append(members, bucketOf[keys[ki]]...)
+		}
+		sort.Ints(members)
+		out = append(out, members)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// headerSimilar reports linguistic similarity of two normalized headers:
+// identical, one contained in the other, or within edit distance 1.
+func headerSimilar(a, b string) bool {
+	if a == b {
+		return true
+	}
+	if a != "" && b != "" && (contains(a, b) || contains(b, a)) {
+		return true
+	}
+	return strmatch.WithinDistance(a, b, 1)
+}
+
+func contains(s, sub string) bool {
+	return len(sub) >= 3 && len(s) > len(sub) && indexOf(s, sub) >= 0
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// typeOfColumn classifies a candidate's left or right values.
+func typeOfColumn(b *table.BinaryTable, left bool) valueType {
+	numeric, code, text := 0, 0, 0
+	for i, p := range b.Pairs {
+		if i >= 20 {
+			break
+		}
+		v := p.R
+		if left {
+			v = p.L
+		}
+		switch classifyValue(v) {
+		case typeNumeric:
+			numeric++
+		case typeCode:
+			code++
+		default:
+			text++
+		}
+	}
+	switch {
+	case numeric >= code && numeric >= text:
+		return typeNumeric
+	case code >= text:
+		return typeCode
+	default:
+		return typeText
+	}
+}
+
+func classifyValue(v string) valueType {
+	digits, letters, spaces, runes := 0, 0, 0, 0
+	for _, r := range v {
+		runes++
+		switch {
+		case unicode.IsDigit(r):
+			digits++
+		case unicode.IsLetter(r):
+			letters++
+		case unicode.IsSpace(r):
+			spaces++
+		}
+	}
+	if runes == 0 {
+		return typeText
+	}
+	if digits*2 > runes {
+		return typeNumeric
+	}
+	if runes <= 4 && letters > 0 && spaces == 0 {
+		return typeCode
+	}
+	return typeText
+}
+
+// UnionGroups converts candidate-index groups into unioned pair lists,
+// shared by SchemaCC, Correlation and WiseIntegrator evaluation.
+func UnionGroups(bins []*table.BinaryTable, groups [][]int) [][]table.Pair {
+	out := make([][]table.Pair, 0, len(groups))
+	for _, grp := range groups {
+		seen := make(map[table.Pair]struct{})
+		var pairs []table.Pair
+		for _, i := range grp {
+			for _, p := range bins[i].Pairs {
+				if _, dup := seen[p]; dup {
+					continue
+				}
+				seen[p] = struct{}{}
+				pairs = append(pairs, p)
+			}
+		}
+		out = append(out, pairs)
+	}
+	return out
+}

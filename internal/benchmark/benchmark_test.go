@@ -1,0 +1,128 @@
+package benchmark
+
+import (
+	"math"
+	"testing"
+
+	"mapsynth/internal/refdata"
+	"mapsynth/internal/table"
+)
+
+func TestScoreSet(t *testing.T) {
+	truth := NewPairSet([][2]string{{"a", "1"}, {"b", "2"}, {"c", "3"}, {"d", "4"}})
+	result := NewPairSet([][2]string{{"a", "1"}, {"b", "2"}, {"x", "9"}})
+	s := ScoreSet(result, truth)
+	if math.Abs(s.Precision-2.0/3) > 1e-9 {
+		t.Errorf("P = %v", s.Precision)
+	}
+	if math.Abs(s.Recall-0.5) > 1e-9 {
+		t.Errorf("R = %v", s.Recall)
+	}
+	wantF := 2 * (2.0 / 3) * 0.5 / (2.0/3 + 0.5)
+	if math.Abs(s.F-wantF) > 1e-9 {
+		t.Errorf("F = %v, want %v", s.F, wantF)
+	}
+	if z := ScoreSet(nil, truth); z.F != 0 {
+		t.Error("empty result should score 0")
+	}
+}
+
+func TestScoreNormalization(t *testing.T) {
+	truth := NewPairSet([][2]string{{"South Korea", "KOR"}})
+	result := PairSetFromTablePairs([]table.Pair{{L: " south  KOREA ", R: "kor[1]"}})
+	if s := ScoreSet(result, truth); s.F != 1 {
+		t.Errorf("normalized match failed: %+v", s)
+	}
+}
+
+func TestBestScore(t *testing.T) {
+	truth := NewPairSet([][2]string{{"a", "1"}, {"b", "2"}})
+	sets := []PairSet{
+		NewPairSet([][2]string{{"a", "1"}}),
+		NewPairSet([][2]string{{"a", "1"}, {"b", "2"}}),
+		NewPairSet([][2]string{{"z", "0"}}),
+	}
+	s, idx := BestScore(sets, truth)
+	if idx != 1 || s.F != 1 {
+		t.Errorf("BestScore = %+v at %d", s, idx)
+	}
+	_, none := BestScore([]PairSet{NewPairSet(nil)}, truth)
+	if none != -1 {
+		t.Errorf("all-zero BestScore idx = %d", none)
+	}
+}
+
+func TestAverageFootnote5(t *testing.T) {
+	scores := []Score{
+		{Precision: 1, Recall: 0.5, F: 0.667},
+		{Precision: 0, Recall: 0, F: 0}, // missed case
+	}
+	avg := Average(scores)
+	if avg.Found != 1 || avg.Cases != 2 {
+		t.Errorf("found=%d cases=%d", avg.Found, avg.Cases)
+	}
+	// Precision averages over found cases only (footnote 5).
+	if avg.Precision != 1 {
+		t.Errorf("avg precision = %v, want 1", avg.Precision)
+	}
+	// Recall and F average over all cases.
+	if math.Abs(avg.Recall-0.25) > 1e-9 {
+		t.Errorf("avg recall = %v", avg.Recall)
+	}
+}
+
+func TestCasesFromRelationsExpandSynonyms(t *testing.T) {
+	rel := &refdata.Relation{
+		Name: "demo",
+		Pairs: []refdata.EntityPair{{
+			Left:  refdata.Entity{Canonical: "South Korea", Synonyms: []string{"Korea, South"}},
+			Right: "KOR",
+		}},
+	}
+	cases := CasesFromRelations([]*refdata.Relation{rel})
+	if len(cases) != 1 {
+		t.Fatal("missing case")
+	}
+	if len(cases[0].Truth) != 2 {
+		t.Errorf("truth = %v, want canonical + synonym", cases[0].Truth)
+	}
+}
+
+func TestKBSimulation(t *testing.T) {
+	rels := []*refdata.Relation{
+		{Name: "in-both", InFreebase: true, InYAGO: true,
+			Pairs: pairs20()},
+		{Name: "fb-only", InFreebase: true,
+			Pairs: pairs20()},
+		{Name: "neither",
+			Pairs: pairs20()},
+	}
+	fb := BuildFreebase(rels, 1)
+	yago := BuildYAGO(rels, 1)
+	fbPreds := fb.Predicates()
+	if len(fbPreds) != 2 {
+		t.Errorf("freebase predicates = %v", fbPreds)
+	}
+	if len(yago.Predicates()) != 1 {
+		t.Errorf("yago predicates = %v", yago.Predicates())
+	}
+	// Coverage is partial but substantial.
+	if fb.Len() < 20 || fb.Len() > 40 {
+		t.Errorf("freebase triples = %d", fb.Len())
+	}
+	outs := KBOutputs(fb)
+	if len(outs) != 4 { // two predicates x two directions
+		t.Errorf("KBOutputs = %d", len(outs))
+	}
+}
+
+func pairs20() []refdata.EntityPair {
+	var out []refdata.EntityPair
+	for i := 0; i < 20; i++ {
+		out = append(out, refdata.EntityPair{
+			Left:  refdata.Entity{Canonical: "entity" + string(rune('a'+i))},
+			Right: "v" + string(rune('a'+i)),
+		})
+	}
+	return out
+}

@@ -1,0 +1,50 @@
+package benchmark
+
+import (
+	"math/rand"
+
+	"mapsynth/internal/kb"
+	"mapsynth/internal/refdata"
+)
+
+// BuildFreebase simulates a Freebase RDF dump over the benchmark relations:
+// relations flagged InFreebase contribute triples with canonical subject
+// names only (KBs carry essentially no synonyms, Section 6 of the paper) at
+// ~90% instance coverage. Coverage sampling is deterministic from seed.
+func BuildFreebase(rels []*refdata.Relation, seed int64) *kb.Store {
+	return buildKB("freebase", rels, seed, 0.90, func(r *refdata.Relation) bool { return r.InFreebase })
+}
+
+// BuildYAGO simulates a YAGO dump: fewer relations (InYAGO), ~75% coverage,
+// canonical names only.
+func BuildYAGO(rels []*refdata.Relation, seed int64) *kb.Store {
+	return buildKB("yago", rels, seed, 0.75, func(r *refdata.Relation) bool { return r.InYAGO })
+}
+
+func buildKB(name string, rels []*refdata.Relation, seed int64, coverage float64, in func(*refdata.Relation) bool) *kb.Store {
+	store := kb.NewStore(name)
+	rng := rand.New(rand.NewSource(seed))
+	for _, r := range rels {
+		if !in(r) {
+			continue
+		}
+		for _, p := range r.Pairs {
+			if rng.Float64() > coverage {
+				continue
+			}
+			store.Add(p.Left.Canonical, r.Name, p.Right)
+		}
+	}
+	return store
+}
+
+// KBOutputs converts a KB's predicate-grouped relations into evaluation
+// pair sets (both directions per predicate, as the paper does).
+func KBOutputs(store *kb.Store) []PairSet {
+	rels := store.Relations()
+	out := make([]PairSet, 0, len(rels))
+	for _, r := range rels {
+		out = append(out, PairSetFromTablePairs(r.Pairs))
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+// Package benchmark evaluates synthesized mappings against ground-truth
+// relations with the paper's methodology (Section 5.1): for every benchmark
+// case and every method, pick the output relation with the best F-score
+// against the ground truth (favorable to all methods), then average
+// precision, recall and F across cases.
+package benchmark
+
+import (
+	"sort"
+
+	"mapsynth/internal/refdata"
+	"mapsynth/internal/table"
+	"mapsynth/internal/textnorm"
+)
+
+// Score holds the standard quality metrics for one case.
+type Score struct {
+	Precision float64
+	Recall    float64
+	F         float64
+}
+
+// PairSet is a set of normalized pair keys representing one relation.
+type PairSet map[string]struct{}
+
+// NewPairSet normalizes raw (left, right) string pairs into a PairSet.
+func NewPairSet(pairs [][2]string) PairSet {
+	s := make(PairSet, len(pairs))
+	for _, p := range pairs {
+		nl, nr, ok := textnorm.NormalizePair(p[0], p[1])
+		if !ok {
+			continue
+		}
+		s[textnorm.PairKey(nl, nr)] = struct{}{}
+	}
+	return s
+}
+
+// PairSetFromTablePairs normalizes table.Pair values into a PairSet.
+func PairSetFromTablePairs(pairs []table.Pair) PairSet {
+	s := make(PairSet, len(pairs))
+	for _, p := range pairs {
+		nl, nr, ok := textnorm.NormalizePair(p.L, p.R)
+		if !ok {
+			continue
+		}
+		s[textnorm.PairKey(nl, nr)] = struct{}{}
+	}
+	return s
+}
+
+// ScoreSet computes precision, recall and F of a result set against the
+// truth set. An empty result scores all zeros.
+func ScoreSet(result, truth PairSet) Score {
+	if len(result) == 0 || len(truth) == 0 {
+		return Score{}
+	}
+	small, large := result, truth
+	if len(small) > len(large) {
+		small, large = large, small
+	}
+	inter := 0
+	for k := range small {
+		if _, ok := large[k]; ok {
+			inter++
+		}
+	}
+	if inter == 0 {
+		return Score{}
+	}
+	p := float64(inter) / float64(len(result))
+	r := float64(inter) / float64(len(truth))
+	return Score{Precision: p, Recall: r, F: 2 * p * r / (p + r)}
+}
+
+// BestScore returns the highest-F score among the candidate result sets and
+// the index of the winning set (-1 when all score zero).
+func BestScore(results []PairSet, truth PairSet) (Score, int) {
+	best := Score{}
+	idx := -1
+	for i, r := range results {
+		s := ScoreSet(r, truth)
+		if s.F > best.F {
+			best = s
+			idx = i
+		}
+	}
+	return best, idx
+}
+
+// Case is one benchmark case: a named ground-truth relation with all
+// synonym combinations expanded (Table 6 of the paper).
+type Case struct {
+	Name     string
+	Relation *refdata.Relation
+	Truth    PairSet
+}
+
+// CasesFromRelations expands benchmark relations into evaluation cases.
+func CasesFromRelations(rels []*refdata.Relation) []*Case {
+	out := make([]*Case, 0, len(rels))
+	for _, r := range rels {
+		out = append(out, &Case{
+			Name:     r.Name,
+			Relation: r,
+			Truth:    NewPairSet(r.GroundTruthPairs()),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// EvaluateAll scores every case against a method's output relations,
+// returning per-case best scores aligned with the cases slice.
+func EvaluateAll(cases []*Case, outputs []PairSet) []Score {
+	scores := make([]Score, len(cases))
+	for i, c := range cases {
+		scores[i], _ = BestScore(outputs, c.Truth)
+	}
+	return scores
+}
+
+// Averages summarizes per-case scores. Following the paper's footnote 5,
+// the precision average excludes cases the method missed entirely
+// (precision ~ 0), which would otherwise unfairly deflate high-precision
+// low-coverage methods like WikiTable; recall and F average over all cases.
+type Averages struct {
+	F         float64
+	Precision float64
+	Recall    float64
+	// Found is the number of cases with non-zero F.
+	Found int
+	// Cases is the total number of cases.
+	Cases int
+}
+
+// Average computes Averages over per-case scores.
+func Average(scores []Score) Averages {
+	var a Averages
+	a.Cases = len(scores)
+	if len(scores) == 0 {
+		return a
+	}
+	var sumP float64
+	for _, s := range scores {
+		a.F += s.F
+		a.Recall += s.Recall
+		if s.Precision > 0.01 {
+			sumP += s.Precision
+			a.Found++
+		}
+	}
+	a.F /= float64(len(scores))
+	a.Recall /= float64(len(scores))
+	if a.Found > 0 {
+		a.Precision = sumP / float64(a.Found)
+	}
+	return a
+}

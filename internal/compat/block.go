@@ -1,0 +1,164 @@
+package compat
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"mapsynth/internal/graph"
+)
+
+// MaxPostingLen caps the inverted-index posting lists considered during
+// blocking. Keys appearing in more candidates than this behave like
+// stop-words and would produce a quadratic pair blow-up; they are skipped.
+// (Pairs of truly related tables always share several less common keys.)
+const MaxPostingLen = 800
+
+// pairCount accumulates, per candidate pair, how many blocking keys they
+// share. Keys are packed (a<<32 | b) with a < b.
+type pairCount map[uint64]int32
+
+func packPair(a, b int) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(a)<<32 | uint64(uint32(b))
+}
+
+func unpackPair(k uint64) (int, int) {
+	return int(k >> 32), int(uint32(k))
+}
+
+// BlockedPairs runs inverted-index blocking (the paper's Map-Reduce
+// regrouping) and returns the candidate pairs that share at least
+// thetaOverlap normalized value pairs (posPairs) and at least thetaOverlap
+// normalized left values (negPairs). Both lists are sorted for determinism.
+func BlockedPairs(cands []*Candidate, thetaOverlap int) (posPairs, negPairs [][2]int) {
+	if thetaOverlap < 1 {
+		thetaOverlap = 1
+	}
+	posPairs = blockBy(cands, thetaOverlap, func(c *Candidate) []string { return c.PairKeys })
+	negPairs = blockBy(cands, thetaOverlap, func(c *Candidate) []string { return c.LeftKeys })
+	return posPairs, negPairs
+}
+
+// blockBy builds an inverted index over the given key extractor and counts
+// shared keys per candidate pair.
+func blockBy(cands []*Candidate, thetaOverlap int, keys func(*Candidate) []string) [][2]int {
+	inv := make(map[string][]int32)
+	for _, c := range cands {
+		for _, k := range keys(c) {
+			inv[k] = append(inv[k], int32(c.ID))
+		}
+	}
+	counts := make(pairCount)
+	for _, ids := range inv {
+		if len(ids) < 2 || len(ids) > MaxPostingLen {
+			continue
+		}
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				counts[packPair(int(ids[i]), int(ids[j]))]++
+			}
+		}
+	}
+	out := make([][2]int, 0, len(counts))
+	for k, c := range counts {
+		if int(c) >= thetaOverlap {
+			a, b := unpackPair(k)
+			out = append(out, [2]int{a, b})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// BuildGraph computes the full compatibility graph for a candidate set:
+// blocking, then parallel evaluation of w+ over pos-blocked pairs and w-
+// over neg-blocked pairs. Positive weights below opt.ThetaEdge are dropped
+// (treated as 0); negative weights of 0 produce no negative component.
+// Edges that end up with both weights zero are omitted.
+func BuildGraph(cands []*Candidate, opt Options, workers int) *graph.Graph {
+	cp := NewComputer(opt)
+	posPairs, negPairs := BlockedPairs(cands, opt.ThetaOverlap)
+
+	type job struct {
+		a, b int
+		neg  bool
+	}
+	jobs := make([]job, 0, len(posPairs)+len(negPairs))
+	for _, p := range posPairs {
+		jobs = append(jobs, job{a: p[0], b: p[1]})
+	}
+	for _, p := range negPairs {
+		jobs = append(jobs, job{a: p[0], b: p[1], neg: true})
+	}
+
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	type res struct {
+		a, b int
+		pos  float64
+		neg  float64
+	}
+	results := make([]res, len(jobs))
+	var wg sync.WaitGroup
+	ch := make(chan int, workers)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				j := jobs[i]
+				r := res{a: j.a, b: j.b}
+				if j.neg {
+					r.neg = cp.Negative(cands[j.a], cands[j.b])
+				} else {
+					p := cp.Positive(cands[j.a], cands[j.b])
+					if p >= opt.ThetaEdge {
+						r.pos = p
+					}
+				}
+				results[i] = r
+			}
+		}()
+	}
+	for i := range jobs {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+
+	// Merge the two passes per pair: a pair may appear in both lists.
+	type acc struct{ pos, neg float64 }
+	merged := make(map[uint64]*acc, len(results))
+	for _, r := range results {
+		if r.pos == 0 && r.neg == 0 {
+			continue
+		}
+		k := packPair(r.a, r.b)
+		a, ok := merged[k]
+		if !ok {
+			a = &acc{}
+			merged[k] = a
+		}
+		if r.pos != 0 {
+			a.pos = r.pos
+		}
+		if r.neg != 0 {
+			a.neg = r.neg
+		}
+	}
+	g := graph.New(len(cands))
+	for k, a := range merged {
+		x, y := unpackPair(k)
+		g.AddEdge(x, y, a.pos, a.neg)
+	}
+	return g
+}

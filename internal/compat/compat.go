@@ -1,0 +1,285 @@
+// Package compat computes pairwise table compatibility (Section 4.1):
+// positive compatibility w+ as the symmetric maximum of containment over
+// shared value pairs (Equation 3, with approximate string matching), and
+// negative incompatibility w- from FD-violating conflicts (Equation 4).
+//
+// Because all-pairs computation is quadratic, candidate pairs are blocked
+// with inverted indexes exactly like the paper's Map-Reduce regrouping:
+// w+ is evaluated only for candidate pairs sharing at least ThetaOverlap
+// value pairs, and w- only for pairs sharing at least ThetaOverlap
+// left-hand-side values.
+package compat
+
+import (
+	"sort"
+
+	"mapsynth/internal/strmatch"
+	"mapsynth/internal/table"
+	"mapsynth/internal/textnorm"
+)
+
+// Options configures compatibility computation.
+type Options struct {
+	// ThetaOverlap is the minimum number of shared normalized value pairs
+	// (for w+) or shared left values (for w-) before a candidate pair is
+	// evaluated at all. Paper: a small constant (we default to 2).
+	ThetaOverlap int
+	// ThetaEdge drops positive edges weaker than this threshold from the
+	// graph (Section 5.4 reports θedge = 0.85 works best at web scale; the
+	// right value depends on corpus density).
+	ThetaEdge float64
+	// FracEd and KEd parameterize approximate string matching.
+	FracEd float64
+	KEd    int
+	// MaxApproxProduct bounds the residual×residual approximate-matching
+	// work per candidate pair; beyond it only exact matches count.
+	MaxApproxProduct int
+	// Synonyms, when non-nil, lets known synonyms match and prevents
+	// synonym pairs from counting as conflicts.
+	Synonyms *strmatch.SynonymFeed
+}
+
+// DefaultOptions returns sensible defaults for laptop-scale corpora. The
+// paper's θedge = 0.85 presumes web-scale table redundancy; small corpora
+// connect relation fragments through weaker chains, so the default here is
+// lower (the sensitivity experiment sweeps it).
+func DefaultOptions() Options {
+	return Options{
+		ThetaOverlap:     2,
+		ThetaEdge:        0.2,
+		FracEd:           strmatch.DefaultFracEd,
+		KEd:              strmatch.DefaultKEd,
+		MaxApproxProduct: 4096,
+	}
+}
+
+// Candidate is the precomputed, normalized view of one BinaryTable used by
+// all pairwise computations.
+type Candidate struct {
+	// ID is the dense candidate index (== position in the slice returned
+	// by Precompute).
+	ID int
+	// Bin is the underlying binary table.
+	Bin *table.BinaryTable
+	// PairKeys holds the distinct normalized pair keys, sorted.
+	PairKeys []string
+	// Lefts maps each distinct normalized left value to its distinct
+	// normalized right values (usually one; approximate FDs allow a few).
+	Lefts map[string][]string
+	// LeftKeys holds the distinct normalized left values, sorted.
+	LeftKeys []string
+}
+
+// Size returns the number of distinct normalized pairs.
+func (c *Candidate) Size() int { return len(c.PairKeys) }
+
+// Precompute normalizes every candidate once. The i-th output corresponds
+// to the i-th input and gets ID i.
+func Precompute(bins []*table.BinaryTable) []*Candidate {
+	out := make([]*Candidate, len(bins))
+	for i, b := range bins {
+		c := &Candidate{ID: i, Bin: b, Lefts: make(map[string][]string)}
+		keySet := make(map[string]struct{}, len(b.Pairs))
+		for _, p := range b.Pairs {
+			nl, nr, ok := textnorm.NormalizePair(p.L, p.R)
+			if !ok {
+				continue
+			}
+			k := textnorm.PairKey(nl, nr)
+			if _, dup := keySet[k]; dup {
+				continue
+			}
+			keySet[k] = struct{}{}
+			c.Lefts[nl] = appendUnique(c.Lefts[nl], nr)
+		}
+		c.PairKeys = make([]string, 0, len(keySet))
+		for k := range keySet {
+			c.PairKeys = append(c.PairKeys, k)
+		}
+		sort.Strings(c.PairKeys)
+		c.LeftKeys = make([]string, 0, len(c.Lefts))
+		for l := range c.Lefts {
+			c.LeftKeys = append(c.LeftKeys, l)
+		}
+		sort.Strings(c.LeftKeys)
+		out[i] = c
+	}
+	return out
+}
+
+func appendUnique(s []string, v string) []string {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+// Weights carries the two edge weights between a candidate pair.
+type Weights struct {
+	Pos float64 // w+ in [0, 1]
+	Neg float64 // w- in [-1, 0]
+}
+
+// Computer evaluates w+ and w- between candidate pairs.
+type Computer struct {
+	opt     Options
+	matcher *strmatch.Matcher
+}
+
+// NewComputer returns a Computer with the given options.
+func NewComputer(opt Options) *Computer {
+	m := strmatch.NewMatcher(opt.FracEd, opt.KEd)
+	if opt.Synonyms != nil {
+		m.SetSynonyms(opt.Synonyms)
+	}
+	return &Computer{opt: opt, matcher: m}
+}
+
+// Positive computes w+(B, B') (Equation 3): shared value pairs are counted
+// by exact normalized-key intersection first; residual (unmatched) pairs are
+// then matched approximately (both sides must match within the edit-distance
+// threshold), greedily and at most once each.
+func (cp *Computer) Positive(a, b *Candidate) float64 {
+	if len(a.PairKeys) == 0 || len(b.PairKeys) == 0 {
+		return 0
+	}
+	inter, resA, resB := intersectSorted(a.PairKeys, b.PairKeys)
+	matched := inter
+	if len(resA) > 0 && len(resB) > 0 && len(resA)*len(resB) <= cp.opt.MaxApproxProduct {
+		matched += cp.approxResidual(resA, resB)
+	}
+	denom := len(a.PairKeys)
+	if len(b.PairKeys) < denom {
+		denom = len(b.PairKeys)
+	}
+	return float64(matched) / float64(denom)
+}
+
+// approxResidual greedily matches residual pair keys across the two tables
+// using approximate matching on both the left and right halves. Each
+// residual pair participates in at most one match.
+func (cp *Computer) approxResidual(resA, resB []string) int {
+	used := make([]bool, len(resB))
+	count := 0
+	for _, ka := range resA {
+		la, ra := textnorm.SplitPairKey(ka)
+		for j, kb := range resB {
+			if used[j] {
+				continue
+			}
+			lb, rb := textnorm.SplitPairKey(kb)
+			if cp.matcher.MatchNormalized(la, lb) && cp.matcher.MatchNormalized(ra, rb) {
+				used[j] = true
+				count++
+				break
+			}
+		}
+	}
+	return count
+}
+
+// Negative computes w-(B, B') (Equation 4). The conflict set F(B, B') holds
+// the left values present in both candidates whose right values disagree:
+// some right value of one table fails to match (approximately or as a
+// synonym) some right value of the other. The score is
+// -max{|F|/|B|, |F|/|B'|}, always <= 0.
+func (cp *Computer) Negative(a, b *Candidate) float64 {
+	if len(a.Lefts) == 0 || len(b.Lefts) == 0 {
+		return 0
+	}
+	small, large := a, b
+	if len(small.Lefts) > len(large.Lefts) {
+		small, large = large, small
+	}
+	conflicts := 0
+	for l, rsA := range small.Lefts {
+		rsB, ok := large.Lefts[l]
+		if !ok {
+			continue
+		}
+		if cp.rightsConflict(rsA, rsB) {
+			conflicts++
+		}
+	}
+	if conflicts == 0 {
+		return 0
+	}
+	denom := len(a.PairKeys)
+	if len(b.PairKeys) < denom {
+		denom = len(b.PairKeys)
+	}
+	return -float64(conflicts) / float64(denom)
+}
+
+// rightsConflict reports whether two right-value sets disagree: true when
+// any value on one side has no approximate/synonym match on the other.
+func (cp *Computer) rightsConflict(rsA, rsB []string) bool {
+	for _, ra := range rsA {
+		found := false
+		for _, rb := range rsB {
+			if cp.matcher.MatchNormalized(ra, rb) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return true
+		}
+	}
+	for _, rb := range rsB {
+		found := false
+		for _, ra := range rsA {
+			if cp.matcher.MatchNormalized(ra, rb) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return true
+		}
+	}
+	return false
+}
+
+// ConflictLeftValues returns the conflict set F(B, B') as the sorted list of
+// normalized left values with disagreeing right values. Used by conflict
+// resolution and tests.
+func (cp *Computer) ConflictLeftValues(a, b *Candidate) []string {
+	var out []string
+	for l, rsA := range a.Lefts {
+		rsB, ok := b.Lefts[l]
+		if !ok {
+			continue
+		}
+		if cp.rightsConflict(rsA, rsB) {
+			out = append(out, l)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// intersectSorted intersects two sorted string slices, returning the
+// intersection size and the residuals (elements unique to each side).
+func intersectSorted(a, b []string) (inter int, resA, resB []string) {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			inter++
+			i++
+			j++
+		case a[i] < b[j]:
+			resA = append(resA, a[i])
+			i++
+		default:
+			resB = append(resB, b[j])
+			j++
+		}
+	}
+	resA = append(resA, a[i:]...)
+	resB = append(resB, b[j:]...)
+	return inter, resA, resB
+}

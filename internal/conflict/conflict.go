@@ -1,0 +1,241 @@
+// Package conflict implements post-synthesis conflict resolution
+// (Problem 17 and Algorithm 4 of the paper).
+//
+// A synthesized partition unions many raw tables; a few carry erroneous
+// values (e.g. the swapped chemical symbols of Figure 4) that violate the
+// mapping definition: the same left value appearing with different right
+// values. Finding the largest conflict-free subset of tables is NP-hard
+// (Independent Set), so Resolve greedily removes the table holding the value
+// pair with the most conflicts until none remain. MajorityVotePairs is the
+// simpler per-value baseline the paper compares against in Section 5.6.
+package conflict
+
+import (
+	"sort"
+
+	"mapsynth/internal/strmatch"
+	"mapsynth/internal/table"
+	"mapsynth/internal/textnorm"
+)
+
+// Options configures conflict detection.
+type Options struct {
+	// FracEd and KEd parameterize approximate matching of right values;
+	// approximately-equal right values do not conflict.
+	FracEd float64
+	KEd    int
+	// Synonyms, when non-nil, prevents known synonym pairs from counting
+	// as conflicts.
+	Synonyms *strmatch.SynonymFeed
+}
+
+// DefaultOptions mirrors the matcher defaults used during synthesis.
+func DefaultOptions() Options {
+	return Options{FracEd: strmatch.DefaultFracEd, KEd: strmatch.DefaultKEd}
+}
+
+// Resolve runs Algorithm 4 on the candidate tables of one partition and
+// returns the kept tables and the removed ones. The kept set has no
+// conflicting value pairs across tables (nor within a table).
+func Resolve(cands []*table.BinaryTable, opt Options) (kept, removed []*table.BinaryTable) {
+	matcher := strmatch.NewMatcher(opt.FracEd, opt.KEd)
+	if opt.Synonyms != nil {
+		matcher.SetSynonyms(opt.Synonyms)
+	}
+	kept = append(kept, cands...)
+	for {
+		worst, conflicts := mostConflictingTable(kept, matcher)
+		if conflicts == 0 {
+			break
+		}
+		removed = append(removed, kept[worst])
+		kept = append(kept[:worst], kept[worst+1:]...)
+	}
+	return kept, removed
+}
+
+// mostConflictingTable computes, over the union of distinct normalized pairs
+// of the kept tables, cntV(v1,v2) = number of conflicting value pairs, then
+// cntB(Bi) = max over Bi's pairs, and returns the index of the table with
+// the highest cntB together with that count. Ties break toward the table
+// with fewer pairs (removing it loses less coverage), then the higher
+// candidate ID (later extraction order).
+func mostConflictingTable(kept []*table.BinaryTable, matcher *strmatch.Matcher) (int, int) {
+	// Group the distinct pairs of the union by normalized left value.
+	type pairInfo struct {
+		nr string
+	}
+	byLeft := make(map[string][]pairInfo)
+	seen := make(map[string]struct{})
+	for _, b := range kept {
+		for _, p := range b.Pairs {
+			nl, nr, ok := textnorm.NormalizePair(p.L, p.R)
+			if !ok {
+				continue
+			}
+			k := textnorm.PairKey(nl, nr)
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			byLeft[nl] = append(byLeft[nl], pairInfo{nr: nr})
+		}
+	}
+	// cntV per normalized pair key.
+	cntV := make(map[string]int)
+	for nl, infos := range byLeft {
+		if len(infos) < 2 {
+			continue
+		}
+		for i := range infos {
+			c := 0
+			for j := range infos {
+				if i == j {
+					continue
+				}
+				if !matcher.MatchNormalized(infos[i].nr, infos[j].nr) {
+					c++
+				}
+			}
+			if c > 0 {
+				cntV[textnorm.PairKey(nl, infos[i].nr)] = c
+			}
+		}
+	}
+	if len(cntV) == 0 {
+		return -1, 0
+	}
+	bestIdx, bestCnt, bestSize := -1, 0, 0
+	for i, b := range kept {
+		c := 0
+		for _, p := range b.Pairs {
+			nl, nr, ok := textnorm.NormalizePair(p.L, p.R)
+			if !ok {
+				continue
+			}
+			if v := cntV[textnorm.PairKey(nl, nr)]; v > c {
+				c = v
+			}
+		}
+		if c == 0 {
+			continue
+		}
+		better := false
+		switch {
+		case c > bestCnt:
+			better = true
+		case c == bestCnt && b.Size() < bestSize:
+			better = true
+		case c == bestCnt && b.Size() == bestSize && bestIdx >= 0 && b.ID > kept[bestIdx].ID:
+			better = true
+		}
+		if better {
+			bestIdx, bestCnt, bestSize = i, c, b.Size()
+		}
+	}
+	return bestIdx, bestCnt
+}
+
+// CountConflicts returns the number of normalized left values with
+// disagreeing right values across the union of the given tables. Zero means
+// the set already satisfies the mapping definition.
+func CountConflicts(cands []*table.BinaryTable, opt Options) int {
+	matcher := strmatch.NewMatcher(opt.FracEd, opt.KEd)
+	if opt.Synonyms != nil {
+		matcher.SetSynonyms(opt.Synonyms)
+	}
+	byLeft := make(map[string][]string)
+	seen := make(map[string]struct{})
+	for _, b := range cands {
+		for _, p := range b.Pairs {
+			nl, nr, ok := textnorm.NormalizePair(p.L, p.R)
+			if !ok {
+				continue
+			}
+			k := textnorm.PairKey(nl, nr)
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			byLeft[nl] = append(byLeft[nl], nr)
+		}
+	}
+	conflicts := 0
+	for _, rs := range byLeft {
+		if len(rs) < 2 {
+			continue
+		}
+		conflict := false
+		for i := 0; i < len(rs) && !conflict; i++ {
+			for j := i + 1; j < len(rs); j++ {
+				if !matcher.MatchNormalized(rs[i], rs[j]) {
+					conflict = true
+					break
+				}
+			}
+		}
+		if conflict {
+			conflicts++
+		}
+	}
+	return conflicts
+}
+
+// MajorityVotePairs is the baseline resolution strategy (§5.6): for every
+// normalized left value keep only the right value supported by the most
+// candidate tables (ties break lexicographically on the normalized right
+// value). It returns the surviving pairs with representative surface forms.
+func MajorityVotePairs(cands []*table.BinaryTable) []table.Pair {
+	type rightVote struct {
+		count   int
+		surface table.Pair
+	}
+	votes := make(map[string]map[string]*rightVote)
+	for _, b := range cands {
+		seenHere := make(map[string]struct{})
+		for _, p := range b.Pairs {
+			nl, nr, ok := textnorm.NormalizePair(p.L, p.R)
+			if !ok {
+				continue
+			}
+			k := textnorm.PairKey(nl, nr)
+			if _, dup := seenHere[k]; dup {
+				continue
+			}
+			seenHere[k] = struct{}{}
+			rm, okL := votes[nl]
+			if !okL {
+				rm = make(map[string]*rightVote)
+				votes[nl] = rm
+			}
+			rv, okR := rm[nr]
+			if !okR {
+				rv = &rightVote{surface: p}
+				rm[nr] = rv
+			}
+			rv.count++
+		}
+	}
+	var out []table.Pair
+	for _, rm := range votes {
+		rs := make([]string, 0, len(rm))
+		for r := range rm {
+			rs = append(rs, r)
+		}
+		sort.Strings(rs)
+		bestR, bestC := "", -1
+		for _, r := range rs {
+			if rm[r].count > bestC {
+				bestR, bestC = r, rm[r].count
+			}
+		}
+		out = append(out, rm[bestR].surface)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].L != out[j].L {
+			return out[i].L < out[j].L
+		}
+		return out[i].R < out[j].R
+	})
+	return out
+}

@@ -1,0 +1,132 @@
+package conflict
+
+import (
+	"testing"
+
+	"mapsynth/internal/table"
+)
+
+func bin(id int, pairs [][2]string) *table.BinaryTable {
+	ls := make([]string, len(pairs))
+	rs := make([]string, len(pairs))
+	for i, p := range pairs {
+		ls[i] = p[0]
+		rs[i] = p[1]
+	}
+	return table.NewBinaryTable(id, id, "d", "l", "r", ls, rs)
+}
+
+func TestResolveFigure4(t *testing.T) {
+	// Figure 4 of the paper: a table with swapped chemical symbols
+	// (Tellurium/Iodine) conflicts with two clean tables; resolution must
+	// drop the dirty one.
+	clean1 := bin(0, [][2]string{
+		{"Tellurium", "Te"}, {"Iodine", "I"}, {"Xenon", "Xe"}, {"Caesium", "Cs"},
+	})
+	clean2 := bin(1, [][2]string{
+		{"Tellurium", "Te"}, {"Iodine", "I"}, {"Barium", "Ba"},
+	})
+	dirty := bin(2, [][2]string{
+		{"Tellurium", "I"}, {"Iodine", "Te"}, {"Xenon", "Xe"},
+	})
+	kept, removed := Resolve([]*table.BinaryTable{clean1, clean2, dirty}, DefaultOptions())
+	if len(removed) != 1 || removed[0].ID != 2 {
+		t.Fatalf("removed = %v, want the dirty table", removed)
+	}
+	if len(kept) != 2 {
+		t.Errorf("kept = %d tables, want 2", len(kept))
+	}
+	if CountConflicts(kept, DefaultOptions()) != 0 {
+		t.Error("kept set still has conflicts")
+	}
+}
+
+func TestResolveNoConflicts(t *testing.T) {
+	a := bin(0, [][2]string{{"x", "1"}, {"y", "2"}})
+	b := bin(1, [][2]string{{"y", "2"}, {"z", "3"}})
+	kept, removed := Resolve([]*table.BinaryTable{a, b}, DefaultOptions())
+	if len(removed) != 0 || len(kept) != 2 {
+		t.Errorf("kept=%d removed=%d, want 2/0", len(kept), len(removed))
+	}
+}
+
+func TestResolveKeepsMajority(t *testing.T) {
+	// Three tables agree, one disagrees on the same left value: the
+	// minority table goes.
+	var tables []*table.BinaryTable
+	for i := 0; i < 3; i++ {
+		tables = append(tables, bin(i, [][2]string{{"alpha", "A"}, {"beta", "B"}}))
+	}
+	tables = append(tables, bin(3, [][2]string{{"alpha", "Z"}, {"gamma", "C"}}))
+	kept, removed := Resolve(tables, DefaultOptions())
+	if len(removed) != 1 || removed[0].ID != 3 {
+		t.Fatalf("removed = %v, want table 3", removed)
+	}
+	if len(kept) != 3 {
+		t.Errorf("kept = %d", len(kept))
+	}
+}
+
+func TestResolveEmpty(t *testing.T) {
+	kept, removed := Resolve(nil, DefaultOptions())
+	if len(kept) != 0 || len(removed) != 0 {
+		t.Error("empty input should resolve to empty output")
+	}
+}
+
+func TestApproximateRightsDoNotConflict(t *testing.T) {
+	// Minor syntactic variation of the right value is not a conflict.
+	a := bin(0, [][2]string{{"Charles de Gaulle Airport", "Paris Charles de Gaulle"}, {"x1", "y1"}, {"x2", "y2"}})
+	b := bin(1, [][2]string{{"Charles de Gaulle Airport", "Paris Charles-de-Gaulle"}, {"x3", "y3"}})
+	if got := CountConflicts([]*table.BinaryTable{a, b}, DefaultOptions()); got != 0 {
+		t.Errorf("conflicts = %d, want 0 (approximate match)", got)
+	}
+}
+
+func TestCountConflicts(t *testing.T) {
+	a := bin(0, [][2]string{{"l1", "r1"}, {"l2", "r2"}})
+	b := bin(1, [][2]string{{"l1", "DIFFERENT"}, {"l2", "r2"}, {"l3", "ALSO"}})
+	c := bin(2, [][2]string{{"l3", "other thing"}})
+	got := CountConflicts([]*table.BinaryTable{a, b, c}, DefaultOptions())
+	if got != 2 {
+		t.Errorf("conflicts = %d, want 2 (l1 and l3)", got)
+	}
+}
+
+func TestMajorityVotePairs(t *testing.T) {
+	tables := []*table.BinaryTable{
+		bin(0, [][2]string{{"washington", "Olympia"}}),
+		bin(1, [][2]string{{"washington", "Olympia"}}),
+		bin(2, [][2]string{{"washington", "Seattle"}}),
+		bin(3, [][2]string{{"oregon", "Salem"}}),
+	}
+	out := MajorityVotePairs(tables)
+	if len(out) != 2 {
+		t.Fatalf("out = %v", out)
+	}
+	// The 2-vote Olympia beats the 1-vote Seattle.
+	if out[1].L != "washington" || out[1].R != "Olympia" {
+		t.Errorf("majority pair = %v", out[1])
+	}
+	if out[0].L != "oregon" || out[0].R != "Salem" {
+		t.Errorf("unchallenged pair = %v", out[0])
+	}
+}
+
+func TestMajorityVoteDeterministicTies(t *testing.T) {
+	tables := []*table.BinaryTable{
+		bin(0, [][2]string{{"k", "A"}}),
+		bin(1, [][2]string{{"k", "B"}}),
+	}
+	// Tie: lexicographically smaller normalized right wins, stably.
+	first := MajorityVotePairs(tables)
+	for i := 0; i < 5; i++ {
+		again := MajorityVotePairs(tables)
+		if len(again) != 1 || again[0] != first[0] {
+			t.Fatalf("majority voting not deterministic: %v vs %v", first, again)
+		}
+	}
+	if first[0].R != "A" {
+		t.Errorf("tie should break to 'A', got %v", first[0])
+	}
+}

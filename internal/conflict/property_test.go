@@ -1,0 +1,84 @@
+package conflict
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mapsynth/internal/table"
+)
+
+// TestResolveInvariants runs Algorithm 4 over random noisy partitions and
+// checks its contract: the kept set is conflict-free, kept + removed
+// account for every input table, and conflict-free inputs are untouched.
+func TestResolveInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 40; trial++ {
+		// Ground truth: 10 left values with fixed rights; each table takes
+		// a random subset, with a chance of corrupted rights.
+		nTables := 2 + rng.Intn(6)
+		var tables []*table.BinaryTable
+		for ti := 0; ti < nTables; ti++ {
+			k := 3 + rng.Intn(6)
+			ls := make([]string, k)
+			rs := make([]string, k)
+			for j := 0; j < k; j++ {
+				e := rng.Intn(10)
+				ls[j] = fmt.Sprintf("entity%d", e)
+				if rng.Float64() < 0.15 {
+					rs[j] = fmt.Sprintf("WRONG%d", rng.Intn(3))
+				} else {
+					rs[j] = fmt.Sprintf("value%d", e)
+				}
+			}
+			tables = append(tables, table.NewBinaryTable(ti, ti, "d", "l", "r", ls, rs))
+		}
+		kept, removed := Resolve(tables, DefaultOptions())
+		if len(kept)+len(removed) != len(tables) {
+			t.Fatalf("trial %d: kept %d + removed %d != %d", trial, len(kept), len(removed), len(tables))
+		}
+		if got := CountConflicts(kept, DefaultOptions()); got != 0 {
+			t.Fatalf("trial %d: kept set has %d conflicts", trial, got)
+		}
+		// Identity on clean inputs: resolving the kept set again removes
+		// nothing.
+		kept2, removed2 := Resolve(kept, DefaultOptions())
+		if len(removed2) != 0 || len(kept2) != len(kept) {
+			t.Fatalf("trial %d: resolution not idempotent", trial)
+		}
+	}
+}
+
+// TestMajorityVoteInvariants checks the baseline resolution: output is
+// functional (one right per normalized left) and covers every left value
+// seen in the input.
+func TestMajorityVoteInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 40; trial++ {
+		nTables := 2 + rng.Intn(5)
+		lefts := map[string]bool{}
+		var tables []*table.BinaryTable
+		for ti := 0; ti < nTables; ti++ {
+			k := 2 + rng.Intn(6)
+			ls := make([]string, k)
+			rs := make([]string, k)
+			for j := 0; j < k; j++ {
+				ls[j] = fmt.Sprintf("e%d", rng.Intn(8))
+				rs[j] = fmt.Sprintf("v%d", rng.Intn(5))
+				lefts[ls[j]] = true
+			}
+			tables = append(tables, table.NewBinaryTable(ti, ti, "d", "l", "r", ls, rs))
+		}
+		out := MajorityVotePairs(tables)
+		seen := map[string]bool{}
+		for _, p := range out {
+			if seen[p.L] {
+				t.Fatalf("trial %d: duplicate left %q in majority output", trial, p.L)
+			}
+			seen[p.L] = true
+		}
+		if len(out) != len(lefts) {
+			t.Fatalf("trial %d: output covers %d lefts, want %d", trial, len(out), len(lefts))
+		}
+	}
+}

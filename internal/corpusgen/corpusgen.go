@@ -1,0 +1,708 @@
+// Package corpusgen fabricates synthetic table corpora that play the role
+// of the paper's 100M-table web corpus and 500K-table enterprise corpus
+// (DESIGN.md documents the substitution). The generator plants every
+// phenomenon the pipeline must exploit or survive:
+//
+//   - fragmentation: each relation is scattered over many small tables
+//   - synonyms: left entities appear under alternative surface forms
+//   - cell noise: footnote marks, case changes, stray punctuation
+//   - per-table errors: swapped right values (Figure 4 of the paper)
+//   - generic column headers shared across relations (defeats Union*)
+//   - confusable code systems with partial overlap (needs negative signal)
+//   - multi-column tables carrying sibling relations (yields cross-code
+//     candidates like ISO3→ISO2 organically)
+//   - incoherent columns (PMI filter target), spurious locally-functional
+//     tables, meaningless formatting tables, temporal snapshots
+//   - a high-quality Wikipedia domain (canonical names, no noise)
+//
+// Everything is deterministic from Options.Seed.
+package corpusgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mapsynth/internal/refdata"
+	"mapsynth/internal/relgen"
+	"mapsynth/internal/table"
+)
+
+// WikipediaDomain hosts the high-quality canonical tables used by the
+// WikiTable baseline.
+const WikipediaDomain = "en.wikipedia.org"
+
+// Options controls corpus generation.
+type Options struct {
+	// Seed drives all randomness; equal seeds give identical corpora.
+	Seed int64
+	// Scale multiplies per-relation table counts (default 1.0).
+	Scale float64
+	// SampleFraction keeps only this fraction of generated tables
+	// (deterministically shuffled first); 0 or >=1 keeps everything.
+	// Used by the scalability experiment (Figure 9).
+	SampleFraction float64
+}
+
+// Corpus bundles the generated tables with the ground-truth relations.
+type Corpus struct {
+	// Tables is the synthetic corpus.
+	Tables []*table.Table
+	// Benchmark holds the benchmark relations (80 web / 30 enterprise).
+	Benchmark []*refdata.Relation
+	// NonBenchmark holds temporal/meaningless relations present in the
+	// corpus but excluded from the benchmark.
+	NonBenchmark []*refdata.Relation
+	// Enterprise marks the corpus profile.
+	Enterprise bool
+}
+
+// AllRelations returns benchmark and non-benchmark relations together.
+func (c *Corpus) AllRelations() []*refdata.Relation {
+	out := append([]*refdata.Relation{}, c.Benchmark...)
+	return append(out, c.NonBenchmark...)
+}
+
+// confusionSiblings lists, per relation, the sibling relations whose right
+// values real sloppy web tables mix into the same column (Section 4.1 of
+// the paper: "one of the tables has mixed values from different mappings").
+// Mixed tables are the bridges that defeat positive-only grouping: they have
+// substantial positive compatibility with both systems, and only the
+// FD-induced negative signal keeps the systems apart.
+var confusionSiblings = map[string][]string{
+	"country-iso3":       {"country-ioc", "country-fifa"},
+	"country-ioc":        {"country-iso3", "country-fifa"},
+	"country-fifa":       {"country-iso3", "country-ioc"},
+	"country-iso2":       {"country-fips"},
+	"country-fips":       {"country-iso2"},
+	"state-capital":      {"state-largest-city"},
+	"state-largest-city": {"state-capital"},
+	"airport-iata":       {"airport-icao"},
+	"airport-icao":       {"airport-iata"},
+}
+
+// relProfile derives deterministic per-relation generation heterogeneity
+// from the relation name: different relations live in differently noisy
+// corners of the web, with different typical table sizes and error rates.
+// This heterogeneity is what defeats single-global-threshold baselines —
+// no one threshold suits both dense, clean relations and sparse, noisy ones.
+func relProfile(name string) (rowCap int, errRate, noiseRate float64) {
+	h := fnvHash(name)
+	rowCaps := []int{10, 12, 14, 16}
+	errs := []float64{0.05, 0.10, 0.15, 0.20}
+	noises := []float64{0.02, 0.04, 0.07}
+	return rowCaps[h%4], errs[(h/4)%4], noises[(h/16)%3]
+}
+
+func fnvHash(s string) uint32 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// relationFamilies groups relations that share left entities; multi-column
+// tables draw sibling columns from the same family, which is how cross-code
+// candidates (ISO3→ISO2, IATA→ICAO) arise in real corpora.
+var relationFamilies = [][]string{
+	{"country-iso3", "country-iso2", "country-isonum", "country-ioc",
+		"country-fifa", "country-fips", "country-tld", "country-calling",
+		"country-capital", "country-currency-code", "country-currency-name",
+		"country-continent", "country-marc"},
+	{"state-abbr", "state-capital", "state-largest-city", "state-fips"},
+	{"airport-iata", "airport-icao", "airport-city"},
+	{"amino-acid-3letter", "amino-acid-1letter"},
+	{"element-symbol", "element-number"},
+	{"company-ticker", "company-hq"},
+	{"month-number", "month-abbr"},
+	{"president-number", "president-party"},
+	{"movie-year", "movie-director"},
+}
+
+// GenerateWeb builds the web-profile corpus with its 80 benchmark
+// relations.
+func GenerateWeb(opt Options) *Corpus {
+	bench := refdata.CuratedWebRelations()
+	for _, p := range webFillPatterns() {
+		bench = append(bench, relgen.Generate(p, opt.Seed))
+	}
+	if len(bench) != refdata.WebBenchmarkSize {
+		panic(fmt.Sprintf("corpusgen: web benchmark has %d cases, want %d",
+			len(bench), refdata.WebBenchmarkSize))
+	}
+	nonBench := refdata.NonBenchmarkRelations()
+	g := newGenerator(opt, false)
+	g.generateRelationTables(bench)
+	g.generateRelationTables(nonBench)
+	g.generateSpuriousTables(15)
+	g.generateBackgroundTables(400)
+	return &Corpus{
+		Tables:       g.finish(),
+		Benchmark:    bench,
+		NonBenchmark: nonBench,
+	}
+}
+
+// GenerateEnterprise builds the enterprise-profile corpus with its 30
+// benchmark relations: file-share provenance, no Wikipedia, pivot-table
+// extraction noise (Section 5.5 of the paper).
+func GenerateEnterprise(opt Options) *Corpus {
+	var bench []*refdata.Relation
+	for _, p := range enterprisePatterns() {
+		bench = append(bench, relgen.Generate(p, opt.Seed))
+	}
+	if len(bench) != refdata.EnterpriseBenchmarkSize {
+		panic(fmt.Sprintf("corpusgen: enterprise benchmark has %d cases, want %d",
+			len(bench), refdata.EnterpriseBenchmarkSize))
+	}
+	g := newGenerator(opt, true)
+	g.generateRelationTables(bench)
+	g.generateBackgroundTables(40)
+	return &Corpus{
+		Tables:     g.finish(),
+		Benchmark:  bench,
+		Enterprise: true,
+	}
+}
+
+// generator carries generation state.
+type generator struct {
+	rng        *rand.Rand
+	opt        Options
+	enterprise bool
+	domains    []string
+	tables     []*table.Table
+	nextID     int
+	// rightHeader flags that header() is generating a right-column header.
+	rightHeader bool
+	// formCounter cycles an entity's surface forms across a relation's
+	// tables so every synonym appears somewhere in the corpus, mirroring
+	// how different real sites consistently use different mentions.
+	formCounter map[string]int
+	// family[left-canonical][relation-name] = right value, for sibling
+	// column lookup.
+	family map[string]map[string]string
+	// famOf[relation-name] = family index, -1 if none.
+	famOf map[string]int
+	// pools of values for background/incoherent columns.
+	leftPool, rightPool []string
+}
+
+func newGenerator(opt Options, enterprise bool) *generator {
+	if opt.Scale <= 0 {
+		opt.Scale = 1
+	}
+	g := &generator{
+		rng:         rand.New(rand.NewSource(opt.Seed)),
+		opt:         opt,
+		enterprise:  enterprise,
+		family:      make(map[string]map[string]string),
+		famOf:       make(map[string]int),
+		formCounter: make(map[string]int),
+	}
+	if enterprise {
+		for i := 0; i < 40; i++ {
+			g.domains = append(g.domains, fmt.Sprintf("corp-share-%02d", i))
+		}
+	} else {
+		for i := 0; i < 240; i++ {
+			g.domains = append(g.domains, fmt.Sprintf("www.site%03d.com", i))
+		}
+	}
+	for fi, fam := range relationFamilies {
+		for _, name := range fam {
+			g.famOf[name] = fi
+		}
+	}
+	return g
+}
+
+// tablesForPresence maps a presence level to a base table count.
+func tablesForPresence(p refdata.Presence) int {
+	switch p {
+	case refdata.PresenceRare:
+		return 5
+	case refdata.PresenceLow:
+		return 10
+	case refdata.PresenceMedium:
+		return 20
+	case refdata.PresenceHigh:
+		return 32
+	case refdata.PresenceVeryHigh:
+		return 48
+	default:
+		return 10
+	}
+}
+
+// domainsForPresence maps a presence level to a provenance-domain count.
+func domainsForPresence(p refdata.Presence) int {
+	switch p {
+	case refdata.PresenceRare:
+		return 2
+	case refdata.PresenceLow:
+		return 4
+	case refdata.PresenceMedium:
+		return 9
+	case refdata.PresenceHigh:
+		return 14
+	case refdata.PresenceVeryHigh:
+		return 20
+	default:
+		return 4
+	}
+}
+
+// generateRelationTables fabricates the tables for each relation and indexes
+// family sibling values.
+func (g *generator) generateRelationTables(rels []*refdata.Relation) {
+	// Index family values first so sibling columns can be attached.
+	for _, r := range rels {
+		if _, ok := g.famOf[r.Name]; !ok {
+			continue
+		}
+		for _, p := range r.Pairs {
+			m, ok := g.family[p.Left.Canonical]
+			if !ok {
+				m = make(map[string]string, 4)
+				g.family[p.Left.Canonical] = m
+			}
+			m[r.Name] = p.Right
+		}
+	}
+	for _, r := range rels {
+		g.collectPools(r)
+		nTables := int(math.Round(float64(tablesForPresence(r.Presence)) * g.opt.Scale))
+		if nTables < 1 {
+			nTables = 1
+		}
+		relDomains := g.pickDomains(domainsForPresence(r.Presence))
+		for t := 0; t < nTables; t++ {
+			g.emitRelationTable(r, relDomains)
+		}
+		if r.HasWikiTable && !g.enterprise {
+			g.emitWikipediaTable(r)
+		}
+	}
+}
+
+// collectPools gathers values for background and incoherent columns.
+func (g *generator) collectPools(r *refdata.Relation) {
+	for i, p := range r.Pairs {
+		if i >= 10 {
+			break
+		}
+		g.leftPool = append(g.leftPool, p.Left.Canonical)
+		g.rightPool = append(g.rightPool, p.Right)
+	}
+}
+
+// pickDomains selects n distinct domains for a relation.
+func (g *generator) pickDomains(n int) []string {
+	if n > len(g.domains) {
+		n = len(g.domains)
+	}
+	picked := make(map[int]struct{}, n)
+	out := make([]string, 0, n)
+	for len(out) < n {
+		i := g.rng.Intn(len(g.domains))
+		if _, dup := picked[i]; dup {
+			continue
+		}
+		picked[i] = struct{}{}
+		out = append(out, g.domains[i])
+	}
+	return out
+}
+
+// sampleRows picks k distinct pair indexes with popularity skew: early
+// entries of the relation are sampled more often, mimicking the head-heavy
+// coverage of real web tables.
+func (g *generator) sampleRows(r *refdata.Relation, k int) []int {
+	n := len(r.Pairs)
+	if k > n {
+		k = n
+	}
+	picked := make(map[int]struct{}, k)
+	out := make([]int, 0, k)
+	for len(out) < k {
+		idx := int(float64(n) * math.Pow(g.rng.Float64(), 1.3))
+		if idx >= n {
+			idx = n - 1
+		}
+		if _, dup := picked[idx]; dup {
+			continue
+		}
+		picked[idx] = struct{}{}
+		out = append(out, idx)
+	}
+	return out
+}
+
+// emitRelationTable fabricates one noisy table of relation r.
+func (g *generator) emitRelationTable(r *refdata.Relation, relDomains []string) {
+	rowCap, errRate, noiseRate := relProfile(r.Name)
+	maxRows := len(r.Pairs)
+	if maxRows > rowCap {
+		maxRows = rowCap
+	}
+	k := 4
+	if maxRows > 4 {
+		k = 4 + g.rng.Intn(maxRows-3)
+	} else {
+		k = maxRows
+	}
+	rows := g.sampleRows(r, k)
+
+	// Mixed-system tables: with some probability the table's right column
+	// blends this relation's values with a confusable sibling's (e.g. a
+	// country-code list that mixes ISO3 and IOC codes).
+	var mixWith string
+	if sibs := confusionSiblings[r.Name]; len(sibs) > 0 && g.rng.Float64() < 0.30 {
+		mixWith = sibs[g.rng.Intn(len(sibs))]
+	}
+
+	left := make([]string, 0, len(rows))
+	right := make([]string, 0, len(rows))
+	for _, idx := range rows {
+		p := r.Pairs[idx]
+		lv := g.entityForm(r.Name, &p.Left)
+		rv := p.Right
+		if mixWith != "" && g.rng.Float64() < 0.5 {
+			if m, ok := g.family[p.Left.Canonical]; ok {
+				if alt, ok2 := m[mixWith]; ok2 {
+					rv = alt
+				}
+			}
+		}
+		left = append(left, g.noisy(lv, noiseRate))
+		right = append(right, g.noisy(rv, noiseRate))
+	}
+	// Name-ambiguity noise for city→state (Definition 2 of the paper).
+	if r.Name == "uscity-state" && g.rng.Float64() < 0.25 {
+		amb := refdata.AmbiguousUSCityReadings()
+		a := amb[g.rng.Intn(len(amb))]
+		left = append(left, a[0])
+		right = append(right, a[1])
+	}
+	// Per-table quality errors: swap two right values (Figure 4).
+	if len(rows) >= 4 && g.rng.Float64() < errRate {
+		i, j := g.rng.Intn(len(right)), g.rng.Intn(len(right))
+		right[i], right[j] = right[j], right[i]
+	}
+	// Enterprise pivot-table noise: header fragments leak into cells.
+	if g.enterprise && g.rng.Float64() < 0.06 {
+		pos := g.rng.Intn(len(left))
+		left[pos] = []string{"Grand Total", "Row Labels", "Sum of Amount"}[g.rng.Intn(3)]
+	}
+
+	cols := []table.Column{
+		{Name: g.headerFor(r.GenericLeft, r.LeftLabel, false), Values: left},
+		{Name: g.headerFor(r.GenericRight, r.RightLabel, true), Values: right},
+	}
+	// Multi-column assembly.
+	if g.rng.Float64() < 0.35 {
+		cols = append(cols, g.extraColumns(r, rows)...)
+	}
+	g.emit(&table.Table{
+		Domain:  relDomains[g.rng.Intn(len(relDomains))],
+		Title:   "List of " + r.LeftLabel + " and " + r.RightLabel,
+		Columns: cols,
+	})
+}
+
+// extraColumns attaches up to two additional columns: a sibling relation's
+// right column (same family), a numeric column, or an incoherent notes
+// column.
+func (g *generator) extraColumns(r *refdata.Relation, rows []int) []table.Column {
+	var cols []table.Column
+	if _, inFam := g.famOf[r.Name]; inFam && g.rng.Float64() < 0.6 {
+		if sib := g.siblingColumn(r, rows); sib != nil {
+			cols = append(cols, *sib)
+		}
+	}
+	if g.rng.Float64() < 0.5 {
+		vals := make([]string, len(rows))
+		if g.rng.Float64() < 0.5 {
+			for i := range vals {
+				vals[i] = fmt.Sprintf("%d", i+1)
+			}
+			cols = append(cols, table.Column{Name: "rank", Values: vals})
+		} else {
+			for i := range vals {
+				vals[i] = fmt.Sprintf("%.2f", g.rng.Float64()*1000)
+			}
+			cols = append(cols, table.Column{Name: "value", Values: vals})
+		}
+	}
+	if g.rng.Float64() < 0.25 && len(g.leftPool) > 10 && len(g.rightPool) > 10 {
+		vals := make([]string, len(rows))
+		for i := range vals {
+			// Mixed concepts: the PMI coherence filter's target.
+			switch g.rng.Intn(3) {
+			case 0:
+				vals[i] = g.leftPool[g.rng.Intn(len(g.leftPool))]
+			case 1:
+				vals[i] = g.rightPool[g.rng.Intn(len(g.rightPool))]
+			default:
+				vals[i] = fmt.Sprintf("%d Lombardi Ave", 100+g.rng.Intn(9000))
+			}
+		}
+		cols = append(cols, table.Column{Name: "location", Values: vals})
+	}
+	return cols
+}
+
+// siblingColumn builds a third column from a sibling relation of r's family
+// for the sampled left entities.
+func (g *generator) siblingColumn(r *refdata.Relation, rows []int) *table.Column {
+	fi := g.famOf[r.Name]
+	fam := relationFamilies[fi]
+	// Deterministically pick a sibling with data for these lefts.
+	var sibName string
+	for tries := 0; tries < 4; tries++ {
+		cand := fam[g.rng.Intn(len(fam))]
+		if cand != r.Name {
+			sibName = cand
+			break
+		}
+	}
+	if sibName == "" {
+		return nil
+	}
+	vals := make([]string, len(rows))
+	found := 0
+	for i, idx := range rows {
+		l := r.Pairs[idx].Left.Canonical
+		if m, ok := g.family[l]; ok {
+			if v, ok2 := m[sibName]; ok2 {
+				vals[i] = v
+				found++
+				continue
+			}
+		}
+		vals[i] = ""
+	}
+	if found < len(rows) {
+		return nil // sibling lacks coverage; skip rather than emit holes
+	}
+	return &table.Column{Name: g.headerFor(codeHeadersFor(sibName), sibName, true), Values: vals}
+}
+
+// codeHeadersFor guesses a generic header pool for a sibling column.
+func codeHeadersFor(relName string) []string {
+	return []string{"code", "abbr", relName}
+}
+
+// emitWikipediaTable fabricates the single high-coverage canonical table of
+// a relation: descriptive headers, ~90% coverage, no noise or errors.
+func (g *generator) emitWikipediaTable(r *refdata.Relation) {
+	var left, right []string
+	for _, p := range r.Pairs {
+		if g.rng.Float64() < 0.10 {
+			continue
+		}
+		left = append(left, p.Left.Canonical)
+		right = append(right, p.Right)
+	}
+	g.emit(&table.Table{
+		Domain: WikipediaDomain,
+		Title:  "Comparison of " + r.LeftLabel + " and " + r.RightLabel,
+		Columns: []table.Column{
+			{Name: r.LeftLabel, Values: left},
+			{Name: r.RightLabel, Values: right},
+		},
+	})
+}
+
+// generateSpuriousTables fabricates schedule-like tables whose column pairs
+// are locally functional but conceptually meaningless (departure-airport →
+// arrival-airport). Each table uses a fresh random pairing, so tables
+// conflict with one another and never accumulate into popular clusters.
+func (g *generator) generateSpuriousTables(n int) {
+	names := make([]string, 0, 40)
+	for _, p := range refdata.AirportExpansionPairs() {
+		names = append(names, p[0])
+	}
+	for t := 0; t < n; t++ {
+		k := 8 + g.rng.Intn(8)
+		if k > len(names) {
+			k = len(names)
+		}
+		dep := make([]string, 0, k)
+		perm := g.rng.Perm(len(names))
+		for _, i := range perm[:k] {
+			dep = append(dep, names[i])
+		}
+		arr := make([]string, k)
+		perm2 := g.rng.Perm(k)
+		for i, j := range perm2 {
+			arr[i] = dep[j]
+		}
+		g.emit(&table.Table{
+			Domain: g.domains[g.rng.Intn(len(g.domains))],
+			Title:  "Flight schedule",
+			Columns: []table.Column{
+				{Name: "departure", Values: dep},
+				{Name: "arrival", Values: arr},
+			},
+		})
+	}
+}
+
+// generateBackgroundTables fabricates filler tables whose column pairs are
+// not functional (duplicate lefts with differing rights), so the FD filter
+// prunes them; they still feed corpus statistics. Half their vocabulary is
+// junk strings so they do not inflate the document frequencies of real
+// entity names too much.
+func (g *generator) generateBackgroundTables(n int) {
+	if len(g.leftPool) < 20 || len(g.rightPool) < 20 {
+		return
+	}
+	junk := make([]string, 400)
+	for i := range junk {
+		junk[i] = fmt.Sprintf("item %c%c%03d", 'a'+g.rng.Intn(26), 'a'+g.rng.Intn(26), g.rng.Intn(1000))
+	}
+	pick := func(pool []string) string {
+		if g.rng.Float64() < 0.5 {
+			return junk[g.rng.Intn(len(junk))]
+		}
+		return pool[g.rng.Intn(len(pool))]
+	}
+	for t := 0; t < n; t++ {
+		k := 6 + g.rng.Intn(10)
+		left := make([]string, k)
+		right := make([]string, k)
+		for i := 0; i < k; i++ {
+			left[i] = pick(g.leftPool)
+			right[i] = pick(g.rightPool)
+		}
+		// Force FD violations: duplicate a left value with a new right.
+		if k >= 4 {
+			left[k-1] = left[0]
+			left[k-2] = left[1]
+		}
+		g.emit(&table.Table{
+			Domain: g.domains[g.rng.Intn(len(g.domains))],
+			Title:  "Miscellaneous data",
+			Columns: []table.Column{
+				{Name: "name", Values: left},
+				{Name: "value", Values: right},
+			},
+		})
+	}
+}
+
+// entityForm picks the surface form of an entity for one table row:
+// alternating the canonical form with the entity's synonyms in a
+// deterministic cycle per (relation, entity). The canonical form gets every
+// other slot, so it stays the most common mention while all synonyms
+// eventually surface in the corpus.
+func (g *generator) entityForm(relName string, e *refdata.Entity) string {
+	if len(e.Synonyms) == 0 {
+		return e.Canonical
+	}
+	key := relName + "\x1f" + e.Canonical
+	c := g.formCounter[key]
+	g.formCounter[key] = c + 1
+	if c%2 == 0 {
+		return e.Canonical
+	}
+	return e.Synonyms[(c/2)%len(e.Synonyms)]
+}
+
+// universalLeft / universalRight are the undescriptive headers real web
+// tables overwhelmingly use ("the column name for countries are often just
+// name, and the column name for country-codes may be code" — Section 1).
+// Their heavy reuse across relations is what makes header-based grouping
+// over-merge.
+var (
+	universalLeft  = []string{"name", "item"}
+	universalRight = []string{"code", "value"}
+)
+
+// header picks a column header: mostly an undescriptive universal header,
+// sometimes the relation's generic pool, occasionally the descriptive label.
+func (g *generator) header(pool []string, label string) string {
+	roll := g.rng.Float64()
+	switch {
+	case roll < 0.45:
+		u := universalLeft
+		if g.rightHeader {
+			u = universalRight
+		}
+		return u[g.rng.Intn(len(u))]
+	case roll < 0.8 && len(pool) > 0:
+		return pool[g.rng.Intn(len(pool))]
+	default:
+		return label
+	}
+}
+
+// headerSide tracks which side header() is generating for.
+func (g *generator) headerFor(pool []string, label string, right bool) string {
+	g.rightHeader = right
+	h := g.header(pool, label)
+	g.rightHeader = false
+	return h
+}
+
+// noisy applies cell-level noise with the given probability: footnote
+// marks, case changes, padding — the variation approximate matching must
+// absorb.
+func (g *generator) noisy(v string, rate float64) string {
+	if g.rng.Float64() >= rate {
+		return v
+	}
+	switch g.rng.Intn(4) {
+	case 0:
+		return v + fmt.Sprintf("[%d]", 1+g.rng.Intn(3))
+	case 1:
+		return upper(v)
+	case 2:
+		return v + "."
+	default:
+		return " " + v + " "
+	}
+}
+
+func upper(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'a' && c <= 'z' {
+			b[i] = c - 'a' + 'A'
+		}
+	}
+	return string(b)
+}
+
+// emit appends a table, assigning its ID.
+func (g *generator) emit(t *table.Table) {
+	t.ID = g.nextID
+	g.nextID++
+	g.tables = append(g.tables, t)
+}
+
+// finish applies sampling and returns the corpus tables.
+func (g *generator) finish() []*table.Table {
+	tables := g.tables
+	if g.opt.SampleFraction > 0 && g.opt.SampleFraction < 1 {
+		perm := g.rng.Perm(len(tables))
+		keep := int(float64(len(tables)) * g.opt.SampleFraction)
+		if keep < 1 {
+			keep = 1
+		}
+		sampled := make([]*table.Table, 0, keep)
+		for _, i := range perm[:keep] {
+			sampled = append(sampled, tables[i])
+		}
+		// Reassign IDs densely for downstream determinism.
+		for i, t := range sampled {
+			t.ID = i
+		}
+		tables = sampled
+	}
+	return tables
+}

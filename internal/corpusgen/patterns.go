@@ -1,0 +1,162 @@
+package corpusgen
+
+import (
+	"mapsynth/internal/refdata"
+	"mapsynth/internal/relgen"
+)
+
+// webFillPatterns generates the synthetic relations that fill the web
+// benchmark to 80 cases, standing in for Bing-query-log cases we cannot
+// obtain (DESIGN.md substitution table). Shapes and cardinalities mirror the
+// examples the paper shows in Figures 5, 12 and 13.
+func webFillPatterns() []relgen.Pattern {
+	countries := []string{
+		"United States", "Japan", "Germany", "France", "Italy", "Spain",
+		"Brazil", "India", "China", "Australia", "Canada", "Mexico",
+	}
+	ukCountries := []string{"England", "Scotland", "Wales", "Northern Ireland"}
+	indianStates := []string{
+		"Gujarat", "Madhya Pradesh", "Maharashtra", "Tamil Nadu", "Kerala",
+		"Karnataka", "Rajasthan", "Punjab", "West Bengal", "Bihar",
+		"Uttar Pradesh", "Assam",
+	}
+	makers := []string{"Hodgdon", "Alliant", "Accurate", "Vihtavuori", "IMR", "Winchester", "Ramshot", "Norma"}
+	return []relgen.Pattern{
+		{Name: "pokemon-category", LeftLabel: "pokemon", RightLabel: "category", N: 60,
+			LeftStyle: relgen.StyleWords, RightStyle: relgen.StyleWords,
+			SynonymRate: 0.1, Presence: refdata.PresenceMedium},
+		{Name: "gunpowder-company", LeftLabel: "powder", RightLabel: "company", N: 40,
+			LeftStyle: relgen.StyleCode, RightChoices: makers,
+			Presence: refdata.PresenceLow},
+		{Name: "railway-station-state", LeftLabel: "station", RightLabel: "state", N: 50,
+			LeftStyle: relgen.StyleWords, RightChoices: indianStates,
+			SynonymRate: 0.1, Presence: refdata.PresenceMedium},
+		{Name: "uk-county-country", LeftLabel: "county", RightLabel: "country", N: 30,
+			LeftStyle: relgen.StyleWords, RightChoices: ukCountries,
+			Presence: refdata.PresenceMedium},
+		{Name: "odbc-config-default", LeftLabel: "configuration", RightLabel: "default value", N: 30,
+			LeftStyle: relgen.StyleDotted, RightChoices: []string{"on", "off", "no value", "empty string", "auto", "1", "0"},
+			Presence: refdata.PresenceLow},
+		{Name: "starship-class", LeftLabel: "starship", RightLabel: "class", N: 40,
+			LeftStyle: relgen.StyleWords, RightStyle: relgen.StyleWords,
+			SynonymRate: 0.15, Presence: refdata.PresenceLow},
+		{Name: "mineral-hardness", LeftLabel: "mineral", RightLabel: "hardness", N: 30,
+			LeftStyle: relgen.StyleWords, RightChoices: []string{"1", "2", "3", "4", "5", "6", "7", "8", "9", "10"},
+			Presence: refdata.PresenceLow, InFreebase: true},
+		{Name: "font-designer", LeftLabel: "font", RightLabel: "designer", N: 30,
+			LeftStyle: relgen.StyleWords, RightStyle: relgen.StyleWords,
+			Presence: refdata.PresenceLow},
+		{Name: "sdk-version", LeftLabel: "sdk", RightLabel: "version", N: 35,
+			LeftStyle: relgen.StyleDotted, RightStyle: relgen.StyleCode,
+			Presence: refdata.PresenceLow},
+		{Name: "error-code-message", LeftLabel: "error code", RightLabel: "message", N: 40,
+			LeftStyle: relgen.StyleCode, RightStyle: relgen.StyleWords,
+			Presence: refdata.PresenceMedium},
+		{Name: "hero-alterego", LeftLabel: "hero", RightLabel: "alter ego", N: 40,
+			LeftStyle: relgen.StyleWords, RightStyle: relgen.StyleWords,
+			SynonymRate: 0.2, Presence: refdata.PresenceMedium, InFreebase: true},
+		{Name: "cocktail-spirit", LeftLabel: "cocktail", RightLabel: "spirit", N: 35,
+			LeftStyle: relgen.StyleWords, RightChoices: []string{"Vodka", "Gin", "Rum", "Tequila", "Whiskey", "Brandy"},
+			Presence: refdata.PresenceMedium},
+		{Name: "dance-origin", LeftLabel: "dance", RightLabel: "origin", N: 30,
+			LeftStyle: relgen.StyleWords, RightChoices: countries,
+			Presence: refdata.PresenceLow, InFreebase: true},
+		{Name: "fabric-fiber", LeftLabel: "fabric", RightLabel: "fiber", N: 30,
+			LeftStyle: relgen.StyleWords, RightChoices: []string{"Cotton", "Wool", "Silk", "Linen", "Polyester", "Nylon"},
+			Presence: refdata.PresenceLow},
+		{Name: "cheese-country", LeftLabel: "cheese", RightLabel: "country", N: 35,
+			LeftStyle: relgen.StyleWords, RightChoices: countries,
+			Presence: refdata.PresenceMedium, InFreebase: true, InYAGO: true},
+		{Name: "grape-region", LeftLabel: "grape", RightLabel: "region", N: 35,
+			LeftStyle: relgen.StyleWords, RightStyle: relgen.StyleWords,
+			Presence: refdata.PresenceLow},
+		{Name: "telescope-location", LeftLabel: "telescope", RightLabel: "location", N: 25,
+			LeftStyle: relgen.StyleWords, RightStyle: relgen.StyleWords,
+			Presence: refdata.PresenceRare, InFreebase: true},
+		{Name: "satellite-operator", LeftLabel: "satellite", RightLabel: "operator", N: 30,
+			LeftStyle: relgen.StyleCode, RightStyle: relgen.StyleWords,
+			Presence: refdata.PresenceLow},
+		{Name: "enzyme-substrate", LeftLabel: "enzyme", RightLabel: "substrate", N: 30,
+			LeftStyle: relgen.StyleWords, RightStyle: relgen.StyleWords,
+			Presence: refdata.PresenceRare, InFreebase: true},
+		{Name: "protocol-port", LeftLabel: "protocol", RightLabel: "port", N: 35,
+			LeftStyle: relgen.StyleDotted, RightStyle: relgen.StylePort,
+			Presence: refdata.PresenceMedium},
+		{Name: "shipclass-navy", LeftLabel: "ship class", RightLabel: "navy", N: 30,
+			LeftStyle: relgen.StyleWords, RightChoices: countries,
+			Presence: refdata.PresenceLow},
+	}
+}
+
+// enterprisePatterns generates the 30 enterprise benchmark relations
+// (Figure 11 of the paper shows the real counterparts: product-family codes,
+// profit centers, ATUs, data centers).
+func enterprisePatterns() []relgen.Pattern {
+	regions := []string{"APAC", "EMEA", "AMER", "LATAM"}
+	countries := []string{"United States", "Germany", "Japan", "Australia", "Brazil", "India", "Ireland", "Singapore"}
+	verticals := []string{"Hospitality", "Professional Services", "Manufacturing", "Retail", "Healthcare", "Public Sector"}
+	tiers := []string{"Tier 0", "Tier 1", "Tier 2", "Tier 3"}
+	ps := []relgen.Pattern{
+		{Name: "product-family-code", LeftLabel: "product family", RightLabel: "code", N: 45,
+			LeftStyle: relgen.StyleWords, RightStyle: relgen.StyleAlpha, Presence: refdata.PresenceHigh},
+		{Name: "profit-center-code", LeftLabel: "profit center", RightLabel: "name", N: 50,
+			LeftStyle: relgen.StyleNumericID, RightStyle: relgen.StyleCompound, Presence: refdata.PresenceHigh},
+		{Name: "industry-vertical", LeftLabel: "industry", RightLabel: "vertical", N: 40,
+			LeftStyle: relgen.StyleWords, RightChoices: verticals, Presence: refdata.PresenceHigh},
+		{Name: "atu-country", LeftLabel: "atu", RightLabel: "country", N: 45,
+			LeftStyle: relgen.StyleHierarchy, RightChoices: countries, Presence: refdata.PresenceMedium},
+		{Name: "datacenter-region", LeftLabel: "data center", RightLabel: "region", N: 30,
+			LeftStyle: relgen.StyleWords, RightChoices: regions, Presence: refdata.PresenceHigh},
+		{Name: "cost-center-code", LeftLabel: "cost center", RightLabel: "code", N: 50,
+			LeftStyle: relgen.StyleWords, RightStyle: relgen.StyleNumericID, Presence: refdata.PresenceHigh},
+		{Name: "employee-alias", LeftLabel: "employee", RightLabel: "alias", N: 60,
+			LeftStyle: relgen.StyleWords, RightStyle: relgen.StyleAlpha, Presence: refdata.PresenceMedium},
+		{Name: "building-campus", LeftLabel: "building", RightLabel: "campus", N: 35,
+			LeftStyle: relgen.StyleCode, RightChoices: []string{"Redmond", "Dublin", "Hyderabad", "Singapore City"}, Presence: refdata.PresenceMedium},
+		{Name: "team-org", LeftLabel: "team", RightLabel: "organization", N: 40,
+			LeftStyle: relgen.StyleWords, RightChoices: []string{"Cloud", "Devices", "Productivity", "Security", "Data"}, Presence: refdata.PresenceMedium},
+		{Name: "sku-product", LeftLabel: "sku", RightLabel: "product", N: 50,
+			LeftStyle: relgen.StyleCode, RightStyle: relgen.StyleWords, Presence: refdata.PresenceHigh},
+		{Name: "server-cluster", LeftLabel: "server", RightLabel: "cluster", N: 45,
+			LeftStyle: relgen.StyleCode, RightChoices: []string{"CL01", "CL02", "CL03", "CL04", "CL05"}, Presence: refdata.PresenceMedium},
+		{Name: "service-tier", LeftLabel: "service", RightLabel: "tier", N: 40,
+			LeftStyle: relgen.StyleDotted, RightChoices: tiers, Presence: refdata.PresenceMedium},
+		{Name: "region-code", LeftLabel: "region", RightLabel: "code", N: 25,
+			LeftStyle: relgen.StyleWords, RightStyle: relgen.StyleAlpha, Presence: refdata.PresenceMedium},
+		{Name: "subsidiary-country", LeftLabel: "subsidiary", RightLabel: "country", N: 35,
+			LeftStyle: relgen.StyleWords, RightChoices: countries, Presence: refdata.PresenceMedium},
+		{Name: "department-head", LeftLabel: "department", RightLabel: "head", N: 30,
+			LeftStyle: relgen.StyleWords, RightStyle: relgen.StyleWords, Presence: refdata.PresenceMedium},
+		{Name: "project-codename", LeftLabel: "project", RightLabel: "codename", N: 40,
+			LeftStyle: relgen.StyleWords, RightStyle: relgen.StyleWords, SynonymRate: 0.1, Presence: refdata.PresenceMedium},
+		{Name: "milestone-release", LeftLabel: "milestone", RightLabel: "release", N: 30,
+			LeftStyle: relgen.StyleCode, RightStyle: relgen.StyleCode, Presence: refdata.PresenceLow},
+		{Name: "license-type", LeftLabel: "license", RightLabel: "type", N: 30,
+			LeftStyle: relgen.StyleCode, RightChoices: []string{"Perpetual", "Subscription", "Trial", "OEM"}, Presence: refdata.PresenceMedium},
+		{Name: "vendor-id", LeftLabel: "vendor", RightLabel: "id", N: 40,
+			LeftStyle: relgen.StyleWords, RightStyle: relgen.StyleNumericID, Presence: refdata.PresenceMedium},
+		{Name: "feature-flag-default", LeftLabel: "feature flag", RightLabel: "default", N: 35,
+			LeftStyle: relgen.StyleDotted, RightChoices: []string{"on", "off", "staged"}, Presence: refdata.PresenceLow},
+		{Name: "locale-langcode", LeftLabel: "locale", RightLabel: "language code", N: 30,
+			LeftStyle: relgen.StyleWords, RightStyle: relgen.StyleCode, Presence: refdata.PresenceMedium},
+		{Name: "division-vp", LeftLabel: "division", RightLabel: "vp", N: 25,
+			LeftStyle: relgen.StyleWords, RightStyle: relgen.StyleWords, Presence: refdata.PresenceLow},
+		{Name: "warehouse-city", LeftLabel: "warehouse", RightLabel: "city", N: 30,
+			LeftStyle: relgen.StyleCode, RightStyle: relgen.StyleWords, Presence: refdata.PresenceMedium},
+		{Name: "app-owner", LeftLabel: "application", RightLabel: "owner", N: 40,
+			LeftStyle: relgen.StyleWords, RightStyle: relgen.StyleWords, Presence: refdata.PresenceMedium},
+		{Name: "queue-priority", LeftLabel: "queue", RightLabel: "priority", N: 30,
+			LeftStyle: relgen.StyleDotted, RightChoices: []string{"P0", "P1", "P2", "P3"}, Presence: refdata.PresenceLow},
+		{Name: "env-url", LeftLabel: "environment", RightLabel: "url", N: 25,
+			LeftStyle: relgen.StyleWords, RightStyle: relgen.StyleDotted, Presence: refdata.PresenceLow},
+		{Name: "repo-language", LeftLabel: "repository", RightLabel: "language", N: 40,
+			LeftStyle: relgen.StyleDotted, RightChoices: []string{"Go", "C#", "TypeScript", "Python", "Rust", "Java"}, Presence: refdata.PresenceMedium},
+		{Name: "alias-email", LeftLabel: "alias", RightLabel: "email", N: 45,
+			LeftStyle: relgen.StyleAlpha, RightStyle: relgen.StyleDotted, Presence: refdata.PresenceMedium},
+		{Name: "badge-level", LeftLabel: "badge", RightLabel: "level", N: 25,
+			LeftStyle: relgen.StyleCode, RightChoices: []string{"Blue", "Silver", "Gold", "Platinum"}, Presence: refdata.PresenceLow},
+		{Name: "org-costgroup", LeftLabel: "organization", RightLabel: "cost group", N: 30,
+			LeftStyle: relgen.StyleWords, RightChoices: []string{"CG-100", "CG-200", "CG-300", "CG-400", "CG-500"}, Presence: refdata.PresenceMedium},
+	}
+	return ps
+}

@@ -1,0 +1,103 @@
+package corpusio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mapsynth/internal/mapping"
+	"mapsynth/internal/table"
+)
+
+func TestTablesJSONRoundTrip(t *testing.T) {
+	in := []*table.Table{
+		{ID: 99, Domain: "a.com", Title: "List of things", Columns: []table.Column{
+			{Name: "country", Values: []string{"Japan", "Peru"}},
+			{Name: "code", Values: []string{"JPN", "PER"}},
+		}},
+		{ID: 7, Domain: "b.com", Columns: []table.Column{
+			{Name: "x", Values: []string{"with\ttab", "with\nnewline"}},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := WriteTablesJSON(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadTablesJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("tables = %d", len(out))
+	}
+	// IDs reassigned densely.
+	if out[0].ID != 0 || out[1].ID != 1 {
+		t.Errorf("IDs = %d, %d", out[0].ID, out[1].ID)
+	}
+	if out[0].Domain != "a.com" || out[0].Columns[1].Values[0] != "JPN" {
+		t.Errorf("content lost: %+v", out[0])
+	}
+	if out[1].Columns[0].Values[1] != "with\nnewline" {
+		t.Errorf("JSON should preserve control characters: %q", out[1].Columns[0].Values[1])
+	}
+}
+
+func TestReadTablesJSONErrors(t *testing.T) {
+	if _, err := ReadTablesJSON(strings.NewReader("{not json")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	if _, err := ReadTablesJSON(strings.NewReader("[null]")); err == nil {
+		t.Error("null table accepted")
+	}
+}
+
+func mappingOf(id int, pairs [][2]string) *mapping.Mapping {
+	ls := make([]string, len(pairs))
+	rs := make([]string, len(pairs))
+	for i, p := range pairs {
+		ls[i] = p[0]
+		rs[i] = p[1]
+	}
+	b := table.NewBinaryTable(id, id, "d", "l", "r", ls, rs)
+	return mapping.Build(id, []*table.BinaryTable{b})
+}
+
+func TestMappingsTSVRoundTrip(t *testing.T) {
+	ms := []*mapping.Mapping{
+		mappingOf(0, [][2]string{{"Japan", "JPN"}, {"Peru", "PER"}}),
+		mappingOf(1, [][2]string{{"value\twith tab", "X"}}),
+	}
+	var buf bytes.Buffer
+	if err := WriteMappingsTSV(&buf, ms); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ReadMappingPairsTSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := MappingIDs(parsed)
+	if len(ids) != 2 || ids[0] != 0 || ids[1] != 1 {
+		t.Fatalf("ids = %v", ids)
+	}
+	if len(parsed[0]) != 2 {
+		t.Errorf("mapping 0 pairs = %v", parsed[0])
+	}
+	// Tab inside a value was flattened to a space, keeping TSV parseable.
+	if parsed[1][0].L != "value with tab" {
+		t.Errorf("escaped field = %q", parsed[1][0].L)
+	}
+}
+
+func TestReadMappingPairsTSVErrors(t *testing.T) {
+	if _, err := ReadMappingPairsTSV(strings.NewReader("a\tb\n")); err == nil {
+		t.Error("short row accepted")
+	}
+	if _, err := ReadMappingPairsTSV(strings.NewReader("xx\tl\tr\n")); err == nil {
+		t.Error("non-integer id accepted")
+	}
+	// Blank lines and header are tolerated.
+	got, err := ReadMappingPairsTSV(strings.NewReader("mapping_id\tleft\tright\n\n3\ta\tb\n"))
+	if err != nil || len(got[3]) != 1 {
+		t.Errorf("got %v, err %v", got, err)
+	}
+}

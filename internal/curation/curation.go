@@ -1,0 +1,151 @@
+// Package curation supports the human-curation workflow of Section 4.3 of
+// the paper: synthesized mappings carry popularity statistics (#tables,
+// #domains) that correlate with importance, so a curator reviews only the
+// popular clusters instead of millions of raw tables. This package ranks,
+// filters and classifies synthesized mappings and prepares review reports.
+package curation
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"mapsynth/internal/mapping"
+	"mapsynth/internal/textnorm"
+)
+
+// Rank orders mappings by descending popularity: distinct domains first
+// (the paper's primary signal), then contributing tables, then size, then
+// ascending ID for determinism. The input slice is not modified.
+func Rank(ms []*mapping.Mapping) []*mapping.Mapping {
+	out := append([]*mapping.Mapping(nil), ms...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].NumDomains() != out[j].NumDomains() {
+			return out[i].NumDomains() > out[j].NumDomains()
+		}
+		if out[i].NumTables() != out[j].NumTables() {
+			return out[i].NumTables() > out[j].NumTables()
+		}
+		if out[i].Size() != out[j].Size() {
+			return out[i].Size() > out[j].Size()
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Filter keeps mappings meeting all minimums. The paper's web pipeline kept
+// ~60K mappings from >= 8 independent domains — "orders of magnitude less
+// than the number of input tables".
+func Filter(ms []*mapping.Mapping, minDomains, minTables, minPairs int) []*mapping.Mapping {
+	var out []*mapping.Mapping
+	for _, m := range ms {
+		if m.NumDomains() >= minDomains && m.NumTables() >= minTables && m.Size() >= minPairs {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// ValueKind is a coarse classification of a mapping's right column used by
+// the paper's "additional filtering ... to further prune out numeric and
+// temporal relationships".
+type ValueKind int
+
+const (
+	// KindGeneral covers ordinary textual mappings.
+	KindGeneral ValueKind = iota
+	// KindNumericRight marks mappings whose right values are dominated by
+	// numbers (measurements, rankings, years) — temporal/statistical
+	// suspects for a curator.
+	KindNumericRight
+	// KindCodeRight marks short-code right columns (abbreviations, IDs).
+	KindCodeRight
+)
+
+// String names the kind.
+func (k ValueKind) String() string {
+	switch k {
+	case KindNumericRight:
+		return "numeric-right"
+	case KindCodeRight:
+		return "code-right"
+	default:
+		return "general"
+	}
+}
+
+// Classify inspects a mapping's right values.
+func Classify(m *mapping.Mapping) ValueKind {
+	numeric, code, total := 0, 0, 0
+	for _, p := range m.Pairs {
+		nv := textnorm.Normalize(p.R)
+		if nv == "" {
+			continue
+		}
+		total++
+		digits, letters := 0, 0
+		for _, r := range nv {
+			switch {
+			case r >= '0' && r <= '9':
+				digits++
+			case r != ' ':
+				letters++
+			}
+		}
+		switch {
+		case digits > 0 && letters == 0:
+			numeric++
+		case len(nv) <= 4 && letters > 0:
+			code++
+		}
+	}
+	if total == 0 {
+		return KindGeneral
+	}
+	switch {
+	case numeric*10 >= total*8:
+		return KindNumericRight
+	case code*10 >= total*8:
+		return KindCodeRight
+	default:
+		return KindGeneral
+	}
+}
+
+// Report writes a human-readable curation report of the top mappings: rank,
+// popularity statistics, classification, direction and example pairs. This
+// is the artifact a curator reviews before promoting mappings to production
+// (the paper's knowledge-base analogy).
+func Report(w io.Writer, ms []*mapping.Mapping, top int) error {
+	ranked := Rank(ms)
+	if top > len(ranked) {
+		top = len(ranked)
+	}
+	if _, err := fmt.Fprintf(w, "rank\tpairs\ttables\tdomains\tkind\tdirection\texamples\n"); err != nil {
+		return err
+	}
+	for i := 0; i < top; i++ {
+		m := ranked[i]
+		ds := m.Directions()
+		dir := "N:1"
+		if ds.RightToLeft > 0.95 {
+			dir = "1:1"
+		}
+		examples := ""
+		for j, p := range m.Pairs {
+			if j >= 2 {
+				break
+			}
+			if j > 0 {
+				examples += "; "
+			}
+			examples += fmt.Sprintf("%s -> %s", p.L, p.R)
+		}
+		if _, err := fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%s\t%s\t%s\n",
+			i+1, m.Size(), m.NumTables(), m.NumDomains(), Classify(m), dir, examples); err != nil {
+			return err
+		}
+	}
+	return nil
+}

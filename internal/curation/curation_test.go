@@ -1,0 +1,89 @@
+package curation
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mapsynth/internal/mapping"
+	"mapsynth/internal/table"
+)
+
+func mk(id int, domains []string, pairs [][2]string) *mapping.Mapping {
+	var bins []*table.BinaryTable
+	for bi, d := range domains {
+		ls := make([]string, len(pairs))
+		rs := make([]string, len(pairs))
+		for i, p := range pairs {
+			ls[i] = p[0]
+			rs[i] = p[1]
+		}
+		bins = append(bins, table.NewBinaryTable(id*10+bi, id*10+bi, d, "l", "r", ls, rs))
+	}
+	return mapping.Build(id, bins)
+}
+
+func TestRankByPopularity(t *testing.T) {
+	popular := mk(0, []string{"a", "b", "c"}, [][2]string{{"x", "1"}})
+	niche := mk(1, []string{"a"}, [][2]string{{"x", "1"}, {"y", "2"}})
+	ranked := Rank([]*mapping.Mapping{niche, popular})
+	if ranked[0].ID != 0 {
+		t.Errorf("popular mapping should rank first: %v", ranked[0])
+	}
+	// Input order preserved.
+	if niche.ID != 1 {
+		t.Error("input mutated")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	big := mk(0, []string{"a", "b", "c"}, [][2]string{{"x", "1"}, {"y", "2"}, {"z", "3"}, {"w", "4"}})
+	small := mk(1, []string{"a"}, [][2]string{{"x", "1"}})
+	kept := Filter([]*mapping.Mapping{big, small}, 2, 2, 4)
+	if len(kept) != 1 || kept[0].ID != 0 {
+		t.Errorf("Filter = %v", kept)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	numeric := mk(0, []string{"a"}, [][2]string{{"a", "1"}, {"b", "22"}, {"c", "333"}})
+	if Classify(numeric) != KindNumericRight {
+		t.Errorf("numeric mapping classified as %v", Classify(numeric))
+	}
+	code := mk(1, []string{"a"}, [][2]string{{"Japan", "JPN"}, {"Peru", "PER"}, {"Kenya", "KEN"}})
+	if Classify(code) != KindCodeRight {
+		t.Errorf("code mapping classified as %v", Classify(code))
+	}
+	general := mk(2, []string{"a"}, [][2]string{{"Chicago", "Illinois"}, {"Houston", "Texas"}})
+	if Classify(general) != KindGeneral {
+		t.Errorf("general mapping classified as %v", Classify(general))
+	}
+}
+
+func TestReport(t *testing.T) {
+	ms := []*mapping.Mapping{
+		mk(0, []string{"a", "b"}, [][2]string{{"Japan", "JPN"}, {"Peru", "PER"}}),
+		mk(1, []string{"a"}, [][2]string{{"Mustang", "Ford"}, {"F-150", "Ford"}}),
+	}
+	var buf bytes.Buffer
+	if err := Report(&buf, ms, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 { // header + 2 mappings
+		t.Fatalf("report lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "1:1") {
+		t.Errorf("first row should be 1:1: %s", lines[1])
+	}
+	if !strings.Contains(lines[2], "N:1") {
+		t.Errorf("second row should be N:1: %s", lines[2])
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindGeneral.String() != "general" || KindNumericRight.String() != "numeric-right" || KindCodeRight.String() != "code-right" {
+		t.Error("kind names wrong")
+	}
+}

@@ -1,0 +1,155 @@
+package curation
+
+import (
+	"sort"
+
+	"mapsynth/internal/mapping"
+	"mapsynth/internal/textnorm"
+)
+
+// The paper's freshness story (Section 4.3): mappings are refreshed by
+// "regularly rerunning the pipeline and alerting the human curator for
+// changes". Diff implements the alerting half: it matches the clusters of
+// two pipeline runs by pair overlap and reports what a curator must
+// re-review.
+
+// MappingDiff describes how one mapping changed between two runs.
+type MappingDiff struct {
+	// OldID / NewID are the matched mapping IDs; -1 marks an unmatched side
+	// (a disappeared or newly synthesized mapping).
+	OldID, NewID int
+	// Added and Removed hold the normalized pair keys present on only one
+	// side, sorted.
+	Added, Removed []string
+	// Overlap is the number of shared normalized pairs.
+	Overlap int
+}
+
+// Changed reports whether the mapping needs curator attention.
+func (d MappingDiff) Changed() bool {
+	return d.OldID == -1 || d.NewID == -1 || len(d.Added) > 0 || len(d.Removed) > 0
+}
+
+// Diff matches the mappings of an old and a new pipeline run greedily by
+// descending pair overlap (each mapping matches at most once) and returns
+// one MappingDiff per matched pair plus one per unmatched mapping on either
+// side. Results are ordered: matched diffs by descending overlap, then
+// disappeared (NewID = -1) by OldID, then new (OldID = -1) by NewID.
+func Diff(old, new []*mapping.Mapping) []MappingDiff {
+	oldSets := make([]map[string]struct{}, len(old))
+	for i, m := range old {
+		oldSets[i] = pairKeySet(m)
+	}
+	newSets := make([]map[string]struct{}, len(new))
+	for i, m := range new {
+		newSets[i] = pairKeySet(m)
+	}
+	type cand struct {
+		oi, ni  int
+		overlap int
+	}
+	var cands []cand
+	for oi := range old {
+		for ni := range new {
+			ov := overlapSize(oldSets[oi], newSets[ni])
+			if ov > 0 {
+				cands = append(cands, cand{oi: oi, ni: ni, overlap: ov})
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].overlap != cands[j].overlap {
+			return cands[i].overlap > cands[j].overlap
+		}
+		if cands[i].oi != cands[j].oi {
+			return cands[i].oi < cands[j].oi
+		}
+		return cands[i].ni < cands[j].ni
+	})
+	usedOld := make([]bool, len(old))
+	usedNew := make([]bool, len(new))
+	var out []MappingDiff
+	for _, c := range cands {
+		if usedOld[c.oi] || usedNew[c.ni] {
+			continue
+		}
+		usedOld[c.oi] = true
+		usedNew[c.ni] = true
+		d := MappingDiff{
+			OldID:   old[c.oi].ID,
+			NewID:   new[c.ni].ID,
+			Overlap: c.overlap,
+			Added:   setMinus(newSets[c.ni], oldSets[c.oi]),
+			Removed: setMinus(oldSets[c.oi], newSets[c.ni]),
+		}
+		out = append(out, d)
+	}
+	for oi, m := range old {
+		if !usedOld[oi] {
+			out = append(out, MappingDiff{
+				OldID: m.ID, NewID: -1,
+				Removed: setMinus(oldSets[oi], nil),
+			})
+		}
+	}
+	for ni, m := range new {
+		if !usedNew[ni] {
+			out = append(out, MappingDiff{
+				OldID: -1, NewID: m.ID,
+				Added: setMinus(newSets[ni], nil),
+			})
+		}
+	}
+	return out
+}
+
+// ChangedOnly filters a diff to the entries needing curator attention.
+func ChangedOnly(diffs []MappingDiff) []MappingDiff {
+	var out []MappingDiff
+	for _, d := range diffs {
+		if d.Changed() {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func pairKeySet(m *mapping.Mapping) map[string]struct{} {
+	s := make(map[string]struct{}, len(m.Pairs))
+	for _, p := range m.Pairs {
+		nl, nr, ok := textnorm.NormalizePair(p.L, p.R)
+		if !ok {
+			continue
+		}
+		s[textnorm.PairKey(nl, nr)] = struct{}{}
+	}
+	return s
+}
+
+func overlapSize(a, b map[string]struct{}) int {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	n := 0
+	for k := range a {
+		if _, ok := b[k]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+// setMinus returns the sorted keys of a not present in b (b may be nil).
+func setMinus(a, b map[string]struct{}) []string {
+	var out []string
+	for k := range a {
+		if b != nil {
+			if _, ok := b[k]; ok {
+				continue
+			}
+		}
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,90 @@
+package curation
+
+import (
+	"testing"
+
+	"mapsynth/internal/mapping"
+)
+
+func TestDiffMatchedWithChanges(t *testing.T) {
+	old := []*mapping.Mapping{
+		mk(0, []string{"a"}, [][2]string{{"x", "1"}, {"y", "2"}, {"z", "3"}}),
+	}
+	new := []*mapping.Mapping{
+		mk(5, []string{"a"}, [][2]string{{"x", "1"}, {"y", "2"}, {"w", "4"}}),
+	}
+	diffs := Diff(old, new)
+	if len(diffs) != 1 {
+		t.Fatalf("diffs = %+v", diffs)
+	}
+	d := diffs[0]
+	if d.OldID != 0 || d.NewID != 5 || d.Overlap != 2 {
+		t.Errorf("match = %+v", d)
+	}
+	if len(d.Added) != 1 || len(d.Removed) != 1 {
+		t.Errorf("added=%v removed=%v", d.Added, d.Removed)
+	}
+	if !d.Changed() {
+		t.Error("diff with adds/removes must be Changed")
+	}
+}
+
+func TestDiffStableMapping(t *testing.T) {
+	m := mk(0, []string{"a"}, [][2]string{{"x", "1"}, {"y", "2"}})
+	diffs := Diff([]*mapping.Mapping{m}, []*mapping.Mapping{m})
+	if len(diffs) != 1 || diffs[0].Changed() {
+		t.Errorf("identical runs should produce an unchanged diff: %+v", diffs)
+	}
+	if len(ChangedOnly(diffs)) != 0 {
+		t.Error("ChangedOnly should filter unchanged entries")
+	}
+}
+
+func TestDiffUnmatchedSides(t *testing.T) {
+	old := []*mapping.Mapping{
+		mk(0, []string{"a"}, [][2]string{{"x", "1"}, {"y", "2"}}),
+		mk(1, []string{"a"}, [][2]string{{"gone", "G"}, {"gone2", "H"}}),
+	}
+	new := []*mapping.Mapping{
+		mk(9, []string{"a"}, [][2]string{{"x", "1"}, {"y", "2"}}),
+		mk(8, []string{"a"}, [][2]string{{"fresh", "F"}, {"fresh2", "E"}}),
+	}
+	diffs := Diff(old, new)
+	if len(diffs) != 3 {
+		t.Fatalf("diffs = %+v", diffs)
+	}
+	var disappeared, appeared int
+	for _, d := range diffs {
+		switch {
+		case d.NewID == -1:
+			disappeared++
+			if len(d.Removed) != 2 {
+				t.Errorf("disappeared mapping should list its pairs: %+v", d)
+			}
+		case d.OldID == -1:
+			appeared++
+			if len(d.Added) != 2 {
+				t.Errorf("new mapping should list its pairs: %+v", d)
+			}
+		}
+	}
+	if disappeared != 1 || appeared != 1 {
+		t.Errorf("disappeared=%d appeared=%d", disappeared, appeared)
+	}
+}
+
+func TestDiffGreedyMatchingPrefersLargestOverlap(t *testing.T) {
+	old := []*mapping.Mapping{
+		mk(0, []string{"a"}, [][2]string{{"x", "1"}, {"y", "2"}, {"z", "3"}}),
+	}
+	// Two new clusters both overlap the old one; the bigger overlap wins
+	// the match, the other is reported as new.
+	new := []*mapping.Mapping{
+		mk(1, []string{"a"}, [][2]string{{"x", "1"}}),
+		mk(2, []string{"a"}, [][2]string{{"y", "2"}, {"z", "3"}}),
+	}
+	diffs := Diff(old, new)
+	if diffs[0].NewID != 2 || diffs[0].Overlap != 2 {
+		t.Errorf("first diff should match the larger overlap: %+v", diffs[0])
+	}
+}

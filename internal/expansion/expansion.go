@@ -1,0 +1,142 @@
+// Package expansion implements the optional table-expansion step
+// (Appendix I of the paper): synthesized mappings form robust "cores" that
+// can be grown with instances from trusted, more comprehensive external
+// sources (data.gov-style feeds, curated spreadsheets), which helps very
+// large relationships (e.g. 10K+ airports) whose tail has little presence
+// in web tables.
+package expansion
+
+import (
+	"sort"
+
+	"mapsynth/internal/mapping"
+	"mapsynth/internal/strmatch"
+	"mapsynth/internal/table"
+	"mapsynth/internal/textnorm"
+)
+
+// TrustedSource is one authoritative external relation.
+type TrustedSource struct {
+	// Name identifies the feed (e.g. "data.gov/airports").
+	Name string
+	// Pairs holds the feed's (left, right) instances.
+	Pairs []table.Pair
+}
+
+// Options controls when a source is merged into a core.
+type Options struct {
+	// MinContainment is the minimum fraction of the core's pairs that the
+	// source must agree with (approximately) for the merge to proceed.
+	MinContainment float64
+	// MaxConflictRatio is the maximum fraction of the core's left values
+	// the source may conflict with.
+	MaxConflictRatio float64
+	// FracEd and KEd parameterize approximate matching.
+	FracEd float64
+	KEd    int
+}
+
+// DefaultOptions requires a third of the core corroborated and under 2%
+// conflicts — expansion must never dilute a high-precision core.
+func DefaultOptions() Options {
+	return Options{
+		MinContainment:   0.33,
+		MaxConflictRatio: 0.02,
+		FracEd:           strmatch.DefaultFracEd,
+		KEd:              strmatch.DefaultKEd,
+	}
+}
+
+// Result reports what Expand did for one mapping.
+type Result struct {
+	// SourcesMerged lists the names of trusted sources merged in.
+	SourcesMerged []string
+	// PairsAdded is the number of new pairs contributed by the sources.
+	PairsAdded int
+}
+
+// Expand grows a synthesized mapping with every trusted source that is
+// sufficiently similar (containment of the core's pairs) and sufficiently
+// consistent (few conflicting left values). It returns the expanded pair
+// list (the original pairs plus additions, sorted) and a Result; the input
+// mapping is not modified.
+func Expand(m *mapping.Mapping, sources []*TrustedSource, opt Options) ([]table.Pair, Result) {
+	corePairs := make(map[string]table.Pair, len(m.Pairs))
+	coreLefts := make(map[string]string) // normalized left -> normalized right
+	for _, p := range m.Pairs {
+		nl, nr, ok := textnorm.NormalizePair(p.L, p.R)
+		if !ok {
+			continue
+		}
+		corePairs[textnorm.PairKey(nl, nr)] = p
+		coreLefts[nl] = nr
+	}
+	matcher := strmatch.NewMatcher(opt.FracEd, opt.KEd)
+	var res Result
+	out := append([]table.Pair(nil), m.Pairs...)
+	for _, src := range sources {
+		agree, conflicts, additions := compareSource(src, corePairs, coreLefts, matcher)
+		if len(corePairs) == 0 {
+			continue
+		}
+		containment := float64(agree) / float64(len(corePairs))
+		conflictRatio := float64(conflicts) / float64(len(coreLefts))
+		if containment < opt.MinContainment || conflictRatio > opt.MaxConflictRatio {
+			continue
+		}
+		res.SourcesMerged = append(res.SourcesMerged, src.Name)
+		for _, p := range additions {
+			nl, nr, ok := textnorm.NormalizePair(p.L, p.R)
+			if !ok {
+				continue
+			}
+			k := textnorm.PairKey(nl, nr)
+			if _, dup := corePairs[k]; dup {
+				continue
+			}
+			corePairs[k] = p
+			if _, known := coreLefts[nl]; !known {
+				coreLefts[nl] = nr
+			}
+			out = append(out, p)
+			res.PairsAdded++
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].L != out[j].L {
+			return out[i].L < out[j].L
+		}
+		return out[i].R < out[j].R
+	})
+	return out, res
+}
+
+// compareSource measures agreement between a source and the core: agree is
+// the number of core pairs corroborated by the source (exact normalized
+// match), conflicts is the number of core left values where the source
+// disagrees on the right value (beyond approximate matching), and additions
+// are the source pairs whose left value the core does not know.
+func compareSource(src *TrustedSource, corePairs map[string]table.Pair, coreLefts map[string]string, matcher *strmatch.Matcher) (agree, conflicts int, additions []table.Pair) {
+	seenAgree := make(map[string]struct{})
+	conflictLefts := make(map[string]struct{})
+	for _, p := range src.Pairs {
+		nl, nr, ok := textnorm.NormalizePair(p.L, p.R)
+		if !ok {
+			continue
+		}
+		k := textnorm.PairKey(nl, nr)
+		if _, hit := corePairs[k]; hit {
+			seenAgree[k] = struct{}{}
+			continue
+		}
+		coreR, known := coreLefts[nl]
+		if !known {
+			additions = append(additions, p)
+			continue
+		}
+		if !matcher.MatchNormalized(coreR, nr) {
+			conflictLefts[nl] = struct{}{}
+		}
+	}
+	return len(seenAgree), len(conflictLefts), additions
+}

@@ -1,0 +1,85 @@
+package expansion
+
+import (
+	"testing"
+
+	"mapsynth/internal/mapping"
+	"mapsynth/internal/table"
+)
+
+func coreMapping(pairs [][2]string) *mapping.Mapping {
+	ls := make([]string, len(pairs))
+	rs := make([]string, len(pairs))
+	for i, p := range pairs {
+		ls[i] = p[0]
+		rs[i] = p[1]
+	}
+	b := table.NewBinaryTable(0, 0, "d", "l", "r", ls, rs)
+	return mapping.Build(0, []*table.BinaryTable{b})
+}
+
+func source(name string, pairs [][2]string) *TrustedSource {
+	s := &TrustedSource{Name: name}
+	for _, p := range pairs {
+		s.Pairs = append(s.Pairs, table.Pair{L: p[0], R: p[1]})
+	}
+	return s
+}
+
+func TestExpandGrowsConsistentCore(t *testing.T) {
+	core := coreMapping([][2]string{
+		{"LAX Airport", "LAX"}, {"SFO Airport", "SFO"}, {"JFK Airport", "JFK"},
+	})
+	feed := source("data.gov", [][2]string{
+		{"LAX Airport", "LAX"}, {"SFO Airport", "SFO"},
+		{"ORD Airport", "ORD"}, {"ATL Airport", "ATL"},
+	})
+	out, res := Expand(core, []*TrustedSource{feed}, DefaultOptions())
+	if len(res.SourcesMerged) != 1 {
+		t.Fatalf("merged = %v", res.SourcesMerged)
+	}
+	if res.PairsAdded != 2 {
+		t.Errorf("added = %d, want 2", res.PairsAdded)
+	}
+	if len(out) != 5 {
+		t.Errorf("expanded size = %d, want 5", len(out))
+	}
+}
+
+func TestExpandRejectsConflictingSource(t *testing.T) {
+	core := coreMapping([][2]string{
+		{"a", "1"}, {"b", "2"}, {"c", "3"}, {"d", "4"},
+	})
+	bad := source("untrusted", [][2]string{
+		{"a", "1"}, {"b", "999"}, {"c", "888"}, // 2 of 4 lefts conflict
+		{"e", "5"},
+	})
+	out, res := Expand(core, []*TrustedSource{bad}, DefaultOptions())
+	if len(res.SourcesMerged) != 0 {
+		t.Fatalf("conflicting source was merged: %v", res.SourcesMerged)
+	}
+	if len(out) != 4 {
+		t.Errorf("core should be unchanged, got %d pairs", len(out))
+	}
+}
+
+func TestExpandRejectsUnrelatedSource(t *testing.T) {
+	core := coreMapping([][2]string{{"a", "1"}, {"b", "2"}, {"c", "3"}})
+	unrelated := source("other", [][2]string{{"x", "9"}, {"y", "8"}})
+	_, res := Expand(core, []*TrustedSource{unrelated}, DefaultOptions())
+	if len(res.SourcesMerged) != 0 {
+		t.Error("source with no containment must not merge")
+	}
+}
+
+func TestExpandDoesNotDuplicate(t *testing.T) {
+	core := coreMapping([][2]string{{"a", "1"}, {"b", "2"}, {"c", "3"}})
+	feed := source("dup", [][2]string{{"a", "1"}, {"A", "1"}, {"b", "2"}})
+	out, res := Expand(core, []*TrustedSource{feed}, DefaultOptions())
+	if res.PairsAdded != 0 {
+		t.Errorf("added = %d, want 0", res.PairsAdded)
+	}
+	if len(out) != 3 {
+		t.Errorf("size = %d, want 3", len(out))
+	}
+}

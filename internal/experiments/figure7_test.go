@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+)
+
+// TestFigure7Shape checks the comparative shape of Figure 7: Synthesis wins
+// on F and recall, WikiTable has the precision crown but poor recall,
+// SynthesisPos degrades markedly without the negative signal, and KBs have
+// low recall.
+func TestFigure7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full method comparison is slow")
+	}
+	env := NewEnv(DefaultSeed)
+	results := Figure7(os.Stderr, env, DefaultSeed)
+	Figure8(os.Stderr, results)
+
+	byName := make(map[string]*MethodResult)
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	synth := byName["Synthesis"]
+	for name, r := range byName {
+		if name == "Synthesis" {
+			continue
+		}
+		if r.Avg.F > synth.Avg.F {
+			t.Errorf("%s avg F %.3f exceeds Synthesis %.3f", name, r.Avg.F, synth.Avg.F)
+		}
+	}
+	if wiki := byName["WikiTable"]; wiki.Avg.Recall >= synth.Avg.Recall {
+		t.Errorf("WikiTable recall %.3f should be below Synthesis %.3f", wiki.Avg.Recall, synth.Avg.Recall)
+	}
+	if pos := byName["SynthesisPos"]; pos.Avg.F >= synth.Avg.F-0.02 {
+		t.Errorf("SynthesisPos F %.3f should be clearly below Synthesis %.3f", pos.Avg.F, synth.Avg.F)
+	}
+	if web := byName["WebTable"]; web.Avg.Recall >= synth.Avg.Recall {
+		t.Errorf("WebTable recall %.3f should be below Synthesis %.3f", web.Avg.Recall, synth.Avg.Recall)
+	}
+	for _, kbName := range []string{"Freebase", "YAGO"} {
+		if kb := byName[kbName]; kb.Avg.Recall >= synth.Avg.Recall {
+			t.Errorf("%s recall %.3f should be below Synthesis %.3f", kbName, kb.Avg.Recall, synth.Avg.Recall)
+		}
+	}
+}

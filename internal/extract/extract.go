@@ -1,0 +1,220 @@
+// Package extract implements candidate table extraction (Section 3,
+// Algorithm 1): from every corpus table it derives ordered two-column
+// candidates, filtering incoherent columns with NPMI coherence (Section 3.1)
+// and non-functional column pairs with approximate FD checking (Section 3.2).
+package extract
+
+import (
+	"mapsynth/internal/fd"
+	"mapsynth/internal/stats"
+	"mapsynth/internal/table"
+	"mapsynth/internal/textnorm"
+)
+
+// Options configures candidate extraction.
+type Options struct {
+	// CoherenceThreshold is the minimum column coherence S(C); columns
+	// scoring below it are removed before pair generation. The NPMI range
+	// is [-1, 1]; mixed-concept columns land near or below 0.
+	CoherenceThreshold float64
+	// ThetaFD is the approximate-FD threshold θ (paper: 0.95).
+	ThetaFD float64
+	// MinPairs drops candidates with fewer distinct value pairs; tiny
+	// tables carry no statistical signal (paper tables are "for human
+	// consumption" but still have several rows).
+	MinPairs int
+	// MaxDistinctRightRatio guards against key→key pairs that trivially
+	// satisfy FDs without being mappings (e.g. row-number → anything):
+	// a candidate is dropped when both directions are perfectly functional
+	// AND every left value is unique AND every right value is unique AND
+	// the values look numeric. Set to 0 to disable numeric filtering.
+	SkipNumericColumns bool
+}
+
+// DefaultOptions returns the options used throughout the paper's
+// experiments: θ = 0.95, a mildly positive coherence threshold, and
+// candidates with at least 4 value pairs.
+func DefaultOptions() Options {
+	return Options{
+		CoherenceThreshold: -0.3,
+		ThetaFD:            fd.DefaultTheta,
+		MinPairs:           4,
+		SkipNumericColumns: true,
+	}
+}
+
+// Stats reports what extraction did, reproducing the paper's observation
+// that roughly 78% of column pairs are pruned by the two filters.
+type Stats struct {
+	Tables          int // input tables scanned
+	ColumnsTotal    int // columns seen
+	ColumnsDropped  int // columns removed by the coherence filter
+	PairsRaw        int // all ordered column pairs before any filtering
+	PairsTotal      int // ordered column pairs left after column filtering
+	PairsFDRejected int // pairs rejected by the approximate-FD filter
+	PairsTooSmall   int // pairs rejected for having < MinPairs distinct pairs
+	PairsNumeric    int // pairs rejected by the numeric filter
+	Candidates      int // surviving candidates
+}
+
+// FilterRate returns the fraction of raw ordered pairs pruned by the PMI
+// and FD filters combined (the paper reports ~78% on its web corpus).
+func (s Stats) FilterRate() float64 {
+	if s.PairsRaw == 0 {
+		return 0
+	}
+	return float64(s.PairsRaw-s.Candidates) / float64(s.PairsRaw)
+}
+
+// Extractor turns corpus tables into candidate binary tables.
+type Extractor struct {
+	opt Options
+	idx *stats.CooccurrenceIndex
+}
+
+// New returns an Extractor over the corpus co-occurrence index. The index
+// must have been built from the same corpus the tables come from (or a
+// superset) so coherence scores are meaningful.
+func New(idx *stats.CooccurrenceIndex, opt Options) *Extractor {
+	return &Extractor{opt: opt, idx: idx}
+}
+
+// ExtractAll runs Algorithm 1 over the whole corpus and returns the
+// candidate set with IDs assigned densely in deterministic order, plus
+// extraction statistics.
+func (e *Extractor) ExtractAll(tables []*table.Table) ([]*table.BinaryTable, Stats) {
+	var out []*table.BinaryTable
+	var st Stats
+	nextID := 0
+	for _, t := range tables {
+		cands := e.extractTable(t, &st, &nextID)
+		out = append(out, cands...)
+	}
+	st.Tables = len(tables)
+	st.Candidates = len(out)
+	return out, st
+}
+
+// extractTable applies the column coherence filter and then the FD pair
+// filter to one table.
+func (e *Extractor) extractTable(t *table.Table, st *Stats, nextID *int) []*table.BinaryTable {
+	st.ColumnsTotal += len(t.Columns)
+	st.PairsRaw += len(t.Columns) * (len(t.Columns) - 1)
+	var kept []int
+	for ci := range t.Columns {
+		c := &t.Columns[ci]
+		if e.idx.ColumnCoherence(c.Values) < e.opt.CoherenceThreshold {
+			st.ColumnsDropped++
+			continue
+		}
+		kept = append(kept, ci)
+	}
+	var out []*table.BinaryTable
+	for _, i := range kept {
+		for _, j := range kept {
+			if i == j {
+				continue
+			}
+			st.PairsTotal++
+			ci, cj := &t.Columns[i], &t.Columns[j]
+			res := fd.Check(ci.Values, cj.Values)
+			if !res.Holds(e.opt.ThetaFD) {
+				st.PairsFDRejected++
+				continue
+			}
+			// A functional pair with a single distinct right value for
+			// many lefts is usually a constant column, not a mapping.
+			if res.DistinctLeft >= 3 && res.DistinctRight == 1 {
+				st.PairsFDRejected++
+				continue
+			}
+			b := table.NewBinaryTable(*nextID, t.ID, t.Domain, ci.Name, cj.Name, ci.Values, cj.Values)
+			if b.Size() < e.opt.MinPairs {
+				st.PairsTooSmall++
+				continue
+			}
+			if e.opt.SkipNumericColumns && (mostlyNumericPairs(b) || rowNumberColumn(b)) {
+				st.PairsNumeric++
+				continue
+			}
+			*nextID++
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// mostlyNumericPairs reports whether both sides of the candidate are
+// dominated by purely numeric values. Purely numeric two-column tables are
+// overwhelmingly measurements or rankings, which the paper's curation step
+// prunes ("additional filtering can be performed to further prune out
+// numeric and temporal relationships").
+func mostlyNumericPairs(b *table.BinaryTable) bool {
+	numL, numR := 0, 0
+	for _, p := range b.Pairs {
+		if isNumeric(p.L) {
+			numL++
+		}
+		if isNumeric(p.R) {
+			numR++
+		}
+	}
+	n := len(b.Pairs)
+	if n == 0 {
+		return false
+	}
+	return numL*10 >= n*9 && numR*10 >= n*9 // both sides >= 90% numeric
+}
+
+// rowNumberColumn reports whether the candidate's left column is a row
+// counter: consecutive small integers starting at 1. Such columns trivially
+// satisfy FDs against anything without expressing a mapping.
+func rowNumberColumn(b *table.BinaryTable) bool {
+	seen := make(map[int]struct{}, len(b.Pairs))
+	for _, p := range b.Pairs {
+		nv := textnorm.Normalize(p.L)
+		num := 0
+		for _, r := range nv {
+			if r < '0' || r > '9' {
+				return false
+			}
+			num = num*10 + int(r-'0')
+			if num > 1000 {
+				return false
+			}
+		}
+		if nv == "" {
+			return false
+		}
+		seen[num] = struct{}{}
+	}
+	if len(seen) != len(b.Pairs) {
+		return false
+	}
+	for i := 1; i <= len(seen); i++ {
+		if _, ok := seen[i]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// isNumeric reports whether the normalized value consists solely of digits,
+// spaces and at most one decimal point per token.
+func isNumeric(v string) bool {
+	nv := textnorm.Normalize(v)
+	if nv == "" {
+		return false
+	}
+	digits := 0
+	for _, r := range nv {
+		switch {
+		case r >= '0' && r <= '9':
+			digits++
+		case r == ' ' || r == '.':
+		default:
+			return false
+		}
+	}
+	return digits > 0
+}

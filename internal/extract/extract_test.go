@@ -1,0 +1,156 @@
+package extract
+
+import (
+	"fmt"
+	"testing"
+
+	"mapsynth/internal/stats"
+	"mapsynth/internal/table"
+)
+
+// buildCorpus assembles a small corpus exercising all extraction filters:
+// repeated clean mapping tables, a non-functional pair, a numeric pair, a
+// row-number column and an incoherent column.
+func buildCorpus() []*table.Table {
+	countries := []string{"Japan", "Canada", "Peru", "Kenya", "Norway"}
+	codes := []string{"JPN", "CAN", "PER", "KEN", "NOR"}
+	animals := []string{"cat", "dog", "bird", "fish", "lynx"}
+	var tables []*table.Table
+	id := 0
+	add := func(cols ...table.Column) *table.Table {
+		t := &table.Table{ID: id, Domain: "d", Columns: cols}
+		id++
+		tables = append(tables, t)
+		return t
+	}
+	// Several clean country tables so values co-occur.
+	for i := 0; i < 5; i++ {
+		add(
+			table.Column{Name: "country", Values: countries},
+			table.Column{Name: "code", Values: codes},
+		)
+	}
+	for i := 0; i < 5; i++ {
+		add(table.Column{Name: "animal", Values: animals})
+	}
+	// Non-functional pair: duplicate lefts with different rights.
+	add(
+		table.Column{Name: "home", Values: []string{"Japan", "Japan", "Canada", "Peru", "Kenya"}},
+		table.Column{Name: "away", Values: []string{"Canada", "Peru", "Japan", "Kenya", "Norway"}},
+	)
+	// Numeric-on-both-sides pair.
+	add(
+		table.Column{Name: "x", Values: []string{"1.5", "2.5", "3.5", "4.5"}},
+		table.Column{Name: "y", Values: []string{"10", "20", "30", "40"}},
+	)
+	// Row-number column against a real column.
+	add(
+		table.Column{Name: "rank", Values: []string{"1", "2", "3", "4", "5"}},
+		table.Column{Name: "country", Values: countries},
+	)
+	// Incoherent column mixing concepts that never co-occur elsewhere.
+	add(
+		table.Column{Name: "country", Values: countries},
+		table.Column{Name: "notes", Values: []string{"Japan", "dog", "JPN", "fish", "cat"}},
+	)
+	return tables
+}
+
+func TestExtractionFilters(t *testing.T) {
+	tables := buildCorpus()
+	idx := stats.BuildIndex(tables)
+	ext := New(idx, DefaultOptions())
+	bins, st := ext.ExtractAll(tables)
+
+	if st.Tables != len(tables) {
+		t.Errorf("Tables = %d", st.Tables)
+	}
+	if st.PairsNumeric == 0 {
+		t.Error("numeric filter never fired")
+	}
+	if st.PairsFDRejected == 0 {
+		t.Error("FD filter never fired")
+	}
+	// Candidates must include both directions of the clean country tables.
+	fwd, rev := 0, 0
+	for _, b := range bins {
+		if b.LeftName == "country" && b.RightName == "code" {
+			fwd++
+		}
+		if b.LeftName == "code" && b.RightName == "country" {
+			rev++
+		}
+	}
+	if fwd != 5 || rev != 5 {
+		t.Errorf("country candidates: fwd=%d rev=%d, want 5/5", fwd, rev)
+	}
+	// No candidate may come from the home/away schedule table.
+	for _, b := range bins {
+		if b.LeftName == "home" {
+			t.Errorf("non-functional pair survived: %v", b)
+		}
+	}
+	if st.FilterRate() <= 0 {
+		t.Errorf("FilterRate = %v", st.FilterRate())
+	}
+}
+
+func TestRowNumberColumnDetection(t *testing.T) {
+	mk := func(vals []string) *table.BinaryTable {
+		rs := make([]string, len(vals))
+		for i := range rs {
+			rs[i] = fmt.Sprintf("v%d", i)
+		}
+		return table.NewBinaryTable(0, 0, "d", "l", "r", vals, rs)
+	}
+	if !rowNumberColumn(mk([]string{"1", "2", "3", "4"})) {
+		t.Error("1..4 should be detected as row numbers")
+	}
+	if rowNumberColumn(mk([]string{"2", "3", "4", "5"})) {
+		t.Error("2..5 does not start at 1")
+	}
+	if rowNumberColumn(mk([]string{"1", "2", "4", "5"})) {
+		t.Error("gapped sequence is not a row counter")
+	}
+	if rowNumberColumn(mk([]string{"200", "301", "404", "500"})) {
+		t.Error("status codes are not row numbers")
+	}
+	if rowNumberColumn(mk([]string{"1", "2", "x", "4"})) {
+		t.Error("non-numeric value disqualifies")
+	}
+}
+
+func TestIsNumeric(t *testing.T) {
+	cases := map[string]bool{
+		"123":   true,
+		"1.5":   true,
+		"1 234": true,
+		"12a":   false,
+		"":      false,
+		"USA":   false,
+		"3rd":   false,
+		"-42":   true, // minus normalizes away, digits remain
+	}
+	for in, want := range cases {
+		if got := isNumeric(in); got != want {
+			t.Errorf("isNumeric(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestMinPairsFilter(t *testing.T) {
+	tables := []*table.Table{{
+		ID: 0, Domain: "d",
+		Columns: []table.Column{
+			{Name: "a", Values: []string{"x", "y"}},
+			{Name: "b", Values: []string{"1", "2"}},
+		},
+	}}
+	idx := stats.BuildIndex(tables)
+	opt := DefaultOptions()
+	opt.MinPairs = 3
+	bins, st := New(idx, opt).ExtractAll(tables)
+	if len(bins) != 0 || st.PairsTooSmall != 2 {
+		t.Errorf("bins=%d tooSmall=%d", len(bins), st.PairsTooSmall)
+	}
+}

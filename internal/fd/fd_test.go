@@ -1,0 +1,115 @@
+package fd
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mapsynth/internal/table"
+)
+
+func TestExactFD(t *testing.T) {
+	res := Check(
+		[]string{"Chicago", "San Francisco", "Los Angeles", "Houston"},
+		[]string{"Illinois", "California", "California", "Texas"})
+	if res.Ratio != 1 {
+		t.Errorf("Ratio = %v, want 1", res.Ratio)
+	}
+	if !res.Holds(0.95) {
+		t.Error("exact FD should hold at theta 0.95")
+	}
+	if res.DistinctLeft != 4 || res.DistinctRight != 3 {
+		t.Errorf("distinct counts: %d, %d", res.DistinctLeft, res.DistinctRight)
+	}
+}
+
+func TestApproximateFDPortland(t *testing.T) {
+	// Definition 2: "Portland" maps to both Oregon and Maine; with enough
+	// clean rows the 95%-approximate FD still holds.
+	left := []string{"Portland", "Portland"}
+	right := []string{"Oregon", "Maine"}
+	for i := 0; i < 38; i++ {
+		left = append(left, "City"+string(rune('A'+i%26))+string(rune('0'+i/26)))
+		right = append(right, "State"+string(rune('A'+i%26)))
+	}
+	res := Check(left, right)
+	if !res.Holds(0.95) {
+		t.Errorf("approximate FD should hold: ratio=%v keeping=%d rows=%d", res.Ratio, res.Keeping, res.Rows)
+	}
+	if res.Holds(0.99) {
+		t.Error("FD should not hold at theta 0.99")
+	}
+}
+
+func TestNonFunctionalPair(t *testing.T) {
+	res := Check(
+		[]string{"a", "a", "b", "b"},
+		[]string{"1", "2", "3", "4"})
+	if res.Ratio != 0.5 {
+		t.Errorf("Ratio = %v, want 0.5", res.Ratio)
+	}
+}
+
+func TestNormalizationInsideCheck(t *testing.T) {
+	// Case variants of the same left value must be recognized as one.
+	res := Check(
+		[]string{"USA", "usa ", "U.S.A"},
+		[]string{"Washington", "Washington", "Washington"})
+	if res.DistinctLeft != 2 {
+		// "usa" and "u s a" differ after normalization; footnote/punct only
+		// collapses USA and "usa ".
+		t.Errorf("DistinctLeft = %d, want 2", res.DistinctLeft)
+	}
+	if res.Ratio != 1 {
+		t.Errorf("Ratio = %v, want 1", res.Ratio)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	res := Check(nil, nil)
+	if res.Rows != 0 || res.Ratio != 1 {
+		t.Errorf("empty input: %+v", res)
+	}
+	res = Check([]string{"", " ", "--"}, []string{"a", "b", "c"})
+	if res.Rows != 0 {
+		t.Errorf("all-empty lefts should give 0 rows, got %d", res.Rows)
+	}
+}
+
+func TestCheckPairsAgreesWithCheck(t *testing.T) {
+	f := func(ls, rs []string) bool {
+		n := len(ls)
+		if len(rs) < n {
+			n = len(rs)
+		}
+		if n > 25 {
+			return true
+		}
+		pairs := make([]table.Pair, n)
+		for i := 0; i < n; i++ {
+			pairs[i] = table.Pair{L: ls[i], R: rs[i]}
+		}
+		a := Check(ls[:n], rs[:n])
+		b := CheckPairs(pairs)
+		return a.Ratio == b.Ratio && a.Rows == b.Rows
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRatioBounds(t *testing.T) {
+	f := func(ls, rs []string) bool {
+		n := len(ls)
+		if len(rs) < n {
+			n = len(rs)
+		}
+		if n > 25 {
+			return true
+		}
+		res := Check(ls[:n], rs[:n])
+		return res.Ratio >= 0 && res.Ratio <= 1 && res.Keeping <= res.Rows
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

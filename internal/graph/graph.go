@@ -1,0 +1,163 @@
+// Package graph models the compatibility graph over candidate binary tables
+// (Section 4.2) and computes its connected components, both directly with
+// union-find and with the Hash-to-Min algorithm [13] over the mapreduce
+// engine, mirroring the paper's scale-out strategy (Appendix F).
+package graph
+
+import "sort"
+
+// Edge is one weighted edge of the compatibility graph. Pos carries the
+// positive compatibility w+ (Equation 3) and Neg the negative
+// incompatibility w- (Equation 4, a value <= 0). Either may be zero.
+type Edge struct {
+	A, B int // vertex ids with A < B
+	Pos  float64
+	Neg  float64
+}
+
+// Graph is an undirected weighted multigraph-free graph over dense vertex
+// ids [0, N). Parallel edges are not allowed: AddEdge overwrites.
+type Graph struct {
+	n     int
+	edges map[[2]int]*Edge
+	adj   [][]int // adjacency lists of neighbor vertex ids
+}
+
+// New returns an empty graph over n vertices.
+func New(n int) *Graph {
+	return &Graph{
+		n:     n,
+		edges: make(map[[2]int]*Edge),
+		adj:   make([][]int, n),
+	}
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return g.n }
+
+// NumEdges returns the number of stored edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+func edgeKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// AddEdge inserts or overwrites the edge between a and b with the given
+// weights. Self-loops are ignored.
+func (g *Graph) AddEdge(a, b int, pos, neg float64) {
+	if a == b {
+		return
+	}
+	k := edgeKey(a, b)
+	if _, exists := g.edges[k]; !exists {
+		g.adj[k[0]] = append(g.adj[k[0]], k[1])
+		g.adj[k[1]] = append(g.adj[k[1]], k[0])
+	}
+	g.edges[k] = &Edge{A: k[0], B: k[1], Pos: pos, Neg: neg}
+}
+
+// GetEdge returns the edge between a and b, or nil.
+func (g *Graph) GetEdge(a, b int) *Edge {
+	return g.edges[edgeKey(a, b)]
+}
+
+// Neighbors returns the vertex ids adjacent to v. The returned slice is
+// shared; callers must not modify it.
+func (g *Graph) Neighbors(v int) []int { return g.adj[v] }
+
+// Edges returns all edges sorted by (A, B) for deterministic iteration.
+func (g *Graph) Edges() []*Edge {
+	out := make([]*Edge, 0, len(g.edges))
+	for _, e := range g.edges {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// StripNegative zeroes the negative weight of every edge in place. Used by
+// the SynthesisPos ablation, which runs the pipeline without the FD-induced
+// negative signal.
+func (g *Graph) StripNegative() {
+	for _, e := range g.edges {
+		e.Neg = 0
+	}
+}
+
+// ConnectedComponents partitions the vertices into components connected by
+// any edge (positive or negative weight alike), using breadth-first search.
+// Components are returned sorted by their smallest vertex, members ascending.
+// Isolated vertices form singleton components.
+func (g *Graph) ConnectedComponents() [][]int {
+	visited := make([]bool, g.n)
+	var comps [][]int
+	queue := make([]int, 0, 64)
+	for s := 0; s < g.n; s++ {
+		if visited[s] {
+			continue
+		}
+		visited[s] = true
+		queue = queue[:0]
+		queue = append(queue, s)
+		comp := []int{s}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, u := range g.adj[v] {
+				if !visited[u] {
+					visited[u] = true
+					queue = append(queue, u)
+					comp = append(comp, u)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i][0] < comps[j][0] })
+	return comps
+}
+
+// PositiveComponents is ConnectedComponents restricted to edges with
+// positive weight at least minPos; vertices linked only by negative or weak
+// edges fall into separate components. This mirrors the paper's
+// divide-and-conquer step that groups tables "connected non-trivially by
+// positive edges" before per-component synthesis.
+func (g *Graph) PositiveComponents(minPos float64) [][]int {
+	sub := New(g.n)
+	for _, e := range g.edges {
+		if e.Pos >= minPos && e.Pos > 0 {
+			sub.AddEdge(e.A, e.B, e.Pos, e.Neg)
+		}
+	}
+	return sub.ConnectedComponents()
+}
+
+// Subgraph extracts the induced subgraph over the given vertices. It returns
+// the new graph (with dense ids 0..len(vertices)-1, in the order given) and
+// the mapping from new id to original id.
+func (g *Graph) Subgraph(vertices []int) (*Graph, []int) {
+	idx := make(map[int]int, len(vertices))
+	orig := make([]int, len(vertices))
+	for i, v := range vertices {
+		idx[v] = i
+		orig[i] = v
+	}
+	sub := New(len(vertices))
+	for _, e := range g.edges {
+		ia, oka := idx[e.A]
+		ib, okb := idx[e.B]
+		if oka && okb {
+			sub.AddEdge(ia, ib, e.Pos, e.Neg)
+		}
+	}
+	return sub, orig
+}

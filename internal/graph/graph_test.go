@@ -1,0 +1,132 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"mapsynth/internal/mapreduce"
+)
+
+func TestGraphBasics(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 0.5, 0)
+	g.AddEdge(1, 0, 0.7, -0.1) // overwrite, normalized order
+	g.AddEdge(2, 3, 0.2, 0)
+	g.AddEdge(1, 1, 9, 9) // self-loop ignored
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2", g.NumEdges())
+	}
+	e := g.GetEdge(1, 0)
+	if e == nil || e.Pos != 0.7 || e.Neg != -0.1 {
+		t.Errorf("GetEdge = %+v", e)
+	}
+	if g.GetEdge(0, 3) != nil {
+		t.Error("absent edge should be nil")
+	}
+	if len(g.Neighbors(1)) != 1 {
+		t.Errorf("Neighbors(1) = %v", g.Neighbors(1))
+	}
+}
+
+func TestEdgesSorted(t *testing.T) {
+	g := New(5)
+	g.AddEdge(3, 4, 1, 0)
+	g.AddEdge(0, 2, 1, 0)
+	g.AddEdge(0, 1, 1, 0)
+	es := g.Edges()
+	if es[0].B != 1 || es[1].B != 2 || es[2].A != 3 {
+		t.Errorf("edges not sorted: %v", es)
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := New(7)
+	g.AddEdge(0, 1, 1, 0)
+	g.AddEdge(1, 2, 0, -0.5) // negative edges still connect components
+	g.AddEdge(4, 5, 1, 0)
+	comps := g.ConnectedComponents()
+	want := [][]int{{0, 1, 2}, {3}, {4, 5}, {6}}
+	if len(comps) != len(want) {
+		t.Fatalf("comps = %v", comps)
+	}
+	for i := range want {
+		if len(comps[i]) != len(want[i]) {
+			t.Fatalf("comps = %v, want %v", comps, want)
+		}
+		for j := range want[i] {
+			if comps[i][j] != want[i][j] {
+				t.Fatalf("comps = %v, want %v", comps, want)
+			}
+		}
+	}
+}
+
+func TestPositiveComponentsIgnoresWeakAndNegative(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 0.5, 0)
+	g.AddEdge(1, 2, 0.05, 0) // below threshold
+	g.AddEdge(2, 3, 0, -0.9) // negative only
+	comps := g.PositiveComponents(0.1)
+	if len(comps) != 3 {
+		t.Errorf("PositiveComponents = %v, want 3 components", comps)
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 2, 0.4, -0.1)
+	g.AddEdge(2, 4, 0.6, 0)
+	g.AddEdge(1, 3, 0.9, 0)
+	sub, orig := g.Subgraph([]int{0, 2, 4})
+	if sub.NumVertices() != 3 || sub.NumEdges() != 2 {
+		t.Fatalf("subgraph wrong: %d vertices %d edges", sub.NumVertices(), sub.NumEdges())
+	}
+	if orig[0] != 0 || orig[1] != 2 || orig[2] != 4 {
+		t.Errorf("orig mapping = %v", orig)
+	}
+	e := sub.GetEdge(0, 1)
+	if e == nil || e.Pos != 0.4 || e.Neg != -0.1 {
+		t.Errorf("subgraph edge = %+v", e)
+	}
+}
+
+func TestStripNegative(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 0.5, -0.4)
+	g.StripNegative()
+	if g.GetEdge(0, 1).Neg != 0 {
+		t.Error("StripNegative left a negative weight")
+	}
+	if g.GetEdge(0, 1).Pos != 0.5 {
+		t.Error("StripNegative must not touch positive weights")
+	}
+}
+
+// TestHashToMinMatchesBFS is a property test: on random graphs, the
+// mapreduce Hash-to-Min component algorithm agrees with BFS components.
+func TestHashToMinMatchesBFS(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(30)
+		g := New(n)
+		edges := rng.Intn(2 * n)
+		for i := 0; i < edges; i++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n), rng.Float64(), 0)
+		}
+		bfs := g.ConnectedComponents()
+		htm := g.HashToMinComponents(mapreduce.Config{Workers: 2})
+		if len(bfs) != len(htm) {
+			t.Fatalf("trial %d: %d vs %d components", trial, len(bfs), len(htm))
+		}
+		for i := range bfs {
+			if len(bfs[i]) != len(htm[i]) {
+				t.Fatalf("trial %d: component %d sizes differ: %v vs %v", trial, i, bfs[i], htm[i])
+			}
+			for j := range bfs[i] {
+				if bfs[i][j] != htm[i][j] {
+					t.Fatalf("trial %d: component %d differs: %v vs %v", trial, i, bfs[i], htm[i])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package graph
+
+import (
+	"sort"
+	"strconv"
+
+	"mapsynth/internal/mapreduce"
+)
+
+// HashToMinComponents computes connected components with the Hash-to-Min
+// algorithm of Rastogi et al. [13], expressed as iterated mapreduce rounds,
+// exactly as the paper scales component discovery (Appendix F).
+//
+// Every vertex starts with a cluster containing itself and its neighbors.
+// Each round, every vertex v sends its cluster's minimum m to all members of
+// its cluster, and its whole cluster to m. Clusters converge in O(log n)
+// rounds to: the component minimum holds the full component, every other
+// member holds just the minimum. The result matches ConnectedComponents.
+func (g *Graph) HashToMinComponents(cfg mapreduce.Config) [][]int {
+	// cluster[v] is v's current cluster, sorted ascending.
+	cluster := make([][]int, g.n)
+	for v := 0; v < g.n; v++ {
+		c := append([]int{v}, g.adj[v]...)
+		sort.Ints(c)
+		cluster[v] = dedupSorted(c)
+	}
+	inputs := make([]interface{}, g.n)
+	for {
+		for v := 0; v < g.n; v++ {
+			inputs[v] = v
+		}
+		changed := false
+		// Map: emit (member, min) for all members, and (min, cluster).
+		m := func(in interface{}, emit func(string, interface{})) {
+			v := in.(int)
+			c := cluster[v]
+			if len(c) == 0 {
+				return
+			}
+			minV := c[0]
+			for _, u := range c {
+				emit(strconv.Itoa(u), minV)
+			}
+			emit(strconv.Itoa(minV), c)
+		}
+		// Reduce: new cluster of v is the union of everything received.
+		r := func(key string, values []interface{}, emit func(interface{})) {
+			v, _ := strconv.Atoi(key)
+			var merged []int
+			for _, val := range values {
+				switch x := val.(type) {
+				case int:
+					merged = append(merged, x)
+				case []int:
+					merged = append(merged, x...)
+				}
+			}
+			merged = append(merged, v)
+			sort.Ints(merged)
+			merged = dedupSorted(merged)
+			emit([2]interface{}{v, merged})
+		}
+		outs := mapreduce.Run(inputs, m, r, cfg)
+		next := make([][]int, g.n)
+		for _, o := range outs {
+			pair := o.([2]interface{})
+			v := pair[0].(int)
+			next[v] = pair[1].([]int)
+		}
+		for v := 0; v < g.n; v++ {
+			if next[v] == nil {
+				next[v] = cluster[v]
+			}
+			if !equalInts(next[v], cluster[v]) {
+				changed = true
+			}
+		}
+		cluster = next
+		if !changed {
+			break
+		}
+	}
+	// Collect: vertex v owns a component iff min(cluster[v]) == v.
+	var comps [][]int
+	for v := 0; v < g.n; v++ {
+		if len(cluster[v]) > 0 && cluster[v][0] == v {
+			comps = append(comps, cluster[v])
+		}
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i][0] < comps[j][0] })
+	return comps
+}
+
+func dedupSorted(s []int) []int {
+	if len(s) < 2 {
+		return s
+	}
+	out := s[:1]
+	for _, v := range s[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

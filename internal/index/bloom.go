@@ -1,0 +1,85 @@
+// Package index provides fast containment lookup over synthesized mapping
+// tables. The paper motivates pre-computed mappings partly because they can
+// be "indexed ... using hash-based techniques (e.g., bloom filters) for
+// efficient lookup based on value containment" (Section 1); this package is
+// that index: a Bloom filter per mapping column plus an exact inverted index
+// for retrieval.
+package index
+
+import (
+	"hash/fnv"
+	"math"
+)
+
+// Bloom is a classic Bloom filter over string keys with k FNV-derived hash
+// functions. The zero value is not usable; construct with NewBloom.
+type Bloom struct {
+	bits []uint64
+	m    uint64 // number of bits
+	k    int    // number of hash functions
+	n    int    // elements added
+}
+
+// NewBloom sizes a filter for the expected number of elements and target
+// false-positive probability. It clamps to at least 64 bits and 1 hash.
+func NewBloom(expected int, fp float64) *Bloom {
+	if expected < 1 {
+		expected = 1
+	}
+	if fp <= 0 || fp >= 1 {
+		fp = 0.01
+	}
+	mf := -float64(expected) * math.Log(fp) / (math.Ln2 * math.Ln2)
+	m := uint64(mf)
+	if m < 64 {
+		m = 64
+	}
+	k := int(math.Round(mf / float64(expected) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	if k > 16 {
+		k = 16
+	}
+	return &Bloom{bits: make([]uint64, (m+63)/64), m: m, k: k}
+}
+
+// hashPair derives two independent 64-bit hashes of s (double hashing
+// generates the k positions: h1 + i*h2).
+func hashPair(s string) (uint64, uint64) {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	h1 := h.Sum64()
+	h.Write([]byte{0xff})
+	h2 := h.Sum64() | 1 // odd, so it cycles all positions
+	return h1, h2
+}
+
+// Add inserts a key.
+func (b *Bloom) Add(s string) {
+	h1, h2 := hashPair(s)
+	for i := 0; i < b.k; i++ {
+		pos := (h1 + uint64(i)*h2) % b.m
+		b.bits[pos/64] |= 1 << (pos % 64)
+	}
+	b.n++
+}
+
+// MayContain reports whether the key might be in the set (never false
+// negatives; false positives at roughly the configured rate).
+func (b *Bloom) MayContain(s string) bool {
+	h1, h2 := hashPair(s)
+	for i := 0; i < b.k; i++ {
+		pos := (h1 + uint64(i)*h2) % b.m
+		if b.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Len returns the number of keys added.
+func (b *Bloom) Len() int { return b.n }
+
+// Bits returns the filter size in bits.
+func (b *Bloom) Bits() uint64 { return b.m }

@@ -1,0 +1,217 @@
+package index
+
+import (
+	"sort"
+
+	"mapsynth/internal/mapping"
+	"mapsynth/internal/textnorm"
+)
+
+// MappingIndex answers "which synthesized mappings contain (many of) these
+// values in their left column?" — the lookup primitive behind auto-correct,
+// auto-fill and auto-join. Each mapping gets a Bloom filter over its
+// normalized left and right values for cheap pre-screening, backed by an
+// exact inverted index for scoring.
+type MappingIndex struct {
+	mappings []*mapping.Mapping
+	leftBF   []*Bloom
+	rightBF  []*Bloom
+	// inverted: normalized left value -> mapping positions containing it.
+	inverted map[string][]int32
+}
+
+// Build indexes the given mappings. The slice is retained; mappings must
+// not be mutated afterwards.
+func Build(maps []*mapping.Mapping) *MappingIndex {
+	ix := &MappingIndex{
+		mappings: maps,
+		leftBF:   make([]*Bloom, len(maps)),
+		rightBF:  make([]*Bloom, len(maps)),
+		inverted: make(map[string][]int32),
+	}
+	for i, m := range maps {
+		lb := NewBloom(len(m.Pairs), 0.01)
+		rb := NewBloom(len(m.Pairs), 0.01)
+		seenL := make(map[string]struct{})
+		for _, p := range m.Pairs {
+			nl, nr, ok := textnorm.NormalizePair(p.L, p.R)
+			if !ok {
+				continue
+			}
+			lb.Add(nl)
+			rb.Add(nr)
+			if _, dup := seenL[nl]; !dup {
+				seenL[nl] = struct{}{}
+				ix.inverted[nl] = append(ix.inverted[nl], int32(i))
+			}
+		}
+		ix.leftBF[i] = lb
+		ix.rightBF[i] = rb
+	}
+	return ix
+}
+
+// Len returns the number of indexed mappings.
+func (ix *MappingIndex) Len() int { return len(ix.mappings) }
+
+// Mapping returns the i-th indexed mapping.
+func (ix *MappingIndex) Mapping(i int) *mapping.Mapping { return ix.mappings[i] }
+
+// Hit is one candidate mapping for a query column.
+type Hit struct {
+	// Index is the mapping's position in the index.
+	Index int
+	// Mapping is the matched mapping.
+	Mapping *mapping.Mapping
+	// Coverage is the fraction of query values found in the mapping's left
+	// column.
+	Coverage float64
+	// Matched is the number of query values found.
+	Matched int
+}
+
+// LookupLeft finds mappings whose left column covers at least minCoverage of
+// the query values. Results are sorted by coverage descending, then by more
+// contributing domains (popularity), then by index for determinism.
+func (ix *MappingIndex) LookupLeft(values []string, minCoverage float64) []Hit {
+	normed := make([]string, 0, len(values))
+	seen := make(map[string]struct{}, len(values))
+	for _, v := range values {
+		nv := textnorm.Normalize(v)
+		if nv == "" {
+			continue
+		}
+		if _, dup := seen[nv]; dup {
+			continue
+		}
+		seen[nv] = struct{}{}
+		normed = append(normed, nv)
+	}
+	if len(normed) == 0 {
+		return nil
+	}
+	// Bloom pre-screen: count prospective matches per mapping.
+	bloomCount := make(map[int]int)
+	for _, nv := range normed {
+		for i, bf := range ix.leftBF {
+			if bf.MayContain(nv) {
+				bloomCount[i]++
+			}
+		}
+	}
+	minMatched := int(minCoverage * float64(len(normed)))
+	var hits []Hit
+	for i, bc := range bloomCount {
+		if bc < minMatched {
+			continue // even with false positives it can't reach coverage
+		}
+		// Exact verification via the inverted index.
+		matched := 0
+		for _, nv := range normed {
+			if containsMapping(ix.inverted[nv], int32(i)) {
+				matched++
+			}
+		}
+		cov := float64(matched) / float64(len(normed))
+		if cov >= minCoverage && matched > 0 {
+			hits = append(hits, Hit{Index: i, Mapping: ix.mappings[i], Coverage: cov, Matched: matched})
+		}
+	}
+	sort.Slice(hits, func(a, b int) bool {
+		if hits[a].Coverage != hits[b].Coverage {
+			return hits[a].Coverage > hits[b].Coverage
+		}
+		da, db := hits[a].Mapping.NumDomains(), hits[b].Mapping.NumDomains()
+		if da != db {
+			return da > db
+		}
+		return hits[a].Index < hits[b].Index
+	})
+	return hits
+}
+
+func containsMapping(list []int32, id int32) bool {
+	for _, x := range list {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// MixedColumnHits finds mappings where the query values are split between
+// the left and right columns — the auto-correction signal (Table 3: a state
+// column mixing full names and abbreviations). A hit requires at least
+// minEach values on each side and combined coverage of minCoverage.
+func (ix *MappingIndex) MixedColumnHits(values []string, minEach int, minCoverage float64) []Hit {
+	normed := make([]string, 0, len(values))
+	seen := make(map[string]struct{}, len(values))
+	for _, v := range values {
+		nv := textnorm.Normalize(v)
+		if nv == "" {
+			continue
+		}
+		if _, dup := seen[nv]; dup {
+			continue
+		}
+		seen[nv] = struct{}{}
+		normed = append(normed, nv)
+	}
+	if len(normed) == 0 {
+		return nil
+	}
+	var hits []Hit
+	for i, m := range ix.mappings {
+		lb, rb := ix.leftBF[i], ix.rightBF[i]
+		var leftVals, rightVals int
+		// Bloom screen then exact check against the mapping's value sets.
+		leftSet, rightSet := mappingValueSets(m)
+		for _, nv := range normed {
+			inL := lb.MayContain(nv)
+			inR := rb.MayContain(nv)
+			if inL {
+				_, inL = leftSet[nv]
+			}
+			if inR {
+				_, inR = rightSet[nv]
+			}
+			switch {
+			case inL && !inR:
+				leftVals++
+			case inR && !inL:
+				rightVals++
+			case inL && inR:
+				leftVals++ // ambiguous values count toward the left
+			}
+		}
+		total := leftVals + rightVals
+		cov := float64(total) / float64(len(normed))
+		if leftVals >= minEach && rightVals >= minEach && cov >= minCoverage {
+			hits = append(hits, Hit{Index: i, Mapping: m, Coverage: cov, Matched: total})
+		}
+	}
+	sort.Slice(hits, func(a, b int) bool {
+		if hits[a].Coverage != hits[b].Coverage {
+			return hits[a].Coverage > hits[b].Coverage
+		}
+		return hits[a].Index < hits[b].Index
+	})
+	return hits
+}
+
+// mappingValueSets materializes normalized left and right value sets of a
+// mapping. Small mappings dominate, so recomputation is cheap relative to
+// storing both sets for every mapping permanently.
+func mappingValueSets(m *mapping.Mapping) (left, right map[string]struct{}) {
+	left = make(map[string]struct{}, len(m.Pairs))
+	right = make(map[string]struct{}, len(m.Pairs))
+	for _, p := range m.Pairs {
+		nl, nr, ok := textnorm.NormalizePair(p.L, p.R)
+		if !ok {
+			continue
+		}
+		left[nl] = struct{}{}
+		right[nr] = struct{}{}
+	}
+	return left, right
+}

@@ -1,0 +1,106 @@
+// Package kb is a small knowledge-base substrate simulating RDF dumps of
+// Freebase [7] and YAGO [34], which the paper compares against. A KB stores
+// (subject, predicate, object) triples; grouping triples by predicate yields
+// candidate binary relations in both directions (subject→object and
+// object→subject), exactly how the paper extracts relations from the dumps.
+//
+// KBs in the paper have characteristic weaknesses the simulation preserves:
+// limited relation coverage (YAGO has none of the Table-1 mappings, Freebase
+// misses stocks and airports) and essentially no synonyms per entity —
+// while uniquely covering specialist long-tail domains (chemistry) better
+// than web tables.
+package kb
+
+import (
+	"sort"
+
+	"mapsynth/internal/table"
+)
+
+// Triple is one (subject, predicate, object) fact.
+type Triple struct {
+	S, P, O string
+}
+
+// Store is an in-memory triple store.
+type Store struct {
+	Name    string
+	triples []Triple
+}
+
+// NewStore returns an empty KB with the given name ("freebase", "yago").
+func NewStore(name string) *Store { return &Store{Name: name} }
+
+// Add inserts a triple.
+func (s *Store) Add(sub, pred, obj string) {
+	s.triples = append(s.triples, Triple{S: sub, P: pred, O: obj})
+}
+
+// Len returns the number of triples.
+func (s *Store) Len() int { return len(s.triples) }
+
+// Predicates returns the distinct predicates, sorted.
+func (s *Store) Predicates() []string {
+	set := make(map[string]struct{})
+	for _, t := range s.triples {
+		set[t.P] = struct{}{}
+	}
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Relation is one candidate binary relation extracted from the KB.
+type Relation struct {
+	// Predicate is the grouping predicate.
+	Predicate string
+	// Reversed is true for the object→subject direction.
+	Reversed bool
+	// Pairs holds the relation's value pairs.
+	Pairs []table.Pair
+}
+
+// Relations groups triples by predicate and emits both directions for each
+// predicate, mirroring the paper's treatment ("subject → object as one
+// candidate relationship, and the object → subject as another"). Output is
+// sorted by (predicate, direction) and pairs are deduplicated.
+func (s *Store) Relations() []Relation {
+	byPred := make(map[string][]table.Pair)
+	for _, t := range s.triples {
+		byPred[t.P] = append(byPred[t.P], table.Pair{L: t.S, R: t.O})
+	}
+	preds := make([]string, 0, len(byPred))
+	for p := range byPred {
+		preds = append(preds, p)
+	}
+	sort.Strings(preds)
+	var out []Relation
+	for _, p := range preds {
+		fwd := dedupPairs(byPred[p])
+		rev := make([]table.Pair, len(fwd))
+		for i, pr := range fwd {
+			rev[i] = table.Pair{L: pr.R, R: pr.L}
+		}
+		out = append(out,
+			Relation{Predicate: p, Reversed: false, Pairs: fwd},
+			Relation{Predicate: p, Reversed: true, Pairs: dedupPairs(rev)},
+		)
+	}
+	return out
+}
+
+func dedupPairs(in []table.Pair) []table.Pair {
+	seen := make(map[table.Pair]struct{}, len(in))
+	out := make([]table.Pair, 0, len(in))
+	for _, p := range in {
+		if _, dup := seen[p]; dup {
+			continue
+		}
+		seen[p] = struct{}{}
+		out = append(out, p)
+	}
+	return out
+}

@@ -1,0 +1,40 @@
+package kb
+
+import "testing"
+
+func TestStoreAndRelations(t *testing.T) {
+	s := NewStore("freebase")
+	s.Add("Japan", "country-capital", "Tokyo")
+	s.Add("France", "country-capital", "Paris")
+	s.Add("Japan", "country-capital", "Tokyo") // duplicate triple
+	s.Add("Hydrogen", "element-symbol", "H")
+	if s.Len() != 4 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	preds := s.Predicates()
+	if len(preds) != 2 || preds[0] != "country-capital" || preds[1] != "element-symbol" {
+		t.Fatalf("Predicates = %v", preds)
+	}
+	rels := s.Relations()
+	// Two predicates, two directions each.
+	if len(rels) != 4 {
+		t.Fatalf("Relations = %d, want 4", len(rels))
+	}
+	// Forward direction first, deduplicated.
+	if rels[0].Predicate != "country-capital" || rels[0].Reversed {
+		t.Errorf("rels[0] = %+v", rels[0])
+	}
+	if len(rels[0].Pairs) != 2 {
+		t.Errorf("forward pairs = %v", rels[0].Pairs)
+	}
+	if !rels[1].Reversed || rels[1].Pairs[0].L != "Tokyo" {
+		t.Errorf("rels[1] = %+v", rels[1])
+	}
+}
+
+func TestEmptyStore(t *testing.T) {
+	s := NewStore("yago")
+	if len(s.Relations()) != 0 || len(s.Predicates()) != 0 {
+		t.Error("empty store should have no relations")
+	}
+}

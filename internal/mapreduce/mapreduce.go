@@ -1,0 +1,138 @@
+// Package mapreduce is a small in-process map-shuffle-reduce engine.
+//
+// The paper runs candidate extraction, compatibility computation and
+// connected components as Map-Reduce jobs on a production cluster. This
+// package reproduces the same dataflow shape — a map phase emitting keyed
+// records, a hash shuffle, and a reduce phase over per-key groups — with a
+// bounded worker pool, so the pipeline code reads like its distributed
+// counterpart while running on one machine.
+package mapreduce
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// KV is one keyed record flowing between the map and reduce phases.
+type KV struct {
+	Key   string
+	Value interface{}
+}
+
+// Mapper transforms one input record into zero or more keyed records by
+// calling emit.
+type Mapper func(input interface{}, emit func(key string, value interface{}))
+
+// Reducer folds all values that share a key into zero or more outputs by
+// calling emit.
+type Reducer func(key string, values []interface{}, emit func(output interface{}))
+
+// Config controls job execution.
+type Config struct {
+	// Workers bounds map- and reduce-phase parallelism. Zero selects
+	// runtime.NumCPU().
+	Workers int
+	// SortKeys makes the reduce phase process keys in ascending order,
+	// guaranteeing deterministic output order. It costs a sort of the key
+	// set and defaults to true in Run.
+	SortKeys bool
+}
+
+// Run executes a full map-shuffle-reduce job over inputs and returns the
+// concatenated reducer outputs. Output order is deterministic when
+// cfg.SortKeys is set: reducer outputs appear in ascending key order, and
+// within a key the values arrive in input order.
+func Run(inputs []interface{}, m Mapper, r Reducer, cfg Config) []interface{} {
+	groups := MapShuffle(inputs, m, cfg)
+	return Reduce(groups, r, cfg)
+}
+
+// MapShuffle executes the map phase over inputs in parallel and shuffles the
+// emitted records into per-key groups. Within a key, values are ordered by
+// the index of the input record that emitted them (stable shuffle), so the
+// result is independent of scheduling.
+func MapShuffle(inputs []interface{}, m Mapper, cfg Config) map[string][]interface{} {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(inputs) && len(inputs) > 0 {
+		workers = len(inputs)
+	}
+	type emitted struct {
+		idx int
+		kvs []KV
+	}
+	results := make([][]KV, len(inputs))
+	var wg sync.WaitGroup
+	ch := make(chan int, workers)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				var kvs []KV
+				m(inputs[i], func(k string, v interface{}) {
+					kvs = append(kvs, KV{Key: k, Value: v})
+				})
+				results[i] = kvs
+			}
+		}()
+	}
+	for i := range inputs {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+	groups := make(map[string][]interface{})
+	for _, kvs := range results {
+		for _, kv := range kvs {
+			groups[kv.Key] = append(groups[kv.Key], kv.Value)
+		}
+	}
+	return groups
+}
+
+// Reduce executes the reduce phase over per-key groups in parallel and
+// concatenates outputs. With cfg.SortKeys (or by default in Run) the outputs
+// appear in ascending key order.
+func Reduce(groups map[string][]interface{}, r Reducer, cfg Config) []interface{} {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if workers > len(keys) && len(keys) > 0 {
+		workers = len(keys)
+	}
+	outs := make([][]interface{}, len(keys))
+	var wg sync.WaitGroup
+	ch := make(chan int, workers)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				k := keys[i]
+				var out []interface{}
+				r(k, groups[k], func(o interface{}) { out = append(out, o) })
+				outs[i] = out
+			}
+		}()
+	}
+	for i := range keys {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+	var all []interface{}
+	for _, o := range outs {
+		all = append(all, o...)
+	}
+	return all
+}

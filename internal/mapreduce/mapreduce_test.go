@@ -1,0 +1,93 @@
+package mapreduce
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestWordCount(t *testing.T) {
+	inputs := []interface{}{"a b a", "b c", "a"}
+	m := func(in interface{}, emit func(string, interface{})) {
+		for _, w := range strings.Fields(in.(string)) {
+			emit(w, 1)
+		}
+	}
+	r := func(key string, values []interface{}, emit func(interface{})) {
+		emit(key + "=" + strconv.Itoa(len(values)))
+	}
+	out := Run(inputs, m, r, Config{Workers: 3})
+	want := []string{"a=3", "b=2", "c=1"}
+	if len(out) != len(want) {
+		t.Fatalf("out = %v", out)
+	}
+	for i, w := range want {
+		if out[i].(string) != w {
+			t.Errorf("out[%d] = %v, want %s", i, out[i], w)
+		}
+	}
+}
+
+func TestDeterministicValueOrderWithinKey(t *testing.T) {
+	// Values within a key must arrive in input order regardless of workers.
+	var inputs []interface{}
+	for i := 0; i < 200; i++ {
+		inputs = append(inputs, i)
+	}
+	m := func(in interface{}, emit func(string, interface{})) {
+		emit("k", in.(int))
+	}
+	r := func(key string, values []interface{}, emit func(interface{})) {
+		for i, v := range values {
+			if v.(int) != i {
+				t.Errorf("values out of order: pos %d holds %v", i, v)
+			}
+		}
+		emit(len(values))
+	}
+	for _, workers := range []int{1, 2, 8} {
+		out := Run(inputs, m, r, Config{Workers: workers})
+		if len(out) != 1 || out[0].(int) != 200 {
+			t.Fatalf("workers=%d out=%v", workers, out)
+		}
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	out := Run(nil,
+		func(in interface{}, emit func(string, interface{})) {},
+		func(k string, vs []interface{}, emit func(interface{})) { emit(1) },
+		Config{})
+	if len(out) != 0 {
+		t.Errorf("out = %v, want empty", out)
+	}
+}
+
+func TestReduceKeysSorted(t *testing.T) {
+	inputs := []interface{}{"z", "a", "m"}
+	m := func(in interface{}, emit func(string, interface{})) {
+		emit(in.(string), nil)
+	}
+	var seen []string
+	r := func(key string, values []interface{}, emit func(interface{})) {
+		emit(key)
+	}
+	out := Run(inputs, m, r, Config{Workers: 1})
+	for _, o := range out {
+		seen = append(seen, o.(string))
+	}
+	if strings.Join(seen, "") != "amz" {
+		t.Errorf("keys not sorted: %v", seen)
+	}
+}
+
+func TestMapperEmittingNothing(t *testing.T) {
+	inputs := []interface{}{1, 2, 3}
+	out := Run(inputs,
+		func(in interface{}, emit func(string, interface{})) {},
+		func(k string, vs []interface{}, emit func(interface{})) { emit(k) },
+		Config{})
+	if len(out) != 0 {
+		t.Errorf("out = %v", out)
+	}
+}

@@ -1,0 +1,122 @@
+package refdata
+
+// airport is one row of the curated airport dataset (Table 1d of the
+// paper). Airport names have rich synonym structure (renamings, short
+// forms), and the relation is large in reality (10K+ airports), which is
+// why the paper uses it to demonstrate table expansion (Appendix I).
+type airport struct {
+	name string
+	syn  []string
+	iata string
+	icao string
+	city string
+}
+
+var airports = []airport{
+	{"Los Angeles International Airport", []string{"LAX Airport"}, "LAX", "KLAX", "Los Angeles"},
+	{"San Francisco International Airport", nil, "SFO", "KSFO", "San Francisco"},
+	{"John F. Kennedy International Airport", []string{"New York JFK", "Kennedy Airport"}, "JFK", "KJFK", "New York"},
+	{"O'Hare International Airport", []string{"Chicago O'Hare"}, "ORD", "KORD", "Chicago"},
+	{"Hartsfield-Jackson Atlanta International Airport", []string{"Atlanta International Airport"}, "ATL", "KATL", "Atlanta"},
+	{"Dallas/Fort Worth International Airport", []string{"DFW Airport"}, "DFW", "KDFW", "Dallas"},
+	{"Denver International Airport", nil, "DEN", "KDEN", "Denver"},
+	{"Seattle-Tacoma International Airport", []string{"Sea-Tac Airport"}, "SEA", "KSEA", "Seattle"},
+	{"Miami International Airport", nil, "MIA", "KMIA", "Miami"},
+	{"Harry Reid International Airport", []string{"McCarran International Airport", "Las Vegas Airport"}, "LAS", "KLAS", "Las Vegas"},
+	{"Phoenix Sky Harbor International Airport", nil, "PHX", "KPHX", "Phoenix"},
+	{"George Bush Intercontinental Airport", []string{"Houston Intercontinental"}, "IAH", "KIAH", "Houston"},
+	{"Logan International Airport", []string{"Boston Logan"}, "BOS", "KBOS", "Boston"},
+	{"Minneapolis-Saint Paul International Airport", nil, "MSP", "KMSP", "Minneapolis"},
+	{"Detroit Metropolitan Airport", []string{"Detroit Metro Airport"}, "DTW", "KDTW", "Detroit"},
+	{"Philadelphia International Airport", nil, "PHL", "KPHL", "Philadelphia"},
+	{"LaGuardia Airport", []string{"New York LaGuardia"}, "LGA", "KLGA", "New York"},
+	{"Baltimore/Washington International Airport", nil, "BWI", "KBWI", "Baltimore"},
+	{"Salt Lake City International Airport", nil, "SLC", "KSLC", "Salt Lake City"},
+	{"San Diego International Airport", []string{"Lindbergh Field"}, "SAN", "KSAN", "San Diego"},
+	{"Ronald Reagan Washington National Airport", []string{"Reagan National"}, "DCA", "KDCA", "Washington"},
+	{"Washington Dulles International Airport", []string{"Dulles Airport"}, "IAD", "KIAD", "Washington"},
+	{"Tampa International Airport", nil, "TPA", "KTPA", "Tampa"},
+	{"Portland International Airport", nil, "PDX", "KPDX", "Portland"},
+	{"Daniel K. Inouye International Airport", []string{"Honolulu International Airport"}, "HNL", "PHNL", "Honolulu"},
+	{"London Heathrow Airport", []string{"Heathrow", "Heathrow Airport"}, "LHR", "EGLL", "London"},
+	{"London Gatwick Airport", []string{"Gatwick"}, "LGW", "EGKK", "London"},
+	{"Charles de Gaulle Airport", []string{"Paris-Charles de Gaulle", "Roissy Airport"}, "CDG", "LFPG", "Paris"},
+	{"Paris Orly Airport", []string{"Orly"}, "ORY", "LFPO", "Paris"},
+	{"Frankfurt Airport", []string{"Frankfurt am Main Airport"}, "FRA", "EDDF", "Frankfurt"},
+	{"Munich Airport", []string{"Franz Josef Strauss Airport"}, "MUC", "EDDM", "Munich"},
+	{"Amsterdam Airport Schiphol", []string{"Schiphol"}, "AMS", "EHAM", "Amsterdam"},
+	{"Adolfo Suarez Madrid-Barajas Airport", []string{"Madrid Barajas"}, "MAD", "LEMD", "Madrid"},
+	{"Josep Tarradellas Barcelona-El Prat Airport", []string{"Barcelona El Prat"}, "BCN", "LEBL", "Barcelona"},
+	{"Leonardo da Vinci-Fiumicino Airport", []string{"Rome Fiumicino"}, "FCO", "LIRF", "Rome"},
+	{"Zurich Airport", []string{"Kloten Airport"}, "ZRH", "LSZH", "Zurich"},
+	{"Vienna International Airport", []string{"Schwechat"}, "VIE", "LOWW", "Vienna"},
+	{"Copenhagen Airport", []string{"Kastrup"}, "CPH", "EKCH", "Copenhagen"},
+	{"Stockholm Arlanda Airport", []string{"Arlanda"}, "ARN", "ESSA", "Stockholm"},
+	{"Oslo Airport Gardermoen", []string{"Gardermoen"}, "OSL", "ENGM", "Oslo"},
+	{"Tokyo International Airport", []string{"Haneda Airport", "Tokyo Haneda"}, "HND", "RJTT", "Tokyo"},
+	{"Narita International Airport", []string{"Tokyo Narita"}, "NRT", "RJAA", "Tokyo"},
+	{"Incheon International Airport", []string{"Seoul Incheon"}, "ICN", "RKSI", "Seoul"},
+	{"Beijing Capital International Airport", nil, "PEK", "ZBAA", "Beijing"},
+	{"Shanghai Pudong International Airport", []string{"Pudong Airport"}, "PVG", "ZSPD", "Shanghai"},
+	{"Hong Kong International Airport", []string{"Chek Lap Kok"}, "HKG", "VHHH", "Hong Kong"},
+	{"Singapore Changi Airport", []string{"Changi"}, "SIN", "WSSS", "Singapore"},
+	{"Sydney Kingsford Smith Airport", []string{"Sydney Airport"}, "SYD", "YSSY", "Sydney"},
+	{"Dubai International Airport", nil, "DXB", "OMDB", "Dubai"},
+	{"Toronto Pearson International Airport", []string{"Pearson Airport"}, "YYZ", "CYYZ", "Toronto"},
+	{"Sao Paulo Guarulhos International Airport", []string{"Guarulhos"}, "GRU", "SBGR", "Sao Paulo"},
+	{"Mexico City International Airport", []string{"Benito Juarez International Airport"}, "MEX", "MMMX", "Mexico City"},
+}
+
+// AirportRelations returns the airport-based benchmark relations (IATA and
+// ICAO are both on the paper's Figure-6 geocoding list). Per the paper, both
+// Freebase and YAGO miss airport-code mappings.
+func AirportRelations() []*Relation {
+	left := []string{"airport", "airport name", "name"}
+
+	iata := Project("airport-iata", "airport name", "iata", len(airports),
+		func(i int) string { return airports[i].name },
+		func(i int) string { return airports[i].iata },
+		func(i int) []string { return airports[i].syn })
+	iata.GenericLeft = left
+	iata.GenericRight = []string{"iata", "code", "iata code"}
+	iata.Presence = PresenceHigh
+	iata.HasWikiTable = true
+
+	icao := Project("airport-icao", "airport name", "icao", len(airports),
+		func(i int) string { return airports[i].name },
+		func(i int) string { return airports[i].icao },
+		func(i int) []string { return airports[i].syn })
+	icao.GenericLeft = left
+	icao.GenericRight = []string{"icao", "code", "icao code"}
+	icao.Presence = PresenceMedium
+	icao.HasWikiTable = true
+
+	iataToIcao := Project("iata-icao", "iata", "icao", len(airports),
+		func(i int) string { return airports[i].iata },
+		func(i int) string { return airports[i].icao }, nil)
+	iataToIcao.GenericLeft = []string{"iata", "code"}
+	iataToIcao.GenericRight = []string{"icao", "code"}
+	iataToIcao.Presence = PresenceLow
+	iataToIcao.HasWikiTable = true
+
+	city := Project("airport-city", "airport name", "city", len(airports),
+		func(i int) string { return airports[i].name },
+		func(i int) string { return airports[i].city },
+		func(i int) []string { return airports[i].syn })
+	city.GenericLeft = left
+	city.GenericRight = []string{"city", "location", "serves"}
+	city.Presence = PresenceMedium
+
+	return []*Relation{iata, icao, iataToIcao, city}
+}
+
+// AirportExpansionPairs returns the full (airport, IATA) instance list for
+// the trusted-source expansion experiment (Appendix I): canonical names
+// only, as an authoritative feed would publish them.
+func AirportExpansionPairs() [][2]string {
+	out := make([][2]string, len(airports))
+	for i, a := range airports {
+		out[i] = [2]string{a.name, a.iata}
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package refdata
+
+// company is one row of the curated company dataset (Table 1b of the
+// paper). Company names have strong synonym structure ("Microsoft Corp",
+// "Microsoft Corporation") that single raw tables never capture.
+type company struct {
+	name   string
+	syn    []string
+	ticker string
+	hq     string
+}
+
+var companies = []company{
+	{"Microsoft", []string{"Microsoft Corp", "Microsoft Corporation"}, "MSFT", "Redmond"},
+	{"Apple", []string{"Apple Inc.", "Apple Computer"}, "AAPL", "Cupertino"},
+	{"Alphabet", []string{"Google", "Alphabet Inc."}, "GOOGL", "Mountain View"},
+	{"Amazon", []string{"Amazon.com", "Amazon.com Inc."}, "AMZN", "Seattle"},
+	{"Meta Platforms", []string{"Facebook", "Meta"}, "META", "Menlo Park"},
+	{"Oracle", []string{"Oracle Corp", "Oracle Corporation"}, "ORCL", "Austin"},
+	{"Intel", []string{"Intel Corp"}, "INTC", "Santa Clara"},
+	{"IBM", []string{"International Business Machines"}, "IBM", "Armonk"},
+	{"General Electric", []string{"GE"}, "GE", "Boston"},
+	{"Walmart", []string{"Wal-Mart", "Walmart Inc."}, "WMT", "Bentonville"},
+	{"United Parcel Service", []string{"UPS", "United Parcel Services"}, "UPS", "Atlanta"},
+	{"AT&T", []string{"AT&T Inc."}, "T", "Dallas"},
+	{"Verizon", []string{"Verizon Communications"}, "VZ", "New York"},
+	{"Johnson & Johnson", []string{"J&J"}, "JNJ", "New Brunswick"},
+	{"Procter & Gamble", []string{"P&G", "Procter and Gamble"}, "PG", "Cincinnati"},
+	{"Coca-Cola", []string{"The Coca-Cola Company", "Coke"}, "KO", "Atlanta"},
+	{"PepsiCo", []string{"Pepsi"}, "PEP", "Purchase"},
+	{"McDonald's", []string{"McDonalds Corp"}, "MCD", "Chicago"},
+	{"Nike", []string{"Nike Inc."}, "NKE", "Beaverton"},
+	{"Boeing", []string{"The Boeing Company"}, "BA", "Chicago"},
+	{"Ford Motor", []string{"Ford", "Ford Motor Company"}, "F", "Dearborn"},
+	{"General Motors", []string{"GM"}, "GM", "Detroit"},
+	{"Tesla", []string{"Tesla Inc.", "Tesla Motors"}, "TSLA", "Austin"},
+	{"Netflix", nil, "NFLX", "Los Gatos"},
+	{"Nvidia", []string{"NVIDIA Corp"}, "NVDA", "Santa Clara"},
+	{"Adobe", []string{"Adobe Systems"}, "ADBE", "San Jose"},
+	{"Salesforce", []string{"Salesforce.com"}, "CRM", "San Francisco"},
+	{"Cisco Systems", []string{"Cisco"}, "CSCO", "San Jose"},
+	{"Qualcomm", nil, "QCOM", "San Diego"},
+	{"Texas Instruments", []string{"TI"}, "TXN", "Dallas"},
+	{"Goldman Sachs", []string{"The Goldman Sachs Group"}, "GS", "New York"},
+	{"JPMorgan Chase", []string{"JP Morgan", "JPMorgan"}, "JPM", "New York"},
+	{"Bank of America", []string{"BofA"}, "BAC", "Charlotte"},
+	{"Wells Fargo", nil, "WFC", "San Francisco"},
+	{"Morgan Stanley", nil, "MS", "New York"},
+	{"American Express", []string{"Amex"}, "AXP", "New York"},
+	{"Visa", []string{"Visa Inc."}, "V", "San Francisco"},
+	{"Mastercard", nil, "MA", "Purchase"},
+	{"Exxon Mobil", []string{"ExxonMobil", "Exxon"}, "XOM", "Irving"},
+	{"Chevron", nil, "CVX", "San Ramon"},
+	{"Pfizer", nil, "PFE", "New York"},
+	{"Merck", []string{"Merck & Co."}, "MRK", "Rahway"},
+	{"Walt Disney", []string{"Disney", "The Walt Disney Company"}, "DIS", "Burbank"},
+	{"Starbucks", nil, "SBUX", "Seattle"},
+	{"Home Depot", []string{"The Home Depot"}, "HD", "Atlanta"},
+	{"Target", nil, "TGT", "Minneapolis"},
+	{"Costco", []string{"Costco Wholesale"}, "COST", "Issaquah"},
+	{"FedEx", nil, "FDX", "Memphis"},
+	{"Caterpillar", nil, "CAT", "Peoria"},
+	{"Honeywell", nil, "HON", "Charlotte"},
+}
+
+// CompanyRelations returns the stock-market benchmark relations. Per the
+// paper, both Freebase and YAGO miss the stock-ticker mapping.
+func CompanyRelations() []*Relation {
+	left := []string{"company", "name", "company name"}
+
+	ticker := Project("company-ticker", "company", "ticker", len(companies),
+		func(i int) string { return companies[i].name },
+		func(i int) string { return companies[i].ticker },
+		func(i int) []string { return companies[i].syn })
+	ticker.GenericLeft = left
+	ticker.GenericRight = []string{"ticker", "symbol", "code"}
+	ticker.Presence = PresenceHigh
+	ticker.HasWikiTable = true
+
+	tickerToCompany := ticker.Reversed("ticker-company", "ticker", "company")
+	tickerToCompany.Presence = PresenceHigh
+
+	hq := Project("company-hq", "company", "headquarters", len(companies),
+		func(i int) string { return companies[i].name },
+		func(i int) string { return companies[i].hq },
+		func(i int) []string { return companies[i].syn })
+	hq.GenericLeft = left
+	hq.GenericRight = []string{"headquarters", "city", "hq"}
+	hq.Presence = PresenceMedium
+	hq.InFreebase = true
+	hq.InYAGO = true
+
+	return []*Relation{ticker, tickerToCompany, hq}
+}

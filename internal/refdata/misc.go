@@ -1,0 +1,359 @@
+package refdata
+
+// This file curates the smaller query-log-style relations (Figure 5 of the
+// paper: "list of A and B"): cars, cities, languages, calendars, phonetic
+// and scientific code systems.
+
+var carModels = [][2]string{
+	{"F-150", "Ford"}, {"Mustang", "Ford"}, {"Escape", "Ford"}, {"Explorer", "Ford"},
+	{"Focus", "Ford"}, {"Fusion", "Ford"}, {"Ranger", "Ford"},
+	{"Accord", "Honda"}, {"Civic", "Honda"}, {"CR-V", "Honda"}, {"Pilot", "Honda"}, {"Odyssey", "Honda"},
+	{"Camry", "Toyota"}, {"Corolla", "Toyota"}, {"RAV4", "Toyota"}, {"Highlander", "Toyota"},
+	{"Prius", "Toyota"}, {"Tacoma", "Toyota"}, {"4Runner", "Toyota"},
+	{"Charger", "Dodge"}, {"Challenger", "Dodge"}, {"Durango", "Dodge"},
+	{"Altima", "Nissan"}, {"Sentra", "Nissan"}, {"Rogue", "Nissan"}, {"Pathfinder", "Nissan"},
+	{"Silverado", "Chevrolet"}, {"Malibu", "Chevrolet"}, {"Equinox", "Chevrolet"},
+	{"Tahoe", "Chevrolet"}, {"Camaro", "Chevrolet"}, {"Corvette", "Chevrolet"},
+	{"Elantra", "Hyundai"}, {"Sonata", "Hyundai"}, {"Tucson", "Hyundai"}, {"Santa Fe", "Hyundai"},
+	{"Optima", "Kia"}, {"Sorento", "Kia"}, {"Sportage", "Kia"},
+	{"Outback", "Subaru"}, {"Forester", "Subaru"}, {"Impreza", "Subaru"},
+	{"Wrangler", "Jeep"}, {"Cherokee", "Jeep"}, {"Grand Cherokee", "Jeep"},
+	{"3 Series", "BMW"}, {"5 Series", "BMW"}, {"X5", "BMW"},
+	{"C-Class", "Mercedes-Benz"}, {"E-Class", "Mercedes-Benz"},
+	{"A4", "Audi"}, {"Q5", "Audi"},
+	{"Golf", "Volkswagen"}, {"Jetta", "Volkswagen"}, {"Passat", "Volkswagen"}, {"Tiguan", "Volkswagen"},
+	{"Model S", "Tesla"}, {"Model 3", "Tesla"}, {"Model X", "Tesla"}, {"Model Y", "Tesla"},
+}
+
+// worldCities maps prominent non-capital cities to countries, distinct from
+// the capital-country relation.
+var worldCities = [][2]string{
+	{"New York", "United States"}, {"Los Angeles", "United States"}, {"Chicago", "United States"},
+	{"Barcelona", "Spain"}, {"Valencia", "Spain"},
+	{"Munich", "Germany"}, {"Hamburg", "Germany"}, {"Frankfurt", "Germany"},
+	{"Milan", "Italy"}, {"Naples", "Italy"}, {"Turin", "Italy"},
+	{"Osaka", "Japan"}, {"Nagoya", "Japan"}, {"Yokohama", "Japan"},
+	{"Shanghai", "China"}, {"Shenzhen", "China"}, {"Guangzhou", "China"},
+	{"Mumbai", "India"}, {"Chennai", "India"}, {"Kolkata", "India"},
+	{"Sydney", "Australia"}, {"Melbourne", "Australia"}, {"Brisbane", "Australia"},
+	{"Toronto", "Canada"}, {"Vancouver", "Canada"}, {"Montreal", "Canada"},
+	{"Rio de Janeiro", "Brazil"}, {"Sao Paulo", "Brazil"}, {"Curitiba", "Brazil"},
+	{"Saint Petersburg", "Russia"}, {"Novosibirsk", "Russia"},
+	{"Busan", "South Korea"}, {"Incheon", "South Korea"},
+	{"Marseille", "France"}, {"Lyon", "France"},
+	{"Krakow", "Poland"}, {"Gdansk", "Poland"},
+	{"Porto", "Portugal"}, {"Rotterdam", "Netherlands"}, {"Geneva", "Switzerland"},
+	{"Gothenburg", "Sweden"}, {"Bergen", "Norway"}, {"Aarhus", "Denmark"},
+	{"Antwerp", "Belgium"}, {"Auckland", "New Zealand"}, {"Johannesburg", "South Africa"},
+	{"Casablanca", "Morocco"}, {"Alexandria", "Egypt"}, {"Istanbul", "Turkey"},
+	{"Karachi", "Pakistan"}, {"Ho Chi Minh City", "Vietnam"}, {"Chiang Mai", "Thailand"},
+	{"Medellin", "Colombia"}, {"Guadalajara", "Mexico"}, {"Cordoba", "Argentina"},
+}
+
+var languages = [][2]string{
+	{"English", "en"}, {"French", "fr"}, {"Spanish", "es"}, {"German", "de"},
+	{"Italian", "it"}, {"Portuguese", "pt"}, {"Dutch", "nl"}, {"Russian", "ru"},
+	{"Japanese", "ja"}, {"Chinese", "zh"}, {"Korean", "ko"}, {"Arabic", "ar"},
+	{"Hindi", "hi"}, {"Bengali", "bn"}, {"Turkish", "tr"}, {"Polish", "pl"},
+	{"Swedish", "sv"}, {"Norwegian", "no"}, {"Danish", "da"}, {"Finnish", "fi"},
+	{"Greek", "el"}, {"Hebrew", "he"}, {"Thai", "th"}, {"Vietnamese", "vi"},
+	{"Indonesian", "id"}, {"Czech", "cs"}, {"Hungarian", "hu"}, {"Romanian", "ro"},
+	{"Ukrainian", "uk"}, {"Bulgarian", "bg"}, {"Croatian", "hr"}, {"Slovak", "sk"},
+	{"Slovenian", "sl"}, {"Estonian", "et"}, {"Latvian", "lv"}, {"Lithuanian", "lt"},
+	{"Persian", "fa"}, {"Urdu", "ur"}, {"Swahili", "sw"}, {"Tagalog", "tl"},
+}
+
+var months = []struct {
+	name, abbr string
+	num        string
+}{
+	{"January", "Jan", "1"}, {"February", "Feb", "2"}, {"March", "Mar", "3"},
+	{"April", "Apr", "4"}, {"May", "May", "5"}, {"June", "Jun", "6"},
+	{"July", "Jul", "7"}, {"August", "Aug", "8"}, {"September", "Sep", "9"},
+	{"October", "Oct", "10"}, {"November", "Nov", "11"}, {"December", "Dec", "12"},
+}
+
+var weekdaysFrench = [][2]string{
+	{"Monday", "Lundi"}, {"Tuesday", "Mardi"}, {"Wednesday", "Mercredi"},
+	{"Thursday", "Jeudi"}, {"Friday", "Vendredi"}, {"Saturday", "Samedi"},
+	{"Sunday", "Dimanche"},
+}
+
+var natoAlphabet = [][2]string{
+	{"A", "Alfa"}, {"B", "Bravo"}, {"C", "Charlie"}, {"D", "Delta"},
+	{"E", "Echo"}, {"F", "Foxtrot"}, {"G", "Golf"}, {"H", "Hotel"},
+	{"I", "India"}, {"J", "Juliett"}, {"K", "Kilo"}, {"L", "Lima"},
+	{"M", "Mike"}, {"N", "November"}, {"O", "Oscar"}, {"P", "Papa"},
+	{"Q", "Quebec"}, {"R", "Romeo"}, {"S", "Sierra"}, {"T", "Tango"},
+	{"U", "Uniform"}, {"V", "Victor"}, {"W", "Whiskey"}, {"X", "Xray"},
+	{"Y", "Yankee"}, {"Z", "Zulu"},
+}
+
+var greekLetters = [][2]string{
+	{"Alpha", "α"}, {"Beta", "β"}, {"Gamma", "γ"}, {"Delta", "δ"},
+	{"Epsilon", "ε"}, {"Zeta", "ζ"}, {"Eta", "η"}, {"Theta", "θ"},
+	{"Iota", "ι"}, {"Kappa", "κ"}, {"Lambda", "λ"}, {"Mu", "μ"},
+	{"Nu", "ν"}, {"Xi", "ξ"}, {"Omicron", "ο"}, {"Pi", "π"},
+	{"Rho", "ρ"}, {"Sigma", "σ"}, {"Tau", "τ"}, {"Upsilon", "υ"},
+	{"Phi", "φ"}, {"Chi", "χ"}, {"Psi", "ψ"}, {"Omega", "ω"},
+}
+
+var planets = [][2]string{
+	{"Mercury", "1"}, {"Venus", "2"}, {"Earth", "3"}, {"Mars", "4"},
+	{"Jupiter", "5"}, {"Saturn", "6"}, {"Uranus", "7"}, {"Neptune", "8"},
+}
+
+var zodiacElements = [][2]string{
+	{"Aries", "Fire"}, {"Taurus", "Earth"}, {"Gemini", "Air"}, {"Cancer", "Water"},
+	{"Leo", "Fire"}, {"Virgo", "Earth"}, {"Libra", "Air"}, {"Scorpio", "Water"},
+	{"Sagittarius", "Fire"}, {"Capricorn", "Earth"}, {"Aquarius", "Air"}, {"Pisces", "Water"},
+}
+
+var asciiControls = [][2]string{
+	{"NUL", "0"}, {"SOH", "1"}, {"STX", "2"}, {"ETX", "3"}, {"EOT", "4"},
+	{"ENQ", "5"}, {"ACK", "6"}, {"BEL", "7"}, {"BS", "8"}, {"HT", "9"},
+	{"LF", "10"}, {"VT", "11"}, {"FF", "12"}, {"CR", "13"}, {"SO", "14"},
+	{"SI", "15"}, {"DLE", "16"}, {"DC1", "17"}, {"DC2", "18"}, {"DC3", "19"},
+	{"DC4", "20"}, {"NAK", "21"}, {"SYN", "22"}, {"ETB", "23"}, {"CAN", "24"},
+	{"EM", "25"}, {"SUB", "26"}, {"ESC", "27"}, {"FS", "28"}, {"GS", "29"},
+	{"RS", "30"}, {"US", "31"}, {"SP", "32"}, {"DEL", "127"},
+}
+
+// beaufortScale maps wind descriptions to Beaufort numbers (the paper's
+// Figure-12 example (wind → Beaufort-scale)).
+var beaufortScale = []struct {
+	wind string
+	syn  []string
+	num  string
+}{
+	{"calm", nil, "0"},
+	{"light air", nil, "1"},
+	{"light breeze", nil, "2"},
+	{"gentle breeze", nil, "3"},
+	{"moderate breeze", nil, "4"},
+	{"fresh breeze", nil, "5"},
+	{"strong breeze", nil, "6"},
+	{"near gale", []string{"moderate gale"}, "7"},
+	{"gale", []string{"fresh gale"}, "8"},
+	{"strong gale", []string{"severe gale"}, "9"},
+	{"storm", []string{"whole gale"}, "10"},
+	{"violent storm", nil, "11"},
+	{"hurricane", []string{"hurricane force"}, "12"},
+}
+
+var aminoAcids = []struct {
+	name   string
+	syn    []string
+	three  string
+	single string
+}{
+	{"Alanine", nil, "Ala", "A"}, {"Arginine", nil, "Arg", "R"},
+	{"Asparagine", nil, "Asn", "N"}, {"Aspartic acid", []string{"Aspartate"}, "Asp", "D"},
+	{"Cysteine", nil, "Cys", "C"}, {"Glutamine", nil, "Gln", "Q"},
+	{"Glutamic acid", []string{"Glutamate"}, "Glu", "E"}, {"Glycine", nil, "Gly", "G"},
+	{"Histidine", nil, "His", "H"}, {"Isoleucine", nil, "Ile", "I"},
+	{"Leucine", nil, "Leu", "L"}, {"Lysine", nil, "Lys", "K"},
+	{"Methionine", nil, "Met", "M"}, {"Phenylalanine", nil, "Phe", "F"},
+	{"Proline", nil, "Pro", "P"}, {"Serine", nil, "Ser", "S"},
+	{"Threonine", nil, "Thr", "T"}, {"Tryptophan", nil, "Trp", "W"},
+	{"Tyrosine", nil, "Tyr", "Y"}, {"Valine", nil, "Val", "V"},
+}
+
+var httpStatuses = [][2]string{
+	{"200", "OK"}, {"201", "Created"}, {"204", "No Content"},
+	{"301", "Moved Permanently"}, {"302", "Found"}, {"304", "Not Modified"},
+	{"400", "Bad Request"}, {"401", "Unauthorized"}, {"403", "Forbidden"},
+	{"404", "Not Found"}, {"405", "Method Not Allowed"}, {"408", "Request Timeout"},
+	{"409", "Conflict"}, {"410", "Gone"}, {"418", "I'm a teapot"},
+	{"429", "Too Many Requests"}, {"500", "Internal Server Error"},
+	{"501", "Not Implemented"}, {"502", "Bad Gateway"},
+	{"503", "Service Unavailable"}, {"504", "Gateway Timeout"},
+}
+
+var siUnits = [][2]string{
+	{"meter", "m"}, {"kilogram", "kg"}, {"second", "s"}, {"ampere", "A"},
+	{"kelvin", "K"}, {"mole", "mol"}, {"candela", "cd"}, {"hertz", "Hz"},
+	{"newton", "N"}, {"pascal", "Pa"}, {"joule", "J"}, {"watt", "W"},
+	{"coulomb", "C"}, {"volt", "V"}, {"farad", "F"}, {"ohm", "Ω"},
+	{"siemens", "S"}, {"weber", "Wb"}, {"tesla", "T"}, {"henry", "H"},
+	{"lumen", "lm"}, {"lux", "lx"}, {"becquerel", "Bq"}, {"gray", "Gy"},
+	{"sievert", "Sv"}, {"katal", "kat"},
+}
+
+// simple builds a plain relation from string pairs.
+func simple(name, ll, rl string, pairs [][2]string, presence Presence) *Relation {
+	return &Relation{
+		Name:         name,
+		LeftLabel:    ll,
+		RightLabel:   rl,
+		GenericLeft:  []string{ll, "name"},
+		GenericRight: []string{rl, "value"},
+		Kind:         Static,
+		Presence:     presence,
+		Pairs:        pairsFromStrings(pairs),
+	}
+}
+
+// MiscRelations returns the curated query-log-style benchmark relations.
+func MiscRelations() []*Relation {
+	carMake := simple("car-model-make", "model", "make", carModels, PresenceHigh)
+	carMake.GenericLeft = []string{"model", "name", "car"}
+	carMake.GenericRight = []string{"make", "manufacturer", "brand"}
+	carMake.HasWikiTable = true
+	carMake.InFreebase = true
+
+	usCity := usCityState()
+	worldCity := simple("city-country", "city", "country", worldCities, PresenceHigh)
+	worldCity.GenericLeft = []string{"city", "name"}
+	worldCity.GenericRight = []string{"country", "nation"}
+	worldCity.InFreebase = true
+	worldCity.InYAGO = true
+
+	lang := simple("language-iso639", "language", "iso 639-1", languages, PresenceMedium)
+	lang.GenericLeft = []string{"language", "name"}
+	lang.GenericRight = codeHeaders
+	lang.HasWikiTable = true
+	lang.InFreebase = true
+	lang.InYAGO = true
+
+	monthNum := Project("month-number", "month", "number", len(months),
+		func(i int) string { return months[i].name },
+		func(i int) string { return months[i].num }, nil)
+	monthNum.GenericLeft = []string{"month", "name"}
+	monthNum.GenericRight = []string{"number", "no"}
+	monthNum.Presence = PresenceMedium
+
+	monthAbbr := Project("month-abbr", "month", "abbreviation", len(months),
+		func(i int) string { return months[i].name },
+		func(i int) string { return months[i].abbr }, nil)
+	monthAbbr.GenericLeft = []string{"month", "name"}
+	monthAbbr.GenericRight = codeHeaders
+	monthAbbr.Presence = PresenceMedium
+
+	weekday := simple("weekday-french", "day", "french", weekdaysFrench, PresenceLow)
+	nato := simple("letter-nato", "letter", "code word", natoAlphabet, PresenceMedium)
+	nato.HasWikiTable = true
+	greek := simple("greek-letter-symbol", "letter", "symbol", greekLetters, PresenceMedium)
+	greek.HasWikiTable = true
+	planet := simple("planet-order", "planet", "order", planets, PresenceMedium)
+	planet.HasWikiTable = true
+	planet.InFreebase = true
+	planet.InYAGO = true
+	zodiac := simple("zodiac-element", "sign", "element", zodiacElements, PresenceLow)
+	ascii := simple("ascii-code", "abbreviation", "code", asciiControls, PresenceMedium)
+	ascii.GenericLeft = []string{"abbr", "name", "char"}
+	ascii.GenericRight = []string{"code", "dec", "value"}
+	ascii.HasWikiTable = true
+
+	beaufort := &Relation{
+		Name: "wind-beaufort", LeftLabel: "wind", RightLabel: "beaufort scale",
+		GenericLeft: []string{"wind", "description"}, GenericRight: []string{"scale", "force", "number"},
+		Kind: Static, Presence: PresenceLow, HasWikiTable: true,
+	}
+	for _, b := range beaufortScale {
+		beaufort.Pairs = append(beaufort.Pairs, EntityPair{
+			Left: Entity{Canonical: b.wind, Synonyms: b.syn}, Right: b.num,
+		})
+	}
+
+	amino3 := Project("amino-acid-3letter", "amino acid", "3-letter code", len(aminoAcids),
+		func(i int) string { return aminoAcids[i].name },
+		func(i int) string { return aminoAcids[i].three },
+		func(i int) []string { return aminoAcids[i].syn })
+	amino3.GenericLeft = []string{"amino acid", "name"}
+	amino3.GenericRight = codeHeaders
+	amino3.Presence = PresenceLow
+	amino3.HasWikiTable = true
+	amino3.InFreebase = true
+
+	amino1 := Project("amino-acid-1letter", "amino acid", "1-letter code", len(aminoAcids),
+		func(i int) string { return aminoAcids[i].name },
+		func(i int) string { return aminoAcids[i].single },
+		func(i int) []string { return aminoAcids[i].syn })
+	amino1.GenericLeft = []string{"amino acid", "name"}
+	amino1.GenericRight = codeHeaders
+	amino1.Presence = PresenceLow
+	amino1.HasWikiTable = true
+
+	amino31 := Project("amino-3letter-1letter", "3-letter code", "1-letter code", len(aminoAcids),
+		func(i int) string { return aminoAcids[i].three },
+		func(i int) string { return aminoAcids[i].single }, nil)
+	amino31.GenericLeft = codeHeaders
+	amino31.GenericRight = codeHeaders
+	amino31.Presence = PresenceRare
+
+	httpRel := simple("http-status-name", "status code", "reason phrase", httpStatuses, PresenceMedium)
+	httpRel.GenericLeft = []string{"code", "status"}
+	httpRel.GenericRight = []string{"name", "reason", "message"}
+	httpRel.HasWikiTable = true
+
+	si := simple("si-unit-symbol", "unit", "symbol", siUnits, PresenceMedium)
+	si.GenericLeft = []string{"unit", "name"}
+	si.GenericRight = []string{"symbol", "abbr"}
+	si.HasWikiTable = true
+	si.InFreebase = true
+
+	return []*Relation{
+		carMake, usCity, worldCity, lang, monthNum, monthAbbr, weekday,
+		nato, greek, planet, zodiac, ascii, beaufort, amino3, amino1,
+		amino31, httpRel, si,
+	}
+}
+
+// usCityState builds the (US-city → state) relation from the state dataset's
+// capitals and largest cities. Ambiguous city names (Portland, Charleston,
+// Columbus, ...) keep their first-seen state; the corpus generator injects
+// the competing readings as the paper's name-ambiguity noise.
+func usCityState() *Relation {
+	r := &Relation{
+		Name: "uscity-state", LeftLabel: "city", RightLabel: "state",
+		GenericLeft:  []string{"city", "name"},
+		GenericRight: []string{"state"},
+		Kind:         Static,
+		Presence:     PresenceVeryHigh,
+		InFreebase:   true,
+		InYAGO:       true,
+	}
+	seen := make(map[string]struct{})
+	add := func(city, state string) {
+		if _, dup := seen[city]; dup {
+			return
+		}
+		seen[city] = struct{}{}
+		r.Pairs = append(r.Pairs, EntityPair{Left: Entity{Canonical: city}, Right: state})
+	}
+	for _, s := range usStates {
+		add(s.capital, s.name)
+		add(s.largest, s.name)
+	}
+	// A few more large cities for coverage.
+	extra := [][2]string{
+		{"San Francisco", "California"}, {"San Jose", "California"}, {"Fresno", "California"},
+		{"San Antonio", "Texas"}, {"Dallas", "Texas"}, {"El Paso", "Texas"}, {"Fort Worth", "Texas"},
+		{"Tampa", "Florida"}, {"Orlando", "Florida"}, {"Miami", "Florida"},
+		{"Buffalo", "New York"}, {"Rochester", "New York"},
+		{"Pittsburgh", "Pennsylvania"}, {"Cleveland", "Ohio"}, {"Cincinnati", "Ohio"},
+		{"Memphis", "Tennessee"}, {"Knoxville", "Tennessee"},
+		{"Tucson", "Arizona"}, {"Spokane", "Washington"}, {"Tacoma", "Washington"},
+	}
+	for _, e := range extra {
+		add(e[0], e[1])
+	}
+	return r
+}
+
+// AmbiguousUSCityReadings returns competing (city, state) readings excluded
+// from the functional ground truth — the "Portland, Oregon vs Portland,
+// Maine" ambiguity of Definition 2. The corpus generator sprinkles them into
+// tables so approximate-FD checking has something to tolerate.
+func AmbiguousUSCityReadings() [][2]string {
+	return [][2]string{
+		{"Portland", "Maine"},
+		{"Charleston", "South Carolina"},
+		{"Columbus", "Georgia"},
+		{"Springfield", "Missouri"},
+		{"Jackson", "Tennessee"},
+		{"Columbia", "Maryland"},
+		{"Aurora", "Illinois"},
+	}
+}

@@ -1,0 +1,272 @@
+package refdata
+
+// This file curates entertainment, sports, history and chemistry relations,
+// including the temporal and meaningless relations used by the Appendix-J
+// usefulness analysis (Figure 13 of the paper).
+
+var presidents = []struct {
+	name  string
+	num   string
+	party string
+}{
+	{"George Washington", "1", "Independent"},
+	{"John Adams", "2", "Federalist"},
+	{"Thomas Jefferson", "3", "Democratic-Republican"},
+	{"James Madison", "4", "Democratic-Republican"},
+	{"James Monroe", "5", "Democratic-Republican"},
+	{"Andrew Jackson", "7", "Democratic"},
+	{"Abraham Lincoln", "16", "Republican"},
+	{"Ulysses S. Grant", "18", "Republican"},
+	{"Theodore Roosevelt", "26", "Republican"},
+	{"Woodrow Wilson", "28", "Democratic"},
+	{"Franklin D. Roosevelt", "32", "Democratic"},
+	{"Harry S. Truman", "33", "Democratic"},
+	{"Dwight D. Eisenhower", "34", "Republican"},
+	{"John F. Kennedy", "35", "Democratic"},
+	{"Lyndon B. Johnson", "36", "Democratic"},
+	{"Richard Nixon", "37", "Republican"},
+	{"Gerald Ford", "38", "Republican"},
+	{"Jimmy Carter", "39", "Democratic"},
+	{"Ronald Reagan", "40", "Republican"},
+	{"George H. W. Bush", "41", "Republican"},
+	{"Bill Clinton", "42", "Democratic"},
+	{"George W. Bush", "43", "Republican"},
+	{"Barack Obama", "44", "Democratic"},
+	{"Donald Trump", "45", "Republican"},
+	{"Joe Biden", "46", "Democratic"},
+}
+
+var mlbTeams = [][2]string{
+	{"New York Yankees", "AL"}, {"Boston Red Sox", "AL"}, {"Tampa Bay Rays", "AL"},
+	{"Toronto Blue Jays", "AL"}, {"Baltimore Orioles", "AL"}, {"Chicago White Sox", "AL"},
+	{"Cleveland Guardians", "AL"}, {"Detroit Tigers", "AL"}, {"Kansas City Royals", "AL"},
+	{"Minnesota Twins", "AL"}, {"Houston Astros", "AL"}, {"Los Angeles Angels", "AL"},
+	{"Oakland Athletics", "AL"}, {"Seattle Mariners", "AL"}, {"Texas Rangers", "AL"},
+	{"Atlanta Braves", "NL"}, {"Miami Marlins", "NL"}, {"New York Mets", "NL"},
+	{"Philadelphia Phillies", "NL"}, {"Washington Nationals", "NL"}, {"Chicago Cubs", "NL"},
+	{"Cincinnati Reds", "NL"}, {"Milwaukee Brewers", "NL"}, {"Pittsburgh Pirates", "NL"},
+	{"St. Louis Cardinals", "NL"}, {"Arizona Diamondbacks", "NL"}, {"Colorado Rockies", "NL"},
+	{"Los Angeles Dodgers", "NL"}, {"San Diego Padres", "NL"}, {"San Francisco Giants", "NL"},
+}
+
+var nflStadiums = [][2]string{
+	{"Green Bay Packers", "Lambeau Field"}, {"Chicago Bears", "Soldier Field"},
+	{"Dallas Cowboys", "AT&T Stadium"}, {"New England Patriots", "Gillette Stadium"},
+	{"Kansas City Chiefs", "Arrowhead Stadium"}, {"Denver Broncos", "Empower Field"},
+	{"Seattle Seahawks", "Lumen Field"}, {"Pittsburgh Steelers", "Acrisure Stadium"},
+	{"Philadelphia Eagles", "Lincoln Financial Field"}, {"Miami Dolphins", "Hard Rock Stadium"},
+	{"Buffalo Bills", "Highmark Stadium"}, {"Baltimore Ravens", "M&T Bank Stadium"},
+	{"Cincinnati Bengals", "Paycor Stadium"}, {"Detroit Lions", "Ford Field"},
+	{"Minnesota Vikings", "US Bank Stadium"}, {"Houston Texans", "NRG Stadium"},
+	{"Las Vegas Raiders", "Allegiant Stadium"}, {"Arizona Cardinals", "State Farm Stadium"},
+}
+
+var movies = []struct {
+	title    string
+	year     string
+	director string
+}{
+	{"Pulp Fiction", "1994", "Quentin Tarantino"},
+	{"Forrest Gump", "1994", "Robert Zemeckis"},
+	{"The Shawshank Redemption", "1994", "Frank Darabont"},
+	{"The Godfather", "1972", "Francis Ford Coppola"},
+	{"The Dark Knight", "2008", "Christopher Nolan"},
+	{"Inception", "2010", "Christopher Nolan"},
+	{"Interstellar", "2014", "Christopher Nolan"},
+	{"Fight Club", "1999", "David Fincher"},
+	{"The Matrix", "1999", "Lana Wachowski"},
+	{"Goodfellas", "1990", "Martin Scorsese"},
+	{"Taxi Driver", "1976", "Martin Scorsese"},
+	{"Schindler's List", "1993", "Steven Spielberg"},
+	{"Jurassic Park", "1993", "Steven Spielberg"},
+	{"Jaws", "1975", "Steven Spielberg"},
+	{"E.T. the Extra-Terrestrial", "1982", "Steven Spielberg"},
+	{"Titanic", "1997", "James Cameron"},
+	{"Avatar", "2009", "James Cameron"},
+	{"The Terminator", "1984", "James Cameron"},
+	{"Alien", "1979", "Ridley Scott"},
+	{"Gladiator", "2000", "Ridley Scott"},
+	{"Blade Runner", "1982", "Ridley Scott"},
+	{"2001: A Space Odyssey", "1968", "Stanley Kubrick"},
+	{"The Shining", "1980", "Stanley Kubrick"},
+	{"Psycho", "1960", "Alfred Hitchcock"},
+	{"Vertigo", "1958", "Alfred Hitchcock"},
+	{"Citizen Kane", "1941", "Orson Welles"},
+	{"Casablanca", "1942", "Michael Curtiz"},
+	{"Life of Pi", "2012", "Ang Lee"},
+	{"Parasite", "2019", "Bong Joon-ho"},
+	{"Spirited Away", "2001", "Hayao Miyazaki"},
+}
+
+var compounds = [][2]string{
+	{"Water", "H2O"}, {"Carbon dioxide", "CO2"}, {"Methane", "CH4"},
+	{"Ammonia", "NH3"}, {"Sodium chloride", "NaCl"}, {"Glucose", "C6H12O6"},
+	{"Ethanol", "C2H5OH"}, {"Sulfuric acid", "H2SO4"}, {"Hydrochloric acid", "HCl"},
+	{"Nitric acid", "HNO3"}, {"Acetic acid", "CH3COOH"}, {"Benzene", "C6H6"},
+	{"Calcium carbonate", "CaCO3"}, {"Sodium bicarbonate", "NaHCO3"},
+	{"Hydrogen peroxide", "H2O2"}, {"Ozone", "O3"}, {"Nitrous oxide", "N2O"},
+	{"Sodium hydroxide", "NaOH"}, {"Potassium permanganate", "KMnO4"},
+	{"Magnesium sulfate", "MgSO4"}, {"Toluene", "C7H8"}, {"Propane", "C3H8"},
+	{"Butane", "C4H10"}, {"Ethylene", "C2H4"}, {"Acetone", "C3H6O"},
+}
+
+var casNumbers = [][2]string{
+	{"Water", "7732-18-5"}, {"Ethanol", "64-17-5"}, {"Acetone", "67-64-1"},
+	{"Benzene", "71-43-2"}, {"Toluene", "108-88-3"}, {"Methanol", "67-56-1"},
+	{"Formaldehyde", "50-00-0"}, {"Aspirin", "50-78-2"}, {"Caffeine", "58-08-2"},
+	{"Glucose", "50-99-7"}, {"Sodium chloride", "7647-14-5"},
+	{"Sulfuric acid", "7664-93-9"}, {"Ammonia", "7664-41-7"},
+	{"Hydrochloric acid", "7647-01-0"}, {"Nitric acid", "7697-37-2"},
+	{"Hydrogen peroxide", "7722-84-1"}, {"Chloroform", "67-66-3"},
+	{"Ethylene glycol", "107-21-1"}, {"Glycerol", "56-81-5"},
+	{"Citric acid", "77-92-9"},
+}
+
+// Misc2Relations returns the second batch of curated benchmark relations.
+func Misc2Relations() []*Relation {
+	presNum := Project("president-number", "president", "number", len(presidents),
+		func(i int) string { return presidents[i].name },
+		func(i int) string { return presidents[i].num }, nil)
+	presNum.GenericLeft = []string{"president", "name"}
+	presNum.GenericRight = []string{"number", "no"}
+	presNum.Presence = PresenceMedium
+	presNum.HasWikiTable = true
+	presNum.InFreebase = true
+	presNum.InYAGO = true
+
+	presParty := Project("president-party", "president", "party", len(presidents),
+		func(i int) string { return presidents[i].name },
+		func(i int) string { return presidents[i].party }, nil)
+	presParty.GenericLeft = []string{"president", "name"}
+	presParty.GenericRight = []string{"party"}
+	presParty.Presence = PresenceMedium
+	presParty.HasWikiTable = true
+	presParty.InFreebase = true
+	presParty.InYAGO = true
+
+	mlb := simple("mlb-team-league", "team", "league", mlbTeams, PresenceMedium)
+	mlb.GenericLeft = []string{"team", "name"}
+	mlb.GenericRight = []string{"league", "division"}
+	mlb.HasWikiTable = true
+
+	nfl := simple("nfl-team-stadium", "team", "stadium", nflStadiums, PresenceMedium)
+	nfl.GenericLeft = []string{"team", "home team", "name"}
+	nfl.GenericRight = []string{"stadium", "venue"}
+
+	movieYear := Project("movie-year", "movie", "year", len(movies),
+		func(i int) string { return movies[i].title },
+		func(i int) string { return movies[i].year }, nil)
+	movieYear.GenericLeft = []string{"movie", "title", "film"}
+	movieYear.GenericRight = []string{"year", "released"}
+	movieYear.Presence = PresenceHigh
+	movieYear.HasWikiTable = true
+	movieYear.InFreebase = true
+	movieYear.InYAGO = true
+
+	movieDirector := Project("movie-director", "movie", "director", len(movies),
+		func(i int) string { return movies[i].title },
+		func(i int) string { return movies[i].director }, nil)
+	movieDirector.GenericLeft = []string{"movie", "title", "film"}
+	movieDirector.GenericRight = []string{"director", "directed by"}
+	movieDirector.Presence = PresenceMedium
+	movieDirector.HasWikiTable = true
+	movieDirector.InFreebase = true
+	movieDirector.InYAGO = true
+
+	// Chemistry long tail: nearly absent from web tables (PresenceRare) yet
+	// richly covered by Freebase — reproducing the right-hand side of the
+	// paper's Figure 14 where Freebase wins.
+	formula := simple("compound-formula", "compound", "formula", compounds, PresenceRare)
+	formula.GenericLeft = []string{"compound", "name", "substance"}
+	formula.GenericRight = []string{"formula"}
+	formula.InFreebase = true
+
+	cas := simple("substance-cas", "substance", "cas number", casNumbers, PresenceRare)
+	cas.GenericLeft = []string{"substance", "name", "chemical"}
+	cas.GenericRight = []string{"cas", "cas number", "registry number"}
+	cas.InFreebase = true
+
+	return []*Relation{
+		presNum, presParty, mlb, nfl, movieYear, movieDirector, formula, cas,
+	}
+}
+
+// TemporalRelations returns relations that hold only for a period of time
+// (Figure 13): each snapshot is a separate Relation whose tables conflict
+// with the other snapshot's, so synthesis keeps them apart. They are part of
+// the corpus but not of the 80-case benchmark.
+func TemporalRelations() []*Relation {
+	f1a := simple("f1-driver-team-s1", "driver", "team", [][2]string{
+		{"Sebastian Vettel", "Ferrari"}, {"Lewis Hamilton", "Mercedes"},
+		{"Max Verstappen", "Red Bull"}, {"Fernando Alonso", "McLaren"},
+		{"Charles Leclerc", "Ferrari"}, {"Valtteri Bottas", "Mercedes"},
+		{"Sergio Perez", "Racing Point"}, {"Lando Norris", "McLaren"},
+		{"Daniel Ricciardo", "Renault"}, {"Carlos Sainz", "McLaren"},
+		{"Esteban Ocon", "Renault"}, {"Pierre Gasly", "AlphaTauri"},
+		{"George Russell", "Williams"}, {"Lance Stroll", "Racing Point"},
+		{"Kimi Raikkonen", "Alfa Romeo"},
+	}, PresenceMedium)
+	f1a.Kind = Temporal
+	f1a.GenericLeft = []string{"driver", "name"}
+	f1a.GenericRight = []string{"team", "constructor"}
+
+	f1b := simple("f1-driver-team-s2", "driver", "team", [][2]string{
+		{"Sebastian Vettel", "Aston Martin"}, {"Lewis Hamilton", "Mercedes"},
+		{"Max Verstappen", "Red Bull"}, {"Fernando Alonso", "Alpine"},
+		{"Charles Leclerc", "Ferrari"}, {"Valtteri Bottas", "Alfa Romeo"},
+		{"Sergio Perez", "Red Bull"}, {"Lando Norris", "McLaren"},
+		{"Daniel Ricciardo", "McLaren"}, {"Carlos Sainz", "Ferrari"},
+		{"Esteban Ocon", "Alpine"}, {"Pierre Gasly", "AlphaTauri"},
+		{"George Russell", "Mercedes"}, {"Lance Stroll", "Aston Martin"},
+		{"Kimi Raikkonen", "Alfa Romeo"},
+	}, PresenceMedium)
+	f1b.Kind = Temporal
+	f1b.GenericLeft = []string{"driver", "name"}
+	f1b.GenericRight = []string{"team", "constructor"}
+
+	ranking1 := simple("college-football-ranking-w1", "team", "ranking", [][2]string{
+		{"Alabama", "1"}, {"Georgia", "2"}, {"Ohio State", "3"}, {"Clemson", "4"},
+		{"Michigan", "5"}, {"Texas", "6"}, {"USC", "7"}, {"Penn State", "8"},
+		{"Oregon", "9"}, {"Notre Dame", "10"},
+	}, PresenceLow)
+	ranking1.Kind = Temporal
+	ranking1.GenericLeft = []string{"team", "school"}
+	ranking1.GenericRight = []string{"rank", "ranking"}
+
+	ranking2 := simple("college-football-ranking-w2", "team", "ranking", [][2]string{
+		{"Georgia", "1"}, {"Michigan", "2"}, {"Alabama", "3"}, {"Texas", "4"},
+		{"Ohio State", "5"}, {"Oregon", "6"}, {"Penn State", "7"}, {"USC", "8"},
+		{"Notre Dame", "9"}, {"Clemson", "10"},
+	}, PresenceLow)
+	ranking2.Kind = Temporal
+	ranking2.GenericLeft = []string{"team", "school"}
+	ranking2.GenericRight = []string{"rank", "ranking"}
+
+	return []*Relation{f1a, f1b, ranking1, ranking2}
+}
+
+// MeaninglessRelations returns formatting-artifact relations (Figure 13's
+// (month, month) calendar example): popular in the corpus yet not useful
+// mappings; the Appendix-J analysis classifies them.
+func MeaninglessRelations() []*Relation {
+	var pairs [][2]string
+	for i := 0; i < 6; i++ {
+		pairs = append(pairs, [2]string{months[i].name, months[i+6].name})
+	}
+	cal := simple("month-month", "month", "month", pairs, PresenceHigh)
+	cal.Kind = Meaningless
+	cal.GenericLeft = []string{"month"}
+	cal.GenericRight = []string{"month"}
+
+	hours := simple("day-hours", "day", "hours", [][2]string{
+		{"Monday", "7:30AM - 5:30PM"}, {"Tuesday", "7:30AM - 5:30PM"},
+		{"Wednesday", "7:30AM - 5:30PM"}, {"Thursday", "7:30AM - 5:30PM"},
+		{"Friday", "7:30AM - 5:00PM"}, {"Saturday", "9:00AM - 1:00PM"},
+		{"Sunday", "Closed"},
+	}, PresenceMedium)
+	hours.Kind = Meaningless
+	hours.GenericLeft = []string{"day"}
+	hours.GenericRight = []string{"hours", "open"}
+
+	return []*Relation{cal, hours}
+}

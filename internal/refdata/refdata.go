@@ -1,0 +1,193 @@
+// Package refdata holds the hand-curated reference relations that play the
+// role of the paper's benchmark ground truth (Section 5.1): geocoding
+// systems from the Wikipedia geocoding list (Figure 6) plus query-log-style
+// relations ("list of A and B", Figure 5). The corpus generator fragments
+// these relations into noisy synthetic web/enterprise tables, and the
+// benchmark harness evaluates synthesized mappings against them.
+//
+// Some code systems the paper lists (MARC, ITU-R) are approximated with
+// structurally equivalent synthetic codes derived deterministically from the
+// curated data; DESIGN.md documents each substitution.
+package refdata
+
+import "sort"
+
+// Kind classifies a relation for the Appendix-J usefulness analysis.
+type Kind int
+
+const (
+	// Static relations rarely change (country → ISO code).
+	Static Kind = iota
+	// Temporal relations hold only for a period of time (F1 driver → team).
+	Temporal
+	// Meaningless relations are formatting artifacts (month → month+6).
+	Meaningless
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Static:
+		return "static"
+	case Temporal:
+		return "temporal"
+	case Meaningless:
+		return "meaningless"
+	default:
+		return "unknown"
+	}
+}
+
+// Presence drives how many synthetic tables the corpus generator fabricates
+// for a relation — the analogue of web popularity.
+type Presence int
+
+const (
+	// PresenceRare relations appear in a handful of tables (CAS numbers).
+	PresenceRare Presence = iota + 1
+	// PresenceLow relations appear in few tables.
+	PresenceLow
+	// PresenceMedium relations are reasonably common.
+	PresenceMedium
+	// PresenceHigh relations are common (state abbreviations).
+	PresenceHigh
+	// PresenceVeryHigh relations are everywhere (country codes).
+	PresenceVeryHigh
+)
+
+// Entity is a left-hand-side entity with alternative surface forms.
+type Entity struct {
+	// Canonical is the most common surface form.
+	Canonical string
+	// Synonyms are alternative mentions (do not repeat Canonical).
+	Synonyms []string
+}
+
+// Forms returns all surface forms, canonical first.
+func (e Entity) Forms() []string {
+	return append([]string{e.Canonical}, e.Synonyms...)
+}
+
+// EntityPair is one ground-truth instance of a relation.
+type EntityPair struct {
+	Left  Entity
+	Right string
+}
+
+// Relation is one ground-truth mapping relationship.
+type Relation struct {
+	// Name uniquely identifies the relation (e.g. "country-iso3").
+	Name string
+	// LeftLabel and RightLabel are descriptive column headers.
+	LeftLabel, RightLabel string
+	// GenericLeft and GenericRight are the pools of undescriptive headers
+	// real tables use for these columns ("name", "code"); the generator
+	// samples from them, which is what defeats header-based baselines.
+	GenericLeft, GenericRight []string
+	// Kind classifies the relation (static / temporal / meaningless).
+	Kind Kind
+	// Presence drives synthetic popularity.
+	Presence Presence
+	// HasWikiTable marks relations with a high-quality Wikipedia table.
+	HasWikiTable bool
+	// InFreebase / InYAGO mark knowledge-base coverage.
+	InFreebase, InYAGO bool
+	// Pairs holds the ground-truth instances.
+	Pairs []EntityPair
+}
+
+// Size returns the number of instances.
+func (r *Relation) Size() int { return len(r.Pairs) }
+
+// GroundTruthPairs expands every (synonym, right) combination — the
+// benchmark's ideal mapping includes all synonymous mentions (Table 6 of the
+// paper). Output is sorted (left, right).
+func (r *Relation) GroundTruthPairs() [][2]string {
+	var out [][2]string
+	for _, p := range r.Pairs {
+		for _, form := range p.Left.Forms() {
+			out = append(out, [2]string{form, p.Right})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// pairsFromStrings builds EntityPairs from (left, right) string pairs
+// without synonyms.
+func pairsFromStrings(ps [][2]string) []EntityPair {
+	out := make([]EntityPair, len(ps))
+	for i, p := range ps {
+		out[i] = EntityPair{Left: Entity{Canonical: p[0]}, Right: p[1]}
+	}
+	return out
+}
+
+// Reversed returns a new relation with left and right exchanged. Synonyms of
+// the left entity are dropped (right values become the new canonical-only
+// left entities); pairs whose right side is empty are skipped, as are
+// duplicate new-left values (a reversed N:1 relation keeps the first pair
+// per new left value so the result is still functional).
+func (r *Relation) Reversed(name, leftLabel, rightLabel string) *Relation {
+	rev := &Relation{
+		Name:         name,
+		LeftLabel:    leftLabel,
+		RightLabel:   rightLabel,
+		GenericLeft:  r.GenericRight,
+		GenericRight: r.GenericLeft,
+		Kind:         r.Kind,
+		Presence:     r.Presence,
+		HasWikiTable: r.HasWikiTable,
+		InFreebase:   r.InFreebase,
+		InYAGO:       r.InYAGO,
+	}
+	seen := make(map[string]struct{})
+	for _, p := range r.Pairs {
+		if p.Right == "" {
+			continue
+		}
+		if _, dup := seen[p.Right]; dup {
+			continue
+		}
+		seen[p.Right] = struct{}{}
+		rev.Pairs = append(rev.Pairs, EntityPair{
+			Left:  Entity{Canonical: p.Right},
+			Right: p.Left.Canonical,
+		})
+	}
+	return rev
+}
+
+// Project builds a relation between two value columns of a record set:
+// left(i) -> right(i), skipping empties and keeping the first right value
+// per distinct left (so the result is functional). Synonyms for the left
+// entity come from the syn callback (may return nil).
+func Project(name, leftLabel, rightLabel string, n int,
+	left func(i int) string, right func(i int) string, syn func(i int) []string) *Relation {
+	rel := &Relation{Name: name, LeftLabel: leftLabel, RightLabel: rightLabel}
+	seen := make(map[string]struct{})
+	for i := 0; i < n; i++ {
+		l, r := left(i), right(i)
+		if l == "" || r == "" {
+			continue
+		}
+		if _, dup := seen[l]; dup {
+			continue
+		}
+		seen[l] = struct{}{}
+		var synonyms []string
+		if syn != nil {
+			synonyms = syn(i)
+		}
+		rel.Pairs = append(rel.Pairs, EntityPair{
+			Left:  Entity{Canonical: l, Synonyms: synonyms},
+			Right: r,
+		})
+	}
+	return rel
+}

@@ -1,0 +1,145 @@
+package refdata
+
+import (
+	"testing"
+
+	"mapsynth/internal/fd"
+	"mapsynth/internal/textnorm"
+)
+
+func TestCuratedWebRelationCount(t *testing.T) {
+	rels := CuratedWebRelations()
+	names := make(map[string]bool)
+	for _, r := range rels {
+		if names[r.Name] {
+			t.Errorf("duplicate relation name %q", r.Name)
+		}
+		names[r.Name] = true
+	}
+	// 59 curated + 21 generated = 80; the constant pins the contract.
+	if len(rels)+21 != WebBenchmarkSize {
+		t.Errorf("curated relations = %d; with 21 generated fills this must equal %d",
+			len(rels), WebBenchmarkSize)
+	}
+}
+
+func TestAllRelationsAreFunctional(t *testing.T) {
+	// Every ground-truth relation must satisfy the exact FD on canonical
+	// lefts: the benchmark's definition of a mapping.
+	for _, r := range append(CuratedWebRelations(), NonBenchmarkRelations()...) {
+		seen := make(map[string]string)
+		for _, p := range r.Pairs {
+			nl := textnorm.Normalize(p.Left.Canonical)
+			if nl == "" {
+				t.Errorf("%s: empty normalized left %q", r.Name, p.Left.Canonical)
+				continue
+			}
+			if prev, dup := seen[nl]; dup && prev != p.Right {
+				t.Errorf("%s: left %q maps to both %q and %q", r.Name, p.Left.Canonical, prev, p.Right)
+			}
+			seen[nl] = p.Right
+			if p.Right == "" {
+				t.Errorf("%s: empty right for %q", r.Name, p.Left.Canonical)
+			}
+		}
+	}
+}
+
+func TestSynonymFormsDistinctWithinEntity(t *testing.T) {
+	for _, r := range CuratedWebRelations() {
+		for _, p := range r.Pairs {
+			forms := make(map[string]bool)
+			for _, f := range p.Left.Forms() {
+				nf := textnorm.Normalize(f)
+				if forms[nf] {
+					t.Errorf("%s: duplicate form %q for %q", r.Name, f, p.Left.Canonical)
+				}
+				forms[nf] = true
+			}
+		}
+	}
+}
+
+func TestGroundTruthPairsExpansion(t *testing.T) {
+	r := &Relation{Pairs: []EntityPair{
+		{Left: Entity{Canonical: "a", Synonyms: []string{"a1", "a2"}}, Right: "x"},
+		{Left: Entity{Canonical: "b"}, Right: "y"},
+	}}
+	gt := r.GroundTruthPairs()
+	if len(gt) != 4 {
+		t.Errorf("GroundTruthPairs = %v", gt)
+	}
+}
+
+func TestReversedFunctional(t *testing.T) {
+	abbr := StateRelations()[0] // state-abbr (1:1)
+	rev := abbr.Reversed("abbr-state-2", "abbr", "state")
+	left := make([]string, 0, len(rev.Pairs))
+	right := make([]string, 0, len(rev.Pairs))
+	for _, p := range rev.Pairs {
+		left = append(left, p.Left.Canonical)
+		right = append(right, p.Right)
+	}
+	res := fd.Check(left, right)
+	if res.Ratio != 1 {
+		t.Errorf("reversed state-abbr not functional: %v", res.Ratio)
+	}
+	if rev.Size() != abbr.Size() {
+		t.Errorf("reversed size %d != %d", rev.Size(), abbr.Size())
+	}
+}
+
+func TestReversedDropsDuplicateNewLefts(t *testing.T) {
+	nToOne := &Relation{Pairs: []EntityPair{
+		{Left: Entity{Canonical: "Mustang"}, Right: "Ford"},
+		{Left: Entity{Canonical: "F-150"}, Right: "Ford"},
+	}}
+	rev := nToOne.Reversed("make-model", "make", "model")
+	if rev.Size() != 1 {
+		t.Errorf("reversed N:1 should keep one pair per new left, got %d", rev.Size())
+	}
+}
+
+func TestCountryCodeSystemsDiverge(t *testing.T) {
+	// The ISO3/IOC/FIFA systems must agree on a majority of countries and
+	// disagree on a significant minority — the property behind the paper's
+	// Figure 2 and the negative-signal experiments.
+	rels := CountryRelations()
+	byName := map[string]*Relation{}
+	for _, r := range rels {
+		byName[r.Name] = r
+	}
+	iso3, ioc := byName["country-iso3"], byName["country-ioc"]
+	if iso3 == nil || ioc == nil {
+		t.Fatal("missing country relations")
+	}
+	same, diff := 0, 0
+	iocBy := map[string]string{}
+	for _, p := range ioc.Pairs {
+		iocBy[p.Left.Canonical] = p.Right
+	}
+	for _, p := range iso3.Pairs {
+		if iocBy[p.Left.Canonical] == p.Right {
+			same++
+		} else {
+			diff++
+		}
+	}
+	if same < 2*diff/1 && same < 40 {
+		t.Errorf("ISO3/IOC agree on %d, differ on %d: want majority agreement", same, diff)
+	}
+	if diff < 15 {
+		t.Errorf("ISO3/IOC differ on only %d countries: too confusable-free", diff)
+	}
+}
+
+func TestProjectSkipsEmptiesAndDups(t *testing.T) {
+	left := []string{"a", "", "a", "b"}
+	right := []string{"1", "2", "3", ""}
+	r := Project("p", "l", "r", 4,
+		func(i int) string { return left[i] },
+		func(i int) string { return right[i] }, nil)
+	if r.Size() != 1 || r.Pairs[0].Left.Canonical != "a" {
+		t.Errorf("Project = %v", r.Pairs)
+	}
+}

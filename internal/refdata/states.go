@@ -1,0 +1,161 @@
+package refdata
+
+// usState is one row of the curated US state dataset. Capitals and largest
+// cities coincide for a minority of states, which makes
+// (state → capital) and (state → largest-city) the paper's §5.6 example of
+// relations "that disagree only on a small number of values".
+type usState struct {
+	name    string
+	abbr    string
+	fips    string // FIPS 5-2 numeric code
+	capital string
+	largest string
+}
+
+var usStates = []usState{
+	{"Alabama", "AL", "01", "Montgomery", "Birmingham"},
+	{"Alaska", "AK", "02", "Juneau", "Anchorage"},
+	{"Arizona", "AZ", "04", "Phoenix", "Phoenix"},
+	{"Arkansas", "AR", "05", "Little Rock", "Little Rock"},
+	{"California", "CA", "06", "Sacramento", "Los Angeles"},
+	{"Colorado", "CO", "08", "Denver", "Denver"},
+	{"Connecticut", "CT", "09", "Hartford", "Bridgeport"},
+	{"Delaware", "DE", "10", "Dover", "Wilmington"},
+	{"Florida", "FL", "12", "Tallahassee", "Jacksonville"},
+	{"Georgia", "GA", "13", "Atlanta", "Atlanta"},
+	{"Hawaii", "HI", "15", "Honolulu", "Honolulu"},
+	{"Idaho", "ID", "16", "Boise", "Boise"},
+	{"Illinois", "IL", "17", "Springfield", "Chicago"},
+	{"Indiana", "IN", "18", "Indianapolis", "Indianapolis"},
+	{"Iowa", "IA", "19", "Des Moines", "Des Moines"},
+	{"Kansas", "KS", "20", "Topeka", "Wichita"},
+	{"Kentucky", "KY", "21", "Frankfort", "Louisville"},
+	{"Louisiana", "LA", "22", "Baton Rouge", "New Orleans"},
+	{"Maine", "ME", "23", "Augusta", "Portland"},
+	{"Maryland", "MD", "24", "Annapolis", "Baltimore"},
+	{"Massachusetts", "MA", "25", "Boston", "Boston"},
+	{"Michigan", "MI", "26", "Lansing", "Detroit"},
+	{"Minnesota", "MN", "27", "Saint Paul", "Minneapolis"},
+	{"Mississippi", "MS", "28", "Jackson", "Jackson"},
+	{"Missouri", "MO", "29", "Jefferson City", "Kansas City"},
+	{"Montana", "MT", "30", "Helena", "Billings"},
+	{"Nebraska", "NE", "31", "Lincoln", "Omaha"},
+	{"Nevada", "NV", "32", "Carson City", "Las Vegas"},
+	{"New Hampshire", "NH", "33", "Concord", "Manchester"},
+	{"New Jersey", "NJ", "34", "Trenton", "Newark"},
+	{"New Mexico", "NM", "35", "Santa Fe", "Albuquerque"},
+	{"New York", "NY", "36", "Albany", "New York City"},
+	{"North Carolina", "NC", "37", "Raleigh", "Charlotte"},
+	{"North Dakota", "ND", "38", "Bismarck", "Fargo"},
+	{"Ohio", "OH", "39", "Columbus", "Columbus"},
+	{"Oklahoma", "OK", "40", "Oklahoma City", "Oklahoma City"},
+	{"Oregon", "OR", "41", "Salem", "Portland"},
+	{"Pennsylvania", "PA", "42", "Harrisburg", "Philadelphia"},
+	{"Rhode Island", "RI", "44", "Providence", "Providence"},
+	{"South Carolina", "SC", "45", "Columbia", "Charleston"},
+	{"South Dakota", "SD", "46", "Pierre", "Sioux Falls"},
+	{"Tennessee", "TN", "47", "Nashville", "Nashville"},
+	{"Texas", "TX", "48", "Austin", "Houston"},
+	{"Utah", "UT", "49", "Salt Lake City", "Salt Lake City"},
+	{"Vermont", "VT", "50", "Montpelier", "Burlington"},
+	{"Virginia", "VA", "51", "Richmond", "Virginia Beach"},
+	{"Washington", "WA", "53", "Olympia", "Seattle"},
+	{"West Virginia", "WV", "54", "Charleston", "Charleston"},
+	{"Wisconsin", "WI", "55", "Madison", "Milwaukee"},
+	{"Wyoming", "WY", "56", "Cheyenne", "Cheyenne"},
+}
+
+// canadaProvince carries the SGC (Standard Geographical Classification)
+// codes from the paper's Figure-6 geocoding list.
+type canadaProvince struct {
+	name string
+	abbr string
+	sgc  string
+}
+
+var canadaProvinces = []canadaProvince{
+	{"Newfoundland and Labrador", "NL", "10"},
+	{"Prince Edward Island", "PE", "11"},
+	{"Nova Scotia", "NS", "12"},
+	{"New Brunswick", "NB", "13"},
+	{"Quebec", "QC", "24"},
+	{"Ontario", "ON", "35"},
+	{"Manitoba", "MB", "46"},
+	{"Saskatchewan", "SK", "47"},
+	{"Alberta", "AB", "48"},
+	{"British Columbia", "BC", "59"},
+	{"Yukon", "YT", "60"},
+	{"Northwest Territories", "NT", "61"},
+	{"Nunavut", "NU", "62"},
+}
+
+// StateRelations returns the US-state and Canadian-province benchmark
+// relations.
+func StateRelations() []*Relation {
+	stateLeft := []string{"state", "name", "state name"}
+
+	abbr := Project("state-abbr", "state", "abbreviation", len(usStates),
+		func(i int) string { return usStates[i].name },
+		func(i int) string { return usStates[i].abbr },
+		func(i int) []string {
+			if usStates[i].name == "Washington" {
+				return []string{"Washington State"}
+			}
+			return nil
+		})
+	abbr.GenericLeft = stateLeft
+	abbr.GenericRight = codeHeaders
+	abbr.Presence = PresenceVeryHigh
+	abbr.HasWikiTable = true
+	abbr.InFreebase = true
+
+	abbrToState := abbr.Reversed("abbr-state", "abbreviation", "state")
+	abbrToState.Presence = PresenceHigh
+
+	capital := Project("state-capital", "state", "capital", len(usStates),
+		func(i int) string { return usStates[i].name },
+		func(i int) string { return usStates[i].capital }, nil)
+	capital.GenericLeft = stateLeft
+	capital.GenericRight = []string{"capital", "city", "capital city"}
+	capital.Presence = PresenceHigh
+	capital.HasWikiTable = true
+	capital.InFreebase = true
+	capital.InYAGO = true
+
+	largest := Project("state-largest-city", "state", "largest city", len(usStates),
+		func(i int) string { return usStates[i].name },
+		func(i int) string { return usStates[i].largest }, nil)
+	largest.GenericLeft = stateLeft
+	largest.GenericRight = []string{"largest city", "city", "biggest city"}
+	largest.Presence = PresenceMedium
+	largest.HasWikiTable = true
+
+	fips := Project("state-fips", "state", "fips 5-2", len(usStates),
+		func(i int) string { return usStates[i].name },
+		func(i int) string { return usStates[i].fips }, nil)
+	fips.GenericLeft = stateLeft
+	fips.GenericRight = []string{"fips", "code", "fips code"}
+	fips.Presence = PresenceLow
+	fips.HasWikiTable = true
+
+	provAbbr := Project("province-abbr", "province", "abbreviation", len(canadaProvinces),
+		func(i int) string { return canadaProvinces[i].name },
+		func(i int) string { return canadaProvinces[i].abbr }, nil)
+	provAbbr.GenericLeft = []string{"province", "name", "province name"}
+	provAbbr.GenericRight = codeHeaders
+	provAbbr.Presence = PresenceMedium
+	provAbbr.HasWikiTable = true
+
+	sgc := Project("province-sgc", "province", "sgc code", len(canadaProvinces),
+		func(i int) string { return canadaProvinces[i].name },
+		func(i int) string { return canadaProvinces[i].sgc }, nil)
+	sgc.GenericLeft = []string{"province", "name"}
+	sgc.GenericRight = []string{"sgc", "code"}
+	sgc.Presence = PresenceRare
+	sgc.HasWikiTable = true
+
+	return []*Relation{abbr, abbrToState, capital, largest, fips, provAbbr, sgc}
+}
+
+// NumStates returns the size of the curated US-state set.
+func NumStates() int { return len(usStates) }

@@ -1,0 +1,35 @@
+package refdata
+
+// WebBenchmarkSize is the number of web benchmark cases, matching the
+// paper's benchmark of 80 manually curated mapping relationships.
+const WebBenchmarkSize = 80
+
+// EnterpriseBenchmarkSize matches the paper's 30 best-effort enterprise
+// benchmark cases.
+const EnterpriseBenchmarkSize = 30
+
+// CuratedWebRelations returns every hand-curated web relation (the
+// geocoding systems of Figure 6 plus query-log-style cases of Figure 5).
+// The synthetic relgen cases are appended by the benchmark package to reach
+// WebBenchmarkSize.
+func CuratedWebRelations() []*Relation {
+	var out []*Relation
+	out = append(out, CountryRelations()...)
+	out = append(out, StateRelations()...)
+	out = append(out, AirportRelations()...)
+	out = append(out, ElementRelations()...)
+	out = append(out, CompanyRelations()...)
+	out = append(out, MiscRelations()...)
+	out = append(out, Misc2Relations()...)
+	return out
+}
+
+// NonBenchmarkRelations returns relations present in the corpus but excluded
+// from the 80-case benchmark: temporal snapshots and formatting artifacts.
+// They feed the Appendix-J usefulness analysis.
+func NonBenchmarkRelations() []*Relation {
+	var out []*Relation
+	out = append(out, TemporalRelations()...)
+	out = append(out, MeaninglessRelations()...)
+	return out
+}

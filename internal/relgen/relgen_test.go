@@ -1,0 +1,97 @@
+package relgen
+
+import (
+	"testing"
+
+	"mapsynth/internal/refdata"
+	"mapsynth/internal/textnorm"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := Pattern{
+		Name: "demo", LeftLabel: "thing", RightLabel: "code", N: 30,
+		LeftStyle: StyleWords, RightStyle: StyleAlpha, SynonymRate: 0.3,
+		Presence: refdata.PresenceLow,
+	}
+	a := Generate(p, 42)
+	b := Generate(p, 42)
+	if a.Size() != b.Size() {
+		t.Fatalf("sizes differ: %d vs %d", a.Size(), b.Size())
+	}
+	for i := range a.Pairs {
+		if a.Pairs[i].Left.Canonical != b.Pairs[i].Left.Canonical || a.Pairs[i].Right != b.Pairs[i].Right {
+			t.Fatalf("pair %d differs", i)
+		}
+	}
+	c := Generate(p, 43)
+	differs := false
+	for i := range a.Pairs {
+		if i < len(c.Pairs) && a.Pairs[i].Left.Canonical != c.Pairs[i].Left.Canonical {
+			differs = true
+			break
+		}
+	}
+	if !differs {
+		t.Error("different seeds should produce different entities")
+	}
+}
+
+func TestGenerateFunctionalAndSized(t *testing.T) {
+	styles := []NameStyle{StyleWords, StyleCode, StyleAlpha, StyleNumericID, StyleHierarchy, StyleCompound, StyleDotted, StylePort}
+	for _, ls := range styles {
+		p := Pattern{
+			Name: "style-test", LeftLabel: "l", RightLabel: "r", N: 25,
+			LeftStyle: ls, RightStyle: StyleWords,
+		}
+		r := Generate(p, 7)
+		if r.Size() != 25 {
+			t.Fatalf("style %v: size = %d", ls, r.Size())
+		}
+		seen := map[string]string{}
+		for _, pair := range r.Pairs {
+			nl := textnorm.Normalize(pair.Left.Canonical)
+			if nl == "" {
+				t.Fatalf("style %v: empty normalized left %q", ls, pair.Left.Canonical)
+			}
+			if prev, dup := seen[nl]; dup && prev != pair.Right {
+				t.Fatalf("style %v: FD violated for %q", ls, pair.Left.Canonical)
+			}
+			seen[nl] = pair.Right
+		}
+	}
+}
+
+func TestRightChoicesNToOne(t *testing.T) {
+	p := Pattern{
+		Name: "n-to-one", LeftLabel: "l", RightLabel: "r", N: 40,
+		LeftStyle: StyleWords, RightChoices: []string{"A", "B", "C"},
+	}
+	r := Generate(p, 1)
+	rights := map[string]bool{}
+	for _, pair := range r.Pairs {
+		rights[pair.Right] = true
+	}
+	if len(rights) > 3 {
+		t.Errorf("rights = %v, want subset of choices", rights)
+	}
+}
+
+func TestSynonymRate(t *testing.T) {
+	p := Pattern{
+		Name: "syn", LeftLabel: "l", RightLabel: "r", N: 60,
+		LeftStyle: StyleWords, RightStyle: StyleAlpha, SynonymRate: 0.5,
+	}
+	r := Generate(p, 9)
+	withSyn := 0
+	for _, pair := range r.Pairs {
+		if len(pair.Left.Synonyms) > 0 {
+			withSyn++
+			if textnorm.Normalize(pair.Left.Synonyms[0]) == textnorm.Normalize(pair.Left.Canonical) {
+				t.Errorf("synonym %q collides with canonical %q", pair.Left.Synonyms[0], pair.Left.Canonical)
+			}
+		}
+	}
+	if withSyn < 15 || withSyn > 45 {
+		t.Errorf("synonym count = %d of 60 at rate 0.5", withSyn)
+	}
+}

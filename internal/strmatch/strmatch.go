@@ -1,0 +1,211 @@
+// Package strmatch implements approximate string matching between cell
+// values (Section 4.1 and Appendix B of the paper).
+//
+// Values from different tables often differ by minor syntactic variation
+// ("Korea, Republic of" vs "Korea Republic", "American Samoa" vs
+// "American Samoa (US)"). Two values are considered a match when their edit
+// distance does not exceed a fractional, length-aware threshold
+//
+//	θed(v1, v2) = min{⌊|v1|·fed⌋, ⌊|v2|·fed⌋, ked}
+//
+// so short codes like "USA" require an exact match while long names tolerate
+// a few edits. Distances are computed with a banded dynamic program in the
+// spirit of Ukkonen's algorithm: only the diagonal band of width θed of the
+// DP matrix is filled, making a single comparison O(θed · min{|v1|, |v2|}).
+package strmatch
+
+import "mapsynth/internal/textnorm"
+
+// DefaultFracEd is the paper's fractional edit-distance threshold fed.
+const DefaultFracEd = 0.2
+
+// DefaultKEd is the paper's absolute cap ked on the edit-distance threshold.
+const DefaultKEd = 10
+
+// Matcher decides whether two cell values match approximately. It combines
+// the fractional banded edit distance with an optional synonym feed. The
+// zero value is not usable; construct with NewMatcher.
+type Matcher struct {
+	fracEd float64
+	kEd    int
+	syn    *SynonymFeed
+}
+
+// NewMatcher returns a Matcher with the given fractional threshold fed and
+// absolute cap ked. Passing fed <= 0 or ked < 0 selects the paper defaults
+// (0.2 and 10).
+func NewMatcher(fracEd float64, kEd int) *Matcher {
+	if fracEd <= 0 {
+		fracEd = DefaultFracEd
+	}
+	if kEd < 0 {
+		kEd = DefaultKEd
+	}
+	return &Matcher{fracEd: fracEd, kEd: kEd}
+}
+
+// SetSynonyms attaches a synonym feed; values known to be synonyms match
+// regardless of edit distance. A nil feed detaches synonyms.
+func (m *Matcher) SetSynonyms(s *SynonymFeed) { m.syn = s }
+
+// Threshold returns θed for a pair of already-normalized values:
+// min{⌊|v1|·fed⌋, ⌊|v2|·fed⌋, ked}. Lengths are in runes.
+func (m *Matcher) Threshold(v1, v2 string) int {
+	l1 := len([]rune(v1))
+	l2 := len([]rune(v2))
+	t1 := int(float64(l1) * m.fracEd)
+	t2 := int(float64(l2) * m.fracEd)
+	t := t1
+	if t2 < t {
+		t = t2
+	}
+	if m.kEd < t {
+		t = m.kEd
+	}
+	return t
+}
+
+// MatchNormalized reports whether two already-normalized values match:
+// either exactly, via the synonym feed, or within the banded edit-distance
+// threshold.
+func (m *Matcher) MatchNormalized(v1, v2 string) bool {
+	if v1 == v2 {
+		return true
+	}
+	if m.syn != nil && m.syn.AreSynonyms(v1, v2) {
+		return true
+	}
+	t := m.Threshold(v1, v2)
+	if t == 0 {
+		return false
+	}
+	return WithinDistance(v1, v2, t)
+}
+
+// Match normalizes both values (case, punctuation, footnotes) and then
+// applies MatchNormalized.
+func (m *Matcher) Match(v1, v2 string) bool {
+	return m.MatchNormalized(textnorm.Normalize(v1), textnorm.Normalize(v2))
+}
+
+// WithinDistance reports whether the Levenshtein distance between a and b is
+// at most maxDist, using a banded DP (Algorithm 2 in the paper) that fills
+// only cells within maxDist of the diagonal. It runs in
+// O(maxDist · min{|a|, |b|}) time and O(min{|a|,|b|}) space.
+func WithinDistance(a, b string, maxDist int) bool {
+	if maxDist < 0 {
+		return false
+	}
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) > len(rb) {
+		ra, rb = rb, ra
+	}
+	// ra is the shorter string. A length gap beyond the band cannot match.
+	if len(rb)-len(ra) > maxDist {
+		return false
+	}
+	if maxDist == 0 {
+		return string(ra) == string(rb)
+	}
+	n, m2 := len(ra), len(rb)
+	// prev[j] and cur[j] hold DP rows indexed by position in rb (0..m2).
+	// Cells outside the band are sentinel (maxDist + 1): "too far".
+	const pad = 1
+	inf := maxDist + pad
+	prev := make([]int, m2+1)
+	cur := make([]int, m2+1)
+	for j := 0; j <= m2; j++ {
+		if j <= maxDist {
+			prev[j] = j
+		} else {
+			prev[j] = inf
+		}
+	}
+	for i := 1; i <= n; i++ {
+		lo := i - maxDist
+		if lo < 1 {
+			lo = 1
+		}
+		hi := i + maxDist
+		if hi > m2 {
+			hi = m2
+		}
+		// Left edge of the band.
+		if lo == 1 {
+			if i <= maxDist {
+				cur[0] = i
+			} else {
+				cur[0] = inf
+			}
+		}
+		if lo > 1 {
+			cur[lo-1] = inf
+		}
+		rowMin := inf
+		for j := lo; j <= hi; j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			best := prev[j-1] + cost        // substitution or match
+			if d := prev[j] + 1; d < best { // deletion from ra
+				best = d
+			}
+			if d := cur[j-1] + 1; d < best { // insertion into ra
+				best = d
+			}
+			if best > inf {
+				best = inf
+			}
+			cur[j] = best
+			if best < rowMin {
+				rowMin = best
+			}
+		}
+		if hi < m2 {
+			cur[hi+1] = inf
+		}
+		if rowMin > maxDist {
+			return false // the whole band exceeded the threshold
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m2] <= maxDist
+}
+
+// Distance computes the exact Levenshtein distance between a and b with the
+// classic full dynamic program. It is O(|a|·|b|) and intended for tests and
+// small inputs; hot paths use WithinDistance.
+func Distance(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			best := prev[j-1] + cost
+			if d := prev[j] + 1; d < best {
+				best = d
+			}
+			if d := cur[j-1] + 1; d < best {
+				best = d
+			}
+			cur[j] = best
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}

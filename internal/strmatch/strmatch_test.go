@@ -1,0 +1,173 @@
+package strmatch
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistanceBasic(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"a", "", 1},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"usa", "usa", 0},
+		{"usa", "rsa", 1},
+		{"korea republic of", "korea republic", 3},
+	}
+	for _, c := range cases {
+		if got := Distance(c.a, c.b); got != c.want {
+			t.Errorf("Distance(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestWithinDistanceAgreesWithFullDP(t *testing.T) {
+	// Property: the banded check agrees with the exact distance for all
+	// thresholds on random short strings.
+	rng := rand.New(rand.NewSource(7))
+	alphabet := "abcd"
+	randStr := func() string {
+		n := rng.Intn(12)
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteByte(alphabet[rng.Intn(len(alphabet))])
+		}
+		return b.String()
+	}
+	for i := 0; i < 3000; i++ {
+		a, b := randStr(), randStr()
+		d := Distance(a, b)
+		for _, th := range []int{0, 1, 2, 3, 5, 8} {
+			got := WithinDistance(a, b, th)
+			want := d <= th
+			if got != want {
+				t.Fatalf("WithinDistance(%q, %q, %d) = %v, exact distance %d", a, b, th, got, d)
+			}
+		}
+	}
+}
+
+func TestWithinDistanceNegativeThreshold(t *testing.T) {
+	if WithinDistance("a", "a", -1) {
+		t.Error("negative threshold must never match")
+	}
+}
+
+func TestDistanceSymmetric(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 40 || len(b) > 40 {
+			return true
+		}
+		return Distance(a, b) == Distance(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceTriangleInequality(t *testing.T) {
+	f := func(a, b, c string) bool {
+		if len(a) > 20 || len(b) > 20 || len(c) > 20 {
+			return true
+		}
+		return Distance(a, c) <= Distance(a, b)+Distance(b, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatcherThreshold(t *testing.T) {
+	m := NewMatcher(0.2, 10)
+	// Paper's Example 8: θed("american samoa", "american samoa (us)") = 2.
+	th := m.Threshold("american samoa", "american samoa us")
+	if th != 2 {
+		t.Errorf("Threshold = %d, want 2", th)
+	}
+	// Short codes require exact matches.
+	if m.Threshold("usa", "rsa") != 0 {
+		t.Errorf("short codes should have zero threshold")
+	}
+	if m.MatchNormalized("usa", "rsa") {
+		t.Error("USA must not match RSA")
+	}
+}
+
+func TestMatcherApproximate(t *testing.T) {
+	m := NewMatcher(0.2, 10)
+	// Punctuation-only variation disappears in normalization.
+	if !m.Match("Korea, Republic of", "Korea Republic of") {
+		t.Error("punctuation variants should match")
+	}
+	// Small suffix variation within the fractional threshold.
+	if !m.Match("Stockholm Arlanda Airport", "Stockholm Arlanda Airports") {
+		t.Error("1-edit variation of a long name should match")
+	}
+	// The paper's Example-8 pair needs a slightly looser fraction because
+	// our normalization keeps the separating space ("american samoa" vs
+	// "american samoa us" is distance 3).
+	loose := NewMatcher(0.25, 10)
+	if !loose.Match("American Samoa", "American Samoa (US)") {
+		t.Error("decorated variant should match at fed=0.25")
+	}
+	if m.Match("Austria", "Australia") {
+		t.Error("Austria must not match Australia (distance 3 > threshold 1)")
+	}
+}
+
+func TestMatcherKEdCap(t *testing.T) {
+	m := NewMatcher(0.5, 2) // high fraction, tight cap
+	long1 := strings.Repeat("a", 40)
+	long2 := strings.Repeat("a", 37) + "bbb"
+	if m.MatchNormalized(long1, long2) {
+		t.Error("cap ked=2 must reject distance-3 pairs")
+	}
+}
+
+func TestMatcherDefaults(t *testing.T) {
+	m := NewMatcher(0, -1)
+	if m.fracEd != DefaultFracEd || m.kEd != DefaultKEd {
+		t.Errorf("defaults not applied: %v %v", m.fracEd, m.kEd)
+	}
+}
+
+func TestSynonymFeed(t *testing.T) {
+	s := NewSynonymFeed()
+	s.AddGroup("us virgin islands", "united states virgin islands")
+	s.AddGroup("united states virgin islands", "virgin islands of the united states")
+	if !s.AreSynonyms("us virgin islands", "virgin islands of the united states") {
+		t.Error("synonymy should be transitive across group merges")
+	}
+	if s.AreSynonyms("us virgin islands", "british virgin islands") {
+		t.Error("unrelated values must not be synonyms")
+	}
+	if !s.AreSynonyms("x", "x") {
+		t.Error("equal values are always synonyms")
+	}
+
+	m := NewMatcher(0.2, 10)
+	m.SetSynonyms(s)
+	if !m.MatchNormalized("us virgin islands", "virgin islands of the united states") {
+		t.Error("matcher should honor the synonym feed")
+	}
+}
+
+func TestSynonymFeedMergeGroups(t *testing.T) {
+	s := NewSynonymFeed()
+	s.AddGroup("a", "b")
+	s.AddGroup("c", "d")
+	s.AddGroup("b", "c") // merges both groups
+	if !s.AreSynonyms("a", "d") {
+		t.Error("group merge failed")
+	}
+	if s.Len() != 4 {
+		t.Errorf("Len = %d, want 4", s.Len())
+	}
+}

@@ -1,0 +1,90 @@
+package synthesis
+
+import (
+	"sort"
+
+	"mapsynth/internal/graph"
+)
+
+// MaxExactVertices bounds Exact's input size; beyond it the search space
+// (Bell numbers) is impractical.
+const MaxExactVertices = 12
+
+// Exact solves Problem 11 optimally by enumerating set partitions with
+// branch-and-bound pruning on the negative constraint. It panics if the
+// graph has more than MaxExactVertices vertices. Intended for tests and the
+// greedy-vs-optimal ablation bench.
+func Exact(g *graph.Graph, tau float64) Partitioning {
+	n := g.NumVertices()
+	if n > MaxExactVertices {
+		panic("synthesis.Exact: graph too large")
+	}
+	// assignment[v] = group index; groups are numbered contiguously to
+	// enumerate each set partition exactly once (restricted growth strings).
+	assignment := make([]int, n)
+	best := make([]int, n)
+	bestScore := -1.0
+
+	// Precompute adjacency weights for O(1) incremental scoring.
+	posW := make([][]float64, n)
+	negBad := make([][]bool, n)
+	for i := 0; i < n; i++ {
+		posW[i] = make([]float64, n)
+		negBad[i] = make([]bool, n)
+	}
+	for _, e := range g.Edges() {
+		posW[e.A][e.B] = e.Pos
+		posW[e.B][e.A] = e.Pos
+		if e.Neg < tau {
+			negBad[e.A][e.B] = true
+			negBad[e.B][e.A] = true
+		}
+	}
+
+	var rec func(v, maxGroup int, score float64)
+	rec = func(v, maxGroup int, score float64) {
+		if v == n {
+			if score > bestScore {
+				bestScore = score
+				copy(best, assignment)
+			}
+			return
+		}
+		for grp := 0; grp <= maxGroup+1; grp++ {
+			ok := true
+			add := 0.0
+			for u := 0; u < v; u++ {
+				if assignment[u] != grp {
+					continue
+				}
+				if negBad[u][v] {
+					ok = false
+					break
+				}
+				add += posW[u][v]
+			}
+			if !ok {
+				continue
+			}
+			assignment[v] = grp
+			ng := maxGroup
+			if grp > maxGroup {
+				ng = grp
+			}
+			rec(v+1, ng, score+add)
+		}
+	}
+	rec(0, -1, 0)
+
+	groups := make(map[int][]int)
+	for v, gI := range best {
+		groups[gI] = append(groups[gI], v)
+	}
+	parts := make(Partitioning, 0, len(groups))
+	for _, members := range groups {
+		sort.Ints(members)
+		parts = append(parts, members)
+	}
+	sort.Slice(parts, func(i, j int) bool { return parts[i][0] < parts[j][0] })
+	return parts
+}

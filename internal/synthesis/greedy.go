@@ -1,0 +1,243 @@
+// Package synthesis partitions the compatibility graph into synthesized
+// relationships (Problem 11 of the paper): maximize the sum of positive
+// intra-partition compatibility subject to the hard constraint that no
+// partition contains a negative edge below τ.
+//
+// The problem is NP-hard in general (reduction from multi-cut, Theorem 13)
+// with a trichotomy in the number of negative edges: 1 negative edge reduces
+// to min-cut/max-flow, 2 stay polynomial, >= 3 are NP-hard. This package
+// provides:
+//
+//   - Greedy: the paper's production algorithm (Algorithm 3) — iterative
+//     agglomerative merging of the most compatible partition pair, with a
+//     lazy max-heap and union-find-style bookkeeping.
+//   - Exact: exponential search for small graphs, used by tests and the
+//     ablation bench to measure the greedy gap.
+//   - MinCutSingleNegative: the max-flow special case for one negative edge.
+package synthesis
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"mapsynth/internal/graph"
+)
+
+// DefaultTau is the negative-edge hard-constraint threshold τ used in the
+// paper's experiments (−0.2; §5.4 reports peak quality near −0.05 and good
+// quality at −0.2).
+const DefaultTau = -0.2
+
+// Partitioning is the result of synthesis: disjoint vertex groups covering
+// the graph. Groups are sorted by their smallest member; members ascending.
+type Partitioning [][]int
+
+// Objective computes the Problem-11 objective of a partitioning on g: the
+// sum of positive edge weights whose endpoints share a partition.
+func Objective(g *graph.Graph, parts Partitioning) float64 {
+	group := make(map[int]int)
+	for gi, p := range parts {
+		for _, v := range p {
+			group[v] = gi
+		}
+	}
+	var sum float64
+	for _, e := range g.Edges() {
+		if group[e.A] == group[e.B] {
+			sum += e.Pos
+		}
+	}
+	return sum
+}
+
+// Feasible reports whether no partition contains an edge with negative
+// weight below tau (Constraint 6).
+func Feasible(g *graph.Graph, parts Partitioning, tau float64) bool {
+	group := make(map[int]int)
+	for gi, p := range parts {
+		for _, v := range p {
+			group[v] = gi
+		}
+	}
+	for _, e := range g.Edges() {
+		if e.Neg < tau && group[e.A] == group[e.B] {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeEntry is one candidate merge in the lazy priority queue.
+type mergeEntry struct {
+	pos  float64
+	a, b int // partition roots at push time, a < b
+}
+
+type mergeHeap []mergeEntry
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	if h[i].pos != h[j].pos {
+		return h[i].pos > h[j].pos // max-heap on weight
+	}
+	if h[i].a != h[j].a {
+		return h[i].a < h[j].a // deterministic tie-break
+	}
+	return h[i].b < h[j].b
+}
+func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(mergeEntry)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Greedy runs Algorithm 3: start with singleton partitions; repeatedly merge
+// the pair of partitions with the greatest aggregated positive weight whose
+// aggregated negative weight is not below tau; stop when no eligible pair
+// with positive weight remains.
+//
+// Aggregation on merge follows Appendix E: positive weights add
+// (w+(Pi,P') = w+(Pi,P1) + w+(Pi,P2)), negative weights take the minimum
+// (most negative dominates). Stale heap entries are discarded lazily by
+// checking them against the current aggregated weight.
+func Greedy(g *graph.Graph, tau float64) Partitioning {
+	n := g.NumVertices()
+	// parent implements union-find with path halving; the merge loop
+	// chooses which root survives (the one with the larger adjacency), so
+	// plain parent pointers beat union-by-rank here.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	find := func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+
+	// pos[r][s] / neg[r][s]: aggregated weights between partition roots.
+	// Invariant: for active roots r, keys of pos[r]/neg[r] are active roots
+	// and the maps are symmetric.
+	pos := make([]map[int]float64, n)
+	neg := make([]map[int]float64, n)
+	for i := 0; i < n; i++ {
+		pos[i] = make(map[int]float64)
+		neg[i] = make(map[int]float64)
+	}
+	h := &mergeHeap{}
+	for _, e := range g.Edges() {
+		if e.Pos != 0 {
+			pos[e.A][e.B] = e.Pos
+			pos[e.B][e.A] = e.Pos
+		}
+		if e.Neg != 0 {
+			neg[e.A][e.B] = e.Neg
+			neg[e.B][e.A] = e.Neg
+		}
+		if e.Pos > 0 && e.Neg >= tau {
+			heap.Push(h, mergeEntry{pos: e.Pos, a: e.A, b: e.B})
+		}
+	}
+
+	for h.Len() > 0 {
+		top := heap.Pop(h).(mergeEntry)
+		ra, rb := find(top.a), find(top.b)
+		if ra == rb {
+			continue // already merged
+		}
+		cur, ok := pos[ra][rb]
+		if !ok || math.Abs(cur-top.pos) > 1e-12 || top.pos <= 0 {
+			continue // stale entry; a fresher one is in the heap
+		}
+		if nw, bad := neg[ra][rb]; bad && nw < tau {
+			continue // hard constraint
+		}
+		// Merge the smaller adjacency into the larger.
+		keep, drop := ra, rb
+		if len(pos[keep])+len(neg[keep]) < len(pos[drop])+len(neg[drop]) {
+			keep, drop = drop, keep
+		}
+		parent[drop] = keep
+		delete(pos[keep], drop)
+		delete(neg[keep], drop)
+		delete(pos[drop], keep)
+		delete(neg[drop], keep)
+		for nb, w := range pos[drop] {
+			if find(nb) == keep {
+				continue // defensive; invariant keeps keys as roots
+			}
+			pos[keep][nb] += w
+			pos[nb][keep] = pos[keep][nb]
+			delete(pos[nb], drop)
+		}
+		for nb, w := range neg[drop] {
+			if find(nb) == keep {
+				continue
+			}
+			if curN, exists := neg[keep][nb]; !exists || w < curN {
+				neg[keep][nb] = w
+				neg[nb][keep] = w
+			}
+			delete(neg[nb], drop)
+		}
+		pos[drop] = nil
+		neg[drop] = nil
+		// Re-advertise the merged partition's eligible edges.
+		for nb, w := range pos[keep] {
+			if w > 0 && neg[keep][nb] >= tau {
+				a, b := keep, nb
+				if a > b {
+					a, b = b, a
+				}
+				heap.Push(h, mergeEntry{pos: w, a: a, b: b})
+			}
+		}
+	}
+
+	groups := make(map[int][]int)
+	for v := 0; v < n; v++ {
+		r := find(v)
+		groups[r] = append(groups[r], v)
+	}
+	parts := make(Partitioning, 0, len(groups))
+	for _, members := range groups {
+		sort.Ints(members)
+		parts = append(parts, members)
+	}
+	sort.Slice(parts, func(i, j int) bool { return parts[i][0] < parts[j][0] })
+	return parts
+}
+
+// GreedyPerComponent applies Greedy independently to every connected
+// component of g (the paper's divide-and-conquer, Appendix F). Results are
+// identical to Greedy on the whole graph — merges never cross components —
+// but bookkeeping stays small per component.
+func GreedyPerComponent(g *graph.Graph, tau float64) Partitioning {
+	comps := g.ConnectedComponents()
+	var parts Partitioning
+	for _, comp := range comps {
+		if len(comp) == 1 {
+			parts = append(parts, comp)
+			continue
+		}
+		sub, orig := g.Subgraph(comp)
+		sp := Greedy(sub, tau)
+		for _, p := range sp {
+			mapped := make([]int, len(p))
+			for i, v := range p {
+				mapped[i] = orig[v]
+			}
+			sort.Ints(mapped)
+			parts = append(parts, mapped)
+		}
+	}
+	sort.Slice(parts, func(i, j int) bool { return parts[i][0] < parts[j][0] })
+	return parts
+}

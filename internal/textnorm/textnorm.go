@@ -1,0 +1,100 @@
+// Package textnorm normalizes cell values before comparison.
+//
+// Real table cells carry syntactic noise that must not defeat value-based
+// matching: inconsistent letter case, surrounding whitespace, punctuation
+// variants ("Korea, Republic of" vs "Korea Republic of"), and extraneous
+// artifacts such as footnote marks ("Algeria[1]", see Figure 2 in the paper).
+// Normalize strips all of these so exact-match blocking catches most true
+// matches cheaply; the remaining variation is handled by approximate string
+// matching in package strmatch.
+package textnorm
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Normalize canonicalizes a cell value for comparison: it lower-cases the
+// value, removes footnote marks like "[1]" or "[a]", replaces punctuation
+// with spaces, and collapses runs of whitespace. The empty string normalizes
+// to itself.
+func Normalize(s string) string {
+	if s == "" {
+		return ""
+	}
+	s = stripFootnotes(s)
+	var b strings.Builder
+	b.Grow(len(s))
+	prevSpace := true // true suppresses a leading space
+	for _, r := range s {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(unicode.ToLower(r))
+			prevSpace = false
+		default:
+			// Punctuation and whitespace both act as separators.
+			if !prevSpace {
+				b.WriteByte(' ')
+				prevSpace = true
+			}
+		}
+	}
+	return strings.TrimRight(b.String(), " ")
+}
+
+// stripFootnotes removes bracketed footnote markers such as "[1]", "[a]",
+// "[note 2]" anywhere in the value. Unbalanced brackets are left untouched.
+func stripFootnotes(s string) string {
+	if !strings.ContainsRune(s, '[') {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	depth := 0
+	for _, r := range s {
+		switch r {
+		case '[':
+			depth++
+		case ']':
+			if depth > 0 {
+				depth--
+				continue
+			}
+			b.WriteRune(r)
+		default:
+			if depth == 0 {
+				b.WriteRune(r)
+			}
+		}
+	}
+	if depth != 0 {
+		// Unbalanced: be conservative and return the original.
+		return s
+	}
+	return b.String()
+}
+
+// NormalizePair normalizes both sides of a (left, right) value pair and
+// reports whether the left side survived normalization (a pair whose left
+// normalizes to the empty string is useless for mapping synthesis).
+func NormalizePair(l, r string) (nl, nr string, ok bool) {
+	nl = Normalize(l)
+	nr = Normalize(r)
+	return nl, nr, nl != ""
+}
+
+// PairKey builds a single collision-free string key for a normalized value
+// pair, suitable as a map key or blocking token. The separator byte 0x1f
+// (unit separator) cannot appear in normalized values.
+func PairKey(nl, nr string) string {
+	return nl + "\x1f" + nr
+}
+
+// SplitPairKey splits a key built by PairKey back into its two halves.
+func SplitPairKey(key string) (nl, nr string) {
+	i := strings.IndexByte(key, 0x1f)
+	if i < 0 {
+		return key, ""
+	}
+	return key[:i], key[i+1:]
+}

@@ -1,0 +1,125 @@
+package textnorm
+
+import (
+	"testing"
+	"testing/quick"
+	"unicode"
+)
+
+func TestNormalizeBasic(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{"", ""},
+		{"USA", "usa"},
+		{"  South  Korea ", "south korea"},
+		{"Korea, Republic of", "korea republic of"},
+		{"Korea (South)", "korea south"},
+		{"Algeria[1]", "algeria"},
+		{"Algeria[note 2]", "algeria"},
+		{"American Samoa (US)", "american samoa us"},
+		{"U.S.A.", "u s a"},
+		{"Côte d'Ivoire", "côte d ivoire"},
+		{"washington, d.c.", "washington d c"},
+		{"  ", ""},
+		{"---", ""},
+		{"a-b", "a b"},
+		{"3.5", "3 5"},
+	}
+	for _, c := range cases {
+		if got := Normalize(c.in); got != c.want {
+			t.Errorf("Normalize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNormalizeIdempotent(t *testing.T) {
+	f := func(s string) bool {
+		once := Normalize(s)
+		return Normalize(once) == once
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizeOutputAlphabet(t *testing.T) {
+	// Property: normalized output contains only lowercase letters, digits
+	// and single interior spaces.
+	f := func(s string) bool {
+		n := Normalize(s)
+		if n == "" {
+			return true
+		}
+		if n[0] == ' ' || n[len(n)-1] == ' ' {
+			return false
+		}
+		prevSpace := false
+		for _, r := range n {
+			switch {
+			case r == ' ':
+				if prevSpace {
+					return false
+				}
+				prevSpace = true
+			case unicode.IsDigit(r):
+				prevSpace = false
+			case unicode.IsLetter(r):
+				// Letters must be lowercased where a lowercase mapping
+				// exists (some Unicode capitals have none).
+				if unicode.ToLower(r) != r {
+					return false
+				}
+				prevSpace = false
+			default:
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStripFootnotesUnbalanced(t *testing.T) {
+	// Unbalanced brackets leave the value untouched (conservative).
+	if got := stripFootnotes("abc[1"); got != "abc[1" {
+		t.Errorf("unbalanced open: got %q", got)
+	}
+	if got := stripFootnotes("abc]1"); got != "abc]1" {
+		t.Errorf("stray close: got %q", got)
+	}
+	if got := stripFootnotes("a[b[c]]d"); got != "ad" {
+		t.Errorf("nested: got %q", got)
+	}
+}
+
+func TestNormalizePair(t *testing.T) {
+	nl, nr, ok := NormalizePair("  Japan ", "JPN[2]")
+	if !ok || nl != "japan" || nr != "jpn" {
+		t.Errorf("NormalizePair = (%q, %q, %v)", nl, nr, ok)
+	}
+	_, _, ok = NormalizePair("---", "x")
+	if ok {
+		t.Error("pair with empty normalized left should be rejected")
+	}
+}
+
+func TestPairKeyRoundTrip(t *testing.T) {
+	f := func(a, b string) bool {
+		na, nb := Normalize(a), Normalize(b)
+		l, r := SplitPairKey(PairKey(na, nb))
+		return l == na && r == nb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPairKeyNoCollision(t *testing.T) {
+	// ("a b", "c") must differ from ("a", "b c").
+	if PairKey("a b", "c") == PairKey("a", "b c") {
+		t.Error("pair keys collide across boundary shifts")
+	}
+}

@@ -1,0 +1,73 @@
+// Package unionfind implements a disjoint-set forest with union by rank and
+// path compression (Hopcroft & Ullman [25]), used to track merged partitions
+// during greedy table synthesis and to compute connected components.
+package unionfind
+
+// UF is a disjoint-set forest over the integers [0, n).
+// The zero value is not usable; construct with New.
+type UF struct {
+	parent []int
+	rank   []byte
+	count  int
+}
+
+// New returns a disjoint-set forest with n singleton sets {0}, {1}, ... {n-1}.
+func New(n int) *UF {
+	uf := &UF{
+		parent: make([]int, n),
+		rank:   make([]byte, n),
+		count:  n,
+	}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+// Find returns the canonical representative of x's set, compressing paths as
+// it walks.
+func (u *UF) Find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]] // halve the path
+		x = u.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets containing x and y and reports whether a merge
+// happened (false if they were already in the same set).
+func (u *UF) Union(x, y int) bool {
+	rx, ry := u.Find(x), u.Find(y)
+	if rx == ry {
+		return false
+	}
+	if u.rank[rx] < u.rank[ry] {
+		rx, ry = ry, rx
+	}
+	u.parent[ry] = rx
+	if u.rank[rx] == u.rank[ry] {
+		u.rank[rx]++
+	}
+	u.count--
+	return true
+}
+
+// Connected reports whether x and y are in the same set.
+func (u *UF) Connected(x, y int) bool { return u.Find(x) == u.Find(y) }
+
+// Count returns the current number of disjoint sets.
+func (u *UF) Count() int { return u.count }
+
+// Len returns the number of elements in the forest.
+func (u *UF) Len() int { return len(u.parent) }
+
+// Groups materializes the current sets as a map from representative to
+// members. Member order within a group is ascending.
+func (u *UF) Groups() map[int][]int {
+	g := make(map[int][]int)
+	for i := range u.parent {
+		r := u.Find(i)
+		g[r] = append(g[r], i)
+	}
+	return g
+}

@@ -1,0 +1,94 @@
+package unionfind
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBasicUnionFind(t *testing.T) {
+	uf := New(5)
+	if uf.Count() != 5 || uf.Len() != 5 {
+		t.Fatalf("initial state wrong: count=%d len=%d", uf.Count(), uf.Len())
+	}
+	if !uf.Union(0, 1) {
+		t.Error("first union should merge")
+	}
+	if uf.Union(1, 0) {
+		t.Error("repeat union should be a no-op")
+	}
+	if !uf.Connected(0, 1) {
+		t.Error("0 and 1 should be connected")
+	}
+	if uf.Connected(0, 2) {
+		t.Error("0 and 2 should not be connected")
+	}
+	uf.Union(2, 3)
+	uf.Union(1, 3)
+	if uf.Count() != 2 {
+		t.Errorf("count = %d, want 2", uf.Count())
+	}
+	groups := uf.Groups()
+	sizes := map[int]bool{}
+	for _, g := range groups {
+		sizes[len(g)] = true
+	}
+	if !sizes[4] || !sizes[1] {
+		t.Errorf("groups sizes wrong: %v", groups)
+	}
+}
+
+func TestGroupsSortedMembers(t *testing.T) {
+	uf := New(6)
+	uf.Union(5, 0)
+	uf.Union(3, 5)
+	for _, g := range uf.Groups() {
+		for i := 1; i < len(g); i++ {
+			if g[i] <= g[i-1] {
+				t.Fatalf("group not ascending: %v", g)
+			}
+		}
+	}
+}
+
+// TestAgainstNaive cross-checks union-find against a naive labeling under a
+// random operation sequence.
+func TestAgainstNaive(t *testing.T) {
+	const n = 80
+	rng := rand.New(rand.NewSource(3))
+	uf := New(n)
+	label := make([]int, n)
+	for i := range label {
+		label[i] = i
+	}
+	relabel := func(from, to int) {
+		for i := range label {
+			if label[i] == from {
+				label[i] = to
+			}
+		}
+	}
+	for op := 0; op < 2000; op++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if rng.Intn(2) == 0 {
+			merged := uf.Union(a, b)
+			if merged == (label[a] == label[b]) {
+				t.Fatalf("op %d: union(%d,%d) merged=%v but labels %d,%d", op, a, b, merged, label[a], label[b])
+			}
+			if merged {
+				relabel(label[b], label[a])
+			}
+		} else {
+			if uf.Connected(a, b) != (label[a] == label[b]) {
+				t.Fatalf("op %d: connected(%d,%d) mismatch", op, a, b)
+			}
+		}
+	}
+	// Count must match distinct labels.
+	distinct := map[int]struct{}{}
+	for _, l := range label {
+		distinct[l] = struct{}{}
+	}
+	if uf.Count() != len(distinct) {
+		t.Errorf("count = %d, want %d", uf.Count(), len(distinct))
+	}
+}
