@@ -6,8 +6,11 @@
 package mapsynth
 
 import (
+	"bytes"
 	"fmt"
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 
@@ -20,6 +23,7 @@ import (
 	"mapsynth/internal/index"
 	"mapsynth/internal/mapping"
 	"mapsynth/internal/mapreduce"
+	"mapsynth/internal/serve"
 	"mapsynth/internal/stats"
 	"mapsynth/internal/strmatch"
 	"mapsynth/internal/synthesis"
@@ -287,6 +291,88 @@ func BenchmarkIndexLookup(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if hits := ix.LookupLeft(query, 0.9); len(hits) != 1 {
 			b.Fatalf("hits = %d", len(hits))
+		}
+	}
+}
+
+// serveBenchMappings builds the synthetic mapping set used by the serving
+// benchmarks: 200 mappings of 50 pairs each, matching BenchmarkIndexLookup's
+// corpus so index and service numbers are comparable.
+func serveBenchMappings() []*mapping.Mapping {
+	maps := make([]*mapping.Mapping, 0, 200)
+	for mi := 0; mi < 200; mi++ {
+		ls := make([]string, 50)
+		rs := make([]string, 50)
+		for i := range ls {
+			ls[i] = fmt.Sprintf("left-%d-%d", mi, i)
+			rs[i] = fmt.Sprintf("right-%d-%d", mi, i)
+		}
+		bt := table.NewBinaryTable(mi, mi, "d", "l", "r", ls, rs)
+		maps = append(maps, mapping.Build(mi, []*table.BinaryTable{bt}))
+	}
+	return maps
+}
+
+// BenchmarkServeLookup measures the serving hot path end to end — HTTP
+// routing, shard fan-out, cache, JSON encoding — for the single-key /lookup
+// endpoint. Sub-benchmarks separate the cache-hit path (one hot key) from
+// the cache-miss path (cache disabled, every request scans the shards).
+func BenchmarkServeLookup(b *testing.B) {
+	maps := serveBenchMappings()
+	run := func(b *testing.B, cacheSize int, key string) {
+		srv := serve.NewFromMappings(maps, serve.Options{Shards: 4, CacheSize: cacheSize})
+		h := srv.Handler()
+		url := "/lookup?key=" + key
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+			if rec.Code != http.StatusOK {
+				b.Fatalf("status = %d", rec.Code)
+			}
+		}
+	}
+	b.Run("cached", func(b *testing.B) { run(b, 1024, "left-137-7") })
+	b.Run("uncached", func(b *testing.B) { run(b, 0, "left-137-7") })
+}
+
+// BenchmarkServeLookupParallel measures concurrent throughput of /lookup —
+// the read-only shards and lock-free state pointer should let parallel
+// clients scale across cores; only the LRU mutex is shared.
+func BenchmarkServeLookupParallel(b *testing.B) {
+	maps := serveBenchMappings()
+	srv := serve.NewFromMappings(maps, serve.Options{Shards: 4, CacheSize: 1024})
+	h := srv.Handler()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			key := fmt.Sprintf("left-%d-%d", i%200, i%50)
+			i++
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/lookup?key="+key, nil))
+			if rec.Code != http.StatusOK {
+				b.Fatalf("status = %d", rec.Code)
+			}
+		}
+	})
+}
+
+// BenchmarkServeAutoFill measures the batch /autofill endpoint over the
+// sharded index.
+func BenchmarkServeAutoFill(b *testing.B) {
+	maps := serveBenchMappings()
+	srv := serve.NewFromMappings(maps, serve.Options{Shards: 4, CacheSize: 0})
+	h := srv.Handler()
+	body := []byte(`{"column":["left-42-1","left-42-2","left-42-3","left-42-4"],` +
+		`"examples":[{"left":"left-42-1","right":"right-42-1"}],"min_coverage":0.9}`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/autofill", bytes.NewReader(body))
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
 		}
 	}
 }

@@ -1,0 +1,67 @@
+// Command serve is the long-running mapping service: it loads a snapshot
+// written by `synthesize -snapshot` into hash-sharded in-memory indexes and
+// serves the paper's end-user applications over HTTP.
+//
+// Usage:
+//
+//	serve -snapshot out.snap [-addr :8080] [-shards N] [-cache 4096]
+//
+// Endpoints:
+//
+//	GET  /lookup?key=K     single-key lookup with provenance (LRU-cached)
+//	POST /autofill         {"column":[...], "examples":[{"left","right"}], "min_coverage":0.8}
+//	POST /autocorrect      {"column":[...], "min_each":2, "min_coverage":0.8}
+//	POST /autojoin         {"keys_a":[...], "keys_b":[...], "min_coverage":0.8}
+//	GET  /healthz          liveness + loaded snapshot metadata
+//	GET  /stats            request counts, latency percentiles, cache hit rate
+//	POST /reload           {"snapshot":"path"} — atomic snapshot hot reload
+//
+// SIGHUP also hot-reloads the current snapshot path; SIGINT/SIGTERM drain
+// in-flight requests and exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"mapsynth/internal/serve"
+)
+
+func main() {
+	snapPath := flag.String("snapshot", "", "snapshot file written by synthesize -snapshot (required)")
+	addr := flag.String("addr", ":8080", "listen address")
+	shards := flag.Int("shards", 0, "index shards; 0 = GOMAXPROCS")
+	cacheSize := flag.Int("cache", 4096, "lookup cache entries; 0 disables")
+	flag.Parse()
+
+	if *snapPath == "" {
+		fmt.Fprintln(os.Stderr, "serve: -snapshot is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	srv, err := serve.New(serve.Options{
+		SnapshotPath: *snapPath,
+		Shards:       *shards,
+		CacheSize:    *cacheSize,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serve: loading snapshot: %v\n", err)
+		os.Exit(1)
+	}
+	st := srv.State()
+	fmt.Printf("serve: loaded %s: %d mappings across %d shards\n",
+		st.Path, len(st.Maps), st.Index.NumShards())
+	fmt.Printf("serve: listening on %s (SIGHUP reloads the snapshot)\n", *addr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := srv.Run(ctx, *addr); err != nil {
+		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("serve: drained, bye")
+}

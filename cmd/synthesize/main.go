@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	synthesize [-profile web|enterprise] [-seed N] [-top K] [-min-domains D]
+//	synthesize [-profile web|enterprise] [-seed N] [-top K] [-min-domains D] [-snapshot FILE]
+//
+// With -snapshot, the synthesized mappings are persisted as a binary
+// snapshot that cmd/serve loads to answer queries without re-running the
+// pipeline — the index-once/serve-many split.
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"mapsynth/internal/corpusgen"
 	"mapsynth/internal/corpusio"
 	"mapsynth/internal/curation"
+	"mapsynth/internal/snapshot"
 )
 
 func main() {
@@ -25,6 +30,7 @@ func main() {
 	minDomains := flag.Int("min-domains", 2, "curation filter: min contributing domains")
 	exportTSV := flag.String("o", "", "export synthesized mappings to this TSV file")
 	report := flag.String("report", "", "write a curation report (TSV) to this file")
+	snapPath := flag.String("snapshot", "", "write a binary snapshot for cmd/serve to this file")
 	flag.Parse()
 
 	var corpus *corpusgen.Corpus
@@ -82,6 +88,19 @@ func main() {
 		}
 		f.Close()
 		fmt.Printf("\nexported %d mappings to %s\n", len(res.Mappings), *exportTSV)
+	}
+	if *snapPath != "" {
+		if err := snapshot.WriteFile(*snapPath, res.Mappings); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		info, _ := os.Stat(*snapPath)
+		size := int64(0)
+		if info != nil {
+			size = info.Size()
+		}
+		fmt.Printf("wrote snapshot of %d mappings to %s (%d bytes)\n",
+			len(res.Mappings), *snapPath, size)
 	}
 	if *report != "" {
 		f, err := os.Create(*report)

@@ -1,0 +1,3 @@
+module mapsynth
+
+go 1.22

@@ -1,0 +1,19 @@
+package apps
+
+import "mapsynth/internal/index"
+
+// Index is the containment-lookup surface the applications need. The
+// offline pipeline hands them a single *index.MappingIndex; the serving
+// layer hands them a sharded fan-out index that merges per-shard hits into
+// the same globally ordered hit list, so application results are identical
+// regardless of which implementation answers the query.
+type Index interface {
+	// LookupLeft finds mappings whose left column covers at least
+	// minCoverage of the query values, best first.
+	LookupLeft(values []string, minCoverage float64) []index.Hit
+	// MixedColumnHits finds mappings where the query values split between
+	// the left and right columns, best first.
+	MixedColumnHits(values []string, minEach int, minCoverage float64) []index.Hit
+}
+
+var _ Index = (*index.MappingIndex)(nil)

@@ -9,7 +9,6 @@ package apps
 import (
 	"sort"
 
-	"mapsynth/internal/index"
 	"mapsynth/internal/textnorm"
 )
 
@@ -38,7 +37,7 @@ type AutoCorrectResult struct {
 // minEach is the minimum number of values required on each side before the
 // mix is trusted (guards against coincidental overlaps); minCoverage is the
 // minimum fraction of column values the mapping must explain.
-func AutoCorrect(ix *index.MappingIndex, column []string, minEach int, minCoverage float64) AutoCorrectResult {
+func AutoCorrect(ix Index, column []string, minEach int, minCoverage float64) AutoCorrectResult {
 	hits := ix.MixedColumnHits(column, minEach, minCoverage)
 	if len(hits) == 0 {
 		return AutoCorrectResult{MappingIndex: -1}

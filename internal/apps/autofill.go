@@ -1,7 +1,6 @@
 package apps
 
 import (
-	"mapsynth/internal/index"
 	"mapsynth/internal/textnorm"
 )
 
@@ -27,7 +26,7 @@ type AutoFillResult struct {
 //
 // minCoverage is the minimum fraction of column values the mapping's left
 // column must contain.
-func AutoFill(ix *index.MappingIndex, column []string, examples []Example, minCoverage float64) AutoFillResult {
+func AutoFill(ix Index, column []string, examples []Example, minCoverage float64) AutoFillResult {
 	hits := ix.LookupLeft(column, minCoverage)
 	for _, hit := range hits {
 		m := hit.Mapping

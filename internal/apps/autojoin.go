@@ -3,7 +3,6 @@ package apps
 import (
 	"sort"
 
-	"mapsynth/internal/index"
 	"mapsynth/internal/textnorm"
 )
 
@@ -30,7 +29,7 @@ type AutoJoinResult struct {
 //
 // The mapping is chosen to maximize the number of bridged rows; minCoverage
 // applies to A's column against the mapping's left side.
-func AutoJoin(ix *index.MappingIndex, keysA, keysB []string, minCoverage float64) AutoJoinResult {
+func AutoJoin(ix Index, keysA, keysB []string, minCoverage float64) AutoJoinResult {
 	hits := ix.LookupLeft(keysA, minCoverage)
 	if len(hits) == 0 {
 		return AutoJoinResult{MappingIndex: -1}

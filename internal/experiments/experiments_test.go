@@ -147,6 +147,9 @@ func TestSensitivitySubset(t *testing.T) {
 }
 
 func TestExtractionStatsReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extraction stats need the full pipeline env")
+	}
 	env := sharedTestEnv(t)
 	ExtractionStats(io.Discard, env)
 	if env.ExtractStats.FilterRate() < 0.3 {

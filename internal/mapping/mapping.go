@@ -152,6 +152,87 @@ func BuildFromPairs(id int, pairs []table.Pair, cands []*table.BinaryTable) *Map
 	return Build(id, filtered)
 }
 
+// PairSupports returns the support counts aligned with Pairs: element i is
+// the number of candidate tables that contributed Pairs[i]. Persistence
+// formats store this slice instead of the keyed Support map.
+func (m *Mapping) PairSupports() []int {
+	out := make([]int, len(m.Pairs))
+	for i, p := range m.Pairs {
+		out[i] = m.SupportOf(p)
+	}
+	return out
+}
+
+// SurfaceRights returns a copy of the representative surface form recorded
+// for each normalized right value. Persistence formats must store this map:
+// it is keyed by first-seen order during Build, which cannot be recovered
+// from the sorted Pairs slice alone.
+func (m *Mapping) SurfaceRights() map[string]string {
+	out := make(map[string]string, len(m.surfaceR))
+	for k, v := range m.surfaceR {
+		out[k] = v
+	}
+	return out
+}
+
+// Restore reconstructs a Mapping from persisted fields, the inverse of the
+// export accessors above. pairSupports must align with pairs; tableIDs,
+// domains and candidateIDs are stored sorted by Build and are kept as given.
+// The internal lookup table is re-derived from the supports using the same
+// deterministic winner rule as Build (highest support, then lexicographically
+// smallest right value), so a restored mapping answers Lookup/LookupAll
+// identically to the original.
+func Restore(id int, pairs []table.Pair, pairSupports []int,
+	tableIDs []int, domains []string, candidateIDs []int,
+	surfaceR map[string]string) *Mapping {
+	m := &Mapping{
+		ID:           id,
+		Pairs:        pairs,
+		Support:      make(map[string]int, len(pairs)),
+		TableIDs:     tableIDs,
+		Domains:      domains,
+		CandidateIDs: candidateIDs,
+		lookup:       make(map[string]string),
+		surfaceR:     surfaceR,
+	}
+	if m.surfaceR == nil {
+		m.surfaceR = make(map[string]string)
+	}
+	perLeft := make(map[string]map[string]int)
+	for i, p := range pairs {
+		nl, nr, ok := textnorm.NormalizePair(p.L, p.R)
+		if !ok {
+			continue
+		}
+		sup := 0
+		if i < len(pairSupports) {
+			sup = pairSupports[i]
+		}
+		m.Support[textnorm.PairKey(nl, nr)] = sup
+		rm, okL := perLeft[nl]
+		if !okL {
+			rm = make(map[string]int, 1)
+			perLeft[nl] = rm
+		}
+		rm[nr] = sup
+	}
+	for nl, rm := range perLeft {
+		bestR, bestC := "", -1
+		rs := make([]string, 0, len(rm))
+		for r := range rm {
+			rs = append(rs, r)
+		}
+		sort.Strings(rs)
+		for _, r := range rs {
+			if rm[r] > bestC {
+				bestR, bestC = r, rm[r]
+			}
+		}
+		m.lookup[nl] = bestR
+	}
+	return m
+}
+
 // Size returns the number of distinct pairs.
 func (m *Mapping) Size() int { return len(m.Pairs) }
 

@@ -1,0 +1,535 @@
+// Package serve is the online half of the index-once/serve-many split: it
+// loads a snapshot written by cmd/synthesize into hash-sharded read-only
+// index shards and serves the paper's three end-user applications —
+// auto-fill, auto-correct, auto-join (Section 4.3) — plus single-key lookup
+// over HTTP. The loaded state sits behind an atomic.Pointer so a snapshot
+// hot reload (SIGHUP or POST /reload) swaps the entire mapping set, index
+// and result cache in one pointer store while in-flight queries keep
+// reading the state they started with.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"mapsynth/internal/apps"
+	"mapsynth/internal/mapping"
+	"mapsynth/internal/snapshot"
+	"mapsynth/internal/table"
+	"mapsynth/internal/textnorm"
+)
+
+// Options configures a Server.
+type Options struct {
+	// SnapshotPath is the snapshot file to load and the default target of
+	// reloads.
+	SnapshotPath string
+	// Shards is the number of index shards; < 1 selects GOMAXPROCS.
+	Shards int
+	// CacheSize bounds the lookup result cache (entries); < 1 disables it.
+	CacheSize int
+	// MaxBodyBytes bounds request bodies on the batch endpoints; <= 0
+	// selects 8 MiB.
+	MaxBodyBytes int64
+}
+
+// State is one immutable loaded snapshot: the mapping set, its sharded
+// index, and the result cache that is only valid against this mapping set.
+// The server swaps the whole State atomically on reload.
+type State struct {
+	Path     string
+	LoadedAt time.Time
+	Maps     []*mapping.Mapping
+	Index    *ShardedIndex
+	cache    *lruCache
+	pairs    int
+}
+
+// Server is the HTTP mapping service.
+type Server struct {
+	opts    Options
+	state   atomic.Pointer[State]
+	start   time.Time
+	reloads atomic.Int64
+
+	lookupStats      endpointStats
+	autofillStats    endpointStats
+	autocorrectStats endpointStats
+	autojoinStats    endpointStats
+}
+
+// New loads the snapshot at opts.SnapshotPath and returns a ready server.
+func New(opts Options) (*Server, error) {
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = 8 << 20
+	}
+	s := &Server{opts: opts, start: time.Now()}
+	if _, err := s.Reload(opts.SnapshotPath); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// NewFromMappings builds a server directly from an in-memory mapping set —
+// the entry point for tests and benchmarks that skip the snapshot file.
+func NewFromMappings(maps []*mapping.Mapping, opts Options) *Server {
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = 8 << 20
+	}
+	s := &Server{opts: opts, start: time.Now()}
+	s.install(maps, opts.SnapshotPath)
+	return s
+}
+
+func (s *Server) install(maps []*mapping.Mapping, path string) *State {
+	st := &State{
+		Path:     path,
+		LoadedAt: time.Now(),
+		Maps:     maps,
+		Index:    NewShardedIndex(maps, s.opts.Shards),
+		cache:    newLRU(s.opts.CacheSize),
+	}
+	for _, m := range maps {
+		st.pairs += m.Size()
+	}
+	s.state.Store(st)
+	return st
+}
+
+// Reload loads the snapshot at path (or the current snapshot path if empty)
+// off to the side and atomically swaps it in; a failed load leaves the
+// serving state untouched. Safe to call concurrently with request handling.
+func (s *Server) Reload(path string) (*State, error) {
+	if path == "" {
+		if cur := s.state.Load(); cur != nil {
+			path = cur.Path
+		} else {
+			path = s.opts.SnapshotPath
+		}
+	}
+	if path == "" {
+		return nil, errors.New("serve: no snapshot path to load")
+	}
+	maps, err := snapshot.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	st := s.install(maps, path)
+	s.reloads.Add(1)
+	return st, nil
+}
+
+// State returns the currently serving state.
+func (s *Server) State() *State { return s.state.Load() }
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/reload", s.handleReload)
+	mux.HandleFunc("/lookup", s.timed(&s.lookupStats, s.handleLookup))
+	mux.HandleFunc("/autofill", s.timed(&s.autofillStats, s.handleAutoFill))
+	mux.HandleFunc("/autocorrect", s.timed(&s.autocorrectStats, s.handleAutoCorrect))
+	mux.HandleFunc("/autojoin", s.timed(&s.autojoinStats, s.handleAutoJoin))
+	return mux
+}
+
+// Run serves on addr until ctx is cancelled, then drains in-flight requests
+// (graceful shutdown). While running, SIGHUP triggers a snapshot hot reload
+// of the current snapshot path — the conventional "re-read your data"
+// signal for long-running daemons.
+func (s *Server) Run(ctx context.Context, addr string) error {
+	hs := &http.Server{Addr: addr, Handler: s.Handler()}
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	done := make(chan struct{})
+	defer close(done)
+	drained := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-hup:
+				if st, err := s.Reload(""); err != nil {
+					fmt.Fprintf(os.Stderr, "serve: SIGHUP reload failed: %v\n", err)
+				} else {
+					fmt.Fprintf(os.Stderr, "serve: reloaded %s (%d mappings)\n", st.Path, len(st.Maps))
+				}
+			case <-ctx.Done():
+				shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				defer cancel()
+				hs.Shutdown(shutCtx)
+				close(drained)
+				return
+			case <-done:
+				return
+			}
+		}
+	}()
+	err := hs.ListenAndServe()
+	if errors.Is(err, http.ErrServerClosed) {
+		// Shutdown closes the listener first, failing ListenAndServe while
+		// in-flight requests are still draining; wait for the drain itself.
+		<-drained
+		return nil
+	}
+	return err
+}
+
+// timed wraps a handler with request counting and latency observation.
+func (s *Server) timed(es *endpointStats, h func(http.ResponseWriter, *http.Request) bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		ok := h(w, r)
+		es.observe(time.Since(t0), !ok)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) bool {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+	return status < 400
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) bool {
+	return writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// readBody decodes a JSON request body into v, rejecting unknown fields so
+// client typos fail loudly instead of silently using defaults.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// ---- lookup ----
+
+// lookupResponse answers GET /lookup?key=...: the best-supported mapped
+// value for one left key, with provenance of the mapping that supplied it.
+type lookupResponse struct {
+	Found bool   `json:"found"`
+	Key   string `json:"key"`
+	// Value is the majority right value's representative surface form.
+	Value string `json:"value,omitempty"`
+	// Alternatives lists further recorded right surface forms (synonymous
+	// mentions), majority winner excluded.
+	Alternatives []string `json:"alternatives,omitempty"`
+	// Provenance of the answering mapping.
+	MappingID int `json:"mapping_id,omitempty"`
+	Support   int `json:"support,omitempty"`
+	Tables    int `json:"tables,omitempty"`
+	Domains   int `json:"domains,omitempty"`
+}
+
+// Lookup answers a single-key query against the current state, consulting
+// the bounded LRU cache first. Among all mappings containing the key, the
+// one with the most contributing domains wins (the paper's popularity
+// signal), matching the ordering of ShardedIndex.LookupLeft.
+func (s *Server) Lookup(key string) lookupResponse {
+	st := s.state.Load()
+	nk := textnorm.Normalize(key)
+	if resp, ok := st.cache.get(nk); ok {
+		resp.Key = key
+		return resp
+	}
+	resp := lookupResponse{Found: false, Key: key}
+	if hits := st.Index.LookupLeft([]string{key}, 1); len(hits) > 0 {
+		m := hits[0].Mapping
+		if val, ok := m.Lookup(key); ok {
+			all := m.LookupAll(key)
+			resp = lookupResponse{
+				Found:     true,
+				Key:       key,
+				Value:     val,
+				MappingID: m.ID,
+				Support:   m.SupportOf(table.Pair{L: key, R: val}),
+				Tables:    m.NumTables(),
+				Domains:   m.NumDomains(),
+			}
+			if len(all) > 1 {
+				resp.Alternatives = all[1:]
+			}
+		}
+	}
+	st.cache.put(nk, resp)
+	return resp
+}
+
+func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) bool {
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		return writeError(w, http.StatusBadRequest, "missing ?key= parameter")
+	}
+	return writeJSON(w, http.StatusOK, s.Lookup(key))
+}
+
+// ---- auto-fill ----
+
+type autoFillRequest struct {
+	Column   []string `json:"column"`
+	Examples []struct {
+		Left  string `json:"left"`
+		Right string `json:"right"`
+	} `json:"examples"`
+	// MinCoverage defaults to 0.8 when omitted or zero.
+	MinCoverage float64 `json:"min_coverage"`
+}
+
+type filledCell struct {
+	Row   int    `json:"row"`
+	Value string `json:"value"`
+}
+
+type autoFillResponse struct {
+	Found        bool         `json:"found"`
+	MappingIndex int          `json:"mapping_index"`
+	MappingID    int          `json:"mapping_id,omitempty"`
+	Filled       []filledCell `json:"filled,omitempty"`
+}
+
+func (s *Server) handleAutoFill(w http.ResponseWriter, r *http.Request) bool {
+	var req autoFillRequest
+	if !s.readBody(w, r, &req) {
+		return false
+	}
+	if len(req.Column) == 0 {
+		return writeError(w, http.StatusBadRequest, "column must not be empty")
+	}
+	if req.MinCoverage <= 0 {
+		req.MinCoverage = 0.8
+	}
+	st := s.state.Load()
+	examples := make([]apps.Example, len(req.Examples))
+	for i, e := range req.Examples {
+		examples[i] = apps.Example{Left: e.Left, Right: e.Right}
+	}
+	res := apps.AutoFill(st.Index, req.Column, examples, req.MinCoverage)
+	resp := autoFillResponse{Found: res.MappingIndex >= 0, MappingIndex: res.MappingIndex}
+	if res.MappingIndex >= 0 {
+		resp.MappingID = st.Index.Mapping(res.MappingIndex).ID
+		for row := 0; row < len(req.Column); row++ {
+			if v, ok := res.Filled[row]; ok {
+				resp.Filled = append(resp.Filled, filledCell{Row: row, Value: v})
+			}
+		}
+	}
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+// ---- auto-correct ----
+
+type autoCorrectRequest struct {
+	Column []string `json:"column"`
+	// MinEach defaults to 2; MinCoverage defaults to 0.8.
+	MinEach     int     `json:"min_each"`
+	MinCoverage float64 `json:"min_coverage"`
+}
+
+type autoCorrectResponse struct {
+	Found        bool              `json:"found"`
+	MappingIndex int               `json:"mapping_index"`
+	MappingID    int               `json:"mapping_id,omitempty"`
+	Corrections  []apps.Correction `json:"corrections,omitempty"`
+}
+
+func (s *Server) handleAutoCorrect(w http.ResponseWriter, r *http.Request) bool {
+	var req autoCorrectRequest
+	if !s.readBody(w, r, &req) {
+		return false
+	}
+	if len(req.Column) == 0 {
+		return writeError(w, http.StatusBadRequest, "column must not be empty")
+	}
+	if req.MinEach <= 0 {
+		req.MinEach = 2
+	}
+	if req.MinCoverage <= 0 {
+		req.MinCoverage = 0.8
+	}
+	st := s.state.Load()
+	res := apps.AutoCorrect(st.Index, req.Column, req.MinEach, req.MinCoverage)
+	resp := autoCorrectResponse{
+		Found:        res.MappingIndex >= 0,
+		MappingIndex: res.MappingIndex,
+		Corrections:  res.Corrections,
+	}
+	if res.MappingIndex >= 0 {
+		resp.MappingID = st.Index.Mapping(res.MappingIndex).ID
+	}
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+// ---- auto-join ----
+
+type autoJoinRequest struct {
+	KeysA []string `json:"keys_a"`
+	KeysB []string `json:"keys_b"`
+	// MinCoverage defaults to 0.8.
+	MinCoverage float64 `json:"min_coverage"`
+}
+
+type joinedRow struct {
+	LeftRow  int `json:"left_row"`
+	RightRow int `json:"right_row"`
+}
+
+type autoJoinResponse struct {
+	Found        bool        `json:"found"`
+	MappingIndex int         `json:"mapping_index"`
+	MappingID    int         `json:"mapping_id,omitempty"`
+	Bridged      int         `json:"bridged"`
+	Rows         []joinedRow `json:"rows,omitempty"`
+}
+
+func (s *Server) handleAutoJoin(w http.ResponseWriter, r *http.Request) bool {
+	var req autoJoinRequest
+	if !s.readBody(w, r, &req) {
+		return false
+	}
+	if len(req.KeysA) == 0 || len(req.KeysB) == 0 {
+		return writeError(w, http.StatusBadRequest, "keys_a and keys_b must not be empty")
+	}
+	if req.MinCoverage <= 0 {
+		req.MinCoverage = 0.8
+	}
+	st := s.state.Load()
+	res := apps.AutoJoin(st.Index, req.KeysA, req.KeysB, req.MinCoverage)
+	resp := autoJoinResponse{
+		Found:        res.MappingIndex >= 0,
+		MappingIndex: res.MappingIndex,
+		Bridged:      res.Bridged,
+	}
+	if res.MappingIndex >= 0 {
+		resp.MappingID = st.Index.Mapping(res.MappingIndex).ID
+		for _, row := range res.Rows {
+			resp.Rows = append(resp.Rows, joinedRow{LeftRow: row.LeftRow, RightRow: row.RightRow})
+		}
+	}
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+// ---- health and stats ----
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.state.Load()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"snapshot":  st.Path,
+		"loaded_at": st.LoadedAt.UTC().Format(time.RFC3339),
+		"mappings":  len(st.Maps),
+		"pairs":     st.pairs,
+		"shards":    st.Index.NumShards(),
+		"uptime_s":  time.Since(s.start).Seconds(),
+	})
+}
+
+// StatsSnapshot is the JSON body of GET /stats.
+type StatsSnapshot struct {
+	UptimeSeconds float64                     `json:"uptime_s"`
+	Reloads       int64                       `json:"reloads"`
+	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
+	Cache         CacheSnapshot               `json:"cache"`
+	Snapshot      map[string]any              `json:"snapshot"`
+}
+
+// CacheSnapshot reports the lookup cache of the live state.
+type CacheSnapshot struct {
+	Size     int     `json:"size"`
+	Capacity int     `json:"capacity"`
+	Hits     int64   `json:"hits"`
+	Misses   int64   `json:"misses"`
+	HitRate  float64 `json:"hit_rate"`
+}
+
+// Stats assembles the current serving statistics.
+func (s *Server) Stats() StatsSnapshot {
+	st := s.state.Load()
+	hits, misses := st.cache.hits.Load(), st.cache.misses.Load()
+	rate := 0.0
+	if hits+misses > 0 {
+		rate = float64(hits) / float64(hits+misses)
+	}
+	return StatsSnapshot{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Reloads:       s.reloads.Load(),
+		Endpoints: map[string]EndpointSnapshot{
+			"lookup":      s.lookupStats.snapshot(),
+			"autofill":    s.autofillStats.snapshot(),
+			"autocorrect": s.autocorrectStats.snapshot(),
+			"autojoin":    s.autojoinStats.snapshot(),
+		},
+		Cache: CacheSnapshot{
+			Size:     st.cache.len(),
+			Capacity: st.cache.cap,
+			Hits:     hits,
+			Misses:   misses,
+			HitRate:  rate,
+		},
+		Snapshot: map[string]any{
+			"path":      st.Path,
+			"loaded_at": st.LoadedAt.UTC().Format(time.RFC3339),
+			"mappings":  len(st.Maps),
+			"pairs":     st.pairs,
+			"shards":    st.Index.NumShards(),
+		},
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// ---- reload ----
+
+type reloadRequest struct {
+	// Snapshot optionally points at a new snapshot file; empty reloads the
+	// currently served path.
+	Snapshot string `json:"snapshot"`
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req reloadRequest
+	if r.ContentLength > 0 {
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+			return
+		}
+	}
+	t0 := time.Now()
+	st, err := s.Reload(req.Snapshot)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "reload failed: "+err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"snapshot":    st.Path,
+		"mappings":    len(st.Maps),
+		"loaded_at":   st.LoadedAt.UTC().Format(time.RFC3339),
+		"duration_ms": float64(time.Since(t0).Microseconds()) / 1000,
+	})
+}

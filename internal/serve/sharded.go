@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"hash/fnv"
+	"runtime"
+	"sort"
+	"sync"
+
+	"mapsynth/internal/index"
+	"mapsynth/internal/mapping"
+)
+
+// ShardedIndex partitions the mapping set across N hash-sharded read-only
+// index shards and fans containment queries out across them in parallel.
+// Hit positions are remapped to the global mapping order and merged with the
+// same comparators as index.MappingIndex, so every query answers exactly as
+// a single monolithic index would — it implements apps.Index — while large
+// snapshots get multi-core scan parallelism.
+type ShardedIndex struct {
+	shards []*shard
+	// maps holds all mappings in global order; Hit.Index values refer to
+	// positions in this slice.
+	maps []*mapping.Mapping
+}
+
+type shard struct {
+	ix *index.MappingIndex
+	// global[i] is the global position of the shard's i-th mapping.
+	global []int
+}
+
+// NewShardedIndex distributes the mappings over n shards by FNV hash of
+// their ID and builds one containment index per shard. n < 1 selects
+// GOMAXPROCS shards; n is clamped to the mapping count so no shard is empty.
+func NewShardedIndex(maps []*mapping.Mapping, n int) *ShardedIndex {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > len(maps) {
+		n = len(maps)
+	}
+	if n < 1 {
+		n = 1
+	}
+	si := &ShardedIndex{maps: maps, shards: make([]*shard, n)}
+	parts := make([][]*mapping.Mapping, n)
+	globals := make([][]int, n)
+	for pos, m := range maps {
+		s := shardOf(m.ID, n)
+		parts[s] = append(parts[s], m)
+		globals[s] = append(globals[s], pos)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			si.shards[i] = &shard{ix: index.Build(parts[i]), global: globals[i]}
+		}(i)
+	}
+	wg.Wait()
+	return si
+}
+
+func shardOf(id, n int) int {
+	h := fnv.New32a()
+	var b [8]byte
+	v := uint64(id)
+	for i := range b {
+		b[i] = byte(v >> (8 * i))
+	}
+	h.Write(b[:])
+	return int(h.Sum32() % uint32(n))
+}
+
+// Len returns the total number of indexed mappings.
+func (si *ShardedIndex) Len() int { return len(si.maps) }
+
+// NumShards returns the shard count.
+func (si *ShardedIndex) NumShards() int { return len(si.shards) }
+
+// Mapping returns the mapping at the given global position.
+func (si *ShardedIndex) Mapping(i int) *mapping.Mapping { return si.maps[i] }
+
+// fanOut runs query against every shard concurrently and returns the
+// concatenated hits with Index remapped to global positions.
+func (si *ShardedIndex) fanOut(query func(*index.MappingIndex) []index.Hit) []index.Hit {
+	if len(si.shards) == 1 {
+		return remap(query(si.shards[0].ix), si.shards[0].global)
+	}
+	perShard := make([][]index.Hit, len(si.shards))
+	var wg sync.WaitGroup
+	for i, s := range si.shards {
+		wg.Add(1)
+		go func(i int, s *shard) {
+			defer wg.Done()
+			perShard[i] = remap(query(s.ix), s.global)
+		}(i, s)
+	}
+	wg.Wait()
+	var out []index.Hit
+	for _, hs := range perShard {
+		out = append(out, hs...)
+	}
+	return out
+}
+
+func remap(hits []index.Hit, global []int) []index.Hit {
+	for i := range hits {
+		hits[i].Index = global[hits[i].Index]
+	}
+	return hits
+}
+
+// LookupLeft fans the query out across shards and merges hits in the exact
+// order a monolithic index.MappingIndex would return: coverage descending,
+// then contributing domains, then global position.
+func (si *ShardedIndex) LookupLeft(values []string, minCoverage float64) []index.Hit {
+	hits := si.fanOut(func(ix *index.MappingIndex) []index.Hit {
+		return ix.LookupLeft(values, minCoverage)
+	})
+	sort.Slice(hits, func(a, b int) bool {
+		if hits[a].Coverage != hits[b].Coverage {
+			return hits[a].Coverage > hits[b].Coverage
+		}
+		da, db := hits[a].Mapping.NumDomains(), hits[b].Mapping.NumDomains()
+		if da != db {
+			return da > db
+		}
+		return hits[a].Index < hits[b].Index
+	})
+	return hits
+}
+
+// MixedColumnHits fans out like LookupLeft, with the monolithic ordering of
+// index.MappingIndex.MixedColumnHits (coverage descending, then position).
+func (si *ShardedIndex) MixedColumnHits(values []string, minEach int, minCoverage float64) []index.Hit {
+	hits := si.fanOut(func(ix *index.MappingIndex) []index.Hit {
+		return ix.MixedColumnHits(values, minEach, minCoverage)
+	})
+	sort.Slice(hits, func(a, b int) bool {
+		if hits[a].Coverage != hits[b].Coverage {
+			return hits[a].Coverage > hits[b].Coverage
+		}
+		return hits[a].Index < hits[b].Index
+	})
+	return hits
+}

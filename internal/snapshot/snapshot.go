@@ -1,0 +1,344 @@
+// Package snapshot persists synthesized mapping relationships as a compact,
+// versioned binary artifact — the index-once/serve-many split: cmd/synthesize
+// writes a snapshot at the end of a pipeline run, and cmd/serve (or any other
+// consumer) loads it back and rebuilds the lookup index without re-running
+// synthesis.
+//
+// Format (all integers varint-encoded, strings length-prefixed):
+//
+//	magic "MSNP" | version byte | mapping count
+//	per mapping:
+//	  id | #pairs | (left, right)* | support*          (aligned with pairs)
+//	  #tableIDs | delta-encoded sorted table ids
+//	  #domains | domain strings
+//	  #candidateIDs | delta-encoded sorted candidate ids
+//	  #surfaceRights | (normalized right, surface form)*
+//	footer: IEEE CRC32 of everything before it, little-endian fixed32
+//
+// The checksum makes truncation and bit-rot detectable; the version byte
+// leaves room for future layout changes without breaking old readers
+// explicitly (they fail with ErrVersion rather than misparsing).
+package snapshot
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+
+	"mapsynth/internal/index"
+	"mapsynth/internal/mapping"
+	"mapsynth/internal/table"
+)
+
+// Magic identifies snapshot files.
+var Magic = [4]byte{'M', 'S', 'N', 'P'}
+
+// Version is the current format version.
+const Version byte = 1
+
+var (
+	// ErrMagic reports a file that is not a mapping snapshot.
+	ErrMagic = errors.New("snapshot: bad magic (not a mapping snapshot)")
+	// ErrVersion reports a snapshot written by an unknown format version.
+	ErrVersion = errors.New("snapshot: unsupported format version")
+	// ErrChecksum reports snapshot payload corruption.
+	ErrChecksum = errors.New("snapshot: checksum mismatch (corrupted file)")
+	// ErrTruncated reports a snapshot too short to contain its own footer.
+	ErrTruncated = errors.New("snapshot: truncated file")
+)
+
+// Write encodes the mappings to w. The mappings are not mutated.
+func Write(w io.Writer, maps []*mapping.Mapping) error {
+	crc := crc32.NewIEEE()
+	bw := bufio.NewWriter(io.MultiWriter(w, crc))
+	var scratch [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	putString := func(s string) error {
+		if err := putUvarint(uint64(len(s))); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(s)
+		return err
+	}
+	putInts := func(ids []int) error {
+		// Delta-encode: Build keeps these sorted ascending, so deltas are
+		// small non-negative varints.
+		if err := putUvarint(uint64(len(ids))); err != nil {
+			return err
+		}
+		prev := 0
+		for i, id := range ids {
+			d := id - prev
+			if d < 0 || (i == 0 && id < 0) {
+				return fmt.Errorf("snapshot: ids not sorted ascending: %v", ids)
+			}
+			if err := putUvarint(uint64(d)); err != nil {
+				return err
+			}
+			prev = id
+		}
+		return nil
+	}
+
+	if _, err := bw.Write(Magic[:]); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(Version); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(len(maps))); err != nil {
+		return err
+	}
+	for _, m := range maps {
+		if err := putUvarint(uint64(m.ID)); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(len(m.Pairs))); err != nil {
+			return err
+		}
+		for _, p := range m.Pairs {
+			if err := putString(p.L); err != nil {
+				return err
+			}
+			if err := putString(p.R); err != nil {
+				return err
+			}
+		}
+		for _, s := range m.PairSupports() {
+			if err := putUvarint(uint64(s)); err != nil {
+				return err
+			}
+		}
+		if err := putInts(m.TableIDs); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(len(m.Domains))); err != nil {
+			return err
+		}
+		for _, d := range m.Domains {
+			if err := putString(d); err != nil {
+				return err
+			}
+		}
+		if err := putInts(m.CandidateIDs); err != nil {
+			return err
+		}
+		sr := m.SurfaceRights()
+		if err := putUvarint(uint64(len(sr))); err != nil {
+			return err
+		}
+		// Deterministic output: iterate keys in sorted order.
+		keys := make([]string, 0, len(sr))
+		for k := range sr {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if err := putString(k); err != nil {
+				return err
+			}
+			if err := putString(sr[k]); err != nil {
+				return err
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	var footer [4]byte
+	binary.LittleEndian.PutUint32(footer[:], crc.Sum32())
+	_, err := w.Write(footer[:])
+	return err
+}
+
+// WriteFile writes a snapshot atomically: encode to a sibling temp file,
+// fsync, then rename over the destination so a crashed writer never leaves a
+// half-written snapshot at path.
+func WriteFile(path string, maps []*mapping.Mapping) error {
+	tmp, err := os.CreateTemp(dirOf(path), ".snap-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := Write(tmp, maps); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return "."
+}
+
+// Read decodes a snapshot produced by Write, verifying the checksum before
+// any field is interpreted.
+func Read(r io.Reader) ([]*mapping.Mapping, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(data)
+}
+
+// ReadFile loads a snapshot file.
+func ReadFile(path string) ([]*mapping.Mapping, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(data)
+}
+
+// Decode parses a snapshot held in memory.
+func Decode(data []byte) ([]*mapping.Mapping, error) {
+	if len(data) < len(Magic)+1+4 {
+		return nil, ErrTruncated
+	}
+	payload, footer := data[:len(data)-4], data[len(data)-4:]
+	if string(payload[:4]) != string(Magic[:]) {
+		return nil, ErrMagic
+	}
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(footer); got != want {
+		return nil, fmt.Errorf("%w: crc %08x, want %08x", ErrChecksum, got, want)
+	}
+	if v := payload[4]; v != Version {
+		return nil, fmt.Errorf("%w: %d", ErrVersion, v)
+	}
+	d := &decoder{buf: payload[5:]}
+	count := d.uvarint()
+	maps := make([]*mapping.Mapping, 0, min(int(count), 1<<20))
+	for i := uint64(0); i < count; i++ {
+		id := int(d.uvarint())
+		np := int(d.uvarint())
+		if d.err != nil || np < 0 || np > len(d.buf) {
+			return nil, d.fail("pair count")
+		}
+		pairs := make([]table.Pair, np)
+		for j := range pairs {
+			pairs[j].L = d.str()
+			pairs[j].R = d.str()
+		}
+		supports := make([]int, np)
+		for j := range supports {
+			supports[j] = int(d.uvarint())
+		}
+		tableIDs := d.ints()
+		nd := int(d.uvarint())
+		if d.err != nil || nd < 0 || nd > len(d.buf)+1 {
+			return nil, d.fail("domain count")
+		}
+		domains := make([]string, nd)
+		for j := range domains {
+			domains[j] = d.str()
+		}
+		candidateIDs := d.ints()
+		ns := int(d.uvarint())
+		if d.err != nil || ns < 0 || ns > len(d.buf)+1 {
+			return nil, d.fail("surface count")
+		}
+		surfaceR := make(map[string]string, ns)
+		for j := 0; j < ns; j++ {
+			k := d.str()
+			surfaceR[k] = d.str()
+		}
+		if d.err != nil {
+			return nil, d.fail(fmt.Sprintf("mapping %d", i))
+		}
+		maps = append(maps, mapping.Restore(id, pairs, supports, tableIDs, domains, candidateIDs, surfaceR))
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("snapshot: %d trailing bytes after last mapping", len(d.buf))
+	}
+	return maps, nil
+}
+
+// LoadIndex reads a snapshot file and rebuilds a monolithic containment
+// index over its mappings — the one-call entry point for offline consumers
+// (analysis tools, examples). The serving layer instead loads via ReadFile
+// and builds hash-sharded indexes (serve.NewShardedIndex).
+func LoadIndex(path string) (*index.MappingIndex, []*mapping.Mapping, error) {
+	maps, err := ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return index.Build(maps), maps, nil
+}
+
+// decoder is a cursor over the payload with sticky error handling.
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) fail(what string) error {
+	if d.err == nil {
+		d.err = io.ErrUnexpectedEOF
+	}
+	return fmt.Errorf("snapshot: decoding %s: %w", what, d.err)
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.err = io.ErrUnexpectedEOF
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *decoder) str() string {
+	n := int(d.uvarint())
+	if d.err != nil {
+		return ""
+	}
+	if n < 0 || n > len(d.buf) {
+		d.err = io.ErrUnexpectedEOF
+		return ""
+	}
+	s := string(d.buf[:n])
+	d.buf = d.buf[n:]
+	return s
+}
+
+func (d *decoder) ints() []int {
+	n := int(d.uvarint())
+	if d.err != nil || n < 0 || n > len(d.buf)+1 {
+		if d.err == nil {
+			d.err = io.ErrUnexpectedEOF
+		}
+		return nil
+	}
+	out := make([]int, n)
+	prev := 0
+	for i := range out {
+		prev += int(d.uvarint())
+		out[i] = prev
+	}
+	return out
+}

@@ -1,0 +1,186 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"hash/crc32"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"mapsynth/internal/core"
+	"mapsynth/internal/corpusgen"
+	"mapsynth/internal/index"
+	"mapsynth/internal/mapping"
+	"mapsynth/internal/table"
+)
+
+// smallMappings synthesizes a compact but real result: a sampled web corpus
+// through the full pipeline, so the snapshot exercises genuine surface
+// forms, support counts and provenance.
+func smallMappings(t *testing.T) []*mapping.Mapping {
+	t.Helper()
+	corpus := corpusgen.GenerateWeb(corpusgen.Options{Seed: 7, SampleFraction: 0.2})
+	res := core.New(core.DefaultConfig()).Synthesize(corpus.Tables)
+	if len(res.Mappings) == 0 {
+		t.Fatal("pipeline produced no mappings")
+	}
+	if len(res.Mappings) > 25 {
+		res.Mappings = res.Mappings[:25]
+	}
+	return res.Mappings
+}
+
+func TestRoundTrip(t *testing.T) {
+	maps := smallMappings(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, maps); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(got) != len(maps) {
+		t.Fatalf("round-trip count = %d, want %d", len(got), len(maps))
+	}
+	for i, want := range maps {
+		g := got[i]
+		if g.ID != want.ID {
+			t.Errorf("mapping %d: ID = %d, want %d", i, g.ID, want.ID)
+		}
+		if !reflect.DeepEqual(g.Pairs, want.Pairs) {
+			t.Errorf("mapping %d: pairs differ", i)
+		}
+		if !reflect.DeepEqual(g.Support, want.Support) {
+			t.Errorf("mapping %d: support differs", i)
+		}
+		if !reflect.DeepEqual(g.TableIDs, want.TableIDs) {
+			t.Errorf("mapping %d: table ids differ: %v vs %v", i, g.TableIDs, want.TableIDs)
+		}
+		if !reflect.DeepEqual(g.Domains, want.Domains) {
+			t.Errorf("mapping %d: domains differ", i)
+		}
+		if !reflect.DeepEqual(g.CandidateIDs, want.CandidateIDs) {
+			t.Errorf("mapping %d: candidate ids differ", i)
+		}
+		if !reflect.DeepEqual(g.SurfaceRights(), want.SurfaceRights()) {
+			t.Errorf("mapping %d: surface rights differ", i)
+		}
+		// Behavioral equality: every left value answers identically.
+		for _, p := range want.Pairs {
+			wv, wok := want.Lookup(p.L)
+			gv, gok := g.Lookup(p.L)
+			if wok != gok || wv != gv {
+				t.Errorf("mapping %d: Lookup(%q) = (%q,%v), want (%q,%v)", i, p.L, gv, gok, wv, wok)
+			}
+			if wa, ga := want.LookupAll(p.L), g.LookupAll(p.L); !reflect.DeepEqual(wa, ga) {
+				t.Errorf("mapping %d: LookupAll(%q) = %v, want %v", i, p.L, ga, wa)
+			}
+		}
+	}
+}
+
+// TestIndexLookupParity asserts that an index rebuilt from a decoded
+// snapshot answers containment queries identically to an index over the
+// original mappings.
+func TestIndexLookupParity(t *testing.T) {
+	maps := smallMappings(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, maps); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ixA, ixB := index.Build(maps), index.Build(restored)
+	for _, m := range maps[:min(len(maps), 10)] {
+		var query []string
+		for _, p := range m.Pairs {
+			query = append(query, p.L)
+			if len(query) == 5 {
+				break
+			}
+		}
+		ha := ixA.LookupLeft(query, 0.6)
+		hb := ixB.LookupLeft(query, 0.6)
+		if len(ha) != len(hb) {
+			t.Fatalf("hit count differs for %v: %d vs %d", query, len(ha), len(hb))
+		}
+		for i := range ha {
+			if ha[i].Index != hb[i].Index || ha[i].Coverage != hb[i].Coverage || ha[i].Matched != hb[i].Matched {
+				t.Errorf("hit %d differs: %+v vs %+v", i, ha[i], hb[i])
+			}
+		}
+	}
+}
+
+func TestWriteFileReadFile(t *testing.T) {
+	maps := smallMappings(t)
+	path := filepath.Join(t.TempDir(), "out.snap")
+	if err := WriteFile(path, maps); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	ix, got, err := LoadIndex(path)
+	if err != nil {
+		t.Fatalf("LoadIndex: %v", err)
+	}
+	if len(got) != len(maps) || ix.Len() != len(maps) {
+		t.Fatalf("loaded %d mappings, index %d, want %d", len(got), ix.Len(), len(maps))
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	maps := []*mapping.Mapping{
+		mapping.Build(0, []*table.BinaryTable{
+			table.NewBinaryTable(0, 0, "d.example", "l", "r",
+				[]string{"Washington", "Oregon"}, []string{"WA", "OR"}),
+		}),
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, maps); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	t.Run("truncated", func(t *testing.T) {
+		for _, n := range []int{0, 3, 8, len(good) / 2, len(good) - 1} {
+			if _, err := Decode(good[:n]); err == nil {
+				t.Errorf("Decode of %d/%d bytes succeeded", n, len(good))
+			}
+		}
+	})
+	t.Run("corrupted", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[len(bad)/2] ^= 0xff
+		if _, err := Decode(bad); !errors.Is(err, ErrChecksum) {
+			t.Errorf("corrupted payload: err = %v, want ErrChecksum", err)
+		}
+	})
+	t.Run("badmagic", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[0] = 'X'
+		if _, err := Decode(bad); !errors.Is(err, ErrMagic) {
+			t.Errorf("bad magic: err = %v, want ErrMagic", err)
+		}
+	})
+	t.Run("badversion", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[4] = 99
+		// Re-stamp the checksum so only the version is wrong.
+		reseal(bad)
+		if _, err := Decode(bad); !errors.Is(err, ErrVersion) {
+			t.Errorf("bad version: err = %v, want ErrVersion", err)
+		}
+	})
+}
+
+// reseal recomputes the trailing checksum after a deliberate payload edit.
+func reseal(b []byte) {
+	sum := crc32.ChecksumIEEE(b[:len(b)-4])
+	b[len(b)-4] = byte(sum)
+	b[len(b)-3] = byte(sum >> 8)
+	b[len(b)-2] = byte(sum >> 16)
+	b[len(b)-1] = byte(sum >> 24)
+}
