@@ -7,10 +7,12 @@ package mapsynth
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -110,6 +112,35 @@ func BenchmarkFigure8(b *testing.B) {
 			baselines.WiseIntegrator(e.Bins)
 		}
 	})
+}
+
+// BenchmarkSynthesizeParallel measures the staged pipeline engine end to end
+// at increasing worker-pool widths over the generated web corpus, making the
+// speedup from component-parallel partitioning and per-stage fan-out visible
+// in the perf trajectory. Output is identical at every width; only the
+// wall-clock changes.
+func BenchmarkSynthesizeParallel(b *testing.B) {
+	e := sharedEnv()
+	widths := []int{1, 4}
+	if p := runtime.GOMAXPROCS(0); p != 1 && p != 4 {
+		widths = append(widths, p)
+	}
+	for _, w := range widths {
+		w := w
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.Workers = w
+			for i := 0; i < b.N; i++ {
+				res, err := core.New(cfg).SynthesizeContext(context.Background(), e.Corpus.Tables)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Mappings) == 0 {
+					b.Fatal("no mappings")
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkFigure9_Scale regenerates the scalability series: full pipeline

@@ -28,6 +28,9 @@ import (
 	"os/signal"
 	"syscall"
 
+	"mapsynth/internal/corpusgen"
+	"mapsynth/internal/mapping"
+	"mapsynth/internal/pipeline"
 	"mapsynth/internal/serve"
 )
 
@@ -36,6 +39,10 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	shards := flag.Int("shards", 0, "index shards; 0 = GOMAXPROCS")
 	cacheSize := flag.Int("cache", 4096, "lookup cache entries; 0 disables")
+	rebuildProfile := flag.String("rebuild-profile", "", "enable POST /reload {\"rebuild\":true}: corpus profile (web or enterprise) to re-synthesize from")
+	rebuildSeed := flag.Int64("rebuild-seed", 42, "corpus seed for -rebuild-profile")
+	rebuildWorkers := flag.Int("rebuild-workers", 0, "pipeline workers for rebuilds; 0 = GOMAXPROCS")
+	rebuildMinDomains := flag.Int("rebuild-min-domains", 2, "curation filter for rebuilds: min contributing domains (match the synthesize -min-domains the snapshot was built with)")
 	flag.Parse()
 
 	if *snapPath == "" {
@@ -43,10 +50,36 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	var rebuild func(ctx context.Context) ([]*mapping.Mapping, error)
+	switch *rebuildProfile {
+	case "":
+	case "web", "enterprise":
+		profile, seed, workers, minDomains := *rebuildProfile, *rebuildSeed, *rebuildWorkers, *rebuildMinDomains
+		rebuild = func(ctx context.Context) ([]*mapping.Mapping, error) {
+			var corpus *corpusgen.Corpus
+			if profile == "web" {
+				corpus = corpusgen.GenerateWeb(corpusgen.Options{Seed: seed})
+			} else {
+				corpus = corpusgen.GenerateEnterprise(corpusgen.Options{Seed: seed})
+			}
+			cfg := pipeline.DefaultConfig()
+			cfg.MinDomains = minDomains
+			cfg.Workers = workers
+			res, err := pipeline.New(cfg).Run(ctx, corpus.Tables)
+			if err != nil {
+				return nil, err
+			}
+			return res.Mappings, nil
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "serve: unknown -rebuild-profile %q\n", *rebuildProfile)
+		os.Exit(2)
+	}
 	srv, err := serve.New(serve.Options{
 		SnapshotPath: *snapPath,
 		Shards:       *shards,
 		CacheSize:    *cacheSize,
+		Rebuild:      rebuild,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "serve: loading snapshot: %v\n", err)

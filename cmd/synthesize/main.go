@@ -4,7 +4,13 @@
 //
 // Usage:
 //
-//	synthesize [-profile web|enterprise] [-seed N] [-top K] [-min-domains D] [-snapshot FILE]
+//	synthesize [-profile web|enterprise] [-seed N] [-top K] [-min-domains D]
+//	           [-workers N] [-v] [-cpuprofile FILE] [-snapshot FILE]
+//
+// It drives the staged internal/pipeline engine directly: -workers bounds
+// the shared worker pool across every stage, per-stage progress is printed
+// as stages complete, and Ctrl-C (SIGINT/SIGTERM) cancels the run cleanly
+// mid-stage. With -v a per-stage timing/count table is printed at the end.
 //
 // With -snapshot, the synthesized mappings are persisted as a binary
 // snapshot that cmd/serve loads to answer queries without re-running the
@@ -12,22 +18,37 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime/pprof"
+	"syscall"
+	"text/tabwriter"
 
-	"mapsynth/internal/core"
 	"mapsynth/internal/corpusgen"
 	"mapsynth/internal/corpusio"
 	"mapsynth/internal/curation"
+	"mapsynth/internal/pipeline"
 	"mapsynth/internal/snapshot"
 )
 
+// main delegates to run so deferred cleanup (CPU profile flush, file
+// closes) executes before the process exits with run's status code.
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	profile := flag.String("profile", "web", "corpus profile: web or enterprise")
 	seed := flag.Int64("seed", 42, "corpus generation seed")
 	top := flag.Int("top", 20, "number of top mappings to print")
 	minDomains := flag.Int("min-domains", 2, "curation filter: min contributing domains")
+	workers := flag.Int("workers", 0, "worker pool size for all pipeline stages; 0 = GOMAXPROCS")
+	verbose := flag.Bool("v", false, "print the per-stage timing/count table after the run")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the pipeline run to this file")
 	exportTSV := flag.String("o", "", "export synthesized mappings to this TSV file")
 	report := flag.String("report", "", "write a curation report (TSV) to this file")
 	snapPath := flag.String("snapshot", "", "write a binary snapshot for cmd/serve to this file")
@@ -41,23 +62,64 @@ func main() {
 		corpus = corpusgen.GenerateEnterprise(corpusgen.Options{Seed: *seed})
 	default:
 		fmt.Fprintf(os.Stderr, "unknown profile %q\n", *profile)
-		os.Exit(2)
+		return 2
 	}
 	fmt.Printf("corpus: %d tables (%s profile, seed %d)\n", len(corpus.Tables), *profile, *seed)
 
-	cfg := core.DefaultConfig()
+	cfg := pipeline.DefaultConfig()
 	cfg.MinDomains = *minDomains
-	res := core.New(cfg).Synthesize(corpus.Tables)
+	cfg.Workers = *workers
+
+	// Ctrl-C / SIGTERM cancels the pipeline mid-stage; the engine drains
+	// its workers and returns context.Canceled.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Printf("wrote CPU profile to %s\n", *cpuprofile)
+		}()
+	}
+
+	eng := pipeline.New(cfg)
+	eng.SetInstrumentation(pipeline.Instrumentation{
+		OnStageEnd: func(st pipeline.StageStats) {
+			fmt.Printf("stage %-9s %6d items -> %6d out  %10v  (peak %d workers)\n",
+				st.Name, st.Items, st.Produced, st.Duration.Round(1e5), st.PeakWorkers)
+		},
+	})
+	res, err := eng.Run(ctx, corpus.Tables)
+	// Restore default signal handling for the output phase: once the
+	// pipeline is done, Ctrl-C should kill the process normally instead of
+	// feeding an already-consumed context.
+	stop()
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "synthesize: cancelled, bye")
+			return 130
+		}
+		fmt.Fprintf(os.Stderr, "synthesize: %v\n", err)
+		return 1
+	}
 
 	s := res.ExtractStats
 	fmt.Printf("extraction: %d candidates from %d raw column pairs (%.1f%% filtered)\n",
 		s.Candidates, s.PairsRaw, s.FilterRate()*100)
-	fmt.Printf("synthesis: %d edges, %d partitions, %d tables removed by conflict resolution\n",
-		res.Edges, res.Partitions, res.TablesRemoved)
-	fmt.Printf("pipeline: index=%v extract=%v graph=%v partition=%v resolve=%v total=%v\n",
-		res.Timings.Index.Round(1e6), res.Timings.Extract.Round(1e6),
-		res.Timings.Graph.Round(1e6), res.Timings.Partition.Round(1e6),
-		res.Timings.Resolve.Round(1e6), res.Timings.Total.Round(1e6))
+	fmt.Printf("synthesis: %d edges, %d components, %d partitions, %d tables removed by conflict resolution\n",
+		res.Edges, res.Components, res.Partitions, res.TablesRemoved)
+	fmt.Printf("pipeline: total=%v over %d-worker pool\n",
+		res.Timings.Total.Round(1e6), eng.Pool().Workers())
 	fmt.Printf("\ntop %d synthesized mappings by popularity:\n", *top)
 	for i, m := range res.Mappings {
 		if i >= *top {
@@ -76,15 +138,28 @@ func main() {
 			i+1, m.Size(), m.NumTables(), m.NumDomains(), kind, example)
 	}
 
+	if *verbose {
+		fmt.Println("\nper-stage breakdown:")
+		tw := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+		fmt.Fprintln(tw, "  stage\titems\tproduced\tduration\tpeak workers")
+		for _, st := range res.Stages {
+			fmt.Fprintf(tw, "  %s\t%d\t%d\t%v\t%d\n",
+				st.Name, st.Items, st.Produced, st.Duration.Round(1e5), st.PeakWorkers)
+		}
+		fmt.Fprintf(tw, "  total\t\t%d mappings\t%v\t\n",
+			len(res.Mappings), res.Timings.Total.Round(1e5))
+		tw.Flush()
+	}
+
 	if *exportTSV != "" {
 		f, err := os.Create(*exportTSV)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		if err := corpusio.WriteMappingsTSV(f, res.Mappings); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		f.Close()
 		fmt.Printf("\nexported %d mappings to %s\n", len(res.Mappings), *exportTSV)
@@ -92,7 +167,7 @@ func main() {
 	if *snapPath != "" {
 		if err := snapshot.WriteFile(*snapPath, res.Mappings); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		info, _ := os.Stat(*snapPath)
 		size := int64(0)
@@ -106,13 +181,14 @@ func main() {
 		f, err := os.Create(*report)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		if err := curation.Report(f, res.Mappings, *top); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		f.Close()
 		fmt.Printf("wrote curation report to %s\n", *report)
 	}
+	return 0
 }

@@ -1,11 +1,11 @@
 package compat
 
 import (
-	"runtime"
+	"context"
 	"sort"
-	"sync"
 
 	"mapsynth/internal/graph"
+	"mapsynth/internal/pool"
 )
 
 // MaxPostingLen caps the inverted-index posting lists considered during
@@ -84,6 +84,14 @@ func blockBy(cands []*Candidate, thetaOverlap int, keys func(*Candidate) []strin
 // (treated as 0); negative weights of 0 produce no negative component.
 // Edges that end up with both weights zero are omitted.
 func BuildGraph(cands []*Candidate, opt Options, workers int) *graph.Graph {
+	g, _ := BuildGraphCtx(context.Background(), cands, opt, pool.New(workers))
+	return g
+}
+
+// BuildGraphCtx is BuildGraph running on a caller-supplied worker pool with
+// cancellation: when ctx is cancelled mid-build it stops scoring promptly
+// and returns ctx's error with a nil graph.
+func BuildGraphCtx(ctx context.Context, cands []*Candidate, opt Options, p *pool.Pool) (*graph.Graph, error) {
 	cp := NewComputer(opt)
 	posPairs, negPairs := BlockedPairs(cands, opt.ThetaOverlap)
 
@@ -99,41 +107,27 @@ func BuildGraph(cands []*Candidate, opt Options, workers int) *graph.Graph {
 		jobs = append(jobs, job{a: p[0], b: p[1], neg: true})
 	}
 
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
 	type res struct {
 		a, b int
 		pos  float64
 		neg  float64
 	}
 	results := make([]res, len(jobs))
-	var wg sync.WaitGroup
-	ch := make(chan int, workers)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range ch {
-				j := jobs[i]
-				r := res{a: j.a, b: j.b}
-				if j.neg {
-					r.neg = cp.Negative(cands[j.a], cands[j.b])
-				} else {
-					p := cp.Positive(cands[j.a], cands[j.b])
-					if p >= opt.ThetaEdge {
-						r.pos = p
-					}
-				}
-				results[i] = r
+	if err := p.ForEach(ctx, len(jobs), func(i int) {
+		j := jobs[i]
+		r := res{a: j.a, b: j.b}
+		if j.neg {
+			r.neg = cp.Negative(cands[j.a], cands[j.b])
+		} else {
+			pw := cp.Positive(cands[j.a], cands[j.b])
+			if pw >= opt.ThetaEdge {
+				r.pos = pw
 			}
-		}()
+		}
+		results[i] = r
+	}); err != nil {
+		return nil, err
 	}
-	for i := range jobs {
-		ch <- i
-	}
-	close(ch)
-	wg.Wait()
 
 	// Merge the two passes per pair: a pair may appear in both lists.
 	type acc struct{ pos, neg float64 }
@@ -160,5 +154,5 @@ func BuildGraph(cands []*Candidate, opt Options, workers int) *graph.Graph {
 		x, y := unpackPair(k)
 		g.AddEdge(x, y, a.pos, a.neg)
 	}
-	return g
+	return g, nil
 }

@@ -11,8 +11,10 @@
 package compat
 
 import (
+	"context"
 	"sort"
 
+	"mapsynth/internal/pool"
 	"mapsynth/internal/strmatch"
 	"mapsynth/internal/table"
 	"mapsynth/internal/textnorm"
@@ -78,33 +80,52 @@ func (c *Candidate) Size() int { return len(c.PairKeys) }
 func Precompute(bins []*table.BinaryTable) []*Candidate {
 	out := make([]*Candidate, len(bins))
 	for i, b := range bins {
-		c := &Candidate{ID: i, Bin: b, Lefts: make(map[string][]string)}
-		keySet := make(map[string]struct{}, len(b.Pairs))
-		for _, p := range b.Pairs {
-			nl, nr, ok := textnorm.NormalizePair(p.L, p.R)
-			if !ok {
-				continue
-			}
-			k := textnorm.PairKey(nl, nr)
-			if _, dup := keySet[k]; dup {
-				continue
-			}
-			keySet[k] = struct{}{}
-			c.Lefts[nl] = appendUnique(c.Lefts[nl], nr)
-		}
-		c.PairKeys = make([]string, 0, len(keySet))
-		for k := range keySet {
-			c.PairKeys = append(c.PairKeys, k)
-		}
-		sort.Strings(c.PairKeys)
-		c.LeftKeys = make([]string, 0, len(c.Lefts))
-		for l := range c.Lefts {
-			c.LeftKeys = append(c.LeftKeys, l)
-		}
-		sort.Strings(c.LeftKeys)
-		out[i] = c
+		out[i] = PrecomputeOne(i, b)
 	}
 	return out
+}
+
+// PrecomputeParallel is Precompute fanned out over the worker pool; each
+// candidate normalizes independently, so output is identical to Precompute
+// for any worker count. Cancellation returns ctx's error and a nil slice.
+func PrecomputeParallel(ctx context.Context, bins []*table.BinaryTable, p *pool.Pool) ([]*Candidate, error) {
+	out := make([]*Candidate, len(bins))
+	if err := p.ForEach(ctx, len(bins), func(i int) {
+		out[i] = PrecomputeOne(i, bins[i])
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PrecomputeOne builds the normalized view of a single candidate with the
+// given dense ID.
+func PrecomputeOne(id int, b *table.BinaryTable) *Candidate {
+	c := &Candidate{ID: id, Bin: b, Lefts: make(map[string][]string)}
+	keySet := make(map[string]struct{}, len(b.Pairs))
+	for _, p := range b.Pairs {
+		nl, nr, ok := textnorm.NormalizePair(p.L, p.R)
+		if !ok {
+			continue
+		}
+		k := textnorm.PairKey(nl, nr)
+		if _, dup := keySet[k]; dup {
+			continue
+		}
+		keySet[k] = struct{}{}
+		c.Lefts[nl] = appendUnique(c.Lefts[nl], nr)
+	}
+	c.PairKeys = make([]string, 0, len(keySet))
+	for k := range keySet {
+		c.PairKeys = append(c.PairKeys, k)
+	}
+	sort.Strings(c.PairKeys)
+	c.LeftKeys = make([]string, 0, len(c.Lefts))
+	for l := range c.Lefts {
+		c.LeftKeys = append(c.LeftKeys, l)
+	}
+	sort.Strings(c.LeftKeys)
+	return c
 }
 
 func appendUnique(s []string, v string) []string {

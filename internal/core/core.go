@@ -3,108 +3,48 @@
 // table synthesis, conflict resolution — behind a single Synthesize call
 // with one Config, and reports per-stage timings used by the runtime and
 // scalability experiments (Figures 8 and 9).
+//
+// Since the staged-engine refactor, core owns no pipeline logic of its own:
+// Config, Result and Timings are aliases of the internal/pipeline types, and
+// Synthesize delegates to pipeline.Engine.Run with a background context.
+// Callers that need cancellation or per-stage progress hooks use
+// SynthesizeContext or drive internal/pipeline directly.
 package core
 
 import (
-	"sort"
-	"time"
+	"context"
 
-	"mapsynth/internal/compat"
-	"mapsynth/internal/conflict"
-	"mapsynth/internal/extract"
-	"mapsynth/internal/mapping"
-	"mapsynth/internal/stats"
-	"mapsynth/internal/strmatch"
-	"mapsynth/internal/synthesis"
+	"mapsynth/internal/pipeline"
 	"mapsynth/internal/table"
 )
 
-// Config parameterizes the whole pipeline. The zero value is not meaningful;
-// start from DefaultConfig.
-type Config struct {
-	// Extract configures column coherence and FD filtering (Section 3).
-	Extract extract.Options
-	// Compat configures compatibility weights and blocking (Section 4.1).
-	Compat compat.Options
-	// Tau is the negative-edge hard-constraint threshold τ (Section 4.2).
-	Tau float64
-	// Conflict configures post-synthesis conflict resolution (Section 4.2,
-	// "Conflict Resolution").
-	Conflict conflict.Options
-	// DisableNegativeSignal ignores all negative incompatibility — the
-	// SynthesisPos ablation of Section 5.2.
-	DisableNegativeSignal bool
-	// Resolution selects the post-processing strategy: the paper's greedy
-	// table removal (default), the majority-voting baseline of Section 5.6,
-	// or none (the "W/O Resolution" ablation of Figure 15).
-	Resolution ResolutionStrategy
-	// MinDomains keeps only mappings synthesized from at least this many
-	// distinct domains (Section 4.3 uses 8 on the web corpus). Zero keeps
-	// everything.
-	MinDomains int
-	// MinPairs keeps only mappings with at least this many value pairs.
-	MinPairs int
-	// Synonyms optionally plugs an external synonym feed into matching and
-	// conflict detection.
-	Synonyms *strmatch.SynonymFeed
-	// Workers bounds parallelism; zero selects GOMAXPROCS.
-	Workers int
-}
+// Config parameterizes the whole pipeline; see pipeline.Config. The zero
+// value is not meaningful; start from DefaultConfig.
+type Config = pipeline.Config
 
 // ResolutionStrategy selects how intra-partition conflicts are resolved.
-type ResolutionStrategy int
+type ResolutionStrategy = pipeline.ResolutionStrategy
 
 const (
 	// ResolveGreedy removes the fewest conflicting tables (Algorithm 4).
-	ResolveGreedy ResolutionStrategy = iota
+	ResolveGreedy = pipeline.ResolveGreedy
 	// ResolveMajority keeps, per left value, the right value supported by
 	// the most tables (the paper's comparison baseline, Section 5.6).
-	ResolveMajority
+	ResolveMajority = pipeline.ResolveMajority
 	// ResolveNone skips conflict resolution entirely.
-	ResolveNone
+	ResolveNone = pipeline.ResolveNone
 )
 
 // DefaultConfig returns the configuration used by the experiments, matching
 // the paper's parameter choices where stated (θ = 0.95, τ = −0.2) and
 // laptop-scale analogues elsewhere.
-func DefaultConfig() Config {
-	return Config{
-		Extract:  extract.DefaultOptions(),
-		Compat:   compat.DefaultOptions(),
-		Tau:      synthesis.DefaultTau,
-		Conflict: conflict.DefaultOptions(),
-		MinPairs: 4,
-	}
-}
+func DefaultConfig() Config { return pipeline.DefaultConfig() }
 
 // Timings records wall-clock per pipeline stage.
-type Timings struct {
-	Index     time.Duration // co-occurrence index build
-	Extract   time.Duration // candidate extraction
-	Graph     time.Duration // blocking + compatibility weights
-	Partition time.Duration // greedy synthesis
-	Resolve   time.Duration // conflict resolution + assembly
-	Total     time.Duration
-}
+type Timings = pipeline.Timings
 
 // Result is the output of Synthesize.
-type Result struct {
-	// Mappings holds the synthesized relationships, sorted by descending
-	// popularity (#domains, then #tables, then size).
-	Mappings []*mapping.Mapping
-	// ExtractStats reports extraction filtering counts.
-	ExtractStats extract.Stats
-	// Candidates is the number of candidate binary tables after extraction.
-	Candidates int
-	// Edges is the number of non-zero compatibility edges.
-	Edges int
-	// Partitions is the number of partitions before curation filtering.
-	Partitions int
-	// TablesRemoved counts candidate tables dropped by conflict resolution.
-	TablesRemoved int
-	// Timings holds per-stage wall-clock.
-	Timings Timings
-}
+type Result = pipeline.Result
 
 // Synthesizer runs the pipeline. It is stateless between calls; the struct
 // exists to hold configuration.
@@ -118,93 +58,13 @@ func New(cfg Config) *Synthesizer { return &Synthesizer{cfg: cfg} }
 // Synthesize runs the full pipeline over a table corpus and returns the
 // synthesized mapping relationships.
 func (s *Synthesizer) Synthesize(tables []*table.Table) *Result {
-	cfg := s.cfg
-	res := &Result{}
-	start := time.Now()
-
-	t0 := time.Now()
-	idx := stats.BuildIndex(tables)
-	res.Timings.Index = time.Since(t0)
-
-	t0 = time.Now()
-	ext := extract.New(idx, cfg.Extract)
-	bins, est := ext.ExtractAll(tables)
-	res.ExtractStats = est
-	res.Candidates = len(bins)
-	res.Timings.Extract = time.Since(t0)
-
-	t0 = time.Now()
-	copt := cfg.Compat
-	copt.Synonyms = cfg.Synonyms
-	cands := compat.Precompute(bins)
-	g := compat.BuildGraph(cands, copt, cfg.Workers)
-	if cfg.DisableNegativeSignal {
-		g.StripNegative()
-	}
-	res.Edges = g.NumEdges()
-	res.Timings.Graph = time.Since(t0)
-
-	t0 = time.Now()
-	parts := synthesis.GreedyPerComponent(g, cfg.Tau)
-	res.Partitions = len(parts)
-	res.Timings.Partition = time.Since(t0)
-
-	t0 = time.Now()
-	conflictOpt := cfg.Conflict
-	conflictOpt.Synonyms = cfg.Synonyms
-	var mappings []*mapping.Mapping
-	nextID := 0
-	for _, part := range parts {
-		group := make([]*table.BinaryTable, len(part))
-		for i, v := range part {
-			group[i] = bins[v]
-		}
-		var m *mapping.Mapping
-		switch cfg.Resolution {
-		case ResolveGreedy:
-			kept, removed := conflict.Resolve(group, conflictOpt)
-			res.TablesRemoved += len(removed)
-			group = kept
-			if len(group) == 0 {
-				continue
-			}
-			m = mapping.Build(nextID, group)
-		case ResolveMajority:
-			voted := conflict.MajorityVotePairs(group)
-			m = mapping.BuildFromPairs(nextID, voted, group)
-		default: // ResolveNone
-			m = mapping.Build(nextID, group)
-		}
-		nextID++
-		if m.Size() < cfg.MinPairs {
-			continue
-		}
-		if cfg.MinDomains > 0 && m.NumDomains() < cfg.MinDomains {
-			continue
-		}
-		mappings = append(mappings, m)
-	}
-	sortByPopularity(mappings)
-	res.Mappings = mappings
-	res.Timings.Resolve = time.Since(t0)
-	res.Timings.Total = time.Since(start)
+	res, _ := s.SynthesizeContext(context.Background(), tables)
 	return res
 }
 
-// sortByPopularity orders mappings by descending #domains, then #tables,
-// then size, then ascending ID for determinism — the paper's curation
-// ordering (Section 4.3).
-func sortByPopularity(ms []*mapping.Mapping) {
-	sort.Slice(ms, func(i, j int) bool {
-		if ms[i].NumDomains() != ms[j].NumDomains() {
-			return ms[i].NumDomains() > ms[j].NumDomains()
-		}
-		if ms[i].NumTables() != ms[j].NumTables() {
-			return ms[i].NumTables() > ms[j].NumTables()
-		}
-		if ms[i].Size() != ms[j].Size() {
-			return ms[i].Size() > ms[j].Size()
-		}
-		return ms[i].ID < ms[j].ID
-	})
+// SynthesizeContext is Synthesize with cancellation: when ctx is cancelled
+// mid-run the engine stops promptly and returns ctx's error with a nil
+// result. Output is identical to Synthesize otherwise.
+func (s *Synthesizer) SynthesizeContext(ctx context.Context, tables []*table.Table) (*Result, error) {
+	return pipeline.New(s.cfg).Run(ctx, tables)
 }

@@ -5,7 +5,10 @@
 package extract
 
 import (
+	"context"
+
 	"mapsynth/internal/fd"
+	"mapsynth/internal/pool"
 	"mapsynth/internal/stats"
 	"mapsynth/internal/table"
 	"mapsynth/internal/textnorm"
@@ -66,6 +69,20 @@ func (s Stats) FilterRate() float64 {
 	return float64(s.PairsRaw-s.Candidates) / float64(s.PairsRaw)
 }
 
+// Add accumulates another Stats into s — used to merge per-table stats from
+// parallel extraction workers. Tables and Candidates are deliberately not
+// summed: they describe the whole extraction run and are set once by the
+// caller that knows the corpus size and final candidate count.
+func (s *Stats) Add(o Stats) {
+	s.ColumnsTotal += o.ColumnsTotal
+	s.ColumnsDropped += o.ColumnsDropped
+	s.PairsRaw += o.PairsRaw
+	s.PairsTotal += o.PairsTotal
+	s.PairsFDRejected += o.PairsFDRejected
+	s.PairsTooSmall += o.PairsTooSmall
+	s.PairsNumeric += o.PairsNumeric
+}
+
 // Extractor turns corpus tables into candidate binary tables.
 type Extractor struct {
 	opt Options
@@ -83,16 +100,49 @@ func New(idx *stats.CooccurrenceIndex, opt Options) *Extractor {
 // candidate set with IDs assigned densely in deterministic order, plus
 // extraction statistics.
 func (e *Extractor) ExtractAll(tables []*table.Table) ([]*table.BinaryTable, Stats) {
+	out, st, _ := e.ExtractAllParallel(context.Background(), tables, pool.New(1))
+	return out, st
+}
+
+// ExtractTable runs Algorithm 1 over a single table. Candidate IDs are
+// assigned densely from 0 in the table's own extraction order; callers
+// fanning out over many tables renumber afterwards (see ExtractAllParallel).
+func (e *Extractor) ExtractTable(t *table.Table) ([]*table.BinaryTable, Stats) {
+	var st Stats
+	nextID := 0
+	cands := e.extractTable(t, &st, &nextID)
+	st.Tables = 1
+	st.Candidates = len(cands)
+	return cands, st
+}
+
+// ExtractAllParallel is ExtractAll with the per-table work fanned out over
+// the worker pool. Output is deterministic and identical to a sequential
+// pass regardless of worker count: per-table results land in table order
+// and candidate IDs are reassigned densely in that order afterwards. On
+// cancellation it returns ctx's error and partial results must be ignored.
+func (e *Extractor) ExtractAllParallel(ctx context.Context, tables []*table.Table, p *pool.Pool) ([]*table.BinaryTable, Stats, error) {
+	perTable := make([][]*table.BinaryTable, len(tables))
+	perStats := make([]Stats, len(tables))
+	if err := p.ForEach(ctx, len(tables), func(i int) {
+		perTable[i], perStats[i] = e.ExtractTable(tables[i])
+	}); err != nil {
+		return nil, Stats{}, err
+	}
 	var out []*table.BinaryTable
 	var st Stats
 	nextID := 0
-	for _, t := range tables {
-		cands := e.extractTable(t, &st, &nextID)
-		out = append(out, cands...)
+	for i := range perTable {
+		for _, b := range perTable[i] {
+			b.ID = nextID
+			nextID++
+			out = append(out, b)
+		}
+		st.Add(perStats[i])
 	}
 	st.Tables = len(tables)
 	st.Candidates = len(out)
-	return out, st
+	return out, st, nil
 }
 
 // extractTable applies the column coherence filter and then the FD pair

@@ -1,0 +1,39 @@
+package graph
+
+// Component is one connected component of a Graph, materialized as an
+// induced subgraph ready for independent processing. Sub uses dense vertex
+// ids 0..len(Vertices)-1; Vertices[i] is the original id of Sub's vertex i,
+// ascending, so Vertices[0] is the component's smallest original vertex.
+type Component struct {
+	Vertices []int
+	Sub      *Graph
+}
+
+// Decompose partitions the graph into its connected components and builds
+// every induced subgraph in a single pass over the edge set — O(V + E)
+// total, unlike calling Subgraph per component which rescans all edges each
+// time. Components are sorted by smallest original vertex, and within a
+// component vertex order is ascending, matching ConnectedComponents.
+//
+// Components are independent by construction (no edge crosses them), which
+// is what lets the pipeline engine run synthesis and conflict resolution
+// per component in parallel with results identical to a monolithic pass.
+func (g *Graph) Decompose() []Component {
+	comps := g.ConnectedComponents()
+	out := make([]Component, len(comps))
+	// whichComp[v] / denseID[v]: component index and dense id of vertex v.
+	whichComp := make([]int, g.n)
+	denseID := make([]int, g.n)
+	for ci, comp := range comps {
+		out[ci] = Component{Vertices: comp, Sub: New(len(comp))}
+		for di, v := range comp {
+			whichComp[v] = ci
+			denseID[v] = di
+		}
+	}
+	for _, e := range g.edges {
+		c := whichComp[e.A] // e.B is in the same component by definition
+		out[c].Sub.AddEdge(denseID[e.A], denseID[e.B], e.Pos, e.Neg)
+	}
+	return out
+}

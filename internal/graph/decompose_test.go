@@ -1,0 +1,87 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestDecomposeEmptyGraph(t *testing.T) {
+	if comps := New(0).Decompose(); len(comps) != 0 {
+		t.Errorf("Decompose on empty graph = %v, want none", comps)
+	}
+}
+
+func TestDecomposeSingleComponent(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 0.5, 0)
+	g.AddEdge(1, 2, 0.4, -0.1)
+	g.AddEdge(2, 3, 0, -0.9) // negative-only edges still connect
+	comps := g.Decompose()
+	if len(comps) != 1 {
+		t.Fatalf("components = %d, want 1", len(comps))
+	}
+	c := comps[0]
+	if !reflect.DeepEqual(c.Vertices, []int{0, 1, 2, 3}) {
+		t.Errorf("Vertices = %v", c.Vertices)
+	}
+	if c.Sub.NumVertices() != 4 || c.Sub.NumEdges() != 3 {
+		t.Errorf("subgraph: %d vertices %d edges", c.Sub.NumVertices(), c.Sub.NumEdges())
+	}
+	if e := c.Sub.GetEdge(1, 2); e == nil || e.Pos != 0.4 || e.Neg != -0.1 {
+		t.Errorf("edge weights not carried over: %+v", e)
+	}
+}
+
+func TestDecomposeManySingletons(t *testing.T) {
+	g := New(50)
+	comps := g.Decompose()
+	if len(comps) != 50 {
+		t.Fatalf("components = %d, want 50 singletons", len(comps))
+	}
+	for i, c := range comps {
+		if len(c.Vertices) != 1 || c.Vertices[0] != i {
+			t.Fatalf("component %d = %v, want singleton {%d}", i, c.Vertices, i)
+		}
+		if c.Sub.NumVertices() != 1 || c.Sub.NumEdges() != 0 {
+			t.Fatalf("singleton subgraph %d has %d vertices %d edges",
+				i, c.Sub.NumVertices(), c.Sub.NumEdges())
+		}
+	}
+}
+
+// TestDecomposeMatchesSubgraph is a property test: Decompose must agree
+// with the reference path ConnectedComponents + Subgraph on random graphs.
+func TestDecomposeMatchesSubgraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(40)
+		g := New(n)
+		for e := rng.Intn(2 * n); e > 0; e-- {
+			g.AddEdge(rng.Intn(n), rng.Intn(n), rng.Float64(), -rng.Float64())
+		}
+		comps := g.Decompose()
+		want := g.ConnectedComponents()
+		if len(comps) != len(want) {
+			t.Fatalf("trial %d: %d components, want %d", trial, len(comps), len(want))
+		}
+		for i := range want {
+			if !reflect.DeepEqual(comps[i].Vertices, want[i]) {
+				t.Fatalf("trial %d: component %d vertices %v, want %v",
+					trial, i, comps[i].Vertices, want[i])
+			}
+			refSub, _ := g.Subgraph(want[i])
+			if comps[i].Sub.NumEdges() != refSub.NumEdges() {
+				t.Fatalf("trial %d: component %d has %d edges, want %d",
+					trial, i, comps[i].Sub.NumEdges(), refSub.NumEdges())
+			}
+			for _, e := range refSub.Edges() {
+				got := comps[i].Sub.GetEdge(e.A, e.B)
+				if got == nil || got.Pos != e.Pos || got.Neg != e.Neg {
+					t.Fatalf("trial %d: component %d edge (%d,%d) = %+v, want %+v",
+						trial, i, e.A, e.B, got, e)
+				}
+			}
+		}
+	}
+}

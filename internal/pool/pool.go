@@ -1,0 +1,104 @@
+// Package pool provides the shared bounded worker pool used by every
+// parallel stage of the synthesis pipeline. It exists so Config.Workers
+// means the same thing everywhere — extraction fan-out, compatibility
+// scoring, per-component partitioning and conflict resolution all draw
+// from the same bound — and so cancellation and concurrency observation
+// work uniformly across stages.
+package pool
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a bounded parallel-for executor. It is stateless between calls
+// apart from the peak-concurrency gauge; a single Pool is safely shared by
+// concurrent callers, though the peak gauge then reflects their combined
+// concurrency.
+type Pool struct {
+	workers int
+	active  atomic.Int64
+	peak    atomic.Int64
+}
+
+// New returns a Pool bounded to the given number of workers; values < 1
+// select GOMAXPROCS.
+func New(workers int) *Pool {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the concurrency bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// ResetPeak zeroes the peak-concurrency gauge, typically at a stage
+// boundary.
+func (p *Pool) ResetPeak() { p.peak.Store(0) }
+
+// Peak returns the highest number of simultaneously running tasks observed
+// since the last ResetPeak.
+func (p *Pool) Peak() int { return int(p.peak.Load()) }
+
+// ForEach runs fn(i) for every i in [0, n) using up to Workers goroutines.
+// Items are claimed dynamically, so uneven item costs balance themselves.
+// When ctx is cancelled, no new items are started, in-flight items are
+// allowed to finish, and ctx.Err() is returned; otherwise ForEach returns
+// nil after all n items completed.
+func (p *Pool) ForEach(ctx context.Context, n int, fn func(i int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			p.track(fn, i)
+		}
+		return ctx.Err()
+	}
+	var next atomic.Int64
+	done := ctx.Done()
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				i := next.Add(1) - 1
+				if i >= int64(n) {
+					return
+				}
+				p.track(fn, int(i))
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// track runs one item while maintaining the active/peak gauges.
+func (p *Pool) track(fn func(int), i int) {
+	cur := p.active.Add(1)
+	for {
+		old := p.peak.Load()
+		if cur <= old || p.peak.CompareAndSwap(old, cur) {
+			break
+		}
+	}
+	defer p.active.Add(-1)
+	fn(i)
+}

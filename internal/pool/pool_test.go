@@ -1,0 +1,105 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachRunsAllItems(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		p := New(workers)
+		const n = 100
+		var hits [n]atomic.Int32
+		if err := p.ForEach(context.Background(), n, func(i int) {
+			hits[i].Add(1)
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: item %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachHonorsWorkerBound(t *testing.T) {
+	p := New(3)
+	var active, maxActive atomic.Int64
+	var mu sync.Mutex
+	err := p.ForEach(context.Background(), 50, func(i int) {
+		cur := active.Add(1)
+		mu.Lock()
+		if cur > maxActive.Load() {
+			maxActive.Store(cur)
+		}
+		mu.Unlock()
+		time.Sleep(time.Millisecond)
+		active.Add(-1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := maxActive.Load(); got > 3 {
+		t.Errorf("observed %d concurrent tasks, bound is 3", got)
+	}
+	if p.Peak() < 1 || p.Peak() > 3 {
+		t.Errorf("Peak() = %d, want in [1, 3]", p.Peak())
+	}
+}
+
+func TestForEachCancellation(t *testing.T) {
+	p := New(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	err := p.ForEach(ctx, 1000, func(i int) {
+		if started.Add(1) == 2 {
+			cancel()
+		}
+		time.Sleep(time.Millisecond)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := started.Load(); n > 10 {
+		t.Errorf("started %d items after cancellation, want a prompt stop", n)
+	}
+}
+
+func TestForEachLeaksNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	p := New(8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := p.ForEach(ctx, 100, func(i int) {}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	p.ForEach(context.Background(), 100, func(i int) {})
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutines leaked: before=%d after=%d", before, after)
+	}
+}
+
+func TestDefaultsToGOMAXPROCS(t *testing.T) {
+	p := New(0)
+	if p.Workers() != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers() = %d, want GOMAXPROCS", p.Workers())
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := New(4).ForEach(context.Background(), 0, func(i int) {
+		t.Fatal("fn called for empty range")
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

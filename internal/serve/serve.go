@@ -16,6 +16,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -39,6 +40,12 @@ type Options struct {
 	// MaxBodyBytes bounds request bodies on the batch endpoints; <= 0
 	// selects 8 MiB.
 	MaxBodyBytes int64
+	// Rebuild, when non-nil, is the offline synthesis entry point: POST
+	// /reload with {"rebuild": true} calls it to re-run the pipeline engine
+	// and atomically swaps the fresh mapping set in. The context is the
+	// request's, so a disconnecting client cancels the rebuild; the engine
+	// guarantees a prompt, leak-free stop.
+	Rebuild func(ctx context.Context) ([]*mapping.Mapping, error)
 }
 
 // State is one immutable loaded snapshot: the mapping set, its sharded
@@ -59,6 +66,10 @@ type Server struct {
 	state   atomic.Pointer[State]
 	start   time.Time
 	reloads atomic.Int64
+	// writeMu serializes the state-replacing paths (reload, rebuild) so a
+	// slow rebuild can never finish after a newer reload and clobber it;
+	// request handling stays lock-free on the atomic state pointer.
+	writeMu sync.Mutex
 
 	lookupStats      endpointStats
 	autofillStats    endpointStats
@@ -108,6 +119,16 @@ func (s *Server) install(maps []*mapping.Mapping, path string) *State {
 // off to the side and atomically swaps it in; a failed load leaves the
 // serving state untouched. Safe to call concurrently with request handling.
 func (s *Server) Reload(path string) (*State, error) {
+	return s.ReloadContext(context.Background(), path)
+}
+
+// ReloadContext is Reload with cancellation: a cancelled ctx aborts before
+// the new state is installed, leaving the serving state untouched. Reloads
+// and rebuilds are serialized; a reload issued during a long rebuild waits
+// for it and then wins as the later writer.
+func (s *Server) ReloadContext(ctx context.Context, path string) (*State, error) {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
 	if path == "" {
 		if cur := s.state.Load(); cur != nil {
 			path = cur.Path
@@ -121,6 +142,42 @@ func (s *Server) Reload(path string) (*State, error) {
 	maps, err := snapshot.ReadFile(path)
 	if err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	st := s.install(maps, path)
+	s.reloads.Add(1)
+	return st, nil
+}
+
+// RebuildContext re-runs the offline synthesis pipeline via Options.Rebuild
+// and swaps the fresh mapping set in. The state keeps its snapshot path so
+// later path-less reloads still work. Cancelling ctx aborts the pipeline
+// run promptly and leaves the serving state untouched.
+func (s *Server) RebuildContext(ctx context.Context) (*State, error) {
+	if s.opts.Rebuild == nil {
+		return nil, errors.New("serve: no rebuild source configured")
+	}
+	// Unlike snapshot reloads (cheap, block-and-win), a rebuild is a full
+	// pipeline run: overlapping requests are rejected rather than queued so
+	// clients cannot stack unbounded CPU-bound runs behind the write lock.
+	if !s.writeMu.TryLock() {
+		return nil, errors.New("serve: a reload or rebuild is already in progress")
+	}
+	defer s.writeMu.Unlock()
+	maps, err := s.opts.Rebuild(ctx)
+	if err != nil {
+		return nil, err
+	}
+	// Guard the install like ReloadContext does: a rebuild source that
+	// ignores ctx must still not swap state in after cancellation.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	path := s.opts.SnapshotPath
+	if cur := s.state.Load(); cur != nil {
+		path = cur.Path
 	}
 	st := s.install(maps, path)
 	s.reloads.Add(1)
@@ -504,6 +561,9 @@ type reloadRequest struct {
 	// Snapshot optionally points at a new snapshot file; empty reloads the
 	// currently served path.
 	Snapshot string `json:"snapshot"`
+	// Rebuild re-runs the offline synthesis pipeline (Options.Rebuild)
+	// instead of reading a snapshot file. Mutually exclusive with Snapshot.
+	Rebuild bool `json:"rebuild"`
 }
 
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
@@ -520,14 +580,25 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if req.Rebuild && req.Snapshot != "" {
+		writeError(w, http.StatusBadRequest, "snapshot and rebuild are mutually exclusive")
+		return
+	}
 	t0 := time.Now()
-	st, err := s.Reload(req.Snapshot)
+	var st *State
+	var err error
+	if req.Rebuild {
+		st, err = s.RebuildContext(r.Context())
+	} else {
+		st, err = s.ReloadContext(r.Context(), req.Snapshot)
+	}
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, "reload failed: "+err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"snapshot":    st.Path,
+		"rebuilt":     req.Rebuild,
 		"mappings":    len(st.Maps),
 		"loaded_at":   st.LoadedAt.UTC().Format(time.RFC3339),
 		"duration_ms": float64(time.Since(t0).Microseconds()) / 1000,

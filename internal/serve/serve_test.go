@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -378,5 +379,102 @@ func TestSnapshotLoadAndHotReload(t *testing.T) {
 	}
 	if stats := srv.Stats(); stats.Reloads != 2 {
 		t.Errorf("reloads = %d, want 2 (initial load + one hot reload)", stats.Reloads)
+	}
+}
+
+// TestReloadRebuild exercises the engine-backed rebuild path: POST /reload
+// with {"rebuild": true} must call the configured rebuild source with the
+// request context and swap its output in, keeping the snapshot path.
+func TestReloadRebuild(t *testing.T) {
+	maps := testMappings()
+	var calls int
+	rebuilt := []*mapping.Mapping{mapping.Build(0, []*table.BinaryTable{
+		table.NewBinaryTable(0, 0, "fresh.example", "s", "c",
+			[]string{"California", "Washington"}, []string{"RB-CA", "RB-WA"}),
+	})}
+	srv := NewFromMappings(maps, Options{
+		Shards:       2,
+		SnapshotPath: "orig.snap",
+		Rebuild: func(ctx context.Context) ([]*mapping.Mapping, error) {
+			calls++
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return rebuilt, nil
+		},
+	})
+	h := srv.Handler()
+
+	var resp map[string]any
+	if rec := postJSON(t, h, "/reload", map[string]any{"rebuild": true}, &resp); rec.Code != http.StatusOK {
+		t.Fatalf("rebuild status = %d: %v", rec.Code, resp)
+	}
+	if calls != 1 {
+		t.Fatalf("rebuild source called %d times, want 1", calls)
+	}
+	if resp["rebuilt"] != true {
+		t.Errorf("response rebuilt = %v, want true", resp["rebuilt"])
+	}
+	if got := srv.State().Path; got != "orig.snap" {
+		t.Errorf("state path = %q, want snapshot path preserved", got)
+	}
+	var lr lookupResponse
+	getJSON(t, h, "/lookup?key=California", &lr)
+	if !lr.Found || lr.Value != "RB-CA" {
+		t.Fatalf("after rebuild: %+v, want RB-CA", lr)
+	}
+
+	// rebuild + snapshot in one request is rejected.
+	if rec := postJSON(t, h, "/reload", map[string]any{"rebuild": true, "snapshot": "x.snap"}, nil); rec.Code != http.StatusBadRequest {
+		t.Errorf("rebuild+snapshot status = %d, want 400", rec.Code)
+	}
+
+	// Without a rebuild source the request fails and state is untouched.
+	bare := NewFromMappings(maps, Options{Shards: 1})
+	cur := bare.State()
+	if rec := postJSON(t, bare.Handler(), "/reload", map[string]any{"rebuild": true}, nil); rec.Code != http.StatusUnprocessableEntity {
+		t.Errorf("no-source rebuild status = %d, want 422", rec.Code)
+	}
+	if bare.State() != cur {
+		t.Error("failed rebuild replaced the serving state")
+	}
+
+	// A cancelled request context aborts the rebuild, state untouched.
+	cur = srv.State()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := srv.RebuildContext(ctx); err == nil {
+		t.Error("cancelled rebuild should error")
+	}
+	if srv.State() != cur {
+		t.Error("cancelled rebuild replaced the serving state")
+	}
+}
+
+// TestRebuildOverlapRejected asserts that a rebuild issued while another
+// rebuild is running is rejected instead of queueing a second pipeline run.
+func TestRebuildOverlapRejected(t *testing.T) {
+	release := make(chan struct{})
+	running := make(chan struct{})
+	srv := NewFromMappings(testMappings(), Options{
+		Shards: 1,
+		Rebuild: func(ctx context.Context) ([]*mapping.Mapping, error) {
+			close(running)
+			<-release
+			return testMappings(), nil
+		},
+	})
+	done := make(chan error, 1)
+	go func() {
+		_, err := srv.RebuildContext(context.Background())
+		done <- err
+	}()
+	<-running
+	if _, err := srv.RebuildContext(context.Background()); err == nil {
+		t.Error("overlapping rebuild should be rejected")
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Errorf("first rebuild failed: %v", err)
 	}
 }

@@ -18,6 +18,7 @@ package synthesis
 
 import (
 	"container/heap"
+	"context"
 	"math"
 	"sort"
 
@@ -106,6 +107,19 @@ func (h *mergeHeap) Pop() interface{} {
 // (most negative dominates). Stale heap entries are discarded lazily by
 // checking them against the current aggregated weight.
 func Greedy(g *graph.Graph, tau float64) Partitioning {
+	parts, _ := GreedyCtx(context.Background(), g, tau)
+	return parts
+}
+
+// greedyCancelStride bounds how many merges run between cancellation checks
+// in GreedyCtx — frequent enough for prompt Ctrl-C, rare enough to stay off
+// the merge loop's profile.
+const greedyCancelStride = 1024
+
+// GreedyCtx is Greedy with cooperative cancellation: the merge loop checks
+// ctx every greedyCancelStride merges and returns ctx's error with a nil
+// partitioning when cancelled. Output is unaffected by the checks.
+func GreedyCtx(ctx context.Context, g *graph.Graph, tau float64) (Partitioning, error) {
 	n := g.NumVertices()
 	// parent implements union-find with path halving; the merge loop
 	// chooses which root survives (the one with the larger adjacency), so
@@ -146,7 +160,12 @@ func Greedy(g *graph.Graph, tau float64) Partitioning {
 		}
 	}
 
+	iter := 0
 	for h.Len() > 0 {
+		iter++
+		if iter%greedyCancelStride == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		top := heap.Pop(h).(mergeEntry)
 		ra, rb := find(top.a), find(top.b)
 		if ra == rb {
@@ -212,7 +231,29 @@ func Greedy(g *graph.Graph, tau float64) Partitioning {
 		parts = append(parts, members)
 	}
 	sort.Slice(parts, func(i, j int) bool { return parts[i][0] < parts[j][0] })
-	return parts
+	return parts, nil
+}
+
+// GreedyComponent runs Greedy on one materialized component and maps the
+// resulting partitions back to original vertex ids.
+func GreedyComponent(ctx context.Context, c graph.Component, tau float64) (Partitioning, error) {
+	if len(c.Vertices) == 1 {
+		return Partitioning{c.Vertices}, nil
+	}
+	sp, err := GreedyCtx(ctx, c.Sub, tau)
+	if err != nil {
+		return nil, err
+	}
+	parts := make(Partitioning, len(sp))
+	for pi, p := range sp {
+		mapped := make([]int, len(p))
+		for i, v := range p {
+			mapped[i] = c.Vertices[v]
+		}
+		sort.Ints(mapped)
+		parts[pi] = mapped
+	}
+	return parts, nil
 }
 
 // GreedyPerComponent applies Greedy independently to every connected
@@ -220,23 +261,10 @@ func Greedy(g *graph.Graph, tau float64) Partitioning {
 // identical to Greedy on the whole graph — merges never cross components —
 // but bookkeeping stays small per component.
 func GreedyPerComponent(g *graph.Graph, tau float64) Partitioning {
-	comps := g.ConnectedComponents()
 	var parts Partitioning
-	for _, comp := range comps {
-		if len(comp) == 1 {
-			parts = append(parts, comp)
-			continue
-		}
-		sub, orig := g.Subgraph(comp)
-		sp := Greedy(sub, tau)
-		for _, p := range sp {
-			mapped := make([]int, len(p))
-			for i, v := range p {
-				mapped[i] = orig[v]
-			}
-			sort.Ints(mapped)
-			parts = append(parts, mapped)
-		}
+	for _, c := range g.Decompose() {
+		sp, _ := GreedyComponent(context.Background(), c, tau)
+		parts = append(parts, sp...)
 	}
 	sort.Slice(parts, func(i, j int) bool { return parts[i][0] < parts[j][0] })
 	return parts
