@@ -16,6 +16,7 @@ import (
 	"sync"
 	"testing"
 
+	"mapsynth/internal/apps"
 	"mapsynth/internal/baselines"
 	"mapsynth/internal/compat"
 	"mapsynth/internal/core"
@@ -25,6 +26,7 @@ import (
 	"mapsynth/internal/index"
 	"mapsynth/internal/mapping"
 	"mapsynth/internal/mapreduce"
+	"mapsynth/internal/pool"
 	"mapsynth/internal/serve"
 	"mapsynth/internal/stats"
 	"mapsynth/internal/strmatch"
@@ -401,6 +403,94 @@ func BenchmarkServeAutoFill(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rec := httptest.NewRecorder()
 		req := httptest.NewRequest(http.MethodPost, "/autofill", bytes.NewReader(body))
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+}
+
+// BenchmarkBatchAutoFill measures the bulk-application claim: filling many
+// columns through apps.AutoFillBatch (shared pool, deduplicated index
+// lookups) versus the same columns through N sequential AutoFill calls.
+// The workload is spreadsheet-shaped: 64 column queries over the 200-
+// mapping corpus, with each distinct column appearing twice (repeated key
+// columns are the norm in sheet fills), so both the parallelism and the
+// lookup amortization contribute.
+func BenchmarkBatchAutoFill(b *testing.B) {
+	maps := serveBenchMappings()
+	ix := index.Build(maps)
+	var queries []apps.AutoFillQuery
+	for q := 0; q < 32; q++ {
+		mi := (q * 7) % 200
+		col := make([]string, 20)
+		for i := range col {
+			col[i] = fmt.Sprintf("left-%d-%d", mi, i)
+		}
+		query := apps.AutoFillQuery{
+			Column:      col,
+			Examples:    []apps.Example{{Left: col[0], Right: fmt.Sprintf("right-%d-0", mi)}},
+			MinCoverage: 0.9,
+		}
+		queries = append(queries, query, query) // each column twice
+	}
+	sanity := func(b *testing.B, res []apps.AutoFillResult) {
+		if len(res) != len(queries) || res[0].MappingIndex < 0 {
+			b.Fatalf("bad batch result: %d entries", len(res))
+		}
+	}
+
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res := make([]apps.AutoFillResult, len(queries))
+			for j, q := range queries {
+				res[j] = apps.AutoFill(ix, q.Column, q.Examples, q.MinCoverage)
+			}
+			sanity(b, res)
+		}
+	})
+	b.Run("batch1", func(b *testing.B) { // amortization only, no parallelism
+		p := pool.New(1)
+		for i := 0; i < b.N; i++ {
+			res, err := apps.AutoFillBatch(context.Background(), ix, p, queries)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sanity(b, res)
+		}
+	})
+	b.Run("batch", func(b *testing.B) { // amortization + shared pool
+		p := pool.New(0)
+		for i := 0; i < b.N; i++ {
+			res, err := apps.AutoFillBatch(context.Background(), ix, p, queries)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sanity(b, res)
+		}
+	})
+}
+
+// BenchmarkServeBatchAutoFill measures the streaming /batch/autofill
+// endpoint end to end — NDJSON decode, pooled per-row compute, streamed
+// encode — against the cost of the same columns as individual /autofill
+// requests (BenchmarkServeAutoFill measures one such request).
+func BenchmarkServeBatchAutoFill(b *testing.B) {
+	maps := serveBenchMappings()
+	srv := serve.NewFromMappings(maps, serve.Options{Shards: 4, CacheSize: 0})
+	h := srv.Handler()
+	var body bytes.Buffer
+	for q := 0; q < 32; q++ {
+		mi := (q * 7) % 200
+		fmt.Fprintf(&body,
+			`{"column":["left-%d-1","left-%d-2","left-%d-3","left-%d-4"],"min_coverage":0.9}`+"\n",
+			mi, mi, mi, mi)
+	}
+	payload := body.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/batch/autofill", bytes.NewReader(payload))
 		h.ServeHTTP(rec, req)
 		if rec.Code != http.StatusOK {
 			b.Fatalf("status = %d: %s", rec.Code, rec.Body.String())

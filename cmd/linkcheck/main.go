@@ -1,0 +1,207 @@
+// Command linkcheck validates intra-repository links in markdown files: a
+// relative link must point at an existing file or directory, and a #fragment
+// must name a heading that exists in the target file. External (http, https,
+// mailto) links are not fetched — CI must not depend on the network — so the
+// checker's scope is exactly the links this repository controls.
+//
+// Usage:
+//
+//	linkcheck README.md docs
+//
+// Directory arguments are scanned recursively for *.md files. Exit status 1
+// lists every broken link as file:line: message.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: linkcheck <file.md|dir> ...")
+		os.Exit(2)
+	}
+	files, err := collectMarkdown(args)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "linkcheck: %v\n", err)
+		os.Exit(2)
+	}
+	if len(files) == 0 {
+		fmt.Fprintln(os.Stderr, "linkcheck: no markdown files found")
+		os.Exit(2)
+	}
+	total := 0
+	var problems []string
+	for _, f := range files {
+		n, probs, err := checkFile(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "linkcheck: %v\n", err)
+			os.Exit(2)
+		}
+		total += n
+		problems = append(problems, probs...)
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, p)
+		}
+		fmt.Fprintf(os.Stderr, "linkcheck: %d broken link(s) out of %d checked in %d file(s)\n",
+			len(problems), total, len(files))
+		os.Exit(1)
+	}
+	fmt.Printf("linkcheck: %d link(s) OK across %d file(s)\n", total, len(files))
+}
+
+// collectMarkdown expands the argument list into markdown file paths.
+func collectMarkdown(args []string) ([]string, error) {
+	var files []string
+	for _, a := range args {
+		info, err := os.Stat(a)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			files = append(files, a)
+			continue
+		}
+		err = filepath.WalkDir(a, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(strings.ToLower(d.Name()), ".md") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return files, nil
+}
+
+// linkRe matches inline markdown links and images: [text](target). Targets
+// with spaces or nested parens are not used in this repository.
+var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)\)`)
+
+// checkFile validates every intra-repo link in one markdown file, returning
+// the number of links checked and a list of file:line problems.
+func checkFile(path string) (int, []string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	lines := strings.Split(string(data), "\n")
+	checked := 0
+	var problems []string
+	inFence := false
+	for ln, line := range lines {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if isExternal(target) {
+				continue
+			}
+			checked++
+			if msg := checkTarget(path, target); msg != "" {
+				problems = append(problems, fmt.Sprintf("%s:%d: %s", path, ln+1, msg))
+			}
+		}
+	}
+	return checked, problems, nil
+}
+
+func isExternal(target string) bool {
+	return strings.Contains(target, "://") ||
+		strings.HasPrefix(target, "mailto:") ||
+		strings.HasPrefix(target, "tel:")
+}
+
+// checkTarget validates one relative link target against the filesystem and,
+// for markdown fragments, against the target file's headings. An empty
+// return means the link is good.
+func checkTarget(fromFile, target string) string {
+	file, frag, _ := strings.Cut(target, "#")
+	dest := fromFile
+	if file != "" {
+		dest = filepath.Join(filepath.Dir(fromFile), file)
+		info, err := os.Stat(dest)
+		if err != nil {
+			return fmt.Sprintf("broken link %q: %s does not exist", target, dest)
+		}
+		if info.IsDir() || frag == "" {
+			return ""
+		}
+	}
+	if frag == "" {
+		return ""
+	}
+	if !strings.HasSuffix(strings.ToLower(dest), ".md") {
+		// Fragments into non-markdown files (e.g. source line anchors)
+		// cannot be validated offline; existence of the file is enough.
+		return ""
+	}
+	anchors, err := headingAnchors(dest)
+	if err != nil {
+		return fmt.Sprintf("broken link %q: %v", target, err)
+	}
+	if !anchors[strings.ToLower(frag)] {
+		return fmt.Sprintf("broken link %q: no heading for anchor #%s in %s", target, frag, dest)
+	}
+	return ""
+}
+
+// headingAnchors extracts GitHub-style anchor slugs from a markdown file's
+// ATX headings (lowercase; spaces become hyphens; everything but letters,
+// digits, hyphens and underscores is dropped).
+func headingAnchors(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	anchors := make(map[string]bool)
+	inFence := false
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(line, "#") {
+			continue
+		}
+		text := strings.TrimLeft(line, "#")
+		if !strings.HasPrefix(text, " ") {
+			// "#foo" without a space or a bare run of hashes is not an ATX
+			// heading.
+			continue
+		}
+		anchors[slugify(strings.TrimSpace(text))] = true
+	}
+	return anchors, nil
+}
+
+func slugify(heading string) string {
+	heading = strings.ReplaceAll(heading, "`", "")
+	var b strings.Builder
+	for _, r := range strings.ToLower(heading) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '_':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}

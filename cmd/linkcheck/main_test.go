@@ -1,0 +1,107 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckFile(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "docs", "api.md"), strings.Join([]string{
+		"# API reference",
+		"",
+		"## Batch endpoints",
+		"",
+		"See the [snapshot spec](snapshot-format.md#layout) and [README](../README.md).",
+		"Self link: [above](#batch-endpoints).",
+		"External links are skipped: [go](https://go.dev) <- not checked.",
+		"```",
+		"[this](broken-in-fence.md) is inside a code fence and ignored",
+		"```",
+	}, "\n"))
+	write(t, filepath.Join(dir, "docs", "snapshot-format.md"), "# Snapshot\n\n## Layout\n\nbytes\n")
+	write(t, filepath.Join(dir, "README.md"), "# Readme\n\n[api](docs/api.md#batch-endpoints)\n")
+
+	for _, f := range []string{
+		filepath.Join(dir, "docs", "api.md"),
+		filepath.Join(dir, "README.md"),
+	} {
+		n, probs, err := checkFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(probs) != 0 {
+			t.Errorf("%s: unexpected problems: %v", f, probs)
+		}
+		if n == 0 {
+			t.Errorf("%s: no links checked", f)
+		}
+	}
+}
+
+func TestCheckFileCatchesBreakage(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "ok.md"), "# Ok\n\n## Real heading\n")
+	write(t, filepath.Join(dir, "doc.md"), strings.Join([]string{
+		"# Doc",
+		"[missing file](nope.md)",
+		"[missing anchor](ok.md#no-such-heading)",
+		"[bad self anchor](#also-missing)",
+		"[fine](ok.md#real-heading)",
+	}, "\n"))
+	n, probs, err := checkFile(filepath.Join(dir, "doc.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Errorf("checked = %d, want 4", n)
+	}
+	if len(probs) != 3 {
+		t.Fatalf("problems = %v, want 3", probs)
+	}
+	for i, want := range []string{"nope.md", "no-such-heading", "also-missing"} {
+		if !strings.Contains(probs[i], want) {
+			t.Errorf("problem %d = %q, want mention of %q", i, probs[i], want)
+		}
+	}
+}
+
+func TestSlugify(t *testing.T) {
+	cases := map[string]string{
+		"API reference":             "api-reference",
+		"The `Batch` endpoints":     "the-batch-endpoints",
+		"Errors, codes & semantics": "errors-codes--semantics",
+		"v1 layout":                 "v1-layout",
+	}
+	for in, want := range cases {
+		if got := slugify(in); got != want {
+			t.Errorf("slugify(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCollectMarkdown(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "a.md"), "# a\n")
+	write(t, filepath.Join(dir, "sub", "b.md"), "# b\n")
+	write(t, filepath.Join(dir, "sub", "c.txt"), "not markdown\n")
+	files, err := collectMarkdown([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 2 {
+		t.Errorf("files = %v, want the two .md files", files)
+	}
+}

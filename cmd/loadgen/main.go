@@ -1,0 +1,138 @@
+// Command loadgen drives a running cmd/serve with a reproducible mixed
+// workload of single-column and streaming-batch requests, paced to a target
+// QPS, and writes a JSON report of counts, throttling and latency
+// percentiles — the measurement half of the serving layer's throughput
+// claims.
+//
+// Usage:
+//
+//	loadgen -snapshot out.snap [-addr http://localhost:8080]
+//	        [-duration 10s] [-qps 0] [-concurrency 8] [-batch 16]
+//	        [-mix lookup=4,autofill=2,batch-autofill=1] [-seed 1] [-out -]
+//
+// The snapshot is the same file the server loaded; loadgen derives its
+// query columns from it so requests genuinely hit the index. Ops for -mix:
+// lookup, autofill, autocorrect, autojoin, batch-autofill,
+// batch-autocorrect, batch-autojoin.
+//
+// Exit status: 0 on a clean run, 1 if any request errored (429 throttling
+// is not an error — it is the server's admission control responding), 2 on
+// usage mistakes.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"mapsynth/internal/loadgen"
+	"mapsynth/internal/snapshot"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	snapPath := flag.String("snapshot", "", "snapshot the server is serving; query material is derived from it (required)")
+	addr := flag.String("addr", "http://localhost:8080", "base URL of the running serve instance")
+	duration := flag.Duration("duration", 10*time.Second, "how long to generate load")
+	qps := flag.Float64("qps", 0, "target aggregate requests/second; 0 = unpaced closed loop")
+	concurrency := flag.Int("concurrency", 8, "closed-loop worker count")
+	batchSize := flag.Int("batch", 16, "NDJSON lines per batch request")
+	mixFlag := flag.String("mix", "", "op mix as name=weight pairs, comma-separated; empty = default mix over every endpoint")
+	seed := flag.Int64("seed", 1, "workload randomization seed")
+	out := flag.String("out", "-", "report destination; - writes to stdout")
+	flag.Parse()
+
+	if *snapPath == "" {
+		fmt.Fprintln(os.Stderr, "loadgen: -snapshot is required")
+		flag.Usage()
+		return 2
+	}
+	maps, err := snapshot.ReadFile(*snapPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: reading snapshot: %v\n", err)
+		return 2
+	}
+	wl, err := loadgen.NewWorkload(maps)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		return 2
+	}
+	mix, err := parseMix(*mixFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		return 2
+	}
+
+	fmt.Fprintf(os.Stderr, "loadgen: %d mappings usable, %v against %s (qps=%g, concurrency=%d)\n",
+		wl.Mappings(), *duration, *addr, *qps, *concurrency)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rep, err := loadgen.Run(ctx, loadgen.Config{
+		BaseURL:     strings.TrimRight(*addr, "/"),
+		Duration:    *duration,
+		TargetQPS:   *qps,
+		Concurrency: *concurrency,
+		BatchSize:   *batchSize,
+		Mix:         mix,
+		Seed:        *seed,
+	}, wl)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		return 2
+	}
+
+	w := os.Stdout
+	if *out != "-" && *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: writing report: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: %d requests, %.1f req/s achieved, %d throttled, %d errors\n",
+		rep.Requests, rep.AchievedQPS, rep.Throttled, rep.Errors)
+	if rep.Errors > 0 {
+		return 1
+	}
+	return 0
+}
+
+// parseMix parses "lookup=4,autofill=2" into a weight map; empty input
+// selects the default mix.
+func parseMix(s string) (map[string]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	mix := make(map[string]int)
+	for _, part := range strings.Split(s, ",") {
+		name, weight, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -mix entry %q (want name=weight)", part)
+		}
+		w, err := strconv.Atoi(weight)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("bad -mix weight in %q", part)
+		}
+		mix[name] = w
+	}
+	return mix, nil
+}

@@ -5,16 +5,26 @@
 // Usage:
 //
 //	serve -snapshot out.snap [-addr :8080] [-shards N] [-cache 4096]
+//	      [-batch-requests 32] [-batch-rows 256] [-batch-write-timeout 30s]
 //
 // Endpoints:
 //
-//	GET  /lookup?key=K     single-key lookup with provenance (LRU-cached)
-//	POST /autofill         {"column":[...], "examples":[{"left","right"}], "min_coverage":0.8}
-//	POST /autocorrect      {"column":[...], "min_each":2, "min_coverage":0.8}
-//	POST /autojoin         {"keys_a":[...], "keys_b":[...], "min_coverage":0.8}
-//	GET  /healthz          liveness + loaded snapshot metadata
-//	GET  /stats            request counts, latency percentiles, cache hit rate
-//	POST /reload           {"snapshot":"path"} — atomic snapshot hot reload
+//	GET  /lookup?key=K       single-key lookup with provenance (LRU-cached)
+//	POST /autofill           {"column":[...], "examples":[{"left","right"}], "min_coverage":0.8}
+//	POST /autocorrect        {"column":[...], "min_each":2, "min_coverage":0.8}
+//	POST /autojoin           {"keys_a":[...], "keys_b":[...], "min_coverage":0.8}
+//	POST /batch/autofill     NDJSON stream: one /autofill body per line (+optional "id")
+//	POST /batch/autocorrect  NDJSON stream: one /autocorrect body per line
+//	POST /batch/autojoin     NDJSON stream: one /autojoin body per line
+//	GET  /healthz            liveness + loaded snapshot metadata
+//	GET  /stats              request counts, latency percentiles, cache + batch limiter
+//	POST /reload             {"snapshot":"path"} — atomic snapshot hot reload
+//
+// The /batch/* endpoints answer NDJSON, one result line per input as it
+// completes, and are guarded by an admission limiter: -batch-requests bounds
+// concurrent batch requests (beyond it: 429 + Retry-After), -batch-rows
+// bounds concurrently computing rows across all batches (beyond it the
+// server stops reading request bodies — TCP backpressure). See docs/api.md.
 //
 // SIGHUP also hot-reloads the current snapshot path; SIGINT/SIGTERM drain
 // in-flight requests and exit.
@@ -27,6 +37,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"mapsynth/internal/corpusgen"
 	"mapsynth/internal/mapping"
@@ -39,6 +50,9 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	shards := flag.Int("shards", 0, "index shards; 0 = GOMAXPROCS")
 	cacheSize := flag.Int("cache", 4096, "lookup cache entries; 0 disables")
+	batchRequests := flag.Int("batch-requests", 32, "max concurrent /batch/* requests; beyond it 429")
+	batchRows := flag.Int("batch-rows", 256, "max concurrently computing batch rows across all requests")
+	batchWriteTimeout := flag.Duration("batch-write-timeout", 30*time.Second, "abandon a batch stream when the client reads nothing for this long")
 	rebuildProfile := flag.String("rebuild-profile", "", "enable POST /reload {\"rebuild\":true}: corpus profile (web or enterprise) to re-synthesize from")
 	rebuildSeed := flag.Int64("rebuild-seed", 42, "corpus seed for -rebuild-profile")
 	rebuildWorkers := flag.Int("rebuild-workers", 0, "pipeline workers for rebuilds; 0 = GOMAXPROCS")
@@ -76,10 +90,13 @@ func main() {
 		os.Exit(2)
 	}
 	srv, err := serve.New(serve.Options{
-		SnapshotPath: *snapPath,
-		Shards:       *shards,
-		CacheSize:    *cacheSize,
-		Rebuild:      rebuild,
+		SnapshotPath:      *snapPath,
+		Shards:            *shards,
+		CacheSize:         *cacheSize,
+		MaxBatchRequests:  *batchRequests,
+		MaxBatchRows:      *batchRows,
+		BatchWriteTimeout: *batchWriteTimeout,
+		Rebuild:           rebuild,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "serve: loading snapshot: %v\n", err)

@@ -4,8 +4,13 @@
 //
 // Usage:
 //
-//	synthesize [-profile web|enterprise] [-seed N] [-top K] [-min-domains D]
-//	           [-workers N] [-v] [-cpuprofile FILE] [-snapshot FILE]
+//	synthesize [-profile web|enterprise] [-seed N] [-corpus corpus.json]
+//	           [-top K] [-min-domains D] [-workers N] [-v]
+//	           [-cpuprofile FILE] [-snapshot FILE]
+//
+// By default the corpus is generated in-process; -corpus instead reads a
+// JSON corpus exported by cmd/corpusgen, making the full artifact loop
+// corpusgen -> synthesize -> serve -> loadgen explicit.
 //
 // It drives the staged internal/pipeline engine directly: -workers bounds
 // the shared worker pool across every stage, per-stage progress is printed
@@ -33,6 +38,7 @@ import (
 	"mapsynth/internal/curation"
 	"mapsynth/internal/pipeline"
 	"mapsynth/internal/snapshot"
+	"mapsynth/internal/table"
 )
 
 // main delegates to run so deferred cleanup (CPU profile flush, file
@@ -52,19 +58,37 @@ func run() int {
 	exportTSV := flag.String("o", "", "export synthesized mappings to this TSV file")
 	report := flag.String("report", "", "write a curation report (TSV) to this file")
 	snapPath := flag.String("snapshot", "", "write a binary snapshot for cmd/serve to this file")
+	corpusFile := flag.String("corpus", "", "read the corpus from this JSON file (written by cmd/corpusgen) instead of generating; -profile/-seed are then ignored")
 	flag.Parse()
 
-	var corpus *corpusgen.Corpus
-	switch *profile {
-	case "web":
-		corpus = corpusgen.GenerateWeb(corpusgen.Options{Seed: *seed})
-	case "enterprise":
-		corpus = corpusgen.GenerateEnterprise(corpusgen.Options{Seed: *seed})
-	default:
-		fmt.Fprintf(os.Stderr, "unknown profile %q\n", *profile)
-		return 2
+	var tables []*table.Table
+	if *corpusFile != "" {
+		f, err := os.Open(*corpusFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "synthesize: %v\n", err)
+			return 2
+		}
+		tables, err = corpusio.ReadTablesJSON(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "synthesize: %v\n", err)
+			return 2
+		}
+		fmt.Printf("corpus: %d tables (from %s)\n", len(tables), *corpusFile)
+	} else {
+		var corpus *corpusgen.Corpus
+		switch *profile {
+		case "web":
+			corpus = corpusgen.GenerateWeb(corpusgen.Options{Seed: *seed})
+		case "enterprise":
+			corpus = corpusgen.GenerateEnterprise(corpusgen.Options{Seed: *seed})
+		default:
+			fmt.Fprintf(os.Stderr, "unknown profile %q\n", *profile)
+			return 2
+		}
+		tables = corpus.Tables
+		fmt.Printf("corpus: %d tables (%s profile, seed %d)\n", len(tables), *profile, *seed)
 	}
-	fmt.Printf("corpus: %d tables (%s profile, seed %d)\n", len(corpus.Tables), *profile, *seed)
 
 	cfg := pipeline.DefaultConfig()
 	cfg.MinDomains = *minDomains
@@ -99,7 +123,7 @@ func run() int {
 				st.Name, st.Items, st.Produced, st.Duration.Round(1e5), st.PeakWorkers)
 		},
 	})
-	res, err := eng.Run(ctx, corpus.Tables)
+	res, err := eng.Run(ctx, tables)
 	// Restore default signal handling for the output phase: once the
 	// pipeline is done, Ctrl-C should kill the process normally instead of
 	// feeding an already-consumed context.

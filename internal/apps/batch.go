@@ -1,0 +1,180 @@
+package apps
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"sync"
+
+	"mapsynth/internal/index"
+	"mapsynth/internal/pool"
+)
+
+// The batch entry points are the bulk counterparts of AutoFill, AutoCorrect
+// and AutoJoin: a client filling a whole spreadsheet issues one batch over
+// many columns instead of one call per column. Results are element-wise
+// identical to issuing the single-column calls sequentially — the batch
+// layer only changes *how* the work runs:
+//
+//   - per-column work is spread across the shared worker pool, so a batch
+//     uses every core instead of one;
+//   - index lookups are deduplicated within the batch (CachedIndex):
+//     identical (column, parameters) queries share a single LookupLeft /
+//     MixedColumnHits scan, which is the dominant cost per column.
+//     Spreadsheet workloads repeat columns often (copies of sheets,
+//     repeated key columns), so this amortization is a real win, not a
+//     micro-optimization.
+
+// AutoFillQuery is one column of an AutoFillBatch, mirroring the arguments
+// of AutoFill.
+type AutoFillQuery struct {
+	Column      []string
+	Examples    []Example
+	MinCoverage float64
+}
+
+// AutoCorrectQuery is one column of an AutoCorrectBatch, mirroring the
+// arguments of AutoCorrect.
+type AutoCorrectQuery struct {
+	Column      []string
+	MinEach     int
+	MinCoverage float64
+}
+
+// AutoJoinQuery is one key-column pair of an AutoJoinBatch, mirroring the
+// arguments of AutoJoin.
+type AutoJoinQuery struct {
+	KeysA, KeysB []string
+	MinCoverage  float64
+}
+
+// AutoFillBatch runs AutoFill over every query, fanning per-column work out
+// on p (nil selects a GOMAXPROCS-bounded pool) and sharing index lookups
+// between identical columns. results[i] equals AutoFill(ix, queries[i]...)
+// exactly. On cancellation it returns ctx's error and a nil slice.
+func AutoFillBatch(ctx context.Context, ix Index, p *pool.Pool, queries []AutoFillQuery) ([]AutoFillResult, error) {
+	if p == nil {
+		p = pool.New(0)
+	}
+	cix := NewCachedIndex(ix)
+	out := make([]AutoFillResult, len(queries))
+	err := p.ForEach(ctx, len(queries), func(i int) {
+		q := queries[i]
+		out[i] = AutoFill(cix, q.Column, q.Examples, q.MinCoverage)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AutoCorrectBatch runs AutoCorrect over every query with the same pooling
+// and lookup sharing as AutoFillBatch. results[i] equals
+// AutoCorrect(ix, queries[i]...) exactly.
+func AutoCorrectBatch(ctx context.Context, ix Index, p *pool.Pool, queries []AutoCorrectQuery) ([]AutoCorrectResult, error) {
+	if p == nil {
+		p = pool.New(0)
+	}
+	cix := NewCachedIndex(ix)
+	out := make([]AutoCorrectResult, len(queries))
+	err := p.ForEach(ctx, len(queries), func(i int) {
+		q := queries[i]
+		out[i] = AutoCorrect(cix, q.Column, q.MinEach, q.MinCoverage)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AutoJoinBatch runs AutoJoin over every query. Lookup sharing keys on the
+// left key column (the side the index is consulted for), so joining one key
+// column against many target tables costs a single index scan. results[i]
+// equals AutoJoin(ix, queries[i]...) exactly.
+func AutoJoinBatch(ctx context.Context, ix Index, p *pool.Pool, queries []AutoJoinQuery) ([]AutoJoinResult, error) {
+	if p == nil {
+		p = pool.New(0)
+	}
+	cix := NewCachedIndex(ix)
+	out := make([]AutoJoinResult, len(queries))
+	err := p.ForEach(ctx, len(queries), func(i int) {
+		q := queries[i]
+		out[i] = AutoJoin(cix, q.KeysA, q.KeysB, q.MinCoverage)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// CachedIndex wraps an Index so that repeated identical queries cost one
+// underlying scan. It is what gives a batch its lookup amortization; the
+// serving layer wraps one around the sharded index per /batch/* request.
+// Safe for concurrent use; each distinct query computes exactly once even
+// under concurrent access. The cache only grows, so a CachedIndex is meant
+// to live for one batch, not for a process lifetime (the serving layer has
+// its own bounded LRU for that).
+type CachedIndex struct {
+	ix Index
+	mu sync.Mutex
+	m  map[string]*lookupEntry
+}
+
+type lookupEntry struct {
+	once sync.Once
+	hits []index.Hit
+}
+
+// NewCachedIndex returns an empty per-batch cache over ix.
+func NewCachedIndex(ix Index) *CachedIndex {
+	return &CachedIndex{ix: ix, m: make(map[string]*lookupEntry)}
+}
+
+// LookupLeft answers exactly like the wrapped index, computing each
+// distinct (values, minCoverage) query once. The returned hit slice is
+// shared between identical queries and must be treated as read-only —
+// which all application helpers do.
+func (c *CachedIndex) LookupLeft(values []string, minCoverage float64) []index.Hit {
+	return c.hits(queryKey('L', values, 0, minCoverage), func() []index.Hit {
+		return c.ix.LookupLeft(values, minCoverage)
+	})
+}
+
+// MixedColumnHits answers exactly like the wrapped index, computing each
+// distinct (values, minEach, minCoverage) query once.
+func (c *CachedIndex) MixedColumnHits(values []string, minEach int, minCoverage float64) []index.Hit {
+	return c.hits(queryKey('M', values, minEach, minCoverage), func() []index.Hit {
+		return c.ix.MixedColumnHits(values, minEach, minCoverage)
+	})
+}
+
+func (c *CachedIndex) hits(key string, compute func() []index.Hit) []index.Hit {
+	c.mu.Lock()
+	e := c.m[key]
+	if e == nil {
+		e = &lookupEntry{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.hits = compute() })
+	return e.hits
+}
+
+// queryKey builds an injective cache key: a tag byte separating the two
+// lookup kinds, the parameters, then each value length-prefixed. The
+// length prefixes make the encoding unambiguous for arbitrary byte
+// content — no separator to collide with.
+func queryKey(tag byte, values []string, minEach int, minCoverage float64) string {
+	var b strings.Builder
+	b.WriteByte(tag)
+	b.WriteString(strconv.Itoa(minEach))
+	b.WriteByte(':')
+	b.WriteString(strconv.FormatFloat(minCoverage, 'g', -1, 64))
+	for _, v := range values {
+		b.WriteByte(':')
+		b.WriteString(strconv.Itoa(len(v)))
+		b.WriteByte(':')
+		b.WriteString(v)
+	}
+	return b.String()
+}

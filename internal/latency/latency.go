@@ -1,0 +1,70 @@
+// Package latency provides the power-of-two-bucket latency histogram
+// shared by the serving layer's /stats and by the load generator's
+// reports. The two sides of a measurement must bucket identically for
+// their numbers to be comparable, so there is exactly one implementation.
+package latency
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Histogram approximates latency percentiles with power-of-two microsecond
+// buckets (bucket i covers [2^i, 2^(i+1)) µs). Observation is a single
+// atomic increment, so hot paths never take a lock; percentile reads walk
+// 40 counters and report the upper bound of the containing bucket, which
+// is plenty for dashboards and reports.
+type Histogram struct {
+	buckets [40]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // total microseconds, for the mean
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	b := 0
+	for v := us; v > 1 && b < len(h.buckets)-1; v >>= 1 {
+		b++
+	}
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	h.sum.Add(us)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Percentile returns the latency below which fraction p of observations
+// fall, as the upper bound of the matched bucket. Zero observations report
+// zero.
+func (h *Histogram) Percentile(p float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(p*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			return time.Duration(int64(1)<<(i+1)) * time.Microsecond
+		}
+	}
+	return time.Duration(int64(1)<<len(h.buckets)) * time.Microsecond
+}
+
+// Mean returns the average observed latency.
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load()/n) * time.Microsecond
+}

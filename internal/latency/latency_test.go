@@ -1,0 +1,38 @@
+package latency
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	if h.Percentile(0.99) != 0 || h.Mean() != 0 {
+		t.Error("empty histogram must report zero")
+	}
+	for i := 0; i < 90; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(10 * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	// 100µs lands in [64µs, 128µs) → upper bound 128µs.
+	if got := h.Percentile(0.50); got != 128*time.Microsecond {
+		t.Errorf("p50 = %v, want 128µs", got)
+	}
+	// The p99 must land in the 10ms bucket: [8192µs, 16384µs) → 16384µs.
+	if got := h.Percentile(0.99); got != 16384*time.Microsecond {
+		t.Errorf("p99 = %v, want 16.384ms", got)
+	}
+	wantMean := (90*100 + 10*10000) / 100 // µs
+	if got := h.Mean(); got != time.Duration(wantMean)*time.Microsecond {
+		t.Errorf("mean = %v, want %dµs", got, wantMean)
+	}
+	h.Observe(-time.Second) // clamped, must not panic or corrupt
+	if h.Count() != 101 {
+		t.Errorf("count after clamp = %d", h.Count())
+	}
+}

@@ -1,0 +1,435 @@
+// Package loadgen is a closed-loop HTTP load generator for the mapping
+// service: a fixed set of workers issues a configurable mix of single-column
+// and streaming-batch requests against a running cmd/serve, optionally paced
+// to a target aggregate QPS, and reports counts, throttling and latency
+// percentiles as JSON. It exists so throughput claims about the serving
+// layer are measurable and repeatable (cmd/loadgen is the CLI wrapper).
+//
+// Closed-loop means each worker waits for its current request to finish
+// before issuing the next one, so the generator can never outrun the server
+// by more than Concurrency in-flight requests; with TargetQPS set, a shared
+// pacer additionally caps the aggregate issue rate. 429 responses from the
+// server's batch limiter are counted as throttled, not as errors — they are
+// the backpressure contract working as designed.
+package loadgen
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"mapsynth/internal/latency"
+)
+
+// Op names accepted in Config.Mix.
+const (
+	OpLookup           = "lookup"
+	OpAutoFill         = "autofill"
+	OpAutoCorrect      = "autocorrect"
+	OpAutoJoin         = "autojoin"
+	OpBatchAutoFill    = "batch-autofill"
+	OpBatchAutoCorrect = "batch-autocorrect"
+	OpBatchAutoJoin    = "batch-autojoin"
+)
+
+// DefaultMix exercises every endpoint, weighted toward the cheap single
+// lookups the way interactive traffic is.
+func DefaultMix() map[string]int {
+	return map[string]int{
+		OpLookup:           4,
+		OpAutoFill:         2,
+		OpAutoCorrect:      1,
+		OpAutoJoin:         1,
+		OpBatchAutoFill:    1,
+		OpBatchAutoCorrect: 1,
+		OpBatchAutoJoin:    1,
+	}
+}
+
+// Config parameterizes a load-generation run.
+type Config struct {
+	// BaseURL is the server root, e.g. "http://localhost:8080".
+	BaseURL string
+	// Duration bounds the run; <= 0 selects 10s.
+	Duration time.Duration
+	// TargetQPS paces aggregate request issue; <= 0 runs unpaced (each
+	// worker issues as fast as responses return).
+	TargetQPS float64
+	// Concurrency is the closed-loop worker count; <= 0 selects 8.
+	Concurrency int
+	// Mix maps op names to relative weights; empty selects DefaultMix.
+	Mix map[string]int
+	// BatchSize is the number of NDJSON lines per batch request; <= 0
+	// selects 16.
+	BatchSize int
+	// Seed makes the generated request sequence reproducible.
+	Seed int64
+	// Client overrides the HTTP client (tests inject the httptest client).
+	Client *http.Client
+}
+
+// OpReport is the per-op slice of a Report.
+type OpReport struct {
+	// Count is the number of requests issued (including throttled ones).
+	Count int64 `json:"count"`
+	// Errors counts transport failures, unexpected statuses, and batch
+	// streams with error lines or a missing trailer.
+	Errors int64 `json:"errors"`
+	// Throttled counts 429 responses — backpressure, not failure.
+	Throttled int64 `json:"throttled"`
+	// Rows is the total NDJSON result lines received (batch ops only).
+	Rows   int64   `json:"rows,omitempty"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+}
+
+// Report is the JSON output of a run.
+type Report struct {
+	DurationSeconds float64             `json:"duration_s"`
+	TargetQPS       float64             `json:"target_qps"`
+	AchievedQPS     float64             `json:"achieved_qps"`
+	Concurrency     int                 `json:"concurrency"`
+	BatchSize       int                 `json:"batch_size"`
+	Requests        int64               `json:"requests"`
+	Errors          int64               `json:"errors"`
+	Throttled       int64               `json:"throttled"`
+	Ops             map[string]OpReport `json:"ops"`
+}
+
+// opMetrics accumulates one op's counters across workers. The latency
+// histogram is the same implementation the server's /stats uses
+// (internal/latency), so the two sides of a run report comparable
+// percentiles.
+type opMetrics struct {
+	count     int64
+	errors    int64
+	throttled int64
+	rows      int64
+	lat       latency.Histogram
+	mu        sync.Mutex
+}
+
+func (m *opMetrics) observe(d time.Duration, rows int64, throttled, failed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.count++
+	m.rows += rows
+	switch {
+	case throttled:
+		m.throttled++
+	case failed:
+		m.errors++
+	}
+	m.lat.Observe(d)
+}
+
+// Run drives the configured workload until ctx is done or cfg.Duration
+// elapses, whichever is first, and returns the aggregate report. A non-2xx
+// response other than 429, a malformed batch stream, or a transport error
+// all count as errors; the run itself only fails on misconfiguration.
+func Run(ctx context.Context, cfg Config, wl *Workload) (*Report, error) {
+	if cfg.BaseURL == "" {
+		return nil, errors.New("loadgen: BaseURL is required")
+	}
+	if wl == nil || len(wl.cols) == 0 {
+		return nil, errors.New("loadgen: empty workload")
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 10 * time.Second
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 8
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 16
+	}
+	if len(cfg.Mix) == 0 {
+		cfg.Mix = DefaultMix()
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	picker, err := newOpPicker(cfg.Mix)
+	if err != nil {
+		return nil, err
+	}
+
+	ctx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+
+	// The pacer hands out one token per request when TargetQPS is set.
+	// Closed-loop workers block on it, so a slow server receives fewer
+	// requests than the target rather than an unbounded backlog.
+	var tokens chan struct{}
+	if cfg.TargetQPS > 0 {
+		tokens = make(chan struct{})
+		interval := time.Duration(float64(time.Second) / cfg.TargetQPS)
+		go func() {
+			next := time.Now()
+			for {
+				if d := time.Until(next); d > 0 {
+					select {
+					case <-time.After(d):
+					case <-ctx.Done():
+						return
+					}
+				}
+				select {
+				case tokens <- struct{}{}:
+				case <-ctx.Done():
+					return
+				}
+				next = next.Add(interval)
+			}
+		}()
+	}
+
+	metrics := make(map[string]*opMetrics, len(cfg.Mix))
+	for op := range cfg.Mix {
+		metrics[op] = &opMetrics{}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
+			for {
+				if tokens != nil {
+					select {
+					case <-tokens:
+					case <-ctx.Done():
+						return
+					}
+				} else if ctx.Err() != nil {
+					return
+				}
+				op := picker.pick(rng)
+				t0 := time.Now()
+				rows, throttled, failed := issue(ctx, client, cfg, wl, rng, op)
+				if ctx.Err() != nil && failed {
+					// The deadline tore the request down mid-flight; that is
+					// the run ending, not a server error.
+					return
+				}
+				metrics[op].observe(time.Since(t0), rows, throttled, failed)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &Report{
+		DurationSeconds: elapsed.Seconds(),
+		TargetQPS:       cfg.TargetQPS,
+		Concurrency:     cfg.Concurrency,
+		BatchSize:       cfg.BatchSize,
+		Ops:             make(map[string]OpReport, len(metrics)),
+	}
+	for op, m := range metrics {
+		ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+		rep.Ops[op] = OpReport{
+			Count:     m.count,
+			Errors:    m.errors,
+			Throttled: m.throttled,
+			Rows:      m.rows,
+			MeanMs:    ms(m.lat.Mean()),
+			P50Ms:     ms(m.lat.Percentile(0.50)),
+			P95Ms:     ms(m.lat.Percentile(0.95)),
+			P99Ms:     ms(m.lat.Percentile(0.99)),
+		}
+		rep.Requests += m.count
+		rep.Errors += m.errors
+		rep.Throttled += m.throttled
+	}
+	if elapsed > 0 {
+		rep.AchievedQPS = float64(rep.Requests) / elapsed.Seconds()
+	}
+	return rep, nil
+}
+
+// issue sends one request of the given op and classifies the outcome.
+func issue(ctx context.Context, client *http.Client, cfg Config, wl *Workload, rng *rand.Rand, op string) (rows int64, throttled, failed bool) {
+	switch op {
+	case OpLookup:
+		resp, err := get(ctx, client, cfg.BaseURL+"/lookup?key="+wl.lookupKey(rng))
+		throttled, failed = classify(resp, err)
+		return 0, throttled, failed
+	case OpAutoFill:
+		throttled, failed = post(ctx, client, cfg.BaseURL+"/autofill", wl.autoFillBody(rng))
+		return 0, throttled, failed
+	case OpAutoCorrect:
+		throttled, failed = post(ctx, client, cfg.BaseURL+"/autocorrect", wl.autoCorrectBody(rng))
+		return 0, throttled, failed
+	case OpAutoJoin:
+		throttled, failed = post(ctx, client, cfg.BaseURL+"/autojoin", wl.autoJoinBody(rng))
+		return 0, throttled, failed
+	case OpBatchAutoFill:
+		return postBatch(ctx, client, cfg.BaseURL+"/batch/autofill", wl.autoFillBody, rng, cfg.BatchSize)
+	case OpBatchAutoCorrect:
+		return postBatch(ctx, client, cfg.BaseURL+"/batch/autocorrect", wl.autoCorrectBody, rng, cfg.BatchSize)
+	case OpBatchAutoJoin:
+		return postBatch(ctx, client, cfg.BaseURL+"/batch/autojoin", wl.autoJoinBody, rng, cfg.BatchSize)
+	}
+	return 0, false, true
+}
+
+func get(ctx context.Context, client *http.Client, url string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	return client.Do(req)
+}
+
+// classify drains and closes the response, mapping it to (throttled,
+// failed).
+func classify(resp *http.Response, err error) (throttled, failed bool) {
+	if err != nil {
+		return false, true
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests:
+		return true, false
+	case resp.StatusCode != http.StatusOK:
+		return false, true
+	}
+	return false, false
+}
+
+func post(ctx context.Context, client *http.Client, url string, body []byte) (throttled, failed bool) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return false, true
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return classify(client.Do(req))
+}
+
+// postBatch sends n NDJSON lines built by bodyFn and validates the response
+// stream: every line must parse, the final line must be a done trailer
+// reporting n clean results. Anything less is an error — the generator is
+// also a protocol conformance check.
+func postBatch(ctx context.Context, client *http.Client, url string, bodyFn func(*rand.Rand) []byte, rng *rand.Rand, n int) (rows int64, throttled, failed bool) {
+	var body bytes.Buffer
+	for i := 0; i < n; i++ {
+		var line map[string]any
+		if err := json.Unmarshal(bodyFn(rng), &line); err != nil {
+			return 0, false, true
+		}
+		line["id"] = fmt.Sprintf("r%d", i)
+		b, err := json.Marshal(line)
+		if err != nil {
+			return 0, false, true
+		}
+		body.Write(b)
+		body.WriteByte('\n')
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body.Bytes()))
+	if err != nil {
+		return 0, false, true
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, false, true
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		io.Copy(io.Discard, resp.Body)
+		return 0, true, false
+	}
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return 0, false, true
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 16<<20)
+	var last map[string]any
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		last = nil
+		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+			return rows, false, true
+		}
+		rows++
+	}
+	if sc.Err() != nil || last == nil {
+		return rows, false, true
+	}
+	rows-- // the trailer is not a result line
+	done, _ := last["done"].(bool)
+	results, _ := last["results"].(float64)
+	errCount, _ := last["errors"].(float64)
+	if !done || int(results) != n || errCount != 0 {
+		return rows, false, true
+	}
+	return rows, false, false
+}
+
+// opPicker selects ops by cumulative weight.
+type opPicker struct {
+	ops []string
+	cum []int
+	sum int
+}
+
+func newOpPicker(mix map[string]int) (*opPicker, error) {
+	valid := map[string]bool{
+		OpLookup: true, OpAutoFill: true, OpAutoCorrect: true, OpAutoJoin: true,
+		OpBatchAutoFill: true, OpBatchAutoCorrect: true, OpBatchAutoJoin: true,
+	}
+	p := &opPicker{}
+	ops := make([]string, 0, len(mix))
+	for op := range mix {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops) // deterministic pick order for a given seed
+	for _, op := range ops {
+		w := mix[op]
+		if !valid[op] {
+			return nil, fmt.Errorf("loadgen: unknown op %q in mix", op)
+		}
+		if w < 0 {
+			return nil, fmt.Errorf("loadgen: negative weight for op %q", op)
+		}
+		if w == 0 {
+			continue
+		}
+		p.sum += w
+		p.ops = append(p.ops, op)
+		p.cum = append(p.cum, p.sum)
+	}
+	if p.sum == 0 {
+		return nil, errors.New("loadgen: mix has no positive weights")
+	}
+	return p, nil
+}
+
+func (p *opPicker) pick(rng *rand.Rand) string {
+	r := rng.Intn(p.sum)
+	for i, c := range p.cum {
+		if r < c {
+			return p.ops[i]
+		}
+	}
+	return p.ops[len(p.ops)-1]
+}

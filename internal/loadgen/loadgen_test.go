@@ -1,0 +1,238 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"mapsynth/internal/corpusgen"
+	"mapsynth/internal/mapping"
+	"mapsynth/internal/pipeline"
+	"mapsynth/internal/serve"
+	"mapsynth/internal/snapshot"
+	"mapsynth/internal/table"
+)
+
+func testMappings() []*mapping.Mapping {
+	var maps []*mapping.Mapping
+	for mi := 0; mi < 10; mi++ {
+		ls := make([]string, 12)
+		rs := make([]string, 12)
+		for i := range ls {
+			ls[i] = fmt.Sprintf("left %d %d", mi, i)
+			rs[i] = fmt.Sprintf("right %d %d", mi, i)
+		}
+		var bts []*table.BinaryTable
+		for t := 0; t < 3; t++ {
+			bts = append(bts, table.NewBinaryTable(mi*10+t, mi*10+t,
+				fmt.Sprintf("dom%d.example", t), "l", "r", ls, rs))
+		}
+		maps = append(maps, mapping.Build(mi, bts))
+	}
+	return maps
+}
+
+func TestWorkloadBodies(t *testing.T) {
+	wl, err := NewWorkload(testMappings())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wl.Mappings() != 10 {
+		t.Fatalf("usable mappings = %d", wl.Mappings())
+	}
+	rng := rand.New(rand.NewSource(1))
+	if k := wl.lookupKey(rng); k == "" {
+		t.Error("empty lookup key")
+	}
+	for _, body := range [][]byte{wl.autoFillBody(rng), wl.autoCorrectBody(rng), wl.autoJoinBody(rng)} {
+		if len(body) == 0 {
+			t.Error("empty request body")
+		}
+	}
+}
+
+func TestMixValidation(t *testing.T) {
+	if _, err := newOpPicker(map[string]int{"nope": 1}); err == nil {
+		t.Error("unknown op accepted")
+	}
+	if _, err := newOpPicker(map[string]int{OpLookup: 0}); err == nil {
+		t.Error("all-zero mix accepted")
+	}
+	if _, err := newOpPicker(map[string]int{OpLookup: -1}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	p, err := newOpPicker(map[string]int{OpLookup: 1, OpAutoFill: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	counts := map[string]int{}
+	for i := 0; i < 4000; i++ {
+		counts[p.pick(rng)]++
+	}
+	if counts[OpAutoFill] < 2*counts[OpLookup] {
+		t.Errorf("weights not respected: %v", counts)
+	}
+}
+
+// TestRunMixedWorkload drives every op against a real server over HTTP and
+// requires a clean report: all ops issued, zero errors, batch rows counted.
+func TestRunMixedWorkload(t *testing.T) {
+	maps := testMappings()
+	srv := serve.NewFromMappings(maps, serve.Options{Shards: 2, CacheSize: 64})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	wl, err := NewWorkload(maps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), Config{
+		BaseURL:     ts.URL,
+		Duration:    400 * time.Millisecond,
+		Concurrency: 4,
+		BatchSize:   4,
+		Seed:        1,
+		Client:      ts.Client(),
+	}, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("errors = %d: %+v", rep.Errors, rep.Ops)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("no requests issued")
+	}
+	for _, op := range []string{OpLookup, OpAutoFill, OpBatchAutoFill, OpBatchAutoJoin} {
+		if rep.Ops[op].Count == 0 {
+			t.Errorf("op %s never ran: %+v", op, rep.Ops)
+		}
+	}
+	if got := rep.Ops[OpBatchAutoFill]; got.Rows != got.Count*4 {
+		t.Errorf("batch-autofill rows = %d, want %d (4 per batch)", got.Rows, got.Count*4)
+	}
+	if rep.AchievedQPS <= 0 {
+		t.Errorf("achieved qps = %v", rep.AchievedQPS)
+	}
+}
+
+// TestRunPaced checks the QPS pacer actually limits the issue rate.
+func TestRunPaced(t *testing.T) {
+	maps := testMappings()
+	srv := serve.NewFromMappings(maps, serve.Options{Shards: 1, CacheSize: 64})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	wl, err := NewWorkload(maps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), Config{
+		BaseURL:     ts.URL,
+		Duration:    500 * time.Millisecond,
+		TargetQPS:   40,
+		Concurrency: 4,
+		Mix:         map[string]int{OpLookup: 1},
+		Client:      ts.Client(),
+	}, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~20 requests expected at 40 QPS over 0.5s; allow generous slack for
+	// scheduler noise but catch an unpaced flood (thousands).
+	if rep.Requests > 40 {
+		t.Errorf("paced run issued %d requests, want ≈20", rep.Requests)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("errors = %d", rep.Errors)
+	}
+}
+
+// TestRunCountsThrottlingNotErrors saturates a tiny batch limiter and
+// checks 429s land in Throttled, keeping the report clean of errors.
+func TestRunCountsThrottlingNotErrors(t *testing.T) {
+	maps := testMappings()
+	srv := serve.NewFromMappings(maps, serve.Options{
+		Shards: 1, MaxBatchRequests: 1, MaxBatchRows: 1,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	wl, err := NewWorkload(maps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), Config{
+		BaseURL:     ts.URL,
+		Duration:    300 * time.Millisecond,
+		Concurrency: 8,
+		BatchSize:   8,
+		Mix:         map[string]int{OpBatchAutoFill: 1},
+		Client:      ts.Client(),
+	}, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("errors = %d, want 0 (429s are throttling)", rep.Errors)
+	}
+	if rep.Throttled == 0 {
+		t.Error("8 workers against a 1-request limiter never throttled")
+	}
+}
+
+// TestFullLoopSeedCorpus is the acceptance run in miniature: synthesize the
+// seed web corpus, persist a snapshot, serve it, and drive a mixed
+// single/batch workload — zero errors expected end to end.
+func TestFullLoopSeedCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline run")
+	}
+	corpus := corpusgen.GenerateWeb(corpusgen.Options{Seed: 42})
+	cfg := pipeline.DefaultConfig()
+	cfg.MinDomains = 2
+	res, err := pipeline.New(cfg).Run(context.Background(), corpus.Tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapPath := filepath.Join(t.TempDir(), "seed.snap")
+	if err := snapshot.WriteFile(snapPath, res.Mappings); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := serve.New(serve.Options{SnapshotPath: snapPath, Shards: 2, CacheSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	maps, err := snapshot.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := NewWorkload(maps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), Config{
+		BaseURL:     ts.URL,
+		Duration:    time.Second,
+		Concurrency: 4,
+		BatchSize:   8,
+		Seed:        42,
+		Client:      ts.Client(),
+	}, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("full loop errors = %d: %+v", rep.Errors, rep.Ops)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("no requests issued")
+	}
+	t.Logf("full loop: %d requests at %.0f req/s, %d throttled", rep.Requests, rep.AchievedQPS, rep.Throttled)
+}

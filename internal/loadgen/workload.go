@@ -1,0 +1,113 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"net/url"
+
+	"mapsynth/internal/mapping"
+)
+
+// Workload is the query material for a run, derived from the same mapping
+// set the server is serving (cmd/loadgen reads the snapshot file) so
+// generated lookups genuinely hit the index instead of measuring the
+// miss path only.
+type Workload struct {
+	cols []mappingCols
+}
+
+// mappingCols is one mapping's value material: parallel left/right columns.
+type mappingCols struct {
+	lefts  []string
+	rights []string
+}
+
+// maxColumnValues caps generated column lengths so one giant mapping does
+// not dominate request sizes.
+const maxColumnValues = 16
+
+// NewWorkload derives query material from a mapping set, keeping mappings
+// with at least four value pairs (enough to build a meaningful column).
+func NewWorkload(maps []*mapping.Mapping) (*Workload, error) {
+	wl := &Workload{}
+	for _, m := range maps {
+		if len(m.Pairs) < 4 {
+			continue
+		}
+		n := len(m.Pairs)
+		if n > maxColumnValues {
+			n = maxColumnValues
+		}
+		mc := mappingCols{
+			lefts:  make([]string, 0, n),
+			rights: make([]string, 0, n),
+		}
+		for _, p := range m.Pairs[:n] {
+			mc.lefts = append(mc.lefts, p.L)
+			mc.rights = append(mc.rights, p.R)
+		}
+		wl.cols = append(wl.cols, mc)
+	}
+	if len(wl.cols) == 0 {
+		return nil, errors.New("loadgen: no mapping has enough pairs to query")
+	}
+	return wl, nil
+}
+
+// Mappings reports how many mappings contribute query material.
+func (wl *Workload) Mappings() int { return len(wl.cols) }
+
+func (wl *Workload) random(rng *rand.Rand) mappingCols {
+	return wl.cols[rng.Intn(len(wl.cols))]
+}
+
+// lookupKey returns a URL-escaped left value of a random mapping.
+func (wl *Workload) lookupKey(rng *rand.Rand) string {
+	mc := wl.random(rng)
+	return url.QueryEscape(mc.lefts[rng.Intn(len(mc.lefts))])
+}
+
+// autoFillBody builds an /autofill request: a left column of one mapping
+// with that mapping's own first pair as the demonstration example.
+func (wl *Workload) autoFillBody(rng *rand.Rand) []byte {
+	mc := wl.random(rng)
+	b, _ := json.Marshal(map[string]any{
+		"column": mc.lefts,
+		"examples": []map[string]string{
+			{"left": mc.lefts[0], "right": mc.rights[0]},
+		},
+		"min_coverage": 0.8,
+	})
+	return b
+}
+
+// autoCorrectBody builds an /autocorrect request: a column that is mostly
+// left values with a minority of right values mixed in — the
+// inconsistent-representation shape the app detects.
+func (wl *Workload) autoCorrectBody(rng *rand.Rand) []byte {
+	mc := wl.random(rng)
+	split := len(mc.lefts) / 2
+	if minority := len(mc.lefts) - split; minority > split {
+		split = minority
+	}
+	column := append(append([]string{}, mc.lefts[:split]...), mc.rights[split:]...)
+	b, _ := json.Marshal(map[string]any{
+		"column":       column,
+		"min_each":     2,
+		"min_coverage": 0.8,
+	})
+	return b
+}
+
+// autoJoinBody builds an /autojoin request joining a mapping's left column
+// against its right column — the representation bridge the app resolves.
+func (wl *Workload) autoJoinBody(rng *rand.Rand) []byte {
+	mc := wl.random(rng)
+	b, _ := json.Marshal(map[string]any{
+		"keys_a":       mc.lefts,
+		"keys_b":       mc.rights,
+		"min_coverage": 0.8,
+	})
+	return b
+}

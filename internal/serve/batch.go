@@ -1,0 +1,328 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"mapsynth/internal/apps"
+)
+
+// The /batch/* endpoints are the bulk counterparts of the single-column
+// application endpoints. Requests and responses are both NDJSON streams:
+// the client sends one JSON object per line (the same schema as the single
+// endpoint, plus an optional "id" echoed back), and the server answers with
+// one JSON line per input as each column completes — results appear in
+// completion order, tagged with the zero-based input "index", so a slow
+// column never blocks the lines behind it and the server holds no
+// whole-batch buffer in either direction. A final trailer line
+// {"done":true,...} closes every stream, which is how clients distinguish
+// "all answers arrived" from a severed connection.
+//
+// Admission control: the batchLimiter rejects requests beyond the request
+// bound with 429 + Retry-After, and pauses body decoding at the row bound
+// so overload turns into TCP backpressure instead of dropped work.
+
+// batchErrorLine reports one input line that could not be answered: a
+// malformed JSON line (which also ends decoding — NDJSON cannot be resynced
+// after a syntax error) or a validation failure.
+type batchErrorLine struct {
+	Index int    `json:"index"`
+	ID    string `json:"id,omitempty"`
+	Error string `json:"error"`
+}
+
+// batchTrailer is the final line of every batch response stream.
+type batchTrailer struct {
+	Done bool `json:"done"`
+	// Results counts per-input lines emitted (answers plus error lines).
+	Results int `json:"results"`
+	// Errors counts the error lines among them.
+	Errors int `json:"errors"`
+	// Truncated reports that the request body was abandoned before EOF
+	// (malformed line or client disconnect); absent on clean streams.
+	Truncated bool `json:"truncated,omitempty"`
+}
+
+type batchFillRequest struct {
+	ID string `json:"id"`
+	autoFillRequest
+}
+
+type batchFillLine struct {
+	Index int    `json:"index"`
+	ID    string `json:"id,omitempty"`
+	autoFillResponse
+}
+
+type batchCorrectRequest struct {
+	ID string `json:"id"`
+	autoCorrectRequest
+}
+
+type batchCorrectLine struct {
+	Index int    `json:"index"`
+	ID    string `json:"id,omitempty"`
+	autoCorrectResponse
+}
+
+type batchJoinRequest struct {
+	ID string `json:"id"`
+	autoJoinRequest
+}
+
+type batchJoinLine struct {
+	Index int    `json:"index"`
+	ID    string `json:"id,omitempty"`
+	autoJoinResponse
+}
+
+func (s *Server) handleBatchAutoFill(w http.ResponseWriter, r *http.Request) bool {
+	return streamBatch(s, w, r, func(st *State, ix apps.Index, i int, req batchFillRequest) (any, bool) {
+		resp, errMsg := autoFillCompute(st, ix, req.autoFillRequest)
+		if errMsg != "" {
+			return batchErrorLine{Index: i, ID: req.ID, Error: errMsg}, false
+		}
+		return batchFillLine{Index: i, ID: req.ID, autoFillResponse: resp}, true
+	})
+}
+
+func (s *Server) handleBatchAutoCorrect(w http.ResponseWriter, r *http.Request) bool {
+	return streamBatch(s, w, r, func(st *State, ix apps.Index, i int, req batchCorrectRequest) (any, bool) {
+		resp, errMsg := autoCorrectCompute(st, ix, req.autoCorrectRequest)
+		if errMsg != "" {
+			return batchErrorLine{Index: i, ID: req.ID, Error: errMsg}, false
+		}
+		return batchCorrectLine{Index: i, ID: req.ID, autoCorrectResponse: resp}, true
+	})
+}
+
+func (s *Server) handleBatchAutoJoin(w http.ResponseWriter, r *http.Request) bool {
+	return streamBatch(s, w, r, func(st *State, ix apps.Index, i int, req batchJoinRequest) (any, bool) {
+		resp, errMsg := autoJoinCompute(st, ix, req.autoJoinRequest)
+		if errMsg != "" {
+			return batchErrorLine{Index: i, ID: req.ID, Error: errMsg}, false
+		}
+		return batchJoinLine{Index: i, ID: req.ID, autoJoinResponse: resp}, true
+	})
+}
+
+// streamBatch is the shared driver: admission control, incremental decode,
+// bounded fan-out, and the single-writer response stream. handle answers
+// one input line against the pinned state and the per-request caching
+// index; its bool reports success (false lines are counted as errors in
+// the limiter and trailer).
+func streamBatch[Req any](s *Server, w http.ResponseWriter, r *http.Request, handle func(st *State, ix apps.Index, i int, req Req) (any, bool)) bool {
+	if r.Method != http.MethodPost {
+		return writeError(w, http.StatusMethodNotAllowed, "POST required")
+	}
+	if !s.batch.tryAcquireRequest() {
+		w.Header().Set("Retry-After", "1")
+		return writeError(w, http.StatusTooManyRequests, "batch capacity saturated, retry later")
+	}
+	defer s.batch.releaseRequest()
+
+	// Pin the state once: every line of one batch answers against the same
+	// snapshot even if a reload lands mid-stream. The caching wrapper gives
+	// this request the within-batch lookup amortization of the apps batch
+	// API: identical columns across lines share one shard scan.
+	st := s.state.Load()
+	cix := apps.NewCachedIndex(st.Index)
+	// The stream context also covers writer health: when the response side
+	// dies (client stopped reading past BatchWriteTimeout), cancelling it
+	// makes the decoder stop admitting rows and in-flight workers drop
+	// their lines, so their limiter slots free promptly instead of staying
+	// pinned by one stalled connection.
+	ctx, cancelStream := context.WithCancel(r.Context())
+	defer cancelStream()
+
+	// HTTP/1 servers close the request body at the first response flush
+	// unless full duplex is enabled; this handler reads and writes
+	// concurrently by design. Errors (e.g. recorders in tests, HTTP/2
+	// where duplex is native) are ignorable.
+	rc := http.NewResponseController(w)
+	rc.EnableFullDuplex()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	type line struct {
+		v      any
+		failed bool
+	}
+	results := make(chan line)
+	// decodeFail carries at most one terminal decoder problem; emitted
+	// after all in-flight rows have answered.
+	decodeFail := make(chan batchErrorLine, 1)
+	go func() {
+		defer close(results)
+		var wg sync.WaitGroup
+		defer wg.Wait()
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBatchBodyBytes))
+		dec.DisallowUnknownFields()
+		for i := 0; ; i++ {
+			var req Req
+			if err := dec.Decode(&req); err != nil {
+				if !errors.Is(err, io.EOF) {
+					decodeFail <- batchErrorLine{Index: i, Error: "bad request line: " + err.Error()}
+				}
+				return
+			}
+			// The row bound is enforced here, before the next line is even
+			// read: saturation stalls the decoder, not the answer stream.
+			if s.batch.acquireRow(ctx) != nil {
+				decodeFail <- batchErrorLine{Index: i, Error: "request cancelled"}
+				return
+			}
+			wg.Add(1)
+			go func(i int, req Req) {
+				defer wg.Done()
+				v, ok := answerRow(st, cix, i, req, handle)
+				// Hand the line to the writer before releasing the row
+				// slot: a client that reads its response slowly must hold
+				// its slots, or the row bound would not actually bound the
+				// completed-but-unwritten rows a slow reader can pile up.
+				select {
+				case results <- line{v, !ok}:
+				case <-ctx.Done():
+				}
+				s.batch.releaseRow(!ok)
+			}(i, req)
+		}
+	}()
+
+	enc := json.NewEncoder(w)
+	writeAlive := true
+	writeLine := func(v any) {
+		if !writeAlive {
+			return
+		}
+		// A client that stops reading stalls this write; the deadline
+		// turns that stall into a dead stream so the cancel above frees
+		// the rows (and their global limiter slots) this request holds.
+		rc.SetWriteDeadline(time.Now().Add(s.opts.BatchWriteTimeout))
+		if err := enc.Encode(v); err != nil {
+			writeAlive = false
+			cancelStream()
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	trailer := batchTrailer{Done: true}
+	for ln := range results {
+		writeLine(ln.v)
+		trailer.Results++
+		if ln.failed {
+			trailer.Errors++
+		}
+	}
+	select {
+	case fail := <-decodeFail:
+		writeLine(fail)
+		trailer.Results++
+		trailer.Errors++
+		trailer.Truncated = true
+	default:
+	}
+	writeLine(trailer)
+	return trailer.Errors == 0 && !trailer.Truncated && writeAlive
+}
+
+// answerRow runs handle for one input line, converting a panic into an
+// error line instead of letting it kill the process: row work runs on
+// goroutines the HTTP server's per-connection panic recovery does not
+// cover, and one poisoned input must cost one row, not the whole service.
+func answerRow[Req any](st *State, ix apps.Index, i int, req Req, handle func(*State, apps.Index, int, Req) (any, bool)) (v any, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			v, ok = batchErrorLine{Index: i, Error: fmt.Sprintf("internal error answering row: %v", r)}, false
+		}
+	}()
+	return handle(st, ix, i, req)
+}
+
+// ---- shared single-column compute paths ----
+//
+// Each compute function answers one column against a pinned state and is
+// shared verbatim by the single-request handler and the batch stream, so
+// the two surfaces cannot drift. ix is the lookup surface to use — the
+// state's sharded index directly for single requests, a per-request
+// CachedIndex for batches (st is still needed for mapping provenance). A
+// non-empty string return is a validation error (400 on the single
+// endpoint, an error line in a batch).
+
+func autoFillCompute(st *State, ix apps.Index, req autoFillRequest) (autoFillResponse, string) {
+	if len(req.Column) == 0 {
+		return autoFillResponse{}, "column must not be empty"
+	}
+	if req.MinCoverage <= 0 {
+		req.MinCoverage = 0.8
+	}
+	examples := make([]apps.Example, len(req.Examples))
+	for i, e := range req.Examples {
+		examples[i] = apps.Example{Left: e.Left, Right: e.Right}
+	}
+	res := apps.AutoFill(ix, req.Column, examples, req.MinCoverage)
+	resp := autoFillResponse{Found: res.MappingIndex >= 0, MappingIndex: res.MappingIndex}
+	if res.MappingIndex >= 0 {
+		resp.MappingID = st.Index.Mapping(res.MappingIndex).ID
+		for row := 0; row < len(req.Column); row++ {
+			if v, ok := res.Filled[row]; ok {
+				resp.Filled = append(resp.Filled, filledCell{Row: row, Value: v})
+			}
+		}
+	}
+	return resp, ""
+}
+
+func autoCorrectCompute(st *State, ix apps.Index, req autoCorrectRequest) (autoCorrectResponse, string) {
+	if len(req.Column) == 0 {
+		return autoCorrectResponse{}, "column must not be empty"
+	}
+	if req.MinEach <= 0 {
+		req.MinEach = 2
+	}
+	if req.MinCoverage <= 0 {
+		req.MinCoverage = 0.8
+	}
+	res := apps.AutoCorrect(ix, req.Column, req.MinEach, req.MinCoverage)
+	resp := autoCorrectResponse{
+		Found:        res.MappingIndex >= 0,
+		MappingIndex: res.MappingIndex,
+		Corrections:  res.Corrections,
+	}
+	if res.MappingIndex >= 0 {
+		resp.MappingID = st.Index.Mapping(res.MappingIndex).ID
+	}
+	return resp, ""
+}
+
+func autoJoinCompute(st *State, ix apps.Index, req autoJoinRequest) (autoJoinResponse, string) {
+	if len(req.KeysA) == 0 || len(req.KeysB) == 0 {
+		return autoJoinResponse{}, "keys_a and keys_b must not be empty"
+	}
+	if req.MinCoverage <= 0 {
+		req.MinCoverage = 0.8
+	}
+	res := apps.AutoJoin(ix, req.KeysA, req.KeysB, req.MinCoverage)
+	resp := autoJoinResponse{
+		Found:        res.MappingIndex >= 0,
+		MappingIndex: res.MappingIndex,
+		Bridged:      res.Bridged,
+	}
+	if res.MappingIndex >= 0 {
+		resp.MappingID = st.Index.Mapping(res.MappingIndex).ID
+		for _, row := range res.Rows {
+			resp.Rows = append(resp.Rows, joinedRow{LeftRow: row.LeftRow, RightRow: row.RightRow})
+		}
+	}
+	return resp, ""
+}

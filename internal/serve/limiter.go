@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// batchLimiter is the admission controller for the streaming batch
+// endpoints. It enforces two bounds:
+//
+//   - a request bound: at most maxRequests batch requests are in flight at
+//     once; requests beyond that are rejected immediately with 429 +
+//     Retry-After (fail fast, let the client back off);
+//   - a row bound: at most maxRows column queries are being computed at
+//     once across all batch requests. The row bound is applied by the
+//     request decoder *before* reading the next input line, so a saturated
+//     server simply stops consuming request bodies — backpressure
+//     propagates to the client through TCP flow control instead of
+//     buffering or dropping work.
+//
+// The split matters: the request bound caps bookkeeping (goroutines,
+// response streams), the row bound caps CPU. Counters feed /stats.
+type batchLimiter struct {
+	requestSem chan struct{}
+	rowSem     chan struct{}
+
+	requests atomic.Int64 // accepted batch requests
+	rejected atomic.Int64 // 429s issued
+	rows     atomic.Int64 // rows completed (result or error line emitted)
+	rowErrs  atomic.Int64 // rows that emitted an error line
+
+	inFlightRows atomic.Int64
+	peakRows     atomic.Int64
+}
+
+func newBatchLimiter(maxRequests, maxRows int) *batchLimiter {
+	if maxRequests < 1 {
+		maxRequests = 32
+	}
+	if maxRows < 1 {
+		maxRows = 256
+	}
+	return &batchLimiter{
+		requestSem: make(chan struct{}, maxRequests),
+		rowSem:     make(chan struct{}, maxRows),
+	}
+}
+
+// tryAcquireRequest claims a request slot without blocking; false means the
+// caller must answer 429.
+func (l *batchLimiter) tryAcquireRequest() bool {
+	select {
+	case l.requestSem <- struct{}{}:
+		l.requests.Add(1)
+		return true
+	default:
+		l.rejected.Add(1)
+		return false
+	}
+}
+
+func (l *batchLimiter) releaseRequest() { <-l.requestSem }
+
+// acquireRow claims a row slot, blocking until one frees or ctx is done —
+// the blocking is the backpressure.
+func (l *batchLimiter) acquireRow(ctx context.Context) error {
+	select {
+	case l.rowSem <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	cur := l.inFlightRows.Add(1)
+	for {
+		old := l.peakRows.Load()
+		if cur <= old || l.peakRows.CompareAndSwap(old, cur) {
+			return nil
+		}
+	}
+}
+
+func (l *batchLimiter) releaseRow(failed bool) {
+	l.inFlightRows.Add(-1)
+	l.rows.Add(1)
+	if failed {
+		l.rowErrs.Add(1)
+	}
+	<-l.rowSem
+}
+
+// BatchSnapshot is the /stats view of the batch limiter.
+type BatchSnapshot struct {
+	Requests         int64 `json:"requests"`
+	Rejected         int64 `json:"rejected"`
+	Rows             int64 `json:"rows"`
+	RowErrors        int64 `json:"row_errors"`
+	InFlightRequests int   `json:"in_flight_requests"`
+	InFlightRows     int   `json:"in_flight_rows"`
+	PeakRows         int64 `json:"peak_rows"`
+	MaxRequests      int   `json:"max_requests"`
+	MaxRows          int   `json:"max_rows"`
+}
+
+func (l *batchLimiter) snapshot() BatchSnapshot {
+	return BatchSnapshot{
+		Requests:         l.requests.Load(),
+		Rejected:         l.rejected.Load(),
+		Rows:             l.rows.Load(),
+		RowErrors:        l.rowErrs.Load(),
+		InFlightRequests: len(l.requestSem),
+		InFlightRows:     int(l.inFlightRows.Load()),
+		PeakRows:         l.peakRows.Load(),
+		MaxRequests:      cap(l.requestSem),
+		MaxRows:          cap(l.rowSem),
+	}
+}

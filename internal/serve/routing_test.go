@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestRouting pins the routing contract for every endpoint: known paths
+// answer with their documented status, wrong methods get a JSON 405, and
+// unknown paths — including near-misses under registered prefixes — get a
+// JSON 404 instead of the mux's plain-text default (or, worse, a silent
+// 200).
+func TestRouting(t *testing.T) {
+	srv, _ := newTestServer(t, 2, 8)
+	h := srv.Handler()
+
+	cases := []struct {
+		method    string
+		path      string
+		body      string
+		status    int
+		jsonError bool // body must be {"error": ...}
+	}{
+		// Happy paths.
+		{http.MethodGet, "/healthz", "", http.StatusOK, false},
+		{http.MethodGet, "/stats", "", http.StatusOK, false},
+		{http.MethodGet, "/lookup?key=California", "", http.StatusOK, false},
+		{http.MethodPost, "/autofill", `{"column":["Seattle"]}`, http.StatusOK, false},
+		{http.MethodPost, "/autocorrect", `{"column":["California","CA","WA","Washington"]}`, http.StatusOK, false},
+		{http.MethodPost, "/autojoin", `{"keys_a":["California"],"keys_b":["CA"]}`, http.StatusOK, false},
+		{http.MethodPost, "/batch/autofill", `{"column":["Seattle"]}`, http.StatusOK, false},
+		{http.MethodPost, "/batch/autocorrect", `{"column":["California","CA","WA","Washington"]}`, http.StatusOK, false},
+		{http.MethodPost, "/batch/autojoin", `{"keys_a":["California"],"keys_b":["CA"]}`, http.StatusOK, false},
+
+		// Wrong methods: JSON 405.
+		{http.MethodPost, "/healthz", "", http.StatusMethodNotAllowed, true},
+		{http.MethodPost, "/stats", "", http.StatusMethodNotAllowed, true},
+		{http.MethodPost, "/lookup?key=California", "", http.StatusMethodNotAllowed, true},
+		{http.MethodGet, "/autofill", "", http.StatusMethodNotAllowed, true},
+		{http.MethodGet, "/autocorrect", "", http.StatusMethodNotAllowed, true},
+		{http.MethodGet, "/autojoin", "", http.StatusMethodNotAllowed, true},
+		{http.MethodGet, "/reload", "", http.StatusMethodNotAllowed, true},
+		{http.MethodGet, "/batch/autojoin", "", http.StatusMethodNotAllowed, true},
+
+		// Unknown paths: JSON 404, never an empty 200.
+		{http.MethodGet, "/", "", http.StatusNotFound, true},
+		{http.MethodGet, "/nope", "", http.StatusNotFound, true},
+		{http.MethodGet, "/lookup/extra", "", http.StatusNotFound, true},
+		{http.MethodPost, "/autofill/", `{"column":["x"]}`, http.StatusNotFound, true},
+		{http.MethodPost, "/batch", "", http.StatusNotFound, true},
+		{http.MethodPost, "/batch/", "", http.StatusNotFound, true},
+		{http.MethodPost, "/batch/nope", "", http.StatusNotFound, true},
+
+		// Bad inputs on known paths: JSON 400.
+		{http.MethodGet, "/lookup", "", http.StatusBadRequest, true},
+		{http.MethodPost, "/autofill", `{"column":[]}`, http.StatusBadRequest, true},
+		{http.MethodPost, "/autofill", `{"colunm":["x"]}`, http.StatusBadRequest, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.method+" "+tc.path, func(t *testing.T) {
+			var body *strings.Reader
+			if tc.body != "" {
+				body = strings.NewReader(tc.body)
+			} else {
+				body = strings.NewReader("")
+			}
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest(tc.method, tc.path, body))
+			if rec.Code != tc.status {
+				t.Fatalf("status = %d, want %d (body %q)", rec.Code, tc.status, rec.Body.String())
+			}
+			if rec.Body.Len() == 0 {
+				t.Fatal("empty response body")
+			}
+			if tc.jsonError {
+				var e map[string]string
+				if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e["error"] == "" {
+					t.Errorf("body %q is not a JSON error object", rec.Body.String())
+				}
+				if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+					t.Errorf("error Content-Type = %q, want application/json", ct)
+				}
+			}
+		})
+	}
+}

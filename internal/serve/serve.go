@@ -37,9 +37,28 @@ type Options struct {
 	Shards int
 	// CacheSize bounds the lookup result cache (entries); < 1 disables it.
 	CacheSize int
-	// MaxBodyBytes bounds request bodies on the batch endpoints; <= 0
-	// selects 8 MiB.
+	// MaxBodyBytes bounds request bodies on the single-column POST
+	// endpoints; <= 0 selects 8 MiB.
 	MaxBodyBytes int64
+	// MaxBatchBodyBytes bounds request bodies on the streaming /batch/*
+	// endpoints, which legitimately carry much larger payloads; <= 0
+	// selects 256 MiB.
+	MaxBatchBodyBytes int64
+	// MaxBatchRequests bounds concurrently served /batch/* requests;
+	// beyond it requests are rejected with 429 + Retry-After. <= 0 selects
+	// 32.
+	MaxBatchRequests int
+	// MaxBatchRows bounds concurrently computing batch rows across all
+	// /batch/* requests; at the bound the server stops decoding request
+	// bodies (TCP backpressure) rather than buffering or dropping rows.
+	// <= 0 selects 256.
+	MaxBatchRows int
+	// BatchWriteTimeout bounds how long one batch response line may sit
+	// unread by the client before the stream is abandoned. Rows hold their
+	// limiter slots until the writer takes their line, so without this
+	// bound a single client that stops reading could pin the global row
+	// budget forever. <= 0 selects 30s.
+	BatchWriteTimeout time.Duration
 	// Rebuild, when non-nil, is the offline synthesis entry point: POST
 	// /reload with {"rebuild": true} calls it to re-run the pipeline engine
 	// and atomically swaps the fresh mapping set in. The context is the
@@ -71,18 +90,39 @@ type Server struct {
 	// request handling stays lock-free on the atomic state pointer.
 	writeMu sync.Mutex
 
-	lookupStats      endpointStats
-	autofillStats    endpointStats
-	autocorrectStats endpointStats
-	autojoinStats    endpointStats
+	batch *batchLimiter
+
+	lookupStats           endpointStats
+	autofillStats         endpointStats
+	autocorrectStats      endpointStats
+	autojoinStats         endpointStats
+	batchAutofillStats    endpointStats
+	batchAutocorrectStats endpointStats
+	batchAutojoinStats    endpointStats
+}
+
+// newServer applies option defaults and builds the request-handling shell
+// shared by both constructors; the caller installs the first state.
+func newServer(opts Options) *Server {
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = 8 << 20
+	}
+	if opts.MaxBatchBodyBytes <= 0 {
+		opts.MaxBatchBodyBytes = 256 << 20
+	}
+	if opts.BatchWriteTimeout <= 0 {
+		opts.BatchWriteTimeout = 30 * time.Second
+	}
+	return &Server{
+		opts:  opts,
+		start: time.Now(),
+		batch: newBatchLimiter(opts.MaxBatchRequests, opts.MaxBatchRows),
+	}
 }
 
 // New loads the snapshot at opts.SnapshotPath and returns a ready server.
 func New(opts Options) (*Server, error) {
-	if opts.MaxBodyBytes <= 0 {
-		opts.MaxBodyBytes = 8 << 20
-	}
-	s := &Server{opts: opts, start: time.Now()}
+	s := newServer(opts)
 	if _, err := s.Reload(opts.SnapshotPath); err != nil {
 		return nil, err
 	}
@@ -92,10 +132,7 @@ func New(opts Options) (*Server, error) {
 // NewFromMappings builds a server directly from an in-memory mapping set —
 // the entry point for tests and benchmarks that skip the snapshot file.
 func NewFromMappings(maps []*mapping.Mapping, opts Options) *Server {
-	if opts.MaxBodyBytes <= 0 {
-		opts.MaxBodyBytes = 8 << 20
-	}
-	s := &Server{opts: opts, start: time.Now()}
+	s := newServer(opts)
 	s.install(maps, opts.SnapshotPath)
 	return s
 }
@@ -187,17 +224,40 @@ func (s *Server) RebuildContext(ctx context.Context) (*State, error) {
 // State returns the currently serving state.
 func (s *Server) State() *State { return s.state.Load() }
 
-// Handler returns the service's HTTP routes.
+// Handler returns the service's HTTP routes. Unknown paths answer a JSON
+// 404 (the service speaks JSON on every path, errors included) instead of
+// the mux's plain-text default.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.getOnly(s.handleHealthz))
+	mux.HandleFunc("/stats", s.getOnly(s.handleStats))
 	mux.HandleFunc("/reload", s.handleReload)
 	mux.HandleFunc("/lookup", s.timed(&s.lookupStats, s.handleLookup))
 	mux.HandleFunc("/autofill", s.timed(&s.autofillStats, s.handleAutoFill))
 	mux.HandleFunc("/autocorrect", s.timed(&s.autocorrectStats, s.handleAutoCorrect))
 	mux.HandleFunc("/autojoin", s.timed(&s.autojoinStats, s.handleAutoJoin))
-	return mux
+	mux.HandleFunc("/batch/autofill", s.timed(&s.batchAutofillStats, s.handleBatchAutoFill))
+	mux.HandleFunc("/batch/autocorrect", s.timed(&s.batchAutocorrectStats, s.handleBatchAutoCorrect))
+	mux.HandleFunc("/batch/autojoin", s.timed(&s.batchAutojoinStats, s.handleBatchAutoJoin))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, pattern := mux.Handler(r); pattern == "" {
+			writeError(w, http.StatusNotFound, "no such endpoint: "+r.URL.Path)
+			return
+		}
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// getOnly guards a read-only endpoint against non-GET methods with a JSON
+// 405, mirroring readBody's POST enforcement on the mutation endpoints.
+func (s *Server) getOnly(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "GET required")
+			return
+		}
+		h(w, r)
+	}
 }
 
 // Run serves on addr until ctx is cancelled, then drains in-flight requests
@@ -332,6 +392,9 @@ func (s *Server) Lookup(key string) lookupResponse {
 }
 
 func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodGet {
+		return writeError(w, http.StatusMethodNotAllowed, "GET required")
+	}
 	key := r.URL.Query().Get("key")
 	if key == "" {
 		return writeError(w, http.StatusBadRequest, "missing ?key= parameter")
@@ -368,26 +431,10 @@ func (s *Server) handleAutoFill(w http.ResponseWriter, r *http.Request) bool {
 	if !s.readBody(w, r, &req) {
 		return false
 	}
-	if len(req.Column) == 0 {
-		return writeError(w, http.StatusBadRequest, "column must not be empty")
-	}
-	if req.MinCoverage <= 0 {
-		req.MinCoverage = 0.8
-	}
 	st := s.state.Load()
-	examples := make([]apps.Example, len(req.Examples))
-	for i, e := range req.Examples {
-		examples[i] = apps.Example{Left: e.Left, Right: e.Right}
-	}
-	res := apps.AutoFill(st.Index, req.Column, examples, req.MinCoverage)
-	resp := autoFillResponse{Found: res.MappingIndex >= 0, MappingIndex: res.MappingIndex}
-	if res.MappingIndex >= 0 {
-		resp.MappingID = st.Index.Mapping(res.MappingIndex).ID
-		for row := 0; row < len(req.Column); row++ {
-			if v, ok := res.Filled[row]; ok {
-				resp.Filled = append(resp.Filled, filledCell{Row: row, Value: v})
-			}
-		}
+	resp, errMsg := autoFillCompute(st, st.Index, req)
+	if errMsg != "" {
+		return writeError(w, http.StatusBadRequest, errMsg)
 	}
 	return writeJSON(w, http.StatusOK, resp)
 }
@@ -413,24 +460,10 @@ func (s *Server) handleAutoCorrect(w http.ResponseWriter, r *http.Request) bool 
 	if !s.readBody(w, r, &req) {
 		return false
 	}
-	if len(req.Column) == 0 {
-		return writeError(w, http.StatusBadRequest, "column must not be empty")
-	}
-	if req.MinEach <= 0 {
-		req.MinEach = 2
-	}
-	if req.MinCoverage <= 0 {
-		req.MinCoverage = 0.8
-	}
 	st := s.state.Load()
-	res := apps.AutoCorrect(st.Index, req.Column, req.MinEach, req.MinCoverage)
-	resp := autoCorrectResponse{
-		Found:        res.MappingIndex >= 0,
-		MappingIndex: res.MappingIndex,
-		Corrections:  res.Corrections,
-	}
-	if res.MappingIndex >= 0 {
-		resp.MappingID = st.Index.Mapping(res.MappingIndex).ID
+	resp, errMsg := autoCorrectCompute(st, st.Index, req)
+	if errMsg != "" {
+		return writeError(w, http.StatusBadRequest, errMsg)
 	}
 	return writeJSON(w, http.StatusOK, resp)
 }
@@ -462,24 +495,10 @@ func (s *Server) handleAutoJoin(w http.ResponseWriter, r *http.Request) bool {
 	if !s.readBody(w, r, &req) {
 		return false
 	}
-	if len(req.KeysA) == 0 || len(req.KeysB) == 0 {
-		return writeError(w, http.StatusBadRequest, "keys_a and keys_b must not be empty")
-	}
-	if req.MinCoverage <= 0 {
-		req.MinCoverage = 0.8
-	}
 	st := s.state.Load()
-	res := apps.AutoJoin(st.Index, req.KeysA, req.KeysB, req.MinCoverage)
-	resp := autoJoinResponse{
-		Found:        res.MappingIndex >= 0,
-		MappingIndex: res.MappingIndex,
-		Bridged:      res.Bridged,
-	}
-	if res.MappingIndex >= 0 {
-		resp.MappingID = st.Index.Mapping(res.MappingIndex).ID
-		for _, row := range res.Rows {
-			resp.Rows = append(resp.Rows, joinedRow{LeftRow: row.LeftRow, RightRow: row.RightRow})
-		}
+	resp, errMsg := autoJoinCompute(st, st.Index, req)
+	if errMsg != "" {
+		return writeError(w, http.StatusBadRequest, errMsg)
 	}
 	return writeJSON(w, http.StatusOK, resp)
 }
@@ -504,6 +523,7 @@ type StatsSnapshot struct {
 	UptimeSeconds float64                     `json:"uptime_s"`
 	Reloads       int64                       `json:"reloads"`
 	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
+	Batch         BatchSnapshot               `json:"batch"`
 	Cache         CacheSnapshot               `json:"cache"`
 	Snapshot      map[string]any              `json:"snapshot"`
 }
@@ -529,11 +549,15 @@ func (s *Server) Stats() StatsSnapshot {
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Reloads:       s.reloads.Load(),
 		Endpoints: map[string]EndpointSnapshot{
-			"lookup":      s.lookupStats.snapshot(),
-			"autofill":    s.autofillStats.snapshot(),
-			"autocorrect": s.autocorrectStats.snapshot(),
-			"autojoin":    s.autojoinStats.snapshot(),
+			"lookup":            s.lookupStats.snapshot(),
+			"autofill":          s.autofillStats.snapshot(),
+			"autocorrect":       s.autocorrectStats.snapshot(),
+			"autojoin":          s.autojoinStats.snapshot(),
+			"batch_autofill":    s.batchAutofillStats.snapshot(),
+			"batch_autocorrect": s.batchAutocorrectStats.snapshot(),
+			"batch_autojoin":    s.batchAutojoinStats.snapshot(),
 		},
+		Batch: s.batch.snapshot(),
 		Cache: CacheSnapshot{
 			Size:     st.cache.len(),
 			Capacity: st.cache.cap,

@@ -3,69 +3,18 @@ package serve
 import (
 	"sync/atomic"
 	"time"
+
+	"mapsynth/internal/latency"
 )
 
-// histogram approximates request-latency percentiles with power-of-two
-// microsecond buckets (bucket i covers [2^i, 2^(i+1)) µs). Observation is a
-// single atomic increment, so the hot path never takes a lock; percentile
-// reads walk 40 counters and report the upper bound of the containing
-// bucket, which is plenty for /stats dashboards.
-type histogram struct {
-	buckets [40]atomic.Int64
-	count   atomic.Int64
-	sum     atomic.Int64 // total microseconds, for the mean
-}
-
-func (h *histogram) observe(d time.Duration) {
-	us := d.Microseconds()
-	if us < 0 {
-		us = 0
-	}
-	b := 0
-	for v := us; v > 1 && b < len(h.buckets)-1; v >>= 1 {
-		b++
-	}
-	h.buckets[b].Add(1)
-	h.count.Add(1)
-	h.sum.Add(us)
-}
-
-// percentile returns the latency below which fraction p of observations
-// fall, as the upper bound of the matched bucket. Zero observations report
-// zero.
-func (h *histogram) percentile(p float64) time.Duration {
-	total := h.count.Load()
-	if total == 0 {
-		return 0
-	}
-	rank := int64(p*float64(total) + 0.5)
-	if rank < 1 {
-		rank = 1
-	}
-	var seen int64
-	for i := range h.buckets {
-		seen += h.buckets[i].Load()
-		if seen >= rank {
-			return time.Duration(int64(1)<<(i+1)) * time.Microsecond
-		}
-	}
-	return time.Duration(int64(1)<<len(h.buckets)) * time.Microsecond
-}
-
-// mean returns the average observed latency.
-func (h *histogram) mean() time.Duration {
-	n := h.count.Load()
-	if n == 0 {
-		return 0
-	}
-	return time.Duration(h.sum.Load()/n) * time.Microsecond
-}
-
-// endpointStats aggregates per-endpoint request counts and latency.
+// endpointStats aggregates per-endpoint request counts and latency. The
+// histogram (shared with cmd/loadgen via internal/latency) buckets in
+// powers of two microseconds, so server-side and client-side percentiles
+// of one run are directly comparable.
 type endpointStats struct {
 	requests atomic.Int64
 	errors   atomic.Int64
-	latency  histogram
+	latency  latency.Histogram
 }
 
 func (e *endpointStats) observe(d time.Duration, failed bool) {
@@ -73,7 +22,7 @@ func (e *endpointStats) observe(d time.Duration, failed bool) {
 	if failed {
 		e.errors.Add(1)
 	}
-	e.latency.observe(d)
+	e.latency.Observe(d)
 }
 
 // EndpointSnapshot is the JSON form of one endpoint's counters.
@@ -91,9 +40,9 @@ func (e *endpointStats) snapshot() EndpointSnapshot {
 	return EndpointSnapshot{
 		Requests: e.requests.Load(),
 		Errors:   e.errors.Load(),
-		MeanMs:   ms(e.latency.mean()),
-		P50Ms:    ms(e.latency.percentile(0.50)),
-		P95Ms:    ms(e.latency.percentile(0.95)),
-		P99Ms:    ms(e.latency.percentile(0.99)),
+		MeanMs:   ms(e.latency.Mean()),
+		P50Ms:    ms(e.latency.Percentile(0.50)),
+		P95Ms:    ms(e.latency.Percentile(0.95)),
+		P99Ms:    ms(e.latency.Percentile(0.99)),
 	}
 }
