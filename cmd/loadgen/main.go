@@ -2,7 +2,9 @@
 // workload of single-column and streaming-batch requests, paced to a target
 // QPS, and writes a JSON report of counts, throttling and latency
 // percentiles — the measurement half of the serving layer's throughput
-// claims.
+// claims. All traffic goes through the public Go SDK (mapsynth/pkg/client)
+// with retries disabled, so every run doubles as an SDK conformance check
+// and every server-issued 429 is observed and reported.
 //
 // Usage:
 //

@@ -7,20 +7,26 @@
 //	serve -snapshot out.snap [-addr :8080] [-shards N] [-cache 4096]
 //	      [-batch-requests 32] [-batch-rows 256] [-batch-write-timeout 30s]
 //
-// Endpoints:
+// Endpoints (v1 canonical paths; each also answers at its legacy
+// unversioned path, byte-identically, plus a Deprecation header):
 //
-//	GET  /lookup?key=K       single-key lookup with provenance (LRU-cached)
-//	POST /autofill           {"column":[...], "examples":[{"left","right"}], "min_coverage":0.8}
-//	POST /autocorrect        {"column":[...], "min_each":2, "min_coverage":0.8}
-//	POST /autojoin           {"keys_a":[...], "keys_b":[...], "min_coverage":0.8}
-//	POST /batch/autofill     NDJSON stream: one /autofill body per line (+optional "id")
-//	POST /batch/autocorrect  NDJSON stream: one /autocorrect body per line
-//	POST /batch/autojoin     NDJSON stream: one /autojoin body per line
-//	GET  /healthz            liveness + loaded snapshot metadata
-//	GET  /stats              request counts, latency percentiles, cache + batch limiter
-//	POST /reload             {"snapshot":"path"} — atomic snapshot hot reload
+//	GET  /v1/lookup?key=K       single-key lookup with provenance (LRU-cached)
+//	POST /v1/autofill           {"column":[...], "examples":[{"left","right"}], "min_coverage":0.8, "top_k":0}
+//	POST /v1/autocorrect        {"column":[...], "min_each":2, "min_coverage":0.8, "top_k":0}
+//	POST /v1/autojoin           {"keys_a":[...], "keys_b":[...], "min_coverage":0.8, "top_k":0}
+//	POST /v1/batch/autofill     NDJSON stream: one /v1/autofill body per line (+optional "id")
+//	POST /v1/batch/autocorrect  NDJSON stream: one /v1/autocorrect body per line
+//	POST /v1/batch/autojoin     NDJSON stream: one /v1/autojoin body per line
+//	GET  /v1/healthz            liveness + loaded snapshot metadata
+//	GET  /v1/stats              request counts, latency percentiles, cache + batch limiter
+//	POST /v1/reload             {"snapshot":"path"} — atomic snapshot hot reload
 //
-// The /batch/* endpoints answer NDJSON, one result line per input as it
+// Errors on every path are the structured envelope
+// {"error":{"code":"...","message":"...","retry_after_ms":N,"request_id":"..."}}
+// with machine-readable codes; every request gets an X-Request-ID. Go
+// clients should use mapsynth/pkg/client instead of raw HTTP.
+//
+// The /v1/batch/* endpoints answer NDJSON, one result line per input as it
 // completes, and are guarded by an admission limiter: -batch-requests bounds
 // concurrent batch requests (beyond it: 429 + Retry-After), -batch-rows
 // bounds concurrently computing rows across all batches (beyond it the

@@ -1,25 +1,37 @@
 // Auto-join (Table 5 of the paper): one table keys stocks by ticker, the
 // other by company name. The synthesized (ticker → company) mapping bridges
-// them in a three-way join — no manual mapping required.
+// them in a three-way join — no manual mapping required. The query goes
+// through the v1 HTTP API via pkg/client.
 //
 // Run with: go run ./examples/autojoin
 package main
 
 import (
+	"context"
 	"fmt"
+	"net"
+	"net/http"
+	"os"
 
-	"mapsynth/internal/apps"
 	"mapsynth/internal/core"
 	"mapsynth/internal/corpusgen"
-	"mapsynth/internal/index"
+	"mapsynth/internal/mapping"
+	"mapsynth/internal/serve"
+	"mapsynth/pkg/client"
 )
 
 func main() {
 	fmt.Println("generating web corpus and synthesizing mappings...")
 	corpus := corpusgen.GenerateWeb(corpusgen.Options{Seed: 42})
 	res := core.New(core.DefaultConfig()).Synthesize(corpus.Tables)
-	ix := index.Build(res.Mappings)
-	fmt.Printf("indexed %d mappings\n\n", ix.Len())
+
+	c, shutdown, err := serveMappings(res.Mappings)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer shutdown()
+	fmt.Printf("serving %d mappings over the v1 API\n\n", len(res.Mappings))
 
 	// Left table: stocks by market capitalization (keyed by ticker).
 	stocks := []struct {
@@ -47,15 +59,36 @@ func main() {
 		keysB[i] = c.company
 	}
 
-	result := apps.AutoJoin(ix, keysA, keysB, 0.6)
-	if result.MappingIndex < 0 {
+	resp, err := c.AutoJoin(context.Background(), client.AutoJoinRequest{
+		KeysA:       keysA,
+		KeysB:       keysB,
+		MinCoverage: 0.6,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if !resp.Found {
 		fmt.Println("no bridging mapping found")
 		return
 	}
-	fmt.Printf("joined %d of %d rows via mapping #%d:\n",
-		result.Bridged, len(stocks), result.MappingIndex)
-	for _, row := range result.Rows {
+	fmt.Printf("joined %d of %d rows via mapping %d:\n",
+		resp.Bridged, len(stocks), resp.MappingID)
+	for _, row := range resp.Rows {
 		s, c := stocks[row.LeftRow], contributions[row.RightRow]
 		fmt.Printf("  %-5s %-8s <-> %-18s %s\n", s.ticker, s.cap, c.company, c.total)
 	}
+}
+
+// serveMappings mounts the v1 API for the synthesized mappings on an
+// ephemeral local port and returns an SDK client pointed at it.
+func serveMappings(maps []*mapping.Mapping) (*client.Client, func(), error) {
+	srv := serve.NewFromMappings(maps, serve.Options{CacheSize: 256})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	return client.New("http://" + ln.Addr().String()), func() { hs.Close() }, nil
 }

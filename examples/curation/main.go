@@ -1,14 +1,21 @@
 // Curation workflow (Section 4.3 + Appendix I of the paper): synthesize
 // mappings, rank them by popularity for human review, grow a robust core
 // from a trusted feed, and diff the refreshed result against the previous
-// run so a curator only re-reviews what changed.
+// run so a curator only re-reviews what changed. The refreshed set then
+// goes live the way a production rollout does: both generations are
+// persisted as snapshots, the old one is served over the v1 API, and the
+// new one is hot-swapped in through pkg/client's Reload.
 //
 // Run with: go run ./examples/curation
 package main
 
 import (
+	"context"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"path/filepath"
 
 	"mapsynth/internal/core"
 	"mapsynth/internal/corpusgen"
@@ -16,11 +23,25 @@ import (
 	"mapsynth/internal/expansion"
 	"mapsynth/internal/mapping"
 	"mapsynth/internal/refdata"
+	"mapsynth/internal/serve"
+	"mapsynth/internal/snapshot"
 	"mapsynth/internal/table"
 	"mapsynth/internal/textnorm"
+	"mapsynth/pkg/client"
 )
 
+// feedTableIDBase keeps synthetic trusted-feed table IDs clear of corpus
+// table IDs.
+const feedTableIDBase = 1 << 20
+
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	fmt.Println("generating web corpus and synthesizing mappings...")
 	corpus := corpusgen.GenerateWeb(corpusgen.Options{Seed: 42})
 	res := core.New(core.DefaultConfig()).Synthesize(corpus.Tables)
@@ -31,8 +52,7 @@ func main() {
 	fmt.Printf("\n%d of %d mappings pass the popularity bar (>= 8 domains); top of the review queue:\n\n",
 		len(reviewable), len(res.Mappings))
 	if err := curation.Report(os.Stdout, reviewable, 8); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
 
 	// 2. Refresh: expand robust cores from a trusted feed (Appendix I) and
@@ -51,9 +71,12 @@ func main() {
 		}
 		expandedCount++
 		// Rebuild the mapping over the expanded pair list; provenance of
-		// the additions is the trusted feed.
+		// the additions is the trusted feed. The synthetic table ID sits in
+		// its own range above corpus IDs (the snapshot codec requires
+		// non-negative candidate IDs).
 		expandedTable := &table.BinaryTable{
-			ID: -1, TableID: -1, Domain: feed.Name, Pairs: pairs,
+			ID: feedTableIDBase + m.ID, TableID: feedTableIDBase + m.ID,
+			Domain: feed.Name, Pairs: pairs,
 		}
 		refreshed = append(refreshed, mapping.Build(m.ID, []*table.BinaryTable{expandedTable}))
 	}
@@ -76,4 +99,62 @@ func main() {
 			fmt.Printf("      added: %s -> %s\n", l, r)
 		}
 	}
+
+	// 3. Go live: serve the pre-refresh snapshot, then hot-swap the curated
+	// refresh in through the SDK — the rollout is one Reload call, and
+	// in-flight queries keep answering from the state they started with.
+	dir, err := os.MkdirTemp("", "mapsynth-curation-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	oldSnap := filepath.Join(dir, "old.snap")
+	newSnap := filepath.Join(dir, "refreshed.snap")
+	if err := snapshot.WriteFile(oldSnap, res.Mappings); err != nil {
+		return err
+	}
+	if err := snapshot.WriteFile(newSnap, refreshed); err != nil {
+		return err
+	}
+
+	srv, err := serve.New(serve.Options{SnapshotPath: oldSnap, CacheSize: 256})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	c := client.New("http://" + ln.Addr().String())
+	ctx := context.Background()
+
+	// Probe with a key the refresh touched, before and after the rollout.
+	probe := ""
+	if len(diffs) > 0 && len(diffs[0].Added) > 0 {
+		probe, _ = textnorm.SplitPairKey(diffs[0].Added[0])
+	}
+	fmt.Printf("\nserving pre-refresh snapshot (%d mappings)\n", len(res.Mappings))
+	showProbe := func(when string) error {
+		if probe == "" {
+			return nil
+		}
+		resp, err := c.Lookup(ctx, probe)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  lookup %q %s rollout: found=%v value=%q\n", probe, when, resp.Found, resp.Value)
+		return nil
+	}
+	if err := showProbe("before"); err != nil {
+		return err
+	}
+	rr, err := c.Reload(ctx, client.ReloadRequest{Snapshot: newSnap})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("hot-swapped refreshed snapshot in %.1fms (%d mappings live)\n", rr.DurationMs, rr.Mappings)
+	return showProbe("after")
 }

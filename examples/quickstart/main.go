@@ -1,14 +1,23 @@
-// Quickstart: synthesize mapping relationships from a handful of toy tables
-// and look values up in the result.
+// Quickstart: synthesize mapping relationships from a handful of toy
+// tables, serve them over the v1 HTTP API in-process, and query the service
+// through pkg/client — the full offline-synthesis → online-serving loop in
+// one program.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
+	"net"
+	"net/http"
+	"os"
 
 	"mapsynth/internal/core"
+	"mapsynth/internal/mapping"
+	"mapsynth/internal/serve"
 	"mapsynth/internal/table"
+	"mapsynth/pkg/client"
 )
 
 func main() {
@@ -39,23 +48,53 @@ func main() {
 	cfg := core.DefaultConfig()
 	cfg.Extract.CoherenceThreshold = -1 // toy corpus: skip statistics filter
 	result := core.New(cfg).Synthesize(corpus)
-
 	fmt.Printf("synthesized %d mappings from %d tables\n\n", len(result.Mappings), len(corpus))
-	for _, m := range result.Mappings {
-		fmt.Printf("%s\n", m)
-		for _, p := range m.Pairs {
-			fmt.Printf("    %-22s -> %s\n", p.L, p.R)
-		}
+
+	// Serve the synthesized mappings on a local listener and talk to the
+	// service the way any consumer would: through the Go SDK.
+	c, shutdown, err := serveMappings(result.Mappings)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
+	defer shutdown()
+	ctx := context.Background()
+
+	h, err := c.Healthz(ctx)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("service up: %d mappings, %d pairs, %d index shards\n\n", h.Mappings, h.Pairs, h.Shards)
 
 	// Lookup uses any surface form, including synonyms merged from other
 	// tables.
-	best := result.Mappings[0]
 	for _, q := range []string{"South Korea", "Korea, Republic of", "Germany"} {
-		if code, ok := best.Lookup(q); ok {
-			fmt.Printf("lookup %-22q -> %s\n", q, code)
+		resp, err := c.Lookup(ctx, q)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
+		if !resp.Found {
+			fmt.Printf("lookup %-22q -> (no mapping)\n", q)
+			continue
+		}
+		fmt.Printf("lookup %-22q -> %-4s (mapping %d, %d domains agree)\n",
+			q, resp.Value, resp.MappingID, resp.Domains)
 	}
+}
+
+// serveMappings mounts the v1 API for the synthesized mappings on an
+// ephemeral local port and returns an SDK client pointed at it.
+func serveMappings(maps []*mapping.Mapping) (*client.Client, func(), error) {
+	srv := serve.NewFromMappings(maps, serve.Options{CacheSize: 256})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	return client.New("http://" + ln.Addr().String()), func() { hs.Close() }, nil
 }
 
 func tbl(id int, domain string, cols ...table.Column) *table.Table {

@@ -4,11 +4,17 @@
 // against the synthesized mapping index — exactly the "simple to implement
 // and easy to scale" plug-in usage the paper advocates for pre-computed
 // mappings.
+//
+// Session is the supported entry point: it unifies the single and batch
+// call paths behind context-aware, query-struct methods. The positional
+// free functions and *Batch variants remain as deprecated byte-compatible
+// wrappers.
 package apps
 
 import (
 	"sort"
 
+	"mapsynth/internal/index"
 	"mapsynth/internal/textnorm"
 )
 
@@ -28,6 +34,10 @@ type AutoCorrectResult struct {
 	MappingIndex int
 	// Corrections lists suggested fixes, ordered by row.
 	Corrections []Correction
+	// Candidates lists the results of the top-K qualifying mappings, best
+	// first and including the primary result, when the query asked for
+	// TopK > 0; nil otherwise. Candidate entries never nest further.
+	Candidates []AutoCorrectResult
 }
 
 // AutoCorrect detects a column whose values mix the two sides of a known
@@ -37,12 +47,42 @@ type AutoCorrectResult struct {
 // minEach is the minimum number of values required on each side before the
 // mix is trusted (guards against coincidental overlaps); minCoverage is the
 // minimum fraction of column values the mapping must explain.
+//
+// Deprecated: use Session.AutoCorrect, which adds cancellation, pooling and
+// top-K candidates; this wrapper is kept byte-compatible for existing
+// callers.
 func AutoCorrect(ix Index, column []string, minEach int, minCoverage float64) AutoCorrectResult {
-	hits := ix.MixedColumnHits(column, minEach, minCoverage)
+	return autoCorrectOne(ix, AutoCorrectQuery{Column: column, MinEach: minEach, MinCoverage: minCoverage})
+}
+
+// autoCorrectOne answers one query; Candidates is populated only when the
+// query explicitly asked for TopK > 0.
+func autoCorrectOne(ix Index, q AutoCorrectQuery) AutoCorrectResult {
+	k := q.TopK
+	if k < 1 {
+		k = 1
+	}
+	hits := ix.MixedColumnHits(q.Column, q.MinEach, q.MinCoverage)
 	if len(hits) == 0 {
 		return AutoCorrectResult{MappingIndex: -1}
 	}
-	hit := hits[0]
+	if len(hits) > k {
+		hits = hits[:k]
+	}
+	cands := make([]AutoCorrectResult, len(hits))
+	for i, hit := range hits {
+		cands[i] = autoCorrectForHit(hit, q.Column)
+	}
+	res := cands[0]
+	if q.TopK > 0 {
+		res.Candidates = cands
+	}
+	return res
+}
+
+// autoCorrectForHit computes the corrections one mapping suggests for the
+// column.
+func autoCorrectForHit(hit index.Hit, column []string) AutoCorrectResult {
 	m := hit.Mapping
 	// Classify every cell: left-side, right-side, or unknown.
 	leftOf := make(map[string]string)  // normalized right -> left surface

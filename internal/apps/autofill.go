@@ -17,6 +17,10 @@ type AutoFillResult struct {
 	// be filled. Rows whose left value the mapping does not know are
 	// absent.
 	Filled map[int]string
+	// Candidates lists the results of the top-K qualifying mappings, best
+	// first and including the primary result, when the query asked for
+	// TopK > 0; nil otherwise. Candidate entries never nest further.
+	Candidates []AutoFillResult
 }
 
 // AutoFill implements the Table-4 scenario: the user has a column of left
@@ -26,13 +30,46 @@ type AutoFillResult struct {
 //
 // minCoverage is the minimum fraction of column values the mapping's left
 // column must contain.
+//
+// Deprecated: use Session.AutoFill, which adds cancellation, pooling and
+// top-K candidates; this wrapper is kept byte-compatible for existing
+// callers.
 func AutoFill(ix Index, column []string, examples []Example, minCoverage float64) AutoFillResult {
-	hits := ix.LookupLeft(column, minCoverage)
+	return autoFillOne(ix, AutoFillQuery{Column: column, Examples: examples, MinCoverage: minCoverage})
+}
+
+// autoFillOne answers one query; Candidates is populated only when the
+// query explicitly asked for TopK > 0, keeping TopK-less results identical
+// to the historical single-result shape.
+func autoFillOne(ix Index, q AutoFillQuery) AutoFillResult {
+	k := q.TopK
+	if k < 1 {
+		k = 1
+	}
+	cands := autoFillCandidates(ix, q, k)
+	if len(cands) == 0 {
+		return AutoFillResult{MappingIndex: -1}
+	}
+	res := cands[0]
+	if q.TopK > 0 {
+		res.Candidates = cands
+	}
+	return res
+}
+
+// autoFillCandidates collects up to k qualifying mappings' fill results in
+// index-rank order (most contributing domains first).
+func autoFillCandidates(ix Index, q AutoFillQuery, k int) []AutoFillResult {
+	hits := ix.LookupLeft(q.Column, q.MinCoverage)
+	var out []AutoFillResult
 	for _, hit := range hits {
+		if len(out) == k {
+			break
+		}
 		m := hit.Mapping
 		// Every example must agree with the mapping.
 		ok := true
-		for _, ex := range examples {
+		for _, ex := range q.Examples {
 			got, found := m.Lookup(ex.Left)
 			if !found || textnorm.Normalize(got) != textnorm.Normalize(ex.Right) {
 				ok = false
@@ -43,12 +80,12 @@ func AutoFill(ix Index, column []string, examples []Example, minCoverage float64
 			continue
 		}
 		res := AutoFillResult{MappingIndex: hit.Index, Filled: make(map[int]string)}
-		for i, v := range column {
+		for i, v := range q.Column {
 			if r, found := m.Lookup(v); found {
 				res.Filled[i] = r
 			}
 		}
-		return res
+		out = append(out, res)
 	}
-	return AutoFillResult{MappingIndex: -1}
+	return out
 }

@@ -3,6 +3,7 @@ package apps
 import (
 	"sort"
 
+	"mapsynth/internal/index"
 	"mapsynth/internal/textnorm"
 )
 
@@ -20,6 +21,11 @@ type AutoJoinResult struct {
 	Rows []JoinRow
 	// Bridged is the number of left rows that found a join partner.
 	Bridged int
+	// Candidates lists the results of the top-K bridging mappings, most
+	// bridged rows first and including the primary result, when the query
+	// asked for TopK > 0; nil otherwise. Candidate entries never nest
+	// further.
+	Candidates []AutoJoinResult
 }
 
 // AutoJoin implements the Table-5 scenario: table A's key column and table
@@ -29,51 +35,93 @@ type AutoJoinResult struct {
 //
 // The mapping is chosen to maximize the number of bridged rows; minCoverage
 // applies to A's column against the mapping's left side.
+//
+// Deprecated: use Session.AutoJoin, which adds cancellation, pooling and
+// top-K candidates; this wrapper is kept byte-compatible for existing
+// callers.
 func AutoJoin(ix Index, keysA, keysB []string, minCoverage float64) AutoJoinResult {
-	hits := ix.LookupLeft(keysA, minCoverage)
+	return autoJoinOne(ix, AutoJoinQuery{KeysA: keysA, KeysB: keysB, MinCoverage: minCoverage})
+}
+
+// autoJoinOne answers one query; Candidates is populated only when the
+// query explicitly asked for TopK > 0. Mappings that bridge zero rows
+// never qualify, matching the historical "best bridged > 0" selection.
+func autoJoinOne(ix Index, q AutoJoinQuery) AutoJoinResult {
+	k := q.TopK
+	if k < 1 {
+		k = 1
+	}
+	hits := ix.LookupLeft(q.KeysA, q.MinCoverage)
 	if len(hits) == 0 {
 		return AutoJoinResult{MappingIndex: -1}
 	}
 	// Index B's keys by normalized value.
-	bRows := make(map[string][]int, len(keysB))
-	for i, v := range keysB {
+	bRows := make(map[string][]int, len(q.KeysB))
+	for i, v := range q.KeysB {
 		nv := textnorm.Normalize(v)
 		if nv == "" {
 			continue
 		}
 		bRows[nv] = append(bRows[nv], i)
 	}
-	best := AutoJoinResult{MappingIndex: -1}
+	var cands []AutoJoinResult
 	for _, hit := range hits {
-		m := hit.Mapping
-		res := AutoJoinResult{MappingIndex: hit.Index}
-		seenLeft := make(map[int]struct{})
-		for i, v := range keysA {
-			// Try every recorded right surface form: synthesized mappings
-			// carry synonymous mentions, and B may use any of them.
-			seenJoin := make(map[int]struct{})
-			for _, r := range m.LookupAll(v) {
-				nr := textnorm.Normalize(r)
-				for _, j := range bRows[nr] {
-					if _, dup := seenJoin[j]; dup {
-						continue
-					}
-					seenJoin[j] = struct{}{}
-					res.Rows = append(res.Rows, JoinRow{LeftRow: i, RightRow: j})
-					seenLeft[i] = struct{}{}
+		res := autoJoinForHit(hit, q.KeysA, bRows)
+		if res.Bridged == 0 {
+			continue
+		}
+		cands = append(cands, res)
+	}
+	if len(cands) == 0 {
+		return AutoJoinResult{MappingIndex: -1}
+	}
+	// Most bridged rows win; the stable sort keeps index-rank order (most
+	// contributing domains) as the tie-break, so cands[0] is exactly the
+	// mapping the historical single-result selection chose.
+	sort.SliceStable(cands, func(i, j int) bool {
+		return cands[i].Bridged > cands[j].Bridged
+	})
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	for c := range cands {
+		rows := cands[c].Rows
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].LeftRow != rows[j].LeftRow {
+				return rows[i].LeftRow < rows[j].LeftRow
+			}
+			return rows[i].RightRow < rows[j].RightRow
+		})
+	}
+	res := cands[0]
+	if q.TopK > 0 {
+		res.Candidates = cands
+	}
+	return res
+}
+
+// autoJoinForHit joins keysA against the pre-indexed B rows through one
+// mapping; Rows is left in discovery order for the caller to sort.
+func autoJoinForHit(hit index.Hit, keysA []string, bRows map[string][]int) AutoJoinResult {
+	m := hit.Mapping
+	res := AutoJoinResult{MappingIndex: hit.Index}
+	seenLeft := make(map[int]struct{})
+	for i, v := range keysA {
+		// Try every recorded right surface form: synthesized mappings
+		// carry synonymous mentions, and B may use any of them.
+		seenJoin := make(map[int]struct{})
+		for _, r := range m.LookupAll(v) {
+			nr := textnorm.Normalize(r)
+			for _, j := range bRows[nr] {
+				if _, dup := seenJoin[j]; dup {
+					continue
 				}
+				seenJoin[j] = struct{}{}
+				res.Rows = append(res.Rows, JoinRow{LeftRow: i, RightRow: j})
+				seenLeft[i] = struct{}{}
 			}
 		}
-		res.Bridged = len(seenLeft)
-		if res.Bridged > best.Bridged {
-			best = res
-		}
 	}
-	sort.Slice(best.Rows, func(i, j int) bool {
-		if best.Rows[i].LeftRow != best.Rows[j].LeftRow {
-			return best.Rows[i].LeftRow < best.Rows[j].LeftRow
-		}
-		return best.Rows[i].RightRow < best.Rows[j].RightRow
-	})
-	return best
+	res.Bridged = len(seenLeft)
+	return res
 }

@@ -10,101 +10,81 @@ import (
 	"mapsynth/internal/pool"
 )
 
-// The batch entry points are the bulk counterparts of AutoFill, AutoCorrect
-// and AutoJoin: a client filling a whole spreadsheet issues one batch over
-// many columns instead of one call per column. Results are element-wise
-// identical to issuing the single-column calls sequentially — the batch
-// layer only changes *how* the work runs:
+// A multi-query Session call is the bulk counterpart of a single-query one:
+// a client filling a whole spreadsheet issues one call over many columns
+// instead of one call per column. Results are element-wise identical to
+// issuing the single-column calls sequentially — batching only changes
+// *how* the work runs:
 //
-//   - per-column work is spread across the shared worker pool, so a batch
-//     uses every core instead of one;
-//   - index lookups are deduplicated within the batch (CachedIndex):
+//   - per-column work is spread across the Session's worker pool, so a
+//     batch uses every core instead of one;
+//   - index lookups are deduplicated within the call (CachedIndex):
 //     identical (column, parameters) queries share a single LookupLeft /
 //     MixedColumnHits scan, which is the dominant cost per column.
 //     Spreadsheet workloads repeat columns often (copies of sheets,
 //     repeated key columns), so this amortization is a real win, not a
 //     micro-optimization.
 
-// AutoFillQuery is one column of an AutoFillBatch, mirroring the arguments
-// of AutoFill.
+// AutoFillQuery is one auto-fill column query, mirroring the arguments of
+// the deprecated AutoFill free function plus the optional TopK.
 type AutoFillQuery struct {
 	Column      []string
 	Examples    []Example
 	MinCoverage float64
+	// TopK, when > 0, additionally collects the results of the best K
+	// qualifying mappings into the result's Candidates.
+	TopK int
 }
 
-// AutoCorrectQuery is one column of an AutoCorrectBatch, mirroring the
-// arguments of AutoCorrect.
+// AutoCorrectQuery is one auto-correct column query, mirroring the
+// arguments of the deprecated AutoCorrect free function plus the optional
+// TopK.
 type AutoCorrectQuery struct {
 	Column      []string
 	MinEach     int
 	MinCoverage float64
+	// TopK, when > 0, additionally collects the results of the best K
+	// qualifying mappings into the result's Candidates.
+	TopK int
 }
 
-// AutoJoinQuery is one key-column pair of an AutoJoinBatch, mirroring the
-// arguments of AutoJoin.
+// AutoJoinQuery is one key-column-pair join query, mirroring the arguments
+// of the deprecated AutoJoin free function plus the optional TopK.
 type AutoJoinQuery struct {
 	KeysA, KeysB []string
 	MinCoverage  float64
+	// TopK, when > 0, additionally collects the results of the best K
+	// bridging mappings into the result's Candidates.
+	TopK int
 }
 
 // AutoFillBatch runs AutoFill over every query, fanning per-column work out
 // on p (nil selects a GOMAXPROCS-bounded pool) and sharing index lookups
 // between identical columns. results[i] equals AutoFill(ix, queries[i]...)
 // exactly. On cancellation it returns ctx's error and a nil slice.
+//
+// Deprecated: use Session.AutoFill — a batch is just a multi-query call.
 func AutoFillBatch(ctx context.Context, ix Index, p *pool.Pool, queries []AutoFillQuery) ([]AutoFillResult, error) {
-	if p == nil {
-		p = pool.New(0)
-	}
-	cix := NewCachedIndex(ix)
-	out := make([]AutoFillResult, len(queries))
-	err := p.ForEach(ctx, len(queries), func(i int) {
-		q := queries[i]
-		out[i] = AutoFill(cix, q.Column, q.Examples, q.MinCoverage)
-	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
+	return NewSession(ix, WithPool(p)).AutoFill(ctx, queries)
 }
 
 // AutoCorrectBatch runs AutoCorrect over every query with the same pooling
 // and lookup sharing as AutoFillBatch. results[i] equals
 // AutoCorrect(ix, queries[i]...) exactly.
+//
+// Deprecated: use Session.AutoCorrect — a batch is just a multi-query call.
 func AutoCorrectBatch(ctx context.Context, ix Index, p *pool.Pool, queries []AutoCorrectQuery) ([]AutoCorrectResult, error) {
-	if p == nil {
-		p = pool.New(0)
-	}
-	cix := NewCachedIndex(ix)
-	out := make([]AutoCorrectResult, len(queries))
-	err := p.ForEach(ctx, len(queries), func(i int) {
-		q := queries[i]
-		out[i] = AutoCorrect(cix, q.Column, q.MinEach, q.MinCoverage)
-	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
+	return NewSession(ix, WithPool(p)).AutoCorrect(ctx, queries)
 }
 
 // AutoJoinBatch runs AutoJoin over every query. Lookup sharing keys on the
 // left key column (the side the index is consulted for), so joining one key
 // column against many target tables costs a single index scan. results[i]
 // equals AutoJoin(ix, queries[i]...) exactly.
+//
+// Deprecated: use Session.AutoJoin — a batch is just a multi-query call.
 func AutoJoinBatch(ctx context.Context, ix Index, p *pool.Pool, queries []AutoJoinQuery) ([]AutoJoinResult, error) {
-	if p == nil {
-		p = pool.New(0)
-	}
-	cix := NewCachedIndex(ix)
-	out := make([]AutoJoinResult, len(queries))
-	err := p.ForEach(ctx, len(queries), func(i int) {
-		q := queries[i]
-		out[i] = AutoJoin(cix, q.KeysA, q.KeysB, q.MinCoverage)
-	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
+	return NewSession(ix, WithPool(p)).AutoJoin(ctx, queries)
 }
 
 // CachedIndex wraps an Index so that repeated identical queries cost one

@@ -1,9 +1,15 @@
-// Package loadgen is a closed-loop HTTP load generator for the mapping
-// service: a fixed set of workers issues a configurable mix of single-column
-// and streaming-batch requests against a running cmd/serve, optionally paced
-// to a target aggregate QPS, and reports counts, throttling and latency
+// Package loadgen is a closed-loop load generator for the mapping service:
+// a fixed set of workers issues a configurable mix of single-column and
+// streaming-batch requests against a running cmd/serve, optionally paced to
+// a target aggregate QPS, and reports counts, throttling and latency
 // percentiles as JSON. It exists so throughput claims about the serving
 // layer are measurable and repeatable (cmd/loadgen is the CLI wrapper).
+//
+// All traffic goes through pkg/client, the service's public Go SDK — the
+// generator is the SDK's continuous conformance exercise, not a parallel
+// hand-rolled HTTP implementation. Retries are disabled (client.WithRetries(0))
+// so every 429 the server emits is observed and counted rather than
+// silently absorbed by the SDK's retry loop.
 //
 // Closed-loop means each worker waits for its current request to finish
 // before issuing the next one, so the generator can never outrun the server
@@ -14,13 +20,9 @@
 package loadgen
 
 import (
-	"bufio"
-	"bytes"
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"math/rand"
 	"net/http"
 	"sort"
@@ -28,6 +30,7 @@ import (
 	"time"
 
 	"mapsynth/internal/latency"
+	"mapsynth/pkg/client"
 )
 
 // Op names accepted in Config.Mix.
@@ -73,7 +76,8 @@ type Config struct {
 	BatchSize int
 	// Seed makes the generated request sequence reproducible.
 	Seed int64
-	// Client overrides the HTTP client (tests inject the httptest client).
+	// Client overrides the underlying HTTP client the SDK uses (tests
+	// inject the httptest client).
 	Client *http.Client
 }
 
@@ -157,10 +161,15 @@ func Run(ctx context.Context, cfg Config, wl *Workload) (*Report, error) {
 	if len(cfg.Mix) == 0 {
 		cfg.Mix = DefaultMix()
 	}
-	client := cfg.Client
-	if client == nil {
-		client = &http.Client{Timeout: 30 * time.Second}
+	hc := cfg.Client
+	if hc == nil {
+		hc = &http.Client{Timeout: 30 * time.Second}
 	}
+	// Zero retries: the generator must see every 429 to report throttling
+	// truthfully; the SDK's retry loop would hide them inside latencies.
+	c := client.New(cfg.BaseURL,
+		client.WithHTTPClient(hc),
+		client.WithRetries(0))
 	picker, err := newOpPicker(cfg.Mix)
 	if err != nil {
 		return nil, err
@@ -220,7 +229,7 @@ func Run(ctx context.Context, cfg Config, wl *Workload) (*Report, error) {
 				}
 				op := picker.pick(rng)
 				t0 := time.Now()
-				rows, throttled, failed := issue(ctx, client, cfg, wl, rng, op)
+				rows, throttled, failed := issue(ctx, c, cfg, wl, rng, op)
 				if ctx.Err() != nil && failed {
 					// The deadline tore the request down mid-flight; that is
 					// the run ending, not a server error.
@@ -262,124 +271,96 @@ func Run(ctx context.Context, cfg Config, wl *Workload) (*Report, error) {
 	return rep, nil
 }
 
-// issue sends one request of the given op and classifies the outcome.
-func issue(ctx context.Context, client *http.Client, cfg Config, wl *Workload, rng *rand.Rand, op string) (rows int64, throttled, failed bool) {
+// issue sends one request of the given op through the SDK and classifies
+// the outcome.
+func issue(ctx context.Context, c *client.Client, cfg Config, wl *Workload, rng *rand.Rand, op string) (rows int64, throttled, failed bool) {
 	switch op {
 	case OpLookup:
-		resp, err := get(ctx, client, cfg.BaseURL+"/lookup?key="+wl.lookupKey(rng))
-		throttled, failed = classify(resp, err)
+		_, err := c.Lookup(ctx, wl.lookupKey(rng))
+		throttled, failed = classify(err)
 		return 0, throttled, failed
 	case OpAutoFill:
-		throttled, failed = post(ctx, client, cfg.BaseURL+"/autofill", wl.autoFillBody(rng))
+		_, err := c.AutoFill(ctx, wl.autoFillReq(rng))
+		throttled, failed = classify(err)
 		return 0, throttled, failed
 	case OpAutoCorrect:
-		throttled, failed = post(ctx, client, cfg.BaseURL+"/autocorrect", wl.autoCorrectBody(rng))
+		_, err := c.AutoCorrect(ctx, wl.autoCorrectReq(rng))
+		throttled, failed = classify(err)
 		return 0, throttled, failed
 	case OpAutoJoin:
-		throttled, failed = post(ctx, client, cfg.BaseURL+"/autojoin", wl.autoJoinBody(rng))
+		_, err := c.AutoJoin(ctx, wl.autoJoinReq(rng))
+		throttled, failed = classify(err)
 		return 0, throttled, failed
 	case OpBatchAutoFill:
-		return postBatch(ctx, client, cfg.BaseURL+"/batch/autofill", wl.autoFillBody, rng, cfg.BatchSize)
+		reqs := make([]client.AutoFillRequest, cfg.BatchSize)
+		for i := range reqs {
+			reqs[i] = wl.autoFillReq(rng)
+			reqs[i].ID = fmt.Sprintf("r%d", i)
+		}
+		return runBatch(len(reqs), func(count func(rowErr bool)) (*client.BatchTrailer, error) {
+			return c.BatchAutoFill(ctx, reqs, func(ln client.BatchLine[client.AutoFillResponse]) error {
+				count(ln.Err != nil)
+				return nil
+			})
+		})
 	case OpBatchAutoCorrect:
-		return postBatch(ctx, client, cfg.BaseURL+"/batch/autocorrect", wl.autoCorrectBody, rng, cfg.BatchSize)
+		reqs := make([]client.AutoCorrectRequest, cfg.BatchSize)
+		for i := range reqs {
+			reqs[i] = wl.autoCorrectReq(rng)
+			reqs[i].ID = fmt.Sprintf("r%d", i)
+		}
+		return runBatch(len(reqs), func(count func(rowErr bool)) (*client.BatchTrailer, error) {
+			return c.BatchAutoCorrect(ctx, reqs, func(ln client.BatchLine[client.AutoCorrectResponse]) error {
+				count(ln.Err != nil)
+				return nil
+			})
+		})
 	case OpBatchAutoJoin:
-		return postBatch(ctx, client, cfg.BaseURL+"/batch/autojoin", wl.autoJoinBody, rng, cfg.BatchSize)
+		reqs := make([]client.AutoJoinRequest, cfg.BatchSize)
+		for i := range reqs {
+			reqs[i] = wl.autoJoinReq(rng)
+			reqs[i].ID = fmt.Sprintf("r%d", i)
+		}
+		return runBatch(len(reqs), func(count func(rowErr bool)) (*client.BatchTrailer, error) {
+			return c.BatchAutoJoin(ctx, reqs, func(ln client.BatchLine[client.AutoJoinResponse]) error {
+				count(ln.Err != nil)
+				return nil
+			})
+		})
 	}
 	return 0, false, true
 }
 
-func get(ctx context.Context, client *http.Client, url string) (*http.Response, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
-	if err != nil {
-		return nil, err
+// classify maps an SDK call outcome to (throttled, failed): a 429 *APIError
+// is throttling, any other error is a failure.
+func classify(err error) (throttled, failed bool) {
+	if err == nil {
+		return false, false
 	}
-	return client.Do(req)
-}
-
-// classify drains and closes the response, mapping it to (throttled,
-// failed).
-func classify(resp *http.Response, err error) (throttled, failed bool) {
-	if err != nil {
-		return false, true
-	}
-	defer resp.Body.Close()
-	io.Copy(io.Discard, resp.Body)
-	switch {
-	case resp.StatusCode == http.StatusTooManyRequests:
+	var aerr *client.APIError
+	if errors.As(err, &aerr) && aerr.Status == http.StatusTooManyRequests {
 		return true, false
-	case resp.StatusCode != http.StatusOK:
-		return false, true
 	}
-	return false, false
+	return false, true
 }
 
-func post(ctx context.Context, client *http.Client, url string, body []byte) (throttled, failed bool) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
-	if err != nil {
-		return false, true
-	}
-	req.Header.Set("Content-Type", "application/json")
-	return classify(client.Do(req))
-}
-
-// postBatch sends n NDJSON lines built by bodyFn and validates the response
-// stream: every line must parse, the final line must be a done trailer
-// reporting n clean results. Anything less is an error — the generator is
-// also a protocol conformance check.
-func postBatch(ctx context.Context, client *http.Client, url string, bodyFn func(*rand.Rand) []byte, rng *rand.Rand, n int) (rows int64, throttled, failed bool) {
-	var body bytes.Buffer
-	for i := 0; i < n; i++ {
-		var line map[string]any
-		if err := json.Unmarshal(bodyFn(rng), &line); err != nil {
-			return 0, false, true
-		}
-		line["id"] = fmt.Sprintf("r%d", i)
-		b, err := json.Marshal(line)
-		if err != nil {
-			return 0, false, true
-		}
-		body.Write(b)
-		body.WriteByte('\n')
-	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body.Bytes()))
-	if err != nil {
-		return 0, false, true
-	}
-	req.Header.Set("Content-Type", "application/x-ndjson")
-	resp, err := client.Do(req)
-	if err != nil {
-		return 0, false, true
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode == http.StatusTooManyRequests {
-		io.Copy(io.Discard, resp.Body)
-		return 0, true, false
-	}
-	if resp.StatusCode != http.StatusOK {
-		io.Copy(io.Discard, resp.Body)
-		return 0, false, true
-	}
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 1<<20), 16<<20)
-	var last map[string]any
-	for sc.Scan() {
-		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
-			continue
-		}
-		last = nil
-		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
-			return rows, false, true
-		}
+// runBatch drives one batch stream and validates the protocol: every one of
+// the n inputs must come back as a clean result line and the trailer must
+// agree. Anything less is an error — the generator is also a protocol
+// conformance check of the SDK's streaming path.
+func runBatch(n int, stream func(count func(rowErr bool)) (*client.BatchTrailer, error)) (rows int64, throttled, failed bool) {
+	var rowErrs int64
+	trailer, err := stream(func(rowErr bool) {
 		rows++
+		if rowErr {
+			rowErrs++
+		}
+	})
+	if err != nil {
+		throttled, _ = classify(err)
+		return rows, throttled, !throttled
 	}
-	if sc.Err() != nil || last == nil {
-		return rows, false, true
-	}
-	rows-- // the trailer is not a result line
-	done, _ := last["done"].(bool)
-	results, _ := last["results"].(float64)
-	errCount, _ := last["errors"].(float64)
-	if !done || int(results) != n || errCount != 0 {
+	if rowErrs > 0 || trailer.Results != n || trailer.Errors != 0 || trailer.Truncated {
 		return rows, false, true
 	}
 	return rows, false, false

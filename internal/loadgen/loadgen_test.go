@@ -36,7 +36,7 @@ func testMappings() []*mapping.Mapping {
 	return maps
 }
 
-func TestWorkloadBodies(t *testing.T) {
+func TestWorkloadRequests(t *testing.T) {
 	wl, err := NewWorkload(testMappings())
 	if err != nil {
 		t.Fatal(err)
@@ -48,10 +48,14 @@ func TestWorkloadBodies(t *testing.T) {
 	if k := wl.lookupKey(rng); k == "" {
 		t.Error("empty lookup key")
 	}
-	for _, body := range [][]byte{wl.autoFillBody(rng), wl.autoCorrectBody(rng), wl.autoJoinBody(rng)} {
-		if len(body) == 0 {
-			t.Error("empty request body")
-		}
+	if fill := wl.autoFillReq(rng); len(fill.Column) == 0 || len(fill.Examples) == 0 {
+		t.Errorf("autofill request = %+v", fill)
+	}
+	if corr := wl.autoCorrectReq(rng); len(corr.Column) == 0 || corr.MinEach != 2 {
+		t.Errorf("autocorrect request = %+v", corr)
+	}
+	if join := wl.autoJoinReq(rng); len(join.KeysA) == 0 || len(join.KeysB) != len(join.KeysA) {
+		t.Errorf("autojoin request = %+v", join)
 	}
 }
 

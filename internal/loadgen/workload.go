@@ -1,18 +1,18 @@
 package loadgen
 
 import (
-	"encoding/json"
 	"errors"
 	"math/rand"
-	"net/url"
 
 	"mapsynth/internal/mapping"
+	"mapsynth/pkg/client"
 )
 
 // Workload is the query material for a run, derived from the same mapping
 // set the server is serving (cmd/loadgen reads the snapshot file) so
 // generated lookups genuinely hit the index instead of measuring the
-// miss path only.
+// miss path only. It produces the SDK's typed requests directly — the
+// generator speaks pkg/client end to end, never raw JSON.
 type Workload struct {
 	cols []mappingCols
 }
@@ -62,52 +62,48 @@ func (wl *Workload) random(rng *rand.Rand) mappingCols {
 	return wl.cols[rng.Intn(len(wl.cols))]
 }
 
-// lookupKey returns a URL-escaped left value of a random mapping.
+// lookupKey returns a left value of a random mapping (unescaped; the SDK
+// owns URL encoding).
 func (wl *Workload) lookupKey(rng *rand.Rand) string {
 	mc := wl.random(rng)
-	return url.QueryEscape(mc.lefts[rng.Intn(len(mc.lefts))])
+	return mc.lefts[rng.Intn(len(mc.lefts))]
 }
 
-// autoFillBody builds an /autofill request: a left column of one mapping
+// autoFillReq builds an auto-fill request: a left column of one mapping
 // with that mapping's own first pair as the demonstration example.
-func (wl *Workload) autoFillBody(rng *rand.Rand) []byte {
+func (wl *Workload) autoFillReq(rng *rand.Rand) client.AutoFillRequest {
 	mc := wl.random(rng)
-	b, _ := json.Marshal(map[string]any{
-		"column": mc.lefts,
-		"examples": []map[string]string{
-			{"left": mc.lefts[0], "right": mc.rights[0]},
-		},
-		"min_coverage": 0.8,
-	})
-	return b
+	return client.AutoFillRequest{
+		Column:      mc.lefts,
+		Examples:    []client.Example{{Left: mc.lefts[0], Right: mc.rights[0]}},
+		MinCoverage: 0.8,
+	}
 }
 
-// autoCorrectBody builds an /autocorrect request: a column that is mostly
+// autoCorrectReq builds an auto-correct request: a column that is mostly
 // left values with a minority of right values mixed in — the
 // inconsistent-representation shape the app detects.
-func (wl *Workload) autoCorrectBody(rng *rand.Rand) []byte {
+func (wl *Workload) autoCorrectReq(rng *rand.Rand) client.AutoCorrectRequest {
 	mc := wl.random(rng)
 	split := len(mc.lefts) / 2
 	if minority := len(mc.lefts) - split; minority > split {
 		split = minority
 	}
 	column := append(append([]string{}, mc.lefts[:split]...), mc.rights[split:]...)
-	b, _ := json.Marshal(map[string]any{
-		"column":       column,
-		"min_each":     2,
-		"min_coverage": 0.8,
-	})
-	return b
+	return client.AutoCorrectRequest{
+		Column:      column,
+		MinEach:     2,
+		MinCoverage: 0.8,
+	}
 }
 
-// autoJoinBody builds an /autojoin request joining a mapping's left column
+// autoJoinReq builds an auto-join request joining a mapping's left column
 // against its right column — the representation bridge the app resolves.
-func (wl *Workload) autoJoinBody(rng *rand.Rand) []byte {
+func (wl *Workload) autoJoinReq(rng *rand.Rand) client.AutoJoinRequest {
 	mc := wl.random(rng)
-	b, _ := json.Marshal(map[string]any{
-		"keys_a":       mc.lefts,
-		"keys_b":       mc.rights,
-		"min_coverage": 0.8,
-	})
-	return b
+	return client.AutoJoinRequest{
+		KeysA:       mc.lefts,
+		KeysB:       mc.rights,
+		MinCoverage: 0.8,
+	}
 }

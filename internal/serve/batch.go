@@ -30,11 +30,17 @@ import (
 
 // batchErrorLine reports one input line that could not be answered: a
 // malformed JSON line (which also ends decoding — NDJSON cannot be resynced
-// after a syntax error) or a validation failure.
+// after a syntax error) or a validation failure. The error payload is the
+// same structured object as top-level error envelopes, minus the request ID
+// (the stream's trailer carries it once).
 type batchErrorLine struct {
-	Index int    `json:"index"`
-	ID    string `json:"id,omitempty"`
-	Error string `json:"error"`
+	Index int      `json:"index"`
+	ID    string   `json:"id,omitempty"`
+	Error apiError `json:"error"`
+}
+
+func errorLine(index int, id string, ce *computeError) batchErrorLine {
+	return batchErrorLine{Index: index, ID: id, Error: apiError{Code: ce.code, Message: ce.msg}}
 }
 
 // batchTrailer is the final line of every batch response stream.
@@ -47,6 +53,9 @@ type batchTrailer struct {
 	// Truncated reports that the request body was abandoned before EOF
 	// (malformed line or client disconnect); absent on clean streams.
 	Truncated bool `json:"truncated,omitempty"`
+	// RequestID echoes the request's X-Request-ID, so a stored batch
+	// result can be tied back to server logs.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 type batchFillRequest struct {
@@ -83,30 +92,30 @@ type batchJoinLine struct {
 }
 
 func (s *Server) handleBatchAutoFill(w http.ResponseWriter, r *http.Request) bool {
-	return streamBatch(s, w, r, func(st *State, ix apps.Index, i int, req batchFillRequest) (any, bool) {
-		resp, errMsg := autoFillCompute(st, ix, req.autoFillRequest)
-		if errMsg != "" {
-			return batchErrorLine{Index: i, ID: req.ID, Error: errMsg}, false
+	return streamBatch(s, w, r, func(ctx context.Context, st *State, sess *apps.Session, i int, req batchFillRequest) (any, bool) {
+		resp, ce := autoFillCompute(ctx, st, sess, req.autoFillRequest)
+		if ce != nil {
+			return errorLine(i, req.ID, ce), false
 		}
 		return batchFillLine{Index: i, ID: req.ID, autoFillResponse: resp}, true
 	})
 }
 
 func (s *Server) handleBatchAutoCorrect(w http.ResponseWriter, r *http.Request) bool {
-	return streamBatch(s, w, r, func(st *State, ix apps.Index, i int, req batchCorrectRequest) (any, bool) {
-		resp, errMsg := autoCorrectCompute(st, ix, req.autoCorrectRequest)
-		if errMsg != "" {
-			return batchErrorLine{Index: i, ID: req.ID, Error: errMsg}, false
+	return streamBatch(s, w, r, func(ctx context.Context, st *State, sess *apps.Session, i int, req batchCorrectRequest) (any, bool) {
+		resp, ce := autoCorrectCompute(ctx, st, sess, req.autoCorrectRequest)
+		if ce != nil {
+			return errorLine(i, req.ID, ce), false
 		}
 		return batchCorrectLine{Index: i, ID: req.ID, autoCorrectResponse: resp}, true
 	})
 }
 
 func (s *Server) handleBatchAutoJoin(w http.ResponseWriter, r *http.Request) bool {
-	return streamBatch(s, w, r, func(st *State, ix apps.Index, i int, req batchJoinRequest) (any, bool) {
-		resp, errMsg := autoJoinCompute(st, ix, req.autoJoinRequest)
-		if errMsg != "" {
-			return batchErrorLine{Index: i, ID: req.ID, Error: errMsg}, false
+	return streamBatch(s, w, r, func(ctx context.Context, st *State, sess *apps.Session, i int, req batchJoinRequest) (any, bool) {
+		resp, ce := autoJoinCompute(ctx, st, sess, req.autoJoinRequest)
+		if ce != nil {
+			return errorLine(i, req.ID, ce), false
 		}
 		return batchJoinLine{Index: i, ID: req.ID, autoJoinResponse: resp}, true
 	})
@@ -117,22 +126,27 @@ func (s *Server) handleBatchAutoJoin(w http.ResponseWriter, r *http.Request) boo
 // one input line against the pinned state and the per-request caching
 // index; its bool reports success (false lines are counted as errors in
 // the limiter and trailer).
-func streamBatch[Req any](s *Server, w http.ResponseWriter, r *http.Request, handle func(st *State, ix apps.Index, i int, req Req) (any, bool)) bool {
+func streamBatch[Req any](s *Server, w http.ResponseWriter, r *http.Request, handle func(ctx context.Context, st *State, sess *apps.Session, i int, req Req) (any, bool)) bool {
 	if r.Method != http.MethodPost {
-		return writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return writeError(w, r, CodeMethodNotAllowed, "POST required")
 	}
 	if !s.batch.tryAcquireRequest() {
-		w.Header().Set("Retry-After", "1")
-		return writeError(w, http.StatusTooManyRequests, "batch capacity saturated, retry later")
+		return writeOverloaded(w, r, batchRetryAfter, "batch capacity saturated, retry later")
 	}
 	defer s.batch.releaseRequest()
 
 	// Pin the state once: every line of one batch answers against the same
-	// snapshot even if a reload lands mid-stream. The caching wrapper gives
-	// this request the within-batch lookup amortization of the apps batch
-	// API: identical columns across lines share one shard scan.
-	st := s.state.Load()
-	cix := apps.NewCachedIndex(st.Index)
+	// snapshot even if a reload lands mid-stream. The per-request Session
+	// wraps a caching index, giving this request the within-batch lookup
+	// amortization of a multi-query apps call: identical columns across
+	// lines share one shard scan.
+	st, ok := s.loadedState(w, r)
+	if !ok {
+		return false
+	}
+	sess := apps.NewSession(apps.NewCachedIndex(st.Index),
+		apps.WithCache(false), // the shared wrapper above already dedups
+		apps.WithDefaults(serveDefaults))
 	// The stream context also covers writer health: when the response side
 	// dies (client stopped reading past BatchWriteTimeout), cancelling it
 	// makes the decoder stop admitting rows and in-flight workers drop
@@ -170,20 +184,20 @@ func streamBatch[Req any](s *Server, w http.ResponseWriter, r *http.Request, han
 			var req Req
 			if err := dec.Decode(&req); err != nil {
 				if !errors.Is(err, io.EOF) {
-					decodeFail <- batchErrorLine{Index: i, Error: "bad request line: " + err.Error()}
+					decodeFail <- errorLine(i, "", &computeError{CodeBadRequest, "bad request line: " + err.Error()})
 				}
 				return
 			}
 			// The row bound is enforced here, before the next line is even
 			// read: saturation stalls the decoder, not the answer stream.
 			if s.batch.acquireRow(ctx) != nil {
-				decodeFail <- batchErrorLine{Index: i, Error: "request cancelled"}
+				decodeFail <- errorLine(i, "", &computeError{CodeInternal, "request cancelled"})
 				return
 			}
 			wg.Add(1)
 			go func(i int, req Req) {
 				defer wg.Done()
-				v, ok := answerRow(st, cix, i, req, handle)
+				v, ok := answerRow(ctx, st, sess, i, req, handle)
 				// Hand the line to the writer before releasing the row
 				// slot: a client that reads its response slowly must hold
 				// its slots, or the row bound would not actually bound the
@@ -216,7 +230,7 @@ func streamBatch[Req any](s *Server, w http.ResponseWriter, r *http.Request, han
 			flusher.Flush()
 		}
 	}
-	trailer := batchTrailer{Done: true}
+	trailer := batchTrailer{Done: true, RequestID: requestID(r)}
 	for ln := range results {
 		writeLine(ln.v)
 		trailer.Results++
@@ -240,89 +254,163 @@ func streamBatch[Req any](s *Server, w http.ResponseWriter, r *http.Request, han
 // error line instead of letting it kill the process: row work runs on
 // goroutines the HTTP server's per-connection panic recovery does not
 // cover, and one poisoned input must cost one row, not the whole service.
-func answerRow[Req any](st *State, ix apps.Index, i int, req Req, handle func(*State, apps.Index, int, Req) (any, bool)) (v any, ok bool) {
+func answerRow[Req any](ctx context.Context, st *State, sess *apps.Session, i int, req Req, handle func(context.Context, *State, *apps.Session, int, Req) (any, bool)) (v any, ok bool) {
 	defer func() {
 		if r := recover(); r != nil {
-			v, ok = batchErrorLine{Index: i, Error: fmt.Sprintf("internal error answering row: %v", r)}, false
+			v, ok = errorLine(i, "", &computeError{CodeInternal, fmt.Sprintf("internal error answering row: %v", r)}), false
 		}
 	}()
-	return handle(st, ix, i, req)
+	return handle(ctx, st, sess, i, req)
 }
 
 // ---- shared single-column compute paths ----
 //
-// Each compute function answers one column against a pinned state and is
-// shared verbatim by the single-request handler and the batch stream, so
-// the two surfaces cannot drift. ix is the lookup surface to use — the
-// state's sharded index directly for single requests, a per-request
-// CachedIndex for batches (st is still needed for mapping provenance). A
-// non-empty string return is a validation error (400 on the single
-// endpoint, an error line in a batch).
+// Each compute function validates one request, answers it through an
+// apps.Session, and is shared verbatim by the single-request handler and
+// the batch stream, so the two surfaces cannot drift. sess is the query
+// surface to use — the pinned state's long-lived session for single
+// requests, a per-request caching session for batches (st is still needed
+// for mapping provenance). A non-nil computeError is an error response
+// (status from its code on the single endpoint, an error line in a batch).
 
-func autoFillCompute(st *State, ix apps.Index, req autoFillRequest) (autoFillResponse, string) {
-	if len(req.Column) == 0 {
-		return autoFillResponse{}, "column must not be empty"
+// maxTopK bounds the top_k request parameter: candidate lists are for
+// disambiguation UIs, not for exporting the index.
+const maxTopK = 100
+
+// batchRetryAfter is the delay advertised on 429 responses, feeding both
+// the Retry-After header and the envelope's retry_after_ms.
+const batchRetryAfter = time.Second
+
+// validateParams checks the request parameters shared by the three
+// application endpoints. Zero values mean "use the server default" and are
+// always legal; explicit out-of-range values are rejected rather than
+// silently clamped.
+func validateParams(minCoverage float64, topK int) *computeError {
+	if minCoverage < 0 || minCoverage > 1 {
+		return badRequestf("min_coverage must be within [0, 1], got %g", minCoverage)
 	}
-	if req.MinCoverage <= 0 {
-		req.MinCoverage = 0.8
+	if topK < 0 || topK > maxTopK {
+		return badRequestf("top_k must be within [0, %d], got %d", maxTopK, topK)
+	}
+	return nil
+}
+
+func autoFillCompute(ctx context.Context, st *State, sess *apps.Session, req autoFillRequest) (autoFillResponse, *computeError) {
+	if len(req.Column) == 0 {
+		return autoFillResponse{}, badRequestf("column must not be empty")
+	}
+	if ce := validateParams(req.MinCoverage, req.TopK); ce != nil {
+		return autoFillResponse{}, ce
 	}
 	examples := make([]apps.Example, len(req.Examples))
 	for i, e := range req.Examples {
 		examples[i] = apps.Example{Left: e.Left, Right: e.Right}
 	}
-	res := apps.AutoFill(ix, req.Column, examples, req.MinCoverage)
-	resp := autoFillResponse{Found: res.MappingIndex >= 0, MappingIndex: res.MappingIndex}
+	results, err := sess.AutoFill(ctx, []apps.AutoFillQuery{{
+		Column:      req.Column,
+		Examples:    examples,
+		MinCoverage: req.MinCoverage,
+		TopK:        req.TopK,
+	}})
+	if err != nil {
+		return autoFillResponse{}, &computeError{CodeInternal, "request cancelled: " + err.Error()}
+	}
+	res := results[0]
+	resp := autoFillResponse{
+		Found:             res.MappingIndex >= 0,
+		autoFillCandidate: autoFillView(st, res, len(req.Column)),
+	}
+	for _, c := range res.Candidates {
+		resp.Candidates = append(resp.Candidates, autoFillView(st, c, len(req.Column)))
+	}
+	return resp, nil
+}
+
+func autoFillView(st *State, res apps.AutoFillResult, columnLen int) autoFillCandidate {
+	c := autoFillCandidate{MappingIndex: res.MappingIndex}
 	if res.MappingIndex >= 0 {
-		resp.MappingID = st.Index.Mapping(res.MappingIndex).ID
-		for row := 0; row < len(req.Column); row++ {
+		c.MappingID = st.Index.Mapping(res.MappingIndex).ID
+		for row := 0; row < columnLen; row++ {
 			if v, ok := res.Filled[row]; ok {
-				resp.Filled = append(resp.Filled, filledCell{Row: row, Value: v})
+				c.Filled = append(c.Filled, filledCell{Row: row, Value: v})
 			}
 		}
 	}
-	return resp, ""
+	return c
 }
 
-func autoCorrectCompute(st *State, ix apps.Index, req autoCorrectRequest) (autoCorrectResponse, string) {
+func autoCorrectCompute(ctx context.Context, st *State, sess *apps.Session, req autoCorrectRequest) (autoCorrectResponse, *computeError) {
 	if len(req.Column) == 0 {
-		return autoCorrectResponse{}, "column must not be empty"
+		return autoCorrectResponse{}, badRequestf("column must not be empty")
 	}
-	if req.MinEach <= 0 {
-		req.MinEach = 2
+	if ce := validateParams(req.MinCoverage, req.TopK); ce != nil {
+		return autoCorrectResponse{}, ce
 	}
-	if req.MinCoverage <= 0 {
-		req.MinCoverage = 0.8
+	if req.MinEach < 0 {
+		return autoCorrectResponse{}, badRequestf("min_each must be >= 0, got %d", req.MinEach)
 	}
-	res := apps.AutoCorrect(ix, req.Column, req.MinEach, req.MinCoverage)
+	results, err := sess.AutoCorrect(ctx, []apps.AutoCorrectQuery{{
+		Column:      req.Column,
+		MinEach:     req.MinEach,
+		MinCoverage: req.MinCoverage,
+		TopK:        req.TopK,
+	}})
+	if err != nil {
+		return autoCorrectResponse{}, &computeError{CodeInternal, "request cancelled: " + err.Error()}
+	}
+	res := results[0]
 	resp := autoCorrectResponse{
-		Found:        res.MappingIndex >= 0,
-		MappingIndex: res.MappingIndex,
-		Corrections:  res.Corrections,
+		Found:                res.MappingIndex >= 0,
+		autoCorrectCandidate: autoCorrectView(st, res),
 	}
-	if res.MappingIndex >= 0 {
-		resp.MappingID = st.Index.Mapping(res.MappingIndex).ID
+	for _, c := range res.Candidates {
+		resp.Candidates = append(resp.Candidates, autoCorrectView(st, c))
 	}
-	return resp, ""
+	return resp, nil
 }
 
-func autoJoinCompute(st *State, ix apps.Index, req autoJoinRequest) (autoJoinResponse, string) {
-	if len(req.KeysA) == 0 || len(req.KeysB) == 0 {
-		return autoJoinResponse{}, "keys_a and keys_b must not be empty"
-	}
-	if req.MinCoverage <= 0 {
-		req.MinCoverage = 0.8
-	}
-	res := apps.AutoJoin(ix, req.KeysA, req.KeysB, req.MinCoverage)
-	resp := autoJoinResponse{
-		Found:        res.MappingIndex >= 0,
-		MappingIndex: res.MappingIndex,
-		Bridged:      res.Bridged,
-	}
+func autoCorrectView(st *State, res apps.AutoCorrectResult) autoCorrectCandidate {
+	c := autoCorrectCandidate{MappingIndex: res.MappingIndex, Corrections: res.Corrections}
 	if res.MappingIndex >= 0 {
-		resp.MappingID = st.Index.Mapping(res.MappingIndex).ID
+		c.MappingID = st.Index.Mapping(res.MappingIndex).ID
+	}
+	return c
+}
+
+func autoJoinCompute(ctx context.Context, st *State, sess *apps.Session, req autoJoinRequest) (autoJoinResponse, *computeError) {
+	if len(req.KeysA) == 0 || len(req.KeysB) == 0 {
+		return autoJoinResponse{}, badRequestf("keys_a and keys_b must not be empty")
+	}
+	if ce := validateParams(req.MinCoverage, req.TopK); ce != nil {
+		return autoJoinResponse{}, ce
+	}
+	results, err := sess.AutoJoin(ctx, []apps.AutoJoinQuery{{
+		KeysA:       req.KeysA,
+		KeysB:       req.KeysB,
+		MinCoverage: req.MinCoverage,
+		TopK:        req.TopK,
+	}})
+	if err != nil {
+		return autoJoinResponse{}, &computeError{CodeInternal, "request cancelled: " + err.Error()}
+	}
+	res := results[0]
+	resp := autoJoinResponse{
+		Found:             res.MappingIndex >= 0,
+		autoJoinCandidate: autoJoinView(st, res),
+	}
+	for _, c := range res.Candidates {
+		resp.Candidates = append(resp.Candidates, autoJoinView(st, c))
+	}
+	return resp, nil
+}
+
+func autoJoinView(st *State, res apps.AutoJoinResult) autoJoinCandidate {
+	c := autoJoinCandidate{MappingIndex: res.MappingIndex, Bridged: res.Bridged}
+	if res.MappingIndex >= 0 {
+		c.MappingID = st.Index.Mapping(res.MappingIndex).ID
 		for _, row := range res.Rows {
-			resp.Rows = append(resp.Rows, joinedRow{LeftRow: row.LeftRow, RightRow: row.RightRow})
+			c.Rows = append(c.Rows, joinedRow{LeftRow: row.LeftRow, RightRow: row.RightRow})
 		}
 	}
-	return resp, ""
+	return c
 }

@@ -3,12 +3,14 @@ package serve
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -34,6 +36,18 @@ func postNDJSON(t *testing.T, h http.Handler, url, body string) (*httptest.Respo
 		lines = append(lines, json.RawMessage(append([]byte{}, sc.Bytes()...)))
 	}
 	return rec, lines
+}
+
+// rowError extracts the structured error payload of one batch row line,
+// returning ("", "") when the row is not an error line.
+func rowError(row map[string]any) (code, msg string) {
+	e, _ := row["error"].(map[string]any)
+	if e == nil {
+		return "", ""
+	}
+	code, _ = e["code"].(string)
+	msg, _ = e["message"].(string)
+	return code, msg
 }
 
 // batchParts splits a parsed NDJSON response into per-row lines (keyed by
@@ -180,8 +194,8 @@ func TestBatchErrorLines(t *testing.T) {
 	if trailer.Results != 3 || trailer.Errors != 1 || trailer.Truncated {
 		t.Fatalf("trailer = %+v", trailer)
 	}
-	if msg, _ := rows[1]["error"].(string); msg == "" {
-		t.Errorf("row 1 = %v, want an error line", rows[1])
+	if code, msg := rowError(rows[1]); code != string(CodeBadRequest) || msg == "" {
+		t.Errorf("row 1 = %v, want a structured bad_request error line", rows[1])
 	}
 	if rows[1]["id"] != "b" {
 		t.Errorf("error line id = %v, want b", rows[1]["id"])
@@ -200,7 +214,7 @@ func TestBatchErrorLines(t *testing.T) {
 	if !trailer.Truncated || trailer.Errors != 1 || trailer.Results != 2 {
 		t.Fatalf("trailer after bad line = %+v", trailer)
 	}
-	if msg, _ := rows[1]["error"].(string); !strings.Contains(msg, "bad request line") {
+	if _, msg := rowError(rows[1]); !strings.Contains(msg, "bad request line") {
 		t.Errorf("decode error line = %v", rows[1])
 	}
 
@@ -218,14 +232,14 @@ func TestBatchErrorLines(t *testing.T) {
 func TestAnswerRowRecoversPanic(t *testing.T) {
 	srv, _ := newTestServer(t, 1, 0)
 	st := srv.State()
-	v, ok := answerRow(st, st.Index, 3, "boom", func(*State, apps.Index, int, string) (any, bool) {
+	v, ok := answerRow(context.Background(), st, st.session, 3, "boom", func(context.Context, *State, *apps.Session, int, string) (any, bool) {
 		panic("index exploded")
 	})
 	if ok {
 		t.Fatal("panicking row reported success")
 	}
 	el, isErr := v.(batchErrorLine)
-	if !isErr || el.Index != 3 || !strings.Contains(el.Error, "index exploded") {
+	if !isErr || el.Index != 3 || el.Error.Code != CodeInternal || !strings.Contains(el.Error.Message, "index exploded") {
 		t.Fatalf("recovered line = %#v", v)
 	}
 }
@@ -238,9 +252,9 @@ func TestBatchMethodAndRouting(t *testing.T) {
 	if rec.Code != http.StatusMethodNotAllowed {
 		t.Errorf("GET /batch/autofill = %d, want 405", rec.Code)
 	}
-	var e map[string]string
-	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e["error"] == "" {
-		t.Errorf("405 body not a JSON error: %q", rec.Body.String())
+	var e errorEnvelope
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error.Code != CodeMethodNotAllowed {
+		t.Errorf("405 body not a structured JSON error: %q", rec.Body.String())
 	}
 }
 
@@ -287,12 +301,20 @@ func TestBatchLimiterSaturation(t *testing.T) {
 		}
 		if resp.StatusCode == http.StatusTooManyRequests {
 			rejected++
-			if resp.Header.Get("Retry-After") == "" {
+			retryAfter := resp.Header.Get("Retry-After")
+			if retryAfter == "" {
 				t.Error("429 without Retry-After")
 			}
-			var e map[string]string
-			if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e["error"] == "" {
-				t.Errorf("429 body not a JSON error")
+			var e errorEnvelope
+			if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error.Code != CodeOverloaded {
+				t.Errorf("429 body not a structured JSON error")
+			}
+			// The header and the envelope advertise the same delay.
+			if secs, _ := strconv.ParseInt(retryAfter, 10, 64); secs*1000 != e.Error.RetryAfterMs {
+				t.Errorf("Retry-After %ss out of sync with retry_after_ms %d", retryAfter, e.Error.RetryAfterMs)
+			}
+			if e.Error.RequestID == "" {
+				t.Error("429 envelope missing request_id")
 			}
 		}
 		resp.Body.Close()

@@ -1,0 +1,222 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mapsynth/internal/snapshot"
+)
+
+// doReq issues one request against h with a pinned X-Request-ID so response
+// bodies that echo the ID are reproducible byte for byte.
+func doReq(t *testing.T, h http.Handler, method, path, body, reqID string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	req.Header.Set("X-Request-ID", reqID)
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestV1AliasParity is the migration-safety test of the v1 rollout: every
+// legacy unversioned path must answer byte-identically to its /v1/
+// canonical path — same status, same body — so existing clients observe no
+// behavior change, only the Deprecation signal. Time-valued fields
+// (uptime_s on healthz/stats; loaded_at and duration_ms on reload, which
+// installs a fresh state per call) are the only tolerated divergence and
+// are compared structurally with those fields stripped.
+func TestV1AliasParity(t *testing.T) {
+	maps := testMappings()
+	snapPath := filepath.Join(t.TempDir(), "parity.snap")
+	if err := snapshot.WriteFile(snapPath, maps); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewFromMappings(maps, Options{Shards: 2, CacheSize: 64, SnapshotPath: snapPath})
+	h := srv.Handler()
+	const reqID = "parity-req-id"
+
+	cases := []struct {
+		name     string
+		method   string
+		path     string // legacy path; the v1 alias is "/v1" + path
+		body     string
+		volatile []string // top-level fields allowed to differ (time-valued)
+	}{
+		{"lookup", http.MethodGet, "/lookup?key=California", "", nil},
+		{"autofill", http.MethodPost, "/autofill",
+			`{"column":["San Francisco","Seattle"],"examples":[{"left":"San Francisco","right":"California"}]}`, nil},
+		{"autofill-topk", http.MethodPost, "/autofill",
+			`{"column":["California","Washington"],"top_k":3}`, nil},
+		{"autocorrect", http.MethodPost, "/autocorrect",
+			`{"column":["California","Washington","CA","WA"]}`, nil},
+		{"autojoin", http.MethodPost, "/autojoin",
+			`{"keys_a":["California","Oregon"],"keys_b":["CA","OR"]}`, nil},
+		{"batch-autofill", http.MethodPost, "/batch/autofill",
+			`{"id":"a","column":["Seattle"]}` + "\n", nil},
+		{"batch-autocorrect", http.MethodPost, "/batch/autocorrect",
+			`{"id":"b","column":["California","Washington","CA","WA"]}` + "\n", nil},
+		{"batch-autojoin", http.MethodPost, "/batch/autojoin",
+			`{"id":"c","keys_a":["California"],"keys_b":["CA"]}` + "\n", nil},
+		{"healthz", http.MethodGet, "/healthz", "", []string{"uptime_s"}},
+		{"stats", http.MethodGet, "/stats", "", []string{"uptime_s"}},
+		// Last: each reload call installs a fresh state.
+		{"reload", http.MethodPost, "/reload", `{}`, []string{"loaded_at", "duration_ms"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			legacy := doReq(t, h, tc.method, tc.path, tc.body, reqID)
+			v1 := doReq(t, h, tc.method, "/v1"+tc.path, tc.body, reqID)
+
+			if legacy.Code != http.StatusOK || v1.Code != http.StatusOK {
+				t.Fatalf("status legacy=%d v1=%d (legacy body %q)", legacy.Code, v1.Code, legacy.Body.String())
+			}
+			// The deprecated alias must advertise its successor; the
+			// canonical path must not.
+			if got := legacy.Header().Get("Deprecation"); got != "true" {
+				t.Errorf("legacy Deprecation header = %q, want \"true\"", got)
+			}
+			wantLink := `</v1` + strings.SplitN(tc.path, "?", 2)[0] + `>; rel="successor-version"`
+			if got := legacy.Header().Get("Link"); got != wantLink {
+				t.Errorf("legacy Link header = %q, want %q", got, wantLink)
+			}
+			if got := v1.Header().Get("Deprecation"); got != "" {
+				t.Errorf("v1 path carries Deprecation header %q", got)
+			}
+			for _, rec := range []*httptest.ResponseRecorder{legacy, v1} {
+				if got := rec.Header().Get("X-Request-ID"); got != reqID {
+					t.Errorf("X-Request-ID = %q, want %q", got, reqID)
+				}
+			}
+
+			if len(tc.volatile) == 0 {
+				if legacy.Body.String() != v1.Body.String() {
+					t.Errorf("bodies differ:\nlegacy: %s\nv1:     %s", legacy.Body.String(), v1.Body.String())
+				}
+				return
+			}
+			var lm, vm map[string]any
+			if err := json.Unmarshal(legacy.Body.Bytes(), &lm); err != nil {
+				t.Fatalf("legacy body not JSON: %v", err)
+			}
+			if err := json.Unmarshal(v1.Body.Bytes(), &vm); err != nil {
+				t.Fatalf("v1 body not JSON: %v", err)
+			}
+			for _, f := range tc.volatile {
+				if _, ok := lm[f]; !ok {
+					t.Errorf("volatile field %q absent from response", f)
+				}
+				delete(lm, f)
+				delete(vm, f)
+			}
+			if !reflect.DeepEqual(lm, vm) {
+				t.Errorf("bodies differ beyond volatile fields:\nlegacy: %v\nv1:     %v", lm, vm)
+			}
+		})
+	}
+}
+
+// TestErrorEnvelopeGoldens pins the exact wire shape of every error code in
+// the v1 contract. These are golden bodies, not structural checks: clients
+// branch on this JSON, so any drift — field order, naming, casing — is a
+// breaking change this test is meant to catch.
+func TestErrorEnvelopeGoldens(t *testing.T) {
+	const reqID = "golden-id"
+	srv, _ := newTestServer(t, 1, 8)
+	h := srv.Handler()
+
+	// A server whose only batch request slot is already held: the next
+	// batch request must be rejected with the overloaded envelope.
+	busy, _ := newTestServer(t, 1, 8)
+	busy.batch = newBatchLimiter(1, 4)
+	busy.batch.requestSem <- struct{}{}
+	busyH := busy.Handler()
+
+	// A server with no loaded snapshot state answers not_ready.
+	empty := newServer(Options{})
+	emptyH := empty.Handler()
+
+	// The internal code is produced by mid-request failures (cancellation,
+	// row panics) that are awkward to trigger deterministically; golden its
+	// envelope through the same writeError choke point every handler uses.
+	internalH := withRequestID(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, r, CodeInternal, "simulated mid-request failure")
+	}))
+
+	cases := []struct {
+		name   string
+		h      http.Handler
+		method string
+		path   string
+		body   string
+		status int
+		golden string
+	}{
+		{"bad_request empty input", h, http.MethodPost, "/v1/autofill", `{"column":[]}`,
+			http.StatusBadRequest,
+			`{"error":{"code":"bad_request","message":"column must not be empty","request_id":"golden-id"}}`},
+		{"bad_request top_k range", h, http.MethodPost, "/v1/autofill", `{"column":["x"],"top_k":101}`,
+			http.StatusBadRequest,
+			`{"error":{"code":"bad_request","message":"top_k must be within [0, 100], got 101","request_id":"golden-id"}}`},
+		{"bad_request min_coverage range", h, http.MethodPost, "/v1/autojoin", `{"keys_a":["x"],"keys_b":["y"],"min_coverage":1.5}`,
+			http.StatusBadRequest,
+			`{"error":{"code":"bad_request","message":"min_coverage must be within [0, 1], got 1.5","request_id":"golden-id"}}`},
+		{"bad_request min_each range", h, http.MethodPost, "/v1/autocorrect", `{"column":["x"],"min_each":-2}`,
+			http.StatusBadRequest,
+			// encoding/json HTML-escapes '>' on the wire; the golden pins
+			// the literal bytes clients receive.
+			`{"error":{"code":"bad_request","message":"min_each must be \u003e= 0, got -2","request_id":"golden-id"}}`},
+		{"not_found", h, http.MethodGet, "/v1/nope", "",
+			http.StatusNotFound,
+			`{"error":{"code":"not_found","message":"no such endpoint: /v1/nope","request_id":"golden-id"}}`},
+		{"method_not_allowed", h, http.MethodGet, "/v1/autofill", "",
+			http.StatusMethodNotAllowed,
+			`{"error":{"code":"method_not_allowed","message":"POST required","request_id":"golden-id"}}`},
+		{"unprocessable", h, http.MethodPost, "/v1/reload", `{"rebuild":true}`,
+			http.StatusUnprocessableEntity,
+			`{"error":{"code":"unprocessable","message":"reload failed: serve: no rebuild source configured","request_id":"golden-id"}}`},
+		{"overloaded", busyH, http.MethodPost, "/v1/batch/autofill", `{"column":["x"]}` + "\n",
+			http.StatusTooManyRequests,
+			`{"error":{"code":"overloaded","message":"batch capacity saturated, retry later","retry_after_ms":1000,"request_id":"golden-id"}}`},
+		{"not_ready", emptyH, http.MethodGet, "/v1/healthz", "",
+			http.StatusServiceUnavailable,
+			`{"error":{"code":"not_ready","message":"no snapshot loaded yet","request_id":"golden-id"}}`},
+		{"internal", internalH, http.MethodGet, "/v1/anything", "",
+			http.StatusInternalServerError,
+			`{"error":{"code":"internal","message":"simulated mid-request failure","request_id":"golden-id"}}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := doReq(t, tc.h, tc.method, tc.path, tc.body, reqID)
+			if rec.Code != tc.status {
+				t.Fatalf("status = %d, want %d (body %q)", rec.Code, tc.status, rec.Body.String())
+			}
+			if got := rec.Body.String(); got != tc.golden+"\n" {
+				t.Errorf("body = %s\nwant %s", got, tc.golden)
+			}
+			if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+				t.Errorf("Content-Type = %q", ct)
+			}
+			// The overloaded path advertises the retry delay twice — header
+			// and body — from one duration; they must agree exactly.
+			if tc.status == http.StatusTooManyRequests {
+				secs, err := strconv.Atoi(rec.Header().Get("Retry-After"))
+				if err != nil {
+					t.Fatalf("bad Retry-After header %q", rec.Header().Get("Retry-After"))
+				}
+				var env errorEnvelope
+				if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+					t.Fatal(err)
+				}
+				if int64(secs)*1000 != env.Error.RetryAfterMs {
+					t.Errorf("Retry-After %ds != retry_after_ms %d", secs, env.Error.RetryAfterMs)
+				}
+			}
+		})
+	}
+}

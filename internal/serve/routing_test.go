@@ -9,10 +9,11 @@ import (
 )
 
 // TestRouting pins the routing contract for every endpoint: known paths
-// answer with their documented status, wrong methods get a JSON 405, and
-// unknown paths — including near-misses under registered prefixes — get a
-// JSON 404 instead of the mux's plain-text default (or, worse, a silent
-// 200).
+// answer with their documented status at both the /v1/ canonical path and
+// the deprecated unversioned alias, wrong methods get a structured JSON
+// 405, and unknown paths — including near-misses under registered prefixes
+// and under /v1/ — get a structured JSON 404 instead of the mux's
+// plain-text default (or, worse, a silent 200).
 func TestRouting(t *testing.T) {
 	srv, _ := newTestServer(t, 2, 8)
 	h := srv.Handler()
@@ -22,7 +23,7 @@ func TestRouting(t *testing.T) {
 		path      string
 		body      string
 		status    int
-		jsonError bool // body must be {"error": ...}
+		jsonError bool // body must be the structured {"error":{...}} envelope
 	}{
 		// Happy paths.
 		{http.MethodGet, "/healthz", "", http.StatusOK, false},
@@ -53,37 +54,58 @@ func TestRouting(t *testing.T) {
 		{http.MethodPost, "/batch", "", http.StatusNotFound, true},
 		{http.MethodPost, "/batch/", "", http.StatusNotFound, true},
 		{http.MethodPost, "/batch/nope", "", http.StatusNotFound, true},
+		{http.MethodGet, "/v1", "", http.StatusNotFound, true},
+		{http.MethodGet, "/v1/", "", http.StatusNotFound, true},
+		{http.MethodGet, "/v1/nope", "", http.StatusNotFound, true},
+		{http.MethodPost, "/v1/batch/nope", "", http.StatusNotFound, true},
+		{http.MethodGet, "/v2/lookup", "", http.StatusNotFound, true},
 
 		// Bad inputs on known paths: JSON 400.
 		{http.MethodGet, "/lookup", "", http.StatusBadRequest, true},
 		{http.MethodPost, "/autofill", `{"column":[]}`, http.StatusBadRequest, true},
 		{http.MethodPost, "/autofill", `{"colunm":["x"]}`, http.StatusBadRequest, true},
+
+		// Out-of-range parameters: JSON 400 with code bad_request.
+		{http.MethodPost, "/autofill", `{"column":["x"],"min_coverage":1.5}`, http.StatusBadRequest, true},
+		{http.MethodPost, "/autofill", `{"column":["x"],"min_coverage":-0.1}`, http.StatusBadRequest, true},
+		{http.MethodPost, "/autofill", `{"column":["x"],"top_k":101}`, http.StatusBadRequest, true},
+		{http.MethodPost, "/autocorrect", `{"column":["x"],"top_k":-1}`, http.StatusBadRequest, true},
+		{http.MethodPost, "/autocorrect", `{"column":["x"],"min_each":-2}`, http.StatusBadRequest, true},
+		{http.MethodPost, "/autojoin", `{"keys_a":["x"],"keys_b":["y"],"top_k":200}`, http.StatusBadRequest, true},
 	}
 	for _, tc := range cases {
-		t.Run(tc.method+" "+tc.path, func(t *testing.T) {
-			var body *strings.Reader
-			if tc.body != "" {
-				body = strings.NewReader(tc.body)
-			} else {
-				body = strings.NewReader("")
-			}
-			rec := httptest.NewRecorder()
-			h.ServeHTTP(rec, httptest.NewRequest(tc.method, tc.path, body))
-			if rec.Code != tc.status {
-				t.Fatalf("status = %d, want %d (body %q)", rec.Code, tc.status, rec.Body.String())
-			}
-			if rec.Body.Len() == 0 {
-				t.Fatal("empty response body")
-			}
-			if tc.jsonError {
-				var e map[string]string
-				if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e["error"] == "" {
-					t.Errorf("body %q is not a JSON error object", rec.Body.String())
+		// Every case must behave identically at its /v1 canonical path; the
+		// unknown-path cases under /v1 are listed explicitly above.
+		paths := []string{tc.path}
+		if !strings.HasPrefix(tc.path, "/v1") && tc.path != "/" {
+			paths = append(paths, "/v1"+tc.path)
+		}
+		for _, path := range paths {
+			t.Run(tc.method+" "+path, func(t *testing.T) {
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, httptest.NewRequest(tc.method, path, strings.NewReader(tc.body)))
+				if rec.Code != tc.status {
+					t.Fatalf("status = %d, want %d (body %q)", rec.Code, tc.status, rec.Body.String())
 				}
-				if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
-					t.Errorf("error Content-Type = %q, want application/json", ct)
+				if rec.Body.Len() == 0 {
+					t.Fatal("empty response body")
 				}
-			}
-		})
+				if rec.Header().Get("X-Request-ID") == "" {
+					t.Error("missing X-Request-ID response header")
+				}
+				if tc.jsonError {
+					var e errorEnvelope
+					if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error.Code == "" || e.Error.Message == "" {
+						t.Errorf("body %q is not a structured JSON error envelope", rec.Body.String())
+					}
+					if e.Error.RequestID != rec.Header().Get("X-Request-ID") {
+						t.Errorf("envelope request_id %q != header %q", e.Error.RequestID, rec.Header().Get("X-Request-ID"))
+					}
+					if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+						t.Errorf("error Content-Type = %q, want application/json", ct)
+					}
+				}
+			})
+		}
 	}
 }

@@ -24,7 +24,6 @@ import (
 	"mapsynth/internal/apps"
 	"mapsynth/internal/mapping"
 	"mapsynth/internal/snapshot"
-	"mapsynth/internal/table"
 	"mapsynth/internal/textnorm"
 )
 
@@ -68,16 +67,22 @@ type Options struct {
 }
 
 // State is one immutable loaded snapshot: the mapping set, its sharded
-// index, and the result cache that is only valid against this mapping set.
-// The server swaps the whole State atomically on reload.
+// index, the apps.Session answering queries against it, and the result
+// cache that is only valid against this mapping set. The server swaps the
+// whole State atomically on reload.
 type State struct {
 	Path     string
 	LoadedAt time.Time
 	Maps     []*mapping.Mapping
 	Index    *ShardedIndex
+	session  *apps.Session
 	cache    *lruCache
 	pairs    int
 }
+
+// serveDefaults are the documented server-side defaults applied to omitted
+// request parameters, installed on every state's Session.
+var serveDefaults = apps.Defaults{MinCoverage: 0.8, MinEach: 2}
 
 // Server is the HTTP mapping service.
 type Server struct {
@@ -145,6 +150,7 @@ func (s *Server) install(maps []*mapping.Mapping, path string) *State {
 		Index:    NewShardedIndex(maps, s.opts.Shards),
 		cache:    newLRU(s.opts.CacheSize),
 	}
+	st.session = apps.NewSession(st.Index, apps.WithDefaults(serveDefaults))
 	for _, m := range maps {
 		st.pairs += m.Size()
 	}
@@ -224,28 +230,51 @@ func (s *Server) RebuildContext(ctx context.Context) (*State, error) {
 // State returns the currently serving state.
 func (s *Server) State() *State { return s.state.Load() }
 
-// Handler returns the service's HTTP routes. Unknown paths answer a JSON
-// 404 (the service speaks JSON on every path, errors included) instead of
-// the mux's plain-text default.
+// Handler returns the service's HTTP routes. The canonical surface lives
+// under /v1/; every endpoint is also reachable at its historical
+// unversioned path, which answers identically (parity-tested) plus a
+// Deprecation header pointing clients at the successor. Unknown paths —
+// including unknown /v1/ subpaths — answer a structured JSON 404 (the
+// service speaks JSON on every path, errors included) instead of the mux's
+// plain-text default. Every request gets an X-Request-ID, echoed in error
+// envelopes, /stats and batch trailers.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", s.getOnly(s.handleHealthz))
-	mux.HandleFunc("/stats", s.getOnly(s.handleStats))
-	mux.HandleFunc("/reload", s.handleReload)
-	mux.HandleFunc("/lookup", s.timed(&s.lookupStats, s.handleLookup))
-	mux.HandleFunc("/autofill", s.timed(&s.autofillStats, s.handleAutoFill))
-	mux.HandleFunc("/autocorrect", s.timed(&s.autocorrectStats, s.handleAutoCorrect))
-	mux.HandleFunc("/autojoin", s.timed(&s.autojoinStats, s.handleAutoJoin))
-	mux.HandleFunc("/batch/autofill", s.timed(&s.batchAutofillStats, s.handleBatchAutoFill))
-	mux.HandleFunc("/batch/autocorrect", s.timed(&s.batchAutocorrectStats, s.handleBatchAutoCorrect))
-	mux.HandleFunc("/batch/autojoin", s.timed(&s.batchAutojoinStats, s.handleBatchAutoJoin))
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	// register mounts one logical endpoint at /v1/<path> and at its
+	// deprecated unversioned alias; both share the handler (and therefore
+	// the same endpointStats).
+	register := func(path string, h http.HandlerFunc) {
+		mux.HandleFunc("/v1"+path, h)
+		mux.HandleFunc(path, deprecatedAlias("/v1"+path, h))
+	}
+	register("/healthz", s.getOnly(s.handleHealthz))
+	register("/stats", s.getOnly(s.handleStats))
+	register("/reload", s.handleReload)
+	register("/lookup", s.timed(&s.lookupStats, s.handleLookup))
+	register("/autofill", s.timed(&s.autofillStats, s.handleAutoFill))
+	register("/autocorrect", s.timed(&s.autocorrectStats, s.handleAutoCorrect))
+	register("/autojoin", s.timed(&s.autojoinStats, s.handleAutoJoin))
+	register("/batch/autofill", s.timed(&s.batchAutofillStats, s.handleBatchAutoFill))
+	register("/batch/autocorrect", s.timed(&s.batchAutocorrectStats, s.handleBatchAutoCorrect))
+	register("/batch/autojoin", s.timed(&s.batchAutojoinStats, s.handleBatchAutoJoin))
+	return withRequestID(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if _, pattern := mux.Handler(r); pattern == "" {
-			writeError(w, http.StatusNotFound, "no such endpoint: "+r.URL.Path)
+			writeError(w, r, CodeNotFound, "no such endpoint: "+r.URL.Path)
 			return
 		}
 		mux.ServeHTTP(w, r)
-	})
+	}))
+}
+
+// deprecatedAlias wraps a v1 handler for its legacy unversioned path: same
+// behavior, same body, plus the RFC 9745 deprecation signal and a pointer
+// to the successor.
+func deprecatedAlias(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "<"+successor+`>; rel="successor-version"`)
+		h(w, r)
+	}
 }
 
 // getOnly guards a read-only endpoint against non-GET methods with a JSON
@@ -253,11 +282,22 @@ func (s *Server) Handler() http.Handler {
 func (s *Server) getOnly(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
-			writeError(w, http.StatusMethodNotAllowed, "GET required")
+			writeError(w, r, CodeMethodNotAllowed, "GET required")
 			return
 		}
 		h(w, r)
 	}
+}
+
+// loadedState fetches the serving state, answering 503 not_ready when no
+// snapshot has been installed yet.
+func (s *Server) loadedState(w http.ResponseWriter, r *http.Request) (*State, bool) {
+	st := s.state.Load()
+	if st == nil {
+		writeError(w, r, CodeNotReady, "no snapshot loaded yet")
+		return nil, false
+	}
+	return st, true
 }
 
 // Run serves on addr until ctx is cancelled, then drains in-flight requests
@@ -318,21 +358,17 @@ func writeJSON(w http.ResponseWriter, status int, v any) bool {
 	return status < 400
 }
 
-func writeError(w http.ResponseWriter, status int, msg string) bool {
-	return writeJSON(w, status, map[string]string{"error": msg})
-}
-
 // readBody decodes a JSON request body into v, rejecting unknown fields so
 // client typos fail loudly instead of silently using defaults.
 func (s *Server) readBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		writeError(w, r, CodeMethodNotAllowed, "POST required")
 		return false
 	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		writeError(w, r, CodeBadRequest, "bad request body: "+err.Error())
 		return false
 	}
 	return true
@@ -358,9 +394,10 @@ type lookupResponse struct {
 }
 
 // Lookup answers a single-key query against the current state, consulting
-// the bounded LRU cache first. Among all mappings containing the key, the
-// one with the most contributing domains wins (the paper's popularity
-// signal), matching the ordering of ShardedIndex.LookupLeft.
+// the bounded LRU cache first. The answer itself comes from the state's
+// apps.Session: among all mappings containing the key, the one with the
+// most contributing domains wins (the paper's popularity signal), matching
+// the ordering of ShardedIndex.LookupLeft.
 func (s *Server) Lookup(key string) lookupResponse {
 	st := s.state.Load()
 	nk := textnorm.Normalize(key)
@@ -369,21 +406,20 @@ func (s *Server) Lookup(key string) lookupResponse {
 		return resp
 	}
 	resp := lookupResponse{Found: false, Key: key}
-	if hits := st.Index.LookupLeft([]string{key}, 1); len(hits) > 0 {
-		m := hits[0].Mapping
-		if val, ok := m.Lookup(key); ok {
-			all := m.LookupAll(key)
+	// The background context is deliberate: a single-key lookup is too
+	// cheap to tear down mid-flight, and the cached answer must not depend
+	// on the requesting client's connection state.
+	if results, err := st.session.Lookup(context.Background(), []apps.LookupQuery{{Key: key}}); err == nil {
+		if res := results[0]; res.Found {
 			resp = lookupResponse{
-				Found:     true,
-				Key:       key,
-				Value:     val,
-				MappingID: m.ID,
-				Support:   m.SupportOf(table.Pair{L: key, R: val}),
-				Tables:    m.NumTables(),
-				Domains:   m.NumDomains(),
-			}
-			if len(all) > 1 {
-				resp.Alternatives = all[1:]
+				Found:        true,
+				Key:          key,
+				Value:        res.Value,
+				Alternatives: res.Alternatives,
+				MappingID:    res.MappingID,
+				Support:      res.Support,
+				Tables:       res.Tables,
+				Domains:      res.Domains,
 			}
 		}
 	}
@@ -393,11 +429,14 @@ func (s *Server) Lookup(key string) lookupResponse {
 
 func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) bool {
 	if r.Method != http.MethodGet {
-		return writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return writeError(w, r, CodeMethodNotAllowed, "GET required")
 	}
 	key := r.URL.Query().Get("key")
 	if key == "" {
-		return writeError(w, http.StatusBadRequest, "missing ?key= parameter")
+		return writeError(w, r, CodeBadRequest, "missing ?key= parameter")
+	}
+	if _, ok := s.loadedState(w, r); !ok {
+		return false
 	}
 	return writeJSON(w, http.StatusOK, s.Lookup(key))
 }
@@ -410,8 +449,11 @@ type autoFillRequest struct {
 		Left  string `json:"left"`
 		Right string `json:"right"`
 	} `json:"examples"`
-	// MinCoverage defaults to 0.8 when omitted or zero.
+	// MinCoverage defaults to 0.8 when omitted or zero; must be <= 1.
 	MinCoverage float64 `json:"min_coverage"`
+	// TopK, when > 0 (max 100), additionally returns the best K qualifying
+	// mappings' results under "candidates".
+	TopK int `json:"top_k"`
 }
 
 type filledCell struct {
@@ -419,11 +461,18 @@ type filledCell struct {
 	Value string `json:"value"`
 }
 
-type autoFillResponse struct {
-	Found        bool         `json:"found"`
+// autoFillCandidate is one qualifying mapping's fill result; the primary
+// result embeds it, the optional top-K list repeats it per candidate.
+type autoFillCandidate struct {
 	MappingIndex int          `json:"mapping_index"`
 	MappingID    int          `json:"mapping_id,omitempty"`
 	Filled       []filledCell `json:"filled,omitempty"`
+}
+
+type autoFillResponse struct {
+	Found bool `json:"found"`
+	autoFillCandidate
+	Candidates []autoFillCandidate `json:"candidates,omitempty"`
 }
 
 func (s *Server) handleAutoFill(w http.ResponseWriter, r *http.Request) bool {
@@ -431,10 +480,13 @@ func (s *Server) handleAutoFill(w http.ResponseWriter, r *http.Request) bool {
 	if !s.readBody(w, r, &req) {
 		return false
 	}
-	st := s.state.Load()
-	resp, errMsg := autoFillCompute(st, st.Index, req)
-	if errMsg != "" {
-		return writeError(w, http.StatusBadRequest, errMsg)
+	st, ok := s.loadedState(w, r)
+	if !ok {
+		return false
+	}
+	resp, ce := autoFillCompute(r.Context(), st, st.session, req)
+	if ce != nil {
+		return writeError(w, r, ce.code, ce.msg)
 	}
 	return writeJSON(w, http.StatusOK, resp)
 }
@@ -443,16 +495,25 @@ func (s *Server) handleAutoFill(w http.ResponseWriter, r *http.Request) bool {
 
 type autoCorrectRequest struct {
 	Column []string `json:"column"`
-	// MinEach defaults to 2; MinCoverage defaults to 0.8.
+	// MinEach defaults to 2; MinCoverage defaults to 0.8 (must be <= 1).
 	MinEach     int     `json:"min_each"`
 	MinCoverage float64 `json:"min_coverage"`
+	// TopK, when > 0 (max 100), additionally returns the best K qualifying
+	// mappings' results under "candidates".
+	TopK int `json:"top_k"`
 }
 
-type autoCorrectResponse struct {
-	Found        bool              `json:"found"`
+// autoCorrectCandidate is one qualifying mapping's correction result.
+type autoCorrectCandidate struct {
 	MappingIndex int               `json:"mapping_index"`
 	MappingID    int               `json:"mapping_id,omitempty"`
 	Corrections  []apps.Correction `json:"corrections,omitempty"`
+}
+
+type autoCorrectResponse struct {
+	Found bool `json:"found"`
+	autoCorrectCandidate
+	Candidates []autoCorrectCandidate `json:"candidates,omitempty"`
 }
 
 func (s *Server) handleAutoCorrect(w http.ResponseWriter, r *http.Request) bool {
@@ -460,10 +521,13 @@ func (s *Server) handleAutoCorrect(w http.ResponseWriter, r *http.Request) bool 
 	if !s.readBody(w, r, &req) {
 		return false
 	}
-	st := s.state.Load()
-	resp, errMsg := autoCorrectCompute(st, st.Index, req)
-	if errMsg != "" {
-		return writeError(w, http.StatusBadRequest, errMsg)
+	st, ok := s.loadedState(w, r)
+	if !ok {
+		return false
+	}
+	resp, ce := autoCorrectCompute(r.Context(), st, st.session, req)
+	if ce != nil {
+		return writeError(w, r, ce.code, ce.msg)
 	}
 	return writeJSON(w, http.StatusOK, resp)
 }
@@ -473,8 +537,11 @@ func (s *Server) handleAutoCorrect(w http.ResponseWriter, r *http.Request) bool 
 type autoJoinRequest struct {
 	KeysA []string `json:"keys_a"`
 	KeysB []string `json:"keys_b"`
-	// MinCoverage defaults to 0.8.
+	// MinCoverage defaults to 0.8 (must be <= 1).
 	MinCoverage float64 `json:"min_coverage"`
+	// TopK, when > 0 (max 100), additionally returns the best K bridging
+	// mappings' results under "candidates".
+	TopK int `json:"top_k"`
 }
 
 type joinedRow struct {
@@ -482,12 +549,18 @@ type joinedRow struct {
 	RightRow int `json:"right_row"`
 }
 
-type autoJoinResponse struct {
-	Found        bool        `json:"found"`
+// autoJoinCandidate is one bridging mapping's join result.
+type autoJoinCandidate struct {
 	MappingIndex int         `json:"mapping_index"`
 	MappingID    int         `json:"mapping_id,omitempty"`
 	Bridged      int         `json:"bridged"`
 	Rows         []joinedRow `json:"rows,omitempty"`
+}
+
+type autoJoinResponse struct {
+	Found bool `json:"found"`
+	autoJoinCandidate
+	Candidates []autoJoinCandidate `json:"candidates,omitempty"`
 }
 
 func (s *Server) handleAutoJoin(w http.ResponseWriter, r *http.Request) bool {
@@ -495,10 +568,13 @@ func (s *Server) handleAutoJoin(w http.ResponseWriter, r *http.Request) bool {
 	if !s.readBody(w, r, &req) {
 		return false
 	}
-	st := s.state.Load()
-	resp, errMsg := autoJoinCompute(st, st.Index, req)
-	if errMsg != "" {
-		return writeError(w, http.StatusBadRequest, errMsg)
+	st, ok := s.loadedState(w, r)
+	if !ok {
+		return false
+	}
+	resp, ce := autoJoinCompute(r.Context(), st, st.session, req)
+	if ce != nil {
+		return writeError(w, r, ce.code, ce.msg)
 	}
 	return writeJSON(w, http.StatusOK, resp)
 }
@@ -506,7 +582,10 @@ func (s *Server) handleAutoJoin(w http.ResponseWriter, r *http.Request) bool {
 // ---- health and stats ----
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	st := s.state.Load()
+	st, ok := s.loadedState(w, r)
+	if !ok {
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":    "ok",
 		"snapshot":  st.Path,
@@ -520,6 +599,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // StatsSnapshot is the JSON body of GET /stats.
 type StatsSnapshot struct {
+	// RequestID identifies the /stats request that produced this snapshot,
+	// tying a stats observation to the server logs; empty when the
+	// snapshot was assembled outside a request (Server.Stats()).
+	RequestID     string                      `json:"request_id,omitempty"`
 	UptimeSeconds float64                     `json:"uptime_s"`
 	Reloads       int64                       `json:"reloads"`
 	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
@@ -576,7 +659,12 @@ func (s *Server) Stats() StatsSnapshot {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.Stats())
+	if _, ok := s.loadedState(w, r); !ok {
+		return
+	}
+	snap := s.Stats()
+	snap.RequestID = requestID(r)
+	writeJSON(w, http.StatusOK, snap)
 }
 
 // ---- reload ----
@@ -592,7 +680,7 @@ type reloadRequest struct {
 
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		writeError(w, r, CodeMethodNotAllowed, "POST required")
 		return
 	}
 	var req reloadRequest
@@ -600,12 +688,12 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+			writeError(w, r, CodeBadRequest, "bad request body: "+err.Error())
 			return
 		}
 	}
 	if req.Rebuild && req.Snapshot != "" {
-		writeError(w, http.StatusBadRequest, "snapshot and rebuild are mutually exclusive")
+		writeError(w, r, CodeBadRequest, "snapshot and rebuild are mutually exclusive")
 		return
 	}
 	t0 := time.Now()
@@ -617,7 +705,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		st, err = s.ReloadContext(r.Context(), req.Snapshot)
 	}
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "reload failed: "+err.Error())
+		writeError(w, r, CodeUnprocessable, "reload failed: "+err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{

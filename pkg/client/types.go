@@ -1,0 +1,224 @@
+package client
+
+import (
+	"fmt"
+	"time"
+)
+
+// APIError is a non-2xx answer from the service, carrying the structured
+// v1 error envelope. Use errors.As to branch on it:
+//
+//	var aerr *client.APIError
+//	if errors.As(err, &aerr) && aerr.Code == "overloaded" { ... }
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Code is the machine-readable error class: "bad_request",
+	// "not_found", "method_not_allowed", "unprocessable", "overloaded",
+	// "internal", "not_ready". Empty when the server spoke the pre-v1
+	// bare-string envelope.
+	Code string
+	// Message is the human-readable explanation.
+	Message string
+	// RequestID ties the failure to the server's view of the request.
+	RequestID string
+	// RetryAfter is the server-advertised retry delay on overloaded
+	// responses, 0 otherwise.
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	code := e.Code
+	if code == "" {
+		code = fmt.Sprintf("http %d", e.Status)
+	}
+	if e.RequestID != "" {
+		return fmt.Sprintf("mapsynth: %s (%s, request %s)", e.Message, code, e.RequestID)
+	}
+	return fmt.Sprintf("mapsynth: %s (%s)", e.Message, code)
+}
+
+// Example is one demonstrated (left, right) pair for auto-fill.
+type Example struct {
+	Left  string `json:"left"`
+	Right string `json:"right"`
+}
+
+// AutoFillRequest is the body of POST /v1/autofill and one line of
+// POST /v1/batch/autofill.
+type AutoFillRequest struct {
+	// ID is echoed back on batch streams; it must be empty on single
+	// calls (the server rejects unknown fields).
+	ID string `json:"id,omitempty"`
+	// Column is the left-value column to fill (required).
+	Column []string `json:"column"`
+	// Examples are demonstrated pairs every answering mapping must agree
+	// with.
+	Examples []Example `json:"examples,omitempty"`
+	// MinCoverage in (0, 1] is the minimum fraction of column values the
+	// mapping must contain; 0 selects the server default (0.8).
+	MinCoverage float64 `json:"min_coverage,omitempty"`
+	// TopK in [1, 100] additionally returns the best K qualifying
+	// mappings' results as Candidates; 0 returns the best only.
+	TopK int `json:"top_k,omitempty"`
+}
+
+// FilledCell is one auto-filled row.
+type FilledCell struct {
+	Row   int    `json:"row"`
+	Value string `json:"value"`
+}
+
+// AutoFillCandidate is one qualifying mapping's fill result.
+type AutoFillCandidate struct {
+	MappingIndex int          `json:"mapping_index"`
+	MappingID    int          `json:"mapping_id,omitempty"`
+	Filled       []FilledCell `json:"filled,omitempty"`
+}
+
+// AutoFillResponse is the answer to an auto-fill query; the embedded
+// candidate is the best mapping's result.
+type AutoFillResponse struct {
+	Found bool `json:"found"`
+	AutoFillCandidate
+	// Candidates lists the best TopK results (primary included) when the
+	// request set TopK > 0.
+	Candidates []AutoFillCandidate `json:"candidates,omitempty"`
+}
+
+// AutoCorrectRequest is the body of POST /v1/autocorrect and one line of
+// POST /v1/batch/autocorrect.
+type AutoCorrectRequest struct {
+	// ID is echoed back on batch streams; empty on single calls.
+	ID string `json:"id,omitempty"`
+	// Column is the possibly mixed-representation column (required).
+	Column []string `json:"column"`
+	// MinEach is the minimum number of values required on each side
+	// before the mix is trusted; 0 selects the server default (2).
+	MinEach int `json:"min_each,omitempty"`
+	// MinCoverage as in AutoFillRequest.
+	MinCoverage float64 `json:"min_coverage,omitempty"`
+	// TopK as in AutoFillRequest.
+	TopK int `json:"top_k,omitempty"`
+}
+
+// Correction is one suggested cell fix. The capitalized JSON keys are the
+// service's historical wire format, preserved verbatim by the v1 contract.
+type Correction struct {
+	Row       int    `json:"Row"`
+	Original  string `json:"Original"`
+	Suggested string `json:"Suggested"`
+}
+
+// AutoCorrectCandidate is one qualifying mapping's correction result.
+type AutoCorrectCandidate struct {
+	MappingIndex int          `json:"mapping_index"`
+	MappingID    int          `json:"mapping_id,omitempty"`
+	Corrections  []Correction `json:"corrections,omitempty"`
+}
+
+// AutoCorrectResponse is the answer to an auto-correct query.
+type AutoCorrectResponse struct {
+	Found bool `json:"found"`
+	AutoCorrectCandidate
+	Candidates []AutoCorrectCandidate `json:"candidates,omitempty"`
+}
+
+// AutoJoinRequest is the body of POST /v1/autojoin and one line of
+// POST /v1/batch/autojoin.
+type AutoJoinRequest struct {
+	// ID is echoed back on batch streams; empty on single calls.
+	ID string `json:"id,omitempty"`
+	// KeysA and KeysB are the two key columns to bridge (required).
+	KeysA []string `json:"keys_a"`
+	KeysB []string `json:"keys_b"`
+	// MinCoverage as in AutoFillRequest, applied to KeysA.
+	MinCoverage float64 `json:"min_coverage,omitempty"`
+	// TopK as in AutoFillRequest.
+	TopK int `json:"top_k,omitempty"`
+}
+
+// JoinedRow is one bridged row pair.
+type JoinedRow struct {
+	LeftRow  int `json:"left_row"`
+	RightRow int `json:"right_row"`
+}
+
+// AutoJoinCandidate is one bridging mapping's join result.
+type AutoJoinCandidate struct {
+	MappingIndex int         `json:"mapping_index"`
+	MappingID    int         `json:"mapping_id,omitempty"`
+	Bridged      int         `json:"bridged"`
+	Rows         []JoinedRow `json:"rows,omitempty"`
+}
+
+// AutoJoinResponse is the answer to an auto-join query.
+type AutoJoinResponse struct {
+	Found bool `json:"found"`
+	AutoJoinCandidate
+	Candidates []AutoJoinCandidate `json:"candidates,omitempty"`
+}
+
+// LookupResponse is the answer to GET /v1/lookup.
+type LookupResponse struct {
+	Found        bool     `json:"found"`
+	Key          string   `json:"key"`
+	Value        string   `json:"value,omitempty"`
+	Alternatives []string `json:"alternatives,omitempty"`
+	MappingID    int      `json:"mapping_id,omitempty"`
+	Support      int      `json:"support,omitempty"`
+	Tables       int      `json:"tables,omitempty"`
+	Domains      int      `json:"domains,omitempty"`
+}
+
+// Health is the body of GET /v1/healthz.
+type Health struct {
+	Status        string  `json:"status"`
+	Snapshot      string  `json:"snapshot"`
+	LoadedAt      string  `json:"loaded_at"`
+	Mappings      int     `json:"mappings"`
+	Pairs         int     `json:"pairs"`
+	Shards        int     `json:"shards"`
+	UptimeSeconds float64 `json:"uptime_s"`
+}
+
+// EndpointStats is one endpoint's counters in Stats.
+type EndpointStats struct {
+	Requests int64   `json:"requests"`
+	Errors   int64   `json:"errors"`
+	MeanMs   float64 `json:"mean_ms"`
+	P50Ms    float64 `json:"p50_ms"`
+	P95Ms    float64 `json:"p95_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+}
+
+// Stats is the body of GET /v1/stats. Sections whose exact shape the SDK
+// does not interpret are left as raw JSON for forward compatibility.
+type Stats struct {
+	RequestID     string                   `json:"request_id"`
+	UptimeSeconds float64                  `json:"uptime_s"`
+	Reloads       int64                    `json:"reloads"`
+	Endpoints     map[string]EndpointStats `json:"endpoints"`
+	Batch         map[string]any           `json:"batch"`
+	Cache         map[string]any           `json:"cache"`
+	Snapshot      map[string]any           `json:"snapshot"`
+}
+
+// ReloadRequest is the body of POST /v1/reload.
+type ReloadRequest struct {
+	// Snapshot optionally points at a new snapshot file; empty re-reads
+	// the currently served path.
+	Snapshot string `json:"snapshot,omitempty"`
+	// Rebuild re-runs the synthesis pipeline in-process instead; mutually
+	// exclusive with Snapshot.
+	Rebuild bool `json:"rebuild,omitempty"`
+}
+
+// ReloadResponse is the answer to a successful reload.
+type ReloadResponse struct {
+	Snapshot   string  `json:"snapshot"`
+	Rebuilt    bool    `json:"rebuilt"`
+	Mappings   int     `json:"mappings"`
+	LoadedAt   string  `json:"loaded_at"`
+	DurationMs float64 `json:"duration_ms"`
+}
