@@ -10,7 +10,8 @@
 //
 //	loadgen -snapshot out.snap [-addr http://localhost:8080]
 //	        [-duration 10s] [-qps 0] [-concurrency 8] [-batch 16]
-//	        [-mix lookup=4,autofill=2,batch-autofill=1] [-seed 1] [-out -]
+//	        [-mix lookup=4,autofill=2,batch-autofill=1]
+//	        [-corpora default,tickers] [-seed 1] [-out -]
 //
 // The snapshot is the same file the server loaded; loadgen derives its
 // query columns from it so requests genuinely hit the index. Ops for -mix:
@@ -50,6 +51,7 @@ func run() int {
 	concurrency := flag.Int("concurrency", 8, "closed-loop worker count")
 	batchSize := flag.Int("batch", 16, "NDJSON lines per batch request")
 	mixFlag := flag.String("mix", "", "op mix as name=weight pairs, comma-separated; empty = default mix over every endpoint")
+	corporaFlag := flag.String("corpora", "", "comma-separated corpus names to spread traffic over via /v1/corpora/{name} paths; empty = default corpus via unscoped paths")
 	seed := flag.Int64("seed", 1, "workload randomization seed")
 	out := flag.String("out", "-", "report destination; - writes to stdout")
 	flag.Parse()
@@ -80,6 +82,13 @@ func run() int {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	var corpora []string
+	for _, name := range strings.Split(*corporaFlag, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			corpora = append(corpora, name)
+		}
+	}
+
 	rep, err := loadgen.Run(ctx, loadgen.Config{
 		BaseURL:     strings.TrimRight(*addr, "/"),
 		Duration:    *duration,
@@ -87,6 +96,7 @@ func run() int {
 		Concurrency: *concurrency,
 		BatchSize:   *batchSize,
 		Mix:         mix,
+		Corpora:     corpora,
 		Seed:        *seed,
 	}, wl)
 	if err != nil {

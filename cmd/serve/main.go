@@ -4,11 +4,16 @@
 //
 // Usage:
 //
-//	serve -snapshot out.snap [-addr :8080] [-shards N] [-cache 4096]
+//	serve -snapshot out.snap [-corpus name=path ...] [-addr :8080]
+//	      [-shards N] [-cache 4096] [-history 4]
 //	      [-batch-requests 32] [-batch-rows 256] [-batch-write-timeout 30s]
 //
-// Endpoints (v1 canonical paths; each also answers at its legacy
-// unversioned path, byte-identically, plus a Deprecation header):
+// One process serves many named corpora: -snapshot loads the "default"
+// corpus and each repeatable -corpus name=path flag loads a further one.
+// Every application endpoint exists corpus-scoped under
+// /v1/corpora/{name}/...; the unscoped /v1/... paths answer
+// byte-identically for the default corpus (and each also answers at its
+// legacy unversioned path plus a Deprecation header):
 //
 //	GET  /v1/lookup?key=K       single-key lookup with provenance (LRU-cached)
 //	POST /v1/autofill           {"column":[...], "examples":[{"left","right"}], "min_coverage":0.8, "top_k":0}
@@ -17,9 +22,17 @@
 //	POST /v1/batch/autofill     NDJSON stream: one /v1/autofill body per line (+optional "id")
 //	POST /v1/batch/autocorrect  NDJSON stream: one /v1/autocorrect body per line
 //	POST /v1/batch/autojoin     NDJSON stream: one /v1/autojoin body per line
-//	GET  /v1/healthz            liveness + loaded snapshot metadata
-//	GET  /v1/stats              request counts, latency percentiles, cache + batch limiter
-//	POST /v1/reload             {"snapshot":"path"} — atomic snapshot hot reload
+//	GET  /v1/healthz            liveness + per-corpus readiness metadata
+//	GET  /v1/stats              per-corpus request counts, latency percentiles, cache + shared batch limiter
+//	POST /v1/reload             {"snapshot":"path"} — atomic snapshot hot reload (default corpus)
+//
+// Corpus lifecycle (see docs/api.md#corpora):
+//
+//	GET    /v1/corpora                  list corpora with version metadata
+//	PUT    /v1/corpora/{name}           load-or-replace from {"snapshot":"path"} or an uploaded snapshot body
+//	DELETE /v1/corpora/{name}           remove (default protected)
+//	POST   /v1/corpora/{name}/activate  {"version":N} — re-activate a prior version
+//	POST   /v1/corpora/{name}/rollback  undo the last load/activate
 //
 // Errors on every path are the structured envelope
 // {"error":{"code":"...","message":"...","retry_after_ms":N,"request_id":"..."}}
@@ -27,13 +40,14 @@
 // clients should use mapsynth/pkg/client instead of raw HTTP.
 //
 // The /v1/batch/* endpoints answer NDJSON, one result line per input as it
-// completes, and are guarded by an admission limiter: -batch-requests bounds
-// concurrent batch requests (beyond it: 429 + Retry-After), -batch-rows
-// bounds concurrently computing rows across all batches (beyond it the
-// server stops reading request bodies — TCP backpressure). See docs/api.md.
+// completes, and are guarded by an admission limiter shared across all
+// corpora: -batch-requests bounds concurrent batch requests (beyond it:
+// 429 + Retry-After), -batch-rows bounds concurrently computing rows
+// across all batches (beyond it the server stops reading request bodies —
+// TCP backpressure). See docs/api.md.
 //
-// SIGHUP also hot-reloads the current snapshot path; SIGINT/SIGTERM drain
-// in-flight requests and exit.
+// SIGHUP hot-reloads every corpus's current snapshot path; SIGINT/SIGTERM
+// drain in-flight requests and exit.
 package main
 
 import (
@@ -42,6 +56,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -52,10 +67,23 @@ import (
 )
 
 func main() {
-	snapPath := flag.String("snapshot", "", "snapshot file written by synthesize -snapshot (required)")
+	snapPath := flag.String("snapshot", "", "snapshot file written by synthesize -snapshot, served as the default corpus (required)")
+	corpora := make(map[string]string)
+	flag.Func("corpus", "additional corpus as name=path; repeatable", func(v string) error {
+		name, path, ok := strings.Cut(v, "=")
+		if !ok || name == "" || path == "" {
+			return fmt.Errorf("want name=path, got %q", v)
+		}
+		if _, dup := corpora[name]; dup {
+			return fmt.Errorf("corpus %q given twice", name)
+		}
+		corpora[name] = path
+		return nil
+	})
 	addr := flag.String("addr", ":8080", "listen address")
 	shards := flag.Int("shards", 0, "index shards; 0 = GOMAXPROCS")
-	cacheSize := flag.Int("cache", 4096, "lookup cache entries; 0 disables")
+	cacheSize := flag.Int("cache", 4096, "lookup cache entries per corpus; 0 disables")
+	history := flag.Int("history", 4, "rollback ring depth: prior snapshot versions kept activatable per corpus")
 	batchRequests := flag.Int("batch-requests", 32, "max concurrent /batch/* requests; beyond it 429")
 	batchRows := flag.Int("batch-rows", 256, "max concurrently computing batch rows across all requests")
 	batchWriteTimeout := flag.Duration("batch-write-timeout", 30*time.Second, "abandon a batch stream when the client reads nothing for this long")
@@ -97,21 +125,25 @@ func main() {
 	}
 	srv, err := serve.New(serve.Options{
 		SnapshotPath:      *snapPath,
+		Corpora:           corpora,
 		Shards:            *shards,
 		CacheSize:         *cacheSize,
+		HistoryDepth:      *history,
 		MaxBatchRequests:  *batchRequests,
 		MaxBatchRows:      *batchRows,
 		BatchWriteTimeout: *batchWriteTimeout,
 		Rebuild:           rebuild,
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "serve: loading snapshot: %v\n", err)
+		fmt.Fprintf(os.Stderr, "serve: loading snapshots: %v\n", err)
 		os.Exit(1)
 	}
-	st := srv.State()
-	fmt.Printf("serve: loaded %s: %d mappings across %d shards\n",
-		st.Path, len(st.Maps), st.Index.NumShards())
-	fmt.Printf("serve: listening on %s (SIGHUP reloads the snapshot)\n", *addr)
+	for _, name := range srv.CorpusNames() {
+		st := srv.CorpusState(name)
+		fmt.Printf("serve: corpus %s: loaded %s: %d mappings across %d shards\n",
+			name, st.Path, len(st.Maps), st.Index.NumShards())
+	}
+	fmt.Printf("serve: listening on %s (SIGHUP reloads every corpus)\n", *addr)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -65,7 +65,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("service up: %d mappings, %d pairs, %d index shards\n\n", h.Mappings, h.Pairs, h.Shards)
+	def := h.Corpora[client.DefaultCorpus]
+	fmt.Printf("service up: %d mappings, %d pairs, %d index shards\n\n", def.Mappings, def.Pairs, def.Shards)
 
 	// Lookup uses any surface form, including synonyms merged from other
 	// tables.

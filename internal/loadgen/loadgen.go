@@ -71,6 +71,13 @@ type Config struct {
 	Concurrency int
 	// Mix maps op names to relative weights; empty selects DefaultMix.
 	Mix map[string]int
+	// Corpora names the corpora to spread traffic over, each request
+	// picking one uniformly at random and using the SDK's corpus-scoped
+	// handle. Empty targets the default corpus through the unscoped /v1
+	// paths. Note the workload material is shared, so for multi-corpus
+	// runs the corpora should hold the same mapping set (or hits will
+	// honestly report misses).
+	Corpora []string
 	// BatchSize is the number of NDJSON lines per batch request; <= 0
 	// selects 16.
 	BatchSize int
@@ -105,10 +112,24 @@ type Report struct {
 	AchievedQPS     float64             `json:"achieved_qps"`
 	Concurrency     int                 `json:"concurrency"`
 	BatchSize       int                 `json:"batch_size"`
+	Corpora         []string            `json:"corpora,omitempty"`
 	Requests        int64               `json:"requests"`
 	Errors          int64               `json:"errors"`
 	Throttled       int64               `json:"throttled"`
 	Ops             map[string]OpReport `json:"ops"`
+}
+
+// target is the SDK surface the generator drives: *client.Client (default
+// corpus, unscoped paths) and *client.Corpus (scoped paths) both satisfy
+// it, so one issue path covers single- and multi-corpus runs.
+type target interface {
+	Lookup(ctx context.Context, key string) (*client.LookupResponse, error)
+	AutoFill(ctx context.Context, req client.AutoFillRequest) (*client.AutoFillResponse, error)
+	AutoCorrect(ctx context.Context, req client.AutoCorrectRequest) (*client.AutoCorrectResponse, error)
+	AutoJoin(ctx context.Context, req client.AutoJoinRequest) (*client.AutoJoinResponse, error)
+	BatchAutoFill(ctx context.Context, reqs []client.AutoFillRequest, fn func(client.BatchLine[client.AutoFillResponse]) error) (*client.BatchTrailer, error)
+	BatchAutoCorrect(ctx context.Context, reqs []client.AutoCorrectRequest, fn func(client.BatchLine[client.AutoCorrectResponse]) error) (*client.BatchTrailer, error)
+	BatchAutoJoin(ctx context.Context, reqs []client.AutoJoinRequest, fn func(client.BatchLine[client.AutoJoinResponse]) error) (*client.BatchTrailer, error)
 }
 
 // opMetrics accumulates one op's counters across workers. The latency
@@ -170,6 +191,15 @@ func Run(ctx context.Context, cfg Config, wl *Workload) (*Report, error) {
 	c := client.New(cfg.BaseURL,
 		client.WithHTTPClient(hc),
 		client.WithRetries(0))
+	// The corpus mix: each request targets one handle, picked uniformly.
+	// With no corpora configured, the single target is the unscoped client.
+	targets := []target{c}
+	if len(cfg.Corpora) > 0 {
+		targets = targets[:0]
+		for _, name := range cfg.Corpora {
+			targets = append(targets, c.Corpus(name))
+		}
+	}
 	picker, err := newOpPicker(cfg.Mix)
 	if err != nil {
 		return nil, err
@@ -228,8 +258,12 @@ func Run(ctx context.Context, cfg Config, wl *Workload) (*Report, error) {
 					return
 				}
 				op := picker.pick(rng)
+				tgt := targets[0]
+				if len(targets) > 1 {
+					tgt = targets[rng.Intn(len(targets))]
+				}
 				t0 := time.Now()
-				rows, throttled, failed := issue(ctx, c, cfg, wl, rng, op)
+				rows, throttled, failed := issue(ctx, tgt, cfg, wl, rng, op)
 				if ctx.Err() != nil && failed {
 					// The deadline tore the request down mid-flight; that is
 					// the run ending, not a server error.
@@ -247,6 +281,7 @@ func Run(ctx context.Context, cfg Config, wl *Workload) (*Report, error) {
 		TargetQPS:       cfg.TargetQPS,
 		Concurrency:     cfg.Concurrency,
 		BatchSize:       cfg.BatchSize,
+		Corpora:         cfg.Corpora,
 		Ops:             make(map[string]OpReport, len(metrics)),
 	}
 	for op, m := range metrics {
@@ -271,9 +306,9 @@ func Run(ctx context.Context, cfg Config, wl *Workload) (*Report, error) {
 	return rep, nil
 }
 
-// issue sends one request of the given op through the SDK and classifies
-// the outcome.
-func issue(ctx context.Context, c *client.Client, cfg Config, wl *Workload, rng *rand.Rand, op string) (rows int64, throttled, failed bool) {
+// issue sends one request of the given op through the SDK target (the
+// unscoped client or a corpus-scoped handle) and classifies the outcome.
+func issue(ctx context.Context, c target, cfg Config, wl *Workload, rng *rand.Rand, op string) (rows int64, throttled, failed bool) {
 	switch op {
 	case OpLookup:
 		_, err := c.Lookup(ctx, wl.lookupKey(rng))

@@ -125,6 +125,70 @@ func TestRunMixedWorkload(t *testing.T) {
 	}
 }
 
+// TestRunMultiCorpus is the multi-corpus acceptance run: two corpora with
+// the same mapping set served from one process, a mixed workload spread
+// over both through the SDK's corpus-scoped handles — zero errors, and
+// each corpus's /stats must show its own share of the traffic.
+func TestRunMultiCorpus(t *testing.T) {
+	maps := testMappings()
+	srv := serve.NewFromMappings(maps, serve.Options{Shards: 2, CacheSize: 64})
+	if _, err := srv.AddCorpus("tickers", maps); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	wl, err := NewWorkload(maps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), Config{
+		BaseURL:     ts.URL,
+		Duration:    500 * time.Millisecond,
+		Concurrency: 4,
+		BatchSize:   4,
+		Corpora:     []string{"default", "tickers"},
+		Seed:        1,
+		Client:      ts.Client(),
+	}, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("errors = %d: %+v", rep.Errors, rep.Ops)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("no requests issued")
+	}
+	if len(rep.Corpora) != 2 {
+		t.Errorf("report corpora = %v", rep.Corpora)
+	}
+
+	// Both corpora saw traffic, counted independently, summing to the
+	// report's totals per endpoint.
+	def, ok := srv.CorpusStats("default")
+	if !ok {
+		t.Fatal("default stats missing")
+	}
+	tk, ok := srv.CorpusStats("tickers")
+	if !ok {
+		t.Fatal("tickers stats missing")
+	}
+	if def.Endpoints["lookup"].Requests == 0 || tk.Endpoints["lookup"].Requests == 0 {
+		t.Errorf("lookup traffic not spread: default=%d tickers=%d",
+			def.Endpoints["lookup"].Requests, tk.Endpoints["lookup"].Requests)
+	}
+	// The sum of the two corpora's counters must match what the generator
+	// issued, give or take the in-flight requests the run deadline tore
+	// down after the server had already counted them (at most one per
+	// worker).
+	gotLookups := def.Endpoints["lookup"].Requests + tk.Endpoints["lookup"].Requests
+	want := rep.Ops[OpLookup].Count
+	if gotLookups < want || gotLookups > want+4 {
+		t.Errorf("server lookup counters sum to %d, loadgen issued %d", gotLookups, want)
+	}
+}
+
 // TestRunPaced checks the QPS pacer actually limits the issue rate.
 func TestRunPaced(t *testing.T) {
 	maps := testMappings()

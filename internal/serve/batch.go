@@ -91,8 +91,8 @@ type batchJoinLine struct {
 	autoJoinResponse
 }
 
-func (s *Server) handleBatchAutoFill(w http.ResponseWriter, r *http.Request) bool {
-	return streamBatch(s, w, r, func(ctx context.Context, st *State, sess *apps.Session, i int, req batchFillRequest) (any, bool) {
+func (s *Server) handleBatchAutoFill(c *corpus, w http.ResponseWriter, r *http.Request) bool {
+	return streamBatch(s, c, w, r, func(ctx context.Context, st *State, sess *apps.Session, i int, req batchFillRequest) (any, bool) {
 		resp, ce := autoFillCompute(ctx, st, sess, req.autoFillRequest)
 		if ce != nil {
 			return errorLine(i, req.ID, ce), false
@@ -101,8 +101,8 @@ func (s *Server) handleBatchAutoFill(w http.ResponseWriter, r *http.Request) boo
 	})
 }
 
-func (s *Server) handleBatchAutoCorrect(w http.ResponseWriter, r *http.Request) bool {
-	return streamBatch(s, w, r, func(ctx context.Context, st *State, sess *apps.Session, i int, req batchCorrectRequest) (any, bool) {
+func (s *Server) handleBatchAutoCorrect(c *corpus, w http.ResponseWriter, r *http.Request) bool {
+	return streamBatch(s, c, w, r, func(ctx context.Context, st *State, sess *apps.Session, i int, req batchCorrectRequest) (any, bool) {
 		resp, ce := autoCorrectCompute(ctx, st, sess, req.autoCorrectRequest)
 		if ce != nil {
 			return errorLine(i, req.ID, ce), false
@@ -111,8 +111,8 @@ func (s *Server) handleBatchAutoCorrect(w http.ResponseWriter, r *http.Request) 
 	})
 }
 
-func (s *Server) handleBatchAutoJoin(w http.ResponseWriter, r *http.Request) bool {
-	return streamBatch(s, w, r, func(ctx context.Context, st *State, sess *apps.Session, i int, req batchJoinRequest) (any, bool) {
+func (s *Server) handleBatchAutoJoin(c *corpus, w http.ResponseWriter, r *http.Request) bool {
+	return streamBatch(s, c, w, r, func(ctx context.Context, st *State, sess *apps.Session, i int, req batchJoinRequest) (any, bool) {
 		resp, ce := autoJoinCompute(ctx, st, sess, req.autoJoinRequest)
 		if ce != nil {
 			return errorLine(i, req.ID, ce), false
@@ -126,7 +126,7 @@ func (s *Server) handleBatchAutoJoin(w http.ResponseWriter, r *http.Request) boo
 // one input line against the pinned state and the per-request caching
 // index; its bool reports success (false lines are counted as errors in
 // the limiter and trailer).
-func streamBatch[Req any](s *Server, w http.ResponseWriter, r *http.Request, handle func(ctx context.Context, st *State, sess *apps.Session, i int, req Req) (any, bool)) bool {
+func streamBatch[Req any](s *Server, c *corpus, w http.ResponseWriter, r *http.Request, handle func(ctx context.Context, st *State, sess *apps.Session, i int, req Req) (any, bool)) bool {
 	if r.Method != http.MethodPost {
 		return writeError(w, r, CodeMethodNotAllowed, "POST required")
 	}
@@ -135,18 +135,16 @@ func streamBatch[Req any](s *Server, w http.ResponseWriter, r *http.Request, han
 	}
 	defer s.batch.releaseRequest()
 
-	// Pin the state once: every line of one batch answers against the same
-	// snapshot even if a reload lands mid-stream. The per-request Session
-	// wraps a caching index, giving this request the within-batch lookup
-	// amortization of a multi-query apps call: identical columns across
-	// lines share one shard scan.
-	st, ok := s.loadedState(w, r)
-	if !ok {
-		return false
-	}
+	// Pin the corpus's state once: every line of one batch answers against
+	// the same snapshot even if a reload, activate or rollback lands
+	// mid-stream. The per-request Session wraps a caching index, giving
+	// this request the within-batch lookup amortization of a multi-query
+	// apps call: identical columns across lines share one shard scan.
+	st := c.state.Load()
 	sess := apps.NewSession(apps.NewCachedIndex(st.Index),
 		apps.WithCache(false), // the shared wrapper above already dedups
-		apps.WithDefaults(serveDefaults))
+		apps.WithDefaults(serveDefaults),
+		apps.WithPool(s.pool))
 	// The stream context also covers writer health: when the response side
 	// dies (client stopped reading past BatchWriteTimeout), cancelling it
 	// makes the decoder stop admitting rows and in-flight workers drop

@@ -1,0 +1,249 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"mapsynth/internal/snapshot"
+)
+
+// The /v1/corpora surface is the lifecycle API of multi-corpus serving:
+//
+//	GET    /v1/corpora                  list every corpus with version metadata
+//	GET    /v1/corpora/{name}           one corpus's metadata
+//	PUT    /v1/corpora/{name}           load-or-replace from a snapshot path
+//	                                    (JSON {"snapshot": path}) or an
+//	                                    uploaded snapshot body (octet-stream)
+//	DELETE /v1/corpora/{name}           remove (the default corpus is protected)
+//	POST   /v1/corpora/{name}/activate  make a historical version live again
+//	POST   /v1/corpora/{name}/rollback  re-activate the previously live version
+//
+// plus the corpus-scoped query endpoints mounted in Handler. Every
+// successful load mints a new monotonically increasing version; superseded
+// states stay on a bounded per-corpus ring so activate/rollback can
+// restore them exactly — same mapping set, same index, same cache.
+
+// corpusInfo is one corpus's metadata in list and single-resource answers.
+type corpusInfo struct {
+	Name     string `json:"name"`
+	Version  int64  `json:"version"`
+	Snapshot string `json:"snapshot,omitempty"`
+	Mappings int    `json:"mappings"`
+	Pairs    int    `json:"pairs"`
+	Shards   int    `json:"shards"`
+	LoadedAt string `json:"loaded_at"`
+	Reloads  int64  `json:"reloads"`
+	// History lists the version numbers available for activate/rollback,
+	// most recently live last.
+	History []int64 `json:"history,omitempty"`
+}
+
+func infoFor(c *corpus) corpusInfo {
+	st := c.state.Load()
+	return corpusInfo{
+		Name:     c.name,
+		Version:  st.Version,
+		Snapshot: st.Path,
+		Mappings: len(st.Maps),
+		Pairs:    st.pairs,
+		Shards:   st.Index.NumShards(),
+		LoadedAt: st.LoadedAt.UTC().Format(time.RFC3339),
+		Reloads:  c.reloads.Load(),
+		History:  c.historyVersions(),
+	}
+}
+
+func (s *Server) handleCorporaList(w http.ResponseWriter, r *http.Request) {
+	cs := s.reg.list()
+	infos := make([]corpusInfo, len(cs))
+	for i, c := range cs {
+		infos[i] = infoFor(c)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count":   len(infos),
+		"corpora": infos,
+	})
+}
+
+// handleCorpusResource dispatches /v1/corpora/{name} by method: GET
+// metadata, PUT load-or-replace, DELETE remove.
+func (s *Server) handleCorpusResource(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	switch r.Method {
+	case http.MethodGet:
+		c, ok := s.resolveCorpus(w, r, name)
+		if !ok {
+			return
+		}
+		writeJSON(w, http.StatusOK, infoFor(c))
+	case http.MethodPut:
+		s.handleCorpusPut(w, r, name)
+	case http.MethodDelete:
+		s.handleCorpusDelete(w, r, name)
+	default:
+		writeError(w, r, CodeMethodNotAllowed, "GET, PUT or DELETE required")
+	}
+}
+
+// putCorpusRequest is the JSON form of PUT /v1/corpora/{name}.
+type putCorpusRequest struct {
+	// Snapshot is the snapshot file to load; empty re-reads the corpus's
+	// current snapshot path (a per-corpus reload).
+	Snapshot string `json:"snapshot"`
+}
+
+// handleCorpusPut loads-or-replaces one corpus. Two body forms are
+// accepted: a JSON object naming a server-side snapshot path, or the raw
+// bytes of a snapshot file (Content-Type application/octet-stream) for
+// clients that cannot place files on the server's filesystem.
+func (s *Server) handleCorpusPut(w http.ResponseWriter, r *http.Request, name string) {
+	if !validCorpusName(name) {
+		writeError(w, r, CodeBadRequest,
+			fmt.Sprintf("invalid corpus name %q (want 1-64 chars of [A-Za-z0-9._-])", name))
+		return
+	}
+	t0 := time.Now()
+	body := bufio.NewReader(http.MaxBytesReader(w, r.Body, s.opts.MaxBatchBodyBytes))
+	var st *State
+	var err error
+	if isSnapshotUpload(r, body) {
+		var data []byte
+		data, err = io.ReadAll(body)
+		if err != nil {
+			writeError(w, r, CodeBadRequest, "reading snapshot body: "+err.Error())
+			return
+		}
+		st, err = s.LoadCorpusSnapshot(name, data)
+	} else {
+		var req putCorpusRequest
+		if _, perr := body.Peek(1); perr == nil { // non-empty body
+			dec := json.NewDecoder(body)
+			dec.DisallowUnknownFields()
+			if derr := dec.Decode(&req); derr != nil {
+				writeError(w, r, CodeBadRequest, "bad request body: "+derr.Error())
+				return
+			}
+		}
+		st, err = s.LoadCorpusContext(r.Context(), name, req.Snapshot)
+	}
+	if err != nil {
+		writeError(w, r, CodeUnprocessable, "corpus load failed: "+err.Error())
+		return
+	}
+	// Version 1 means this install created the corpus — derived from the
+	// serialized install itself, so concurrent first PUTs cannot both
+	// claim the creation.
+	created := st.Version == 1
+	status := http.StatusOK
+	if created {
+		status = http.StatusCreated
+	}
+	writeJSON(w, status, map[string]any{
+		"corpus":      name,
+		"created":     created,
+		"version":     st.Version,
+		"snapshot":    st.Path,
+		"mappings":    len(st.Maps),
+		"pairs":       st.pairs,
+		"loaded_at":   st.LoadedAt.UTC().Format(time.RFC3339),
+		"duration_ms": float64(time.Since(t0).Microseconds()) / 1000,
+	})
+}
+
+// isSnapshotUpload distinguishes the two PUT body forms. Explicit
+// Content-Types win (json → path form, octet-stream → upload); for
+// anything else — curl's form-urlencoded default included — the body
+// decides: only a body opening with the snapshot magic is an upload, so a
+// JSON body (leading whitespace included) falls through to the path form
+// and gets a proper JSON parse error when malformed.
+func isSnapshotUpload(r *http.Request, body *bufio.Reader) bool {
+	ct := r.Header.Get("Content-Type")
+	if strings.Contains(ct, "json") {
+		return false
+	}
+	if strings.Contains(ct, "octet-stream") {
+		return true
+	}
+	b, err := body.Peek(len(snapshot.Magic))
+	return err == nil && [4]byte(b) == snapshot.Magic
+}
+
+func (s *Server) handleCorpusDelete(w http.ResponseWriter, r *http.Request, name string) {
+	if name == DefaultCorpus {
+		writeError(w, r, CodeBadRequest, fmt.Sprintf("the %q corpus cannot be deleted", DefaultCorpus))
+		return
+	}
+	if s.reg.remove(name) == nil {
+		writeError(w, r, CodeCorpusNotFound, fmt.Sprintf("no such corpus: %q", name))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"corpus": name, "deleted": true})
+}
+
+// activateRequest is the body of POST /v1/corpora/{name}/activate.
+type activateRequest struct {
+	Version int64 `json:"version"`
+}
+
+// handleActivate makes a specific historical version the live state again.
+// The displaced live state goes onto the history ring, so activations are
+// always reversible with /rollback.
+func (s *Server) handleActivate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, r, CodeMethodNotAllowed, "POST required")
+		return
+	}
+	c, ok := s.resolveCorpus(w, r, r.PathValue("name"))
+	if !ok {
+		return
+	}
+	var req activateRequest
+	if !s.readBody(w, r, &req) {
+		return
+	}
+	if req.Version < 1 {
+		writeError(w, r, CodeBadRequest, fmt.Sprintf("version must be >= 1, got %d", req.Version))
+		return
+	}
+	live, prev, err := c.activate(req.Version)
+	if err != nil {
+		writeError(w, r, CodeUnprocessable, "activate failed: "+err.Error())
+		return
+	}
+	writeVersionSwap(w, c, live, prev)
+}
+
+// handleRollback re-activates the most recently displaced state — the
+// one-call undo of the last load or activate.
+func (s *Server) handleRollback(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, r, CodeMethodNotAllowed, "POST required")
+		return
+	}
+	c, ok := s.resolveCorpus(w, r, r.PathValue("name"))
+	if !ok {
+		return
+	}
+	live, prev, err := c.rollback()
+	if err != nil {
+		writeError(w, r, CodeUnprocessable, "rollback failed: "+err.Error())
+		return
+	}
+	writeVersionSwap(w, c, live, prev)
+}
+
+func writeVersionSwap(w http.ResponseWriter, c *corpus, live, prev *State) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"corpus":           c.name,
+		"version":          live.Version,
+		"previous_version": prev.Version,
+		"snapshot":         live.Path,
+		"mappings":         len(live.Maps),
+		"loaded_at":        live.LoadedAt.UTC().Format(time.RFC3339),
+	})
+}

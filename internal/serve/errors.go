@@ -31,6 +31,10 @@ const (
 	CodeBadRequest ErrorCode = "bad_request"
 	// CodeNotFound: unknown path.
 	CodeNotFound ErrorCode = "not_found"
+	// CodeCorpusNotFound: a /v1/corpora/{name} path naming a corpus the
+	// registry does not hold. Distinct from not_found so clients can tell
+	// "wrong URL" from "corpus not (yet) loaded".
+	CodeCorpusNotFound ErrorCode = "corpus_not_found"
 	// CodeMethodNotAllowed: known path, wrong HTTP method.
 	CodeMethodNotAllowed ErrorCode = "method_not_allowed"
 	// CodeUnprocessable: a /reload that could not complete (snapshot
@@ -51,7 +55,7 @@ func statusForCode(code ErrorCode) int {
 	switch code {
 	case CodeBadRequest:
 		return http.StatusBadRequest
-	case CodeNotFound:
+	case CodeNotFound, CodeCorpusNotFound:
 		return http.StatusNotFound
 	case CodeMethodNotAllowed:
 		return http.StatusMethodNotAllowed

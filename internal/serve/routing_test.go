@@ -60,6 +60,21 @@ func TestRouting(t *testing.T) {
 		{http.MethodPost, "/v1/batch/nope", "", http.StatusNotFound, true},
 		{http.MethodGet, "/v2/lookup", "", http.StatusNotFound, true},
 
+		// Corpus surface: scoped happy paths for the default corpus, 404s
+		// for unknown subpaths and unknown corpora (corpus_not_found is
+		// still a structured JSON 404).
+		{http.MethodGet, "/v1/corpora", "", http.StatusOK, false},
+		{http.MethodGet, "/v1/corpora/default", "", http.StatusOK, false},
+		{http.MethodGet, "/v1/corpora/default/lookup?key=California", "", http.StatusOK, false},
+		{http.MethodPost, "/v1/corpora/default/autofill", `{"column":["Seattle"]}`, http.StatusOK, false},
+		{http.MethodPost, "/v1/corpora/default/batch/autofill", `{"column":["Seattle"]}`, http.StatusOK, false},
+		{http.MethodGet, "/v1/corpora/default/stats", "", http.StatusOK, false},
+		{http.MethodGet, "/v1/corpora/nope/lookup?key=x", "", http.StatusNotFound, true},
+		{http.MethodGet, "/v1/corpora/default/nope", "", http.StatusNotFound, true},
+		{http.MethodGet, "/v1/corpora/default/batch/nope", "", http.StatusNotFound, true},
+		{http.MethodPost, "/v1/corpora", "", http.StatusMethodNotAllowed, true},
+		{http.MethodPost, "/v1/corpora/default/lookup?key=x", "", http.StatusMethodNotAllowed, true},
+
 		// Bad inputs on known paths: JSON 400.
 		{http.MethodGet, "/lookup", "", http.StatusBadRequest, true},
 		{http.MethodPost, "/autofill", `{"column":[]}`, http.StatusBadRequest, true},

@@ -1,11 +1,14 @@
 // Package serve is the online half of the index-once/serve-many split: it
-// loads a snapshot written by cmd/synthesize into hash-sharded read-only
+// loads snapshots written by cmd/synthesize into hash-sharded read-only
 // index shards and serves the paper's three end-user applications —
 // auto-fill, auto-correct, auto-join (Section 4.3) — plus single-key lookup
-// over HTTP. The loaded state sits behind an atomic.Pointer so a snapshot
-// hot reload (SIGHUP or POST /reload) swaps the entire mapping set, index
-// and result cache in one pointer store while in-flight queries keep
-// reading the state they started with.
+// over HTTP. One process serves many named corpora (a registry of
+// name → state), each behind an atomic.Pointer so a snapshot load, an
+// activate or a rollback swaps that corpus's entire mapping set, index and
+// result cache in one pointer store while in-flight queries keep reading
+// the state they started with. The unscoped paths (/v1/lookup, …) are
+// byte-identical aliases for the "default" corpus's scoped paths
+// (/v1/corpora/default/lookup, …).
 package serve
 
 import (
@@ -16,41 +19,54 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"sync"
-	"sync/atomic"
+	"sort"
 	"syscall"
 	"time"
 
 	"mapsynth/internal/apps"
 	"mapsynth/internal/mapping"
-	"mapsynth/internal/snapshot"
+	"mapsynth/internal/pool"
 	"mapsynth/internal/textnorm"
 )
 
 // Options configures a Server.
 type Options struct {
-	// SnapshotPath is the snapshot file to load and the default target of
-	// reloads.
+	// SnapshotPath is the snapshot file loaded as the default corpus and
+	// the default target of its reloads.
 	SnapshotPath string
+	// Corpora maps additional corpus names to snapshot paths loaded at
+	// construction. Names must match [A-Za-z0-9._-]{1,64} and must not be
+	// "default" (that one comes from SnapshotPath).
+	Corpora map[string]string
 	// Shards is the number of index shards; < 1 selects GOMAXPROCS.
 	Shards int
-	// CacheSize bounds the lookup result cache (entries); < 1 disables it.
+	// CacheSize bounds each corpus state's lookup result cache (entries);
+	// < 1 disables it.
 	CacheSize int
+	// Workers bounds the per-call fan-out of every corpus's query
+	// sessions (one multi-query request uses at most Workers goroutines);
+	// it is not a server-wide concurrency cap — cross-request admission on
+	// the batch endpoints comes from MaxBatchRequests/MaxBatchRows. < 1
+	// selects GOMAXPROCS.
+	Workers int
+	// HistoryDepth bounds each corpus's rollback ring: how many previously
+	// live states stay activatable. < 1 selects 4.
+	HistoryDepth int
 	// MaxBodyBytes bounds request bodies on the single-column POST
 	// endpoints; <= 0 selects 8 MiB.
 	MaxBodyBytes int64
 	// MaxBatchBodyBytes bounds request bodies on the streaming /batch/*
-	// endpoints, which legitimately carry much larger payloads; <= 0
-	// selects 256 MiB.
+	// endpoints and on PUT /v1/corpora/{name} snapshot uploads, which
+	// legitimately carry much larger payloads; <= 0 selects 256 MiB.
 	MaxBatchBodyBytes int64
-	// MaxBatchRequests bounds concurrently served /batch/* requests;
-	// beyond it requests are rejected with 429 + Retry-After. <= 0 selects
-	// 32.
+	// MaxBatchRequests bounds concurrently served /batch/* requests across
+	// all corpora; beyond it requests are rejected with 429 + Retry-After.
+	// <= 0 selects 32.
 	MaxBatchRequests int
 	// MaxBatchRows bounds concurrently computing batch rows across all
-	// /batch/* requests; at the bound the server stops decoding request
-	// bodies (TCP backpressure) rather than buffering or dropping rows.
-	// <= 0 selects 256.
+	// /batch/* requests and corpora; at the bound the server stops decoding
+	// request bodies (TCP backpressure) rather than buffering or dropping
+	// rows. <= 0 selects 256.
 	MaxBatchRows int
 	// BatchWriteTimeout bounds how long one batch response line may sit
 	// unread by the client before the stream is abandoned. Rows hold their
@@ -60,24 +76,29 @@ type Options struct {
 	BatchWriteTimeout time.Duration
 	// Rebuild, when non-nil, is the offline synthesis entry point: POST
 	// /reload with {"rebuild": true} calls it to re-run the pipeline engine
-	// and atomically swaps the fresh mapping set in. The context is the
-	// request's, so a disconnecting client cancels the rebuild; the engine
-	// guarantees a prompt, leak-free stop.
+	// and atomically swaps the fresh mapping set into the default corpus.
+	// The context is the request's, so a disconnecting client cancels the
+	// rebuild; the engine guarantees a prompt, leak-free stop.
 	Rebuild func(ctx context.Context) ([]*mapping.Mapping, error)
 }
 
 // State is one immutable loaded snapshot: the mapping set, its sharded
 // index, the apps.Session answering queries against it, and the result
-// cache that is only valid against this mapping set. The server swaps the
-// whole State atomically on reload.
+// cache that is only valid against this mapping set. A corpus swaps its
+// whole State atomically on load/activate/rollback; superseded states stay
+// on the corpus's bounded history ring so they can be re-activated.
 type State struct {
 	Path     string
 	LoadedAt time.Time
-	Maps     []*mapping.Mapping
-	Index    *ShardedIndex
-	session  *apps.Session
-	cache    *lruCache
-	pairs    int
+	// Version is the corpus-scoped monotonically increasing install
+	// number; activate/rollback re-expose old versions without minting new
+	// ones, so a version identifies one immutable state forever.
+	Version int64
+	Maps    []*mapping.Mapping
+	Index   *ShardedIndex
+	session *apps.Session
+	cache   *lruCache
+	pairs   int
 }
 
 // serveDefaults are the documented server-side defaults applied to omitted
@@ -86,24 +107,16 @@ var serveDefaults = apps.Defaults{MinCoverage: 0.8, MinEach: 2}
 
 // Server is the HTTP mapping service.
 type Server struct {
-	opts    Options
-	state   atomic.Pointer[State]
-	start   time.Time
-	reloads atomic.Int64
-	// writeMu serializes the state-replacing paths (reload, rebuild) so a
-	// slow rebuild can never finish after a newer reload and clobber it;
-	// request handling stays lock-free on the atomic state pointer.
-	writeMu sync.Mutex
-
+	opts  Options
+	start time.Time
+	reg   *registry
+	// pool is the worker pool configuration every corpus's sessions share
+	// (per-call fan-out bound and one peak-concurrency gauge); cross-
+	// request admission is the batch limiter's job.
+	pool *pool.Pool
+	// batch is the one admission limiter shared by every corpus's /batch/*
+	// endpoints.
 	batch *batchLimiter
-
-	lookupStats           endpointStats
-	autofillStats         endpointStats
-	autocorrectStats      endpointStats
-	autojoinStats         endpointStats
-	batchAutofillStats    endpointStats
-	batchAutocorrectStats endpointStats
-	batchAutojoinStats    endpointStats
 }
 
 // newServer applies option defaults and builds the request-handling shell
@@ -121,28 +134,47 @@ func newServer(opts Options) *Server {
 	return &Server{
 		opts:  opts,
 		start: time.Now(),
+		reg:   newRegistry(opts.HistoryDepth),
+		pool:  pool.New(opts.Workers),
 		batch: newBatchLimiter(opts.MaxBatchRequests, opts.MaxBatchRows),
 	}
 }
 
-// New loads the snapshot at opts.SnapshotPath and returns a ready server.
+// New loads the snapshot at opts.SnapshotPath as the default corpus, plus
+// every entry of opts.Corpora, and returns a ready server.
 func New(opts Options) (*Server, error) {
 	s := newServer(opts)
 	if _, err := s.Reload(opts.SnapshotPath); err != nil {
 		return nil, err
 	}
+	names := make([]string, 0, len(opts.Corpora))
+	for name := range opts.Corpora {
+		if name == DefaultCorpus {
+			return nil, fmt.Errorf("serve: corpus %q comes from SnapshotPath, not Corpora", DefaultCorpus)
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := s.LoadCorpusContext(context.Background(), name, opts.Corpora[name]); err != nil {
+			return nil, err
+		}
+	}
 	return s, nil
 }
 
-// NewFromMappings builds a server directly from an in-memory mapping set —
-// the entry point for tests and benchmarks that skip the snapshot file.
+// NewFromMappings builds a server whose default corpus is an in-memory
+// mapping set — the entry point for tests and benchmarks that skip the
+// snapshot file.
 func NewFromMappings(maps []*mapping.Mapping, opts Options) *Server {
 	s := newServer(opts)
-	s.install(maps, opts.SnapshotPath)
+	s.swapIn(DefaultCorpus, s.buildState(maps, opts.SnapshotPath))
 	return s
 }
 
-func (s *Server) install(maps []*mapping.Mapping, path string) *State {
+// buildState assembles one immutable serving state (index, session, cache)
+// off to the side; the caller swaps it in.
+func (s *Server) buildState(maps []*mapping.Mapping, path string) *State {
 	st := &State{
 		Path:     path,
 		LoadedAt: time.Now(),
@@ -150,54 +182,35 @@ func (s *Server) install(maps []*mapping.Mapping, path string) *State {
 		Index:    NewShardedIndex(maps, s.opts.Shards),
 		cache:    newLRU(s.opts.CacheSize),
 	}
-	st.session = apps.NewSession(st.Index, apps.WithDefaults(serveDefaults))
+	st.session = apps.NewSession(st.Index,
+		apps.WithDefaults(serveDefaults),
+		apps.WithPool(s.pool))
 	for _, m := range maps {
 		st.pairs += m.Size()
 	}
-	s.state.Store(st)
 	return st
 }
 
-// Reload loads the snapshot at path (or the current snapshot path if empty)
-// off to the side and atomically swaps it in; a failed load leaves the
-// serving state untouched. Safe to call concurrently with request handling.
+// Reload loads the snapshot at path (or the default corpus's current
+// snapshot path if empty) off to the side and atomically swaps it in; a
+// failed load leaves the serving state untouched and does not bump the
+// reload counter. Safe to call concurrently with request handling.
 func (s *Server) Reload(path string) (*State, error) {
 	return s.ReloadContext(context.Background(), path)
 }
 
 // ReloadContext is Reload with cancellation: a cancelled ctx aborts before
 // the new state is installed, leaving the serving state untouched. Reloads
-// and rebuilds are serialized; a reload issued during a long rebuild waits
-// for it and then wins as the later writer.
+// and rebuilds of one corpus are serialized; a reload issued during a long
+// rebuild waits for it and then wins as the later writer.
 func (s *Server) ReloadContext(ctx context.Context, path string) (*State, error) {
-	s.writeMu.Lock()
-	defer s.writeMu.Unlock()
-	if path == "" {
-		if cur := s.state.Load(); cur != nil {
-			path = cur.Path
-		} else {
-			path = s.opts.SnapshotPath
-		}
-	}
-	if path == "" {
-		return nil, errors.New("serve: no snapshot path to load")
-	}
-	maps, err := snapshot.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	st := s.install(maps, path)
-	s.reloads.Add(1)
-	return st, nil
+	return s.LoadCorpusContext(ctx, DefaultCorpus, path)
 }
 
 // RebuildContext re-runs the offline synthesis pipeline via Options.Rebuild
-// and swaps the fresh mapping set in. The state keeps its snapshot path so
-// later path-less reloads still work. Cancelling ctx aborts the pipeline
-// run promptly and leaves the serving state untouched.
+// and swaps the fresh mapping set into the default corpus. The state keeps
+// its snapshot path so later path-less reloads still work. Cancelling ctx
+// aborts the pipeline run promptly and leaves the serving state untouched.
 func (s *Server) RebuildContext(ctx context.Context) (*State, error) {
 	if s.opts.Rebuild == nil {
 		return nil, errors.New("serve: no rebuild source configured")
@@ -205,58 +218,85 @@ func (s *Server) RebuildContext(ctx context.Context) (*State, error) {
 	// Unlike snapshot reloads (cheap, block-and-win), a rebuild is a full
 	// pipeline run: overlapping requests are rejected rather than queued so
 	// clients cannot stack unbounded CPU-bound runs behind the write lock.
-	if !s.writeMu.TryLock() {
+	c := s.reg.shell(DefaultCorpus)
+	if !c.writeMu.TryLock() {
 		return nil, errors.New("serve: a reload or rebuild is already in progress")
 	}
-	defer s.writeMu.Unlock()
+	defer c.writeMu.Unlock()
 	maps, err := s.opts.Rebuild(ctx)
 	if err != nil {
 		return nil, err
 	}
-	// Guard the install like ReloadContext does: a rebuild source that
+	// Guard the install like LoadCorpusContext does: a rebuild source that
 	// ignores ctx must still not swap state in after cancellation.
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	path := s.opts.SnapshotPath
-	if cur := s.state.Load(); cur != nil {
+	if cur := c.state.Load(); cur != nil {
 		path = cur.Path
 	}
-	st := s.install(maps, path)
-	s.reloads.Add(1)
-	return st, nil
+	return s.swapIn(DefaultCorpus, s.buildState(maps, path)), nil
 }
 
-// State returns the currently serving state.
-func (s *Server) State() *State { return s.state.Load() }
+// State returns the default corpus's currently serving state.
+func (s *Server) State() *State { return s.CorpusState(DefaultCorpus) }
+
+// appHandler answers one application request against a resolved corpus;
+// the bool reports success (failures count as endpoint errors).
+type appHandler func(c *corpus, w http.ResponseWriter, r *http.Request) bool
+
+// corpusResolver names the corpus a request targets: the fixed default for
+// unscoped paths, the {name} path value for /v1/corpora/{name}/ paths.
+type corpusResolver func(r *http.Request) string
+
+func defaultResolver(*http.Request) string { return DefaultCorpus }
+func pathResolver(r *http.Request) string  { return r.PathValue("name") }
 
 // Handler returns the service's HTTP routes. The canonical surface lives
-// under /v1/; every endpoint is also reachable at its historical
-// unversioned path, which answers identically (parity-tested) plus a
-// Deprecation header pointing clients at the successor. Unknown paths —
-// including unknown /v1/ subpaths — answer a structured JSON 404 (the
-// service speaks JSON on every path, errors included) instead of the mux's
-// plain-text default. Every request gets an X-Request-ID, echoed in error
-// envelopes, /stats and batch trailers.
+// under /v1/: every application endpoint exists corpus-scoped at
+// /v1/corpora/{name}/..., and the unscoped /v1/... spelling answers
+// byte-identically for the "default" corpus (parity-tested). Each unscoped
+// endpoint is additionally reachable at its historical unversioned path,
+// which answers identically plus a Deprecation header pointing clients at
+// the successor. Unknown paths — including unknown /v1/ subpaths — answer
+// a structured JSON 404, and unknown corpus names a structured
+// corpus_not_found, so the service speaks JSON on every path. Every
+// request gets an X-Request-ID, echoed in error envelopes, /stats and
+// batch trailers.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	// register mounts one logical endpoint at /v1/<path> and at its
-	// deprecated unversioned alias; both share the handler (and therefore
-	// the same endpointStats).
+	// deprecated unversioned alias; both share the handler.
 	register := func(path string, h http.HandlerFunc) {
 		mux.HandleFunc("/v1"+path, h)
 		mux.HandleFunc(path, deprecatedAlias("/v1"+path, h))
 	}
+	// app mounts one application endpoint three ways — corpus-scoped,
+	// unscoped /v1 (default corpus), legacy unversioned — all sharing the
+	// handler and therefore the default corpus's endpointStats for the two
+	// unscoped spellings.
+	app := func(path string, pick func(*corpusStats) *endpointStats, h appHandler) {
+		register(path, s.timedApp(defaultResolver, pick, h))
+		mux.HandleFunc("/v1/corpora/{name}"+path, s.timedApp(pathResolver, pick, h))
+	}
 	register("/healthz", s.getOnly(s.handleHealthz))
-	register("/stats", s.getOnly(s.handleStats))
+	register("/stats", s.getOnly(s.withCorpus(defaultResolver, s.handleStats)))
+	mux.HandleFunc("/v1/corpora/{name}/stats", s.getOnly(s.withCorpus(pathResolver, s.handleStats)))
 	register("/reload", s.handleReload)
-	register("/lookup", s.timed(&s.lookupStats, s.handleLookup))
-	register("/autofill", s.timed(&s.autofillStats, s.handleAutoFill))
-	register("/autocorrect", s.timed(&s.autocorrectStats, s.handleAutoCorrect))
-	register("/autojoin", s.timed(&s.autojoinStats, s.handleAutoJoin))
-	register("/batch/autofill", s.timed(&s.batchAutofillStats, s.handleBatchAutoFill))
-	register("/batch/autocorrect", s.timed(&s.batchAutocorrectStats, s.handleBatchAutoCorrect))
-	register("/batch/autojoin", s.timed(&s.batchAutojoinStats, s.handleBatchAutoJoin))
+	app("/lookup", func(cs *corpusStats) *endpointStats { return &cs.lookup }, s.handleLookup)
+	app("/autofill", func(cs *corpusStats) *endpointStats { return &cs.autofill }, s.handleAutoFill)
+	app("/autocorrect", func(cs *corpusStats) *endpointStats { return &cs.autocorrect }, s.handleAutoCorrect)
+	app("/autojoin", func(cs *corpusStats) *endpointStats { return &cs.autojoin }, s.handleAutoJoin)
+	app("/batch/autofill", func(cs *corpusStats) *endpointStats { return &cs.batchAutofill }, s.handleBatchAutoFill)
+	app("/batch/autocorrect", func(cs *corpusStats) *endpointStats { return &cs.batchAutocorrect }, s.handleBatchAutoCorrect)
+	app("/batch/autojoin", func(cs *corpusStats) *endpointStats { return &cs.batchAutojoin }, s.handleBatchAutoJoin)
+	// Corpus lifecycle administration (no legacy aliases — this surface is
+	// new with v1 multi-corpus serving).
+	mux.HandleFunc("/v1/corpora", s.getOnly(s.handleCorporaList))
+	mux.HandleFunc("/v1/corpora/{name}", s.handleCorpusResource)
+	mux.HandleFunc("/v1/corpora/{name}/activate", s.handleActivate)
+	mux.HandleFunc("/v1/corpora/{name}/rollback", s.handleRollback)
 	return withRequestID(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if _, pattern := mux.Handler(r); pattern == "" {
 			writeError(w, r, CodeNotFound, "no such endpoint: "+r.URL.Path)
@@ -289,21 +329,52 @@ func (s *Server) getOnly(h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// loadedState fetches the serving state, answering 503 not_ready when no
-// snapshot has been installed yet.
-func (s *Server) loadedState(w http.ResponseWriter, r *http.Request) (*State, bool) {
-	st := s.state.Load()
-	if st == nil {
-		writeError(w, r, CodeNotReady, "no snapshot loaded yet")
-		return nil, false
+// resolveCorpus maps a request's corpus name to its live corpus. A missing
+// default corpus answers 503 not_ready (the pre-multi-corpus contract for
+// an empty server); any other missing name answers 404 corpus_not_found.
+func (s *Server) resolveCorpus(w http.ResponseWriter, r *http.Request, name string) (*corpus, bool) {
+	if c := s.reg.get(name); c != nil {
+		return c, true
 	}
-	return st, true
+	if name == DefaultCorpus {
+		writeError(w, r, CodeNotReady, "no snapshot loaded yet")
+	} else {
+		writeError(w, r, CodeCorpusNotFound, fmt.Sprintf("no such corpus: %q", name))
+	}
+	return nil, false
+}
+
+// withCorpus adapts a corpus-parameterized handler into an http.HandlerFunc
+// by resolving the request's corpus first.
+func (s *Server) withCorpus(resolve corpusResolver, h func(c *corpus, w http.ResponseWriter, r *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		c, ok := s.resolveCorpus(w, r, resolve(r))
+		if !ok {
+			return
+		}
+		h(c, w, r)
+	}
+}
+
+// timedApp is withCorpus plus per-corpus request counting and latency
+// observation on the endpointStats pick selects.
+func (s *Server) timedApp(resolve corpusResolver, pick func(*corpusStats) *endpointStats, h appHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		c, ok := s.resolveCorpus(w, r, resolve(r))
+		if !ok {
+			return
+		}
+		es := pick(&c.stats)
+		t0 := time.Now()
+		okReq := h(c, w, r)
+		es.observe(time.Since(t0), !okReq)
+	}
 }
 
 // Run serves on addr until ctx is cancelled, then drains in-flight requests
 // (graceful shutdown). While running, SIGHUP triggers a snapshot hot reload
-// of the current snapshot path — the conventional "re-read your data"
-// signal for long-running daemons.
+// of every corpus's current snapshot path — the conventional "re-read your
+// data" signal for long-running daemons.
 func (s *Server) Run(ctx context.Context, addr string) error {
 	hs := &http.Server{Addr: addr, Handler: s.Handler()}
 	hup := make(chan os.Signal, 1)
@@ -316,10 +387,14 @@ func (s *Server) Run(ctx context.Context, addr string) error {
 		for {
 			select {
 			case <-hup:
-				if st, err := s.Reload(""); err != nil {
+				if err := s.ReloadAll(context.Background()); err != nil {
 					fmt.Fprintf(os.Stderr, "serve: SIGHUP reload failed: %v\n", err)
 				} else {
-					fmt.Fprintf(os.Stderr, "serve: reloaded %s (%d mappings)\n", st.Path, len(st.Maps))
+					for _, c := range s.reg.list() {
+						st := c.state.Load()
+						fmt.Fprintf(os.Stderr, "serve: corpus %s: reloaded %s (%d mappings, version %d)\n",
+							c.name, st.Path, len(st.Maps), st.Version)
+					}
 				}
 			case <-ctx.Done():
 				shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
@@ -340,15 +415,6 @@ func (s *Server) Run(ctx context.Context, addr string) error {
 		return nil
 	}
 	return err
-}
-
-// timed wraps a handler with request counting and latency observation.
-func (s *Server) timed(es *endpointStats, h func(http.ResponseWriter, *http.Request) bool) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		t0 := time.Now()
-		ok := h(w, r)
-		es.observe(time.Since(t0), !ok)
-	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) bool {
@@ -393,13 +459,22 @@ type lookupResponse struct {
 	Domains   int `json:"domains,omitempty"`
 }
 
-// Lookup answers a single-key query against the current state, consulting
-// the bounded LRU cache first. The answer itself comes from the state's
+// Lookup answers a single-key query against the default corpus; see
+// lookupIn.
+func (s *Server) Lookup(key string) lookupResponse {
+	st := s.State()
+	if st == nil {
+		return lookupResponse{Found: false, Key: key}
+	}
+	return lookupIn(st, key)
+}
+
+// lookupIn answers a single-key query against one state, consulting its
+// bounded LRU cache first. The answer itself comes from the state's
 // apps.Session: among all mappings containing the key, the one with the
 // most contributing domains wins (the paper's popularity signal), matching
 // the ordering of ShardedIndex.LookupLeft.
-func (s *Server) Lookup(key string) lookupResponse {
-	st := s.state.Load()
+func lookupIn(st *State, key string) lookupResponse {
 	nk := textnorm.Normalize(key)
 	if resp, ok := st.cache.get(nk); ok {
 		resp.Key = key
@@ -427,7 +502,7 @@ func (s *Server) Lookup(key string) lookupResponse {
 	return resp
 }
 
-func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) bool {
+func (s *Server) handleLookup(c *corpus, w http.ResponseWriter, r *http.Request) bool {
 	if r.Method != http.MethodGet {
 		return writeError(w, r, CodeMethodNotAllowed, "GET required")
 	}
@@ -435,10 +510,7 @@ func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) bool {
 	if key == "" {
 		return writeError(w, r, CodeBadRequest, "missing ?key= parameter")
 	}
-	if _, ok := s.loadedState(w, r); !ok {
-		return false
-	}
-	return writeJSON(w, http.StatusOK, s.Lookup(key))
+	return writeJSON(w, http.StatusOK, lookupIn(c.state.Load(), key))
 }
 
 // ---- auto-fill ----
@@ -475,15 +547,12 @@ type autoFillResponse struct {
 	Candidates []autoFillCandidate `json:"candidates,omitempty"`
 }
 
-func (s *Server) handleAutoFill(w http.ResponseWriter, r *http.Request) bool {
+func (s *Server) handleAutoFill(c *corpus, w http.ResponseWriter, r *http.Request) bool {
 	var req autoFillRequest
 	if !s.readBody(w, r, &req) {
 		return false
 	}
-	st, ok := s.loadedState(w, r)
-	if !ok {
-		return false
-	}
+	st := c.state.Load()
 	resp, ce := autoFillCompute(r.Context(), st, st.session, req)
 	if ce != nil {
 		return writeError(w, r, ce.code, ce.msg)
@@ -516,15 +585,12 @@ type autoCorrectResponse struct {
 	Candidates []autoCorrectCandidate `json:"candidates,omitempty"`
 }
 
-func (s *Server) handleAutoCorrect(w http.ResponseWriter, r *http.Request) bool {
+func (s *Server) handleAutoCorrect(c *corpus, w http.ResponseWriter, r *http.Request) bool {
 	var req autoCorrectRequest
 	if !s.readBody(w, r, &req) {
 		return false
 	}
-	st, ok := s.loadedState(w, r)
-	if !ok {
-		return false
-	}
+	st := c.state.Load()
 	resp, ce := autoCorrectCompute(r.Context(), st, st.session, req)
 	if ce != nil {
 		return writeError(w, r, ce.code, ce.msg)
@@ -563,15 +629,12 @@ type autoJoinResponse struct {
 	Candidates []autoJoinCandidate `json:"candidates,omitempty"`
 }
 
-func (s *Server) handleAutoJoin(w http.ResponseWriter, r *http.Request) bool {
+func (s *Server) handleAutoJoin(c *corpus, w http.ResponseWriter, r *http.Request) bool {
 	var req autoJoinRequest
 	if !s.readBody(w, r, &req) {
 		return false
 	}
-	st, ok := s.loadedState(w, r)
-	if !ok {
-		return false
-	}
+	st := c.state.Load()
 	resp, ce := autoJoinCompute(r.Context(), st, st.session, req)
 	if ce != nil {
 		return writeError(w, r, ce.code, ce.msg)
@@ -581,28 +644,55 @@ func (s *Server) handleAutoJoin(w http.ResponseWriter, r *http.Request) bool {
 
 // ---- health and stats ----
 
+// corpusHealth is one corpus's entry in the /healthz body.
+type corpusHealth struct {
+	Snapshot   string  `json:"snapshot,omitempty"`
+	Version    int64   `json:"version"`
+	Mappings   int     `json:"mappings"`
+	Pairs      int     `json:"pairs"`
+	Shards     int     `json:"shards"`
+	LoadedAt   string  `json:"loaded_at"`
+	AgeSeconds float64 `json:"age_s"`
+}
+
+// handleHealthz reports per-corpus readiness: every loaded corpus appears
+// with its snapshot metadata and age. The server is not-ready (503) only
+// when the default corpus is absent — extra corpora come and go without
+// affecting liveness.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	st, ok := s.loadedState(w, r)
-	if !ok {
+	if s.reg.get(DefaultCorpus) == nil {
+		writeError(w, r, CodeNotReady, "no snapshot loaded yet")
 		return
 	}
+	corpora := make(map[string]corpusHealth)
+	for _, c := range s.reg.list() {
+		st := c.state.Load()
+		corpora[c.name] = corpusHealth{
+			Snapshot:   st.Path,
+			Version:    st.Version,
+			Mappings:   len(st.Maps),
+			Pairs:      st.pairs,
+			Shards:     st.Index.NumShards(),
+			LoadedAt:   st.LoadedAt.UTC().Format(time.RFC3339),
+			AgeSeconds: time.Since(st.LoadedAt).Seconds(),
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":    "ok",
-		"snapshot":  st.Path,
-		"loaded_at": st.LoadedAt.UTC().Format(time.RFC3339),
-		"mappings":  len(st.Maps),
-		"pairs":     st.pairs,
-		"shards":    st.Index.NumShards(),
-		"uptime_s":  time.Since(s.start).Seconds(),
+		"status":   "ok",
+		"uptime_s": time.Since(s.start).Seconds(),
+		"corpora":  corpora,
 	})
 }
 
-// StatsSnapshot is the JSON body of GET /stats.
+// StatsSnapshot is the JSON body of GET /stats — one corpus's view. The
+// batch section is server-wide (the limiter is shared across corpora);
+// everything else is scoped to Corpus.
 type StatsSnapshot struct {
 	// RequestID identifies the /stats request that produced this snapshot,
 	// tying a stats observation to the server logs; empty when the
 	// snapshot was assembled outside a request (Server.Stats()).
 	RequestID     string                      `json:"request_id,omitempty"`
+	Corpus        string                      `json:"corpus"`
 	UptimeSeconds float64                     `json:"uptime_s"`
 	Reloads       int64                       `json:"reloads"`
 	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
@@ -620,25 +710,44 @@ type CacheSnapshot struct {
 	HitRate  float64 `json:"hit_rate"`
 }
 
-// Stats assembles the current serving statistics.
+// Stats assembles the default corpus's current serving statistics.
 func (s *Server) Stats() StatsSnapshot {
-	st := s.state.Load()
+	c := s.reg.get(DefaultCorpus)
+	if c == nil {
+		return StatsSnapshot{Corpus: DefaultCorpus, UptimeSeconds: time.Since(s.start).Seconds()}
+	}
+	return s.statsFor(c)
+}
+
+// CorpusStats assembles the named corpus's serving statistics; ok is false
+// when the corpus does not exist.
+func (s *Server) CorpusStats(name string) (StatsSnapshot, bool) {
+	c := s.reg.get(name)
+	if c == nil {
+		return StatsSnapshot{}, false
+	}
+	return s.statsFor(c), true
+}
+
+func (s *Server) statsFor(c *corpus) StatsSnapshot {
+	st := c.state.Load()
 	hits, misses := st.cache.hits.Load(), st.cache.misses.Load()
 	rate := 0.0
 	if hits+misses > 0 {
 		rate = float64(hits) / float64(hits+misses)
 	}
 	return StatsSnapshot{
+		Corpus:        c.name,
 		UptimeSeconds: time.Since(s.start).Seconds(),
-		Reloads:       s.reloads.Load(),
+		Reloads:       c.reloads.Load(),
 		Endpoints: map[string]EndpointSnapshot{
-			"lookup":            s.lookupStats.snapshot(),
-			"autofill":          s.autofillStats.snapshot(),
-			"autocorrect":       s.autocorrectStats.snapshot(),
-			"autojoin":          s.autojoinStats.snapshot(),
-			"batch_autofill":    s.batchAutofillStats.snapshot(),
-			"batch_autocorrect": s.batchAutocorrectStats.snapshot(),
-			"batch_autojoin":    s.batchAutojoinStats.snapshot(),
+			"lookup":            c.stats.lookup.snapshot(),
+			"autofill":          c.stats.autofill.snapshot(),
+			"autocorrect":       c.stats.autocorrect.snapshot(),
+			"autojoin":          c.stats.autojoin.snapshot(),
+			"batch_autofill":    c.stats.batchAutofill.snapshot(),
+			"batch_autocorrect": c.stats.batchAutocorrect.snapshot(),
+			"batch_autojoin":    c.stats.batchAutojoin.snapshot(),
 		},
 		Batch: s.batch.snapshot(),
 		Cache: CacheSnapshot{
@@ -650,6 +759,7 @@ func (s *Server) Stats() StatsSnapshot {
 		},
 		Snapshot: map[string]any{
 			"path":      st.Path,
+			"version":   st.Version,
 			"loaded_at": st.LoadedAt.UTC().Format(time.RFC3339),
 			"mappings":  len(st.Maps),
 			"pairs":     st.pairs,
@@ -658,11 +768,8 @@ func (s *Server) Stats() StatsSnapshot {
 	}
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	if _, ok := s.loadedState(w, r); !ok {
-		return
-	}
-	snap := s.Stats()
+func (s *Server) handleStats(c *corpus, w http.ResponseWriter, r *http.Request) {
+	snap := s.statsFor(c)
 	snap.RequestID = requestID(r)
 	writeJSON(w, http.StatusOK, snap)
 }
@@ -678,6 +785,8 @@ type reloadRequest struct {
 	Rebuild bool `json:"rebuild"`
 }
 
+// handleReload is the default corpus's reload endpoint (POST /v1/reload);
+// scoped corpora reload via PUT /v1/corpora/{name}.
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, r, CodeMethodNotAllowed, "POST required")
@@ -710,6 +819,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"snapshot":    st.Path,
+		"version":     st.Version,
 		"rebuilt":     req.Rebuild,
 		"mappings":    len(st.Maps),
 		"loaded_at":   st.LoadedAt.UTC().Format(time.RFC3339),

@@ -301,8 +301,13 @@ func TestStatsAndHealthz(t *testing.T) {
 	if rec := getJSON(t, h, "/healthz", &health); rec.Code != http.StatusOK {
 		t.Fatalf("healthz status = %d", rec.Code)
 	}
-	if health["status"] != "ok" || int(health["mappings"].(float64)) != len(maps) {
+	if health["status"] != "ok" {
 		t.Errorf("healthz = %v", health)
+	}
+	corpora, _ := health["corpora"].(map[string]any)
+	def, _ := corpora[DefaultCorpus].(map[string]any)
+	if def == nil || int(def["mappings"].(float64)) != len(maps) {
+		t.Errorf("healthz default corpus = %v", corpora)
 	}
 
 	var stats StatsSnapshot

@@ -58,19 +58,19 @@ type BatchLine[Resp any] struct {
 // the stream and is returned verbatim. The trailer is non-nil exactly when
 // the error is nil.
 func (c *Client) BatchAutoFill(ctx context.Context, reqs []AutoFillRequest, fn func(BatchLine[AutoFillResponse]) error) (*BatchTrailer, error) {
-	return batchStream(c, ctx, "/v1/batch/autofill", reqs, fn)
+	return batchStream(c, ctx, v1Prefix+"/batch/autofill", reqs, fn)
 }
 
 // BatchAutoCorrect streams reqs through POST /v1/batch/autocorrect; see
 // BatchAutoFill for the callback contract.
 func (c *Client) BatchAutoCorrect(ctx context.Context, reqs []AutoCorrectRequest, fn func(BatchLine[AutoCorrectResponse]) error) (*BatchTrailer, error) {
-	return batchStream(c, ctx, "/v1/batch/autocorrect", reqs, fn)
+	return batchStream(c, ctx, v1Prefix+"/batch/autocorrect", reqs, fn)
 }
 
 // BatchAutoJoin streams reqs through POST /v1/batch/autojoin; see
 // BatchAutoFill for the callback contract.
 func (c *Client) BatchAutoJoin(ctx context.Context, reqs []AutoJoinRequest, fn func(BatchLine[AutoJoinResponse]) error) (*BatchTrailer, error) {
-	return batchStream(c, ctx, "/v1/batch/autojoin", reqs, fn)
+	return batchStream(c, ctx, v1Prefix+"/batch/autojoin", reqs, fn)
 }
 
 // batchStream is the shared driver: NDJSON-encode the inputs, retry
@@ -101,7 +101,9 @@ func batchStream[Req, Resp any](c *Client, ctx context.Context, path string, req
 		aerr := parseAPIError(resp, data)
 		if aerr.Status == http.StatusTooManyRequests && attempt < c.retries {
 			if err := c.backoff(ctx, aerr.RetryAfter); err != nil {
-				return nil, aerr
+				// As in call: a cancellation mid-wait surfaces as ctx's
+				// error, not as the stale 429.
+				return nil, fmt.Errorf("client: interrupted waiting to retry %s: %w", path, err)
 			}
 			continue
 		}

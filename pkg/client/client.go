@@ -110,11 +110,20 @@ func newRequestID() string {
 }
 
 // ---- endpoint methods ----
+//
+// The methods on Client target the default corpus through the unscoped
+// /v1 paths; Corpus(name) returns a handle with the same methods scoped to
+// one named corpus. Both funnel through the prefix-parameterized helpers
+// below, so the two surfaces cannot drift.
 
 // Lookup answers a single-key query with provenance.
 func (c *Client) Lookup(ctx context.Context, key string) (*LookupResponse, error) {
+	return c.lookupAt(ctx, v1Prefix, key)
+}
+
+func (c *Client) lookupAt(ctx context.Context, prefix, key string) (*LookupResponse, error) {
 	var resp LookupResponse
-	if err := c.call(ctx, http.MethodGet, "/v1/lookup?key="+url.QueryEscape(key), nil, &resp); err != nil {
+	if err := c.call(ctx, http.MethodGet, prefix+"/lookup?key="+url.QueryEscape(key), nil, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -122,8 +131,12 @@ func (c *Client) Lookup(ctx context.Context, key string) (*LookupResponse, error
 
 // AutoFill answers one auto-fill column query (the paper's Table 4).
 func (c *Client) AutoFill(ctx context.Context, req AutoFillRequest) (*AutoFillResponse, error) {
+	return c.autoFillAt(ctx, v1Prefix, req)
+}
+
+func (c *Client) autoFillAt(ctx context.Context, prefix string, req AutoFillRequest) (*AutoFillResponse, error) {
 	var resp AutoFillResponse
-	if err := c.post(ctx, "/v1/autofill", req, &resp); err != nil {
+	if err := c.post(ctx, prefix+"/autofill", req, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -131,8 +144,12 @@ func (c *Client) AutoFill(ctx context.Context, req AutoFillRequest) (*AutoFillRe
 
 // AutoCorrect answers one auto-correct column query (Table 3).
 func (c *Client) AutoCorrect(ctx context.Context, req AutoCorrectRequest) (*AutoCorrectResponse, error) {
+	return c.autoCorrectAt(ctx, v1Prefix, req)
+}
+
+func (c *Client) autoCorrectAt(ctx context.Context, prefix string, req AutoCorrectRequest) (*AutoCorrectResponse, error) {
 	var resp AutoCorrectResponse
-	if err := c.post(ctx, "/v1/autocorrect", req, &resp); err != nil {
+	if err := c.post(ctx, prefix+"/autocorrect", req, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -140,14 +157,18 @@ func (c *Client) AutoCorrect(ctx context.Context, req AutoCorrectRequest) (*Auto
 
 // AutoJoin answers one key-column join query (Table 5).
 func (c *Client) AutoJoin(ctx context.Context, req AutoJoinRequest) (*AutoJoinResponse, error) {
+	return c.autoJoinAt(ctx, v1Prefix, req)
+}
+
+func (c *Client) autoJoinAt(ctx context.Context, prefix string, req AutoJoinRequest) (*AutoJoinResponse, error) {
 	var resp AutoJoinResponse
-	if err := c.post(ctx, "/v1/autojoin", req, &resp); err != nil {
+	if err := c.post(ctx, prefix+"/autojoin", req, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
 }
 
-// Healthz reports liveness and loaded-snapshot metadata.
+// Healthz reports liveness and per-corpus readiness metadata.
 func (c *Client) Healthz(ctx context.Context) (*Health, error) {
 	var h Health
 	if err := c.call(ctx, http.MethodGet, "/v1/healthz", nil, &h); err != nil {
@@ -156,10 +177,14 @@ func (c *Client) Healthz(ctx context.Context) (*Health, error) {
 	return &h, nil
 }
 
-// Stats reports serving statistics.
+// Stats reports the default corpus's serving statistics.
 func (c *Client) Stats(ctx context.Context) (*Stats, error) {
+	return c.statsAt(ctx, v1Prefix)
+}
+
+func (c *Client) statsAt(ctx context.Context, prefix string) (*Stats, error) {
 	var s Stats
-	if err := c.call(ctx, http.MethodGet, "/v1/stats", nil, &s); err != nil {
+	if err := c.call(ctx, http.MethodGet, prefix+"/stats", nil, &s); err != nil {
 		return nil, err
 	}
 	return &s, nil
@@ -186,11 +211,17 @@ func (c *Client) post(ctx context.Context, path string, req, out any) error {
 	return c.call(ctx, http.MethodPost, path, body, out)
 }
 
-// call issues one request, retrying overloaded responses per the client's
-// retry budget, and decodes a 2xx body into out.
+// call issues one JSON request, retrying overloaded responses per the
+// client's retry budget, and decodes a 2xx body into out.
 func (c *Client) call(ctx context.Context, method, path string, body []byte, out any) error {
+	return c.callRaw(ctx, method, path, body, "application/json", out)
+}
+
+// callRaw is call with an explicit request Content-Type (snapshot uploads
+// send application/octet-stream).
+func (c *Client) callRaw(ctx context.Context, method, path string, body []byte, contentType string, out any) error {
 	for attempt := 0; ; attempt++ {
-		resp, err := c.send(ctx, method, path, body, "application/json")
+		resp, err := c.send(ctx, method, path, body, contentType)
 		if err != nil {
 			return err
 		}
@@ -211,7 +242,10 @@ func (c *Client) call(ctx context.Context, method, path string, body []byte, out
 		aerr := parseAPIError(resp, data)
 		if aerr.Status == http.StatusTooManyRequests && attempt < c.retries {
 			if err := c.backoff(ctx, aerr.RetryAfter); err != nil {
-				return aerr
+				// ctx died mid-wait: surface the cancellation (errors.Is
+				// context.Canceled / DeadlineExceeded) rather than the 429
+				// the caller no longer cares about.
+				return fmt.Errorf("client: interrupted waiting to retry %s: %w", path, err)
 			}
 			continue
 		}

@@ -95,7 +95,7 @@ func TestLookupAndApps(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if h.Status != "ok" || h.Mappings != 2 {
+	if h.Status != "ok" || h.Corpora[DefaultCorpus].Mappings != 2 {
 		t.Errorf("healthz = %+v", h)
 	}
 

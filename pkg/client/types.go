@@ -14,9 +14,9 @@ type APIError struct {
 	// Status is the HTTP status code.
 	Status int
 	// Code is the machine-readable error class: "bad_request",
-	// "not_found", "method_not_allowed", "unprocessable", "overloaded",
-	// "internal", "not_ready". Empty when the server spoke the pre-v1
-	// bare-string envelope.
+	// "not_found", "corpus_not_found", "method_not_allowed",
+	// "unprocessable", "overloaded", "internal", "not_ready". Empty when
+	// the server spoke the pre-v1 bare-string envelope.
 	Code string
 	// Message is the human-readable explanation.
 	Message string
@@ -171,15 +171,24 @@ type LookupResponse struct {
 	Domains      int      `json:"domains,omitempty"`
 }
 
-// Health is the body of GET /v1/healthz.
+// Health is the body of GET /v1/healthz: liveness plus per-corpus
+// readiness. The server answers 503 (surfaced as an *APIError with code
+// "not_ready") only when the default corpus is absent.
 type Health struct {
-	Status        string  `json:"status"`
-	Snapshot      string  `json:"snapshot"`
-	LoadedAt      string  `json:"loaded_at"`
-	Mappings      int     `json:"mappings"`
-	Pairs         int     `json:"pairs"`
-	Shards        int     `json:"shards"`
-	UptimeSeconds float64 `json:"uptime_s"`
+	Status        string                  `json:"status"`
+	UptimeSeconds float64                 `json:"uptime_s"`
+	Corpora       map[string]CorpusHealth `json:"corpora"`
+}
+
+// CorpusHealth is one corpus's entry in Health.
+type CorpusHealth struct {
+	Snapshot   string  `json:"snapshot"`
+	Version    int64   `json:"version"`
+	Mappings   int     `json:"mappings"`
+	Pairs      int     `json:"pairs"`
+	Shards     int     `json:"shards"`
+	LoadedAt   string  `json:"loaded_at"`
+	AgeSeconds float64 `json:"age_s"`
 }
 
 // EndpointStats is one endpoint's counters in Stats.
@@ -192,10 +201,13 @@ type EndpointStats struct {
 	P99Ms    float64 `json:"p99_ms"`
 }
 
-// Stats is the body of GET /v1/stats. Sections whose exact shape the SDK
-// does not interpret are left as raw JSON for forward compatibility.
+// Stats is the body of GET /v1/stats (default corpus) or
+// GET /v1/corpora/{name}/stats — one corpus's counters plus the shared
+// batch limiter. Sections whose exact shape the SDK does not interpret are
+// left as raw JSON for forward compatibility.
 type Stats struct {
 	RequestID     string                   `json:"request_id"`
+	Corpus        string                   `json:"corpus"`
 	UptimeSeconds float64                  `json:"uptime_s"`
 	Reloads       int64                    `json:"reloads"`
 	Endpoints     map[string]EndpointStats `json:"endpoints"`
@@ -217,8 +229,54 @@ type ReloadRequest struct {
 // ReloadResponse is the answer to a successful reload.
 type ReloadResponse struct {
 	Snapshot   string  `json:"snapshot"`
+	Version    int64   `json:"version"`
 	Rebuilt    bool    `json:"rebuilt"`
 	Mappings   int     `json:"mappings"`
 	LoadedAt   string  `json:"loaded_at"`
 	DurationMs float64 `json:"duration_ms"`
+}
+
+// CorpusInfo is one corpus's metadata as returned by GET /v1/corpora and
+// Corpus.Get.
+type CorpusInfo struct {
+	Name     string `json:"name"`
+	Version  int64  `json:"version"`
+	Snapshot string `json:"snapshot"`
+	Mappings int    `json:"mappings"`
+	Pairs    int    `json:"pairs"`
+	Shards   int    `json:"shards"`
+	LoadedAt string `json:"loaded_at"`
+	Reloads  int64  `json:"reloads"`
+	// History lists the versions available for Activate/Rollback, most
+	// recently live last.
+	History []int64 `json:"history"`
+}
+
+// PutCorpusRequest is the JSON body of PUT /v1/corpora/{name}.
+type PutCorpusRequest struct {
+	// Snapshot is the snapshot file (on the server's filesystem) to load;
+	// empty re-reads the corpus's current snapshot path.
+	Snapshot string `json:"snapshot,omitempty"`
+}
+
+// PutCorpusResponse is the answer to a successful Put/Upload.
+type PutCorpusResponse struct {
+	Corpus     string  `json:"corpus"`
+	Created    bool    `json:"created"`
+	Version    int64   `json:"version"`
+	Snapshot   string  `json:"snapshot"`
+	Mappings   int     `json:"mappings"`
+	Pairs      int     `json:"pairs"`
+	LoadedAt   string  `json:"loaded_at"`
+	DurationMs float64 `json:"duration_ms"`
+}
+
+// VersionSwapResponse is the answer to a successful Activate or Rollback.
+type VersionSwapResponse struct {
+	Corpus          string `json:"corpus"`
+	Version         int64  `json:"version"`
+	PreviousVersion int64  `json:"previous_version"`
+	Snapshot        string `json:"snapshot"`
+	Mappings        int    `json:"mappings"`
+	LoadedAt        string `json:"loaded_at"`
 }
