@@ -6,20 +6,67 @@
 //	benchmark [-experiment all|figure7|figure8|figure9|figure10|figure11|
 //	           figure14|figure15|sensitivity|appendixJ|appendixI|extraction]
 //	          [-seed N]
+//	benchmark -suite [-out BENCH_N.json] [-seed N] [-scale F] [-duration D]
+//
+// With -suite it instead runs the serving performance suite (synthesis wall
+// time per stage, snapshot write/load time, lookup ns/op and allocs/op, and
+// a closed-loop loadgen throughput/percentile run) and prints the result as
+// JSON — the repeatable baseline the BENCH_*.json trajectory is built from.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"mapsynth/internal/benchmark"
 	"mapsynth/internal/experiments"
 )
+
+// runSuite executes the serving suite and writes its JSON to stdout and,
+// when -out is set, to a file.
+func runSuite(seed int64, scale float64, duration time.Duration, out string) int {
+	res, err := benchmark.RunSuite(context.Background(), benchmark.SuiteOptions{
+		Seed:     seed,
+		Scale:    scale,
+		Duration: duration,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchmark: %v\n", err)
+		return 1
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchmark: %v\n", err)
+		return 1
+	}
+	data = append(data, '\n')
+	os.Stdout.Write(data)
+	if out != "" {
+		if err := os.WriteFile(out, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchmark: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", out)
+	}
+	return 0
+}
 
 func main() {
 	exp := flag.String("experiment", "all", "which experiment to run")
 	seed := flag.Int64("seed", experiments.DefaultSeed, "corpus seed")
+	suite := flag.Bool("suite", false, "run the serving performance suite instead of the paper experiments")
+	scale := flag.Float64("scale", 1.0, "corpus scale for -suite; 1.0 is the full seed corpus")
+	duration := flag.Duration("duration", 3*time.Second, "loadgen serving phase length for -suite")
+	out := flag.String("out", "", "also write the -suite JSON result to this file")
 	flag.Parse()
+
+	if *suite {
+		os.Exit(runSuite(*seed, *scale, *duration, *out))
+	}
 
 	w := os.Stdout
 	needEnv := map[string]bool{

@@ -46,6 +46,18 @@
 // across all batches (beyond it the server stops reading request bodies —
 // TCP backpressure). See docs/api.md.
 //
+// Observability (see docs/observability.md):
+//
+//	GET /v1/metrics             Prometheus text exposition: per-corpus request
+//	                            counts and latency histograms, error counts by
+//	                            envelope code, batch limiter, registry, worker
+//	                            pool, rebuild pipeline stages, Go runtime
+//
+// Every request emits one structured access-log line (log/slog) with its
+// X-Request-ID; -log-format selects json or text, -log-level the threshold.
+// -pprof-addr exposes net/http/pprof plus a second /metrics on a separate
+// admin listener (off by default — keep it off public interfaces).
+//
 // SIGHUP hot-reloads every corpus's current snapshot path; SIGINT/SIGTERM
 // drain in-flight requests and exit.
 package main
@@ -54,6 +66,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -62,9 +77,53 @@ import (
 
 	"mapsynth/internal/corpusgen"
 	"mapsynth/internal/mapping"
+	"mapsynth/internal/metrics"
 	"mapsynth/internal/pipeline"
 	"mapsynth/internal/serve"
 )
+
+// newLogger builds the process logger from the CLI's format/level choice.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want json or text)", format)
+	}
+}
+
+// serveAdmin runs the opt-in admin listener: net/http/pprof for live
+// profiling plus the same metrics registry at /metrics, so an operator can
+// scrape and profile without touching the public query surface.
+func serveAdmin(addr string, reg *metrics.Registry, logger *slog.Logger) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/metrics", reg.Handler())
+	logger.Info("admin listener up", "addr", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		logger.Error("admin listener failed", "addr", addr, "error", err)
+	}
+}
 
 func main() {
 	snapPath := flag.String("snapshot", "", "snapshot file written by synthesize -snapshot, served as the default corpus (required)")
@@ -91,6 +150,9 @@ func main() {
 	rebuildSeed := flag.Int64("rebuild-seed", 42, "corpus seed for -rebuild-profile")
 	rebuildWorkers := flag.Int("rebuild-workers", 0, "pipeline workers for rebuilds; 0 = GOMAXPROCS")
 	rebuildMinDomains := flag.Int("rebuild-min-domains", 2, "curation filter for rebuilds: min contributing domains (match the synthesize -min-domains the snapshot was built with)")
+	logFormat := flag.String("log-format", "text", "structured log format: json or text")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+	pprofAddr := flag.String("pprof-addr", "", "admin listen address for net/http/pprof and /metrics (e.g. localhost:6060); empty disables")
 	flag.Parse()
 
 	if *snapPath == "" {
@@ -98,6 +160,17 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	logger, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+		os.Exit(2)
+	}
+	// One registry for everything: the server's own collectors register in
+	// serve.New, the rebuild pipeline's stage metrics here — so a rebuild's
+	// per-stage durations show up on the same /v1/metrics page as the
+	// requests it answers.
+	reg := metrics.New()
+	pipelineInst := pipeline.MetricsInstrumentation(reg)
 	var rebuild func(ctx context.Context) ([]*mapping.Mapping, error)
 	switch *rebuildProfile {
 	case "":
@@ -113,7 +186,9 @@ func main() {
 			cfg := pipeline.DefaultConfig()
 			cfg.MinDomains = minDomains
 			cfg.Workers = workers
-			res, err := pipeline.New(cfg).Run(ctx, corpus.Tables)
+			eng := pipeline.New(cfg)
+			eng.SetInstrumentation(pipelineInst)
+			res, err := eng.Run(ctx, corpus.Tables)
 			if err != nil {
 				return nil, err
 			}
@@ -133,6 +208,8 @@ func main() {
 		MaxBatchRows:      *batchRows,
 		BatchWriteTimeout: *batchWriteTimeout,
 		Rebuild:           rebuild,
+		Metrics:           reg,
+		Logger:            logger,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "serve: loading snapshots: %v\n", err)
@@ -144,6 +221,9 @@ func main() {
 			name, st.Path, len(st.Maps), st.Index.NumShards())
 	}
 	fmt.Printf("serve: listening on %s (SIGHUP reloads every corpus)\n", *addr)
+	if *pprofAddr != "" {
+		go serveAdmin(*pprofAddr, reg, logger)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

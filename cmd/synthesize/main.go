@@ -6,7 +6,7 @@
 //
 //	synthesize [-profile web|enterprise] [-seed N] [-corpus corpus.json]
 //	           [-top K] [-min-domains D] [-workers N] [-v]
-//	           [-cpuprofile FILE] [-snapshot FILE]
+//	           [-cpuprofile FILE] [-memprofile FILE] [-snapshot FILE]
 //
 // By default the corpus is generated in-process; -corpus instead reads a
 // JSON corpus exported by cmd/corpusgen, making the full artifact loop
@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"runtime/pprof"
 	"syscall"
 	"text/tabwriter"
@@ -55,6 +56,7 @@ func run() int {
 	workers := flag.Int("workers", 0, "worker pool size for all pipeline stages; 0 = GOMAXPROCS")
 	verbose := flag.Bool("v", false, "print the per-stage timing/count table after the run")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the pipeline run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (after the run, post-GC) to this file")
 	exportTSV := flag.String("o", "", "export synthesized mappings to this TSV file")
 	report := flag.String("report", "", "write a curation report (TSV) to this file")
 	snapPath := flag.String("snapshot", "", "write a binary snapshot for cmd/serve to this file")
@@ -113,6 +115,24 @@ func run() int {
 			pprof.StopCPUProfile()
 			f.Close()
 			fmt.Printf("wrote CPU profile to %s\n", *cpuprofile)
+		}()
+	}
+	if *memprofile != "" {
+		// Deferred so the profile reflects what the run left live (indexes,
+		// mappings), not transient pipeline allocations; runtime.GC first so
+		// freed-but-uncollected garbage does not inflate it.
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+			f.Close()
+			fmt.Printf("wrote heap profile to %s\n", *memprofile)
 		}()
 	}
 

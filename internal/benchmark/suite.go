@@ -1,0 +1,242 @@
+package benchmark
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"mapsynth/internal/corpusgen"
+	"mapsynth/internal/loadgen"
+	"mapsynth/internal/mapping"
+	"mapsynth/internal/pipeline"
+	"mapsynth/internal/serve"
+	"mapsynth/internal/snapshot"
+)
+
+// SuiteOptions parameterizes RunSuite. The zero value runs the full seed web
+// corpus with a short serving phase — the repeatable baseline ROADMAP item 3
+// asks for.
+type SuiteOptions struct {
+	// Seed is the corpus generation seed; 0 selects 42 (the seed corpus).
+	Seed int64
+	// Scale shrinks the generated corpus for quick runs; <= 0 selects 1.0.
+	Scale float64
+	// Duration bounds the loadgen serving phase; <= 0 selects 3s.
+	Duration time.Duration
+	// Concurrency is the loadgen worker count; <= 0 selects 8.
+	Concurrency int
+	// BatchSize is the NDJSON lines per batch request; <= 0 selects 16.
+	BatchSize int
+	// Dir is where the suite writes its snapshot artifact; empty uses a
+	// temp dir removed afterwards.
+	Dir string
+}
+
+// StageTiming is one pipeline stage's share of the synthesis benchmark.
+type StageTiming struct {
+	Stage           string  `json:"stage"`
+	DurationSeconds float64 `json:"duration_s"`
+	Items           int     `json:"items"`
+	Produced        int     `json:"produced"`
+	PeakWorkers     int     `json:"peak_workers"`
+}
+
+// MicroBench is one testing.Benchmark result: latency and allocation cost
+// per operation.
+type MicroBench struct {
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+}
+
+// SuiteResult is the JSON written to BENCH_N.json: one comparable record
+// per PR of the synthesize → snapshot → serve pipeline's cost.
+type SuiteResult struct {
+	Timestamp  string `json:"timestamp"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+
+	Corpus struct {
+		Profile string  `json:"profile"`
+		Seed    int64   `json:"seed"`
+		Scale   float64 `json:"scale"`
+		Tables  int     `json:"tables"`
+	} `json:"corpus"`
+
+	Synthesis struct {
+		DurationSeconds float64       `json:"duration_s"`
+		Mappings        int           `json:"mappings"`
+		Pairs           int           `json:"pairs"`
+		Stages          []StageTiming `json:"stages"`
+	} `json:"synthesis"`
+
+	Snapshot struct {
+		Bytes        int64   `json:"bytes"`
+		WriteSeconds float64 `json:"write_s"`
+		LoadSeconds  float64 `json:"load_s"`
+	} `json:"snapshot"`
+
+	// Lookup is the in-process handler micro-benchmark: one GET /v1/lookup
+	// through the full routing/middleware/index path, no network.
+	Lookup MicroBench `json:"lookup"`
+
+	// Serving is the closed-loop mixed-workload run over real HTTP:
+	// throughput plus per-op p50/p99 as loadgen reports them.
+	Serving *loadgen.Report `json:"serving"`
+}
+
+// RunSuite generates the corpus, synthesizes mappings (timed per stage),
+// round-trips a snapshot (timed both ways), micro-benchmarks the lookup
+// handler for alloc/op, and drives a mixed loadgen workload over HTTP for
+// throughput and percentiles. The returned result marshals to the
+// BENCH_N.json schema.
+func RunSuite(ctx context.Context, opts SuiteOptions) (*SuiteResult, error) {
+	if opts.Seed == 0 {
+		opts.Seed = 42
+	}
+	if opts.Scale <= 0 {
+		opts.Scale = 1.0
+	}
+	if opts.Duration <= 0 {
+		opts.Duration = 3 * time.Second
+	}
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = 8
+	}
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = 16
+	}
+	dir := opts.Dir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "mapsynth-bench")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+	}
+
+	res := &SuiteResult{
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	corpus := corpusgen.GenerateWeb(corpusgen.Options{Seed: opts.Seed, Scale: opts.Scale})
+	res.Corpus.Profile = "web"
+	res.Corpus.Seed = opts.Seed
+	res.Corpus.Scale = opts.Scale
+	res.Corpus.Tables = len(corpus.Tables)
+
+	t0 := time.Now()
+	pres, err := pipeline.New(pipeline.DefaultConfig()).Run(ctx, corpus.Tables)
+	if err != nil {
+		return nil, fmt.Errorf("benchmark: synthesis: %w", err)
+	}
+	res.Synthesis.DurationSeconds = time.Since(t0).Seconds()
+	res.Synthesis.Mappings = len(pres.Mappings)
+	for _, m := range pres.Mappings {
+		res.Synthesis.Pairs += m.Size()
+	}
+	for _, st := range pres.Stages {
+		res.Synthesis.Stages = append(res.Synthesis.Stages, StageTiming{
+			Stage:           st.Name,
+			DurationSeconds: st.Duration.Seconds(),
+			Items:           st.Items,
+			Produced:        st.Produced,
+			PeakWorkers:     st.PeakWorkers,
+		})
+	}
+
+	snapPath := filepath.Join(dir, "bench.snap")
+	t0 = time.Now()
+	if err := snapshot.WriteFile(snapPath, pres.Mappings); err != nil {
+		return nil, fmt.Errorf("benchmark: snapshot write: %w", err)
+	}
+	res.Snapshot.WriteSeconds = time.Since(t0).Seconds()
+	if info, err := os.Stat(snapPath); err == nil {
+		res.Snapshot.Bytes = info.Size()
+	}
+	t0 = time.Now()
+	maps, err := snapshot.ReadFile(snapPath)
+	if err != nil {
+		return nil, fmt.Errorf("benchmark: snapshot load: %w", err)
+	}
+	res.Snapshot.LoadSeconds = time.Since(t0).Seconds()
+
+	srv := serve.NewFromMappings(maps, serve.Options{CacheSize: 4096})
+	res.Lookup = benchLookup(srv, maps)
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	wl, err := loadgen.NewWorkload(maps)
+	if err != nil {
+		return nil, fmt.Errorf("benchmark: workload: %w", err)
+	}
+	rep, err := loadgen.Run(ctx, loadgen.Config{
+		BaseURL:     ts.URL,
+		Duration:    opts.Duration,
+		Concurrency: opts.Concurrency,
+		BatchSize:   opts.BatchSize,
+		Seed:        opts.Seed,
+		Client:      ts.Client(),
+	}, wl)
+	if err != nil {
+		return nil, fmt.Errorf("benchmark: loadgen: %w", err)
+	}
+	res.Serving = rep
+	return res, nil
+}
+
+// benchLookup drives GET /v1/lookup through the complete handler chain
+// (request-ID + instrumentation middleware, routing, cache, sharded index)
+// with an in-process recorder, rotating across real keys so the cache sees
+// a realistic mix rather than one hot entry.
+func benchLookup(srv *serve.Server, maps []*mapping.Mapping) MicroBench {
+	handler := srv.Handler()
+	var keys []string
+	for _, m := range maps {
+		for _, p := range m.Pairs {
+			keys = append(keys, p.L)
+			if len(keys) >= 1024 {
+				break
+			}
+		}
+		if len(keys) >= 1024 {
+			break
+		}
+	}
+	if len(keys) == 0 {
+		return MicroBench{}
+	}
+	reqs := make([]*http.Request, len(keys))
+	for i, k := range keys {
+		reqs[i] = httptest.NewRequest(http.MethodGet, "/v1/lookup?key="+url.QueryEscape(k), nil)
+	}
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rec := httptest.NewRecorder()
+			handler.ServeHTTP(rec, reqs[i%len(reqs)])
+		}
+	})
+	out := MicroBench{
+		Iterations:  int64(br.N),
+		NsPerOp:     br.NsPerOp(),
+		AllocsPerOp: br.AllocsPerOp(),
+		BytesPerOp:  br.AllocedBytesPerOp(),
+	}
+	if br.NsPerOp() > 0 {
+		out.OpsPerSec = 1e9 / float64(br.NsPerOp())
+	}
+	return out
+}

@@ -9,13 +9,17 @@ import (
 	"time"
 )
 
+// NumBuckets is the number of power-of-two buckets a Histogram holds;
+// durations past the last bucket's range clamp into it.
+const NumBuckets = 40
+
 // Histogram approximates latency percentiles with power-of-two microsecond
 // buckets (bucket i covers [2^i, 2^(i+1)) µs). Observation is a single
 // atomic increment, so hot paths never take a lock; percentile reads walk
-// 40 counters and report the upper bound of the containing bucket, which
-// is plenty for dashboards and reports.
+// 40 counters and report the inclusive upper bound of the containing
+// bucket, which is plenty for dashboards and reports.
 type Histogram struct {
-	buckets [40]atomic.Int64
+	buckets [NumBuckets]atomic.Int64
 	count   atomic.Int64
 	sum     atomic.Int64 // total microseconds, for the mean
 }
@@ -38,9 +42,31 @@ func (h *Histogram) Observe(d time.Duration) {
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
+// Buckets returns a point-in-time copy of the per-bucket counts, the total
+// observation count, and the observation sum in microseconds — the raw
+// material the metrics exposition converts into cumulative `le` buckets.
+// Each counter is read once; under concurrent observation the copy is
+// per-bucket atomic.
+func (h *Histogram) Buckets() (buckets [NumBuckets]int64, count, sumMicros int64) {
+	for i := range h.buckets {
+		buckets[i] = h.buckets[i].Load()
+	}
+	return buckets, h.count.Load(), h.sum.Load()
+}
+
+// BucketUpperBound returns bucket i's inclusive upper bound. Observations
+// are whole microseconds, so bucket i — covering [2^i, 2^(i+1)) µs, with
+// bucket 0 also holding 0 — contains nothing above (2^(i+1) − 1) µs.
+func BucketUpperBound(i int) time.Duration {
+	return time.Duration(int64(1)<<(i+1)-1) * time.Microsecond
+}
+
 // Percentile returns the latency below which fraction p of observations
-// fall, as the upper bound of the matched bucket. Zero observations report
-// zero.
+// fall, as the inclusive upper bound of the matched bucket: (2^(i+1) − 1) µs
+// for bucket i, a value an observation can actually take. (Reporting the
+// exclusive bound 2^(i+1) µs — as this method once did — misstates every
+// edge: an all-zero histogram claimed a 2µs percentile, and a column of
+// exact 128µs observations claimed 256µs.) Zero observations report zero.
 func (h *Histogram) Percentile(p float64) time.Duration {
 	total := h.count.Load()
 	if total == 0 {
@@ -54,10 +80,10 @@ func (h *Histogram) Percentile(p float64) time.Duration {
 	for i := range h.buckets {
 		seen += h.buckets[i].Load()
 		if seen >= rank {
-			return time.Duration(int64(1)<<(i+1)) * time.Microsecond
+			return BucketUpperBound(i)
 		}
 	}
-	return time.Duration(int64(1)<<len(h.buckets)) * time.Microsecond
+	return BucketUpperBound(NumBuckets - 1)
 }
 
 // Mean returns the average observed latency.

@@ -19,13 +19,13 @@ func TestHistogram(t *testing.T) {
 	if h.Count() != 100 {
 		t.Fatalf("count = %d", h.Count())
 	}
-	// 100µs lands in [64µs, 128µs) → upper bound 128µs.
-	if got := h.Percentile(0.50); got != 128*time.Microsecond {
-		t.Errorf("p50 = %v, want 128µs", got)
+	// 100µs lands in [64µs, 128µs) → inclusive upper bound 127µs.
+	if got := h.Percentile(0.50); got != 127*time.Microsecond {
+		t.Errorf("p50 = %v, want 127µs", got)
 	}
-	// The p99 must land in the 10ms bucket: [8192µs, 16384µs) → 16384µs.
-	if got := h.Percentile(0.99); got != 16384*time.Microsecond {
-		t.Errorf("p99 = %v, want 16.384ms", got)
+	// The p99 must land in the 10ms bucket: [8192µs, 16384µs) → 16383µs.
+	if got := h.Percentile(0.99); got != 16383*time.Microsecond {
+		t.Errorf("p99 = %v, want 16.383ms", got)
 	}
 	wantMean := (90*100 + 10*10000) / 100 // µs
 	if got := h.Mean(); got != time.Duration(wantMean)*time.Microsecond {
@@ -34,5 +34,70 @@ func TestHistogram(t *testing.T) {
 	h.Observe(-time.Second) // clamped, must not panic or corrupt
 	if h.Count() != 101 {
 		t.Errorf("count after clamp = %d", h.Count())
+	}
+}
+
+// TestHistogramBucketBoundaries pins where edge-case durations land and
+// what Percentile reports for them: the bucket's inclusive upper bound,
+// (2^(i+1) − 1) µs — a value an observation in the bucket can actually take.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		name    string
+		observe time.Duration
+		bucket  int
+		want    time.Duration
+	}{
+		{"zero", 0, 0, 1 * time.Microsecond},
+		{"sub-microsecond truncates to zero", 300 * time.Nanosecond, 0, 1 * time.Microsecond},
+		{"one microsecond", 1 * time.Microsecond, 0, 1 * time.Microsecond},
+		{"first power of two", 2 * time.Microsecond, 1, 3 * time.Microsecond},
+		{"just below a power of two", 127 * time.Microsecond, 6, 127 * time.Microsecond},
+		{"exact power of two", 128 * time.Microsecond, 7, 255 * time.Microsecond},
+		{"just above a power of two", 129 * time.Microsecond, 7, 255 * time.Microsecond},
+		{"top bucket lower edge", (1 << 39) * time.Microsecond, 39, (1<<40 - 1) * time.Microsecond},
+		{"overflow clamps into the top bucket", (1 << 45) * time.Microsecond, 39, (1<<40 - 1) * time.Microsecond},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var h Histogram
+			h.Observe(tc.observe)
+			buckets, count, _ := h.Buckets()
+			if count != 1 {
+				t.Fatalf("count = %d, want 1", count)
+			}
+			if buckets[tc.bucket] != 1 {
+				got := -1
+				for i, b := range buckets {
+					if b == 1 {
+						got = i
+					}
+				}
+				t.Fatalf("observation landed in bucket %d, want %d", got, tc.bucket)
+			}
+			if got := h.Percentile(1.0); got != tc.want {
+				t.Errorf("p100 = %v, want %v", got, tc.want)
+			}
+			if got := BucketUpperBound(tc.bucket); got != tc.want {
+				t.Errorf("BucketUpperBound(%d) = %v, want %v", tc.bucket, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestHistogramBuckets checks the accessor against a known distribution.
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(1 * time.Microsecond)
+	h.Observe(5 * time.Microsecond) // bucket 2: [4, 8)
+	buckets, count, sum := h.Buckets()
+	if count != 3 {
+		t.Fatalf("count = %d", count)
+	}
+	if sum != 6 {
+		t.Fatalf("sum = %dµs, want 6", sum)
+	}
+	if buckets[0] != 2 || buckets[2] != 1 {
+		t.Fatalf("buckets[0]=%d buckets[2]=%d, want 2 and 1", buckets[0], buckets[2])
 	}
 }

@@ -105,6 +105,16 @@ type OpReport struct {
 	P99Ms  float64 `json:"p99_ms"`
 }
 
+// ErrorSample is one failed request kept for post-mortem correlation: the
+// RequestID is the same X-Request-ID the server stamped on its structured
+// access-log line for that request, so a failing run points straight at the
+// server-side evidence.
+type ErrorSample struct {
+	Op        string `json:"op"`
+	RequestID string `json:"request_id,omitempty"`
+	Message   string `json:"message"`
+}
+
 // Report is the JSON output of a run.
 type Report struct {
 	DurationSeconds float64             `json:"duration_s"`
@@ -117,6 +127,30 @@ type Report struct {
 	Errors          int64               `json:"errors"`
 	Throttled       int64               `json:"throttled"`
 	Ops             map[string]OpReport `json:"ops"`
+	// ErrorSamples holds the first few failures (at most maxErrorSamples),
+	// each with the request ID to grep for in the server's access log.
+	ErrorSamples []ErrorSample `json:"error_samples,omitempty"`
+}
+
+// maxErrorSamples bounds Report.ErrorSamples: enough to characterize a
+// failing run, small enough that an error storm cannot bloat the report.
+const maxErrorSamples = 10
+
+// errSampler collects the first maxErrorSamples failures across workers.
+type errSampler struct {
+	mu      sync.Mutex
+	samples []ErrorSample
+}
+
+func (s *errSampler) add(sample *ErrorSample) {
+	if sample == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.samples) < maxErrorSamples {
+		s.samples = append(s.samples, *sample)
+	}
 }
 
 // target is the SDK surface the generator drives: *client.Client (default
@@ -239,6 +273,7 @@ func Run(ctx context.Context, cfg Config, wl *Workload) (*Report, error) {
 	for op := range cfg.Mix {
 		metrics[op] = &opMetrics{}
 	}
+	sampler := &errSampler{}
 
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -263,11 +298,15 @@ func Run(ctx context.Context, cfg Config, wl *Workload) (*Report, error) {
 					tgt = targets[rng.Intn(len(targets))]
 				}
 				t0 := time.Now()
-				rows, throttled, failed := issue(ctx, tgt, cfg, wl, rng, op)
+				rows, throttled, sample := issue(ctx, tgt, cfg, wl, rng, op)
+				failed := sample != nil
 				if ctx.Err() != nil && failed {
 					// The deadline tore the request down mid-flight; that is
 					// the run ending, not a server error.
 					return
+				}
+				if failed {
+					sampler.add(sample)
 				}
 				metrics[op].observe(time.Since(t0), rows, throttled, failed)
 			}
@@ -303,36 +342,39 @@ func Run(ctx context.Context, cfg Config, wl *Workload) (*Report, error) {
 	if elapsed > 0 {
 		rep.AchievedQPS = float64(rep.Requests) / elapsed.Seconds()
 	}
+	rep.ErrorSamples = sampler.samples
 	return rep, nil
 }
 
 // issue sends one request of the given op through the SDK target (the
 // unscoped client or a corpus-scoped handle) and classifies the outcome.
-func issue(ctx context.Context, c target, cfg Config, wl *Workload, rng *rand.Rand, op string) (rows int64, throttled, failed bool) {
+// A nil sample means success (possibly throttled); a non-nil sample is a
+// failure, carrying the request ID to correlate with server logs.
+func issue(ctx context.Context, c target, cfg Config, wl *Workload, rng *rand.Rand, op string) (rows int64, throttled bool, sample *ErrorSample) {
 	switch op {
 	case OpLookup:
 		_, err := c.Lookup(ctx, wl.lookupKey(rng))
-		throttled, failed = classify(err)
-		return 0, throttled, failed
+		throttled, sample = sampleFrom(op, err)
+		return 0, throttled, sample
 	case OpAutoFill:
 		_, err := c.AutoFill(ctx, wl.autoFillReq(rng))
-		throttled, failed = classify(err)
-		return 0, throttled, failed
+		throttled, sample = sampleFrom(op, err)
+		return 0, throttled, sample
 	case OpAutoCorrect:
 		_, err := c.AutoCorrect(ctx, wl.autoCorrectReq(rng))
-		throttled, failed = classify(err)
-		return 0, throttled, failed
+		throttled, sample = sampleFrom(op, err)
+		return 0, throttled, sample
 	case OpAutoJoin:
 		_, err := c.AutoJoin(ctx, wl.autoJoinReq(rng))
-		throttled, failed = classify(err)
-		return 0, throttled, failed
+		throttled, sample = sampleFrom(op, err)
+		return 0, throttled, sample
 	case OpBatchAutoFill:
 		reqs := make([]client.AutoFillRequest, cfg.BatchSize)
 		for i := range reqs {
 			reqs[i] = wl.autoFillReq(rng)
 			reqs[i].ID = fmt.Sprintf("r%d", i)
 		}
-		return runBatch(len(reqs), func(count func(rowErr bool)) (*client.BatchTrailer, error) {
+		return runBatch(op, len(reqs), func(count func(rowErr bool)) (*client.BatchTrailer, error) {
 			return c.BatchAutoFill(ctx, reqs, func(ln client.BatchLine[client.AutoFillResponse]) error {
 				count(ln.Err != nil)
 				return nil
@@ -344,7 +386,7 @@ func issue(ctx context.Context, c target, cfg Config, wl *Workload, rng *rand.Ra
 			reqs[i] = wl.autoCorrectReq(rng)
 			reqs[i].ID = fmt.Sprintf("r%d", i)
 		}
-		return runBatch(len(reqs), func(count func(rowErr bool)) (*client.BatchTrailer, error) {
+		return runBatch(op, len(reqs), func(count func(rowErr bool)) (*client.BatchTrailer, error) {
 			return c.BatchAutoCorrect(ctx, reqs, func(ln client.BatchLine[client.AutoCorrectResponse]) error {
 				count(ln.Err != nil)
 				return nil
@@ -356,14 +398,14 @@ func issue(ctx context.Context, c target, cfg Config, wl *Workload, rng *rand.Ra
 			reqs[i] = wl.autoJoinReq(rng)
 			reqs[i].ID = fmt.Sprintf("r%d", i)
 		}
-		return runBatch(len(reqs), func(count func(rowErr bool)) (*client.BatchTrailer, error) {
+		return runBatch(op, len(reqs), func(count func(rowErr bool)) (*client.BatchTrailer, error) {
 			return c.BatchAutoJoin(ctx, reqs, func(ln client.BatchLine[client.AutoJoinResponse]) error {
 				count(ln.Err != nil)
 				return nil
 			})
 		})
 	}
-	return 0, false, true
+	return 0, false, &ErrorSample{Op: op, Message: "loadgen: unknown op"}
 }
 
 // classify maps an SDK call outcome to (throttled, failed): a 429 *APIError
@@ -379,11 +421,28 @@ func classify(err error) (throttled, failed bool) {
 	return false, true
 }
 
+// sampleFrom classifies err and, on failure, builds its ErrorSample. The
+// request ID comes from the *APIError envelope when the server answered
+// (*APIError.Error() already embeds it in the message too) and stays empty
+// on pure transport errors, where no server-side log line exists.
+func sampleFrom(op string, err error) (throttled bool, sample *ErrorSample) {
+	throttled, failed := classify(err)
+	if !failed {
+		return throttled, nil
+	}
+	s := &ErrorSample{Op: op, Message: err.Error()}
+	var aerr *client.APIError
+	if errors.As(err, &aerr) {
+		s.RequestID = aerr.RequestID
+	}
+	return false, s
+}
+
 // runBatch drives one batch stream and validates the protocol: every one of
 // the n inputs must come back as a clean result line and the trailer must
 // agree. Anything less is an error — the generator is also a protocol
 // conformance check of the SDK's streaming path.
-func runBatch(n int, stream func(count func(rowErr bool)) (*client.BatchTrailer, error)) (rows int64, throttled, failed bool) {
+func runBatch(op string, n int, stream func(count func(rowErr bool)) (*client.BatchTrailer, error)) (rows int64, throttled bool, sample *ErrorSample) {
 	var rowErrs int64
 	trailer, err := stream(func(rowErr bool) {
 		rows++
@@ -392,13 +451,18 @@ func runBatch(n int, stream func(count func(rowErr bool)) (*client.BatchTrailer,
 		}
 	})
 	if err != nil {
-		throttled, _ = classify(err)
-		return rows, throttled, !throttled
+		throttled, sample = sampleFrom(op, err)
+		return rows, throttled, sample
 	}
 	if rowErrs > 0 || trailer.Results != n || trailer.Errors != 0 || trailer.Truncated {
-		return rows, false, true
+		return rows, false, &ErrorSample{
+			Op:        op,
+			RequestID: trailer.RequestID,
+			Message: fmt.Sprintf("batch protocol violation: sent %d lines, trailer results=%d errors=%d truncated=%v (%d error lines seen)",
+				n, trailer.Results, trailer.Errors, trailer.Truncated, rowErrs),
+		}
 	}
-	return rows, false, false
+	return rows, false, nil
 }
 
 // opPicker selects ops by cumulative weight.

@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -15,6 +17,7 @@ import (
 	"mapsynth/internal/serve"
 	"mapsynth/internal/snapshot"
 	"mapsynth/internal/table"
+	"mapsynth/pkg/client"
 )
 
 func testMappings() []*mapping.Mapping {
@@ -249,6 +252,74 @@ func TestRunCountsThrottlingNotErrors(t *testing.T) {
 	}
 	if rep.Throttled == 0 {
 		t.Error("8 workers against a 1-request limiter never throttled")
+	}
+}
+
+// TestErrorSamples: failing requests land in Report.ErrorSamples with the
+// server's request ID, bounded by maxErrorSamples, and throttling does not.
+func TestErrorSamples(t *testing.T) {
+	// A server that always fails with a structured envelope — every issued
+	// request is an error carrying a known request ID.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Request-ID", "boom-1")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprint(w, `{"error":{"code":"internal","message":"kaboom","request_id":"boom-1"}}`)
+	}))
+	defer ts.Close()
+
+	wl, err := NewWorkload(testMappings())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), Config{
+		BaseURL:     ts.URL,
+		Duration:    200 * time.Millisecond,
+		Concurrency: 4,
+		Mix:         map[string]int{OpLookup: 1},
+		Client:      ts.Client(),
+	}, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors == 0 {
+		t.Fatal("all-500 server produced no errors")
+	}
+	if len(rep.ErrorSamples) == 0 {
+		t.Fatal("errors reported but no samples kept")
+	}
+	if len(rep.ErrorSamples) > maxErrorSamples {
+		t.Errorf("%d samples kept, cap is %d", len(rep.ErrorSamples), maxErrorSamples)
+	}
+	s := rep.ErrorSamples[0]
+	if s.Op != OpLookup {
+		t.Errorf("sample op = %q", s.Op)
+	}
+	if s.RequestID != "boom-1" {
+		t.Errorf("sample request id = %q, want boom-1", s.RequestID)
+	}
+	if !strings.Contains(s.Message, "kaboom") {
+		t.Errorf("sample message = %q", s.Message)
+	}
+}
+
+// TestSampleFrom pins the outcome classification: success and throttling
+// yield no sample, failures carry the envelope's request ID.
+func TestSampleFrom(t *testing.T) {
+	if th, s := sampleFrom(OpLookup, nil); th || s != nil {
+		t.Errorf("nil error: throttled=%v sample=%+v", th, s)
+	}
+	overloaded := &client.APIError{Status: http.StatusTooManyRequests, Code: "overloaded"}
+	if th, s := sampleFrom(OpLookup, overloaded); !th || s != nil {
+		t.Errorf("429: throttled=%v sample=%+v", th, s)
+	}
+	notFound := &client.APIError{Status: http.StatusNotFound, Code: "not_found", Message: "nope", RequestID: "rid-9"}
+	th, s := sampleFrom(OpAutoFill, notFound)
+	if th || s == nil {
+		t.Fatalf("404: throttled=%v sample=%+v", th, s)
+	}
+	if s.Op != OpAutoFill || s.RequestID != "rid-9" {
+		t.Errorf("sample = %+v", s)
 	}
 }
 

@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// TextContentType is the Content-Type of the Prometheus text exposition
+// format, version 0.0.4.
+const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteText renders the registry as a Prometheus text exposition: families
+// sorted by name, each with its # HELP and # TYPE line followed by its
+// series; histograms expand into _bucket lines (cumulative, `le`-labeled,
+// +Inf last), _sum and _count. The output is deterministic for a fixed
+// metric state, which is what lets a golden test pin the format.
+func (r *Registry) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.snapshot() {
+		bw.WriteString("# HELP ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(escapeHelp(f.help))
+		bw.WriteByte('\n')
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(string(f.typ))
+		bw.WriteByte('\n')
+		f.collect(func(s Sample) {
+			if f.typ == TypeHistogram && s.Hist != nil {
+				writeHistogram(bw, f, s)
+				return
+			}
+			writeSeries(bw, f.name, f.labels, s.LabelValues, "", "", s.Value)
+		})
+	}
+	return bw.Flush()
+}
+
+// writeHistogram expands one histogram sample into its exposition lines.
+func writeHistogram(bw *bufio.Writer, f *family, s Sample) {
+	h := s.Hist
+	for i, bound := range h.Bounds {
+		writeSeries(bw, f.name+"_bucket", f.labels, s.LabelValues, "le", formatValue(bound), float64(h.Cumulative[i]))
+	}
+	writeSeries(bw, f.name+"_bucket", f.labels, s.LabelValues, "le", "+Inf", float64(h.Count))
+	writeSeries(bw, f.name+"_sum", f.labels, s.LabelValues, "", "", h.Sum)
+	writeSeries(bw, f.name+"_count", f.labels, s.LabelValues, "", "", float64(h.Count))
+}
+
+// writeSeries writes one sample line, appending the optional extra label
+// (the histogram `le`) after the family's declared labels.
+func writeSeries(bw *bufio.Writer, name string, labels, values []string, extraLabel, extraValue string, v float64) {
+	bw.WriteString(name)
+	if len(labels) > 0 || extraLabel != "" {
+		bw.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(l)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabelValue(values[i]))
+			bw.WriteByte('"')
+		}
+		if extraLabel != "" {
+			if len(labels) > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(extraLabel)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabelValue(extraValue))
+			bw.WriteByte('"')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(formatValue(v))
+	bw.WriteByte('\n')
+}
+
+// formatValue renders a sample value: plain decimal notation for everything
+// a counter or latency bound produces, falling back to scientific notation
+// only for magnitudes where 'f' would be unreadable.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	if a := math.Abs(v); a != 0 && (a >= 1e15 || a < 1e-9) {
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'f', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// Handler returns an http.Handler serving the exposition — the body of
+// GET /v1/metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", TextContentType)
+		r.WriteText(w)
+	})
+}

@@ -1,0 +1,49 @@
+package metrics
+
+import (
+	"mapsynth/internal/latency"
+)
+
+// The serving layer's hot-path latency counters are internal/latency
+// power-of-two-microsecond histograms: bucket i holds observations in
+// [2^i, 2^(i+1)) µs (bucket 0 additionally holds 0). Prometheus wants
+// cumulative `le` buckets in seconds. Because every observation is a whole
+// number of microseconds, the inclusive upper bound of bucket i is exactly
+// (2^(i+1) − 1) µs, so using those bounds makes the conversion lossless:
+// cumulative-through-bucket-i equals the count of observations ≤ le_i, with
+// no boundary value ever misattributed.
+
+// latencyBounds are the 40 `le` upper bounds, in seconds.
+var latencyBounds = func() []float64 {
+	bounds := make([]float64, latency.NumBuckets)
+	for i := range bounds {
+		bounds[i] = float64((uint64(1)<<(i+1))-1) / 1e6
+	}
+	return bounds
+}()
+
+// LatencyBounds returns the `le` upper bounds (seconds) that LatencySnapshot
+// emits, for callers that pre-declare bucket layouts.
+func LatencyBounds() []float64 {
+	return append([]float64(nil), latencyBounds...)
+}
+
+// LatencySnapshot converts one latency.Histogram into the cumulative-bucket
+// form the exposition format wants. The conversion reads each atomic bucket
+// once; under concurrent observation the snapshot is per-bucket atomic,
+// matching the consistency the source histogram itself offers.
+func LatencySnapshot(h *latency.Histogram) HistogramSnapshot {
+	buckets, count, sumMicros := h.Buckets()
+	s := HistogramSnapshot{
+		Bounds:     latencyBounds,
+		Cumulative: make([]int64, len(buckets)),
+		Count:      count,
+		Sum:        float64(sumMicros) / 1e6,
+	}
+	var cum int64
+	for i, b := range buckets {
+		cum += b
+		s.Cumulative[i] = cum
+	}
+	return s
+}

@@ -1,0 +1,211 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Lint validates a Prometheus text exposition the way the CI observability
+// job wants it validated: every sample series must belong to a family that
+// declared # HELP and # TYPE before its first sample, label syntax and
+// sample values must parse, and no series (name plus full label set) may
+// appear twice. It returns nil for a clean exposition and a line-numbered
+// error for the first violation.
+//
+// Histogram families are understood structurally: once a family is declared
+// `histogram`, its _bucket/_sum/_count suffixed samples belong to it, and
+// each _bucket line must carry an `le` label.
+func Lint(data []byte) error {
+	helpSeen := make(map[string]bool)
+	typeSeen := make(map[string]Type)
+	seriesSeen := make(map[string]bool)
+
+	for n, line := range strings.Split(string(data), "\n") {
+		lineNo := n + 1
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				continue // free-form comment
+			}
+			name := fields[2]
+			if !validMetricName(name) {
+				return fmt.Errorf("line %d: invalid metric name %q in %s line", lineNo, name, fields[1])
+			}
+			if fields[1] == "HELP" {
+				if helpSeen[name] {
+					return fmt.Errorf("line %d: duplicate HELP for %q", lineNo, name)
+				}
+				helpSeen[name] = true
+			} else {
+				if _, dup := typeSeen[name]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+				}
+				if len(fields) < 4 {
+					return fmt.Errorf("line %d: TYPE line for %q missing a type", lineNo, name)
+				}
+				switch t := Type(fields[3]); t {
+				case TypeCounter, TypeGauge, TypeHistogram, "summary", "untyped":
+					typeSeen[name] = t
+				default:
+					return fmt.Errorf("line %d: unknown type %q for %q", lineNo, fields[3], name)
+				}
+			}
+			continue
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			return fmt.Errorf("line %d: sample value %q does not parse: %v", lineNo, value, err)
+		}
+		fam, isBucket := baseFamily(name, typeSeen)
+		if _, ok := typeSeen[fam]; !ok {
+			return fmt.Errorf("line %d: sample %q has no preceding # TYPE", lineNo, name)
+		}
+		if !helpSeen[fam] {
+			return fmt.Errorf("line %d: sample %q has no preceding # HELP", lineNo, name)
+		}
+		if isBucket {
+			if _, ok := labelValue(labels, "le"); !ok {
+				return fmt.Errorf("line %d: histogram bucket %q without le label", lineNo, name)
+			}
+		}
+		key := seriesKey(name, labels)
+		if seriesSeen[key] {
+			return fmt.Errorf("line %d: duplicate series %s", lineNo, key)
+		}
+		seriesSeen[key] = true
+	}
+	return nil
+}
+
+// baseFamily maps a sample name to its declared family, resolving histogram
+// sample suffixes, and reports whether the sample is a _bucket line.
+func baseFamily(name string, typeSeen map[string]Type) (string, bool) {
+	if _, ok := typeSeen[name]; ok {
+		return name, false
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(name, suffix)
+		if !ok {
+			continue
+		}
+		if t, declared := typeSeen[base]; declared && (t == TypeHistogram || t == "summary") {
+			return base, suffix == "_bucket"
+		}
+	}
+	return name, false
+}
+
+type sampleLabel struct{ name, value string }
+
+func labelValue(labels []sampleLabel, name string) (string, bool) {
+	for _, l := range labels {
+		if l.name == name {
+			return l.value, true
+		}
+	}
+	return "", false
+}
+
+// seriesKey canonicalizes one series identity: name plus sorted labels.
+func seriesKey(name string, labels []sampleLabel) string {
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = l.name + "=" + strconv.Quote(l.value)
+	}
+	sort.Strings(parts)
+	return name + "{" + strings.Join(parts, ",") + "}"
+}
+
+// parseSample splits one sample line into name, labels and value text.
+func parseSample(line string) (string, []sampleLabel, string, error) {
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return "", nil, "", fmt.Errorf("malformed sample line %q", line)
+	}
+	name := rest[:i]
+	if !validMetricName(name) {
+		return "", nil, "", fmt.Errorf("invalid metric name %q", name)
+	}
+	var labels []sampleLabel
+	if rest[i] == '{' {
+		rest = rest[i+1:]
+		for {
+			rest = strings.TrimLeft(rest, " ")
+			if strings.HasPrefix(rest, "}") {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.Index(rest, "=")
+			if eq < 0 {
+				return "", nil, "", fmt.Errorf("malformed labels in %q", line)
+			}
+			lname := strings.TrimSpace(rest[:eq])
+			if !validLabelName(lname) && lname != "le" {
+				return "", nil, "", fmt.Errorf("invalid label name %q", lname)
+			}
+			rest = rest[eq+1:]
+			if !strings.HasPrefix(rest, `"`) {
+				return "", nil, "", fmt.Errorf("unquoted label value in %q", line)
+			}
+			value, remainder, err := scanQuoted(rest)
+			if err != nil {
+				return "", nil, "", fmt.Errorf("%v in %q", err, line)
+			}
+			labels = append(labels, sampleLabel{lname, value})
+			rest = strings.TrimLeft(remainder, " ")
+			if strings.HasPrefix(rest, ",") {
+				rest = rest[1:]
+			}
+		}
+	} else {
+		rest = rest[i:]
+	}
+	value := strings.TrimSpace(rest)
+	// A sample line may carry an optional trailing timestamp; the value is
+	// the first field.
+	if sp := strings.IndexByte(value, ' '); sp >= 0 {
+		value = value[:sp]
+	}
+	if value == "" {
+		return "", nil, "", fmt.Errorf("sample %q has no value", line)
+	}
+	return name, labels, value, nil
+}
+
+// scanQuoted consumes a leading double-quoted, backslash-escaped string and
+// returns its unescaped content plus the remainder of the input.
+func scanQuoted(s string) (string, string, error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if i+1 >= len(s) {
+				return "", "", fmt.Errorf("dangling escape")
+			}
+			i++
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case '\\', '"':
+				b.WriteByte(s[i])
+			default:
+				return "", "", fmt.Errorf("unknown escape \\%c", s[i])
+			}
+		case '"':
+			return b.String(), s[i+1:], nil
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated label value")
+}

@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLintAccepts(t *testing.T) {
+	good := `# HELP reqs_total Requests.
+# TYPE reqs_total counter
+reqs_total{code="ok"} 10
+reqs_total{code="err"} 2
+# HELP temp Gauge.
+# TYPE temp gauge
+temp -3.5
+# HELP lat Latency.
+# TYPE lat histogram
+lat_bucket{le="0.1"} 1
+lat_bucket{le="+Inf"} 2
+lat_sum 1.5
+lat_count 2
+`
+	if err := Lint([]byte(good)); err != nil {
+		t.Errorf("valid exposition rejected: %v", err)
+	}
+}
+
+func TestLintRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+		want string
+	}{
+		{
+			"sample without TYPE",
+			"orphan_total 1\n",
+			"no preceding # TYPE",
+		},
+		{
+			"sample without HELP",
+			"# TYPE x_total counter\nx_total 1\n",
+			"no preceding # HELP",
+		},
+		{
+			"duplicate HELP",
+			"# HELP x a\n# HELP x b\n",
+			"duplicate HELP",
+		},
+		{
+			"duplicate TYPE",
+			"# TYPE x counter\n# TYPE x counter\n",
+			"duplicate TYPE",
+		},
+		{
+			"unknown type",
+			"# TYPE x fancy\n",
+			"unknown type",
+		},
+		{
+			"duplicate series",
+			"# HELP x a\n# TYPE x counter\nx{l=\"a\"} 1\nx{l=\"a\"} 2\n",
+			"duplicate series",
+		},
+		{
+			"bucket without le",
+			"# HELP h a\n# TYPE h histogram\nh_bucket{x=\"1\"} 1\n",
+			"without le label",
+		},
+		{
+			"non-numeric value",
+			"# HELP x a\n# TYPE x counter\nx nope\n",
+			"does not parse",
+		},
+		{
+			"unterminated label value",
+			"# HELP x a\n# TYPE x counter\nx{l=\"a} 1\n",
+			"unterminated",
+		},
+		{
+			"invalid metric name",
+			"# HELP 9x a\n",
+			"invalid metric name",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := Lint([]byte(tc.data))
+			if err == nil {
+				t.Fatal("lint accepted invalid exposition")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestLintLabelSetDisambiguatesSeries(t *testing.T) {
+	data := `# HELP x a
+# TYPE x counter
+x{a="1",b="2"} 1
+x{b="2",a="1"} 1
+`
+	if err := Lint([]byte(data)); err == nil {
+		t.Error("reordered labels must still be the same series")
+	}
+}
+
+func TestLintSpecialValues(t *testing.T) {
+	data := `# HELP x a
+# TYPE x gauge
+x{k="inf"} +Inf
+x{k="ninf"} -Inf
+x{k="nan"} NaN
+x{k="ts"} 1 1700000000000
+`
+	if err := Lint([]byte(data)); err != nil {
+		t.Errorf("special values rejected: %v", err)
+	}
+}

@@ -1,0 +1,395 @@
+// Package metrics is a dependency-free metrics registry with Prometheus
+// text-format exposition (the 0.0.4 wire format every Prometheus-compatible
+// scraper understands). It exists so the serving layer, the synthesis
+// pipeline and the batch limiter export one coherent operational surface at
+// GET /v1/metrics without pulling a client library into the module.
+//
+// Two registration styles cover the two kinds of state in this codebase:
+//
+//   - owned instruments (Counter, Gauge, Histogram, and their labeled Vec
+//     forms) for new counters the observability layer itself maintains, e.g.
+//     error counts by envelope code;
+//   - collector funcs (CounterFunc, GaugeVecFunc, HistogramVecFunc, ...)
+//     that read existing atomics at scrape time — the per-endpoint request
+//     counters, the batch limiter, the corpus registry and the worker pool
+//     already count everything; re-counting them would invite drift.
+//
+// A Registry rejects duplicate family names at registration, so the
+// exposition can never carry duplicate # TYPE blocks — one half of the
+// lint contract Lint checks end to end.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Type is a Prometheus metric family type.
+type Type string
+
+const (
+	TypeCounter   Type = "counter"
+	TypeGauge     Type = "gauge"
+	TypeHistogram Type = "histogram"
+)
+
+// Sample is one series of a family at scrape time: the label values (in the
+// family's label-name order) and either a scalar Value (counter, gauge) or a
+// Hist snapshot (histogram).
+type Sample struct {
+	LabelValues []string
+	Value       float64
+	Hist        *HistogramSnapshot
+}
+
+// HistogramSnapshot is a cumulative-bucket histogram observation set, the
+// shape the exposition format wants: Cumulative[i] counts observations ≤
+// Bounds[i], Count counts all observations (the implicit +Inf bucket), and
+// Sum totals them.
+type HistogramSnapshot struct {
+	// Bounds are the ascending `le` upper bounds, in the observed unit
+	// (seconds for latency histograms).
+	Bounds []float64
+	// Cumulative[i] counts observations ≤ Bounds[i].
+	Cumulative []int64
+	// Count is the total number of observations (the +Inf bucket).
+	Count int64
+	// Sum is the total of all observed values.
+	Sum float64
+}
+
+// family is one registered metric family: fixed metadata plus a collect
+// callback invoked at scrape time.
+type family struct {
+	name    string
+	help    string
+	typ     Type
+	labels  []string
+	collect func(emit func(Sample))
+}
+
+// Registry holds metric families and renders them as one text exposition.
+// All methods are safe for concurrent use; registration panics on duplicate
+// or malformed names because both are programming errors, not runtime
+// conditions.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// New returns an empty Registry.
+func New() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// register installs a family, enforcing name/label validity and uniqueness.
+func (r *Registry) register(name, help string, typ Type, labels []string, collect func(emit func(Sample))) {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validLabelName(l) {
+			panic(fmt.Sprintf("metrics: invalid label name %q on %q", l, name))
+		}
+		if typ == TypeHistogram && l == "le" {
+			panic(fmt.Sprintf("metrics: label %q on histogram %q collides with the bucket label", l, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.families[name]; dup {
+		panic(fmt.Sprintf("metrics: duplicate metric family %q", name))
+	}
+	r.families[name] = &family{name: name, help: help, typ: typ, labels: labels, collect: collect}
+}
+
+// snapshot returns the registered families sorted by name.
+func (r *Registry) snapshot() []*family {
+	r.mu.RLock()
+	out := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		out = append(out, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// ---- owned scalar instruments ----
+
+// Counter is a monotonically increasing integer counter. The zero value is
+// not registered; obtain one from Registry.Counter or CounterVec.With.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; negative increments are ignored (counters are monotonic).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable float value.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is an owned cumulative-bucket histogram. Observe is a bucket
+// search plus two atomic adds; use it for values that do not already flow
+// through an internal/latency.Histogram (those adapt via LatencySnapshot).
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Int64 // per-bucket (non-cumulative) counts
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// First bucket whose bound contains v; values above every bound land
+	// only in the implicit +Inf bucket (count/sum).
+	i := sort.SearchFloat64s(h.bounds, v)
+	if i < len(h.bounds) {
+		h.buckets[i].Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Snapshot returns the cumulative view of the histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds:     h.bounds,
+		Cumulative: make([]int64, len(h.bounds)),
+		Count:      h.count.Load(),
+		Sum:        math.Float64frombits(h.sumBits.Load()),
+	}
+	var cum int64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		s.Cumulative[i] = cum
+	}
+	return s
+}
+
+// ---- registration helpers ----
+
+// Counter registers and returns an owned counter family with no labels.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(name, help, TypeCounter, nil, func(emit func(Sample)) {
+		emit(Sample{Value: float64(c.Value())})
+	})
+	return c
+}
+
+// Gauge registers and returns an owned gauge family with no labels.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, TypeGauge, nil, func(emit func(Sample)) {
+		emit(Sample{Value: g.Value()})
+	})
+	return g
+}
+
+// Histogram registers and returns an owned histogram family with the given
+// ascending bucket bounds.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if !sort.Float64sAreSorted(bounds) {
+		panic(fmt.Sprintf("metrics: histogram %q bounds must ascend", name))
+	}
+	h := &Histogram{bounds: append([]float64(nil), bounds...), buckets: make([]atomic.Int64, len(bounds))}
+	r.register(name, help, TypeHistogram, nil, func(emit func(Sample)) {
+		s := h.Snapshot()
+		emit(Sample{Hist: &s})
+	})
+	return h
+}
+
+// CounterFunc registers a counter family whose single unlabeled value is
+// read from fn at scrape time — the adapter for pre-existing atomics.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(name, help, TypeCounter, nil, func(emit func(Sample)) {
+		emit(Sample{Value: fn()})
+	})
+}
+
+// GaugeFunc registers a gauge family read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(name, help, TypeGauge, nil, func(emit func(Sample)) {
+		emit(Sample{Value: fn()})
+	})
+}
+
+// CounterVecFunc registers a labeled counter family whose series are
+// enumerated at scrape time: collect must call emit once per live series,
+// with label values in the declared order. Use it when the series set is
+// dynamic (e.g. per-corpus counters where corpora come and go).
+func (r *Registry) CounterVecFunc(name, help string, labels []string, collect func(emit func(labelValues []string, v float64))) {
+	r.register(name, help, TypeCounter, labels, scalarCollector(name, labels, collect))
+}
+
+// GaugeVecFunc is CounterVecFunc for gauges.
+func (r *Registry) GaugeVecFunc(name, help string, labels []string, collect func(emit func(labelValues []string, v float64))) {
+	r.register(name, help, TypeGauge, labels, scalarCollector(name, labels, collect))
+}
+
+// HistogramVecFunc registers a labeled histogram family whose per-series
+// snapshots are produced at scrape time.
+func (r *Registry) HistogramVecFunc(name, help string, labels []string, collect func(emit func(labelValues []string, h HistogramSnapshot))) {
+	r.register(name, help, TypeHistogram, labels, func(emit func(Sample)) {
+		collect(func(values []string, h HistogramSnapshot) {
+			if len(values) != len(labels) {
+				panic(fmt.Sprintf("metrics: %q emitted %d label values, want %d", name, len(values), len(labels)))
+			}
+			hh := h
+			emit(Sample{LabelValues: values, Hist: &hh})
+		})
+	})
+}
+
+func scalarCollector(name string, labels []string, collect func(emit func(labelValues []string, v float64))) func(emit func(Sample)) {
+	return func(emit func(Sample)) {
+		collect(func(values []string, v float64) {
+			if len(values) != len(labels) {
+				panic(fmt.Sprintf("metrics: %q emitted %d label values, want %d", name, len(values), len(labels)))
+			}
+			emit(Sample{LabelValues: values, Value: v})
+		})
+	}
+}
+
+// ---- owned labeled instruments ----
+
+// CounterVec is a labeled counter family whose children are created on
+// first use and live forever (the exposition must not lose a series once it
+// reported it).
+type CounterVec struct {
+	labels   []string
+	mu       sync.Mutex
+	children map[string]*vecChild
+}
+
+type vecChild struct {
+	values []string
+	c      Counter
+}
+
+// CounterVec registers a labeled counter family with owned children.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	v := &CounterVec{labels: labels, children: make(map[string]*vecChild)}
+	r.register(name, help, TypeCounter, labels, func(emit func(Sample)) {
+		for _, ch := range v.sorted() {
+			emit(Sample{LabelValues: ch.values, Value: float64(ch.c.Value())})
+		}
+	})
+	return v
+}
+
+// With returns the child counter for the given label values (created on
+// first use), which must match the declared label count.
+func (v *CounterVec) With(values ...string) *Counter {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("metrics: CounterVec.With got %d label values, want %d", len(values), len(v.labels)))
+	}
+	key := strings.Join(values, "\x00")
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	ch, ok := v.children[key]
+	if !ok {
+		ch = &vecChild{values: append([]string(nil), values...)}
+		v.children[key] = ch
+	}
+	return &ch.c
+}
+
+// sorted returns children in deterministic (key-sorted) order.
+func (v *CounterVec) sorted() []*vecChild {
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*vecChild, len(keys))
+	for i, k := range keys {
+		out[i] = v.children[k]
+	}
+	v.mu.Unlock()
+	return out
+}
+
+// ---- name validation ----
+
+// validMetricName reports whether name matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		b := name[i]
+		switch {
+		case b >= 'a' && b <= 'z', b >= 'A' && b <= 'Z', b == '_', b == ':':
+		case b >= '0' && b <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName reports whether name matches [a-zA-Z_][a-zA-Z0-9_]* and is
+// not reserved (double-underscore prefix).
+func validLabelName(name string) bool {
+	if name == "" || strings.HasPrefix(name, "__") {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		b := name[i]
+		switch {
+		case b >= 'a' && b <= 'z', b >= 'A' && b <= 'Z', b == '_':
+		case b >= '0' && b <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

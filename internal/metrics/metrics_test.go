@@ -1,0 +1,242 @@
+package metrics
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mapsynth/internal/latency"
+)
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := New()
+	c := r.Counter("test_requests_total", "Requests handled.")
+	c.Add(3)
+	c.Inc()
+	c.Add(-5) // ignored: counters are monotonic
+	g := r.Gauge("test_temperature", "Current temperature.")
+	g.Set(2.5)
+	g.Add(-1)
+	v := r.CounterVec("test_errors_total", "Errors by code.", "code")
+	v.With("bad_request").Add(2)
+	v.With("internal").Inc()
+	r.GaugeFunc("test_uptime_seconds", "Uptime.", func() float64 { return 42 })
+	r.CounterVecFunc("test_dynamic_total", "Dynamic series.", []string{"corpus", "endpoint"},
+		func(emit func([]string, float64)) {
+			emit([]string{"default", "lookup"}, 7)
+		})
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	want := `# HELP test_dynamic_total Dynamic series.
+# TYPE test_dynamic_total counter
+test_dynamic_total{corpus="default",endpoint="lookup"} 7
+# HELP test_errors_total Errors by code.
+# TYPE test_errors_total counter
+test_errors_total{code="bad_request"} 2
+test_errors_total{code="internal"} 1
+# HELP test_requests_total Requests handled.
+# TYPE test_requests_total counter
+test_requests_total 4
+# HELP test_temperature Current temperature.
+# TYPE test_temperature gauge
+test_temperature 1.5
+# HELP test_uptime_seconds Uptime.
+# TYPE test_uptime_seconds gauge
+test_uptime_seconds 42
+`
+	if got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	if err := Lint(buf.Bytes()); err != nil {
+		t.Errorf("own exposition fails lint: %v", err)
+	}
+}
+
+func TestOwnedHistogram(t *testing.T) {
+	r := New()
+	h := r.Histogram("test_duration_seconds", "Durations.", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.1) // exactly on a bound: counted as ≤ that bound
+	h.Observe(5)   // beyond the last bound: only +Inf
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP test_duration_seconds Durations.
+# TYPE test_duration_seconds histogram
+test_duration_seconds_bucket{le="0.01"} 1
+test_duration_seconds_bucket{le="0.1"} 2
+test_duration_seconds_bucket{le="1"} 2
+test_duration_seconds_bucket{le="+Inf"} 3
+test_duration_seconds_sum 5.105
+test_duration_seconds_count 3
+`
+	if got := buf.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	if err := Lint(buf.Bytes()); err != nil {
+		t.Errorf("lint: %v", err)
+	}
+}
+
+// TestLatencySnapshotGolden pins the exposition bytes of the
+// latency.Histogram → cumulative le-bucket conversion, so the wire format
+// cannot silently drift. The observations are chosen to cover the edges:
+// zero, an exact power of two, a bucket interior, and a top-bucket overflow.
+func TestLatencySnapshotGolden(t *testing.T) {
+	var lh latency.Histogram
+	lh.Observe(0)                            // bucket 0
+	lh.Observe(1 * time.Microsecond)         // bucket 0
+	lh.Observe(128 * time.Microsecond)       // bucket 7 (exact power of two)
+	lh.Observe(200 * time.Microsecond)       // bucket 7 interior
+	lh.Observe((1 << 45) * time.Microsecond) // clamps into bucket 39
+
+	r := New()
+	r.HistogramVecFunc("request_duration_seconds", "Latency.", []string{"endpoint"},
+		func(emit func([]string, HistogramSnapshot)) {
+			emit([]string{"lookup"}, LatencySnapshot(&lh))
+		})
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+
+	// Spot-pin the structurally interesting lines rather than all 40
+	// buckets; the full-line count pins the bucket layout.
+	wantLines := []string{
+		`# HELP request_duration_seconds Latency.`,
+		`# TYPE request_duration_seconds histogram`,
+		`request_duration_seconds_bucket{endpoint="lookup",le="0.000001"} 2`,       // ≤ 1µs
+		`request_duration_seconds_bucket{endpoint="lookup",le="0.000127"} 2`,       // ≤ 127µs: the two fast ones
+		`request_duration_seconds_bucket{endpoint="lookup",le="0.000255"} 4`,       // ≤ 255µs: 128µs and 200µs join
+		`request_duration_seconds_bucket{endpoint="lookup",le="1099511.627775"} 5`, // top finite bucket
+		`request_duration_seconds_bucket{endpoint="lookup",le="+Inf"} 5`,
+		`request_duration_seconds_count{endpoint="lookup"} 5`,
+	}
+	for _, w := range wantLines {
+		if !strings.Contains(got, w+"\n") {
+			t.Errorf("exposition missing line %q\ngot:\n%s", w, got)
+		}
+	}
+	// 2 comment lines + 40 finite buckets + +Inf + sum + count.
+	if n := strings.Count(got, "\n"); n != 2+latency.NumBuckets+3 {
+		t.Errorf("exposition has %d lines, want %d", n, 2+latency.NumBuckets+3)
+	}
+	if err := Lint(buf.Bytes()); err != nil {
+		t.Errorf("lint: %v", err)
+	}
+}
+
+// TestLatencySnapshotMatchesPercentile checks the two views of one
+// histogram agree: the percentile's reported bound equals the `le` bound of
+// the bucket the cumulative distribution crosses.
+func TestLatencySnapshotMatchesPercentile(t *testing.T) {
+	var lh latency.Histogram
+	for i := 0; i < 99; i++ {
+		lh.Observe(100 * time.Microsecond)
+	}
+	lh.Observe(50 * time.Millisecond)
+	s := LatencySnapshot(&lh)
+	p99 := lh.Percentile(0.99).Seconds()
+	found := false
+	for i, cum := range s.Cumulative {
+		if cum >= 99 {
+			if s.Bounds[i] != p99 {
+				t.Errorf("le bound %v != p99 %v", s.Bounds[i], p99)
+			}
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no bucket crosses rank 99")
+	}
+}
+
+func TestRegistryHandler(t *testing.T) {
+	r := New()
+	r.Counter("test_total", "A counter.").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != TextContentType {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "test_total 1\n") {
+		t.Errorf("body = %q", rec.Body.String())
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := New()
+	r.Counter("dup_total", "first")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration must panic")
+		}
+	}()
+	r.Counter("dup_total", "second")
+}
+
+func TestInvalidNamesPanic(t *testing.T) {
+	for _, name := range []string{"", "9leading", "has space", "bad-dash"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("metric name %q must be rejected", name)
+				}
+			}()
+			New().Counter(name, "x")
+		}()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("label name __reserved must be rejected")
+		}
+	}()
+	New().CounterVec("ok_total", "x", "__reserved")
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := New()
+	r.CounterVec("esc_total", "Escapes.", "path").With(`a"b\c` + "\n").Inc()
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `esc_total{path="a\"b\\c\n"} 1` + "\n"
+	if !strings.Contains(buf.String(), want) {
+		t.Errorf("got %q, want to contain %q", buf.String(), want)
+	}
+	if err := Lint(buf.Bytes()); err != nil {
+		t.Errorf("lint: %v", err)
+	}
+}
+
+func TestConcurrentCounters(t *testing.T) {
+	r := New()
+	c := r.Counter("conc_total", "x")
+	v := r.CounterVec("conc_vec_total", "x", "k")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				v.With("a").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || v.With("a").Value() != 8000 {
+		t.Errorf("counts = %d, %d; want 8000", c.Value(), v.With("a").Value())
+	}
+}

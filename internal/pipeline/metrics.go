@@ -1,0 +1,143 @@
+package pipeline
+
+import (
+	"sync"
+
+	"mapsynth/internal/metrics"
+)
+
+// MetricsInstrumentation registers the pipeline's per-stage families on reg
+// and returns an Instrumentation whose OnStageEnd feeds them, so POST
+// /reload {"rebuild":true} (or any other in-process run) shows up in GET
+// /v1/metrics: cumulative run/duration counters for rates, and the most
+// recent run's items/produced/peak-workers as gauges.
+//
+// Call it once per registry (duplicate registration panics, by design);
+// the returned value may instrument any number of engines, and composes
+// with other hooks via Chain.
+func MetricsInstrumentation(reg *metrics.Registry) Instrumentation {
+	m := &stageMetrics{last: make(map[string]*stageRecord)}
+	labels := []string{"stage"}
+	reg.CounterVecFunc("mapsynth_pipeline_stage_runs_total",
+		"Completed runs of each pipeline stage.", labels,
+		m.collect(func(s *stageRecord) float64 { return float64(s.runs) }))
+	reg.CounterVecFunc("mapsynth_pipeline_stage_duration_seconds_total",
+		"Cumulative wall-clock spent in each pipeline stage.", labels,
+		m.collect(func(s *stageRecord) float64 { return s.totalSeconds }))
+	reg.GaugeVecFunc("mapsynth_pipeline_stage_duration_seconds",
+		"Wall-clock of each stage's most recent run.", labels,
+		m.collect(func(s *stageRecord) float64 { return s.last.Duration.Seconds() }))
+	reg.GaugeVecFunc("mapsynth_pipeline_stage_items",
+		"Input items of each stage's most recent run.", labels,
+		m.collect(func(s *stageRecord) float64 { return float64(s.last.Items) }))
+	reg.GaugeVecFunc("mapsynth_pipeline_stage_produced",
+		"Outputs of each stage's most recent run.", labels,
+		m.collect(func(s *stageRecord) float64 { return float64(s.last.Produced) }))
+	reg.GaugeVecFunc("mapsynth_pipeline_stage_peak_workers",
+		"Peak pool concurrency of each stage's most recent run.", labels,
+		m.collect(func(s *stageRecord) float64 { return float64(s.last.PeakWorkers) }))
+	return Instrumentation{OnStageEnd: m.onStageEnd}
+}
+
+// stageRecord is one stage's accumulated view across runs.
+type stageRecord struct {
+	last         StageStats
+	runs         int64
+	totalSeconds float64
+}
+
+// stageMetrics accumulates StageStats across runs. OnStageEnd may fire from
+// whatever goroutine drives an engine while a scrape reads concurrently, so
+// the map is locked; stage cardinality is the five fixed stage names.
+type stageMetrics struct {
+	mu   sync.Mutex
+	last map[string]*stageRecord
+}
+
+func (m *stageMetrics) onStageEnd(st StageStats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec := m.last[st.Name]
+	if rec == nil {
+		rec = &stageRecord{}
+		m.last[st.Name] = rec
+	}
+	rec.last = st
+	rec.runs++
+	rec.totalSeconds += st.Duration.Seconds()
+}
+
+// collect adapts a per-stage value extractor into a Vec collector that
+// enumerates stages in execution order (stageOrder; unknown stage names
+// sort after the known ones alphabetically).
+func (m *stageMetrics) collect(value func(*stageRecord) float64) func(emit func([]string, float64)) {
+	return func(emit func([]string, float64)) {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		for _, name := range stageNames(m.last) {
+			emit([]string{name}, value(m.last[name]))
+		}
+	}
+}
+
+// stageOrder is the pipeline's execution order; unknown stage names sort
+// after the known ones alphabetically.
+var stageOrder = map[string]int{
+	"index": 0, "extract": 1, "graph": 2, "partition": 3, "resolve": 4,
+}
+
+func stageNames(last map[string]*stageRecord) []string {
+	names := make([]string, 0, len(last))
+	for name := range last {
+		names = append(names, name)
+	}
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && stageLess(names[j], names[j-1]); j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return names
+}
+
+func stageLess(a, b string) bool {
+	oa, oka := stageOrder[a]
+	ob, okb := stageOrder[b]
+	switch {
+	case oka && okb:
+		return oa < ob
+	case oka:
+		return true
+	case okb:
+		return false
+	default:
+		return a < b
+	}
+}
+
+// Chain composes instrumentations: every hook of each argument fires, in
+// order — e.g. progress printing plus metrics export on one engine.
+func Chain(insts ...Instrumentation) Instrumentation {
+	var out Instrumentation
+	for _, inst := range insts {
+		inst := inst
+		if inst.OnStageStart != nil {
+			prev := out.OnStageStart
+			out.OnStageStart = func(name string, items int) {
+				if prev != nil {
+					prev(name, items)
+				}
+				inst.OnStageStart(name, items)
+			}
+		}
+		if inst.OnStageEnd != nil {
+			prev := out.OnStageEnd
+			out.OnStageEnd = func(st StageStats) {
+				if prev != nil {
+					prev(st)
+				}
+				inst.OnStageEnd(st)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package pipeline
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"mapsynth/internal/corpusgen"
+	"mapsynth/internal/metrics"
+)
+
+func TestMetricsInstrumentation(t *testing.T) {
+	reg := metrics.New()
+	inst := MetricsInstrumentation(reg)
+
+	// Feed synthetic stage completions instead of a full run: fast, and it
+	// pins the accumulation semantics exactly.
+	// Durations are binary-exact fractions so the cumulative sum has one
+	// float representation.
+	inst.OnStageEnd(StageStats{Name: "extract", Items: 10, Produced: 4, Duration: 250 * time.Millisecond, PeakWorkers: 3})
+	inst.OnStageEnd(StageStats{Name: "index", Items: 20, Produced: 20, Duration: 50 * time.Millisecond, PeakWorkers: 1})
+	inst.OnStageEnd(StageStats{Name: "extract", Items: 12, Produced: 5, Duration: 500 * time.Millisecond, PeakWorkers: 4})
+
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	for _, want := range []string{
+		`mapsynth_pipeline_stage_runs_total{stage="index"} 1`,
+		`mapsynth_pipeline_stage_runs_total{stage="extract"} 2`,
+		`mapsynth_pipeline_stage_duration_seconds_total{stage="extract"} 0.75`,
+		`mapsynth_pipeline_stage_duration_seconds{stage="extract"} 0.5`,
+		`mapsynth_pipeline_stage_items{stage="extract"} 12`,
+		`mapsynth_pipeline_stage_produced{stage="extract"} 5`,
+		`mapsynth_pipeline_stage_peak_workers{stage="extract"} 4`,
+	} {
+		if !strings.Contains(body, want+"\n") {
+			t.Errorf("exposition missing %q\ngot:\n%s", want, body)
+		}
+	}
+	// Execution order, not alphabetical: index before extract.
+	if strings.Index(body, `stage="index"`) > strings.Index(body, `stage="extract"`) {
+		t.Error("stages not emitted in execution order")
+	}
+	if err := metrics.Lint(buf.Bytes()); err != nil {
+		t.Errorf("lint: %v", err)
+	}
+}
+
+// TestMetricsInstrumentationEndToEnd runs a real (tiny) pipeline and checks
+// all five stages land in the registry.
+func TestMetricsInstrumentationEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline run")
+	}
+	reg := metrics.New()
+	eng := New(DefaultConfig())
+	eng.SetInstrumentation(MetricsInstrumentation(reg))
+	corpus := corpusgen.GenerateWeb(corpusgen.Options{Seed: 7, Scale: 0.2})
+	if _, err := eng.Run(context.Background(), corpus.Tables); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, stage := range []string{"index", "extract", "graph", "partition", "resolve"} {
+		want := `mapsynth_pipeline_stage_runs_total{stage="` + stage + `"} 1`
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("stage %s missing from exposition", stage)
+		}
+	}
+}
+
+func TestChain(t *testing.T) {
+	var order []string
+	a := Instrumentation{
+		OnStageStart: func(name string, items int) { order = append(order, "a-start:"+name) },
+		OnStageEnd:   func(st StageStats) { order = append(order, "a-end:"+st.Name) },
+	}
+	b := Instrumentation{
+		OnStageEnd: func(st StageStats) { order = append(order, "b-end:"+st.Name) },
+	}
+	c := Chain(a, b)
+	c.OnStageStart("x", 1)
+	c.OnStageEnd(StageStats{Name: "x"})
+	want := []string{"a-start:x", "a-end:x", "b-end:x"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}

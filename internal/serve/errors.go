@@ -104,6 +104,7 @@ func badRequestf(format string, args ...any) *computeError {
 // single choke point for non-429 errors, so every path — including 404s,
 // 405s and body-decode failures — speaks the same shape.
 func writeError(w http.ResponseWriter, r *http.Request, code ErrorCode, msg string) bool {
+	noteErrCode(r, code)
 	return writeJSON(w, statusForCode(code), errorEnvelope{Error: apiError{
 		Code:      code,
 		Message:   msg,
@@ -115,6 +116,7 @@ func writeError(w http.ResponseWriter, r *http.Request, code ErrorCode, msg stri
 // envelope's retry_after_ms derived from the same duration, so the two
 // advertisements cannot drift.
 func writeOverloaded(w http.ResponseWriter, r *http.Request, retryAfter time.Duration, msg string) bool {
+	noteErrCode(r, CodeOverloaded)
 	secs := int64(retryAfter / time.Second)
 	if retryAfter%time.Second != 0 {
 		secs++ // the header is whole seconds; round up, never advertise 0

@@ -24,10 +24,11 @@ type batchLimiter struct {
 	requestSem chan struct{}
 	rowSem     chan struct{}
 
-	requests atomic.Int64 // accepted batch requests
-	rejected atomic.Int64 // 429s issued
-	rows     atomic.Int64 // rows completed (result or error line emitted)
-	rowErrs  atomic.Int64 // rows that emitted an error line
+	requests     atomic.Int64 // accepted batch requests
+	rejected     atomic.Int64 // 429s issued
+	rows         atomic.Int64 // rows completed (result or error line emitted)
+	rowErrs      atomic.Int64 // rows that emitted an error line
+	backpressure atomic.Int64 // row admissions that had to block for a slot
 
 	inFlightRows atomic.Int64
 	peakRows     atomic.Int64
@@ -62,12 +63,22 @@ func (l *batchLimiter) tryAcquireRequest() bool {
 func (l *batchLimiter) releaseRequest() { <-l.requestSem }
 
 // acquireRow claims a row slot, blocking until one frees or ctx is done —
-// the blocking is the backpressure.
+// the blocking is the backpressure. Admissions that could not take the fast
+// path are counted: a rising backpressure counter is the operator's signal
+// that MaxBatchRows, not client demand, is the throughput ceiling.
 func (l *batchLimiter) acquireRow(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	select {
 	case l.rowSem <- struct{}{}:
-	case <-ctx.Done():
-		return ctx.Err()
+	default:
+		l.backpressure.Add(1)
+		select {
+		case l.rowSem <- struct{}{}:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
 	}
 	cur := l.inFlightRows.Add(1)
 	for {
@@ -93,6 +104,7 @@ type BatchSnapshot struct {
 	Rejected         int64 `json:"rejected"`
 	Rows             int64 `json:"rows"`
 	RowErrors        int64 `json:"row_errors"`
+	Backpressure     int64 `json:"backpressure"`
 	InFlightRequests int   `json:"in_flight_requests"`
 	InFlightRows     int   `json:"in_flight_rows"`
 	PeakRows         int64 `json:"peak_rows"`
@@ -106,6 +118,7 @@ func (l *batchLimiter) snapshot() BatchSnapshot {
 		Rejected:         l.rejected.Load(),
 		Rows:             l.rows.Load(),
 		RowErrors:        l.rowErrs.Load(),
+		Backpressure:     l.backpressure.Load(),
 		InFlightRequests: len(l.requestSem),
 		InFlightRows:     int(l.inFlightRows.Load()),
 		PeakRows:         l.peakRows.Load(),

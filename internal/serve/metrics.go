@@ -1,0 +1,224 @@
+package serve
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"mapsynth/internal/metrics"
+)
+
+// forEach visits every endpoint's stats under its stable exported name (the
+// same names /stats uses), so the metrics exposition and the JSON stats
+// surface can never disagree about what an endpoint is called.
+func (cs *corpusStats) forEach(fn func(endpoint string, es *endpointStats)) {
+	fn("lookup", &cs.lookup)
+	fn("autofill", &cs.autofill)
+	fn("autocorrect", &cs.autocorrect)
+	fn("autojoin", &cs.autojoin)
+	fn("batch_autofill", &cs.batchAutofill)
+	fn("batch_autocorrect", &cs.batchAutocorrect)
+	fn("batch_autojoin", &cs.batchAutojoin)
+}
+
+// registerMetrics wires the server's existing counters into the registry as
+// scrape-time collectors. Nothing here double-counts: every series reads the
+// same atomics /stats reads, so the two surfaces agree by construction. The
+// only owned instrument is errorsTotal, because "envelopes written by code"
+// is a fact only the error choke points know.
+func (s *Server) registerMetrics(reg *metrics.Registry) {
+	s.errorsTotal = reg.CounterVec("mapsynth_errors_total",
+		"Error envelopes written, by machine-readable envelope code.", "code")
+
+	// Per-corpus, per-endpoint request counters and latency. The series set
+	// is dynamic — corpora come and go — so these enumerate the registry at
+	// scrape time.
+	labels := []string{"corpus", "endpoint"}
+	reg.CounterVecFunc("mapsynth_requests_total",
+		"Application requests handled, by corpus and endpoint.", labels,
+		func(emit func([]string, float64)) {
+			for _, c := range s.reg.list() {
+				c.stats.forEach(func(ep string, es *endpointStats) {
+					emit([]string{c.name, ep}, float64(es.requests.Load()))
+				})
+			}
+		})
+	reg.CounterVecFunc("mapsynth_request_errors_total",
+		"Application requests that answered an error, by corpus and endpoint.", labels,
+		func(emit func([]string, float64)) {
+			for _, c := range s.reg.list() {
+				c.stats.forEach(func(ep string, es *endpointStats) {
+					emit([]string{c.name, ep}, float64(es.errors.Load()))
+				})
+			}
+		})
+	reg.HistogramVecFunc("mapsynth_request_duration_seconds",
+		"Application request latency, by corpus and endpoint.", labels,
+		func(emit func([]string, metrics.HistogramSnapshot)) {
+			for _, c := range s.reg.list() {
+				c.stats.forEach(func(ep string, es *endpointStats) {
+					if es.requests.Load() == 0 {
+						return // don't mint 43 series per endpoint nobody hit
+					}
+					emit([]string{c.name, ep}, metrics.LatencySnapshot(&es.latency))
+				})
+			}
+		})
+
+	// Batch limiter: admission, rejection, backpressure and row accounting.
+	reg.CounterFunc("mapsynth_batch_requests_total",
+		"Batch requests admitted past the request bound.",
+		func() float64 { return float64(s.batch.requests.Load()) })
+	reg.CounterFunc("mapsynth_batch_rejected_total",
+		"Batch requests rejected with 429 at the request bound.",
+		func() float64 { return float64(s.batch.rejected.Load()) })
+	reg.CounterFunc("mapsynth_batch_backpressure_total",
+		"Row admissions that had to wait for a row slot (TCP backpressure events).",
+		func() float64 { return float64(s.batch.backpressure.Load()) })
+	reg.CounterFunc("mapsynth_batch_rows_total",
+		"Batch rows completed (result or error line emitted).",
+		func() float64 { return float64(s.batch.rows.Load()) })
+	reg.CounterFunc("mapsynth_batch_row_errors_total",
+		"Batch rows that emitted an error line.",
+		func() float64 { return float64(s.batch.rowErrs.Load()) })
+	reg.GaugeFunc("mapsynth_batch_in_flight_requests",
+		"Batch requests currently being served.",
+		func() float64 { return float64(len(s.batch.requestSem)) })
+	reg.GaugeFunc("mapsynth_batch_in_flight_rows",
+		"Batch rows currently computing.",
+		func() float64 { return float64(s.batch.inFlightRows.Load()) })
+	reg.GaugeFunc("mapsynth_batch_peak_rows",
+		"Highest concurrent batch row count observed.",
+		func() float64 { return float64(s.batch.peakRows.Load()) })
+
+	// Corpus registry: what is loaded, at which version, with how much
+	// history to roll back into.
+	reg.GaugeFunc("mapsynth_corpora",
+		"Corpora currently loaded and visible.",
+		func() float64 { return float64(len(s.reg.list())) })
+	reg.GaugeVecFunc("mapsynth_corpus_version",
+		"Live (serving) version of each corpus.", []string{"corpus"},
+		func(emit func([]string, float64)) {
+			for _, c := range s.reg.list() {
+				emit([]string{c.name}, float64(c.state.Load().Version))
+			}
+		})
+	reg.GaugeVecFunc("mapsynth_corpus_history_depth",
+		"Previously live versions held on each corpus's rollback ring.", []string{"corpus"},
+		func(emit func([]string, float64)) {
+			for _, c := range s.reg.list() {
+				emit([]string{c.name}, float64(len(c.historyVersions())))
+			}
+		})
+	reg.GaugeVecFunc("mapsynth_corpus_mappings",
+		"Mappings in each corpus's live state.", []string{"corpus"},
+		func(emit func([]string, float64)) {
+			for _, c := range s.reg.list() {
+				emit([]string{c.name}, float64(len(c.state.Load().Maps)))
+			}
+		})
+	reg.GaugeVecFunc("mapsynth_corpus_pairs",
+		"Key-value pairs in each corpus's live state.", []string{"corpus"},
+		func(emit func([]string, float64)) {
+			for _, c := range s.reg.list() {
+				emit([]string{c.name}, float64(c.state.Load().pairs))
+			}
+		})
+	reg.CounterVecFunc("mapsynth_corpus_reloads_total",
+		"Successful state installs (load, reload, rebuild, upload) per corpus.", []string{"corpus"},
+		func(emit func([]string, float64)) {
+			for _, c := range s.reg.list() {
+				emit([]string{c.name}, float64(c.reloads.Load()))
+			}
+		})
+
+	// Lookup result cache of each corpus's live state. The counters reset on
+	// reload (each state owns its cache) — rate() across a reload shows the
+	// cold-cache dip, which is exactly what an operator wants to see.
+	reg.CounterVecFunc("mapsynth_cache_hits_total",
+		"Lookup cache hits of the live state, per corpus (resets on reload).", []string{"corpus"},
+		func(emit func([]string, float64)) {
+			for _, c := range s.reg.list() {
+				emit([]string{c.name}, float64(c.state.Load().cache.hits.Load()))
+			}
+		})
+	reg.CounterVecFunc("mapsynth_cache_misses_total",
+		"Lookup cache misses of the live state, per corpus (resets on reload).", []string{"corpus"},
+		func(emit func([]string, float64)) {
+			for _, c := range s.reg.list() {
+				emit([]string{c.name}, float64(c.state.Load().cache.misses.Load()))
+			}
+		})
+	reg.GaugeVecFunc("mapsynth_cache_entries",
+		"Entries currently held by the live state's lookup cache, per corpus.", []string{"corpus"},
+		func(emit func([]string, float64)) {
+			for _, c := range s.reg.list() {
+				emit([]string{c.name}, float64(c.state.Load().cache.len()))
+			}
+		})
+
+	// Shared worker pool: the per-call fan-out bound and the peak
+	// concurrency actually observed across all corpora's sessions.
+	reg.GaugeFunc("mapsynth_pool_workers",
+		"Per-call fan-out bound of the shared worker pool.",
+		func() float64 { return float64(s.pool.Workers()) })
+	reg.GaugeFunc("mapsynth_pool_peak_workers",
+		"Peak concurrent worker-pool tasks observed.",
+		func() float64 { return float64(s.pool.Peak()) })
+
+	reg.GaugeFunc("mapsynth_uptime_seconds",
+		"Seconds since the server was constructed.",
+		func() float64 { return time.Since(s.start).Seconds() })
+
+	registerRuntimeMetrics(reg)
+}
+
+// memStatsCache amortizes runtime.ReadMemStats across scrapes: the read
+// stops the world briefly, so hammering /v1/metrics must not turn into a GC
+// pause generator. 500ms of staleness is invisible at any sane scrape
+// interval.
+type memStatsCache struct {
+	mu sync.Mutex
+	at time.Time
+	ms runtime.MemStats
+}
+
+func (c *memStatsCache) get() runtime.MemStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if time.Since(c.at) > 500*time.Millisecond {
+		runtime.ReadMemStats(&c.ms)
+		c.at = time.Now()
+	}
+	return c.ms
+}
+
+// registerRuntimeMetrics exports the Go runtime facts an operator actually
+// pages on: goroutine count, heap size and GC churn.
+func registerRuntimeMetrics(reg *metrics.Registry) {
+	reg.GaugeFunc("go_goroutines",
+		"Goroutines currently live.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	var msc memStatsCache
+	reg.GaugeFunc("go_memstats_heap_alloc_bytes",
+		"Bytes of allocated heap objects.",
+		func() float64 { return float64(msc.get().HeapAlloc) })
+	reg.GaugeFunc("go_memstats_heap_inuse_bytes",
+		"Bytes in in-use heap spans.",
+		func() float64 { return float64(msc.get().HeapInuse) })
+	reg.GaugeFunc("go_memstats_sys_bytes",
+		"Bytes obtained from the OS.",
+		func() float64 { return float64(msc.get().Sys) })
+	reg.GaugeFunc("go_memstats_heap_objects",
+		"Allocated heap objects.",
+		func() float64 { return float64(msc.get().HeapObjects) })
+	reg.CounterFunc("go_memstats_alloc_bytes_total",
+		"Cumulative bytes allocated for heap objects.",
+		func() float64 { return float64(msc.get().TotalAlloc) })
+	reg.CounterFunc("go_gc_cycles_total",
+		"Completed GC cycles.",
+		func() float64 { return float64(msc.get().NumGC) })
+	reg.CounterFunc("go_gc_pause_seconds_total",
+		"Cumulative GC stop-the-world pause time.",
+		func() float64 { return float64(msc.get().PauseTotalNs) / 1e9 })
+}

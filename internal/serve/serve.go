@@ -16,6 +16,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -25,6 +27,7 @@ import (
 
 	"mapsynth/internal/apps"
 	"mapsynth/internal/mapping"
+	"mapsynth/internal/metrics"
 	"mapsynth/internal/pool"
 	"mapsynth/internal/textnorm"
 )
@@ -80,6 +83,15 @@ type Options struct {
 	// The context is the request's, so a disconnecting client cancels the
 	// rebuild; the engine guarantees a prompt, leak-free stop.
 	Rebuild func(ctx context.Context) ([]*mapping.Mapping, error)
+	// Metrics is the registry the server exports its operational state into
+	// and serves at GET /v1/metrics. Nil builds a private registry — the
+	// endpoint always answers; pass a shared registry to co-export other
+	// subsystems (e.g. pipeline rebuild instrumentation) on the same page.
+	Metrics *metrics.Registry
+	// Logger receives one structured access-log line per request plus
+	// operational events (SIGHUP reloads). Nil discards logs, keeping tests
+	// and embedders quiet by default.
+	Logger *slog.Logger
 }
 
 // State is one immutable loaded snapshot: the mapping set, its sharded
@@ -117,6 +129,14 @@ type Server struct {
 	// batch is the one admission limiter shared by every corpus's /batch/*
 	// endpoints.
 	batch *batchLimiter
+	// metrics is the exposition registry (never nil; a private one is built
+	// when Options.Metrics is unset), logger the structured access/event
+	// logger (never nil; discards when unset).
+	metrics *metrics.Registry
+	logger  *slog.Logger
+	// errorsTotal counts error envelopes written, by envelope code — the one
+	// owned instrument; everything else is collected from existing state.
+	errorsTotal *metrics.CounterVec
 }
 
 // newServer applies option defaults and builds the request-handling shell
@@ -131,13 +151,23 @@ func newServer(opts Options) *Server {
 	if opts.BatchWriteTimeout <= 0 {
 		opts.BatchWriteTimeout = 30 * time.Second
 	}
-	return &Server{
-		opts:  opts,
-		start: time.Now(),
-		reg:   newRegistry(opts.HistoryDepth),
-		pool:  pool.New(opts.Workers),
-		batch: newBatchLimiter(opts.MaxBatchRequests, opts.MaxBatchRows),
+	if opts.Metrics == nil {
+		opts.Metrics = metrics.New()
 	}
+	if opts.Logger == nil {
+		opts.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	s := &Server{
+		opts:    opts,
+		start:   time.Now(),
+		reg:     newRegistry(opts.HistoryDepth),
+		pool:    pool.New(opts.Workers),
+		batch:   newBatchLimiter(opts.MaxBatchRequests, opts.MaxBatchRows),
+		metrics: opts.Metrics,
+		logger:  opts.Logger,
+	}
+	s.registerMetrics(s.metrics)
+	return s
 }
 
 // New loads the snapshot at opts.SnapshotPath as the default corpus, plus
@@ -280,6 +310,11 @@ func (s *Server) Handler() http.Handler {
 		register(path, s.timedApp(defaultResolver, pick, h))
 		mux.HandleFunc("/v1/corpora/{name}"+path, s.timedApp(pathResolver, pick, h))
 	}
+	// The metrics exposition is deliberately /v1-only: it is an operational
+	// surface new with this version, so it gets no legacy alias.
+	mux.Handle("/v1/metrics", s.getOnly(func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.Handler().ServeHTTP(w, r)
+	}))
 	register("/healthz", s.getOnly(s.handleHealthz))
 	register("/stats", s.getOnly(s.withCorpus(defaultResolver, s.handleStats)))
 	mux.HandleFunc("/v1/corpora/{name}/stats", s.getOnly(s.withCorpus(pathResolver, s.handleStats)))
@@ -297,13 +332,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/corpora/{name}", s.handleCorpusResource)
 	mux.HandleFunc("/v1/corpora/{name}/activate", s.handleActivate)
 	mux.HandleFunc("/v1/corpora/{name}/rollback", s.handleRollback)
-	return withRequestID(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	routed := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if _, pattern := mux.Handler(r); pattern == "" {
 			writeError(w, r, CodeNotFound, "no such endpoint: "+r.URL.Path)
 			return
 		}
 		mux.ServeHTTP(w, r)
-	}))
+	})
+	return withRequestID(s.instrument(mux, routed))
 }
 
 // deprecatedAlias wraps a v1 handler for its legacy unversioned path: same
@@ -333,6 +369,7 @@ func (s *Server) getOnly(h http.HandlerFunc) http.HandlerFunc {
 // default corpus answers 503 not_ready (the pre-multi-corpus contract for
 // an empty server); any other missing name answers 404 corpus_not_found.
 func (s *Server) resolveCorpus(w http.ResponseWriter, r *http.Request, name string) (*corpus, bool) {
+	noteCorpus(r, name)
 	if c := s.reg.get(name); c != nil {
 		return c, true
 	}
@@ -388,12 +425,13 @@ func (s *Server) Run(ctx context.Context, addr string) error {
 			select {
 			case <-hup:
 				if err := s.ReloadAll(context.Background()); err != nil {
-					fmt.Fprintf(os.Stderr, "serve: SIGHUP reload failed: %v\n", err)
+					s.logger.Error("sighup reload failed", "error", err)
 				} else {
 					for _, c := range s.reg.list() {
 						st := c.state.Load()
-						fmt.Fprintf(os.Stderr, "serve: corpus %s: reloaded %s (%d mappings, version %d)\n",
-							c.name, st.Path, len(st.Maps), st.Version)
+						s.logger.Info("sighup reload",
+							"corpus", c.name, "snapshot", st.Path,
+							"mappings", len(st.Maps), "version", st.Version)
 					}
 				}
 			case <-ctx.Done():

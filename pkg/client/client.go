@@ -237,6 +237,9 @@ func (c *Client) callRaw(ctx context.Context, method, path string, body []byte, 
 			if err := json.Unmarshal(data, out); err != nil {
 				return fmt.Errorf("client: decoding %s response: %w", path, err)
 			}
+			if meta, ok := out.(requestIDSetter); ok {
+				meta.setRequestID(resp.Header.Get("X-Request-ID"))
+			}
 			return nil
 		}
 		aerr := parseAPIError(resp, data)

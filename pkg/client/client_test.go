@@ -1,6 +1,7 @@
 package client
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -330,5 +331,47 @@ func TestRequestIDPropagation(t *testing.T) {
 	}
 	if aerr.RequestID != "fixed-id-42" {
 		t.Errorf("request id = %q, want fixed-id-42", aerr.RequestID)
+	}
+}
+
+// TestSuccessResponseMeta: successful responses surface the echoed
+// X-Request-ID header through the embedded ResponseMeta, so callers can
+// cite the server's access-log line for any response, not just errors.
+func TestSuccessResponseMeta(t *testing.T) {
+	c := testService(t, WithRequestIDs(func() string { return "meta-id-7" }))
+	ctx := context.Background()
+
+	lk, err := c.Lookup(ctx, "California")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lk.RequestID != "meta-id-7" {
+		t.Errorf("lookup request id = %q, want meta-id-7", lk.RequestID)
+	}
+	fill, err := c.AutoFill(ctx, AutoFillRequest{
+		Column:   []string{"San Francisco"},
+		Examples: []Example{{Left: "San Francisco", Right: "California"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fill.RequestID != "meta-id-7" {
+		t.Errorf("autofill request id = %q, want meta-id-7", fill.RequestID)
+	}
+	h, err := c.Healthz(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.RequestID != "meta-id-7" {
+		t.Errorf("healthz request id = %q, want meta-id-7", h.RequestID)
+	}
+	// The meta is transport metadata, not payload: it must not leak into a
+	// marshalled response.
+	data, err := json.Marshal(lk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(data, []byte("meta-id-7")) {
+		t.Errorf("request id leaked into JSON: %s", data)
 	}
 }

@@ -38,6 +38,23 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("mapsynth: %s (%s)", e.Message, code)
 }
 
+// ResponseMeta carries per-response transport metadata. It is embedded in
+// every single-call response type and populated by the SDK from response
+// headers — not part of the JSON body (batch streams carry the ID in their
+// trailer instead).
+type ResponseMeta struct {
+	// RequestID is the X-Request-ID the server assigned (or echoed back),
+	// tying this response to the server's access log and /v1/metrics view
+	// of the same request.
+	RequestID string `json:"-"`
+}
+
+// setRequestID is the hook Client.call uses to fill the meta in.
+func (m *ResponseMeta) setRequestID(id string) { m.RequestID = id }
+
+// requestIDSetter is satisfied by every response type embedding ResponseMeta.
+type requestIDSetter interface{ setRequestID(id string) }
+
 // Example is one demonstrated (left, right) pair for auto-fill.
 type Example struct {
 	Left  string `json:"left"`
@@ -79,6 +96,7 @@ type AutoFillCandidate struct {
 // AutoFillResponse is the answer to an auto-fill query; the embedded
 // candidate is the best mapping's result.
 type AutoFillResponse struct {
+	ResponseMeta
 	Found bool `json:"found"`
 	AutoFillCandidate
 	// Candidates lists the best TopK results (primary included) when the
@@ -119,6 +137,7 @@ type AutoCorrectCandidate struct {
 
 // AutoCorrectResponse is the answer to an auto-correct query.
 type AutoCorrectResponse struct {
+	ResponseMeta
 	Found bool `json:"found"`
 	AutoCorrectCandidate
 	Candidates []AutoCorrectCandidate `json:"candidates,omitempty"`
@@ -154,6 +173,7 @@ type AutoJoinCandidate struct {
 
 // AutoJoinResponse is the answer to an auto-join query.
 type AutoJoinResponse struct {
+	ResponseMeta
 	Found bool `json:"found"`
 	AutoJoinCandidate
 	Candidates []AutoJoinCandidate `json:"candidates,omitempty"`
@@ -161,6 +181,7 @@ type AutoJoinResponse struct {
 
 // LookupResponse is the answer to GET /v1/lookup.
 type LookupResponse struct {
+	ResponseMeta
 	Found        bool     `json:"found"`
 	Key          string   `json:"key"`
 	Value        string   `json:"value,omitempty"`
@@ -175,6 +196,7 @@ type LookupResponse struct {
 // readiness. The server answers 503 (surfaced as an *APIError with code
 // "not_ready") only when the default corpus is absent.
 type Health struct {
+	ResponseMeta
 	Status        string                  `json:"status"`
 	UptimeSeconds float64                 `json:"uptime_s"`
 	Corpora       map[string]CorpusHealth `json:"corpora"`
@@ -228,6 +250,7 @@ type ReloadRequest struct {
 
 // ReloadResponse is the answer to a successful reload.
 type ReloadResponse struct {
+	ResponseMeta
 	Snapshot   string  `json:"snapshot"`
 	Version    int64   `json:"version"`
 	Rebuilt    bool    `json:"rebuilt"`
