@@ -218,7 +218,7 @@ func main() {
 	for _, name := range srv.CorpusNames() {
 		st := srv.CorpusState(name)
 		fmt.Printf("serve: corpus %s: loaded %s: %d mappings across %d shards\n",
-			name, st.Path, len(st.Maps), st.Index.NumShards())
+			name, st.Path, st.NumMappings(), st.Index.NumShards())
 	}
 	fmt.Printf("serve: listening on %s (SIGHUP reloads every corpus)\n", *addr)
 	if *pprofAddr != "" {

@@ -1,0 +1,96 @@
+package benchmark
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// The compare gate defends the perf trajectory: every BENCH_N.json is a
+// fixed-seed run of the same suite, so a later run regressing a metric past
+// tolerance is a real code-level slowdown, not workload drift. Metrics are
+// compared as ratios (new/old must stay under 1+tolerance) so one tolerance
+// covers nanoseconds, bytes and seconds alike; metrics the old report
+// predates (e.g. activation before the v2 format existed) are skipped, so
+// the gate tightens automatically as baselines gain sections.
+
+// Regression is one metric that moved past tolerance in the bad direction.
+type Regression struct {
+	Metric string  `json:"metric"`
+	Old    float64 `json:"old"`
+	New    float64 `json:"new"`
+	// Ratio is new/old; > 1 means worse (every gated metric is
+	// lower-is-better).
+	Ratio float64 `json:"ratio"`
+}
+
+// Compare gates cur against old: every lower-is-better metric present in
+// both reports may grow by at most tolerance (0.5 allows 1.5×). It returns
+// the offending metrics, empty when the trajectory holds.
+func Compare(old, cur *SuiteResult, tolerance float64) []Regression {
+	if tolerance <= 0 {
+		tolerance = 0.5
+	}
+	var regs []Regression
+	check := func(metric string, o, n float64) {
+		if o <= 0 || n <= 0 {
+			return // metric absent from one side; nothing to gate
+		}
+		if ratio := n / o; ratio > 1+tolerance {
+			regs = append(regs, Regression{Metric: metric, Old: o, New: n, Ratio: ratio})
+		}
+	}
+
+	check("lookup.ns_per_op", float64(old.Lookup.NsPerOp), float64(cur.Lookup.NsPerOp))
+	check("lookup.allocs_per_op", float64(old.Lookup.AllocsPerOp), float64(cur.Lookup.AllocsPerOp))
+	check("lookup.bytes_per_op", float64(old.Lookup.BytesPerOp), float64(cur.Lookup.BytesPerOp))
+	check("snapshot.load_s", old.Snapshot.LoadSeconds, cur.Snapshot.LoadSeconds)
+	check("snapshot.write_s", old.Snapshot.WriteSeconds, cur.Snapshot.WriteSeconds)
+	check("synthesis.duration_s", old.Synthesis.DurationSeconds, cur.Synthesis.DurationSeconds)
+
+	actOf := func(r *SuiteResult, format string) *ActivationBench {
+		for i := range r.Activation {
+			if r.Activation[i].Format == format {
+				return &r.Activation[i]
+			}
+		}
+		return nil
+	}
+	for _, format := range []string{"v1", "v2"} {
+		if o, n := actOf(old, format), actOf(cur, format); o != nil && n != nil {
+			check("activation."+format+".open_s", o.OpenSeconds, n.OpenSeconds)
+			check("activation."+format+".heap_alloc_delta_bytes",
+				float64(o.HeapAllocDelta), float64(n.HeapAllocDelta))
+		}
+	}
+
+	if old.Serving != nil && cur.Serving != nil {
+		ops := make([]string, 0, len(old.Serving.Ops))
+		for op := range old.Serving.Ops {
+			ops = append(ops, op)
+		}
+		sort.Strings(ops)
+		for _, op := range ops {
+			n, ok := cur.Serving.Ops[op]
+			if !ok {
+				continue
+			}
+			check("serving."+op+".p99_ms", old.Serving.Ops[op].P99Ms, n.P99Ms)
+		}
+	}
+	return regs
+}
+
+// ReadResult loads a BENCH_N.json report.
+func ReadResult(path string) (*SuiteResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var res SuiteResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		return nil, fmt.Errorf("benchmark: parsing %s: %w", path, err)
+	}
+	return &res, nil
+}

@@ -1,0 +1,70 @@
+package benchmark
+
+import (
+	"testing"
+
+	"mapsynth/internal/loadgen"
+)
+
+func baselineResult() *SuiteResult {
+	r := &SuiteResult{}
+	r.Lookup = MicroBench{NsPerOp: 10000, AllocsPerOp: 50, BytesPerOp: 4000}
+	r.Snapshot.LoadSeconds = 0.05
+	r.Snapshot.WriteSeconds = 0.02
+	r.Synthesis.DurationSeconds = 2.0
+	r.Activation = []ActivationBench{
+		{Format: "v1", OpenSeconds: 0.04, HeapAllocDelta: 5 << 20},
+		{Format: "v2", OpenSeconds: 0.001, HeapAllocDelta: 1 << 16},
+	}
+	r.Serving = &loadgen.Report{Ops: map[string]loadgen.OpReport{
+		"lookup": {P99Ms: 3.0},
+	}}
+	return r
+}
+
+func TestCompareClean(t *testing.T) {
+	old, cur := baselineResult(), baselineResult()
+	// Within tolerance: 1.2× on a couple of metrics against a 0.5 tolerance.
+	cur.Lookup.NsPerOp = 12000
+	cur.Activation[1].OpenSeconds = 0.0012
+	if regs := Compare(old, cur, 0.5); len(regs) != 0 {
+		t.Fatalf("expected clean compare, got %+v", regs)
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	old, cur := baselineResult(), baselineResult()
+	cur.Lookup.NsPerOp = 20000           // 2.0×
+	cur.Activation[1].OpenSeconds = 0.01 // 10×
+	cur.Serving.Ops["lookup"] = loadgen.OpReport{P99Ms: 9.0}
+	regs := Compare(old, cur, 0.5)
+	want := map[string]bool{
+		"lookup.ns_per_op":      true,
+		"activation.v2.open_s":  true,
+		"serving.lookup.p99_ms": true,
+	}
+	if len(regs) != len(want) {
+		t.Fatalf("got %d regressions %+v, want %d", len(regs), regs, len(want))
+	}
+	for _, rg := range regs {
+		if !want[rg.Metric] {
+			t.Errorf("unexpected regression metric %q", rg.Metric)
+		}
+		if rg.Ratio <= 1.5 {
+			t.Errorf("%s: ratio %.2f should exceed tolerance", rg.Metric, rg.Ratio)
+		}
+	}
+}
+
+func TestCompareSkipsMissingSections(t *testing.T) {
+	// BENCH_6.json predates the activation section and may lack serving ops;
+	// absent metrics must not gate (and must not crash).
+	old := baselineResult()
+	old.Activation = nil
+	old.Serving = nil
+	cur := baselineResult()
+	cur.Activation[0].OpenSeconds = 100 // would regress if the old side had it
+	if regs := Compare(old, cur, 0.5); len(regs) != 0 {
+		t.Fatalf("missing old sections must be skipped, got %+v", regs)
+	}
+}

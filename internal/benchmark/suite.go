@@ -83,7 +83,17 @@ type SuiteResult struct {
 		Bytes        int64   `json:"bytes"`
 		WriteSeconds float64 `json:"write_s"`
 		LoadSeconds  float64 `json:"load_s"`
+		// V2Bytes/V2WriteSeconds cover the same mapping set written as a
+		// format-v2 (mmap-able) snapshot.
+		V2Bytes        int64   `json:"v2_bytes"`
+		V2WriteSeconds float64 `json:"v2_write_s"`
 	} `json:"snapshot"`
+
+	// Activation measures corpus activation per snapshot format: how long a
+	// cold server takes from construction to its first answered query, and
+	// how much resident heap the activation left behind. The v2 entry is the
+	// tentpole number: mmap + header validation instead of a full decode.
+	Activation []ActivationBench `json:"activation,omitempty"`
 
 	// Lookup is the in-process handler micro-benchmark: one GET /v1/lookup
 	// through the full routing/middleware/index path, no network.
@@ -92,6 +102,50 @@ type SuiteResult struct {
 	// Serving is the closed-loop mixed-workload run over real HTTP:
 	// throughput plus per-op p50/p99 as loadgen reports them.
 	Serving *loadgen.Report `json:"serving"`
+}
+
+// ActivationBench is one snapshot format's activation cost: open → first
+// query answered, plus the heap the activation left resident.
+type ActivationBench struct {
+	Format        string `json:"format"`
+	SnapshotBytes int64  `json:"snapshot_bytes"`
+	// OpenSeconds spans serve.New (snapshot open + index + session) through
+	// the first lookup answered — the "ready to serve" latency an operator
+	// sees on activate/rollback.
+	OpenSeconds float64 `json:"open_s"`
+	// HeapAllocDelta/HeapInuseDelta are post-GC heap growth across the
+	// activation; mmap-backed states keep the corpus out of both.
+	HeapAllocDelta int64 `json:"heap_alloc_delta_bytes"`
+	HeapInuseDelta int64 `json:"heap_inuse_delta_bytes"`
+	// MappedBytes is the mmapped region backing the state (v2 only).
+	MappedBytes int64 `json:"mapped_bytes"`
+}
+
+// benchActivation cold-starts a server from the snapshot at path, answers
+// one lookup, and reports wall time plus post-GC heap deltas.
+func benchActivation(path, format, firstKey string) (ActivationBench, error) {
+	out := ActivationBench{Format: format}
+	if info, err := os.Stat(path); err == nil {
+		out.SnapshotBytes = info.Size()
+	}
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	t0 := time.Now()
+	srv, err := serve.New(serve.Options{SnapshotPath: path})
+	if err != nil {
+		return out, err
+	}
+	srv.Lookup(firstKey)
+	out.OpenSeconds = time.Since(t0).Seconds()
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	out.HeapAllocDelta = int64(after.HeapAlloc) - int64(before.HeapAlloc)
+	out.HeapInuseDelta = int64(after.HeapInuse) - int64(before.HeapInuse)
+	out.MappedBytes = srv.State().MappedBytes
+	runtime.KeepAlive(srv)
+	return out, nil
 }
 
 // RunSuite generates the corpus, synthesizes mappings (timed per stage),
@@ -172,6 +226,32 @@ func RunSuite(ctx context.Context, opts SuiteOptions) (*SuiteResult, error) {
 		return nil, fmt.Errorf("benchmark: snapshot load: %w", err)
 	}
 	res.Snapshot.LoadSeconds = time.Since(t0).Seconds()
+
+	snapPathV2 := filepath.Join(dir, "bench.v2.snap")
+	t0 = time.Now()
+	if err := snapshot.WriteFileV2(snapPathV2, pres.Mappings); err != nil {
+		return nil, fmt.Errorf("benchmark: v2 snapshot write: %w", err)
+	}
+	res.Snapshot.V2WriteSeconds = time.Since(t0).Seconds()
+	if info, err := os.Stat(snapPathV2); err == nil {
+		res.Snapshot.V2Bytes = info.Size()
+	}
+
+	// Activation: cold server start per format, v1's full decode vs v2's
+	// mmap + header validation, from identical mapping sets.
+	firstKey := ""
+	if len(maps) > 0 && len(maps[0].Pairs) > 0 {
+		firstKey = maps[0].Pairs[0].L
+	}
+	for _, f := range []struct{ path, format string }{
+		{snapPath, "v1"}, {snapPathV2, "v2"},
+	} {
+		ab, err := benchActivation(f.path, f.format, firstKey)
+		if err != nil {
+			return nil, fmt.Errorf("benchmark: %s activation: %w", f.format, err)
+		}
+		res.Activation = append(res.Activation, ab)
+	}
 
 	srv := serve.NewFromMappings(maps, serve.Options{CacheSize: 4096})
 	res.Lookup = benchLookup(srv, maps)

@@ -55,6 +55,18 @@ func hashPair(s string) (uint64, uint64) {
 	return h1, h2
 }
 
+// Hash is the precomputed double-hash of one key. Callers probing the same
+// key against many filters (the per-mapping pre-screen loop) hash once and
+// reuse it instead of re-hashing per filter.
+type Hash struct{ H1, H2 uint64 }
+
+// HashOf precomputes the double-hash of a key for MayContainHash /
+// BloomContains.
+func HashOf(s string) Hash {
+	h1, h2 := hashPair(s)
+	return Hash{h1, h2}
+}
+
 // Add inserts a key.
 func (b *Bloom) Add(s string) {
 	h1, h2 := hashPair(s)
@@ -68,10 +80,27 @@ func (b *Bloom) Add(s string) {
 // MayContain reports whether the key might be in the set (never false
 // negatives; false positives at roughly the configured rate).
 func (b *Bloom) MayContain(s string) bool {
-	h1, h2 := hashPair(s)
-	for i := 0; i < b.k; i++ {
-		pos := (h1 + uint64(i)*h2) % b.m
-		if b.bits[pos/64]&(1<<(pos%64)) == 0 {
+	return BloomContains(b.bits, b.m, b.k, HashOf(s))
+}
+
+// MayContainHash is MayContain with the key's hash precomputed.
+func (b *Bloom) MayContainHash(h Hash) bool {
+	return BloomContains(b.bits, b.m, b.k, h)
+}
+
+// BloomContains probes an m-bit, k-hash filter stored as raw words — the
+// primitive shared by heap filters and filters served directly out of a
+// mapped snapshot section, which have no *Bloom object at all. Out-of-range
+// word indexes (corrupt persisted parameters) read as definite misses
+// rather than panicking.
+func BloomContains(words []uint64, m uint64, k int, h Hash) bool {
+	if m == 0 || k < 1 {
+		return false
+	}
+	for i := 0; i < k; i++ {
+		pos := (h.H1 + uint64(i)*h.H2) % m
+		w := pos / 64
+		if w >= uint64(len(words)) || words[w]&(1<<(pos%64)) == 0 {
 			return false
 		}
 	}
@@ -83,3 +112,10 @@ func (b *Bloom) Len() int { return b.n }
 
 // Bits returns the filter size in bits.
 func (b *Bloom) Bits() uint64 { return b.m }
+
+// K returns the number of hash functions.
+func (b *Bloom) K() int { return b.k }
+
+// Words exposes the raw bit array for persistence. The slice is the
+// filter's live storage; callers must not mutate it.
+func (b *Bloom) Words() []uint64 { return b.bits }

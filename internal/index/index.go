@@ -11,51 +11,34 @@ import (
 // values in their left column?" — the lookup primitive behind auto-correct,
 // auto-fill and auto-join. Each mapping gets a Bloom filter over its
 // normalized left and right values for cheap pre-screening, backed by an
-// exact inverted index for scoring.
+// exact inverted index for scoring. The storage behind the filters,
+// postings and mappings is a pluggable Source: heap structures built by
+// Build, or a mapped v2 snapshot region served zero-copy via FromSource.
 type MappingIndex struct {
-	mappings []*mapping.Mapping
-	leftBF   []*Bloom
-	rightBF  []*Bloom
-	// inverted: normalized left value -> mapping positions containing it.
-	inverted map[string][]int32
+	src Source
 }
 
-// Build indexes the given mappings. The slice is retained; mappings must
-// not be mutated afterwards.
+// Build indexes the given mappings on the heap. The slice is retained;
+// mappings must not be mutated afterwards.
 func Build(maps []*mapping.Mapping) *MappingIndex {
-	ix := &MappingIndex{
-		mappings: maps,
-		leftBF:   make([]*Bloom, len(maps)),
-		rightBF:  make([]*Bloom, len(maps)),
-		inverted: make(map[string][]int32),
-	}
-	for i, m := range maps {
-		lb := NewBloom(len(m.Pairs), 0.01)
-		rb := NewBloom(len(m.Pairs), 0.01)
-		seenL := make(map[string]struct{})
-		for _, p := range m.Pairs {
-			nl, nr, ok := textnorm.NormalizePair(p.L, p.R)
-			if !ok {
-				continue
-			}
-			lb.Add(nl)
-			rb.Add(nr)
-			if _, dup := seenL[nl]; !dup {
-				seenL[nl] = struct{}{}
-				ix.inverted[nl] = append(ix.inverted[nl], int32(i))
-			}
-		}
-		ix.leftBF[i] = lb
-		ix.rightBF[i] = rb
-	}
-	return ix
+	return &MappingIndex{src: newHeapSource(maps)}
+}
+
+// FromSource wraps an existing Source — the entry point for mmap-backed
+// snapshot sources, whose filters and postings are already persisted and
+// must not be rebuilt.
+func FromSource(src Source) *MappingIndex {
+	return &MappingIndex{src: src}
 }
 
 // Len returns the number of indexed mappings.
-func (ix *MappingIndex) Len() int { return len(ix.mappings) }
+func (ix *MappingIndex) Len() int { return ix.src.Len() }
 
 // Mapping returns the i-th indexed mapping.
-func (ix *MappingIndex) Mapping(i int) *mapping.Mapping { return ix.mappings[i] }
+func (ix *MappingIndex) Mapping(i int) *mapping.Mapping { return ix.src.Mapping(i) }
+
+// Source returns the index's storage backend.
+func (ix *MappingIndex) Source() Source { return ix.src }
 
 // Hit is one candidate mapping for a query column.
 type Hit struct {
@@ -70,10 +53,8 @@ type Hit struct {
 	Matched int
 }
 
-// LookupLeft finds mappings whose left column covers at least minCoverage of
-// the query values. Results are sorted by coverage descending, then by more
-// contributing domains (popularity), then by index for determinism.
-func (ix *MappingIndex) LookupLeft(values []string, minCoverage float64) []Hit {
+// normalizeQuery dedups and normalizes the query values, dropping empties.
+func normalizeQuery(values []string) []string {
 	normed := make([]string, 0, len(values))
 	seen := make(map[string]struct{}, len(values))
 	for _, v := range values {
@@ -87,14 +68,25 @@ func (ix *MappingIndex) LookupLeft(values []string, minCoverage float64) []Hit {
 		seen[nv] = struct{}{}
 		normed = append(normed, nv)
 	}
+	return normed
+}
+
+// LookupLeft finds mappings whose left column covers at least minCoverage of
+// the query values. Results are sorted by coverage descending, then by more
+// contributing domains (popularity), then by index for determinism.
+func (ix *MappingIndex) LookupLeft(values []string, minCoverage float64) []Hit {
+	normed := normalizeQuery(values)
 	if len(normed) == 0 {
 		return nil
 	}
-	// Bloom pre-screen: count prospective matches per mapping.
+	// Bloom pre-screen: count prospective matches per mapping. Each value
+	// is hashed once and probed against every mapping's filter.
+	n := ix.src.Len()
 	bloomCount := make(map[int]int)
 	for _, nv := range normed {
-		for i, bf := range ix.leftBF {
-			if bf.MayContain(nv) {
+		h := HashOf(nv)
+		for i := 0; i < n; i++ {
+			if ix.src.MayContainLeft(i, h) {
 				bloomCount[i]++
 			}
 		}
@@ -105,16 +97,16 @@ func (ix *MappingIndex) LookupLeft(values []string, minCoverage float64) []Hit {
 		if bc < minMatched {
 			continue // even with false positives it can't reach coverage
 		}
-		// Exact verification via the inverted index.
+		// Exact verification via the inverted postings.
 		matched := 0
 		for _, nv := range normed {
-			if containsMapping(ix.inverted[nv], int32(i)) {
+			if containsMapping(ix.src.Postings(nv), int32(i)) {
 				matched++
 			}
 		}
 		cov := float64(matched) / float64(len(normed))
 		if cov >= minCoverage && matched > 0 {
-			hits = append(hits, Hit{Index: i, Mapping: ix.mappings[i], Coverage: cov, Matched: matched})
+			hits = append(hits, Hit{Index: i, Mapping: ix.src.Mapping(i), Coverage: cov, Matched: matched})
 		}
 	}
 	sort.Slice(hits, func(a, b int) bool {
@@ -144,37 +136,23 @@ func containsMapping(list []int32, id int32) bool {
 // column mixing full names and abbreviations). A hit requires at least
 // minEach values on each side and combined coverage of minCoverage.
 func (ix *MappingIndex) MixedColumnHits(values []string, minEach int, minCoverage float64) []Hit {
-	normed := make([]string, 0, len(values))
-	seen := make(map[string]struct{}, len(values))
-	for _, v := range values {
-		nv := textnorm.Normalize(v)
-		if nv == "" {
-			continue
-		}
-		if _, dup := seen[nv]; dup {
-			continue
-		}
-		seen[nv] = struct{}{}
-		normed = append(normed, nv)
-	}
+	normed := normalizeQuery(values)
 	if len(normed) == 0 {
 		return nil
 	}
+	hashes := make([]Hash, len(normed))
+	for j, nv := range normed {
+		hashes[j] = HashOf(nv)
+	}
 	var hits []Hit
-	for i, m := range ix.mappings {
-		lb, rb := ix.leftBF[i], ix.rightBF[i]
+	for i := 0; i < ix.src.Len(); i++ {
 		var leftVals, rightVals int
-		// Bloom screen then exact check against the mapping's value sets.
-		leftSet, rightSet := mappingValueSets(m)
-		for _, nv := range normed {
-			inL := lb.MayContain(nv)
-			inR := rb.MayContain(nv)
-			if inL {
-				_, inL = leftSet[nv]
-			}
-			if inR {
-				_, inR = rightSet[nv]
-			}
+		// Bloom screen then exact check against the mapping's value sets;
+		// the filters have no false negatives, so the conjunction equals
+		// exact membership.
+		for j, nv := range normed {
+			inL := ix.src.MayContainLeft(i, hashes[j]) && ix.src.InLeft(i, nv)
+			inR := ix.src.MayContainRight(i, hashes[j]) && ix.src.InRight(i, nv)
 			switch {
 			case inL && !inR:
 				leftVals++
@@ -187,7 +165,7 @@ func (ix *MappingIndex) MixedColumnHits(values []string, minEach int, minCoverag
 		total := leftVals + rightVals
 		cov := float64(total) / float64(len(normed))
 		if leftVals >= minEach && rightVals >= minEach && cov >= minCoverage {
-			hits = append(hits, Hit{Index: i, Mapping: m, Coverage: cov, Matched: total})
+			hits = append(hits, Hit{Index: i, Mapping: ix.src.Mapping(i), Coverage: cov, Matched: total})
 		}
 	}
 	sort.Slice(hits, func(a, b int) bool {
@@ -197,21 +175,4 @@ func (ix *MappingIndex) MixedColumnHits(values []string, minEach int, minCoverag
 		return hits[a].Index < hits[b].Index
 	})
 	return hits
-}
-
-// mappingValueSets materializes normalized left and right value sets of a
-// mapping. Small mappings dominate, so recomputation is cheap relative to
-// storing both sets for every mapping permanently.
-func mappingValueSets(m *mapping.Mapping) (left, right map[string]struct{}) {
-	left = make(map[string]struct{}, len(m.Pairs))
-	right = make(map[string]struct{}, len(m.Pairs))
-	for _, p := range m.Pairs {
-		nl, nr, ok := textnorm.NormalizePair(p.L, p.R)
-		if !ok {
-			continue
-		}
-		left[nl] = struct{}{}
-		right[nr] = struct{}{}
-	}
-	return left, right
 }

@@ -233,6 +233,35 @@ func Restore(id int, pairs []table.Pair, pairSupports []int,
 	return m
 }
 
+// NormalizedValues returns the distinct normalized left and right values of
+// the mapping's pairs, each sorted ascending — the exact value sets
+// containment queries test against. Index sources consume this (the heap
+// source at build time, the v2 snapshot writer at persist time), so both
+// backends answer membership identically by construction.
+func (m *Mapping) NormalizedValues() (left, right []string) {
+	lset := make(map[string]struct{}, len(m.Pairs))
+	rset := make(map[string]struct{}, len(m.Pairs))
+	for _, p := range m.Pairs {
+		nl, nr, ok := textnorm.NormalizePair(p.L, p.R)
+		if !ok {
+			continue
+		}
+		lset[nl] = struct{}{}
+		rset[nr] = struct{}{}
+	}
+	left = make([]string, 0, len(lset))
+	for v := range lset {
+		left = append(left, v)
+	}
+	right = make([]string, 0, len(rset))
+	for v := range rset {
+		right = append(right, v)
+	}
+	sort.Strings(left)
+	sort.Strings(right)
+	return left, right
+}
+
 // Size returns the number of distinct pairs.
 func (m *Mapping) Size() int { return len(m.Pairs) }
 

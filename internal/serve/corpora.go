@@ -33,11 +33,19 @@ type corpusInfo struct {
 	Name     string `json:"name"`
 	Version  int64  `json:"version"`
 	Snapshot string `json:"snapshot,omitempty"`
+	// Format is the snapshot format backing the live state: "memory", "v1"
+	// (decoded onto the heap) or "v2" (served from a mapped region).
+	Format   string `json:"format"`
 	Mappings int    `json:"mappings"`
 	Pairs    int    `json:"pairs"`
 	Shards   int    `json:"shards"`
-	LoadedAt string `json:"loaded_at"`
-	Reloads  int64  `json:"reloads"`
+	// MappedBytes is the mmapped region size of a v2 state; 0 otherwise.
+	MappedBytes int64 `json:"mapped_bytes,omitempty"`
+	// ActivationSeconds is how long the live state took from snapshot open
+	// to query-ready.
+	ActivationSeconds float64 `json:"activation_s"`
+	LoadedAt          string  `json:"loaded_at"`
+	Reloads           int64   `json:"reloads"`
 	// History lists the version numbers available for activate/rollback,
 	// most recently live last.
 	History []int64 `json:"history,omitempty"`
@@ -46,15 +54,18 @@ type corpusInfo struct {
 func infoFor(c *corpus) corpusInfo {
 	st := c.state.Load()
 	return corpusInfo{
-		Name:     c.name,
-		Version:  st.Version,
-		Snapshot: st.Path,
-		Mappings: len(st.Maps),
-		Pairs:    st.pairs,
-		Shards:   st.Index.NumShards(),
-		LoadedAt: st.LoadedAt.UTC().Format(time.RFC3339),
-		Reloads:  c.reloads.Load(),
-		History:  c.historyVersions(),
+		Name:              c.name,
+		Version:           st.Version,
+		Snapshot:          st.Path,
+		Format:            st.FormatName(),
+		Mappings:          st.NumMappings(),
+		Pairs:             st.pairs,
+		Shards:            st.Index.NumShards(),
+		MappedBytes:       st.MappedBytes,
+		ActivationSeconds: st.ActivationSeconds,
+		LoadedAt:          st.LoadedAt.UTC().Format(time.RFC3339),
+		Reloads:           c.reloads.Load(),
+		History:           c.historyVersions(),
 	}
 }
 
@@ -148,7 +159,8 @@ func (s *Server) handleCorpusPut(w http.ResponseWriter, r *http.Request, name st
 		"created":     created,
 		"version":     st.Version,
 		"snapshot":    st.Path,
-		"mappings":    len(st.Maps),
+		"format":      st.FormatName(),
+		"mappings":    st.NumMappings(),
 		"pairs":       st.pairs,
 		"loaded_at":   st.LoadedAt.UTC().Format(time.RFC3339),
 		"duration_ms": float64(time.Since(t0).Microseconds()) / 1000,
@@ -243,7 +255,8 @@ func writeVersionSwap(w http.ResponseWriter, c *corpus, live, prev *State) {
 		"version":          live.Version,
 		"previous_version": prev.Version,
 		"snapshot":         live.Path,
-		"mappings":         len(live.Maps),
+		"format":           live.FormatName(),
+		"mappings":         live.NumMappings(),
 		"loaded_at":        live.LoadedAt.UTC().Format(time.RFC3339),
 	})
 }

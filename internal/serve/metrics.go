@@ -114,7 +114,28 @@ func (s *Server) registerMetrics(reg *metrics.Registry) {
 		"Mappings in each corpus's live state.", []string{"corpus"},
 		func(emit func([]string, float64)) {
 			for _, c := range s.reg.list() {
-				emit([]string{c.name}, float64(len(c.state.Load().Maps)))
+				emit([]string{c.name}, float64(c.state.Load().NumMappings()))
+			}
+		})
+	reg.GaugeVecFunc("mapsynth_corpus_snapshot_format",
+		"Snapshot format backing each corpus's live state (0 in-memory, 1, 2).", []string{"corpus"},
+		func(emit func([]string, float64)) {
+			for _, c := range s.reg.list() {
+				emit([]string{c.name}, float64(c.state.Load().Format))
+			}
+		})
+	reg.GaugeVecFunc("mapsynth_corpus_mapped_bytes",
+		"Bytes of mmapped snapshot region backing each corpus's live state (0 for heap-backed states).", []string{"corpus"},
+		func(emit func([]string, float64)) {
+			for _, c := range s.reg.list() {
+				emit([]string{c.name}, float64(c.state.Load().MappedBytes))
+			}
+		})
+	reg.GaugeVecFunc("mapsynth_corpus_activation_seconds",
+		"Time each corpus's live state took from snapshot open to query-ready.", []string{"corpus"},
+		func(emit func([]string, float64)) {
+			for _, c := range s.reg.list() {
+				emit([]string{c.name}, c.state.Load().ActivationSeconds)
 			}
 		})
 	reg.GaugeVecFunc("mapsynth_corpus_pairs",

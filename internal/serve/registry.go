@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mapsynth/internal/mapping"
 	"mapsynth/internal/snapshot"
@@ -277,14 +278,18 @@ func (s *Server) LoadCorpusContext(ctx context.Context, name, path string) (*Sta
 		}
 		return nil, fmt.Errorf("serve: corpus %q: no snapshot path to load", name)
 	}
-	maps, err := snapshot.ReadFile(path)
+	t0 := time.Now()
+	ld, err := snapshot.Load(path)
 	if err != nil {
 		return nil, fmt.Errorf("corpus %q: loading snapshot %q: %w", name, path, err)
 	}
 	if err := ctx.Err(); err != nil {
+		if ld.Handle != nil {
+			ld.Handle.Close()
+		}
 		return nil, err
 	}
-	return s.swapIn(name, s.buildState(maps, path)), nil
+	return s.swapIn(name, s.buildLoadedState(ld, path, t0)), nil
 }
 
 // LoadCorpusSnapshot decodes an uploaded snapshot body into the named
@@ -294,14 +299,15 @@ func (s *Server) LoadCorpusSnapshot(name string, data []byte) (*State, error) {
 	if !validCorpusName(name) {
 		return nil, fmt.Errorf("serve: invalid corpus name %q (want 1-64 chars of [A-Za-z0-9._-])", name)
 	}
-	maps, err := snapshot.Decode(data)
+	t0 := time.Now()
+	ld, err := snapshot.LoadBytes(data)
 	if err != nil {
 		return nil, fmt.Errorf("corpus %q: decoding uploaded snapshot: %w", name, err)
 	}
 	c := s.reg.shell(name)
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
-	return s.swapIn(name, s.buildState(maps, "")), nil
+	return s.swapIn(name, s.buildLoadedState(ld, "", t0)), nil
 }
 
 // AddCorpus installs an in-memory mapping set as the named corpus — the

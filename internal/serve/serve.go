@@ -26,9 +26,11 @@ import (
 	"time"
 
 	"mapsynth/internal/apps"
+	"mapsynth/internal/index"
 	"mapsynth/internal/mapping"
 	"mapsynth/internal/metrics"
 	"mapsynth/internal/pool"
+	"mapsynth/internal/snapshot"
 	"mapsynth/internal/textnorm"
 )
 
@@ -94,11 +96,28 @@ type Options struct {
 	Logger *slog.Logger
 }
 
-// State is one immutable loaded snapshot: the mapping set, its sharded
-// index, the apps.Session answering queries against it, and the result
-// cache that is only valid against this mapping set. A corpus swaps its
-// whole State atomically on load/activate/rollback; superseded states stay
-// on the corpus's bounded history ring so they can be re-activated.
+// CorpusIndex is the containment index a State serves queries from:
+// apps.Index plus the introspection the stats/corpora surfaces need. Heap
+// states use the hash-sharded ShardedIndex; mmap-backed v2 states use one
+// monolithic index over the mapped region (the scan is a Bloom-word probe
+// per mapping, so shard fan-out buys nothing there).
+type CorpusIndex interface {
+	apps.Index
+	Len() int
+	Mapping(i int) *mapping.Mapping
+	NumShards() int
+}
+
+// monoIndex adapts a monolithic index.MappingIndex to CorpusIndex.
+type monoIndex struct{ *index.MappingIndex }
+
+func (monoIndex) NumShards() int { return 1 }
+
+// State is one immutable loaded snapshot: the mapping source, its
+// containment index, the apps.Session answering queries against it, and the
+// result cache that is only valid against this mapping set. A corpus swaps
+// its whole State atomically on load/activate/rollback; superseded states
+// stay on the corpus's bounded history ring so they can be re-activated.
 type State struct {
 	Path     string
 	LoadedAt time.Time
@@ -106,11 +125,43 @@ type State struct {
 	// number; activate/rollback re-expose old versions without minting new
 	// ones, so a version identifies one immutable state forever.
 	Version int64
-	Maps    []*mapping.Mapping
-	Index   *ShardedIndex
-	session *apps.Session
-	cache   *lruCache
-	pairs   int
+	// Maps holds the materialized mapping set of heap-backed states; it is
+	// nil for mmap-backed v2 states, whose mappings materialize lazily
+	// through the Index. Use NumMappings for the count.
+	Maps  []*mapping.Mapping
+	Index CorpusIndex
+	// Format is the snapshot format backing this state: 0 for in-memory
+	// mapping sets, 1 for decoded v1 snapshots, 2 for mmapped v2 snapshots.
+	Format int
+	// MappedBytes is the size of the mmapped region backing a v2 state; 0
+	// for heap-backed states.
+	MappedBytes int64
+	// ActivationSeconds is how long this state took from snapshot open to
+	// query-ready (decode/mmap + index + session construction).
+	ActivationSeconds float64
+	// handle keeps a v2 state's mapped region alive: materialized mappings
+	// hold zero-copy views into it and must not outlive it.
+	handle   *snapshot.Handle
+	mappings int
+	session  *apps.Session
+	cache    *lruCache
+	pairs    int
+}
+
+// NumMappings returns the number of mappings in the state, whether they
+// are materialized (Maps) or served lazily from a mapped region.
+func (st *State) NumMappings() int { return st.mappings }
+
+// FormatName renders Format for humans and label values.
+func (st *State) FormatName() string {
+	switch st.Format {
+	case 1:
+		return "v1"
+	case 2:
+		return "v2"
+	default:
+		return "memory"
+	}
 }
 
 // serveDefaults are the documented server-side defaults applied to omitted
@@ -202,14 +253,16 @@ func NewFromMappings(maps []*mapping.Mapping, opts Options) *Server {
 	return s
 }
 
-// buildState assembles one immutable serving state (index, session, cache)
-// off to the side; the caller swaps it in.
+// buildState assembles one immutable heap-backed serving state (sharded
+// index, session, cache) off to the side; the caller swaps it in and sets
+// Format/ActivationSeconds as appropriate.
 func (s *Server) buildState(maps []*mapping.Mapping, path string) *State {
 	st := &State{
 		Path:     path,
 		LoadedAt: time.Now(),
 		Maps:     maps,
 		Index:    NewShardedIndex(maps, s.opts.Shards),
+		mappings: len(maps),
 		cache:    newLRU(s.opts.CacheSize),
 	}
 	st.session = apps.NewSession(st.Index,
@@ -218,6 +271,41 @@ func (s *Server) buildState(maps []*mapping.Mapping, path string) *State {
 	for _, m := range maps {
 		st.pairs += m.Size()
 	}
+	return st
+}
+
+// buildStateV2 assembles a serving state over a mapped v2 snapshot: the
+// index reads Bloom bits, postings and value tables straight out of the
+// region, so construction is O(1) in the corpus size.
+func (s *Server) buildStateV2(h *snapshot.Handle, path string) *State {
+	st := &State{
+		Path:        path,
+		LoadedAt:    time.Now(),
+		Index:       monoIndex{index.FromSource(h)},
+		Format:      2,
+		MappedBytes: h.MappedBytes(),
+		handle:      h,
+		mappings:    h.Len(),
+		pairs:       h.Pairs(),
+		cache:       newLRU(s.opts.CacheSize),
+	}
+	st.session = apps.NewSession(st.Index,
+		apps.WithDefaults(serveDefaults),
+		apps.WithPool(s.pool))
+	return st
+}
+
+// buildLoadedState dispatches a format-aware snapshot load result to the
+// matching state builder and stamps its activation time.
+func (s *Server) buildLoadedState(ld snapshot.Loaded, path string, t0 time.Time) *State {
+	var st *State
+	if ld.Format == 2 {
+		st = s.buildStateV2(ld.Handle, path)
+	} else {
+		st = s.buildState(ld.Maps, path)
+		st.Format = 1
+	}
+	st.ActivationSeconds = time.Since(t0).Seconds()
 	return st
 }
 
@@ -431,7 +519,7 @@ func (s *Server) Run(ctx context.Context, addr string) error {
 						st := c.state.Load()
 						s.logger.Info("sighup reload",
 							"corpus", c.name, "snapshot", st.Path,
-							"mappings", len(st.Maps), "version", st.Version)
+							"mappings", st.NumMappings(), "version", st.Version)
 					}
 				}
 			case <-ctx.Done():
@@ -686,6 +774,7 @@ func (s *Server) handleAutoJoin(c *corpus, w http.ResponseWriter, r *http.Reques
 type corpusHealth struct {
 	Snapshot   string  `json:"snapshot,omitempty"`
 	Version    int64   `json:"version"`
+	Format     string  `json:"format"`
 	Mappings   int     `json:"mappings"`
 	Pairs      int     `json:"pairs"`
 	Shards     int     `json:"shards"`
@@ -708,7 +797,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		corpora[c.name] = corpusHealth{
 			Snapshot:   st.Path,
 			Version:    st.Version,
-			Mappings:   len(st.Maps),
+			Format:     st.FormatName(),
+			Mappings:   st.NumMappings(),
 			Pairs:      st.pairs,
 			Shards:     st.Index.NumShards(),
 			LoadedAt:   st.LoadedAt.UTC().Format(time.RFC3339),
@@ -796,12 +886,15 @@ func (s *Server) statsFor(c *corpus) StatsSnapshot {
 			HitRate:  rate,
 		},
 		Snapshot: map[string]any{
-			"path":      st.Path,
-			"version":   st.Version,
-			"loaded_at": st.LoadedAt.UTC().Format(time.RFC3339),
-			"mappings":  len(st.Maps),
-			"pairs":     st.pairs,
-			"shards":    st.Index.NumShards(),
+			"path":         st.Path,
+			"version":      st.Version,
+			"format":       st.FormatName(),
+			"loaded_at":    st.LoadedAt.UTC().Format(time.RFC3339),
+			"mappings":     st.NumMappings(),
+			"pairs":        st.pairs,
+			"shards":       st.Index.NumShards(),
+			"mapped_bytes": st.MappedBytes,
+			"activation_s": st.ActivationSeconds,
 		},
 	}
 }
@@ -858,8 +951,9 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"snapshot":    st.Path,
 		"version":     st.Version,
+		"format":      st.FormatName(),
 		"rebuilt":     req.Rebuild,
-		"mappings":    len(st.Maps),
+		"mappings":    st.NumMappings(),
 		"loaded_at":   st.LoadedAt.UTC().Format(time.RFC3339),
 		"duration_ms": float64(time.Since(t0).Microseconds()) / 1000,
 	})

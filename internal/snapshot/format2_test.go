@@ -1,0 +1,364 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"mapsynth/internal/index"
+)
+
+// v2Bytes encodes the shared test corpus as a v2 snapshot.
+func v2Bytes(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteV2(&buf, smallMappings(t)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestV2RoundTrip(t *testing.T) {
+	maps := smallMappings(t)
+	var v1, v2 bytes.Buffer
+	if err := Write(&v1, maps); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteV2(&v2, maps); err != nil {
+		t.Fatal(err)
+	}
+	// Decode dispatches on the version byte: v2 bytes must decode to the
+	// same mapping set the v1 codec round-trips.
+	got, err := Decode(v2.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Decode(v1.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("v2 decoded %d mappings, v1 %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].ID != want[i].ID ||
+			!reflect.DeepEqual(got[i].Pairs, want[i].Pairs) ||
+			!reflect.DeepEqual(got[i].TableIDs, want[i].TableIDs) ||
+			!reflect.DeepEqual(got[i].Domains, want[i].Domains) ||
+			!reflect.DeepEqual(got[i].CandidateIDs, want[i].CandidateIDs) ||
+			!reflect.DeepEqual(got[i].PairSupports(), want[i].PairSupports()) ||
+			!reflect.DeepEqual(got[i].SurfaceRights(), want[i].SurfaceRights()) {
+			t.Fatalf("mapping %d: v2 decode differs from v1 decode", i)
+		}
+	}
+	// Writer determinism: same input, same bytes.
+	var again bytes.Buffer
+	if err := WriteV2(&again, maps); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(v2.Bytes(), again.Bytes()) {
+		t.Fatal("WriteV2 is not deterministic")
+	}
+}
+
+func TestV2OpenAndVerify(t *testing.T) {
+	maps := smallMappings(t)
+	path := filepath.Join(t.TempDir(), "c2.snap")
+	if err := WriteFileV2(path, maps); err != nil {
+		t.Fatal(err)
+	}
+	h, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if h.Len() != len(maps) {
+		t.Fatalf("Len = %d, want %d", h.Len(), len(maps))
+	}
+	if h.Format() != 2 || h.MappedBytes() <= 0 || h.Path() != path {
+		t.Fatalf("handle metadata: format=%d mapped=%d path=%q", h.Format(), h.MappedBytes(), h.Path())
+	}
+	if err := h.Verify(); err != nil {
+		t.Fatalf("Verify on a clean file: %v", err)
+	}
+	secs := h.Sections()
+	if len(secs) != v2NumSections {
+		t.Fatalf("Sections = %d entries, want %d", len(secs), v2NumSections)
+	}
+	for i, s := range secs {
+		if s.Type != i+1 || s.Name == "" {
+			t.Fatalf("section %d: %+v", i, s)
+		}
+	}
+	if h.Pairs() <= 0 {
+		t.Fatalf("Pairs = %d", h.Pairs())
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}
+
+// TestV2IndexParity asserts the tentpole contract at the index layer: a
+// query against the mmapped source answers exactly like the heap index over
+// the same mappings, hit for hit.
+func TestV2IndexParity(t *testing.T) {
+	maps := smallMappings(t)
+	h, err := OpenBytes(v2Bytes(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap := index.Build(maps)
+	mm := index.FromSource(h)
+	var queries [][]string
+	for _, m := range maps[:min(10, len(maps))] {
+		var left, mixed []string
+		for i, p := range m.Pairs {
+			left = append(left, p.L)
+			if i%2 == 0 {
+				mixed = append(mixed, p.L)
+			} else {
+				mixed = append(mixed, p.R)
+			}
+		}
+		queries = append(queries, left, mixed)
+	}
+	queries = append(queries, []string{"zzz-not-there", "also missing"}, []string{""})
+	for qi, q := range queries {
+		a, b := heap.LookupLeft(q, 0.5), mm.LookupLeft(q, 0.5)
+		if len(a) != len(b) {
+			t.Fatalf("query %d: LookupLeft %d hits (heap) vs %d (mmap)", qi, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].Index != b[i].Index || a[i].Coverage != b[i].Coverage ||
+				a[i].Matched != b[i].Matched || a[i].Mapping.ID != b[i].Mapping.ID {
+				t.Fatalf("query %d hit %d: heap %+v vs mmap %+v", qi, i, a[i], b[i])
+			}
+		}
+		am, bm := heap.MixedColumnHits(q, 1, 0.5), mm.MixedColumnHits(q, 1, 0.5)
+		if len(am) != len(bm) {
+			t.Fatalf("query %d: MixedColumnHits %d hits (heap) vs %d (mmap)", qi, len(am), len(bm))
+		}
+		for i := range am {
+			if am[i].Index != bm[i].Index || am[i].Coverage != bm[i].Coverage || am[i].Matched != bm[i].Matched {
+				t.Fatalf("query %d mixed hit %d: heap %+v vs mmap %+v", qi, i, am[i], bm[i])
+			}
+		}
+	}
+}
+
+// ---- corruption matrix ----
+
+// fixTableCRCs recomputes one section's table CRC (from its current bytes),
+// then the header CRC and the file footer, so a test can corrupt structure
+// while keeping every checksum that guards earlier validation stages valid.
+func fixTableCRCs(data []byte, secIdx int) {
+	if secIdx >= 0 {
+		e := v2HeaderSize + secIdx*v2SectionEntry
+		off := binary.LittleEndian.Uint64(data[e+8:])
+		ln := binary.LittleEndian.Uint64(data[e+16:])
+		binary.LittleEndian.PutUint32(data[e+24:], crc32.ChecksumIEEE(data[off:off+ln]))
+	}
+	c := crc32.ChecksumIEEE(data[:60])
+	c = crc32.Update(c, crc32.IEEETable, data[v2HeaderSize:v2TableEnd])
+	binary.LittleEndian.PutUint32(data[60:], c)
+	binary.LittleEndian.PutUint32(data[len(data)-4:], crc32.ChecksumIEEE(data[:len(data)-4]))
+}
+
+// queryNoPanic drives every read path of a (possibly corrupt) open handle;
+// the only acceptable failure mode is empty answers.
+func queryNoPanic(t *testing.T, h *Handle) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("querying a corrupt handle panicked: %v", r)
+		}
+	}()
+	hash := index.HashOf("california")
+	for i := 0; i < h.Len(); i++ {
+		h.MayContainLeft(i, hash)
+		h.MayContainRight(i, hash)
+		h.InLeft(i, "california")
+		h.InRight(i, "ca")
+		h.Mapping(i)
+	}
+	h.Postings("california")
+	ix := index.FromSource(h)
+	ix.LookupLeft([]string{"california", "texas"}, 0.5)
+	ix.MixedColumnHits([]string{"california", "ca"}, 1, 0.5)
+}
+
+func TestV2CorruptionMatrix(t *testing.T) {
+	good := v2Bytes(t)
+
+	// findRecordField locates record 0's field at the given offset, in file
+	// coordinates.
+	recSecOff := binary.LittleEndian.Uint64(good[v2HeaderSize+(secRecords-1)*v2SectionEntry+8:])
+	termsSecOff := binary.LittleEndian.Uint64(good[v2HeaderSize+(secTerms-1)*v2SectionEntry+8:])
+
+	cases := []struct {
+		name    string
+		mutate  func(d []byte) []byte
+		openErr error // expected Open error; nil means Open succeeds
+		// verifyErr is checked when openErr is nil.
+		verifyErr error
+	}{
+		{"truncated tiny", func(d []byte) []byte { return d[:10] }, ErrTruncated, nil},
+		{"truncated mid table", func(d []byte) []byte { return d[:v2TableEnd-20] }, ErrTruncated, nil},
+		{"truncated tail", func(d []byte) []byte { return d[:len(d)-100] }, ErrTruncated, nil},
+		{"bad magic", func(d []byte) []byte { d[0] = 'X'; return d }, ErrMagic, nil},
+		{"v1 version byte", func(d []byte) []byte { d[4] = 1; return d }, ErrVersion, nil},
+		{"bad section count", func(d []byte) []byte {
+			binary.LittleEndian.PutUint32(d[8:], 8)
+			fixTableCRCs(d, -1)
+			return d
+		}, ErrLayout, nil},
+		{"bad record size", func(d []byte) []byte {
+			binary.LittleEndian.PutUint32(d[12:], 80)
+			fixTableCRCs(d, -1)
+			return d
+		}, ErrLayout, nil},
+		{"header crc", func(d []byte) []byte { d[24] ^= 0xff; return d }, ErrChecksum, nil},
+		{"section type out of order", func(d []byte) []byte {
+			binary.LittleEndian.PutUint32(d[v2HeaderSize:], secRecords)
+			fixTableCRCs(d, -1)
+			return d
+		}, ErrLayout, nil},
+		{"overlapping sections", func(d []byte) []byte {
+			// Give the records section the arena's offset: ascending order
+			// breaks, so the table is rejected.
+			arenaOff := binary.LittleEndian.Uint64(d[v2HeaderSize+8:])
+			binary.LittleEndian.PutUint64(d[v2HeaderSize+v2SectionEntry+8:], arenaOff)
+			fixTableCRCs(d, -1)
+			return d
+		}, ErrLayout, nil},
+		{"section past EOF", func(d []byte) []byte {
+			e := v2HeaderSize + (v2NumSections-1)*v2SectionEntry
+			ln := binary.LittleEndian.Uint64(d[e+16:])
+			binary.LittleEndian.PutUint64(d[e+16:], ln+1<<20)
+			fixTableCRCs(d, -1)
+			return d
+		}, ErrLayout, nil},
+		{"misaligned section", func(d []byte) []byte {
+			e := v2HeaderSize + 2*v2SectionEntry
+			off := binary.LittleEndian.Uint64(d[e+8:])
+			binary.LittleEndian.PutUint64(d[e+8:], off+4)
+			fixTableCRCs(d, -1)
+			return d
+		}, ErrLayout, nil},
+		{"mapping count mismatch", func(d []byte) []byte {
+			n := binary.LittleEndian.Uint64(d[24:])
+			binary.LittleEndian.PutUint64(d[24:], n+1)
+			fixTableCRCs(d, -1)
+			return d
+		}, ErrLayout, nil},
+		{"arena bit rot", func(d []byte) []byte {
+			// Open validates the header only; Verify catches the section CRC.
+			arenaOff := binary.LittleEndian.Uint64(d[v2HeaderSize+8:])
+			d[arenaOff] ^= 0xff
+			binary.LittleEndian.PutUint32(d[len(d)-4:], crc32.ChecksumIEEE(d[:len(d)-4]))
+			return d
+		}, nil, ErrChecksum},
+		{"string ref out of range", func(d []byte) []byte {
+			// Point record 0's left-values run far past the strrefs section;
+			// re-seal the records CRC so only the structural walk can object.
+			binary.LittleEndian.PutUint32(d[recSecOff+recLVals:], 0xfffffff0)
+			fixTableCRCs(d, secRecords-1)
+			return d
+		}, nil, ErrLayout},
+		{"pair run out of range", func(d []byte) []byte {
+			binary.LittleEndian.PutUint32(d[recSecOff+recPair+4:], 0xffffff)
+			fixTableCRCs(d, secRecords-1)
+			return d
+		}, nil, ErrLayout},
+		{"bloom params out of range", func(d []byte) []byte {
+			binary.LittleEndian.PutUint32(d[recSecOff+recLBloom+4:], 0xffffff00)
+			fixTableCRCs(d, secRecords-1)
+			return d
+		}, nil, ErrLayout},
+		{"postings out of range", func(d []byte) []byte {
+			binary.LittleEndian.PutUint32(d[termsSecOff+12:], 0xffffff)
+			fixTableCRCs(d, secTerms-1)
+			return d
+		}, nil, ErrLayout},
+		{"footer bit rot", func(d []byte) []byte {
+			d[len(d)-1] ^= 0xff
+			return d
+		}, nil, ErrChecksum},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data := tc.mutate(append([]byte(nil), good...))
+			h, err := OpenBytes(data)
+			if tc.openErr != nil {
+				if !errors.Is(err, tc.openErr) {
+					t.Fatalf("OpenBytes = %v, want %v", err, tc.openErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("OpenBytes: %v (corruption should get past the O(1) open)", err)
+			}
+			if verr := h.Verify(); !errors.Is(verr, tc.verifyErr) {
+				t.Fatalf("Verify = %v, want %v", verr, tc.verifyErr)
+			}
+			// The hard guarantee: a corrupt-but-opened snapshot answers
+			// queries degraded, never panicking or over-reading.
+			queryNoPanic(t, h)
+		})
+	}
+}
+
+// TestV2FooterContract pins the compatibility rule the format doc mandates:
+// a v2 file ends with the same whole-file CRC footer as v1, so a pure-v1
+// reader reports ErrVersion (a clear "upgrade me") rather than ErrChecksum.
+func TestV2FooterContract(t *testing.T) {
+	data := v2Bytes(t)
+	payload, footer := data[:len(data)-4], data[len(data)-4:]
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(footer); got != want {
+		t.Fatalf("v2 file's trailing 4 bytes are not the whole-file CRC: %08x vs %08x", got, want)
+	}
+	if string(data[:4]) != string(Magic[:]) {
+		t.Fatal("v2 file does not open with the shared snapshot magic")
+	}
+}
+
+func FuzzOpenV2(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteV2(&buf, smallMappings(f)); err != nil {
+		f.Fatal(err)
+	}
+	good := buf.Bytes()
+	f.Add(good)
+	f.Add(good[:len(good)/2])
+	f.Add([]byte("MSNP\x02garbage"))
+	flip := append([]byte(nil), good...)
+	flip[len(flip)/3] ^= 0x40
+	f.Add(flip)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := OpenBytes(data)
+		if err != nil {
+			return
+		}
+		_ = h.Verify()
+		hash := index.HashOf("ca")
+		n := h.Len()
+		if n > 64 {
+			n = 64
+		}
+		for i := 0; i < n; i++ {
+			h.MayContainLeft(i, hash)
+			h.InLeft(i, "ca")
+			h.Mapping(i)
+		}
+		h.Postings("california")
+		index.FromSource(h).LookupLeft([]string{"california"}, 0.5)
+	})
+}

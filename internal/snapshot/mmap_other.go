@@ -1,0 +1,21 @@
+//go:build !unix
+
+package snapshot
+
+import (
+	"io"
+	"os"
+)
+
+// mmapFile on platforms without a usable mmap syscall falls back to reading
+// the file into an 8-byte-aligned heap buffer. Activation is O(file size)
+// here, but the format and all readers behave identically.
+func mmapFile(f *os.File, size int64) ([]byte, bool, error) {
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, false, err
+	}
+	return alignedCopy(data), false, nil
+}
+
+func munmap(data []byte) error { return nil }

@@ -1,0 +1,34 @@
+//go:build unix
+
+package snapshot
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the file read-only and reports mapped=true. The fd can be
+// closed immediately after — the mapping keeps the file alive. Page
+// alignment of the mapping base guarantees the 8-byte alignment the typed
+// section views need.
+func mmapFile(f *os.File, size int64) ([]byte, bool, error) {
+	if size < 0 || size > int64(int(^uint(0)>>1)) {
+		return nil, false, fmt.Errorf("file size %d out of range", size)
+	}
+	if size == 0 {
+		return nil, true, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false, err
+	}
+	return data, true, nil
+}
+
+func munmap(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	return syscall.Munmap(data)
+}

@@ -50,6 +50,9 @@ var (
 	ErrChecksum = errors.New("snapshot: checksum mismatch (corrupted file)")
 	// ErrTruncated reports a snapshot too short to contain its own footer.
 	ErrTruncated = errors.New("snapshot: truncated file")
+	// ErrLayout reports a structurally invalid v2 snapshot: bad section
+	// table, misaligned or overlapping sections, or out-of-range references.
+	ErrLayout = errors.New("snapshot: invalid layout")
 )
 
 // Write encodes the mappings to w. The mappings are not mutated.
@@ -211,7 +214,10 @@ func ReadFile(path string) ([]*mapping.Mapping, error) {
 	return Decode(data)
 }
 
-// Decode parses a snapshot held in memory.
+// Decode parses a snapshot held in memory, dispatching on the version byte:
+// v1 decodes the varint stream, v2 opens the region and materializes every
+// mapping. Consumers that want to keep a v2 snapshot mapped instead of
+// decoded should use Load/LoadBytes.
 func Decode(data []byte) ([]*mapping.Mapping, error) {
 	if len(data) < len(Magic)+1+4 {
 		return nil, ErrTruncated
@@ -224,6 +230,13 @@ func Decode(data []byte) ([]*mapping.Mapping, error) {
 		return nil, fmt.Errorf("%w: crc %08x, want %08x", ErrChecksum, got, want)
 	}
 	if v := payload[4]; v != Version {
+		if v == Version2 {
+			h, err := OpenBytes(data)
+			if err != nil {
+				return nil, err
+			}
+			return h.Materialize(), nil
+		}
 		return nil, fmt.Errorf("%w: %d", ErrVersion, v)
 	}
 	d := &decoder{buf: payload[5:]}
@@ -284,6 +297,56 @@ func LoadIndex(path string) (*index.MappingIndex, []*mapping.Mapping, error) {
 		return nil, nil, err
 	}
 	return index.Build(maps), maps, nil
+}
+
+// Loaded is the result of format-aware loading: either decoded heap
+// mappings (v1) or a live mmap handle (v2) whose mappings materialize
+// lazily. Exactly one of Maps/Handle is set; Format says which (1 or 2).
+type Loaded struct {
+	Format int
+	Maps   []*mapping.Mapping
+	Handle *Handle
+}
+
+// Load opens the snapshot at path in the cheapest way its format allows:
+// v2 snapshots are mmapped (O(1), no decode), v1 snapshots are decoded
+// onto the heap. The serving layer activates corpora through this.
+func Load(path string) (Loaded, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Loaded{}, err
+	}
+	var head [5]byte
+	_, rerr := io.ReadFull(f, head[:])
+	f.Close()
+	if rerr == nil && [4]byte(head[:4]) == Magic && head[4] == Version2 {
+		h, err := Open(path)
+		if err != nil {
+			return Loaded{}, err
+		}
+		return Loaded{Format: 2, Handle: h}, nil
+	}
+	maps, err := ReadFile(path)
+	if err != nil {
+		return Loaded{}, err
+	}
+	return Loaded{Format: 1, Maps: maps}, nil
+}
+
+// LoadBytes is Load for a snapshot already in memory (an uploaded corpus).
+func LoadBytes(data []byte) (Loaded, error) {
+	if len(data) >= 5 && [4]byte(data[:4]) == Magic && data[4] == Version2 {
+		h, err := OpenBytes(data)
+		if err != nil {
+			return Loaded{}, err
+		}
+		return Loaded{Format: 2, Handle: h}, nil
+	}
+	maps, err := Decode(data)
+	if err != nil {
+		return Loaded{}, err
+	}
+	return Loaded{Format: 1, Maps: maps}, nil
 }
 
 // decoder is a cursor over the payload with sticky error handling.

@@ -18,7 +18,7 @@ import (
 // smallMappings synthesizes a compact but real result: a sampled web corpus
 // through the full pipeline, so the snapshot exercises genuine surface
 // forms, support counts and provenance.
-func smallMappings(t *testing.T) []*mapping.Mapping {
+func smallMappings(t testing.TB) []*mapping.Mapping {
 	t.Helper()
 	corpus := corpusgen.GenerateWeb(corpusgen.Options{Seed: 7, SampleFraction: 0.2})
 	res := core.New(core.DefaultConfig()).Synthesize(corpus.Tables)

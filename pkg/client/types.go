@@ -253,6 +253,7 @@ type ReloadResponse struct {
 	ResponseMeta
 	Snapshot   string  `json:"snapshot"`
 	Version    int64   `json:"version"`
+	Format     string  `json:"format"`
 	Rebuilt    bool    `json:"rebuilt"`
 	Mappings   int     `json:"mappings"`
 	LoadedAt   string  `json:"loaded_at"`
@@ -265,11 +266,20 @@ type CorpusInfo struct {
 	Name     string `json:"name"`
 	Version  int64  `json:"version"`
 	Snapshot string `json:"snapshot"`
+	// Format is the snapshot format backing the live state: "memory", "v1"
+	// (decoded onto the heap) or "v2" (served zero-copy from a mapped
+	// region).
+	Format   string `json:"format"`
 	Mappings int    `json:"mappings"`
 	Pairs    int    `json:"pairs"`
 	Shards   int    `json:"shards"`
-	LoadedAt string `json:"loaded_at"`
-	Reloads  int64  `json:"reloads"`
+	// MappedBytes is the mmapped region size of a v2 state; 0 otherwise.
+	MappedBytes int64 `json:"mapped_bytes"`
+	// ActivationSeconds is how long the live state took from snapshot open
+	// to query-ready.
+	ActivationSeconds float64 `json:"activation_s"`
+	LoadedAt          string  `json:"loaded_at"`
+	Reloads           int64   `json:"reloads"`
 	// History lists the versions available for Activate/Rollback, most
 	// recently live last.
 	History []int64 `json:"history"`
@@ -288,6 +298,7 @@ type PutCorpusResponse struct {
 	Created    bool    `json:"created"`
 	Version    int64   `json:"version"`
 	Snapshot   string  `json:"snapshot"`
+	Format     string  `json:"format"`
 	Mappings   int     `json:"mappings"`
 	Pairs      int     `json:"pairs"`
 	LoadedAt   string  `json:"loaded_at"`
@@ -300,6 +311,7 @@ type VersionSwapResponse struct {
 	Version         int64  `json:"version"`
 	PreviousVersion int64  `json:"previous_version"`
 	Snapshot        string `json:"snapshot"`
+	Format          string `json:"format"`
 	Mappings        int    `json:"mappings"`
 	LoadedAt        string `json:"loaded_at"`
 }
