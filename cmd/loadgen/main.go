@@ -11,7 +11,7 @@
 //	loadgen -snapshot out.snap [-addr http://localhost:8080]
 //	        [-duration 10s] [-qps 0] [-concurrency 8] [-batch 16]
 //	        [-mix lookup=4,autofill=2,batch-autofill=1]
-//	        [-corpora default,tickers] [-seed 1] [-out -]
+//	        [-corpora default,tickers] [-tenants a:3,b:1] [-seed 1] [-out -]
 //
 // The snapshot is the same file the server loaded; loadgen derives its
 // query columns from it so requests genuinely hit the index. Ops for -mix:
@@ -52,6 +52,7 @@ func run() int {
 	batchSize := flag.Int("batch", 16, "NDJSON lines per batch request")
 	mixFlag := flag.String("mix", "", "op mix as name=weight pairs, comma-separated; empty = default mix over every endpoint")
 	corporaFlag := flag.String("corpora", "", "comma-separated corpus names to spread traffic over via /v1/corpora/{name} paths; empty = default corpus via unscoped paths")
+	tenantsFlag := flag.String("tenants", "", "split traffic across tenants as name:share pairs, comma-separated (e.g. 'a:3,b:1'); each request carries the picked tenant's X-Tenant header; empty = no header")
 	seed := flag.Int64("seed", 1, "workload randomization seed")
 	out := flag.String("out", "-", "report destination; - writes to stdout")
 	flag.Parse()
@@ -72,6 +73,11 @@ func run() int {
 		return 2
 	}
 	mix, err := parseMix(*mixFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		return 2
+	}
+	tenants, err := loadgen.ParseTenantShares(*tenantsFlag)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 		return 2
@@ -97,6 +103,7 @@ func run() int {
 		BatchSize:   *batchSize,
 		Mix:         mix,
 		Corpora:     corpora,
+		Tenants:     tenants,
 		Seed:        *seed,
 	}, wl)
 	if err != nil {

@@ -7,6 +7,7 @@
 //	serve -snapshot out.snap [-corpus name=path ...] [-addr :8080]
 //	      [-shards N] [-cache 4096] [-history 4]
 //	      [-batch-requests 32] [-batch-rows 256] [-batch-write-timeout 30s]
+//	      [-tenants interactive:4,bulk:1:50:10,*:1:100]
 //
 // One process serves many named corpora: -snapshot loads the "default"
 // corpus and each repeatable -corpus name=path flag loads a further one.
@@ -46,6 +47,16 @@
 // across all batches (beyond it the server stops reading request bodies —
 // TCP backpressure). See docs/api.md.
 //
+// Multi-tenant QoS: requests carry an optional X-Tenant header (absent =
+// "default"). -tenants assigns each tenant a token-bucket rate limit
+// (over quota: 429 quota_exhausted + Retry-After) and a weight; a
+// weighted-fair queue arbitrates the shared -batch-rows compute slots, in
+// which interactive single-query requests strictly preempt batch rows and
+// tenants within a band share slots in proportion to their weights. Each
+// entry is name[:weight[:rate[:burst]]]; "*" is the template applied to
+// tenants first seen at request time. Per-tenant counters and latency
+// appear in /v1/stats and /v1/metrics.
+//
 // Observability (see docs/observability.md):
 //
 //	GET /v1/metrics             Prometheus text exposition: per-corpus request
@@ -79,6 +90,7 @@ import (
 	"mapsynth/internal/mapping"
 	"mapsynth/internal/metrics"
 	"mapsynth/internal/pipeline"
+	"mapsynth/internal/qos"
 	"mapsynth/internal/serve"
 )
 
@@ -146,6 +158,7 @@ func main() {
 	batchRequests := flag.Int("batch-requests", 32, "max concurrent /batch/* requests; beyond it 429")
 	batchRows := flag.Int("batch-rows", 256, "max concurrently computing batch rows across all requests")
 	batchWriteTimeout := flag.Duration("batch-write-timeout", 30*time.Second, "abandon a batch stream when the client reads nothing for this long")
+	tenantsFlag := flag.String("tenants", "", "per-tenant QoS specs as name[:weight[:rate[:burst]]] comma-separated; \"*\" is the template for unlisted tenants (e.g. 'interactive:4,bulk:1:50:10,*:1:100'); empty = every tenant unlimited, weight 1")
 	rebuildProfile := flag.String("rebuild-profile", "", "enable POST /reload {\"rebuild\":true}: corpus profile (web or enterprise) to re-synthesize from")
 	rebuildSeed := flag.Int64("rebuild-seed", 42, "corpus seed for -rebuild-profile")
 	rebuildWorkers := flag.Int("rebuild-workers", 0, "pipeline workers for rebuilds; 0 = GOMAXPROCS")
@@ -163,6 +176,11 @@ func main() {
 	logger, err := newLogger(*logFormat, *logLevel)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+		os.Exit(2)
+	}
+	tenantSpecs, err := qos.ParseSpecs(*tenantsFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serve: -tenants: %v\n", err)
 		os.Exit(2)
 	}
 	// One registry for everything: the server's own collectors register in
@@ -207,6 +225,7 @@ func main() {
 		MaxBatchRequests:  *batchRequests,
 		MaxBatchRows:      *batchRows,
 		BatchWriteTimeout: *batchWriteTimeout,
+		Tenants:           tenantSpecs,
 		Rebuild:           rebuild,
 		Metrics:           reg,
 		Logger:            logger,

@@ -60,9 +60,27 @@ func Compare(old, cur *SuiteResult, tolerance float64) []Regression {
 	for _, format := range []string{"v1", "v2"} {
 		if o, n := actOf(old, format), actOf(cur, format); o != nil && n != nil {
 			check("activation."+format+".open_s", o.OpenSeconds, n.OpenSeconds)
-			check("activation."+format+".heap_alloc_delta_bytes",
-				float64(o.HeapAllocDelta), float64(n.HeapAllocDelta))
+			// Retained-heap bytes are only comparable between same-scale
+			// corpora: activation's heap delta is dominated by the lazily
+			// materialized mappings the first query happens to touch, which
+			// doesn't shrink proportionally with scale (a half-scale CI run
+			// can legitimately retain more than the full-scale baseline).
+			if old.Corpus.Scale == cur.Corpus.Scale {
+				check("activation."+format+".heap_alloc_delta_bytes",
+					float64(o.HeapAllocDelta), float64(n.HeapAllocDelta))
+			}
 		}
+	}
+
+	// The isolation gate is absolute, not relative: a current report whose
+	// scenario failed is a regression regardless of what the old report
+	// says, because "the victim's p99 stayed bounded" is a pass/fail
+	// property of the new code alone.
+	if cur.Isolation != nil && !cur.Isolation.Passed {
+		regs = append(regs, Regression{Metric: "isolation.passed", Old: 1, New: 0, Ratio: 1e9})
+	}
+	if old.Isolation != nil && cur.Isolation != nil {
+		check("isolation.contended_p99_ms", old.Isolation.Contended.P99Ms, cur.Isolation.Contended.P99Ms)
 	}
 
 	if old.Serving != nil && cur.Serving != nil {

@@ -102,6 +102,11 @@ type SuiteResult struct {
 	// Serving is the closed-loop mixed-workload run over real HTTP:
 	// throughput plus per-op p50/p99 as loadgen reports them.
 	Serving *loadgen.Report `json:"serving"`
+
+	// Isolation is the multi-tenant QoS proof: a victim interactive
+	// tenant's p99 beside an abusive batch tenant, gated against its own
+	// solo baseline.
+	Isolation *loadgen.IsolationResult `json:"isolation,omitempty"`
 }
 
 // ActivationBench is one snapshot format's activation cost: open → first
@@ -274,6 +279,24 @@ func RunSuite(ctx context.Context, opts SuiteOptions) (*SuiteResult, error) {
 		return nil, fmt.Errorf("benchmark: loadgen: %w", err)
 	}
 	res.Serving = rep
+
+	// The isolation scenario builds its own server (it needs tenant specs
+	// and a small slot budget), reusing the suite's mapping set. Each
+	// phase runs Duration/2 so the whole scenario costs about one serving
+	// phase. The slack is wider than the CI test's 15ms because slots are
+	// non-preemptive: a victim request can be head-of-line blocked for one
+	// full batch row, and a row against the full-scale corpus runs tens of
+	// milliseconds — the gate proves the victim waits for at most ~one
+	// row, never for whole batch streams.
+	iso, err := loadgen.RunIsolation(ctx, loadgen.IsolationConfig{
+		PhaseDuration: opts.Duration / 2,
+		Seed:          opts.Seed,
+		SlackMs:       50,
+	}, maps)
+	if err != nil {
+		return nil, fmt.Errorf("benchmark: isolation: %w", err)
+	}
+	res.Isolation = iso
 	return res, nil
 }
 

@@ -1,0 +1,263 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"mapsynth/internal/mapping"
+	"mapsynth/internal/qos"
+	"mapsynth/internal/serve"
+)
+
+// The tenant-isolation scenario is the QoS layer's proof harness: an
+// abusive batch tenant saturates the shared fair-queue slots while a
+// well-behaved interactive tenant keeps issuing single lookups, and the
+// verdict compares the victim's contended p99 against its own solo
+// baseline measured moments earlier on the same server. If weighted-fair
+// admission works, the victim barely notices the bully; if it regresses,
+// the ratio blows past the bound and CI fails.
+
+// IsolationConfig parameterizes RunIsolation. The zero value selects a
+// short two-phase run sized for CI.
+type IsolationConfig struct {
+	// PhaseDuration bounds each phase (solo, then contended); <= 0
+	// selects 2s.
+	PhaseDuration time.Duration
+	// Victim and Abuser name the two tenants; defaults "interactive" and
+	// "bulk".
+	Victim string
+	Abuser string
+	// VictimConcurrency / AbuserConcurrency are the closed-loop worker
+	// counts; <= 0 select 2 and 4.
+	VictimConcurrency int
+	AbuserConcurrency int
+	// Slots is the server's shared fair-queue capacity
+	// (Options.MaxBatchRows); <= 0 selects 4 — small, so the abuser's
+	// rows genuinely contend with the victim's lookups.
+	Slots int
+	// BatchSize is the abuser's NDJSON lines per request; <= 0 selects 32.
+	BatchSize int
+	// AbuserRate / AbuserBurst configure the abuser's token bucket; <= 0
+	// select 20 req/s with burst 4 — far below what an unpaced closed loop
+	// issues, so the abuser's throttle counters must move.
+	AbuserRate  float64
+	AbuserBurst int
+	// VictimWeight / AbuserWeight are the server-side QoS weights; <= 0
+	// select 4 and 1.
+	VictimWeight int
+	AbuserWeight int
+	// MaxP99Ratio bounds contended p99 / solo p99; <= 0 selects 2.0.
+	MaxP99Ratio float64
+	// SlackMs is absolute headroom added to the bound; <= 0 selects 15ms.
+	// It absorbs scheduler jitter when the solo baseline is
+	// sub-millisecond, and — because fair-queue slots are non-preemptive —
+	// it must cover one batch row's service time: an interactive request
+	// can be head-of-line blocked until the next slot release, so heavier
+	// corpora (longer rows) need proportionally more slack.
+	SlackMs float64
+	// Seed feeds both generators.
+	Seed int64
+}
+
+// PhaseReport is one tenant's aggregate view of one phase.
+type PhaseReport struct {
+	Requests  int64   `json:"requests"`
+	Errors    int64   `json:"errors"`
+	Throttled int64   `json:"throttled"`
+	P50Ms     float64 `json:"p50_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+}
+
+// IsolationResult is the scenario's verdict plus the evidence behind it,
+// recorded into BENCH_N.json so the trajectory of the isolation margin is
+// tracked like any other performance number.
+type IsolationResult struct {
+	Victim string `json:"victim"`
+	Abuser string `json:"abuser"`
+
+	Solo      PhaseReport `json:"solo"`       // victim alone
+	Contended PhaseReport `json:"contended"`  // victim beside the abuser
+	AbuserRun PhaseReport `json:"abuser_run"` // the abuser's own view
+
+	// P99Ratio is contended p99 / solo p99 — the isolation headline.
+	P99Ratio float64 `json:"p99_ratio"`
+	// Bound and SlackMs restate the gate the verdict used.
+	Bound   float64 `json:"bound"`
+	SlackMs float64 `json:"slack_ms"`
+
+	// ServerThrottled is the abuser's server-side throttled counter —
+	// proof the quota layer, not luck, contained the bully.
+	ServerThrottled int64 `json:"server_throttled"`
+
+	Passed bool `json:"passed"`
+	// Failures lists every violated invariant when Passed is false.
+	Failures []string `json:"failures,omitempty"`
+}
+
+func (cfg *IsolationConfig) applyDefaults() {
+	if cfg.PhaseDuration <= 0 {
+		cfg.PhaseDuration = 2 * time.Second
+	}
+	if cfg.Victim == "" {
+		cfg.Victim = "interactive"
+	}
+	if cfg.Abuser == "" {
+		cfg.Abuser = "bulk"
+	}
+	if cfg.VictimConcurrency <= 0 {
+		cfg.VictimConcurrency = 2
+	}
+	if cfg.AbuserConcurrency <= 0 {
+		cfg.AbuserConcurrency = 4
+	}
+	if cfg.Slots <= 0 {
+		cfg.Slots = 4
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	if cfg.AbuserRate <= 0 {
+		cfg.AbuserRate = 20
+	}
+	if cfg.AbuserBurst <= 0 {
+		cfg.AbuserBurst = 4
+	}
+	if cfg.VictimWeight <= 0 {
+		cfg.VictimWeight = 4
+	}
+	if cfg.AbuserWeight <= 0 {
+		cfg.AbuserWeight = 1
+	}
+	if cfg.MaxP99Ratio <= 0 {
+		cfg.MaxP99Ratio = 2.0
+	}
+	if cfg.SlackMs <= 0 {
+		cfg.SlackMs = 15
+	}
+}
+
+// RunIsolation builds an in-process server over maps with the two tenants
+// configured, measures the victim's solo baseline, then reruns the victim
+// beside the abusive batch tenant and issues the verdict.
+func RunIsolation(ctx context.Context, cfg IsolationConfig, maps []*mapping.Mapping) (*IsolationResult, error) {
+	cfg.applyDefaults()
+	wl, err := NewWorkload(maps)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: isolation workload: %w", err)
+	}
+	srv := serve.NewFromMappings(maps, serve.Options{
+		MaxBatchRows: cfg.Slots,
+		CacheSize:    1024,
+		Tenants: []qos.Spec{
+			{Name: cfg.Victim, Weight: cfg.VictimWeight},
+			{Name: cfg.Abuser, Weight: cfg.AbuserWeight, Rate: cfg.AbuserRate, Burst: cfg.AbuserBurst},
+		},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// The victim is purely interactive: single lookups, the op class the
+	// fair queue's Interactive band must protect.
+	victimCfg := Config{
+		BaseURL:     ts.URL,
+		Duration:    cfg.PhaseDuration,
+		Concurrency: cfg.VictimConcurrency,
+		Mix:         map[string]int{OpLookup: 1},
+		Seed:        cfg.Seed,
+		Tenants:     []TenantShare{{Name: cfg.Victim, Share: 1}},
+		Client:      ts.Client(),
+	}
+	// The abuser floods wide batch streams through the Batch band, unpaced.
+	abuserCfg := Config{
+		BaseURL:     ts.URL,
+		Duration:    cfg.PhaseDuration,
+		Concurrency: cfg.AbuserConcurrency,
+		BatchSize:   cfg.BatchSize,
+		Mix:         map[string]int{OpBatchAutoFill: 1},
+		Seed:        cfg.Seed + 1,
+		Tenants:     []TenantShare{{Name: cfg.Abuser, Share: 1}},
+		Client:      ts.Client(),
+	}
+
+	// Phase 1: the victim's solo baseline.
+	soloRep, err := Run(ctx, victimCfg, wl)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: isolation solo phase: %w", err)
+	}
+
+	// Phase 2: same victim workload, now beside the abuser.
+	var (
+		wg        sync.WaitGroup
+		abuserRep *Report
+		abuserErr error
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		abuserRep, abuserErr = Run(ctx, abuserCfg, wl)
+	}()
+	contendedRep, err := Run(ctx, victimCfg, wl)
+	wg.Wait()
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: isolation contended phase: %w", err)
+	}
+	if abuserErr != nil {
+		return nil, fmt.Errorf("loadgen: isolation abuser run: %w", abuserErr)
+	}
+
+	res := &IsolationResult{
+		Victim:    cfg.Victim,
+		Abuser:    cfg.Abuser,
+		Solo:      phaseOf(soloRep, cfg.Victim),
+		Contended: phaseOf(contendedRep, cfg.Victim),
+		AbuserRun: phaseOf(abuserRep, cfg.Abuser),
+		Bound:     cfg.MaxP99Ratio,
+		SlackMs:   cfg.SlackMs,
+	}
+	res.ServerThrottled = srv.Stats().Tenants[cfg.Abuser].Throttled
+	if res.Solo.P99Ms > 0 {
+		res.P99Ratio = res.Contended.P99Ms / res.Solo.P99Ms
+	}
+
+	// The verdict: every clause is an isolation invariant, and every
+	// violation is listed so a CI failure reads as a diagnosis.
+	fail := func(format string, args ...any) {
+		res.Failures = append(res.Failures, fmt.Sprintf(format, args...))
+	}
+	if res.Solo.Requests == 0 || res.Contended.Requests == 0 {
+		fail("victim issued no requests (solo %d, contended %d)", res.Solo.Requests, res.Contended.Requests)
+	}
+	if limit := res.Solo.P99Ms*cfg.MaxP99Ratio + cfg.SlackMs; res.Contended.P99Ms > limit {
+		fail("victim contended p99 %.2fms exceeds %.2fms (solo %.2fms x %.1f + %.0fms slack)",
+			res.Contended.P99Ms, limit, res.Solo.P99Ms, cfg.MaxP99Ratio, cfg.SlackMs)
+	}
+	if res.Contended.Errors > 0 {
+		fail("victim saw %d errors while contended", res.Contended.Errors)
+	}
+	if res.Contended.Throttled > 0 {
+		fail("victim (unlimited tenant) was throttled %d times", res.Contended.Throttled)
+	}
+	if res.AbuserRun.Throttled == 0 {
+		fail("abuser was never throttled client-side; quota layer inert")
+	}
+	if res.ServerThrottled == 0 {
+		fail("abuser's server-side throttled counter is zero")
+	}
+	res.Passed = len(res.Failures) == 0
+	return res, nil
+}
+
+// phaseOf extracts one tenant's aggregate from a run report.
+func phaseOf(rep *Report, tenant string) PhaseReport {
+	tr := rep.Tenants[tenant]
+	return PhaseReport{
+		Requests:  tr.Count,
+		Errors:    tr.Errors,
+		Throttled: tr.Throttled,
+		P50Ms:     tr.P50Ms,
+		P99Ms:     tr.P99Ms,
+	}
+}

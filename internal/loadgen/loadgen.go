@@ -26,10 +26,13 @@ import (
 	"math/rand"
 	"net/http"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"mapsynth/internal/latency"
+	"mapsynth/internal/qos"
 	"mapsynth/pkg/client"
 )
 
@@ -83,9 +86,53 @@ type Config struct {
 	BatchSize int
 	// Seed makes the generated request sequence reproducible.
 	Seed int64
+	// Tenants splits the generated traffic across named tenants: each
+	// request carries one tenant's X-Tenant header (via the SDK's
+	// WithTenant), picked in proportion to the shares. Empty sends no
+	// header, landing on the server's default tenant.
+	Tenants []TenantShare
 	// Client overrides the underlying HTTP client the SDK uses (tests
 	// inject the httptest client).
 	Client *http.Client
+}
+
+// TenantShare assigns a relative share of the generated traffic to one
+// tenant. Shares are traffic weights on the generator side — distinct from
+// the server's QoS weights, which arbitrate the contended slots.
+type TenantShare struct {
+	Name  string `json:"name"`
+	Share int    `json:"share"`
+}
+
+// ParseTenantShares parses "a:3,b:1" (share optional, default 1) into
+// tenant traffic shares — the -tenants flag grammar of cmd/loadgen.
+func ParseTenantShares(s string) ([]TenantShare, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var out []TenantShare
+	seen := make(map[string]bool)
+	for _, part := range strings.Split(s, ",") {
+		name, shareStr, hasShare := strings.Cut(strings.TrimSpace(part), ":")
+		share := 1
+		if hasShare {
+			n, err := strconv.Atoi(shareStr)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("loadgen: bad tenant share in %q (want name:positive-int)", part)
+			}
+			share = n
+		}
+		if !qos.ValidTenantName(name) {
+			return nil, fmt.Errorf("loadgen: invalid tenant name %q (want [A-Za-z0-9._-]{1,64})", name)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("loadgen: duplicate tenant %q", name)
+		}
+		seen[name] = true
+		out = append(out, TenantShare{Name: name, Share: share})
+	}
+	return out, nil
 }
 
 // OpReport is the per-op slice of a Report.
@@ -127,9 +174,24 @@ type Report struct {
 	Errors          int64               `json:"errors"`
 	Throttled       int64               `json:"throttled"`
 	Ops             map[string]OpReport `json:"ops"`
+	// Tenants is the per-tenant slice of the run, present only when
+	// Config.Tenants split the traffic.
+	Tenants map[string]TenantReport `json:"tenants,omitempty"`
 	// ErrorSamples holds the first few failures (at most maxErrorSamples),
 	// each with the request ID to grep for in the server's access log.
 	ErrorSamples []ErrorSample `json:"error_samples,omitempty"`
+}
+
+// TenantReport aggregates one tenant's requests across all ops.
+type TenantReport struct {
+	Share     int     `json:"share"`
+	Count     int64   `json:"count"`
+	Errors    int64   `json:"errors"`
+	Throttled int64   `json:"throttled"`
+	MeanMs    float64 `json:"mean_ms"`
+	P50Ms     float64 `json:"p50_ms"`
+	P95Ms     float64 `json:"p95_ms"`
+	P99Ms     float64 `json:"p99_ms"`
 }
 
 // maxErrorSamples bounds Report.ErrorSamples: enough to characterize a
@@ -222,17 +284,35 @@ func Run(ctx context.Context, cfg Config, wl *Workload) (*Report, error) {
 	}
 	// Zero retries: the generator must see every 429 to report throttling
 	// truthfully; the SDK's retry loop would hide them inside latencies.
-	c := client.New(cfg.BaseURL,
-		client.WithHTTPClient(hc),
-		client.WithRetries(0))
+	// One SDK client per tenant (WithTenant is a client-level option); no
+	// configured tenants means one anonymous lane with no X-Tenant header.
 	// The corpus mix: each request targets one handle, picked uniformly.
-	// With no corpora configured, the single target is the unscoped client.
-	targets := []target{c}
-	if len(cfg.Corpora) > 0 {
-		targets = targets[:0]
-		for _, name := range cfg.Corpora {
-			targets = append(targets, c.Corpus(name))
+	// With no corpora configured, a lane's single target is its unscoped
+	// client.
+	shares := cfg.Tenants
+	if len(shares) == 0 {
+		shares = []TenantShare{{Name: "", Share: 1}}
+	}
+	lanes := make([]*tenantLane, len(shares))
+	shareSum := 0
+	for i, ts := range shares {
+		if ts.Share < 1 {
+			return nil, fmt.Errorf("loadgen: tenant %q has non-positive share %d", ts.Name, ts.Share)
 		}
+		opts := []client.Option{client.WithHTTPClient(hc), client.WithRetries(0)}
+		if ts.Name != "" {
+			opts = append(opts, client.WithTenant(ts.Name))
+		}
+		c := client.New(cfg.BaseURL, opts...)
+		targets := []target{c}
+		if len(cfg.Corpora) > 0 {
+			targets = targets[:0]
+			for _, name := range cfg.Corpora {
+				targets = append(targets, c.Corpus(name))
+			}
+		}
+		shareSum += ts.Share
+		lanes[i] = &tenantLane{share: ts, targets: targets, cumShare: shareSum}
 	}
 	picker, err := newOpPicker(cfg.Mix)
 	if err != nil {
@@ -293,9 +373,19 @@ func Run(ctx context.Context, cfg Config, wl *Workload) (*Report, error) {
 					return
 				}
 				op := picker.pick(rng)
-				tgt := targets[0]
-				if len(targets) > 1 {
-					tgt = targets[rng.Intn(len(targets))]
+				lane := lanes[0]
+				if len(lanes) > 1 {
+					r := rng.Intn(shareSum)
+					for _, l := range lanes {
+						if r < l.cumShare {
+							lane = l
+							break
+						}
+					}
+				}
+				tgt := lane.targets[0]
+				if len(lane.targets) > 1 {
+					tgt = lane.targets[rng.Intn(len(lane.targets))]
 				}
 				t0 := time.Now()
 				rows, throttled, sample := issue(ctx, tgt, cfg, wl, rng, op)
@@ -308,7 +398,9 @@ func Run(ctx context.Context, cfg Config, wl *Workload) (*Report, error) {
 				if failed {
 					sampler.add(sample)
 				}
-				metrics[op].observe(time.Since(t0), rows, throttled, failed)
+				d := time.Since(t0)
+				metrics[op].observe(d, rows, throttled, failed)
+				lane.metrics.observe(d, rows, throttled, failed)
 			}
 		}(w)
 	}
@@ -342,8 +434,39 @@ func Run(ctx context.Context, cfg Config, wl *Workload) (*Report, error) {
 	if elapsed > 0 {
 		rep.AchievedQPS = float64(rep.Requests) / elapsed.Seconds()
 	}
+	if len(cfg.Tenants) > 0 {
+		rep.Tenants = make(map[string]TenantReport, len(lanes))
+		for _, l := range lanes {
+			rep.Tenants[l.share.Name] = l.report()
+		}
+	}
 	rep.ErrorSamples = sampler.samples
 	return rep, nil
+}
+
+// tenantLane is one tenant's slice of the generator: its SDK client(s),
+// its cumulative traffic share, and its aggregate counters.
+type tenantLane struct {
+	share    TenantShare
+	cumShare int // cumulative share bound for the weighted pick
+	targets  []target
+	metrics  opMetrics
+}
+
+func (l *tenantLane) report() TenantReport {
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	l.metrics.mu.Lock()
+	defer l.metrics.mu.Unlock()
+	return TenantReport{
+		Share:     l.share.Share,
+		Count:     l.metrics.count,
+		Errors:    l.metrics.errors,
+		Throttled: l.metrics.throttled,
+		MeanMs:    ms(l.metrics.lat.Mean()),
+		P50Ms:     ms(l.metrics.lat.Percentile(0.50)),
+		P95Ms:     ms(l.metrics.lat.Percentile(0.95)),
+		P99Ms:     ms(l.metrics.lat.Percentile(0.99)),
+	}
 }
 
 // issue sends one request of the given op through the SDK target (the

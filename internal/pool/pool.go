@@ -43,6 +43,10 @@ func (p *Pool) ResetPeak() { p.peak.Store(0) }
 // since the last ResetPeak.
 func (p *Pool) Peak() int { return int(p.peak.Load()) }
 
+// Active returns the number of tasks running right now — the live
+// counterpart of Peak, exported as a utilization gauge.
+func (p *Pool) Active() int { return int(p.active.Load()) }
+
 // ForEach runs fn(i) for every i in [0, n) using up to Workers goroutines.
 // Items are claimed dynamically, so uneven item costs balance themselves.
 // When ctx is cancelled, no new items are started, in-flight items are

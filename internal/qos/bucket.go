@@ -1,0 +1,71 @@
+// Package qos holds the admission-control primitives behind the serving
+// layer's multi-tenant quality of service: a token-bucket rate limiter
+// (per-tenant request quotas), a weighted-fair queue with two priority
+// bands (interactive traffic preempts batch rows on the shared slot
+// budget), and the parser for the operator-facing tenant spec grammar
+// (`-tenants name:weight[:rate[:burst]],...`). Everything is standard
+// library only, mirroring the rest of the repo.
+package qos
+
+import (
+	"sync"
+	"time"
+)
+
+// Bucket is a token-bucket rate limiter: capacity burst tokens, refilled
+// continuously at rate tokens per second. Take is the only operation —
+// admission control wants "may this request proceed, and if not, when
+// should the client retry", nothing more.
+type Bucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second; <= 0 means unlimited
+	burst  float64
+	tokens float64
+	last   time.Time
+	// now is swappable for tests; time.Now otherwise.
+	now func() time.Time
+}
+
+// NewBucket returns a bucket refilling at rate tokens/second with capacity
+// burst. rate <= 0 builds an unlimited bucket (Take always succeeds);
+// burst < 1 is raised to 1 so a limited bucket can admit at least one
+// request. The bucket starts full.
+func NewBucket(rate float64, burst int) *Bucket {
+	b := &Bucket{rate: rate, burst: float64(burst), now: time.Now}
+	if b.burst < 1 {
+		b.burst = 1
+	}
+	b.tokens = b.burst
+	return b
+}
+
+// Unlimited reports whether this bucket never throttles.
+func (b *Bucket) Unlimited() bool { return b.rate <= 0 }
+
+// Take consumes one token if available. When the bucket is empty it
+// returns ok=false and the delay after which one token will have
+// accumulated — an honest Retry-After, derived from the same refill math
+// that will admit the retry.
+func (b *Bucket) Take() (ok bool, retryAfter time.Duration) {
+	if b.rate <= 0 {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	if !b.last.IsZero() {
+		if elapsed := now.Sub(b.last).Seconds(); elapsed > 0 {
+			b.tokens += elapsed * b.rate
+			if b.tokens > b.burst {
+				b.tokens = b.burst
+			}
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := (1 - b.tokens) / b.rate // seconds until one whole token exists
+	return false, time.Duration(wait * float64(time.Second))
+}

@@ -1,0 +1,75 @@
+package qos
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives a Bucket deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newTestBucket(rate float64, burst int) (*Bucket, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := NewBucket(rate, burst)
+	b.now = clk.now
+	return b, clk
+}
+
+func TestBucketBurstThenRefill(t *testing.T) {
+	b, clk := newTestBucket(2, 3) // 2 tokens/s, burst 3
+	for i := 0; i < 3; i++ {
+		if ok, _ := b.Take(); !ok {
+			t.Fatalf("take %d within burst must succeed", i)
+		}
+	}
+	ok, retry := b.Take()
+	if ok {
+		t.Fatal("take past burst must fail")
+	}
+	// Empty bucket at 2 tokens/s: one token in 500ms.
+	if retry != 500*time.Millisecond {
+		t.Fatalf("retry after empty bucket: want 500ms, got %v", retry)
+	}
+	clk.advance(retry)
+	if ok, _ := b.Take(); !ok {
+		t.Fatal("take after advertised retry delay must succeed")
+	}
+	// Refill is capped at burst: a long idle period buys burst, not more.
+	clk.advance(time.Hour)
+	for i := 0; i < 3; i++ {
+		if ok, _ := b.Take(); !ok {
+			t.Fatalf("take %d after long idle must succeed (burst refilled)", i)
+		}
+	}
+	if ok, _ := b.Take(); ok {
+		t.Fatal("4th take after idle must fail: refill is capped at burst")
+	}
+}
+
+func TestBucketUnlimited(t *testing.T) {
+	b, _ := newTestBucket(0, 1)
+	if !b.Unlimited() {
+		t.Fatal("rate 0 must be unlimited")
+	}
+	for i := 0; i < 10_000; i++ {
+		if ok, retry := b.Take(); !ok || retry != 0 {
+			t.Fatalf("unlimited take %d: want (true, 0), got (%v, %v)", i, ok, retry)
+		}
+	}
+}
+
+func TestBucketMinimumBurst(t *testing.T) {
+	b, clk := newTestBucket(1, 0) // burst < 1 is raised to 1
+	if ok, _ := b.Take(); !ok {
+		t.Fatal("a limited bucket must admit at least one request")
+	}
+	if ok, _ := b.Take(); ok {
+		t.Fatal("second immediate take must fail at burst 1")
+	}
+	clk.advance(time.Second)
+	if ok, _ := b.Take(); !ok {
+		t.Fatal("take after a full refill interval must succeed")
+	}
+}

@@ -1,0 +1,238 @@
+package qos
+
+import (
+	"context"
+	"sync"
+)
+
+// Class is a waiter's priority band. Interactive strictly preempts Batch:
+// whenever a slot frees, every queued interactive waiter is granted before
+// any batch waiter, regardless of weights — weights arbitrate only among
+// tenants within one band.
+type Class int
+
+const (
+	Interactive Class = iota
+	Batch
+	numClasses
+)
+
+// String renders the class as a stable label value.
+func (c Class) String() string {
+	if c == Interactive {
+		return "interactive"
+	}
+	return "batch"
+}
+
+// FairQueue arbitrates a fixed budget of compute slots across tenants with
+// weighted-fair queuing. Each waiter is stamped with a virtual finish time
+// finish = max(band.vtime, tenantTail) + 1/weight; when a slot frees, the
+// eligible waiter with the smallest finish time is granted, so over any
+// contended interval a tenant with weight w receives slots in proportion
+// to w while an idle tenant's unused share redistributes — and no tenant
+// starves, because every enqueued waiter's finish time is finite and the
+// band's virtual clock only moves forward through grants.
+//
+// Slots transfer on release: Release hands the slot to the chosen waiter
+// under the lock, so the invariant "waiters exist only while all slots are
+// in use" holds and a fresh arrival can never barge past the queue.
+type FairQueue struct {
+	mu       sync.Mutex
+	capacity int
+	inUse    int
+	bands    [numClasses]band
+}
+
+type waiter struct {
+	tenant string
+	finish float64
+	ready  chan struct{}
+	// granted flips under the queue mutex when Release transfers a slot to
+	// this waiter; Acquire checks it to resolve the grant/cancel race.
+	granted bool
+}
+
+type tenantQueue struct {
+	waiters []*waiter
+	// tail is the virtual finish time of this tenant's most recently
+	// enqueued waiter; stamping successors past it is what makes a
+	// back-to-back burst from one tenant interleave with other tenants
+	// instead of draining first-come-first-served.
+	tail float64
+}
+
+type band struct {
+	vtime  float64
+	queues map[string]*tenantQueue
+	count  int
+}
+
+// NewFairQueue returns a queue arbitrating capacity concurrent slots;
+// capacity < 1 selects 1.
+func NewFairQueue(capacity int) *FairQueue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &FairQueue{capacity: capacity}
+}
+
+// Acquire claims one slot for tenant, blocking in weighted-fair order when
+// all slots are busy. weight <= 0 is treated as 1. It returns ctx.Err()
+// when the context ends first; a slot granted in the same instant is
+// passed on, never leaked.
+func (fq *FairQueue) Acquire(ctx context.Context, tenant string, weight float64, class Class) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if fq.TryAcquire() {
+		return nil
+	}
+	fq.mu.Lock()
+	if fq.inUse < fq.capacity {
+		fq.inUse++
+		fq.mu.Unlock()
+		return nil
+	}
+	if weight <= 0 {
+		weight = 1
+	}
+	w := fq.bands[class].enqueue(tenant, weight)
+	fq.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+	}
+	fq.mu.Lock()
+	if w.granted {
+		// Release transferred us a slot in the same instant the context
+		// died; the caller won't use it, so pass it to the next waiter.
+		fq.releaseLocked()
+		fq.mu.Unlock()
+		return ctx.Err()
+	}
+	fq.bands[class].remove(w)
+	fq.mu.Unlock()
+	return ctx.Err()
+}
+
+// TryAcquire claims a slot only if one is immediately free; it never
+// barges past queued waiters (waiters exist only while all slots are
+// busy).
+func (fq *FairQueue) TryAcquire() bool {
+	fq.mu.Lock()
+	defer fq.mu.Unlock()
+	if fq.inUse < fq.capacity {
+		fq.inUse++
+		return true
+	}
+	return false
+}
+
+// Release frees the caller's slot: the highest-priority, smallest-finish
+// waiter (interactive band first) inherits it, or the slot returns to the
+// free pool.
+func (fq *FairQueue) Release() {
+	fq.mu.Lock()
+	fq.releaseLocked()
+	fq.mu.Unlock()
+}
+
+func (fq *FairQueue) releaseLocked() {
+	if w := fq.pickNext(); w != nil {
+		w.granted = true
+		close(w.ready)
+		return // the slot transfers; inUse is unchanged
+	}
+	fq.inUse--
+}
+
+// pickNext pops the next waiter to grant: bands in priority order, and
+// within a band the tenant queue whose head has the smallest virtual
+// finish time (ties broken by tenant name for determinism).
+func (fq *FairQueue) pickNext() *waiter {
+	for ci := range fq.bands {
+		b := &fq.bands[ci]
+		if b.count == 0 {
+			continue
+		}
+		var bestName string
+		var best *tenantQueue
+		for name, tq := range b.queues {
+			head := tq.waiters[0]
+			if best == nil || head.finish < best.waiters[0].finish ||
+				(head.finish == best.waiters[0].finish && name < bestName) {
+				best, bestName = tq, name
+			}
+		}
+		w := best.waiters[0]
+		best.waiters = best.waiters[1:]
+		b.count--
+		if len(best.waiters) == 0 {
+			delete(b.queues, bestName)
+		}
+		if w.finish > b.vtime {
+			b.vtime = w.finish
+		}
+		return w
+	}
+	return nil
+}
+
+func (b *band) enqueue(tenant string, weight float64) *waiter {
+	if b.queues == nil {
+		b.queues = make(map[string]*tenantQueue)
+	}
+	tq := b.queues[tenant]
+	if tq == nil {
+		tq = &tenantQueue{}
+		b.queues[tenant] = tq
+	}
+	start := b.vtime
+	if tq.tail > start {
+		start = tq.tail
+	}
+	w := &waiter{tenant: tenant, finish: start + 1/weight, ready: make(chan struct{})}
+	tq.tail = w.finish
+	tq.waiters = append(tq.waiters, w)
+	b.count++
+	return w
+}
+
+// remove drops a cancelled waiter; emptied tenant queues are deleted so
+// tenant churn cannot grow the map without bound.
+func (b *band) remove(w *waiter) {
+	tq := b.queues[w.tenant]
+	if tq == nil {
+		return
+	}
+	for i, x := range tq.waiters {
+		if x == w {
+			tq.waiters = append(tq.waiters[:i], tq.waiters[i+1:]...)
+			b.count--
+			break
+		}
+	}
+	if len(tq.waiters) == 0 {
+		delete(b.queues, w.tenant)
+	}
+}
+
+// Capacity returns the slot budget.
+func (fq *FairQueue) Capacity() int { return fq.capacity }
+
+// InUse returns the slots currently held.
+func (fq *FairQueue) InUse() int {
+	fq.mu.Lock()
+	defer fq.mu.Unlock()
+	return fq.inUse
+}
+
+// Waiting returns the number of waiters queued in class.
+func (fq *FairQueue) Waiting(class Class) int {
+	fq.mu.Lock()
+	defer fq.mu.Unlock()
+	return fq.bands[class].count
+}

@@ -1,0 +1,274 @@
+package qos
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// enqueueAll loads a saturated queue with waiters described as
+// (tenant, weight, class) triples, in order, without goroutines — the
+// deterministic harness the table tests drive pickNext through.
+type arrival struct {
+	tenant string
+	weight float64
+	class  Class
+}
+
+func drainOrder(t *testing.T, arrivals []arrival, grants int) []string {
+	t.Helper()
+	fq := NewFairQueue(1)
+	if !fq.TryAcquire() {
+		t.Fatal("fresh queue must grant its slot")
+	}
+	fq.mu.Lock()
+	for _, a := range arrivals {
+		fq.bands[a.class].enqueue(a.tenant, a.weight)
+	}
+	fq.mu.Unlock()
+	var order []string
+	for i := 0; i < grants; i++ {
+		fq.mu.Lock()
+		w := fq.pickNext()
+		fq.mu.Unlock()
+		if w == nil {
+			t.Fatalf("grant %d: queue drained early (got %v)", i, order)
+		}
+		order = append(order, w.tenant)
+	}
+	return order
+}
+
+// burst returns n identical arrivals.
+func burst(tenant string, weight float64, class Class, n int) []arrival {
+	out := make([]arrival, n)
+	for i := range out {
+		out[i] = arrival{tenant, weight, class}
+	}
+	return out
+}
+
+func counts(order []string) map[string]int {
+	m := make(map[string]int)
+	for _, t := range order {
+		m[t]++
+	}
+	return m
+}
+
+// TestFairQueueOrdering pins the weighted-fair grant order for the shapes
+// that matter: unequal weights share proportionally, equal weights
+// interleave, interactive preempts batch regardless of arrival order, and
+// a heavyweight cannot starve a lightweight.
+func TestFairQueueOrdering(t *testing.T) {
+	tests := []struct {
+		name     string
+		arrivals []arrival
+		grants   int
+		check    func(t *testing.T, order []string)
+	}{
+		{
+			name:     "unequal weights split 3:1",
+			arrivals: append(burst("a", 3, Batch, 12), burst("b", 1, Batch, 12)...),
+			grants:   8,
+			check: func(t *testing.T, order []string) {
+				c := counts(order)
+				if c["a"] != 6 || c["b"] != 2 {
+					t.Fatalf("want 6 a / 2 b in first 8 grants, got %v (%v)", c, order)
+				}
+			},
+		},
+		{
+			name:     "equal weights interleave despite burst arrival",
+			arrivals: append(burst("a", 1, Batch, 6), burst("b", 1, Batch, 6)...),
+			grants:   6,
+			check: func(t *testing.T, order []string) {
+				c := counts(order)
+				if c["a"] != 3 || c["b"] != 3 {
+					t.Fatalf("want strict 3/3 alternation window, got %v (%v)", c, order)
+				}
+			},
+		},
+		{
+			name: "interactive preempts batch even arriving last",
+			arrivals: append(burst("bulk", 10, Batch, 4),
+				arrival{"ui", 1, Interactive}, arrival{"ui", 1, Interactive}),
+			grants: 3,
+			check: func(t *testing.T, order []string) {
+				if order[0] != "ui" || order[1] != "ui" || order[2] != "bulk" {
+					t.Fatalf("want [ui ui bulk...], got %v", order)
+				}
+			},
+		},
+		{
+			name:     "heavyweight cannot starve a lightweight",
+			arrivals: append(burst("whale", 100, Batch, 300), burst("minnow", 1, Batch, 3)...),
+			grants:   202,
+			check: func(t *testing.T, order []string) {
+				// With weights 100:1 the minnow's first waiter finishes at
+				// vtime 1, i.e. within the whale's first 100 grants — it must
+				// appear in any 101-grant window, twice within 202.
+				if c := counts(order); c["minnow"] < 2 {
+					t.Fatalf("minnow starved: only %d grants in %d (want >= 2)", c["minnow"], len(order))
+				}
+			},
+		},
+		{
+			name: "tenant churn: departed tenant frees its queue, newcomer is stamped fairly",
+			arrivals: append(append(burst("old", 1, Batch, 2), burst("stay", 1, Batch, 4)...),
+				burst("new", 1, Batch, 2)...),
+			grants: 8,
+			check: func(t *testing.T, order []string) {
+				c := counts(order)
+				if c["old"] != 2 || c["stay"] != 4 || c["new"] != 2 {
+					t.Fatalf("want all waiters served, got %v (%v)", c, order)
+				}
+			},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			tt.check(t, drainOrder(t, tt.arrivals, tt.grants))
+		})
+	}
+}
+
+// TestFairQueueChurnCleanup proves drained and cancelled tenants leave no
+// map residue behind — tenant churn must not grow the queue without bound.
+func TestFairQueueChurnCleanup(t *testing.T) {
+	fq := NewFairQueue(1)
+	fq.TryAcquire()
+	fq.mu.Lock()
+	for i := 0; i < 50; i++ {
+		fq.bands[Batch].enqueue(fmt.Sprintf("tenant-%d", i), 1)
+	}
+	fq.mu.Unlock()
+	for i := 0; i < 50; i++ {
+		fq.mu.Lock()
+		fq.pickNext()
+		fq.mu.Unlock()
+	}
+	fq.mu.Lock()
+	defer fq.mu.Unlock()
+	if n := len(fq.bands[Batch].queues); n != 0 {
+		t.Fatalf("want 0 tenant queues after drain, got %d", n)
+	}
+	if fq.bands[Batch].count != 0 {
+		t.Fatalf("want 0 waiters after drain, got %d", fq.bands[Batch].count)
+	}
+}
+
+// TestFairQueueCancelMidQueue cancels a waiter stuck behind others and
+// checks the queue skips it cleanly: remaining waiters still drain, and
+// the cancelled tenant's bookkeeping disappears.
+func TestFairQueueCancelMidQueue(t *testing.T) {
+	fq := NewFairQueue(1)
+	if !fq.TryAcquire() {
+		t.Fatal("fresh queue must grant its slot")
+	}
+
+	results := make(chan string, 3)
+	start := func(name string, ctx context.Context) chan error {
+		done := make(chan error, 1)
+		go func() {
+			err := fq.Acquire(ctx, name, 1, Batch)
+			if err == nil {
+				results <- name
+				fq.Release()
+			}
+			done <- err
+		}()
+		return done
+	}
+	waitFor := func(n int) {
+		deadline := time.Now().Add(5 * time.Second)
+		for fq.Waiting(Batch) < n {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %d queued waiters", n)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	firstDone := start("first", context.Background())
+	waitFor(1)
+	midCtx, cancelMid := context.WithCancel(context.Background())
+	midDone := start("middle", midCtx)
+	waitFor(2)
+	lastDone := start("last", context.Background())
+	waitFor(3)
+
+	cancelMid()
+	if err := <-midDone; err != context.Canceled {
+		t.Fatalf("cancelled waiter: want context.Canceled, got %v", err)
+	}
+	fq.Release() // grants first, whose Release grants last
+	for _, want := range []string{"first", "last"} {
+		select {
+		case got := <-results:
+			if got != want {
+				t.Fatalf("grant order: want %s, got %s", want, got)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out waiting for %s to be granted", want)
+		}
+	}
+	<-firstDone
+	<-lastDone
+	if got := fq.InUse(); got != 0 {
+		t.Fatalf("want 0 slots in use after drain, got %d", got)
+	}
+	if got := fq.Waiting(Batch); got != 0 {
+		t.Fatalf("want 0 waiters after drain, got %d", got)
+	}
+}
+
+// TestFairQueueConcurrentStress hammers the queue from many tenants with
+// random cancellations — under -race this is the memory-safety proof, and
+// the final accounting proves no slot or waiter leaks through the
+// grant/cancel race.
+func TestFairQueueConcurrentStress(t *testing.T) {
+	fq := NewFairQueue(4)
+	var wg sync.WaitGroup
+	var held atomic.Int64
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			tenant := fmt.Sprintf("t%d", g%5)
+			class := Class(g % int(numClasses))
+			for i := 0; i < 200; i++ {
+				ctx := context.Background()
+				cancel := context.CancelFunc(func() {})
+				if rng.Intn(4) == 0 {
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(rng.Intn(50))*time.Microsecond)
+				}
+				err := fq.Acquire(ctx, tenant, float64(1+g%3), class)
+				cancel()
+				if err != nil {
+					continue
+				}
+				if h := held.Add(1); h > 4 {
+					t.Errorf("slot budget exceeded: %d held", h)
+				}
+				time.Sleep(time.Duration(rng.Intn(20)) * time.Microsecond)
+				held.Add(-1)
+				fq.Release()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := fq.InUse(); got != 0 {
+		t.Fatalf("leaked slots: InUse = %d after all goroutines exited", got)
+	}
+	for _, c := range []Class{Interactive, Batch} {
+		if got := fq.Waiting(c); got != 0 {
+			t.Fatalf("leaked waiters: Waiting(%v) = %d", c, got)
+		}
+	}
+}

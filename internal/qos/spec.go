@@ -1,0 +1,159 @@
+package qos
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Spec is one tenant's QoS configuration, parsed from the operator-facing
+// `-tenants` flag.
+type Spec struct {
+	// Name identifies the tenant (the X-Tenant header value). The special
+	// name "*" is the template applied to tenants with no explicit spec.
+	Name string `json:"name"`
+	// Weight is the tenant's weighted-fair share; >= 1.
+	Weight int `json:"weight"`
+	// Rate is the token-bucket refill in requests/second; 0 means
+	// unlimited.
+	Rate float64 `json:"rate,omitempty"`
+	// Burst is the bucket capacity; 0 selects max(1, ceil(Rate)).
+	Burst int `json:"burst,omitempty"`
+}
+
+// Hard bounds on hostile input: the parser must neither panic nor
+// allocate proportionally to attacker-chosen numbers, so every field is
+// range-checked and the spec count is capped before any splitting.
+const (
+	maxSpecs    = 64
+	maxSpecLen  = 256
+	maxNameLen  = 64
+	maxWeight   = 1_000_000
+	maxRate     = 1e9
+	maxBurst    = 1_000_000_000
+	wildcard    = "*"
+	specGrammar = "name:weight[:rate[:burst]]"
+)
+
+// ParseSpecs parses the `-tenants` grammar: comma-separated entries of the
+// form name[:weight[:rate[:burst]]]. weight defaults to 1, rate to
+// unlimited, burst to max(1, ceil(rate)). Names match the corpus-name
+// charset [A-Za-z0-9._-]{1,64}, plus the wildcard "*" naming the default
+// template. An empty input returns (nil, nil).
+func ParseSpecs(s string) ([]Spec, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	if n := strings.Count(s, ",") + 1; n > maxSpecs {
+		return nil, fmt.Errorf("qos: too many tenant specs (%d, max %d)", n, maxSpecs)
+	}
+	var specs []Spec
+	seen := make(map[string]bool)
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			return nil, fmt.Errorf("qos: empty tenant spec (want %s)", specGrammar)
+		}
+		if len(entry) > maxSpecLen {
+			return nil, fmt.Errorf("qos: tenant spec too long (%d bytes, max %d)", len(entry), maxSpecLen)
+		}
+		spec, err := parseSpec(entry)
+		if err != nil {
+			return nil, err
+		}
+		if seen[spec.Name] {
+			return nil, fmt.Errorf("qos: duplicate tenant spec %q", spec.Name)
+		}
+		seen[spec.Name] = true
+		specs = append(specs, spec)
+	}
+	return specs, nil
+}
+
+func parseSpec(entry string) (Spec, error) {
+	parts := strings.Split(entry, ":")
+	if len(parts) > 4 {
+		return Spec{}, fmt.Errorf("qos: tenant spec %q has too many fields (want %s)", entry, specGrammar)
+	}
+	spec := Spec{Name: parts[0], Weight: 1}
+	if !ValidTenantName(spec.Name) && spec.Name != wildcard {
+		return Spec{}, fmt.Errorf("qos: invalid tenant name %q (want [A-Za-z0-9._-]{1,%d} or %q)", spec.Name, maxNameLen, wildcard)
+	}
+	if len(parts) >= 2 {
+		w, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err != nil || w < 1 || w > maxWeight {
+			return Spec{}, fmt.Errorf("qos: tenant %q: weight %q must be an integer in [1, %d]", spec.Name, parts[1], maxWeight)
+		}
+		spec.Weight = w
+	}
+	if len(parts) >= 3 {
+		r, err := strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
+		if err != nil || math.IsNaN(r) || math.IsInf(r, 0) || r < 0 || r > maxRate {
+			return Spec{}, fmt.Errorf("qos: tenant %q: rate %q must be a number in [0, %g]", spec.Name, parts[2], maxRate)
+		}
+		spec.Rate = r
+	}
+	if len(parts) == 4 {
+		b, err := strconv.Atoi(strings.TrimSpace(parts[3]))
+		if err != nil || b < 0 || b > maxBurst {
+			return Spec{}, fmt.Errorf("qos: tenant %q: burst %q must be an integer in [0, %d]", spec.Name, parts[3], maxBurst)
+		}
+		spec.Burst = b
+	}
+	return spec, nil
+}
+
+// EffectiveBurst resolves the bucket capacity: an explicit Burst wins,
+// otherwise max(1, ceil(Rate)) so a limited tenant can always send at
+// least one request.
+func (sp Spec) EffectiveBurst() int {
+	if sp.Burst > 0 {
+		return sp.Burst
+	}
+	if b := int(math.Ceil(sp.Rate)); b > 1 {
+		return b
+	}
+	return 1
+}
+
+// NewBucketFor builds the tenant's token bucket from its spec.
+func (sp Spec) NewBucketFor() *Bucket {
+	return NewBucket(sp.Rate, sp.EffectiveBurst())
+}
+
+// ValidTenantName reports whether s is a legal tenant identifier:
+// [A-Za-z0-9._-]{1,64}, the same charset corpus names use.
+func ValidTenantName(s string) bool {
+	if len(s) == 0 || len(s) > maxNameLen {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// FormatSpecs renders specs back into the flag grammar (round-trips
+// through ParseSpecs); handy for logs and reports.
+func FormatSpecs(specs []Spec) string {
+	parts := make([]string, len(specs))
+	for i, sp := range specs {
+		s := fmt.Sprintf("%s:%d", sp.Name, sp.Weight)
+		if sp.Rate > 0 || sp.Burst > 0 {
+			s += ":" + strconv.FormatFloat(sp.Rate, 'g', -1, 64)
+		}
+		if sp.Burst > 0 {
+			s += ":" + strconv.Itoa(sp.Burst)
+		}
+		parts[i] = s
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,62 @@
+package qos
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseSpecs is the hostile-input contract for the tenant-config
+// parser: it must never panic, and must never allocate proportionally to
+// attacker-chosen numbers — accepted output is bounded by the input's
+// comma count (itself capped at maxSpecs), never by numeric field values.
+func FuzzParseSpecs(f *testing.F) {
+	for _, seed := range []string{
+		"", "a", "a:3,b:1", "a:3:10:20", "*:1:100",
+		"a:1000000:1e9:1000000000",
+		"a,,b", "a:0", "a:1:NaN", "a:1:Inf", "a:1:-5", "a:1:10:20:30",
+		strings.Repeat("a:1,", 100),
+		strings.Repeat(":", 300),
+		strings.Repeat(",", 10000),
+		"a:99999999999999999999", "a:1:1e310", "Ä:1", "a\x00b:1",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		specs, err := ParseSpecs(in)
+		if err != nil {
+			if specs != nil {
+				t.Fatalf("error with non-nil specs: %v", err)
+			}
+			return
+		}
+		if len(specs) > maxSpecs {
+			t.Fatalf("parser accepted %d specs, cap is %d", len(specs), maxSpecs)
+		}
+		seen := make(map[string]bool, len(specs))
+		for _, sp := range specs {
+			if sp.Name != wildcard && !ValidTenantName(sp.Name) {
+				t.Fatalf("accepted invalid tenant name %q", sp.Name)
+			}
+			if seen[sp.Name] {
+				t.Fatalf("accepted duplicate tenant %q", sp.Name)
+			}
+			seen[sp.Name] = true
+			if sp.Weight < 1 || sp.Weight > maxWeight {
+				t.Fatalf("accepted out-of-range weight %d", sp.Weight)
+			}
+			if sp.Rate < 0 || sp.Rate > maxRate {
+				t.Fatalf("accepted out-of-range rate %g", sp.Rate)
+			}
+			if sp.Burst < 0 || sp.Burst > maxBurst {
+				t.Fatalf("accepted out-of-range burst %d", sp.Burst)
+			}
+			// Constructing the bucket must also be safe: EffectiveBurst is
+			// a number, not an allocation size.
+			sp.NewBucketFor()
+		}
+		// Accepted input must round-trip through the formatter.
+		if _, err := ParseSpecs(FormatSpecs(specs)); err != nil {
+			t.Fatalf("accepted specs failed to re-parse: %v", err)
+		}
+	})
+}

@@ -1,0 +1,92 @@
+package qos
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseSpecs(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    []Spec
+		wantErr string
+	}{
+		{in: "", want: nil},
+		{in: "   ", want: nil},
+		{in: "a", want: []Spec{{Name: "a", Weight: 1}}},
+		{in: "a:3,b:1", want: []Spec{{Name: "a", Weight: 3}, {Name: "b", Weight: 1}}},
+		{in: "a:3:10", want: []Spec{{Name: "a", Weight: 3, Rate: 10}}},
+		{in: "a:3:10.5:20", want: []Spec{{Name: "a", Weight: 3, Rate: 10.5, Burst: 20}}},
+		{in: "*:1:100", want: []Spec{{Name: "*", Weight: 1, Rate: 100}}},
+		{in: " a:2 , b:1 ", want: []Spec{{Name: "a", Weight: 2}, {Name: "b", Weight: 1}}},
+		{in: "tenant.v2_x-1:5", want: []Spec{{Name: "tenant.v2_x-1", Weight: 5}}},
+
+		{in: "a,,b", wantErr: "empty tenant spec"},
+		{in: "a:3,a:1", wantErr: "duplicate"},
+		{in: "bad name:1", wantErr: "invalid tenant name"},
+		{in: "Ä:1", wantErr: "invalid tenant name"},
+		{in: strings.Repeat("x", 65) + ":1", wantErr: "invalid tenant name"},
+		{in: "a:0", wantErr: "weight"},
+		{in: "a:-1", wantErr: "weight"},
+		{in: "a:1000001", wantErr: "weight"},
+		{in: "a:x", wantErr: "weight"},
+		{in: "a:1:NaN", wantErr: "rate"},
+		{in: "a:1:Inf", wantErr: "rate"},
+		{in: "a:1:-5", wantErr: "rate"},
+		{in: "a:1:1e300", wantErr: "rate"},
+		{in: "a:1:10:-1", wantErr: "burst"},
+		{in: "a:1:10:9999999999", wantErr: "burst"},
+		{in: "a:1:10:20:30", wantErr: "too many fields"},
+		{in: strings.Repeat("a:1,", maxSpecs) + "z:1", wantErr: "too many tenant specs"},
+	}
+	for _, tt := range tests {
+		got, err := ParseSpecs(tt.in)
+		if tt.wantErr != "" {
+			if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+				t.Errorf("ParseSpecs(%q): want error containing %q, got %v", tt.in, tt.wantErr, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseSpecs(%q): unexpected error %v", tt.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, tt.want) {
+			t.Errorf("ParseSpecs(%q) = %+v, want %+v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestFormatSpecsRoundTrip(t *testing.T) {
+	in := "a:3:10:20,b:1,*:2:0.5"
+	specs, err := ParseSpecs(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSpecs(FormatSpecs(specs))
+	if err != nil {
+		t.Fatalf("formatted specs did not reparse: %v", err)
+	}
+	if !reflect.DeepEqual(specs, back) {
+		t.Fatalf("round trip changed specs: %+v -> %+v", specs, back)
+	}
+}
+
+func TestEffectiveBurst(t *testing.T) {
+	tests := []struct {
+		spec Spec
+		want int
+	}{
+		{Spec{Rate: 0}, 1},            // unlimited: bucket unused, floor 1
+		{Spec{Rate: 0.25}, 1},         // sub-1 rate still admits one
+		{Spec{Rate: 10}, 10},          // default burst tracks the rate
+		{Spec{Rate: 10.5}, 11},        // ceil
+		{Spec{Rate: 10, Burst: 3}, 3}, // explicit wins
+	}
+	for _, tt := range tests {
+		if got := tt.spec.EffectiveBurst(); got != tt.want {
+			t.Errorf("EffectiveBurst(%+v) = %d, want %d", tt.spec, got, tt.want)
+		}
+	}
+}

@@ -19,6 +19,10 @@ import (
 type reqMeta struct {
 	corpus  string
 	errCode ErrorCode
+	// tenant is the admitted tenant (admitTenant fills it in); the log
+	// line carries its name and streamBatch reads its weight for row
+	// admission.
+	tenant *tenant
 }
 
 const reqMetaKey ctxKey = iota + 1 // requestIDKey is 0
@@ -40,6 +44,13 @@ func noteErrCode(r *http.Request, code ErrorCode) {
 func noteCorpus(r *http.Request, name string) {
 	if m := metaFrom(r); m != nil {
 		m.corpus = name
+	}
+}
+
+// noteTenant records which tenant the request was admitted as.
+func noteTenant(r *http.Request, tn *tenant) {
+	if m := metaFrom(r); m != nil {
+		m.tenant = tn
 	}
 }
 
@@ -124,6 +135,9 @@ func (s *Server) instrument(mux *http.ServeMux, next http.Handler) http.Handler 
 		}
 		if meta.corpus != "" {
 			attrs = append(attrs, slog.String("corpus", meta.corpus))
+		}
+		if meta.tenant != nil {
+			attrs = append(attrs, slog.String("tenant", meta.tenant.name))
 		}
 		if meta.errCode != "" {
 			attrs = append(attrs, slog.String("code", string(meta.errCode)))

@@ -134,6 +134,9 @@ func streamBatch[Req any](s *Server, c *corpus, w http.ResponseWriter, r *http.R
 		return writeOverloaded(w, r, batchRetryAfter, "batch capacity saturated, retry later")
 	}
 	defer s.batch.releaseRequest()
+	// The tenant admitTenant resolved for this request: its weight places
+	// this stream's rows in the fair queue's Batch band.
+	tn := s.tenantFrom(r)
 
 	// Pin the corpus's state once: every line of one batch answers against
 	// the same snapshot even if a reload, activate or rollback lands
@@ -188,7 +191,7 @@ func streamBatch[Req any](s *Server, c *corpus, w http.ResponseWriter, r *http.R
 			}
 			// The row bound is enforced here, before the next line is even
 			// read: saturation stalls the decoder, not the answer stream.
-			if s.batch.acquireRow(ctx) != nil {
+			if s.acquireRow(ctx, tn) != nil {
 				decodeFail <- errorLine(i, "", &computeError{CodeInternal, "request cancelled"})
 				return
 			}
@@ -204,7 +207,7 @@ func streamBatch[Req any](s *Server, c *corpus, w http.ResponseWriter, r *http.R
 				case results <- line{v, !ok}:
 				case <-ctx.Done():
 				}
-				s.batch.releaseRow(!ok)
+				s.releaseRow(!ok)
 			}(i, req)
 		}
 	}()

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"mapsynth/internal/apps"
+	"mapsynth/internal/qos"
 )
 
 // postNDJSON sends body to url and parses the NDJSON response into one
@@ -264,7 +265,7 @@ func TestBatchMethodAndRouting(t *testing.T) {
 // work is fully answered — some requests throttled, none dropped silently.
 func TestBatchLimiterSaturation(t *testing.T) {
 	srv, _ := newTestServer(t, 1, 0)
-	srv.batch = newBatchLimiter(1, 4)
+	srv.batch = newBatchLimiter(1)
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -289,7 +290,7 @@ func TestBatchLimiterSaturation(t *testing.T) {
 	}
 
 	// Wait until the held request occupies the only slot.
-	waitFor(t, func() bool { return srv.batch.snapshot().InFlightRequests == 1 })
+	waitFor(t, func() bool { return srv.batchSnapshot().InFlightRequests == 1 })
 
 	// Concurrent batches must all be rejected with 429 + Retry-After.
 	var rejected int
@@ -352,7 +353,8 @@ func TestBatchLimiterSaturation(t *testing.T) {
 // rows plus a trailer, every rejection is an explicit 429.
 func TestBatchConcurrentNoneDropped(t *testing.T) {
 	srv, _ := newTestServer(t, 2, 0)
-	srv.batch = newBatchLimiter(2, 4)
+	srv.batch = newBatchLimiter(2)
+	srv.fair = qos.NewFairQueue(4)
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 

@@ -43,6 +43,11 @@ const (
 	// CodeOverloaded: admission control rejected the request; retry after
 	// the advertised delay.
 	CodeOverloaded ErrorCode = "overloaded"
+	// CodeQuotaExhausted: the requesting tenant's token-bucket rate limit
+	// is exhausted; retry after the advertised delay. Distinct from
+	// "overloaded" so clients can tell "the server is saturated" from
+	// "your quota is", which call for different remedies.
+	CodeQuotaExhausted ErrorCode = "quota_exhausted"
 	// CodeInternal: the server failed mid-request (panic in a batch row,
 	// cancelled work).
 	CodeInternal ErrorCode = "internal"
@@ -61,7 +66,7 @@ func statusForCode(code ErrorCode) int {
 		return http.StatusMethodNotAllowed
 	case CodeUnprocessable:
 		return http.StatusUnprocessableEntity
-	case CodeOverloaded:
+	case CodeOverloaded, CodeQuotaExhausted:
 		return http.StatusTooManyRequests
 	case CodeNotReady:
 		return http.StatusServiceUnavailable
@@ -112,11 +117,25 @@ func writeError(w http.ResponseWriter, r *http.Request, code ErrorCode, msg stri
 	}})
 }
 
-// writeOverloaded answers 429 with the Retry-After header and the
-// envelope's retry_after_ms derived from the same duration, so the two
-// advertisements cannot drift.
+// writeOverloaded answers 429 "overloaded" (server-wide admission control
+// rejected the request); see write429.
 func writeOverloaded(w http.ResponseWriter, r *http.Request, retryAfter time.Duration, msg string) bool {
-	noteErrCode(r, CodeOverloaded)
+	return write429(w, r, CodeOverloaded, retryAfter, msg)
+}
+
+// writeQuotaExhausted answers 429 "quota_exhausted" (the tenant's own rate
+// limit rejected the request); retryAfter is the token bucket's honest
+// refill estimate, so the advertised delay is when a retry can actually
+// succeed.
+func writeQuotaExhausted(w http.ResponseWriter, r *http.Request, retryAfter time.Duration, msg string) bool {
+	return write429(w, r, CodeQuotaExhausted, retryAfter, msg)
+}
+
+// write429 answers 429 with the Retry-After header and the envelope's
+// retry_after_ms derived from the same duration, so the two advertisements
+// cannot drift.
+func write429(w http.ResponseWriter, r *http.Request, code ErrorCode, retryAfter time.Duration, msg string) bool {
+	noteErrCode(r, code)
 	secs := int64(retryAfter / time.Second)
 	if retryAfter%time.Second != 0 {
 		secs++ // the header is whole seconds; round up, never advertise 0
@@ -126,7 +145,7 @@ func writeOverloaded(w http.ResponseWriter, r *http.Request, retryAfter time.Dur
 	}
 	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 	return writeJSON(w, http.StatusTooManyRequests, errorEnvelope{Error: apiError{
-		Code:         CodeOverloaded,
+		Code:         code,
 		Message:      msg,
 		RetryAfterMs: secs * 1000,
 		RequestID:    requestID(r),

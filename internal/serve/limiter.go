@@ -3,26 +3,27 @@ package serve
 import (
 	"context"
 	"sync/atomic"
+
+	"mapsynth/internal/qos"
 )
 
-// batchLimiter is the admission controller for the streaming batch
-// endpoints. It enforces two bounds:
+// batchLimiter is the request-level half of batch admission: at most
+// maxRequests batch requests are in flight at once; requests beyond that
+// are rejected immediately with 429 + Retry-After (fail fast, let the
+// client back off). The request bound caps bookkeeping — goroutines and
+// response streams.
 //
-//   - a request bound: at most maxRequests batch requests are in flight at
-//     once; requests beyond that are rejected immediately with 429 +
-//     Retry-After (fail fast, let the client back off);
-//   - a row bound: at most maxRows column queries are being computed at
-//     once across all batch requests. The row bound is applied by the
-//     request decoder *before* reading the next input line, so a saturated
-//     server simply stops consuming request bodies — backpressure
-//     propagates to the client through TCP flow control instead of
-//     buffering or dropping work.
-//
-// The split matters: the request bound caps bookkeeping (goroutines,
-// response streams), the row bound caps CPU. Counters feed /stats.
+// The row-level half — which bounds CPU — lives on the shared weighted-
+// fair queue (Server.fair): every computing batch row holds one fair-queue
+// slot in the Batch band, acquired by the request decoder *before* reading
+// the next input line, so a saturated server simply stops consuming
+// request bodies and backpressure propagates to the client through TCP
+// flow control instead of buffering or dropping work. Because interactive
+// requests take slots from the same budget in the strictly-higher
+// Interactive band, batch rows yield to interactive traffic at every slot
+// release. Counters feed /stats.
 type batchLimiter struct {
 	requestSem chan struct{}
-	rowSem     chan struct{}
 
 	requests     atomic.Int64 // accepted batch requests
 	rejected     atomic.Int64 // 429s issued
@@ -34,17 +35,11 @@ type batchLimiter struct {
 	peakRows     atomic.Int64
 }
 
-func newBatchLimiter(maxRequests, maxRows int) *batchLimiter {
+func newBatchLimiter(maxRequests int) *batchLimiter {
 	if maxRequests < 1 {
 		maxRequests = 32
 	}
-	if maxRows < 1 {
-		maxRows = 256
-	}
-	return &batchLimiter{
-		requestSem: make(chan struct{}, maxRequests),
-		rowSem:     make(chan struct{}, maxRows),
-	}
+	return &batchLimiter{requestSem: make(chan struct{}, maxRequests)}
 }
 
 // tryAcquireRequest claims a request slot without blocking; false means the
@@ -62,43 +57,46 @@ func (l *batchLimiter) tryAcquireRequest() bool {
 
 func (l *batchLimiter) releaseRequest() { <-l.requestSem }
 
-// acquireRow claims a row slot, blocking until one frees or ctx is done —
-// the blocking is the backpressure. Admissions that could not take the fast
-// path are counted: a rising backpressure counter is the operator's signal
-// that MaxBatchRows, not client demand, is the throughput ceiling.
-func (l *batchLimiter) acquireRow(ctx context.Context) error {
+// acquireRow claims one fair-queue slot for a batch row of tn, blocking in
+// weighted-fair order until one frees or ctx is done — the blocking is the
+// backpressure. Admissions that could not take the fast path are counted:
+// a rising backpressure counter is the operator's signal that the slot
+// budget (MaxBatchRows), not client demand, is the throughput ceiling.
+func (s *Server) acquireRow(ctx context.Context, tn *tenant) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	select {
-	case l.rowSem <- struct{}{}:
-	default:
-		l.backpressure.Add(1)
-		select {
-		case l.rowSem <- struct{}{}:
-		case <-ctx.Done():
-			return ctx.Err()
+	if !s.fair.TryAcquire() {
+		s.batch.backpressure.Add(1)
+		tn.queued.Add(1)
+		err := s.fair.Acquire(ctx, tn.name, float64(tn.weight), qos.Batch)
+		tn.queued.Add(-1)
+		if err != nil {
+			return err
 		}
 	}
-	cur := l.inFlightRows.Add(1)
+	cur := s.batch.inFlightRows.Add(1)
 	for {
-		old := l.peakRows.Load()
-		if cur <= old || l.peakRows.CompareAndSwap(old, cur) {
+		old := s.batch.peakRows.Load()
+		if cur <= old || s.batch.peakRows.CompareAndSwap(old, cur) {
 			return nil
 		}
 	}
 }
 
-func (l *batchLimiter) releaseRow(failed bool) {
-	l.inFlightRows.Add(-1)
-	l.rows.Add(1)
+// releaseRow returns a row's slot to the fair queue (where an interactive
+// waiter, if any, inherits it first) and settles the row counters.
+func (s *Server) releaseRow(failed bool) {
+	s.batch.inFlightRows.Add(-1)
+	s.batch.rows.Add(1)
 	if failed {
-		l.rowErrs.Add(1)
+		s.batch.rowErrs.Add(1)
 	}
-	<-l.rowSem
+	s.fair.Release()
 }
 
-// BatchSnapshot is the /stats view of the batch limiter.
+// BatchSnapshot is the /stats view of batch admission. MaxRows reports the
+// shared fair-queue slot budget rows draw from.
 type BatchSnapshot struct {
 	Requests         int64 `json:"requests"`
 	Rejected         int64 `json:"rejected"`
@@ -112,7 +110,8 @@ type BatchSnapshot struct {
 	MaxRows          int   `json:"max_rows"`
 }
 
-func (l *batchLimiter) snapshot() BatchSnapshot {
+func (s *Server) batchSnapshot() BatchSnapshot {
+	l := s.batch
 	return BatchSnapshot{
 		Requests:         l.requests.Load(),
 		Rejected:         l.rejected.Load(),
@@ -123,6 +122,6 @@ func (l *batchLimiter) snapshot() BatchSnapshot {
 		InFlightRows:     int(l.inFlightRows.Load()),
 		PeakRows:         l.peakRows.Load(),
 		MaxRequests:      cap(l.requestSem),
-		MaxRows:          cap(l.rowSem),
+		MaxRows:          s.fair.Capacity(),
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mapsynth/internal/metrics"
+	"mapsynth/internal/qos"
 )
 
 // forEach visits every endpoint's stats under its stable exported name (the
@@ -90,6 +91,69 @@ func (s *Server) registerMetrics(reg *metrics.Registry) {
 	reg.GaugeFunc("mapsynth_batch_peak_rows",
 		"Highest concurrent batch row count observed.",
 		func() float64 { return float64(s.batch.peakRows.Load()) })
+
+	// Per-tenant admission control: request/throttle counters, live queue
+	// depth and latency, labeled by tenant (cardinality bounded by
+	// maxTrackedTenants — unspecced tenants past the cap share "other").
+	reg.CounterVecFunc("mapsynth_tenant_requests_total",
+		"Application requests attributed to each tenant.", []string{"tenant"},
+		func(emit func([]string, float64)) {
+			for _, tn := range s.tenants.list() {
+				emit([]string{tn.name}, float64(tn.requests.Load()))
+			}
+		})
+	reg.CounterVecFunc("mapsynth_tenant_throttled_total",
+		"Requests rejected 429 quota_exhausted, by tenant.", []string{"tenant"},
+		func(emit func([]string, float64)) {
+			for _, tn := range s.tenants.list() {
+				emit([]string{tn.name}, float64(tn.throttled.Load()))
+			}
+		})
+	reg.CounterVecFunc("mapsynth_tenant_request_errors_total",
+		"Application requests that answered an error, by tenant.", []string{"tenant"},
+		func(emit func([]string, float64)) {
+			for _, tn := range s.tenants.list() {
+				emit([]string{tn.name}, float64(tn.errors.Load()))
+			}
+		})
+	reg.GaugeVecFunc("mapsynth_tenant_queue_depth",
+		"Requests and batch rows currently waiting in the fair queue, by tenant.", []string{"tenant"},
+		func(emit func([]string, float64)) {
+			for _, tn := range s.tenants.list() {
+				emit([]string{tn.name}, float64(tn.queued.Load()))
+			}
+		})
+	reg.GaugeVecFunc("mapsynth_tenant_weight",
+		"Configured weighted-fair share of each tenant.", []string{"tenant"},
+		func(emit func([]string, float64)) {
+			for _, tn := range s.tenants.list() {
+				emit([]string{tn.name}, float64(tn.weight))
+			}
+		})
+	reg.HistogramVecFunc("mapsynth_tenant_request_duration_seconds",
+		"Application request latency, by tenant.", []string{"tenant"},
+		func(emit func([]string, metrics.HistogramSnapshot)) {
+			for _, tn := range s.tenants.list() {
+				if tn.latency.Count() == 0 {
+					continue // don't mint 43 series per idle tenant
+				}
+				emit([]string{tn.name}, metrics.LatencySnapshot(&tn.latency))
+			}
+		})
+
+	// The shared weighted-fair compute-slot queue.
+	reg.GaugeFunc("mapsynth_fair_queue_slots",
+		"Compute-slot budget the fair queue arbitrates (MaxBatchRows).",
+		func() float64 { return float64(s.fair.Capacity()) })
+	reg.GaugeFunc("mapsynth_fair_queue_in_use",
+		"Fair-queue slots currently held (interactive requests + batch rows).",
+		func() float64 { return float64(s.fair.InUse()) })
+	reg.GaugeVecFunc("mapsynth_fair_queue_waiting",
+		"Waiters queued for a fair-queue slot, by priority class.", []string{"class"},
+		func(emit func([]string, float64)) {
+			emit([]string{qos.Interactive.String()}, float64(s.fair.Waiting(qos.Interactive)))
+			emit([]string{qos.Batch.String()}, float64(s.fair.Waiting(qos.Batch)))
+		})
 
 	// Corpus registry: what is loaded, at which version, with how much
 	// history to roll back into.
@@ -183,6 +247,9 @@ func (s *Server) registerMetrics(reg *metrics.Registry) {
 	reg.GaugeFunc("mapsynth_pool_workers",
 		"Per-call fan-out bound of the shared worker pool.",
 		func() float64 { return float64(s.pool.Workers()) })
+	reg.GaugeFunc("mapsynth_pool_active_workers",
+		"Worker-pool tasks running right now.",
+		func() float64 { return float64(s.pool.Active()) })
 	reg.GaugeFunc("mapsynth_pool_peak_workers",
 		"Peak concurrent worker-pool tasks observed.",
 		func() float64 { return float64(s.pool.Peak()) })

@@ -110,25 +110,30 @@ func TestMetricsEndpointMethodGuard(t *testing.T) {
 
 func TestBatchBackpressureCounter(t *testing.T) {
 	ctx := context.Background()
-	l := newBatchLimiter(1, 1)
-	if err := l.acquireRow(ctx); err != nil {
+	s := NewFromMappings(testMappings(), Options{MaxBatchRows: 1})
+	tn, err := s.tenants.resolve("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.acquireRow(ctx, tn); err != nil {
 		t.Fatal(err)
 	}
 	done := make(chan error)
-	go func() { done <- l.acquireRow(ctx) }()
+	go func() { done <- s.acquireRow(ctx, tn) }()
 	// The second acquire must take the slow path and count itself before
 	// blocking; release the slot so it completes.
-	for l.backpressure.Load() == 0 {
+	for s.batch.backpressure.Load() == 0 {
 		time.Sleep(time.Millisecond)
 	}
-	l.releaseRow(false)
+	s.releaseRow(false)
 	if err := <-done; err != nil {
 		t.Fatal(err)
 	}
-	if got := l.backpressure.Load(); got != 1 {
+	s.releaseRow(false)
+	if got := s.batch.backpressure.Load(); got != 1 {
 		t.Errorf("backpressure = %d, want 1", got)
 	}
-	if snap := l.snapshot(); snap.Backpressure != 1 {
+	if snap := s.batchSnapshot(); snap.Backpressure != 1 {
 		t.Errorf("snapshot backpressure = %d, want 1", snap.Backpressure)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"testing"
 
+	"mapsynth/internal/qos"
 	"mapsynth/internal/snapshot"
 )
 
@@ -154,9 +155,22 @@ func TestErrorEnvelopeGoldens(t *testing.T) {
 	// A server whose only batch request slot is already held: the next
 	// batch request must be rejected with the overloaded envelope.
 	busy, _ := newTestServer(t, 1, 8)
-	busy.batch = newBatchLimiter(1, 4)
+	busy.batch = newBatchLimiter(1)
 	busy.batch.requestSem <- struct{}{}
 	busyH := busy.Handler()
+
+	// A server whose default tenant has a drained token bucket: the next
+	// request must be rejected with the quota_exhausted envelope. Rate 0.5
+	// with burst 1 means the drained bucket owes just under 2s, which
+	// rounds up to a stable Retry-After of 2 for any sub-second gap
+	// between the drain below and the golden request.
+	quota := NewFromMappings(testMappings(), Options{
+		Tenants: []qos.Spec{{Name: "default", Weight: 1, Rate: 0.5, Burst: 1}},
+	})
+	quotaH := quota.Handler()
+	if rec := doReq(t, quotaH, http.MethodGet, "/v1/lookup?key=tcp", "", reqID); rec.Code != http.StatusOK {
+		t.Fatalf("quota drain request = %d: %s", rec.Code, rec.Body.String())
+	}
 
 	// A server with no loaded snapshot state answers not_ready.
 	empty := newServer(Options{})
@@ -207,6 +221,9 @@ func TestErrorEnvelopeGoldens(t *testing.T) {
 		{"overloaded", busyH, http.MethodPost, "/v1/batch/autofill", `{"column":["x"]}` + "\n",
 			http.StatusTooManyRequests,
 			`{"error":{"code":"overloaded","message":"batch capacity saturated, retry later","retry_after_ms":1000,"request_id":"golden-id"}}`},
+		{"quota_exhausted", quotaH, http.MethodGet, "/v1/lookup?key=tcp", "",
+			http.StatusTooManyRequests,
+			`{"error":{"code":"quota_exhausted","message":"tenant \"default\" rate limit exhausted, retry later","retry_after_ms":2000,"request_id":"golden-id"}}`},
 		{"not_ready", emptyH, http.MethodGet, "/v1/healthz", "",
 			http.StatusServiceUnavailable,
 			`{"error":{"code":"not_ready","message":"no snapshot loaded yet","request_id":"golden-id"}}`},

@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+)
+
+// Satellite coverage for the rollback ring's edges: unset/shallow history
+// depths, activating a version the ring has already evicted, and rolling
+// back past the ring's bottom.
+
+// installVersions swaps n fresh states into the default corpus and returns
+// the live version after the last install.
+func installVersions(t *testing.T, s *Server, n int) int64 {
+	t.Helper()
+	var v int64
+	for i := 0; i < n; i++ {
+		st, err := s.AddCorpus(DefaultCorpus, testMappings())
+		if err != nil {
+			t.Fatal(err)
+		}
+		v = st.Version
+	}
+	return v
+}
+
+func TestRegistryHistoryDepthDefault(t *testing.T) {
+	// HistoryDepth 0 means "unset": the ring keeps defaultHistoryDepth
+	// entries, not zero.
+	s := NewFromMappings(testMappings(), Options{HistoryDepth: 0})
+	installVersions(t, s, 10)
+	c := s.reg.get(DefaultCorpus)
+	got := c.historyVersions()
+	if len(got) != defaultHistoryDepth {
+		t.Fatalf("history = %v, want %d entries", got, defaultHistoryDepth)
+	}
+	// Most recently live last: versions 7..10 live, 11 is current.
+	if got[len(got)-1] != 10 {
+		t.Errorf("history tail = %d, want 10", got[len(got)-1])
+	}
+}
+
+func TestRegistryHistoryDepthOne(t *testing.T) {
+	s := NewFromMappings(testMappings(), Options{HistoryDepth: 1})
+	installVersions(t, s, 3) // live version 4, history holds only 3
+	c := s.reg.get(DefaultCorpus)
+	if got := c.historyVersions(); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("history = %v, want [3]", got)
+	}
+
+	// Rollback to 3 succeeds; the displaced live version 4 takes its slot,
+	// so a second rollback returns to 4 — depth 1 is a two-state toggle.
+	live, prev, err := c.rollback()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.Version != 3 || prev.Version != 4 {
+		t.Fatalf("rollback = live %d prev %d, want 3/4", live.Version, prev.Version)
+	}
+	live, _, err = c.rollback()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.Version != 4 {
+		t.Fatalf("second rollback landed on %d, want 4", live.Version)
+	}
+}
+
+func TestRegistryActivateEvictedVersion(t *testing.T) {
+	s := NewFromMappings(testMappings(), Options{HistoryDepth: 2})
+	installVersions(t, s, 5) // live 6; ring holds 4, 5; versions 1-3 evicted
+	c := s.reg.get(DefaultCorpus)
+
+	_, _, err := c.activate(2)
+	if err == nil {
+		t.Fatal("activate(2) succeeded; version 2 was evicted")
+	}
+	for _, want := range []string{"version 2", "not live", "not in history"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+
+	// The failed activate must leave the live state and ring untouched.
+	if live := c.state.Load().Version; live != 6 {
+		t.Errorf("live version after failed activate = %d, want 6", live)
+	}
+	if got := c.historyVersions(); len(got) != 2 || got[0] != 4 || got[1] != 5 {
+		t.Errorf("history after failed activate = %v, want [4 5]", got)
+	}
+
+	// An in-ring version still activates, and the displaced live version
+	// lands at the recency end.
+	live, _, err := c.activate(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.Version != 4 {
+		t.Fatalf("activate(4) landed on %d", live.Version)
+	}
+	if got := c.historyVersions(); got[len(got)-1] != 6 {
+		t.Errorf("history after activate = %v, want 6 at the tail", got)
+	}
+}
+
+func TestRegistryRollbackPastHistory(t *testing.T) {
+	s := NewFromMappings(testMappings(), Options{HistoryDepth: 1})
+	installVersions(t, s, 1) // live 2, history [1]
+	c := s.reg.get(DefaultCorpus)
+	if _, _, err := c.rollback(); err != nil {
+		t.Fatal(err)
+	}
+	// Depth 1: the ring now holds the displaced version 2, so rollback keeps
+	// toggling rather than running dry. Build a genuinely empty ring instead.
+	fresh := NewFromMappings(testMappings(), Options{})
+	cf := fresh.reg.get(DefaultCorpus)
+	_, _, err := cf.rollback()
+	if err == nil {
+		t.Fatal("rollback with empty history succeeded")
+	}
+	if !strings.Contains(err.Error(), "no prior version to roll back to") {
+		t.Errorf("error = %q", err)
+	}
+	// The failed rollback leaves the live state in place.
+	if cf.state.Load() == nil || cf.state.Load().Version != 1 {
+		t.Error("failed rollback disturbed the live state")
+	}
+}
+
+func TestRegistryActivateLiveVersionNoOp(t *testing.T) {
+	s := NewFromMappings(testMappings(), Options{HistoryDepth: 2})
+	installVersions(t, s, 2) // live 3
+	c := s.reg.get(DefaultCorpus)
+	live, prev, err := c.activate(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.Version != 3 || prev.Version != 3 {
+		t.Errorf("activate(live) = %d/%d, want 3/3", live.Version, prev.Version)
+	}
+	if got := c.historyVersions(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("history after no-op activate = %v, want [1 2]", got)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"mapsynth/internal/mapping"
 	"mapsynth/internal/metrics"
 	"mapsynth/internal/pool"
+	"mapsynth/internal/qos"
 	"mapsynth/internal/snapshot"
 	"mapsynth/internal/textnorm"
 )
@@ -79,6 +80,15 @@ type Options struct {
 	// bound a single client that stops reading could pin the global row
 	// budget forever. <= 0 selects 30s.
 	BatchWriteTimeout time.Duration
+	// Tenants configures per-tenant admission control (weights, token-
+	// bucket rate limits) for the X-Tenant header; parse the operator
+	// grammar with qos.ParseSpecs. The special name "*" is the template
+	// applied to tenants with no explicit spec; without it, unknown
+	// tenants get weight 1 and no rate limit. Nil leaves every tenant
+	// unlimited — the weighted-fair queue still arbitrates slots, so
+	// interactive traffic preempts batch rows even on an unconfigured
+	// server.
+	Tenants []qos.Spec
 	// Rebuild, when non-nil, is the offline synthesis entry point: POST
 	// /reload with {"rebuild": true} calls it to re-run the pipeline engine
 	// and atomically swaps the fresh mapping set into the default corpus.
@@ -180,6 +190,13 @@ type Server struct {
 	// batch is the one admission limiter shared by every corpus's /batch/*
 	// endpoints.
 	batch *batchLimiter
+	// fair arbitrates the shared compute-slot budget (MaxBatchRows slots)
+	// across tenants: interactive requests hold one slot in the strictly-
+	// preempting Interactive band, batch rows one each in the Batch band.
+	fair *qos.FairQueue
+	// tenants resolves X-Tenant headers to per-tenant buckets, weights and
+	// counters.
+	tenants *tenantSet
 	// metrics is the exposition registry (never nil; a private one is built
 	// when Options.Metrics is unset), logger the structured access/event
 	// logger (never nil; discards when unset).
@@ -208,12 +225,17 @@ func newServer(opts Options) *Server {
 	if opts.Logger == nil {
 		opts.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
+	if opts.MaxBatchRows < 1 {
+		opts.MaxBatchRows = 256
+	}
 	s := &Server{
 		opts:    opts,
 		start:   time.Now(),
 		reg:     newRegistry(opts.HistoryDepth),
 		pool:    pool.New(opts.Workers),
-		batch:   newBatchLimiter(opts.MaxBatchRequests, opts.MaxBatchRows),
+		batch:   newBatchLimiter(opts.MaxBatchRequests),
+		fair:    qos.NewFairQueue(opts.MaxBatchRows),
+		tenants: newTenantSet(opts.Tenants),
 		metrics: opts.Metrics,
 		logger:  opts.Logger,
 	}
@@ -393,10 +415,12 @@ func (s *Server) Handler() http.Handler {
 	// app mounts one application endpoint three ways — corpus-scoped,
 	// unscoped /v1 (default corpus), legacy unversioned — all sharing the
 	// handler and therefore the default corpus's endpointStats for the two
-	// unscoped spellings.
-	app := func(path string, pick func(*corpusStats) *endpointStats, h appHandler) {
-		register(path, s.timedApp(defaultResolver, pick, h))
-		mux.HandleFunc("/v1/corpora/{name}"+path, s.timedApp(pathResolver, pick, h))
+	// unscoped spellings. class places the endpoint's work on the fair
+	// queue: Interactive requests hold one slot for the handler's
+	// duration; Batch endpoints admit per-row inside streamBatch.
+	app := func(path string, pick func(*corpusStats) *endpointStats, class qos.Class, h appHandler) {
+		register(path, s.timedApp(defaultResolver, pick, class, h))
+		mux.HandleFunc("/v1/corpora/{name}"+path, s.timedApp(pathResolver, pick, class, h))
 	}
 	// The metrics exposition is deliberately /v1-only: it is an operational
 	// surface new with this version, so it gets no legacy alias.
@@ -407,13 +431,13 @@ func (s *Server) Handler() http.Handler {
 	register("/stats", s.getOnly(s.withCorpus(defaultResolver, s.handleStats)))
 	mux.HandleFunc("/v1/corpora/{name}/stats", s.getOnly(s.withCorpus(pathResolver, s.handleStats)))
 	register("/reload", s.handleReload)
-	app("/lookup", func(cs *corpusStats) *endpointStats { return &cs.lookup }, s.handleLookup)
-	app("/autofill", func(cs *corpusStats) *endpointStats { return &cs.autofill }, s.handleAutoFill)
-	app("/autocorrect", func(cs *corpusStats) *endpointStats { return &cs.autocorrect }, s.handleAutoCorrect)
-	app("/autojoin", func(cs *corpusStats) *endpointStats { return &cs.autojoin }, s.handleAutoJoin)
-	app("/batch/autofill", func(cs *corpusStats) *endpointStats { return &cs.batchAutofill }, s.handleBatchAutoFill)
-	app("/batch/autocorrect", func(cs *corpusStats) *endpointStats { return &cs.batchAutocorrect }, s.handleBatchAutoCorrect)
-	app("/batch/autojoin", func(cs *corpusStats) *endpointStats { return &cs.batchAutojoin }, s.handleBatchAutoJoin)
+	app("/lookup", func(cs *corpusStats) *endpointStats { return &cs.lookup }, qos.Interactive, s.handleLookup)
+	app("/autofill", func(cs *corpusStats) *endpointStats { return &cs.autofill }, qos.Interactive, s.handleAutoFill)
+	app("/autocorrect", func(cs *corpusStats) *endpointStats { return &cs.autocorrect }, qos.Interactive, s.handleAutoCorrect)
+	app("/autojoin", func(cs *corpusStats) *endpointStats { return &cs.autojoin }, qos.Interactive, s.handleAutoJoin)
+	app("/batch/autofill", func(cs *corpusStats) *endpointStats { return &cs.batchAutofill }, qos.Batch, s.handleBatchAutoFill)
+	app("/batch/autocorrect", func(cs *corpusStats) *endpointStats { return &cs.batchAutocorrect }, qos.Batch, s.handleBatchAutoCorrect)
+	app("/batch/autojoin", func(cs *corpusStats) *endpointStats { return &cs.batchAutojoin }, qos.Batch, s.handleBatchAutoJoin)
 	// Corpus lifecycle administration (no legacy aliases — this surface is
 	// new with v1 multi-corpus serving).
 	mux.HandleFunc("/v1/corpora", s.getOnly(s.handleCorporaList))
@@ -481,19 +505,45 @@ func (s *Server) withCorpus(resolve corpusResolver, h func(c *corpus, w http.Res
 	}
 }
 
-// timedApp is withCorpus plus per-corpus request counting and latency
-// observation on the endpointStats pick selects.
-func (s *Server) timedApp(resolve corpusResolver, pick func(*corpusStats) *endpointStats, h appHandler) http.HandlerFunc {
+// timedApp is withCorpus plus tenant admission and per-corpus/per-tenant
+// request counting and latency observation. The flow per request: resolve
+// the tenant and charge its token bucket (429 quota_exhausted when
+// empty), resolve the corpus, then — for Interactive endpoints — hold one
+// fair-queue slot for the handler's duration so single-query requests
+// compete with (and preempt) batch rows on the shared slot budget.
+func (s *Server) timedApp(resolve corpusResolver, pick func(*corpusStats) *endpointStats, class qos.Class, h appHandler) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		tn, ok := s.admitTenant(w, r)
+		if !ok {
+			return
+		}
 		c, ok := s.resolveCorpus(w, r, resolve(r))
 		if !ok {
 			return
 		}
 		es := pick(&c.stats)
 		t0 := time.Now()
-		okReq := h(c, w, r)
-		es.observe(time.Since(t0), !okReq)
+		okReq := s.runApp(tn, class, c, w, r, h)
+		d := time.Since(t0)
+		es.observe(d, !okReq)
+		tn.observe(d, !okReq)
 	}
+}
+
+// runApp runs the handler with its fair-queue slot held for Interactive
+// endpoints; Batch endpoints admit per row inside streamBatch instead, so
+// one slow batch never pins a slot across its whole stream.
+func (s *Server) runApp(tn *tenant, class qos.Class, c *corpus, w http.ResponseWriter, r *http.Request, h appHandler) bool {
+	if class == qos.Interactive {
+		tn.queued.Add(1)
+		err := s.fair.Acquire(r.Context(), tn.name, float64(tn.weight), qos.Interactive)
+		tn.queued.Add(-1)
+		if err != nil {
+			return writeError(w, r, CodeInternal, "request cancelled while queued")
+		}
+		defer s.fair.Release()
+	}
+	return h(c, w, r)
 }
 
 // Run serves on addr until ctx is cancelled, then drains in-flight requests
@@ -825,8 +875,12 @@ type StatsSnapshot struct {
 	Reloads       int64                       `json:"reloads"`
 	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
 	Batch         BatchSnapshot               `json:"batch"`
-	Cache         CacheSnapshot               `json:"cache"`
-	Snapshot      map[string]any              `json:"snapshot"`
+	// Tenants and FairQueue are server-wide like Batch: per-tenant
+	// admission counters and the shared slot queue's occupancy.
+	Tenants   map[string]TenantSnapshot `json:"tenants"`
+	FairQueue FairQueueSnapshot         `json:"fair_queue"`
+	Cache     CacheSnapshot             `json:"cache"`
+	Snapshot  map[string]any            `json:"snapshot"`
 }
 
 // CacheSnapshot reports the lookup cache of the live state.
@@ -877,7 +931,9 @@ func (s *Server) statsFor(c *corpus) StatsSnapshot {
 			"batch_autocorrect": c.stats.batchAutocorrect.snapshot(),
 			"batch_autojoin":    c.stats.batchAutojoin.snapshot(),
 		},
-		Batch: s.batch.snapshot(),
+		Batch:     s.batchSnapshot(),
+		Tenants:   s.tenantSnapshots(),
+		FairQueue: s.fairSnapshot(),
 		Cache: CacheSnapshot{
 			Size:     st.cache.len(),
 			Capacity: st.cache.cap,

@@ -1,0 +1,250 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mapsynth/internal/qos"
+)
+
+// reqAs issues one request with an X-Tenant header.
+func reqAs(t *testing.T, h http.Handler, tenant, method, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	if tenant != "" {
+		req.Header.Set("X-Tenant", tenant)
+	}
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestTenantResolutionAndCounters(t *testing.T) {
+	s := NewFromMappings(testMappings(), Options{
+		Tenants: []qos.Spec{{Name: "alpha", Weight: 3}, {Name: "beta", Weight: 1}},
+	})
+	h := s.Handler()
+
+	for _, tn := range []string{"", "alpha", "alpha", "beta"} {
+		if rec := reqAs(t, h, tn, http.MethodGet, "/v1/lookup?key=tcp", ""); rec.Code != http.StatusOK {
+			t.Fatalf("lookup as %q = %d: %s", tn, rec.Code, rec.Body.String())
+		}
+	}
+	// One failing request, attributed to alpha's error counter.
+	if rec := reqAs(t, h, "alpha", http.MethodGet, "/v1/lookup", ""); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad lookup = %d", rec.Code)
+	}
+
+	snaps := s.tenantSnapshots()
+	if got := snaps["default"].Requests; got != 1 {
+		t.Errorf("default requests = %d, want 1", got)
+	}
+	if got := snaps["alpha"]; got.Requests != 3 || got.Errors != 1 || got.Weight != 3 {
+		t.Errorf("alpha snapshot = %+v, want requests 3, errors 1, weight 3", got)
+	}
+	if got := snaps["beta"]; got.Requests != 1 || got.Weight != 1 {
+		t.Errorf("beta snapshot = %+v, want requests 1, weight 1", got)
+	}
+}
+
+func TestTenantInvalidHeaderRejected(t *testing.T) {
+	s := NewFromMappings(testMappings(), Options{})
+	h := s.Handler()
+	for _, bad := range []string{"no spaces", "héllo", strings.Repeat("x", 65)} {
+		rec := reqAs(t, h, bad, http.MethodGet, "/v1/lookup?key=tcp", "")
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("X-Tenant %q = %d, want 400", bad, rec.Code)
+		}
+		if !strings.Contains(rec.Body.String(), `"bad_request"`) {
+			t.Errorf("X-Tenant %q body = %s", bad, rec.Body.String())
+		}
+	}
+	// An invalid name must not mint a tenant entry.
+	if snaps := s.tenantSnapshots(); len(snaps) != 1 {
+		t.Errorf("tenant set after invalid headers = %v, want only default", snaps)
+	}
+}
+
+func TestTenantThrottling(t *testing.T) {
+	s := NewFromMappings(testMappings(), Options{
+		Tenants: []qos.Spec{{Name: "metered", Weight: 1, Rate: 0.001, Burst: 2}},
+	})
+	h := s.Handler()
+
+	var ok, throttled int
+	for i := 0; i < 5; i++ {
+		switch rec := reqAs(t, h, "metered", http.MethodGet, "/v1/lookup?key=tcp", ""); rec.Code {
+		case http.StatusOK:
+			ok++
+		case http.StatusTooManyRequests:
+			throttled++
+			if !strings.Contains(rec.Body.String(), `"quota_exhausted"`) {
+				t.Fatalf("429 body = %s", rec.Body.String())
+			}
+			if rec.Header().Get("Retry-After") == "" {
+				t.Fatal("429 missing Retry-After")
+			}
+		default:
+			t.Fatalf("request %d = %d", i, rec.Code)
+		}
+	}
+	if ok != 2 || throttled != 3 {
+		t.Fatalf("ok=%d throttled=%d, want burst of 2 admitted and 3 throttled", ok, throttled)
+	}
+	snap := s.tenantSnapshots()["metered"]
+	if snap.Requests != 5 || snap.Throttled != 3 {
+		t.Errorf("metered snapshot = %+v, want requests 5, throttled 3", snap)
+	}
+	// Batch requests draw from the same bucket: one token per request.
+	rec := reqAs(t, h, "metered", http.MethodPost, "/v1/batch/autofill", `{"id":"a","column":["Seattle"]}`+"\n")
+	if rec.Code != http.StatusTooManyRequests {
+		t.Errorf("batch over quota = %d, want 429", rec.Code)
+	}
+	// The default tenant is unaffected.
+	if rec := reqAs(t, h, "", http.MethodGet, "/v1/lookup?key=tcp", ""); rec.Code != http.StatusOK {
+		t.Errorf("default tenant = %d, want 200", rec.Code)
+	}
+}
+
+func TestTenantWildcardTemplate(t *testing.T) {
+	s := NewFromMappings(testMappings(), Options{
+		Tenants: []qos.Spec{{Name: "*", Weight: 2, Rate: 0.001, Burst: 1}},
+	})
+	h := s.Handler()
+	if rec := reqAs(t, h, "walkin", http.MethodGet, "/v1/lookup?key=tcp", ""); rec.Code != http.StatusOK {
+		t.Fatalf("first walk-in request = %d", rec.Code)
+	}
+	if rec := reqAs(t, h, "walkin", http.MethodGet, "/v1/lookup?key=tcp", ""); rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("second walk-in request = %d, want 429 from template bucket", rec.Code)
+	}
+	snap := s.tenantSnapshots()["walkin"]
+	if snap.Weight != 2 || snap.RateLimit != 0.001 {
+		t.Errorf("minted tenant = %+v, want template weight 2 rate 0.001", snap)
+	}
+}
+
+func TestTenantOverflowBucket(t *testing.T) {
+	ts := newTenantSet(nil)
+	for i := 0; i < maxTrackedTenants+10; i++ {
+		name := "t" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+(i/676)%26))
+		if _, err := ts.resolve(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The map is capped; late arrivals collapse onto the overflow tenant.
+	if n := len(ts.byName); n > maxTrackedTenants+1 {
+		t.Fatalf("tenant map grew to %d entries, cap is %d (+overflow)", n, maxTrackedTenants)
+	}
+	tn, err := ts.resolve("brand-new-after-cap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tn.name != overflowTenant {
+		t.Errorf("post-cap resolve = %q, want %q", tn.name, overflowTenant)
+	}
+}
+
+func TestStatsTenantAndFairQueueSections(t *testing.T) {
+	s := NewFromMappings(testMappings(), Options{
+		MaxBatchRows: 7,
+		Tenants:      []qos.Spec{{Name: "alpha", Weight: 3, Rate: 10, Burst: 5}},
+	})
+	h := s.Handler()
+	if rec := reqAs(t, h, "alpha", http.MethodGet, "/v1/lookup?key=tcp", ""); rec.Code != http.StatusOK {
+		t.Fatal("seed request failed")
+	}
+	var stats StatsSnapshot
+	getJSON(t, h, "/v1/stats", &stats)
+	alpha, ok := stats.Tenants["alpha"]
+	if !ok {
+		t.Fatalf("stats missing alpha tenant: %+v", stats.Tenants)
+	}
+	if alpha.Weight != 3 || alpha.RateLimit != 10 || alpha.Requests != 1 {
+		t.Errorf("alpha stats = %+v", alpha)
+	}
+	if stats.FairQueue.Slots != 7 || stats.FairQueue.InUse != 0 {
+		t.Errorf("fair queue stats = %+v, want 7 slots, 0 in use", stats.FairQueue)
+	}
+}
+
+func TestMetricsTenantSeries(t *testing.T) {
+	s := NewFromMappings(testMappings(), Options{
+		Tenants: []qos.Spec{{Name: "metered", Weight: 4, Rate: 0.001, Burst: 1}},
+	})
+	h := s.Handler()
+	reqAs(t, h, "metered", http.MethodGet, "/v1/lookup?key=tcp", "")
+	reqAs(t, h, "metered", http.MethodGet, "/v1/lookup?key=tcp", "") // throttled
+	body := scrape(t, h)
+	for _, want := range []string{
+		`mapsynth_tenant_requests_total{tenant="metered"} 2`,
+		`mapsynth_tenant_throttled_total{tenant="metered"} 1`,
+		`mapsynth_tenant_requests_total{tenant="default"} 0`,
+		`mapsynth_tenant_weight{tenant="metered"} 4`,
+		`mapsynth_tenant_queue_depth{tenant="metered"} 0`,
+		`mapsynth_tenant_request_duration_seconds_count{tenant="metered"} 1`,
+		`mapsynth_fair_queue_slots`,
+		`mapsynth_fair_queue_in_use 0`,
+		`mapsynth_fair_queue_waiting{class="interactive"} 0`,
+		`mapsynth_fair_queue_waiting{class="batch"} 0`,
+		`mapsynth_pool_active_workers 0`,
+		`mapsynth_errors_total{code="quota_exhausted"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// Idle tenants must not mint latency histograms.
+	if strings.Contains(body, `mapsynth_tenant_request_duration_seconds_count{tenant="default"}`) {
+		t.Error("idle tenant minted a histogram")
+	}
+}
+
+// TestInteractivePreemptsBatchEndToEnd drives the full HTTP stack: with
+// every fair-queue slot held by synthetic batch work, an interactive lookup
+// and a batch row arrive together; releasing one slot must serve the
+// interactive request first even though the batch row enqueued earlier.
+func TestInteractivePreemptsBatchEndToEnd(t *testing.T) {
+	s := NewFromMappings(testMappings(), Options{MaxBatchRows: 1})
+	h := s.Handler()
+
+	// Occupy the only slot directly.
+	if !s.fair.TryAcquire() {
+		t.Fatal("could not take the only slot")
+	}
+
+	tn, err := s.tenants.resolve("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowDone := make(chan error, 1)
+	go func() { rowDone <- s.acquireRow(context.Background(), tn) }()
+	// Wait until the batch row is queued.
+	for s.fair.Waiting(qos.Batch) == 0 {
+		// spin; bounded by the test timeout
+	}
+
+	lookupDone := make(chan int, 1)
+	go func() {
+		rec := reqAs(t, h, "", http.MethodGet, "/v1/lookup?key=tcp", "")
+		lookupDone <- rec.Code
+	}()
+	for s.fair.Waiting(qos.Interactive) == 0 {
+	}
+
+	// One release: the interactive request must win the slot, finish, and
+	// its own release then grants the batch row.
+	s.fair.Release()
+	if code := <-lookupDone; code != http.StatusOK {
+		t.Fatalf("interactive lookup = %d", code)
+	}
+	if err := <-rowDone; err != nil {
+		t.Fatalf("batch row acquire: %v", err)
+	}
+	s.releaseRow(false)
+	if got := s.fair.InUse(); got != 0 {
+		t.Errorf("in use after drain = %d", got)
+	}
+}

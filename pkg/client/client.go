@@ -38,6 +38,7 @@ type Client struct {
 	retries int
 	maxWait time.Duration
 	genID   func() string
+	tenant  string
 }
 
 // Option configures a Client at construction.
@@ -73,6 +74,14 @@ func WithMaxRetryWait(d time.Duration) Option {
 			c.maxWait = d
 		}
 	}
+}
+
+// WithTenant sets the X-Tenant header on every request, attributing the
+// client's traffic to one tenant for quota and weighted-fair scheduling.
+// The name must match [A-Za-z0-9._-]{1,64} (the server rejects others with
+// a 400); empty means the server's "default" tenant.
+func WithTenant(name string) Option {
+	return func(c *Client) { c.tenant = name }
 }
 
 // WithRequestIDs substitutes the X-Request-ID generator, e.g. to prefix IDs
@@ -269,6 +278,9 @@ func (c *Client) send(ctx context.Context, method, path string, body []byte, con
 		req.Header.Set("Content-Type", contentType)
 	}
 	req.Header.Set("X-Request-ID", c.genID())
+	if c.tenant != "" {
+		req.Header.Set("X-Tenant", c.tenant)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("client: %w", err)

@@ -15,8 +15,11 @@ type APIError struct {
 	Status int
 	// Code is the machine-readable error class: "bad_request",
 	// "not_found", "corpus_not_found", "method_not_allowed",
-	// "unprocessable", "overloaded", "internal", "not_ready". Empty when
-	// the server spoke the pre-v1 bare-string envelope.
+	// "unprocessable", "overloaded", "quota_exhausted", "internal",
+	// "not_ready". Empty when the server spoke the pre-v1 bare-string
+	// envelope. Both 429 codes carry RetryAfter: "overloaded" means the
+	// shared batch budget is saturated, "quota_exhausted" means this
+	// tenant's own rate limit is.
 	Code string
 	// Message is the human-readable explanation.
 	Message string
@@ -236,6 +239,25 @@ type Stats struct {
 	Batch         map[string]any           `json:"batch"`
 	Cache         map[string]any           `json:"cache"`
 	Snapshot      map[string]any           `json:"snapshot"`
+	// Tenants maps tenant name to its admission counters (requests,
+	// throttled, errors, queue_depth, latency percentiles); FairQueue is
+	// the shared weighted-fair scheduler's occupancy.
+	Tenants   map[string]TenantStats `json:"tenants"`
+	FairQueue map[string]any         `json:"fair_queue"`
+}
+
+// TenantStats is one tenant's /v1/stats entry.
+type TenantStats struct {
+	Weight     int     `json:"weight"`
+	RateLimit  float64 `json:"rate_limit"`
+	Requests   int64   `json:"requests"`
+	Throttled  int64   `json:"throttled"`
+	Errors     int64   `json:"errors"`
+	QueueDepth int64   `json:"queue_depth"`
+	MeanMs     float64 `json:"mean_ms"`
+	P50Ms      float64 `json:"p50_ms"`
+	P95Ms      float64 `json:"p95_ms"`
+	P99Ms      float64 `json:"p99_ms"`
 }
 
 // ReloadRequest is the body of POST /v1/reload.
