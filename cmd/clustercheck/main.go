@@ -1,0 +1,204 @@
+// Command clustercheck is the cluster serving layer's end-to-end
+// acceptance check, run by CI: it synthesizes the seed corpus, boots three
+// full-replica data nodes from v2 (mmap) snapshots on real listeners,
+// fronts them with a scatter-gather coordinator, and drives a mixed
+// single/batch loadgen workload through the coordinator while a snapshot
+// roll re-ships the corpus replica-by-replica mid-run. The invariants are
+// absolute: zero client-visible errors across the whole run, the roll
+// reaches every follower, and the cluster ends healthy and undegraded with
+// every replica at the shipped version.
+//
+// Usage:
+//
+//	clustercheck [-duration 4s] [-scale 1.0] [-seed 42]
+//
+// Exit status 0 means every assertion held; any failure prints the
+// violated assertion and exits 1.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"mapsynth/internal/cluster"
+	"mapsynth/internal/corpusgen"
+	"mapsynth/internal/loadgen"
+	"mapsynth/internal/pipeline"
+	"mapsynth/internal/serve"
+	"mapsynth/internal/snapshot"
+	"mapsynth/pkg/client"
+)
+
+func main() {
+	duration := flag.Duration("duration", 4*time.Second, "loadgen run length")
+	scale := flag.Float64("scale", 1.0, "corpus scale; 1.0 is the full seed corpus")
+	seed := flag.Int64("seed", 42, "corpus seed")
+	flag.Parse()
+	if err := run(*duration, *scale, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "clustercheck: FAIL: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("clustercheck: PASS")
+}
+
+func run(duration time.Duration, scale float64, seed int64) error {
+	ctx := context.Background()
+
+	// 1. Seed corpus → v2 (mmap) snapshot, the format snapshot shipping
+	// moves between replicas.
+	fmt.Println("clustercheck: synthesizing seed corpus...")
+	corpus := corpusgen.GenerateWeb(corpusgen.Options{Seed: seed, Scale: scale})
+	res, err := pipeline.New(pipeline.DefaultConfig()).Run(ctx, corpus.Tables)
+	if err != nil {
+		return fmt.Errorf("synthesis: %w", err)
+	}
+	dir, err := os.MkdirTemp("", "clustercheck")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	snapPath := filepath.Join(dir, "seed.v2.snap")
+	if err := snapshot.WriteFileV2(snapPath, res.Mappings); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+
+	// 2. Three full-replica nodes on real listeners, each mmap-serving the
+	// same snapshot with a preload hint — the cmd/serve data-node path.
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	peers := make([]cluster.Peer, 3)
+	for i := range peers {
+		srv, err := serve.New(serve.Options{
+			SnapshotPath: snapPath,
+			Madvise:      snapshot.AdviseWillNeed,
+			CacheSize:    1024,
+			Logger:       quiet,
+		})
+		if err != nil {
+			return fmt.Errorf("node %d: %w", i+1, err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		peers[i] = cluster.Peer{Name: fmt.Sprintf("n%d", i+1), Addr: ts.URL}
+		fmt.Printf("clustercheck: node %s at %s\n", peers[i].Name, peers[i].Addr)
+	}
+
+	// 3. The coordinator, probed and serving on its own listener.
+	topo, err := cluster.NewTopology(peers, 0)
+	if err != nil {
+		return err
+	}
+	co, err := cluster.New(topo, cluster.Options{
+		ProbeInterval: 250 * time.Millisecond,
+		Logger:        quiet,
+	})
+	if err != nil {
+		return err
+	}
+	co.Start(ctx)
+	front := httptest.NewServer(co.Handler())
+	defer front.Close()
+	sdk := client.New(front.URL)
+
+	info, err := sdk.Cluster(ctx)
+	if err != nil {
+		return fmt.Errorf("GET /v1/cluster: %w", err)
+	}
+	alive := 0
+	for _, p := range info.Peers {
+		if p.Alive {
+			alive++
+		}
+	}
+	if alive != len(peers) || info.Degraded {
+		return fmt.Errorf("cluster not healthy at start: %d/%d alive, degraded=%v",
+			alive, len(peers), info.Degraded)
+	}
+
+	// The cluster-aware SDK client must bootstrap from the same surface.
+	cc, err := client.NewCluster(ctx, front.URL)
+	if err != nil {
+		return fmt.Errorf("client.NewCluster: %w", err)
+	}
+	if _, err := cc.Lookup(ctx, res.Mappings[0].Pairs[0].L); err != nil {
+		return fmt.Errorf("cluster-client lookup: %w", err)
+	}
+
+	// 4. Mixed workload through the coordinator; a quarter of the way in,
+	// node n1 receives a freshly written snapshot and the coordinator
+	// ships it to the other replicas while the load keeps flowing.
+	wl, err := loadgen.NewWorkload(res.Mappings)
+	if err != nil {
+		return err
+	}
+	var (
+		wg      sync.WaitGroup
+		rollRep *client.RollReport
+		rollErr error
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(duration / 4)
+		data, err := os.ReadFile(snapPath)
+		if err != nil {
+			rollErr = err
+			return
+		}
+		if _, err := client.New(peers[0].Addr).Corpus(client.DefaultCorpus).Upload(ctx, data); err != nil {
+			rollErr = fmt.Errorf("uploading new snapshot to n1: %w", err)
+			return
+		}
+		rollRep, rollErr = sdk.RollCluster(ctx, client.RollRequest{Source: peers[0].Name})
+	}()
+	rep, err := loadgen.Run(ctx, loadgen.Config{
+		BaseURL:  front.URL,
+		Duration: duration,
+		Seed:     seed,
+	}, wl)
+	wg.Wait()
+	if err != nil {
+		return fmt.Errorf("loadgen: %w", err)
+	}
+	fmt.Printf("clustercheck: %d requests, %.0f req/s, %d throttled, %d errors\n",
+		rep.Requests, rep.AchievedQPS, rep.Throttled, rep.Errors)
+
+	// 5. The verdict.
+	if rollErr != nil {
+		return fmt.Errorf("replica roll: %w", rollErr)
+	}
+	if want := len(peers) - 1; len(rollRep.Rolled) != want {
+		return fmt.Errorf("roll reached %d replicas, want %d", len(rollRep.Rolled), want)
+	}
+	fmt.Printf("clustercheck: rolled %d replicas from %s (v%d, %d bytes) in %.0fms\n",
+		len(rollRep.Rolled), rollRep.Source, rollRep.SourceVersion, rollRep.Bytes, rollRep.DurationMs)
+	if rep.Errors != 0 {
+		return fmt.Errorf("clients saw %d errors during the run: %+v", rep.Errors, rep.ErrorSamples)
+	}
+	if rep.Requests == 0 {
+		return fmt.Errorf("loadgen issued no requests")
+	}
+	info, err = sdk.Cluster(ctx)
+	if err != nil {
+		return fmt.Errorf("GET /v1/cluster after roll: %w", err)
+	}
+	if info.Degraded {
+		return fmt.Errorf("cluster degraded after roll: missing shards %v", info.MissingShards)
+	}
+	for _, p := range info.Peers {
+		if !p.Alive {
+			return fmt.Errorf("peer %s not alive after roll: %s", p.Name, p.Error)
+		}
+		if got := p.Corpora[client.DefaultCorpus].Version; got != rollRep.SourceVersion {
+			return fmt.Errorf("peer %s at version %d after roll, want %d", p.Name, got, rollRep.SourceVersion)
+		}
+	}
+	return nil
+}

@@ -46,6 +46,7 @@ func main() {
 func run() int {
 	snapPath := flag.String("snapshot", "", "snapshot the server is serving; query material is derived from it (required)")
 	addr := flag.String("addr", "http://localhost:8080", "base URL of the running serve instance")
+	addrsFlag := flag.String("addrs", "", "comma-separated base URLs for multi-node runs; each request picks one uniformly (overrides -addr)")
 	duration := flag.Duration("duration", 10*time.Second, "how long to generate load")
 	qps := flag.Float64("qps", 0, "target aggregate requests/second; 0 = unpaced closed loop")
 	concurrency := flag.Int("concurrency", 8, "closed-loop worker count")
@@ -83,8 +84,18 @@ func run() int {
 		return 2
 	}
 
+	var addrs []string
+	for _, a := range strings.Split(*addrsFlag, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, strings.TrimRight(a, "/"))
+		}
+	}
+	shownAddr := *addr
+	if len(addrs) > 0 {
+		shownAddr = strings.Join(addrs, " ")
+	}
 	fmt.Fprintf(os.Stderr, "loadgen: %d mappings usable, %v against %s (qps=%g, concurrency=%d)\n",
-		wl.Mappings(), *duration, *addr, *qps, *concurrency)
+		wl.Mappings(), *duration, shownAddr, *qps, *concurrency)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -97,6 +108,7 @@ func run() int {
 
 	rep, err := loadgen.Run(ctx, loadgen.Config{
 		BaseURL:     strings.TrimRight(*addr, "/"),
+		BaseURLs:    addrs,
 		Duration:    *duration,
 		TargetQPS:   *qps,
 		Concurrency: *concurrency,

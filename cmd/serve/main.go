@@ -86,12 +86,14 @@ import (
 	"syscall"
 	"time"
 
+	"mapsynth/internal/cluster"
 	"mapsynth/internal/corpusgen"
 	"mapsynth/internal/mapping"
 	"mapsynth/internal/metrics"
 	"mapsynth/internal/pipeline"
 	"mapsynth/internal/qos"
 	"mapsynth/internal/serve"
+	"mapsynth/internal/snapshot"
 )
 
 // newLogger builds the process logger from the CLI's format/level choice.
@@ -137,6 +139,51 @@ func serveAdmin(addr string, reg *metrics.Registry, logger *slog.Logger) {
 	}
 }
 
+// runCoordinator is -peers mode: the process serves no data itself;
+// instead it probes the named peers and fronts them as one logical
+// service (see internal/cluster and docs/cluster.md).
+func runCoordinator(peersSpec string, numShards int, addr string, probeInterval, peerTimeout time.Duration, logger *slog.Logger) {
+	peers, err := cluster.ParsePeers(peersSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serve: -peers: %v\n", err)
+		os.Exit(2)
+	}
+	topo, err := cluster.NewTopology(peers, numShards)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serve: -peers: %v\n", err)
+		os.Exit(2)
+	}
+	co, err := cluster.New(topo, cluster.Options{
+		ProbeInterval: probeInterval,
+		PeerTimeout:   peerTimeout,
+		Logger:        logger,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	co.Start(ctx)
+	for _, p := range topo.Peers {
+		fmt.Printf("serve: peer %s at %s (shards %v)\n", p.Name, p.Addr, p.Shards)
+	}
+	fmt.Printf("serve: coordinating %d peers on %s\n", len(topo.Peers), addr)
+	hs := &http.Server{Addr: addr, Handler: co.Handler()}
+	done := make(chan error, 1)
+	go func() { done <- hs.ListenAndServe() }()
+	select {
+	case err := <-done:
+		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(shutCtx)
+		fmt.Println("serve: coordinator drained, bye")
+	}
+}
+
 func main() {
 	snapPath := flag.String("snapshot", "", "snapshot file written by synthesize -snapshot, served as the default corpus (required)")
 	corpora := make(map[string]string)
@@ -158,7 +205,13 @@ func main() {
 	batchRequests := flag.Int("batch-requests", 32, "max concurrent /batch/* requests; beyond it 429")
 	batchRows := flag.Int("batch-rows", 256, "max concurrently computing batch rows across all requests")
 	batchWriteTimeout := flag.Duration("batch-write-timeout", 30*time.Second, "abandon a batch stream when the client reads nothing for this long")
-	tenantsFlag := flag.String("tenants", "", "per-tenant QoS specs as name[:weight[:rate[:burst]]] comma-separated; \"*\" is the template for unlisted tenants (e.g. 'interactive:4,bulk:1:50:10,*:1:100'); empty = every tenant unlimited, weight 1")
+	tenantsFlag := flag.String("tenants", "", "per-tenant QoS specs as name[:weight[:rate[:burst]]] comma-separated; \"*\" is the template for unlisted tenants (e.g. 'interactive:4,bulk:1:50:10,*:1:100'); @file reads the specs from a file SIGHUP re-reads; empty = every tenant unlimited, weight 1")
+	maxUploadBytes := flag.Int64("max-upload-bytes", 0, "max PUT /v1/corpora/{name} body bytes (snapshot uploads); beyond it 413 payload_too_large; 0 = the batch body bound")
+	madviseFlag := flag.String("madvise", "", "page-cache hint applied to mmapped v2 snapshots: willneed (preload: snapshot fits the cache) or random (no read-ahead: snapshot dwarfs it); empty = none")
+	peersFlag := flag.String("peers", "", "coordinator mode: comma-separated peers as name=addr[=s0+s1+...] (shard list empty = full replica); the process serves scatter-gather routing instead of data")
+	clusterShards := flag.Int("cluster-shards", 0, "coordinator mode: global shard count partial peers are judged against; 0 = inferred from the peer shard lists")
+	probeInterval := flag.Duration("probe-interval", 2*time.Second, "coordinator mode: peer health probe period")
+	peerTimeout := flag.Duration("peer-timeout", 10*time.Second, "coordinator mode: per-peer deadline on proxied and scattered calls")
 	rebuildProfile := flag.String("rebuild-profile", "", "enable POST /reload {\"rebuild\":true}: corpus profile (web or enterprise) to re-synthesize from")
 	rebuildSeed := flag.Int64("rebuild-seed", 42, "corpus seed for -rebuild-profile")
 	rebuildWorkers := flag.Int("rebuild-workers", 0, "pipeline workers for rebuilds; 0 = GOMAXPROCS")
@@ -168,19 +221,59 @@ func main() {
 	pprofAddr := flag.String("pprof-addr", "", "admin listen address for net/http/pprof and /metrics (e.g. localhost:6060); empty disables")
 	flag.Parse()
 
-	if *snapPath == "" {
-		fmt.Fprintln(os.Stderr, "serve: -snapshot is required")
-		flag.Usage()
-		os.Exit(2)
-	}
 	logger, err := newLogger(*logFormat, *logLevel)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
 		os.Exit(2)
 	}
-	tenantSpecs, err := qos.ParseSpecs(*tenantsFlag)
+	if *peersFlag != "" {
+		runCoordinator(*peersFlag, *clusterShards, *addr, *probeInterval, *peerTimeout, logger)
+		return
+	}
+	if *snapPath == "" {
+		fmt.Fprintln(os.Stderr, "serve: -snapshot is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	// -tenants @file: read the spec table from a file, and re-read it on
+	// SIGHUP — quota changes without a restart (POST /v1/tenants is the
+	// API-driven equivalent).
+	var tenantSource func() ([]qos.Spec, error)
+	tenantSpecText := *tenantsFlag
+	if file, ok := strings.CutPrefix(*tenantsFlag, "@"); ok {
+		tenantSource = func() ([]qos.Spec, error) {
+			data, err := os.ReadFile(file)
+			if err != nil {
+				return nil, err
+			}
+			// One spec per line, blank lines and #-comments allowed; a
+			// line may itself hold the flag's comma-separated form.
+			var entries []string
+			for _, line := range strings.Split(string(data), "\n") {
+				if i := strings.IndexByte(line, '#'); i >= 0 {
+					line = line[:i]
+				}
+				if line = strings.TrimSpace(line); line != "" {
+					entries = append(entries, line)
+				}
+			}
+			return qos.ParseSpecs(strings.Join(entries, ","))
+		}
+		specs, err := tenantSource()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serve: -tenants %s: %v\n", *tenantsFlag, err)
+			os.Exit(2)
+		}
+		tenantSpecText = qos.FormatSpecs(specs)
+	}
+	tenantSpecs, err := qos.ParseSpecs(tenantSpecText)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "serve: -tenants: %v\n", err)
+		os.Exit(2)
+	}
+	madvise, err := snapshot.ParseAdvice(*madviseFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serve: -madvise: %v\n", err)
 		os.Exit(2)
 	}
 	// One registry for everything: the server's own collectors register in
@@ -226,6 +319,9 @@ func main() {
 		MaxBatchRows:      *batchRows,
 		BatchWriteTimeout: *batchWriteTimeout,
 		Tenants:           tenantSpecs,
+		TenantSource:      tenantSource,
+		MaxUploadBytes:    *maxUploadBytes,
+		Madvise:           madvise,
 		Rebuild:           rebuild,
 		Metrics:           reg,
 		Logger:            logger,

@@ -1,0 +1,49 @@
+package benchmark
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"mapsynth/internal/corpusgen"
+	"mapsynth/internal/pipeline"
+)
+
+// TestRunCluster runs the cluster scenario over a shrunken corpus: the
+// scaling gate, the p99 gate, and the zero-error replica roll must all
+// hold — the same invariants BENCH_N.json records and CI gates on.
+func TestRunCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster scenario run")
+	}
+	corpus := corpusgen.GenerateWeb(corpusgen.Options{Seed: 42, Scale: 0.15})
+	pres, err := pipeline.New(pipeline.DefaultConfig()).Run(context.Background(), corpus.Tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunCluster(context.Background(), ClusterBenchOptions{
+		PhaseDuration: 600 * time.Millisecond,
+		Seed:          1,
+	}, pres.Mappings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed {
+		t.Fatalf("cluster scenario failed: %v", res.Failures)
+	}
+	if res.ScalingX < res.MinScalingX {
+		t.Errorf("scaling = %.2fx, want >= %.2fx", res.ScalingX, res.MinScalingX)
+	}
+	if res.Roll.Rolled != res.Nodes-1 {
+		t.Errorf("rolled %d replicas, want %d", res.Roll.Rolled, res.Nodes-1)
+	}
+	if res.Roll.Errors != 0 {
+		t.Errorf("roll phase saw %d client errors", res.Roll.Errors)
+	}
+	if res.Degraded {
+		t.Error("cluster degraded after roll")
+	}
+	t.Logf("solo %.0f qps (p99 %.1fms) -> cluster %.0f qps (p99 %.1fms), %.2fx; roll shipped %d replicas in %.0fms",
+		res.Solo.QPS, res.Solo.P99Ms, res.Cluster.QPS, res.Cluster.P99Ms, res.ScalingX,
+		res.Roll.Rolled, res.Roll.RollMs)
+}

@@ -83,6 +83,21 @@ func Compare(old, cur *SuiteResult, tolerance float64) []Regression {
 		check("isolation.contended_p99_ms", old.Isolation.Contended.P99Ms, cur.Isolation.Contended.P99Ms)
 	}
 
+	// The cluster gate is likewise absolute: the scenario carries its own
+	// scaling and zero-error invariants, so a failed current run is a
+	// regression no matter the baseline. The scaling ratio itself is also
+	// compared (inverted — ScalingX is higher-is-better) so the margin
+	// above the floor cannot quietly erode across PRs.
+	if cur.Cluster != nil && !cur.Cluster.Passed {
+		regs = append(regs, Regression{Metric: "cluster.passed", Old: 1, New: 0, Ratio: 1e9})
+	}
+	if old.Cluster != nil && cur.Cluster != nil {
+		if o, n := old.Cluster.ScalingX, cur.Cluster.ScalingX; o > 0 && n > 0 {
+			check("cluster.scaling_x (inverted)", 1/o, 1/n)
+		}
+		check("cluster.p99_ms", old.Cluster.Cluster.P99Ms, cur.Cluster.Cluster.P99Ms)
+	}
+
 	if old.Serving != nil && cur.Serving != nil {
 		ops := make([]string, 0, len(old.Serving.Ops))
 		for op := range old.Serving.Ops {

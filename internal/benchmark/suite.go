@@ -107,6 +107,11 @@ type SuiteResult struct {
 	// tenant's p99 beside an abusive batch tenant, gated against its own
 	// solo baseline.
 	Isolation *loadgen.IsolationResult `json:"isolation,omitempty"`
+
+	// Cluster is the scatter-gather coordinator's proof: throughput must
+	// scale across replicas and a mid-run snapshot roll must stay
+	// invisible to clients.
+	Cluster *ClusterBenchResult `json:"cluster,omitempty"`
 }
 
 // ActivationBench is one snapshot format's activation cost: open → first
@@ -297,6 +302,17 @@ func RunSuite(ctx context.Context, opts SuiteOptions) (*SuiteResult, error) {
 		return nil, fmt.Errorf("benchmark: isolation: %w", err)
 	}
 	res.Isolation = iso
+
+	// The cluster scenario boots its own node fleet and coordinators over
+	// the suite's mapping set; each of its three phases runs Duration/2.
+	cl, err := RunCluster(ctx, ClusterBenchOptions{
+		PhaseDuration: opts.Duration / 2,
+		Seed:          opts.Seed,
+	}, maps)
+	if err != nil {
+		return nil, fmt.Errorf("benchmark: cluster: %w", err)
+	}
+	res.Cluster = cl
 	return res, nil
 }
 

@@ -45,6 +45,12 @@ func TestRunSuite(t *testing.T) {
 	if res.Serving.Errors != 0 {
 		t.Errorf("serving errors = %d: %+v", res.Serving.Errors, res.Serving.ErrorSamples)
 	}
+	if res.Isolation == nil || !res.Isolation.Passed {
+		t.Errorf("isolation = %+v", res.Isolation)
+	}
+	if res.Cluster == nil || !res.Cluster.Passed {
+		t.Errorf("cluster = %+v", res.Cluster)
+	}
 
 	data, err := json.Marshal(res)
 	if err != nil {

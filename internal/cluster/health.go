@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"sort"
+	"time"
+
+	"mapsynth/pkg/client"
+)
+
+// ProbeOnce probes every peer's /v1/healthz concurrently over the shared
+// worker pool and records the results. A probe learns two things the
+// router needs: liveness, and each corpus's version — the input to
+// version-aware replica selection during a snapshot roll.
+func (co *Coordinator) ProbeOnce(ctx context.Context) {
+	_ = co.pool.ForEach(ctx, len(co.peers), func(i int) {
+		co.probePeer(ctx, co.peers[i])
+	})
+}
+
+func (co *Coordinator) probePeer(ctx context.Context, pc *peerConn) {
+	ctx, cancel := context.WithTimeout(ctx, co.opts.PeerTimeout)
+	defer cancel()
+	h, err := pc.cli.Healthz(ctx)
+	now := time.Now()
+	if err != nil {
+		wasAlive := pc.status.Load().alive
+		pc.markDead(err)
+		if wasAlive {
+			co.log.Warn("peer down", "peer", pc.peer.Name, "error", err)
+		}
+		return
+	}
+	if !pc.status.Load().alive {
+		co.log.Info("peer up", "peer", pc.peer.Name)
+	}
+	pc.status.Store(&peerStatus{alive: true, probed: now, corpora: h.Corpora})
+}
+
+// handleCluster answers GET /v1/cluster: the static topology annotated
+// with the live probe view — the bootstrap surface of client.NewCluster.
+func (co *Coordinator) handleCluster(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, co.clusterInfo())
+}
+
+func (co *Coordinator) clusterInfo() client.ClusterInfo {
+	info := client.ClusterInfo{NumShards: co.topo.NumShards}
+	now := time.Now()
+	aliveSet := make(map[string]bool)
+	for _, pc := range co.peers {
+		st := pc.status.Load()
+		cp := client.ClusterPeer{
+			Name:       pc.peer.Name,
+			Addr:       pc.peer.Addr,
+			Shards:     pc.peer.Shards,
+			Alive:      st.alive,
+			Error:      st.err,
+			AgeSeconds: -1,
+		}
+		if !st.probed.IsZero() {
+			cp.AgeSeconds = now.Sub(st.probed).Seconds()
+		}
+		if st.alive {
+			aliveSet[pc.peer.Name] = true
+			cp.Corpora = make(map[string]client.ClusterCorpus, len(st.corpora))
+			for name, ch := range st.corpora {
+				cp.Corpora[name] = client.ClusterCorpus{
+					Version:  ch.Version,
+					Format:   ch.Format,
+					Mappings: ch.Mappings,
+				}
+			}
+		}
+		info.Peers = append(info.Peers, cp)
+	}
+	sort.Slice(info.Peers, func(a, b int) bool { return info.Peers[a].Name < info.Peers[b].Name })
+	info.MissingShards = co.topo.missingShards(func(p Peer) bool { return aliveSet[p.Name] })
+	info.Degraded = len(info.MissingShards) > 0
+	return info
+}
+
+// handleHealthz is the coordinator's own health: ok while every shard has
+// an alive peer, degraded (still 200 — the coordinator itself is fine)
+// while some are missing, and 503 not_ready only when no peer at all is
+// alive, mirroring a single node's "no snapshot loaded yet".
+func (co *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	info := co.clusterInfo()
+	aliveCount := 0
+	for _, p := range info.Peers {
+		if p.Alive {
+			aliveCount++
+		}
+	}
+	if aliveCount == 0 {
+		writeError(w, r, codeUnavailable, "no alive peers")
+		return
+	}
+	status := "ok"
+	if info.Degraded {
+		status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         status,
+		"peers":          len(info.Peers),
+		"alive":          aliveCount,
+		"num_shards":     info.NumShards,
+		"missing_shards": info.MissingShards,
+	})
+}

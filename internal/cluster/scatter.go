@@ -1,0 +1,352 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+
+	"mapsynth/pkg/client"
+)
+
+// typedOp recognizes the endpoints the coordinator can scatter and merge
+// itself: the four single-query apps, in any of their spellings (legacy,
+// /v1 unscoped, corpus-scoped). Batch streams are not scatterable — an
+// NDJSON stream has one producer — and admin surfaces target one node by
+// design; both require a full replica.
+func typedOp(path string) string {
+	if strings.Contains(path, "/batch/") {
+		return ""
+	}
+	op := path[strings.LastIndexByte(path, '/')+1:]
+	switch op {
+	case "lookup", "autofill", "autocorrect", "autojoin":
+		return op
+	}
+	return ""
+}
+
+// degradedExtra rides on every scattered answer: false/absent on a full
+// fan-out, true plus the unanswered shard numbers when peers were down or
+// errored. Clients get a best-effort answer and an honest account of what
+// it might be missing, instead of a hard failure.
+type degradedExtra struct {
+	Degraded bool `json:"degraded"`
+	// MissingShards lists the global shards no successful peer covered.
+	MissingShards []int `json:"missing_shards,omitempty"`
+}
+
+// scatter fans one typed query out to every alive peer, merges the ranked
+// results exactly as a single node merges its local shards, and reports
+// coverage honestly.
+func (co *Coordinator) scatter(w http.ResponseWriter, r *http.Request, corpus, op string) {
+	alive, _ := co.alivePeersCovering()
+	if len(alive) == 0 {
+		writeError(w, r, codeUnavailable, "no alive peers")
+		return
+	}
+
+	// Transient per-request SDK clients so every peer call carries this
+	// request's X-Request-ID and X-Tenant end to end. client.New is a
+	// struct allocation; the transport (co.hc) is shared.
+	reqID := requestID(r)
+	opts := []client.Option{
+		client.WithHTTPClient(co.hc),
+		client.WithRetries(0),
+		client.WithRequestIDs(func() string { return reqID }),
+	}
+	if tenant := r.Header.Get("X-Tenant"); tenant != "" {
+		opts = append(opts, client.WithTenant(tenant))
+	}
+	handles := make([]*client.Corpus, len(alive))
+	for i, pc := range alive {
+		handles[i] = client.New(pc.peer.Addr, opts...).Corpus(corpus)
+	}
+
+	var body []byte
+	if r.Method == http.MethodPost {
+		var err error
+		if body, err = io.ReadAll(r.Body); err != nil {
+			writeError(w, r, codeBadRequest, "reading request body: "+err.Error())
+			return
+		}
+	}
+
+	// fan runs one peer call per alive peer over the shared pool with a
+	// per-peer deadline, then merges via the op-specific folder below.
+	errs := make([]error, len(alive))
+	fan := func(call func(ctx context.Context, i int) error) {
+		_ = co.pool.ForEach(r.Context(), len(alive), func(i int) {
+			ctx, cancel := context.WithTimeout(r.Context(), co.opts.PeerTimeout)
+			defer cancel()
+			errs[i] = call(ctx, i)
+		})
+	}
+	// A peer that answered a well-formed error (e.g. 400 bad_request)
+	// means the request itself is bad — relay the first such error rather
+	// than calling the cluster degraded.
+	relayBadRequest := func() bool {
+		for _, err := range errs {
+			var aerr *client.APIError
+			if errors.As(err, &aerr) && aerr.Status < 500 && aerr.Status != http.StatusNotFound {
+				writeJSON(w, aerr.Status, map[string]any{"error": map[string]any{
+					"code":       aerr.Code,
+					"message":    aerr.Message,
+					"request_id": reqID,
+				}})
+				return true
+			}
+		}
+		return false
+	}
+
+	switch op {
+	case "lookup":
+		key := r.URL.Query().Get("key")
+		if r.Method != http.MethodGet {
+			writeError(w, r, codeMethodNotAllowed, "GET required")
+			return
+		}
+		if key == "" {
+			writeError(w, r, codeBadRequest, "missing required query parameter: key")
+			return
+		}
+		rs := make([]*client.LookupResponse, len(alive))
+		fan(func(ctx context.Context, i int) error {
+			var err error
+			rs[i], err = handles[i].Lookup(ctx, key)
+			return err
+		})
+		if relayBadRequest() {
+			return
+		}
+		merged := mergeLookup(rs)
+		if merged == nil {
+			merged = &client.LookupResponse{Key: key}
+		}
+		co.respond(w, r, alive, errs, &struct {
+			*client.LookupResponse
+			degradedExtra
+		}{LookupResponse: merged})
+
+	case "autofill":
+		var req client.AutoFillRequest
+		if !decodeScatterBody(w, r, body, &req) {
+			return
+		}
+		rs := make([]*client.AutoFillResponse, len(alive))
+		fan(func(ctx context.Context, i int) error {
+			var err error
+			rs[i], err = handles[i].AutoFill(ctx, req)
+			return err
+		})
+		if relayBadRequest() {
+			return
+		}
+		co.respond(w, r, alive, errs, &struct {
+			*client.AutoFillResponse
+			degradedExtra
+		}{AutoFillResponse: mergeAutoFill(rs, req.TopK)})
+
+	case "autocorrect":
+		var req client.AutoCorrectRequest
+		if !decodeScatterBody(w, r, body, &req) {
+			return
+		}
+		rs := make([]*client.AutoCorrectResponse, len(alive))
+		fan(func(ctx context.Context, i int) error {
+			var err error
+			rs[i], err = handles[i].AutoCorrect(ctx, req)
+			return err
+		})
+		if relayBadRequest() {
+			return
+		}
+		co.respond(w, r, alive, errs, &struct {
+			*client.AutoCorrectResponse
+			degradedExtra
+		}{AutoCorrectResponse: mergeAutoCorrect(rs, req.TopK)})
+
+	case "autojoin":
+		var req client.AutoJoinRequest
+		if !decodeScatterBody(w, r, body, &req) {
+			return
+		}
+		rs := make([]*client.AutoJoinResponse, len(alive))
+		fan(func(ctx context.Context, i int) error {
+			var err error
+			rs[i], err = handles[i].AutoJoin(ctx, req)
+			return err
+		})
+		if relayBadRequest() {
+			return
+		}
+		co.respond(w, r, alive, errs, &struct {
+			*client.AutoJoinResponse
+			degradedExtra
+		}{AutoJoinResponse: mergeAutoJoin(rs, req.TopK)})
+	}
+}
+
+// respond stamps the coverage verdict onto the merged answer. The extra is
+// reachable through the anonymous struct's embedded degradedExtra; v is
+// passed as any, so set the fields via the concrete setter interface.
+func (co *Coordinator) respond(w http.ResponseWriter, r *http.Request, alive []*peerConn, errs []error, v any) {
+	ok := make(map[string]bool, len(alive))
+	failed := 0
+	for i, pc := range alive {
+		if errs[i] == nil {
+			ok[pc.peer.Name] = true
+		} else {
+			failed++
+		}
+	}
+	missing := co.topo.missingShards(func(p Peer) bool { return ok[p.Name] })
+	if ds, okCast := v.(degradedSetter); okCast {
+		ds.setDegraded(len(missing) > 0 || len(ok) == 0, missing)
+	}
+	if len(ok) == 0 {
+		// Every peer failed: there is no best-effort answer to degrade to.
+		writeError(w, r, codeUnavailable, "all peers failed: "+errs[0].Error())
+		return
+	}
+	if failed > 0 {
+		co.log.Warn("degraded fan-out", "failed_peers", failed, "missing_shards", missing,
+			"request_id", requestID(r))
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+// degradedSetter is implemented by pointers to the anonymous response
+// structs via their embedded degradedExtra.
+type degradedSetter interface{ setDegraded(d bool, missing []int) }
+
+func (de *degradedExtra) setDegraded(d bool, missing []int) {
+	de.Degraded = d
+	de.MissingShards = missing
+}
+
+func decodeScatterBody(w http.ResponseWriter, r *http.Request, body []byte, v any) bool {
+	if r.Method != http.MethodPost {
+		writeError(w, r, codeMethodNotAllowed, "POST required")
+		return false
+	}
+	if len(body) > 0 {
+		if err := json.Unmarshal(body, v); err != nil {
+			writeError(w, r, codeBadRequest, "bad request body: "+err.Error())
+			return false
+		}
+	}
+	return true
+}
+
+// ---- merge rules ----
+//
+// Each folder keeps the answer a single node would have produced had it
+// held all the data: prefer found over not-found, then the same dominance
+// order the node-local rankers use (domains/support for lookup, most rows
+// filled/corrected/bridged for the apps). Ties keep topology order, so
+// merged answers are deterministic for a fixed peer set.
+
+func mergeLookup(rs []*client.LookupResponse) *client.LookupResponse {
+	var best *client.LookupResponse
+	for _, r := range rs {
+		if r == nil {
+			continue
+		}
+		if best == nil {
+			best = r
+			continue
+		}
+		if !best.Found && r.Found {
+			best = r
+			continue
+		}
+		if best.Found && r.Found {
+			if r.Domains > best.Domains || (r.Domains == best.Domains && r.Support > best.Support) {
+				best = r
+			}
+		}
+	}
+	return best
+}
+
+func mergeAutoFill(rs []*client.AutoFillResponse, topK int) *client.AutoFillResponse {
+	var best *client.AutoFillResponse
+	var candidates []client.AutoFillCandidate
+	for _, r := range rs {
+		if r == nil {
+			continue
+		}
+		candidates = append(candidates, r.Candidates...)
+		if best == nil || (r.Found && !best.Found) ||
+			(r.Found && best.Found && len(r.Filled) > len(best.Filled)) {
+			best = r
+		}
+	}
+	if best == nil {
+		return &client.AutoFillResponse{}
+	}
+	out := *best
+	out.Candidates = topCandidates(candidates, topK, func(c client.AutoFillCandidate) int { return len(c.Filled) })
+	return &out
+}
+
+func mergeAutoCorrect(rs []*client.AutoCorrectResponse, topK int) *client.AutoCorrectResponse {
+	var best *client.AutoCorrectResponse
+	var candidates []client.AutoCorrectCandidate
+	for _, r := range rs {
+		if r == nil {
+			continue
+		}
+		candidates = append(candidates, r.Candidates...)
+		if best == nil || (r.Found && !best.Found) ||
+			(r.Found && best.Found && len(r.Corrections) > len(best.Corrections)) {
+			best = r
+		}
+	}
+	if best == nil {
+		return &client.AutoCorrectResponse{}
+	}
+	out := *best
+	out.Candidates = topCandidates(candidates, topK, func(c client.AutoCorrectCandidate) int { return len(c.Corrections) })
+	return &out
+}
+
+func mergeAutoJoin(rs []*client.AutoJoinResponse, topK int) *client.AutoJoinResponse {
+	var best *client.AutoJoinResponse
+	var candidates []client.AutoJoinCandidate
+	for _, r := range rs {
+		if r == nil {
+			continue
+		}
+		candidates = append(candidates, r.Candidates...)
+		if best == nil || (r.Found && !best.Found) ||
+			(r.Found && best.Found && r.Bridged > best.Bridged) {
+			best = r
+		}
+	}
+	if best == nil {
+		return &client.AutoJoinResponse{}
+	}
+	out := *best
+	out.Candidates = topCandidates(candidates, topK, func(c client.AutoJoinCandidate) int { return c.Bridged })
+	return &out
+}
+
+// topCandidates merges the peers' candidate lists into the best K by
+// score, stable within equal scores. K <= 0 means the request did not ask
+// for candidates; return none, like a single node.
+func topCandidates[C any](cs []C, k int, score func(C) int) []C {
+	if k <= 0 || len(cs) == 0 {
+		return nil
+	}
+	sort.SliceStable(cs, func(a, b int) bool { return score(cs[a]) > score(cs[b]) })
+	if len(cs) > k {
+		cs = cs[:k]
+	}
+	return cs
+}

@@ -1,0 +1,203 @@
+// Package cluster turns N independent serve processes into one logical
+// mapping service. A Coordinator owns a static topology of peers (name,
+// address, shard assignment), probes their /v1/healthz for liveness and
+// per-corpus versions, and fronts the whole v1 HTTP surface:
+//
+//   - when an alive peer covers every shard of the corpus (a replica), the
+//     request is reverse-proxied point-to-point to the freshest such
+//     replica, round-robin among equals — byte-identical answers, NDJSON
+//     batch streaming included;
+//   - when the corpus is partitioned across peers, the typed query
+//     endpoints scatter to every alive peer holding a shard, merge the
+//     ranked results with the same comparators a single node uses, and
+//     degrade honestly: a partial fan-out answers with "degraded": true
+//     plus the shard numbers that went unanswered;
+//   - replication is snapshot shipping over the existing corpus surface —
+//     Roll downloads the freshest replica's v2 snapshot bytes and PUTs
+//     them peer by peer, so a corpus reload walks the replica set with
+//     zero downtime (every swap is atomic node-side).
+//
+// The package deliberately speaks to peers only through pkg/client — the
+// public SDK — so the coordinator exercises exactly the wire contract any
+// external client gets.
+package cluster
+
+import (
+	"fmt"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Peer is one serve process in the topology.
+type Peer struct {
+	// Name is the peer's stable identity, [A-Za-z0-9._-]{1,64}.
+	Name string
+	// Addr is the peer's base URL, e.g. "http://10.0.0.7:8080".
+	Addr string
+	// Shards lists the global shard numbers this peer holds; empty means
+	// the peer holds every shard (a full replica).
+	Shards []int
+}
+
+// FullCover reports whether the peer holds every one of n shards. An empty
+// shard list always covers; an explicit list covers when it contains each
+// of 0..n-1.
+func (p Peer) FullCover(n int) bool {
+	if len(p.Shards) == 0 {
+		return true
+	}
+	if n <= 0 {
+		return false
+	}
+	have := make(map[int]bool, len(p.Shards))
+	for _, s := range p.Shards {
+		have[s] = true
+	}
+	for s := 0; s < n; s++ {
+		if !have[s] {
+			return false
+		}
+	}
+	return true
+}
+
+// Topology is the static cluster layout the coordinator serves.
+type Topology struct {
+	Peers []Peer
+	// NumShards is the global shard count partial peers are judged
+	// against. Zero is legal only when every peer is a full replica.
+	NumShards int
+}
+
+// ParsePeers parses the -peers flag grammar: comma-separated
+//
+//	name=addr[=s0+s1+...]
+//
+// entries, e.g. "a=http://10.0.0.1:8080,b=http://10.0.0.2:8080=0+1".
+// A peer without a shard list is a full replica. Addresses without a
+// scheme default to http://.
+func ParsePeers(spec string) ([]Peer, error) {
+	var peers []Peer
+	for _, ent := range strings.Split(spec, ",") {
+		ent = strings.TrimSpace(ent)
+		if ent == "" {
+			continue
+		}
+		parts := strings.SplitN(ent, "=", 3)
+		if len(parts) < 2 || parts[0] == "" || parts[1] == "" {
+			return nil, fmt.Errorf("cluster: bad peer %q (want name=addr[=s0+s1+...])", ent)
+		}
+		p := Peer{Name: parts[0], Addr: normalizeAddr(parts[1])}
+		if !validPeerName(p.Name) {
+			return nil, fmt.Errorf("cluster: bad peer name %q (want [A-Za-z0-9._-]{1,64})", p.Name)
+		}
+		if _, err := url.Parse(p.Addr); err != nil {
+			return nil, fmt.Errorf("cluster: bad peer address %q: %v", parts[1], err)
+		}
+		if len(parts) == 3 && parts[2] != "" {
+			for _, f := range strings.Split(parts[2], "+") {
+				s, err := strconv.Atoi(strings.TrimSpace(f))
+				if err != nil || s < 0 {
+					return nil, fmt.Errorf("cluster: bad shard %q in peer %q", f, p.Name)
+				}
+				p.Shards = append(p.Shards, s)
+			}
+			sort.Ints(p.Shards)
+		}
+		peers = append(peers, p)
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("cluster: no peers in %q", spec)
+	}
+	return peers, nil
+}
+
+func normalizeAddr(addr string) string {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return strings.TrimRight(addr, "/")
+}
+
+func validPeerName(name string) bool {
+	if len(name) == 0 || len(name) > 64 {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+			c == '.' || c == '_' || c == '-') {
+			return false
+		}
+	}
+	return true
+}
+
+// NewTopology validates the peer set into a Topology. numShards <= 0 is
+// inferred as max(explicit shard)+1 when any peer lists shards; it stays 0
+// for an all-replica topology, where shard arithmetic is moot.
+func NewTopology(peers []Peer, numShards int) (*Topology, error) {
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("cluster: empty topology")
+	}
+	seen := make(map[string]bool, len(peers))
+	maxShard := -1
+	for _, p := range peers {
+		if seen[p.Name] {
+			return nil, fmt.Errorf("cluster: duplicate peer name %q", p.Name)
+		}
+		seen[p.Name] = true
+		for _, s := range p.Shards {
+			if s > maxShard {
+				maxShard = s
+			}
+		}
+	}
+	if numShards <= 0 {
+		numShards = maxShard + 1 // 0 when every peer is a full replica
+	}
+	for _, p := range peers {
+		for _, s := range p.Shards {
+			if s >= numShards {
+				return nil, fmt.Errorf("cluster: peer %q holds shard %d but the topology has %d shards",
+					p.Name, s, numShards)
+			}
+		}
+	}
+	return &Topology{Peers: peers, NumShards: numShards}, nil
+}
+
+// missingShards returns the shard numbers no peer accepted by keep covers,
+// nil when everything is covered. With NumShards == 0 (all-replica
+// topology) coverage means "at least one kept peer".
+func (t *Topology) missingShards(keep func(p Peer) bool) []int {
+	if t.NumShards == 0 {
+		for _, p := range t.Peers {
+			if keep(p) {
+				return nil
+			}
+		}
+		return []int{0}
+	}
+	covered := make([]bool, t.NumShards)
+	for _, p := range t.Peers {
+		if !keep(p) {
+			continue
+		}
+		if len(p.Shards) == 0 {
+			return nil
+		}
+		for _, s := range p.Shards {
+			covered[s] = true
+		}
+	}
+	var missing []int
+	for s, ok := range covered {
+		if !ok {
+			missing = append(missing, s)
+		}
+	}
+	return missing
+}

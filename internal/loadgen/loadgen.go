@@ -65,6 +65,12 @@ func DefaultMix() map[string]int {
 type Config struct {
 	// BaseURL is the server root, e.g. "http://localhost:8080".
 	BaseURL string
+	// BaseURLs targets several server roots at once (multi-node mode):
+	// each request picks one uniformly at random, spreading the closed
+	// loop over the fleet. The nodes are expected to be equivalent — full
+	// replicas or coordinators over the same cluster — since the workload
+	// material is shared. Overrides BaseURL when non-empty.
+	BaseURLs []string
 	// Duration bounds the run; <= 0 selects 10s.
 	Duration time.Duration
 	// TargetQPS paces aggregate request issue; <= 0 runs unpaced (each
@@ -260,8 +266,12 @@ func (m *opMetrics) observe(d time.Duration, rows int64, throttled, failed bool)
 // response other than 429, a malformed batch stream, or a transport error
 // all count as errors; the run itself only fails on misconfiguration.
 func Run(ctx context.Context, cfg Config, wl *Workload) (*Report, error) {
-	if cfg.BaseURL == "" {
-		return nil, errors.New("loadgen: BaseURL is required")
+	urls := cfg.BaseURLs
+	if len(urls) == 0 {
+		if cfg.BaseURL == "" {
+			return nil, errors.New("loadgen: BaseURL or BaseURLs is required")
+		}
+		urls = []string{cfg.BaseURL}
 	}
 	if wl == nil || len(wl.cols) == 0 {
 		return nil, errors.New("loadgen: empty workload")
@@ -303,10 +313,15 @@ func Run(ctx context.Context, cfg Config, wl *Workload) (*Report, error) {
 		if ts.Name != "" {
 			opts = append(opts, client.WithTenant(ts.Name))
 		}
-		c := client.New(cfg.BaseURL, opts...)
-		targets := []target{c}
-		if len(cfg.Corpora) > 0 {
-			targets = targets[:0]
+		// A lane's targets are the cross product of nodes × corpora: one
+		// SDK client per node, scoped per corpus when corpora are named.
+		var targets []target
+		for _, u := range urls {
+			c := client.New(u, opts...)
+			if len(cfg.Corpora) == 0 {
+				targets = append(targets, c)
+				continue
+			}
 			for _, name := range cfg.Corpora {
 				targets = append(targets, c.Corpus(name))
 			}

@@ -2,10 +2,13 @@ package serve
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -41,6 +44,9 @@ type corpusInfo struct {
 	Shards   int    `json:"shards"`
 	// MappedBytes is the mmapped region size of a v2 state; 0 otherwise.
 	MappedBytes int64 `json:"mapped_bytes,omitempty"`
+	// Madvise is the page-cache hint applied to a mapped v2 state's region
+	// ("willneed" or "random", the -madvise flag); absent when none.
+	Madvise string `json:"madvise,omitempty"`
 	// ActivationSeconds is how long the live state took from snapshot open
 	// to query-ready.
 	ActivationSeconds float64 `json:"activation_s"`
@@ -62,6 +68,7 @@ func infoFor(c *corpus) corpusInfo {
 		Pairs:             st.pairs,
 		Shards:            st.Index.NumShards(),
 		MappedBytes:       st.MappedBytes,
+		Madvise:           st.Madvise,
 		ActivationSeconds: st.ActivationSeconds,
 		LoadedAt:          st.LoadedAt.UTC().Format(time.RFC3339),
 		Reloads:           c.reloads.Load(),
@@ -119,13 +126,16 @@ func (s *Server) handleCorpusPut(w http.ResponseWriter, r *http.Request, name st
 		return
 	}
 	t0 := time.Now()
-	body := bufio.NewReader(http.MaxBytesReader(w, r.Body, s.opts.MaxBatchBodyBytes))
+	body := bufio.NewReader(http.MaxBytesReader(w, r.Body, s.opts.MaxUploadBytes))
 	var st *State
 	var err error
 	if isSnapshotUpload(r, body) {
 		var data []byte
 		data, err = io.ReadAll(body)
 		if err != nil {
+			if s.writeUploadTooLarge(w, r, err) {
+				return
+			}
 			writeError(w, r, CodeBadRequest, "reading snapshot body: "+err.Error())
 			return
 		}
@@ -136,6 +146,9 @@ func (s *Server) handleCorpusPut(w http.ResponseWriter, r *http.Request, name st
 			dec := json.NewDecoder(body)
 			dec.DisallowUnknownFields()
 			if derr := dec.Decode(&req); derr != nil {
+				if s.writeUploadTooLarge(w, r, derr) {
+					return
+				}
 				writeError(w, r, CodeBadRequest, "bad request body: "+derr.Error())
 				return
 			}
@@ -183,6 +196,53 @@ func isSnapshotUpload(r *http.Request, body *bufio.Reader) bool {
 	}
 	b, err := body.Peek(len(snapshot.Magic))
 	return err == nil && [4]byte(b) == snapshot.Magic
+}
+
+// writeUploadTooLarge recognizes the MaxBytesReader trip inside a body-read
+// error and answers the structured 413; it reports whether it handled the
+// error. Keeping the check in one place guarantees both PUT body forms
+// (upload and JSON path) speak the identical payload_too_large envelope.
+func (s *Server) writeUploadTooLarge(w http.ResponseWriter, r *http.Request, err error) bool {
+	var mbe *http.MaxBytesError
+	if !errors.As(err, &mbe) {
+		return false
+	}
+	writeError(w, r, CodePayloadTooLarge,
+		fmt.Sprintf("request body exceeds %d bytes (-max-upload-bytes)", mbe.Limit))
+	return true
+}
+
+// handleCorpusSnapshot serves GET /v1/corpora/{name}/snapshot: the live
+// state's exact v2 snapshot bytes, the wire format of snapshot-shipped
+// replication. A v2-backed state streams its mapped file image zero-copy; a
+// heap-backed state (memory or decoded v1) is re-encoded to v2 on the fly so
+// any node can act as a roll source. The X-Corpus-Version header carries the
+// source version for the replicator's convergence check.
+func (s *Server) handleCorpusSnapshot(c *corpus, w http.ResponseWriter, r *http.Request) {
+	st := c.state.Load()
+	var data []byte
+	switch {
+	case st.Format == 2 && st.handle != nil:
+		data = st.handle.Bytes()
+	case st.Maps != nil:
+		var buf bytes.Buffer
+		if err := snapshot.WriteV2(&buf, st.Maps); err != nil {
+			writeError(w, r, CodeInternal, "encoding snapshot: "+err.Error())
+			return
+		}
+		data = buf.Bytes()
+	default:
+		writeError(w, r, CodeUnprocessable,
+			fmt.Sprintf("corpus %q has no serializable state", c.name))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.Header().Set("X-Corpus-Version", strconv.FormatInt(st.Version, 10))
+	w.WriteHeader(http.StatusOK)
+	if r.Method != http.MethodHead {
+		_, _ = w.Write(data)
+	}
 }
 
 func (s *Server) handleCorpusDelete(w http.ResponseWriter, r *http.Request, name string) {

@@ -48,6 +48,10 @@ const (
 	// "overloaded" so clients can tell "the server is saturated" from
 	// "your quota is", which call for different remedies.
 	CodeQuotaExhausted ErrorCode = "quota_exhausted"
+	// CodePayloadTooLarge: the request body exceeded the endpoint's byte
+	// bound (snapshot uploads: -max-upload-bytes). Not retryable without a
+	// smaller payload, so no Retry-After.
+	CodePayloadTooLarge ErrorCode = "payload_too_large"
 	// CodeInternal: the server failed mid-request (panic in a batch row,
 	// cancelled work).
 	CodeInternal ErrorCode = "internal"
@@ -68,6 +72,8 @@ func statusForCode(code ErrorCode) int {
 		return http.StatusUnprocessableEntity
 	case CodeOverloaded, CodeQuotaExhausted:
 		return http.StatusTooManyRequests
+	case CodePayloadTooLarge:
+		return http.StatusRequestEntityTooLarge
 	case CodeNotReady:
 		return http.StatusServiceUnavailable
 	default:

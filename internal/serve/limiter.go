@@ -69,7 +69,7 @@ func (s *Server) acquireRow(ctx context.Context, tn *tenant) error {
 	if !s.fair.TryAcquire() {
 		s.batch.backpressure.Add(1)
 		tn.queued.Add(1)
-		err := s.fair.Acquire(ctx, tn.name, float64(tn.weight), qos.Batch)
+		err := s.fair.Acquire(ctx, tn.name, tn.fairWeight(), qos.Batch)
 		tn.queued.Add(-1)
 		if err != nil {
 			return err

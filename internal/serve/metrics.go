@@ -127,7 +127,7 @@ func (s *Server) registerMetrics(reg *metrics.Registry) {
 		"Configured weighted-fair share of each tenant.", []string{"tenant"},
 		func(emit func([]string, float64)) {
 			for _, tn := range s.tenants.list() {
-				emit([]string{tn.name}, float64(tn.weight))
+				emit([]string{tn.name}, tn.fairWeight())
 			}
 		})
 	reg.HistogramVecFunc("mapsynth_tenant_request_duration_seconds",

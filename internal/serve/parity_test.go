@@ -176,6 +176,11 @@ func TestErrorEnvelopeGoldens(t *testing.T) {
 	empty := newServer(Options{})
 	emptyH := empty.Handler()
 
+	// A server with a tiny upload bound: an oversized snapshot upload must
+	// be rejected with the payload_too_large envelope.
+	small := NewFromMappings(testMappings(), Options{MaxUploadBytes: 16})
+	smallH := small.Handler()
+
 	// The internal code is produced by mid-request failures (cancellation,
 	// row panics) that are awkward to trigger deterministically; golden its
 	// envelope through the same writeError choke point every handler uses.
@@ -224,6 +229,9 @@ func TestErrorEnvelopeGoldens(t *testing.T) {
 		{"quota_exhausted", quotaH, http.MethodGet, "/v1/lookup?key=tcp", "",
 			http.StatusTooManyRequests,
 			`{"error":{"code":"quota_exhausted","message":"tenant \"default\" rate limit exhausted, retry later","retry_after_ms":2000,"request_id":"golden-id"}}`},
+		{"payload_too_large", smallH, http.MethodPut, "/v1/corpora/up", "MSNP" + strings.Repeat("x", 64),
+			http.StatusRequestEntityTooLarge,
+			`{"error":{"code":"payload_too_large","message":"request body exceeds 16 bytes (-max-upload-bytes)","request_id":"golden-id"}}`},
 		{"not_ready", emptyH, http.MethodGet, "/v1/healthz", "",
 			http.StatusServiceUnavailable,
 			`{"error":{"code":"not_ready","message":"no snapshot loaded yet","request_id":"golden-id"}}`},

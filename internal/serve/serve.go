@@ -65,6 +65,10 @@ type Options struct {
 	// endpoints and on PUT /v1/corpora/{name} snapshot uploads, which
 	// legitimately carry much larger payloads; <= 0 selects 256 MiB.
 	MaxBatchBodyBytes int64
+	// MaxUploadBytes bounds PUT /v1/corpora/{name} snapshot-upload bodies;
+	// beyond it the request answers a structured 413 payload_too_large.
+	// <= 0 selects MaxBatchBodyBytes.
+	MaxUploadBytes int64
 	// MaxBatchRequests bounds concurrently served /batch/* requests across
 	// all corpora; beyond it requests are rejected with 429 + Retry-After.
 	// <= 0 selects 32.
@@ -89,6 +93,14 @@ type Options struct {
 	// interactive traffic preempts batch rows even on an unconfigured
 	// server.
 	Tenants []qos.Spec
+	// TenantSource, when non-nil, re-supplies the tenant specs on SIGHUP
+	// (e.g. re-reading a -tenants @file), so quota changes apply without a
+	// restart; POST /v1/tenants covers the API-driven path.
+	TenantSource func() ([]qos.Spec, error)
+	// Madvise is the page-cache preload hint applied to every v2 snapshot
+	// region right after mmap (snapshot.AdviseWillNeed or AdviseRandom);
+	// empty applies none. Surfaced per corpus in /v1/corpora metadata.
+	Madvise snapshot.Advice
 	// Rebuild, when non-nil, is the offline synthesis entry point: POST
 	// /reload with {"rebuild": true} calls it to re-run the pipeline engine
 	// and atomically swaps the fresh mapping set into the default corpus.
@@ -149,6 +161,9 @@ type State struct {
 	// ActivationSeconds is how long this state took from snapshot open to
 	// query-ready (decode/mmap + index + session construction).
 	ActivationSeconds float64
+	// Madvise is the page-cache hint applied to this state's mapped region
+	// ("willneed" or "random"); empty when none was applied.
+	Madvise string
 	// handle keeps a v2 state's mapped region alive: materialized mappings
 	// hold zero-copy views into it and must not outlive it.
 	handle   *snapshot.Handle
@@ -215,6 +230,9 @@ func newServer(opts Options) *Server {
 	}
 	if opts.MaxBatchBodyBytes <= 0 {
 		opts.MaxBatchBodyBytes = 256 << 20
+	}
+	if opts.MaxUploadBytes <= 0 {
+		opts.MaxUploadBytes = opts.MaxBatchBodyBytes
 	}
 	if opts.BatchWriteTimeout <= 0 {
 		opts.BatchWriteTimeout = 30 * time.Second
@@ -310,6 +328,13 @@ func (s *Server) buildStateV2(h *snapshot.Handle, path string) *State {
 		mappings:    h.Len(),
 		pairs:       h.Pairs(),
 		cache:       newLRU(s.opts.CacheSize),
+	}
+	if s.opts.Madvise != snapshot.AdviseNone && h.Mapped() {
+		if err := h.Advise(s.opts.Madvise); err != nil {
+			s.logger.Warn("madvise failed", "advice", string(s.opts.Madvise), "error", err)
+		} else {
+			st.Madvise = string(s.opts.Madvise)
+		}
 	}
 	st.session = apps.NewSession(st.Index,
 		apps.WithDefaults(serveDefaults),
@@ -444,6 +469,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/corpora/{name}", s.handleCorpusResource)
 	mux.HandleFunc("/v1/corpora/{name}/activate", s.handleActivate)
 	mux.HandleFunc("/v1/corpora/{name}/rollback", s.handleRollback)
+	mux.HandleFunc("/v1/corpora/{name}/snapshot", s.getOnly(s.withCorpus(pathResolver, s.handleCorpusSnapshot)))
+	// Tenant-quota administration (v1-only, like the corpora surface).
+	mux.HandleFunc("/v1/tenants", s.handleTenants)
 	routed := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if _, pattern := mux.Handler(r); pattern == "" {
 			writeError(w, r, CodeNotFound, "no such endpoint: "+r.URL.Path)
@@ -536,7 +564,7 @@ func (s *Server) timedApp(resolve corpusResolver, pick func(*corpusStats) *endpo
 func (s *Server) runApp(tn *tenant, class qos.Class, c *corpus, w http.ResponseWriter, r *http.Request, h appHandler) bool {
 	if class == qos.Interactive {
 		tn.queued.Add(1)
-		err := s.fair.Acquire(r.Context(), tn.name, float64(tn.weight), qos.Interactive)
+		err := s.fair.Acquire(r.Context(), tn.name, tn.fairWeight(), qos.Interactive)
 		tn.queued.Add(-1)
 		if err != nil {
 			return writeError(w, r, CodeInternal, "request cancelled while queued")
@@ -562,6 +590,14 @@ func (s *Server) Run(ctx context.Context, addr string) error {
 		for {
 			select {
 			case <-hup:
+				if s.opts.TenantSource != nil {
+					if specs, err := s.opts.TenantSource(); err != nil {
+						s.logger.Error("sighup tenant reload failed", "error", err)
+					} else {
+						s.SetTenants(specs)
+						s.logger.Info("sighup tenant reload", "specs", qos.FormatSpecs(specs))
+					}
+				}
 				if err := s.ReloadAll(context.Background()); err != nil {
 					s.logger.Error("sighup reload failed", "error", err)
 				} else {

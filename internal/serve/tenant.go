@@ -39,14 +39,22 @@ const maxTrackedTenants = 256
 // overflowTenant aggregates tenants past maxTrackedTenants.
 const overflowTenant = "other"
 
+// tenantLimits is one tenant's swappable QoS configuration: the weight,
+// the token bucket, and the bucket's configured refill mirrored for
+// snapshots (the bucket itself only answers Take). It sits behind an
+// atomic pointer so POST /v1/tenants (and SIGHUP) can re-apply specs
+// without restart while admission reads race-free; counters live on the
+// tenant itself and survive a limits swap.
+type tenantLimits struct {
+	weight int
+	bucket *qos.Bucket
+	rate   float64 // requests/second; 0 unlimited
+}
+
 // tenant is one tenant's admission state and counters.
 type tenant struct {
 	name   string
-	weight int
-	bucket *qos.Bucket
-	// rateLimit mirrors the bucket's configured refill (requests/second;
-	// 0 unlimited) for snapshots — the bucket itself only answers Take.
-	rateLimit float64
+	limits atomic.Pointer[tenantLimits]
 
 	requests  atomic.Int64 // requests attributed to this tenant
 	throttled atomic.Int64 // requests rejected 429 quota_exhausted
@@ -54,6 +62,10 @@ type tenant struct {
 	queued    atomic.Int64 // gauge: requests/rows waiting in the fair queue
 	latency   latency.Histogram
 }
+
+// fairWeight is the tenant's current weighted-fair share, read on every
+// slot acquisition.
+func (tn *tenant) fairWeight() float64 { return float64(tn.limits.Load().weight) }
 
 func (tn *tenant) observe(d time.Duration, failed bool) {
 	if failed {
@@ -88,18 +100,65 @@ func newTenantSet(specs []qos.Spec) *tenantSet {
 }
 
 func newTenant(sp qos.Spec) *tenant {
-	return &tenant{name: sp.Name, weight: sp.Weight, bucket: sp.NewBucketFor(), rateLimit: sp.Rate}
+	tn := &tenant{name: sp.Name}
+	tn.limits.Store(limitsFor(sp))
+	return tn
 }
 
-// mint builds a tenant with no explicit spec: the wildcard template's
-// limits when one is configured, unlimited weight 1 otherwise.
-func (ts *tenantSet) mint(name string) *tenant {
+func limitsFor(sp qos.Spec) *tenantLimits {
+	return &tenantLimits{weight: sp.Weight, bucket: sp.NewBucketFor(), rate: sp.Rate}
+}
+
+// mintSpec is the spec a tenant with no explicit entry gets: the wildcard
+// template's limits when one is configured, unlimited weight 1 otherwise.
+// Callers hold ts.mu (any mode).
+func (ts *tenantSet) mintSpec(name string) qos.Spec {
 	sp := qos.Spec{Name: name, Weight: 1}
 	if ts.hasTmpl {
 		sp = ts.template
 		sp.Name = name
 	}
-	return newTenant(sp)
+	return sp
+}
+
+// mint builds a tenant with no explicit spec from the template.
+func (ts *tenantSet) mint(name string) *tenant {
+	return newTenant(ts.mintSpec(name))
+}
+
+// reconfigure re-applies a full spec table without restart: named tenants
+// get their new spec's limits, existing tenants absent from the new table
+// are re-minted from the new template (or unlimited weight-1 when none),
+// and new named specs create their tenants eagerly. Counters, histograms
+// and queue gauges persist across the swap — a quota change must not erase
+// a tenant's history — and in-flight admissions race harmlessly against
+// the atomic limits pointer.
+func (ts *tenantSet) reconfigure(specs []qos.Spec) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	byName := make(map[string]qos.Spec, len(specs))
+	ts.template, ts.hasTmpl = qos.Spec{}, false
+	for _, sp := range specs {
+		if sp.Name == "*" {
+			ts.template, ts.hasTmpl = sp, true
+			continue
+		}
+		byName[sp.Name] = sp
+	}
+	for name, tn := range ts.byName {
+		sp, ok := byName[name]
+		if !ok {
+			sp = ts.mintSpec(name)
+		}
+		tn.limits.Store(limitsFor(sp))
+		delete(byName, name)
+	}
+	for name, sp := range byName {
+		if len(ts.byName) >= maxTrackedTenants {
+			break
+		}
+		ts.byName[name] = newTenant(sp)
+	}
 }
 
 // resolve maps a header value to its tenant, creating one on first sight.
@@ -161,7 +220,7 @@ func (s *Server) admitTenant(w http.ResponseWriter, r *http.Request) (*tenant, b
 	}
 	noteTenant(r, tn)
 	tn.requests.Add(1)
-	if ok, retry := tn.bucket.Take(); !ok {
+	if ok, retry := tn.limits.Load().bucket.Take(); !ok {
 		tn.throttled.Add(1)
 		writeQuotaExhausted(w, r, retry,
 			fmt.Sprintf("tenant %q rate limit exhausted, retry later", tn.name))
@@ -199,8 +258,9 @@ type TenantSnapshot struct {
 
 func (tn *tenant) snapshot() TenantSnapshot {
 	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	lim := tn.limits.Load()
 	snap := TenantSnapshot{
-		Weight:     tn.weight,
+		Weight:     lim.weight,
 		Requests:   tn.requests.Load(),
 		Throttled:  tn.throttled.Load(),
 		Errors:     tn.errors.Load(),
@@ -210,7 +270,7 @@ func (tn *tenant) snapshot() TenantSnapshot {
 		P95Ms:      ms(tn.latency.Percentile(0.95)),
 		P99Ms:      ms(tn.latency.Percentile(0.99)),
 	}
-	snap.RateLimit = tn.rateLimit
+	snap.RateLimit = lim.rate
 	return snap
 }
 

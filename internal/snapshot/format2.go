@@ -307,11 +307,22 @@ func (h *Handle) Close() error {
 // Path returns the file the handle was opened from ("" for OpenBytes).
 func (h *Handle) Path() string { return h.path }
 
+// Mapped reports whether the handle is backed by an mmapped file region
+// (Open) rather than an in-memory copy (OpenBytes).
+func (h *Handle) Mapped() bool { return h.mapped }
+
 // Format returns the snapshot format version (2).
 func (h *Handle) Format() int { return 2 }
 
 // MappedBytes returns the size of the backing region in bytes.
 func (h *Handle) MappedBytes() int64 { return int64(len(h.data)) }
+
+// Bytes returns the raw v2 file image backing the handle — header,
+// sections and footer exactly as written. The serving layer ships these
+// bytes to replicas (GET /v1/corpora/{name}/snapshot) without re-reading
+// the file. Callers must treat the slice as read-only and must not retain
+// it past Close.
+func (h *Handle) Bytes() []byte { return h.data }
 
 // Pairs returns the total pair count across all mappings (from the header).
 func (h *Handle) Pairs() int { return h.pairN }

@@ -1,0 +1,7 @@
+//go:build !(linux || darwin)
+
+package snapshot
+
+// madvise is a no-op where the syscall is unavailable; the hint is
+// best-effort everywhere.
+func madvise([]byte, Advice) error { return nil }

@@ -1,0 +1,16 @@
+//go:build linux || darwin
+
+package snapshot
+
+import "syscall"
+
+// madvise forwards the preload hint to the kernel for the mapped region.
+func madvise(data []byte, a Advice) error {
+	switch a {
+	case AdviseWillNeed:
+		return syscall.Madvise(data, syscall.MADV_WILLNEED)
+	case AdviseRandom:
+		return syscall.Madvise(data, syscall.MADV_RANDOM)
+	}
+	return nil
+}

@@ -4,8 +4,10 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 )
 
 // v1Prefix is the unscoped canonical path prefix; corpus-scoped requests
@@ -166,6 +168,28 @@ func (cc *Corpus) Rollback(ctx context.Context) (*VersionSwapResponse, error) {
 // deleted.
 func (cc *Corpus) Delete(ctx context.Context) error {
 	return cc.c.call(ctx, http.MethodDelete, cc.prefix, nil, nil)
+}
+
+// Snapshot downloads the corpus's live state as v2 snapshot bytes —
+// exactly the body Upload accepts on another node — along with the source
+// version (the X-Corpus-Version header). This is the wire primitive of
+// snapshot-shipped replication: fetch from the freshest replica, Upload to
+// the rest.
+func (cc *Corpus) Snapshot(ctx context.Context) ([]byte, int64, error) {
+	resp, err := cc.c.send(ctx, http.MethodGet, cc.prefix+"/snapshot", nil, "")
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, fmt.Errorf("client: reading snapshot body: %w", err)
+	}
+	if resp.StatusCode/100 != 2 {
+		return nil, 0, parseAPIError(resp, data)
+	}
+	version, _ := strconv.ParseInt(resp.Header.Get("X-Corpus-Version"), 10, 64)
+	return data, version, nil
 }
 
 func marshalBody(v any) ([]byte, error) {

@@ -207,8 +207,11 @@ type Health struct {
 
 // CorpusHealth is one corpus's entry in Health.
 type CorpusHealth struct {
-	Snapshot   string  `json:"snapshot"`
-	Version    int64   `json:"version"`
+	Snapshot string `json:"snapshot"`
+	Version  int64  `json:"version"`
+	// Format is the snapshot format backing the live state: "memory", "v1"
+	// or "v2".
+	Format     string  `json:"format"`
 	Mappings   int     `json:"mappings"`
 	Pairs      int     `json:"pairs"`
 	Shards     int     `json:"shards"`
@@ -297,6 +300,9 @@ type CorpusInfo struct {
 	Shards   int    `json:"shards"`
 	// MappedBytes is the mmapped region size of a v2 state; 0 otherwise.
 	MappedBytes int64 `json:"mapped_bytes"`
+	// Madvise is the page-cache hint applied to a mapped v2 state's region
+	// ("willneed" or "random"); empty when none.
+	Madvise string `json:"madvise,omitempty"`
 	// ActivationSeconds is how long the live state took from snapshot open
 	// to query-ready.
 	ActivationSeconds float64 `json:"activation_s"`
