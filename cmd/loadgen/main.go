@@ -16,7 +16,11 @@
 // The snapshot is the same file the server loaded; loadgen derives its
 // query columns from it so requests genuinely hit the index. Ops for -mix:
 // lookup, autofill, autocorrect, autojoin, batch-autofill,
-// batch-autocorrect, batch-autojoin.
+// batch-autocorrect, batch-autojoin, ingest. The ingest op (opt-in, never
+// in the default mix) streams tables into POST /v1/corpora/{name}/tables —
+// the server must run with -ingest-dir — so a run can measure query
+// latency under concurrent live ingestion; -ingest-tables sets the tables
+// per ingest request.
 //
 // Exit status: 0 on a clean run, 1 if any request errored (429 throttling
 // is not an error — it is the server's admission control responding), 2 on
@@ -51,6 +55,7 @@ func run() int {
 	qps := flag.Float64("qps", 0, "target aggregate requests/second; 0 = unpaced closed loop")
 	concurrency := flag.Int("concurrency", 8, "closed-loop worker count")
 	batchSize := flag.Int("batch", 16, "NDJSON lines per batch request")
+	ingestTables := flag.Int("ingest-tables", 2, "tables per ingest request (the opt-in 'ingest' op of -mix)")
 	mixFlag := flag.String("mix", "", "op mix as name=weight pairs, comma-separated; empty = default mix over every endpoint")
 	corporaFlag := flag.String("corpora", "", "comma-separated corpus names to spread traffic over via /v1/corpora/{name} paths; empty = default corpus via unscoped paths")
 	tenantsFlag := flag.String("tenants", "", "split traffic across tenants as name:share pairs, comma-separated (e.g. 'a:3,b:1'); each request carries the picked tenant's X-Tenant header; empty = no header")
@@ -107,16 +112,17 @@ func run() int {
 	}
 
 	rep, err := loadgen.Run(ctx, loadgen.Config{
-		BaseURL:     strings.TrimRight(*addr, "/"),
-		BaseURLs:    addrs,
-		Duration:    *duration,
-		TargetQPS:   *qps,
-		Concurrency: *concurrency,
-		BatchSize:   *batchSize,
-		Mix:         mix,
-		Corpora:     corpora,
-		Tenants:     tenants,
-		Seed:        *seed,
+		BaseURL:      strings.TrimRight(*addr, "/"),
+		BaseURLs:     addrs,
+		Duration:     *duration,
+		TargetQPS:    *qps,
+		Concurrency:  *concurrency,
+		BatchSize:    *batchSize,
+		IngestTables: *ingestTables,
+		Mix:          mix,
+		Corpora:      corpora,
+		Tenants:      tenants,
+		Seed:         *seed,
 	}, wl)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)

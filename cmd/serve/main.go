@@ -57,6 +57,17 @@
 // tenants first seen at request time. Per-tenant counters and latency
 // appear in /v1/stats and /v1/metrics.
 //
+// Live ingestion (see docs/ingestion.md): -ingest-dir enables
+// POST /v1/corpora/{name}/tables — an NDJSON stream of tables appended to a
+// per-corpus durable log under that directory and synthesized incrementally
+// into new snapshot versions (only dirty compatibility-graph components
+// re-run; the result is byte-identical to an offline rebuild). With
+// -rebuild-profile set, ingested tables extend that generated corpus;
+// otherwise each corpus starts from the ingested tables alone. Replicas
+// catch up with delta snapshots: GET /v1/corpora/{name}/snapshot?since=V
+// (or ?since_crc=HEX) ships only changed sections, falling back to the
+// full image when the base is unknown.
+//
 // Observability (see docs/observability.md):
 //
 //	GET /v1/metrics             Prometheus text exposition: per-corpus request
@@ -94,6 +105,7 @@ import (
 	"mapsynth/internal/qos"
 	"mapsynth/internal/serve"
 	"mapsynth/internal/snapshot"
+	"mapsynth/internal/table"
 )
 
 // newLogger builds the process logger from the CLI's format/level choice.
@@ -216,6 +228,7 @@ func main() {
 	rebuildSeed := flag.Int64("rebuild-seed", 42, "corpus seed for -rebuild-profile")
 	rebuildWorkers := flag.Int("rebuild-workers", 0, "pipeline workers for rebuilds; 0 = GOMAXPROCS")
 	rebuildMinDomains := flag.Int("rebuild-min-domains", 2, "curation filter for rebuilds: min contributing domains (match the synthesize -min-domains the snapshot was built with)")
+	ingestDir := flag.String("ingest-dir", "", "directory for per-corpus ingest append logs; enables POST /v1/corpora/{name}/tables (live ingestion with incremental synthesis); empty disables")
 	logFormat := flag.String("log-format", "text", "structured log format: json or text")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	pprofAddr := flag.String("pprof-addr", "", "admin listen address for net/http/pprof and /metrics (e.g. localhost:6060); empty disables")
@@ -309,6 +322,34 @@ func main() {
 		fmt.Fprintf(os.Stderr, "serve: unknown -rebuild-profile %q\n", *rebuildProfile)
 		os.Exit(2)
 	}
+	// Live ingestion: the synthesis base for an ingesting corpus is the
+	// generated rebuild corpus when a profile is configured (ingested
+	// tables extend it), or empty otherwise (the corpus is built from
+	// ingested tables alone). The incremental engine's synthesis
+	// parameters mirror the rebuild flags so an ingest-published version
+	// is byte-identical to what a full rebuild over the same tables
+	// would produce.
+	var ingestBase func(ctx context.Context, corpus string) ([]*table.Table, error)
+	var ingestConfig *pipeline.Config
+	if *ingestDir != "" {
+		if err := os.MkdirAll(*ingestDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "serve: -ingest-dir: %v\n", err)
+			os.Exit(2)
+		}
+		cfg := pipeline.DefaultConfig()
+		cfg.MinDomains = *rebuildMinDomains
+		cfg.Workers = *rebuildWorkers
+		ingestConfig = &cfg
+		if *rebuildProfile != "" {
+			profile, seed := *rebuildProfile, *rebuildSeed
+			ingestBase = func(ctx context.Context, corpus string) ([]*table.Table, error) {
+				if profile == "web" {
+					return corpusgen.GenerateWeb(corpusgen.Options{Seed: seed}).Tables, nil
+				}
+				return corpusgen.GenerateEnterprise(corpusgen.Options{Seed: seed}).Tables, nil
+			}
+		}
+	}
 	srv, err := serve.New(serve.Options{
 		SnapshotPath:      *snapPath,
 		Corpora:           corpora,
@@ -323,6 +364,9 @@ func main() {
 		MaxUploadBytes:    *maxUploadBytes,
 		Madvise:           madvise,
 		Rebuild:           rebuild,
+		IngestDir:         *ingestDir,
+		IngestBase:        ingestBase,
+		IngestConfig:      ingestConfig,
 		Metrics:           reg,
 		Logger:            logger,
 	})

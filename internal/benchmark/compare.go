@@ -34,11 +34,23 @@ func Compare(old, cur *SuiteResult, tolerance float64) []Regression {
 	}
 	var regs []Regression
 	check := func(metric string, o, n float64) {
-		if o <= 0 || n <= 0 {
-			return // metric absent from one side; nothing to gate
-		}
-		if ratio := n / o; ratio > 1+tolerance {
-			regs = append(regs, Regression{Metric: metric, Old: o, New: n, Ratio: ratio})
+		switch {
+		case n <= 0:
+			// Metric absent from the current report; nothing to gate.
+		case o <= 0:
+			// The baseline section is present but reports zero for a metric
+			// the current run measured — a broken or truncated baseline run.
+			// Dividing by it would make the ratio Inf/NaN (and silently
+			// skipping would un-gate the metric), so fail loudly instead.
+			// The 1e9 sentinel ratio sorts it above any real regression.
+			regs = append(regs, Regression{
+				Metric: metric + " (zero baseline — re-generate the old report)",
+				Old:    o, New: n, Ratio: 1e9,
+			})
+		default:
+			if ratio := n / o; ratio > 1+tolerance {
+				regs = append(regs, Regression{Metric: metric, Old: o, New: n, Ratio: ratio})
+			}
 		}
 	}
 
@@ -96,6 +108,16 @@ func Compare(old, cur *SuiteResult, tolerance float64) []Regression {
 			check("cluster.scaling_x (inverted)", 1/o, 1/n)
 		}
 		check("cluster.p99_ms", old.Cluster.Cluster.P99Ms, cur.Cluster.Cluster.P99Ms)
+	}
+
+	// The ingest gate mixes both kinds: convergence is absolute (an ingest
+	// log that never drains is a bug no baseline can excuse), while lookup
+	// latency under ingestion is relative like every other p99.
+	if cur.Ingest != nil && !cur.Ingest.Converged {
+		regs = append(regs, Regression{Metric: "ingest.converged", Old: 1, New: 0, Ratio: 1e9})
+	}
+	if old.Ingest != nil && cur.Ingest != nil {
+		check("ingest.lookup_p99_ms", old.Ingest.LookupP99Ms, cur.Ingest.LookupP99Ms)
 	}
 
 	if old.Serving != nil && cur.Serving != nil {

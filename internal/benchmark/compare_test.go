@@ -1,6 +1,9 @@
 package benchmark
 
 import (
+	"encoding/json"
+	"math"
+	"strings"
 	"testing"
 
 	"mapsynth/internal/loadgen"
@@ -66,5 +69,32 @@ func TestCompareSkipsMissingSections(t *testing.T) {
 	cur.Activation[0].OpenSeconds = 100 // would regress if the old side had it
 	if regs := Compare(old, cur, 0.5); len(regs) != 0 {
 		t.Fatalf("missing old sections must be skipped, got %+v", regs)
+	}
+}
+
+// TestCompareZeroBaseline: a baseline section that is present but reports a
+// zero value for a gated metric must fail with a clear message — not divide
+// by zero into a NaN/Inf ratio, and not silently un-gate the metric.
+func TestCompareZeroBaseline(t *testing.T) {
+	old, cur := baselineResult(), baselineResult()
+	old.Lookup.NsPerOp = 0 // broken baseline run
+	regs := Compare(old, cur, 0.5)
+	if len(regs) != 1 {
+		t.Fatalf("got %d regressions %+v, want 1", len(regs), regs)
+	}
+	rg := regs[0]
+	if !strings.Contains(rg.Metric, "lookup.ns_per_op") || !strings.Contains(rg.Metric, "zero baseline") {
+		t.Errorf("metric = %q, want the zero-baseline marker", rg.Metric)
+	}
+	if math.IsNaN(rg.Ratio) || math.IsInf(rg.Ratio, 0) {
+		t.Errorf("ratio = %v, must stay JSON-encodable", rg.Ratio)
+	}
+	if _, err := json.Marshal(regs); err != nil {
+		t.Errorf("regressions must marshal: %v", err)
+	}
+	// Metrics the current run did not measure stay skipped.
+	cur.Lookup.NsPerOp = 0
+	if regs := Compare(old, cur, 0.5); len(regs) != 0 {
+		t.Errorf("absent current metric should skip, got %+v", regs)
 	}
 }

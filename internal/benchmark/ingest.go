@@ -1,0 +1,138 @@
+package benchmark
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"mapsynth/internal/loadgen"
+	"mapsynth/internal/mapping"
+	"mapsynth/internal/serve"
+	"mapsynth/pkg/client"
+)
+
+// The ingest scenario answers the live-ingestion subsystem's core serving
+// question: what does query latency look like while the corpus is being
+// mutated underneath it? A loadgen mix pairs the usual lookup traffic with
+// the opt-in ingest lane, so every measured lookup races append-log fsyncs,
+// incremental synthesis runs, and atomic version swaps on the same server.
+// The p99 it records is the number an operator should expect during steady
+// ingestion, not the quiescent-corpus figure the serving phase reports.
+
+// IngestBenchOptions parameterizes RunIngest. The zero value selects a
+// short mixed run sized for CI.
+type IngestBenchOptions struct {
+	// Duration bounds the measured phase; <= 0 selects 2s.
+	Duration time.Duration
+	// Concurrency is the closed-loop worker count; <= 0 selects 8.
+	Concurrency int
+	// IngestTables is the tables streamed per ingest op; <= 0 selects 2.
+	IngestTables int
+	// Seed feeds the workload generator.
+	Seed int64
+}
+
+// IngestBenchResult is the ingestion-under-load record in BENCH_N.json.
+type IngestBenchResult struct {
+	DurationSeconds float64 `json:"duration_s"`
+	// LookupP50Ms/LookupP99Ms are lookup latency measured while the ingest
+	// lane runs — the gated metrics.
+	LookupP50Ms float64 `json:"lookup_p50_ms"`
+	LookupP99Ms float64 `json:"lookup_p99_ms"`
+	LookupCount int64   `json:"lookup_count"`
+	// IngestOps/IngestRows size the concurrent mutation load.
+	IngestOps  int64 `json:"ingest_ops"`
+	IngestRows int64 `json:"ingest_rows"`
+	// HeadLSN/AppliedLSN/SynthesisRuns are the corpus's final staleness
+	// report; Converged means applied caught up with head after the run —
+	// an absolute gate, since an ingest log that never drains is a bug
+	// regardless of latency.
+	HeadLSN       int64 `json:"head_lsn"`
+	AppliedLSN    int64 `json:"applied_lsn"`
+	SynthesisRuns int64 `json:"synthesis_runs"`
+	Converged     bool  `json:"converged"`
+	Errors        int64 `json:"errors"`
+}
+
+// RunIngest serves maps with live ingestion enabled, drives a mixed
+// lookup+ingest workload against it, then waits for the ingest log to
+// drain and reports latency beside the final staleness numbers.
+func RunIngest(ctx context.Context, opts IngestBenchOptions, maps []*mapping.Mapping) (*IngestBenchResult, error) {
+	if opts.Duration <= 0 {
+		opts.Duration = 2 * time.Second
+	}
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = 8
+	}
+	if opts.IngestTables <= 0 {
+		opts.IngestTables = 2
+	}
+
+	dir, err := os.MkdirTemp("", "mapsynth-bench-ingest")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	srv := serve.NewFromMappings(maps, serve.Options{CacheSize: 4096, IngestDir: dir})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	wl, err := loadgen.NewWorkload(maps)
+	if err != nil {
+		return nil, fmt.Errorf("benchmark: ingest workload: %w", err)
+	}
+	rep, err := loadgen.Run(ctx, loadgen.Config{
+		BaseURL:      ts.URL,
+		Duration:     opts.Duration,
+		Concurrency:  opts.Concurrency,
+		Seed:         opts.Seed,
+		Client:       ts.Client(),
+		Mix:          map[string]int{loadgen.OpLookup: 8, loadgen.OpIngest: 1},
+		IngestTables: opts.IngestTables,
+	}, wl)
+	if err != nil {
+		return nil, fmt.Errorf("benchmark: ingest loadgen: %w", err)
+	}
+
+	out := &IngestBenchResult{
+		DurationSeconds: rep.DurationSeconds,
+		Errors:          rep.Errors,
+	}
+	if lk, ok := rep.Ops[loadgen.OpLookup]; ok {
+		out.LookupP50Ms, out.LookupP99Ms, out.LookupCount = lk.P50Ms, lk.P99Ms, lk.Count
+	}
+	if ing, ok := rep.Ops[loadgen.OpIngest]; ok {
+		out.IngestOps, out.IngestRows = ing.Count, ing.Rows
+	}
+
+	// Bounded staleness: the log must drain once load stops. Poll through
+	// the public API — the same staleness report operators watch.
+	cc := client.New(ts.URL, client.WithHTTPClient(ts.Client())).Corpus(client.DefaultCorpus)
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		info, err := cc.Get(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("benchmark: ingest status: %w", err)
+		}
+		if st := info.Ingest; st != nil {
+			out.HeadLSN, out.AppliedLSN, out.SynthesisRuns = st.HeadLSN, st.AppliedLSN, st.Runs
+			if st.AppliedLSN == st.HeadLSN && !st.Pending {
+				out.Converged = out.HeadLSN > 0 && rep.Errors == 0
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			break // Converged stays false; Compare gates on it.
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+	return out, nil
+}

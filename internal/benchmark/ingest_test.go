@@ -1,0 +1,52 @@
+package benchmark
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"mapsynth/internal/mapping"
+	"mapsynth/internal/table"
+)
+
+// TestRunIngest drives the ingestion-under-load scenario directly: lookups
+// must keep answering while the ingest lane mutates the corpus, and the
+// log must drain (Converged) once load stops.
+func TestRunIngest(t *testing.T) {
+	states := []string{"California", "Washington", "Oregon", "Texas"}
+	coded := make([]string, len(states))
+	for i, s := range states {
+		coded[i] = "IB-" + s[:2]
+	}
+	var bts []*table.BinaryTable
+	for i := 0; i < 3; i++ {
+		bts = append(bts, table.NewBinaryTable(i, i, fmt.Sprintf("ib%d.example", i), "s", "c", states, coded))
+	}
+	maps := []*mapping.Mapping{mapping.Build(0, bts)}
+	res, err := RunIngest(context.Background(), IngestBenchOptions{
+		Duration:    400 * time.Millisecond,
+		Concurrency: 4,
+		Seed:        7,
+	}, maps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Errorf("errors = %d", res.Errors)
+	}
+	if res.LookupCount == 0 || res.IngestOps == 0 {
+		t.Fatalf("both lanes must run: %+v", res)
+	}
+	// Every counted row is durable; the head can run ahead of the count by
+	// a request the deadline tore down after the server's fsync.
+	if res.IngestRows == 0 || res.HeadLSN < res.IngestRows {
+		t.Errorf("head LSN %d, want >= %d counted rows", res.HeadLSN, res.IngestRows)
+	}
+	if !res.Converged || res.AppliedLSN != res.HeadLSN {
+		t.Errorf("ingest log did not drain: %+v", res)
+	}
+	if res.LookupP99Ms <= 0 {
+		t.Errorf("no lookup latency recorded: %+v", res)
+	}
+}

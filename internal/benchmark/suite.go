@@ -112,6 +112,10 @@ type SuiteResult struct {
 	// scale across replicas and a mid-run snapshot roll must stay
 	// invisible to clients.
 	Cluster *ClusterBenchResult `json:"cluster,omitempty"`
+
+	// Ingest is query latency under concurrent live ingestion, plus the
+	// proof that the ingest log drained (bounded staleness).
+	Ingest *IngestBenchResult `json:"ingest,omitempty"`
 }
 
 // ActivationBench is one snapshot format's activation cost: open → first
@@ -288,15 +292,21 @@ func RunSuite(ctx context.Context, opts SuiteOptions) (*SuiteResult, error) {
 	// The isolation scenario builds its own server (it needs tenant specs
 	// and a small slot budget), reusing the suite's mapping set. Each
 	// phase runs Duration/2 so the whole scenario costs about one serving
-	// phase. The slack is wider than the CI test's 15ms because slots are
-	// non-preemptive: a victim request can be head-of-line blocked for one
-	// full batch row, and a row against the full-scale corpus runs tens of
-	// milliseconds — the gate proves the victim waits for at most ~one
-	// row, never for whole batch streams.
+	// phase. The slack is wider than the CI test's 15ms because the victim
+	// still shares CPU with batch rows computing on the other slots — the
+	// fair queue's reserved interactive slot removes queue-level
+	// head-of-line stalls (the old one-full-row allowance was 50ms), but
+	// on a small runner the victim's goroutine still timeshares the CPU
+	// with up to Slots-1 computing rows. The stats histogram buckets at
+	// powers of two, so the p99 reports as a bucket ceiling: 30ms of slack
+	// (bound ≈ 34ms over a ~2ms solo p99) admits the 32.767ms bucket and
+	// rejects the 65.535ms one — one bucket tighter in spirit and 20ms
+	// tighter in bound than the pre-reservation gate, while not demanding
+	// sub-quantum scheduling from a single-core CI runner.
 	iso, err := loadgen.RunIsolation(ctx, loadgen.IsolationConfig{
 		PhaseDuration: opts.Duration / 2,
 		Seed:          opts.Seed,
-		SlackMs:       50,
+		SlackMs:       30,
 	}, maps)
 	if err != nil {
 		return nil, fmt.Errorf("benchmark: isolation: %w", err)
@@ -313,6 +323,18 @@ func RunSuite(ctx context.Context, opts SuiteOptions) (*SuiteResult, error) {
 		return nil, fmt.Errorf("benchmark: cluster: %w", err)
 	}
 	res.Cluster = cl
+
+	// The ingest scenario serves the same mapping set with live ingestion
+	// enabled and measures lookup latency while the ingest lane mutates the
+	// corpus underneath it.
+	ing, err := RunIngest(ctx, IngestBenchOptions{
+		Duration: opts.Duration / 2,
+		Seed:     opts.Seed,
+	}, maps)
+	if err != nil {
+		return nil, fmt.Errorf("benchmark: ingest: %w", err)
+	}
+	res.Ingest = ing
 	return res, nil
 }
 

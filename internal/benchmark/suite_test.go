@@ -51,6 +51,9 @@ func TestRunSuite(t *testing.T) {
 	if res.Cluster == nil || !res.Cluster.Passed {
 		t.Errorf("cluster = %+v", res.Cluster)
 	}
+	if res.Ingest == nil || !res.Ingest.Converged || res.Ingest.LookupCount == 0 {
+		t.Errorf("ingest = %+v", res.Ingest)
+	}
 
 	data, err := json.Marshal(res)
 	if err != nil {

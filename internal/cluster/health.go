@@ -66,9 +66,10 @@ func (co *Coordinator) clusterInfo() client.ClusterInfo {
 			cp.Corpora = make(map[string]client.ClusterCorpus, len(st.corpora))
 			for name, ch := range st.corpora {
 				cp.Corpora[name] = client.ClusterCorpus{
-					Version:  ch.Version,
-					Format:   ch.Format,
-					Mappings: ch.Mappings,
+					Version:     ch.Version,
+					Format:      ch.Format,
+					Mappings:    ch.Mappings,
+					SnapshotCRC: ch.SnapshotCRC,
 				}
 			}
 		}

@@ -45,6 +45,11 @@ const (
 	OpBatchAutoFill    = "batch-autofill"
 	OpBatchAutoCorrect = "batch-autocorrect"
 	OpBatchAutoJoin    = "batch-autojoin"
+	// OpIngest streams tables into the target corpus's live-ingestion
+	// endpoint (async synthesis; the op's latency is validate + append +
+	// fsync). Not in DefaultMix — ingestion mutates server state, so it is
+	// opt-in via -mix ingest=N, and the server must run with -ingest-dir.
+	OpIngest = "ingest"
 )
 
 // DefaultMix exercises every endpoint, weighted toward the cheap single
@@ -90,6 +95,9 @@ type Config struct {
 	// BatchSize is the number of NDJSON lines per batch request; <= 0
 	// selects 16.
 	BatchSize int
+	// IngestTables is the number of tables per ingest request (the "ingest"
+	// op); <= 0 selects 2.
+	IngestTables int
 	// Seed makes the generated request sequence reproducible.
 	Seed int64
 	// Tenants splits the generated traffic across named tenants: each
@@ -232,6 +240,7 @@ type target interface {
 	BatchAutoFill(ctx context.Context, reqs []client.AutoFillRequest, fn func(client.BatchLine[client.AutoFillResponse]) error) (*client.BatchTrailer, error)
 	BatchAutoCorrect(ctx context.Context, reqs []client.AutoCorrectRequest, fn func(client.BatchLine[client.AutoCorrectResponse]) error) (*client.BatchTrailer, error)
 	BatchAutoJoin(ctx context.Context, reqs []client.AutoJoinRequest, fn func(client.BatchLine[client.AutoJoinResponse]) error) (*client.BatchTrailer, error)
+	IngestTables(ctx context.Context, tables []client.IngestTable, opts client.IngestOptions, fn func(client.IngestLine) error) (*client.IngestTrailer, error)
 }
 
 // opMetrics accumulates one op's counters across workers. The latency
@@ -284,6 +293,9 @@ func Run(ctx context.Context, cfg Config, wl *Workload) (*Report, error) {
 	}
 	if cfg.BatchSize <= 0 {
 		cfg.BatchSize = 16
+	}
+	if cfg.IngestTables <= 0 {
+		cfg.IngestTables = 2
 	}
 	if len(cfg.Mix) == 0 {
 		cfg.Mix = DefaultMix()
@@ -542,6 +554,32 @@ func issue(ctx context.Context, c target, cfg Config, wl *Workload, rng *rand.Ra
 				return nil
 			})
 		})
+	case OpIngest:
+		tables := make([]client.IngestTable, cfg.IngestTables)
+		for i := range tables {
+			tables[i] = wl.ingestTable(rng)
+		}
+		var rowErrs int64
+		trailer, err := c.IngestTables(ctx, tables, client.IngestOptions{}, func(ln client.IngestLine) error {
+			rows++
+			if ln.Err != nil {
+				rowErrs++
+			}
+			return nil
+		})
+		if err != nil {
+			throttled, sample = sampleFrom(op, err)
+			return rows, throttled, sample
+		}
+		if rowErrs > 0 || trailer.Accepted != len(tables) || trailer.Truncated {
+			return rows, false, &ErrorSample{
+				Op:        op,
+				RequestID: trailer.RequestID,
+				Message: fmt.Sprintf("ingest protocol violation: sent %d tables, trailer accepted=%d rejected=%d truncated=%v",
+					len(tables), trailer.Accepted, trailer.Rejected, trailer.Truncated),
+			}
+		}
+		return rows, false, nil
 	}
 	return 0, false, &ErrorSample{Op: op, Message: "loadgen: unknown op"}
 }
@@ -614,6 +652,7 @@ func newOpPicker(mix map[string]int) (*opPicker, error) {
 	valid := map[string]bool{
 		OpLookup: true, OpAutoFill: true, OpAutoCorrect: true, OpAutoJoin: true,
 		OpBatchAutoFill: true, OpBatchAutoCorrect: true, OpBatchAutoJoin: true,
+		OpIngest: true,
 	}
 	p := &opPicker{}
 	ops := make([]string, 0, len(mix))

@@ -128,6 +128,56 @@ func TestRunMixedWorkload(t *testing.T) {
 	}
 }
 
+// TestRunIngestLane mixes the opt-in ingest op into a query workload
+// against an ingest-enabled server: zero errors, ingest rows acknowledged,
+// and the server's staleness report shows the log head advancing.
+func TestRunIngestLane(t *testing.T) {
+	maps := testMappings()
+	srv := serve.NewFromMappings(maps, serve.Options{
+		Shards: 2, CacheSize: 64, IngestDir: t.TempDir(),
+	})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	wl, err := NewWorkload(maps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), Config{
+		BaseURL:      ts.URL,
+		Duration:     400 * time.Millisecond,
+		Concurrency:  4,
+		BatchSize:    4,
+		IngestTables: 2,
+		Mix:          map[string]int{OpLookup: 3, OpIngest: 1},
+		Seed:         1,
+		Client:       ts.Client(),
+	}, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("errors = %d: %+v", rep.Errors, rep.ErrorSamples)
+	}
+	ing := rep.Ops[OpIngest]
+	if ing.Count == 0 || rep.Ops[OpLookup].Count == 0 {
+		t.Fatalf("ops never ran: %+v", rep.Ops)
+	}
+	if ing.Rows != ing.Count*2 {
+		t.Errorf("ingest rows = %d, want %d (2 per request)", ing.Rows, ing.Count*2)
+	}
+	info, err := client.New(ts.URL).Corpus(client.DefaultCorpus).Get(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every counted row is durable; the head can run ahead of the count by
+	// a request the deadline tore down after the server's fsync.
+	if info.Ingest == nil || info.Ingest.HeadLSN < ing.Rows {
+		t.Fatalf("server head LSN = %+v, want >= %d durable rows", info.Ingest, ing.Rows)
+	}
+}
+
 // TestRunMultiCorpus is the multi-corpus acceptance run: two corpora with
 // the same mapping set served from one process, a mixed workload spread
 // over both through the SDK's corpus-scoped handles — zero errors, and

@@ -2,6 +2,7 @@ package loadgen
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
 
 	"mapsynth/internal/mapping"
@@ -99,6 +100,22 @@ func (wl *Workload) autoCorrectReq(rng *rand.Rand) client.AutoCorrectRequest {
 
 // autoJoinReq builds an auto-join request joining a mapping's left column
 // against its right column — the representation bridge the app resolves.
+// ingestTable builds one table for the ingest op: a random mapping's value
+// pairs under a generator-owned domain. The material re-states pairs the
+// corpus already supports, so continuous ingestion reinforces mappings
+// rather than eroding synthesis quality mid-run.
+func (wl *Workload) ingestTable(rng *rand.Rand) client.IngestTable {
+	mc := wl.random(rng)
+	return client.IngestTable{
+		Domain: fmt.Sprintf("loadgen%d.example", rng.Intn(1<<20)),
+		Title:  "loadgen ingest",
+		Columns: []client.IngestColumn{
+			{Name: "l", Values: mc.lefts},
+			{Name: "r", Values: mc.rights},
+		},
+	}
+}
+
 func (wl *Workload) autoJoinReq(rng *rand.Rand) client.AutoJoinRequest {
 	mc := wl.random(rng)
 	return client.AutoJoinRequest{

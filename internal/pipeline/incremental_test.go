@@ -1,0 +1,148 @@
+package pipeline
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"mapsynth/internal/corpusgen"
+	"mapsynth/internal/mapping"
+	"mapsynth/internal/snapshot"
+	"mapsynth/internal/table"
+)
+
+// snapBytes pins a mapping set's exact serialized form, so "identical"
+// below means byte-identical, not merely structurally equal.
+func snapBytes(t *testing.T, maps []*mapping.Mapping) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := snapshot.WriteV2(&buf, maps); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func incrTestCorpus(t *testing.T) []*table.Table {
+	t.Helper()
+	corpus := corpusgen.GenerateWeb(corpusgen.Options{Seed: 11, SampleFraction: 0.25})
+	if len(corpus.Tables) < 20 {
+		t.Fatalf("test corpus too small: %d tables", len(corpus.Tables))
+	}
+	return corpus.Tables
+}
+
+// TestIncrementalColdParity: a cold-cache RunIncremental is a full build and
+// must match Run byte-for-byte.
+func TestIncrementalColdParity(t *testing.T) {
+	tables := incrTestCorpus(t)
+	cfg := DefaultConfig()
+	full, err := New(cfg).Run(context.Background(), tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := New(cfg).RunIncremental(context.Background(), tables, NewIncrementalState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(snapBytes(t, full.Mappings), snapBytes(t, inc.Mappings)) {
+		t.Fatal("cold incremental run differs from Run")
+	}
+	if full.TablesRemoved != inc.TablesRemoved || full.Partitions != inc.Partitions ||
+		full.Components != inc.Components || full.Candidates != inc.Candidates {
+		t.Fatalf("result stats differ: full %+v vs incremental %+v", full, inc)
+	}
+}
+
+// TestIncrementalIngestParity is the golden tentpole contract: ingesting N
+// tables one at a time through the component cache yields mappings
+// byte-identical to a from-scratch synthesis of the combined corpus at
+// every step.
+func TestIncrementalIngestParity(t *testing.T) {
+	tables := incrTestCorpus(t)
+	const hold = 5 // tables to ingest one-by-one
+	base := tables[:len(tables)-hold]
+
+	cfg := DefaultConfig()
+	eng := New(cfg)
+	state := NewIncrementalState()
+
+	cur := append([]*table.Table(nil), base...)
+	if _, err := eng.RunIncremental(context.Background(), cur, state); err != nil {
+		t.Fatal(err)
+	}
+	sawHit := false
+	for step := 0; step < hold; step++ {
+		cur = append(cur, tables[len(tables)-hold+step])
+		got, err := eng.RunIncremental(context.Background(), cur, state)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := New(cfg).Run(context.Background(), cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(snapBytes(t, got.Mappings), snapBytes(t, want.Mappings)) {
+			t.Fatalf("step %d: incremental result differs from full rebuild", step)
+		}
+		hits, misses, entries := state.CacheStats()
+		if hits > 0 {
+			sawHit = true
+		}
+		if entries < hits {
+			t.Fatalf("step %d: cache bookkeeping off: hits=%d misses=%d entries=%d", step, hits, misses, entries)
+		}
+	}
+	if !sawHit {
+		t.Fatal("component cache never hit across 5 single-table ingests — incrementality is not engaging")
+	}
+}
+
+// TestIncrementalWorkerIndependence: the cached path must stay deterministic
+// for any worker count, like Run.
+func TestIncrementalWorkerIndependence(t *testing.T) {
+	tables := incrTestCorpus(t)
+	var want []byte
+	for _, workers := range []int{1, 4} {
+		cfg := DefaultConfig()
+		cfg.Workers = workers
+		state := NewIncrementalState()
+		eng := New(cfg)
+		// Two runs over the same tables: the second is a 100% cache hit and
+		// must still reproduce the same bytes.
+		if _, err := eng.RunIncremental(context.Background(), tables, state); err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.RunIncremental(context.Background(), tables, state)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hits, misses, _ := state.CacheStats(); misses != 0 || hits == 0 {
+			t.Fatalf("re-run over identical tables: hits=%d misses=%d, want all hits", hits, misses)
+		}
+		b := snapBytes(t, res.Mappings)
+		if want == nil {
+			want = b
+		} else if !bytes.Equal(want, b) {
+			t.Fatalf("workers=%d produced different bytes", workers)
+		}
+	}
+}
+
+// TestIncrementalFallback: configurations the cache cannot key fall back to
+// the plain pipeline rather than guessing.
+func TestIncrementalFallback(t *testing.T) {
+	tables := incrTestCorpus(t)
+	cfg := DefaultConfig()
+	cfg.Resolution = ResolveMajority
+	want, err := New(cfg).Run(context.Background(), tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := New(cfg).RunIncremental(context.Background(), tables, NewIncrementalState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(snapBytes(t, want.Mappings), snapBytes(t, got.Mappings)) {
+		t.Fatal("fallback path differs from Run")
+	}
+}

@@ -35,13 +35,21 @@ func (c Class) String() string {
 // band's virtual clock only moves forward through grants.
 //
 // Slots transfer on release: Release hands the slot to the chosen waiter
-// under the lock, so the invariant "waiters exist only while all slots are
-// in use" holds and a fresh arrival can never barge past the queue.
+// under the lock, so a fresh arrival can never barge past queued waiters of
+// its own class.
+//
+// One slot is reserved for interactive work whenever capacity allows
+// (capacity >= 2): batch admissions are capped at capacity-1, so a burst of
+// batch rows can never occupy every slot and head-of-line-block the first
+// interactive request behind a full batch drain. Interactive requests may
+// use every slot. With capacity 1 the reserve is disabled — otherwise batch
+// work could never run at all.
 type FairQueue struct {
-	mu       sync.Mutex
-	capacity int
-	inUse    int
-	bands    [numClasses]band
+	mu         sync.Mutex
+	capacity   int
+	inUse      int
+	batchInUse int
+	bands      [numClasses]band
 }
 
 type waiter struct {
@@ -85,12 +93,8 @@ func (fq *FairQueue) Acquire(ctx context.Context, tenant string, weight float64,
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	if fq.TryAcquire() {
-		return nil
-	}
 	fq.mu.Lock()
-	if fq.inUse < fq.capacity {
-		fq.inUse++
+	if fq.admitLocked(class) {
 		fq.mu.Unlock()
 		return nil
 	}
@@ -109,7 +113,7 @@ func (fq *FairQueue) Acquire(ctx context.Context, tenant string, weight float64,
 	if w.granted {
 		// Release transferred us a slot in the same instant the context
 		// died; the caller won't use it, so pass it to the next waiter.
-		fq.releaseLocked()
+		fq.releaseLocked(class)
 		fq.mu.Unlock()
 		return ctx.Err()
 	}
@@ -118,30 +122,57 @@ func (fq *FairQueue) Acquire(ctx context.Context, tenant string, weight float64,
 	return ctx.Err()
 }
 
-// TryAcquire claims a slot only if one is immediately free; it never
-// barges past queued waiters (waiters exist only while all slots are
-// busy).
-func (fq *FairQueue) TryAcquire() bool {
+// TryAcquire claims a slot for class only if one is immediately admissible;
+// it never barges past queued waiters of the same class, and batch can
+// never take the reserved interactive slot.
+func (fq *FairQueue) TryAcquire(class Class) bool {
 	fq.mu.Lock()
 	defer fq.mu.Unlock()
-	if fq.inUse < fq.capacity {
-		fq.inUse++
-		return true
-	}
-	return false
+	return fq.admitLocked(class)
 }
 
-// Release frees the caller's slot: the highest-priority, smallest-finish
-// waiter (interactive band first) inherits it, or the slot returns to the
-// free pool.
-func (fq *FairQueue) Release() {
+// admitLocked applies the admission rule for class: a free slot, no queued
+// same-class waiter to barge past, and for batch the capacity-1 reserve cap.
+func (fq *FairQueue) admitLocked(class Class) bool {
+	if fq.bands[class].count > 0 || fq.inUse >= fq.capacity {
+		return false
+	}
+	if class == Batch {
+		if fq.batchInUse >= fq.batchLimit() {
+			return false
+		}
+		fq.batchInUse++
+	}
+	fq.inUse++
+	return true
+}
+
+// batchLimit is the number of slots batch work may hold at once: one slot
+// is reserved for interactive whenever capacity permits.
+func (fq *FairQueue) batchLimit() int {
+	if fq.capacity >= 2 {
+		return fq.capacity - 1
+	}
+	return fq.capacity
+}
+
+// Release frees the caller's slot (class must match the acquire): the
+// highest-priority, smallest-finish admissible waiter inherits it, or the
+// slot returns to the free pool.
+func (fq *FairQueue) Release(class Class) {
 	fq.mu.Lock()
-	fq.releaseLocked()
+	fq.releaseLocked(class)
 	fq.mu.Unlock()
 }
 
-func (fq *FairQueue) releaseLocked() {
-	if w := fq.pickNext(); w != nil {
+func (fq *FairQueue) releaseLocked(class Class) {
+	if class == Batch {
+		fq.batchInUse--
+	}
+	if w, wc := fq.pickNext(); w != nil {
+		if wc == Batch {
+			fq.batchInUse++
+		}
 		w.granted = true
 		close(w.ready)
 		return // the slot transfers; inUse is unchanged
@@ -151,11 +182,16 @@ func (fq *FairQueue) releaseLocked() {
 
 // pickNext pops the next waiter to grant: bands in priority order, and
 // within a band the tenant queue whose head has the smallest virtual
-// finish time (ties broken by tenant name for determinism).
-func (fq *FairQueue) pickNext() *waiter {
+// finish time (ties broken by tenant name for determinism). The batch band
+// is skipped while batch already holds its reserve-capped share — a freed
+// interactive slot then stays free for the next interactive arrival.
+func (fq *FairQueue) pickNext() (*waiter, Class) {
 	for ci := range fq.bands {
 		b := &fq.bands[ci]
 		if b.count == 0 {
+			continue
+		}
+		if Class(ci) == Batch && fq.batchInUse >= fq.batchLimit() {
 			continue
 		}
 		var bestName string
@@ -176,9 +212,9 @@ func (fq *FairQueue) pickNext() *waiter {
 		if w.finish > b.vtime {
 			b.vtime = w.finish
 		}
-		return w
+		return w, Class(ci)
 	}
-	return nil
+	return nil, 0
 }
 
 func (b *band) enqueue(tenant string, weight float64) *waiter {
@@ -228,6 +264,21 @@ func (fq *FairQueue) InUse() int {
 	fq.mu.Lock()
 	defer fq.mu.Unlock()
 	return fq.inUse
+}
+
+// BatchInUse returns the slots currently held by batch work.
+func (fq *FairQueue) BatchInUse() int {
+	fq.mu.Lock()
+	defer fq.mu.Unlock()
+	return fq.batchInUse
+}
+
+// BatchLimit returns the batch admission cap (capacity-1 when a slot is
+// reserved for interactive, capacity otherwise).
+func (fq *FairQueue) BatchLimit() int {
+	fq.mu.Lock()
+	defer fq.mu.Unlock()
+	return fq.batchLimit()
 }
 
 // Waiting returns the number of waiters queued in class.

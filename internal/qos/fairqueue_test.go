@@ -22,7 +22,7 @@ type arrival struct {
 func drainOrder(t *testing.T, arrivals []arrival, grants int) []string {
 	t.Helper()
 	fq := NewFairQueue(1)
-	if !fq.TryAcquire() {
+	if !fq.TryAcquire(Interactive) {
 		t.Fatal("fresh queue must grant its slot")
 	}
 	fq.mu.Lock()
@@ -33,7 +33,7 @@ func drainOrder(t *testing.T, arrivals []arrival, grants int) []string {
 	var order []string
 	for i := 0; i < grants; i++ {
 		fq.mu.Lock()
-		w := fq.pickNext()
+		w, _ := fq.pickNext()
 		fq.mu.Unlock()
 		if w == nil {
 			t.Fatalf("grant %d: queue drained early (got %v)", i, order)
@@ -141,7 +141,7 @@ func TestFairQueueOrdering(t *testing.T) {
 // map residue behind — tenant churn must not grow the queue without bound.
 func TestFairQueueChurnCleanup(t *testing.T) {
 	fq := NewFairQueue(1)
-	fq.TryAcquire()
+	fq.TryAcquire(Interactive)
 	fq.mu.Lock()
 	for i := 0; i < 50; i++ {
 		fq.bands[Batch].enqueue(fmt.Sprintf("tenant-%d", i), 1)
@@ -167,7 +167,7 @@ func TestFairQueueChurnCleanup(t *testing.T) {
 // the cancelled tenant's bookkeeping disappears.
 func TestFairQueueCancelMidQueue(t *testing.T) {
 	fq := NewFairQueue(1)
-	if !fq.TryAcquire() {
+	if !fq.TryAcquire(Batch) {
 		t.Fatal("fresh queue must grant its slot")
 	}
 
@@ -178,7 +178,7 @@ func TestFairQueueCancelMidQueue(t *testing.T) {
 			err := fq.Acquire(ctx, name, 1, Batch)
 			if err == nil {
 				results <- name
-				fq.Release()
+				fq.Release(Batch)
 			}
 			done <- err
 		}()
@@ -206,7 +206,7 @@ func TestFairQueueCancelMidQueue(t *testing.T) {
 	if err := <-midDone; err != context.Canceled {
 		t.Fatalf("cancelled waiter: want context.Canceled, got %v", err)
 	}
-	fq.Release() // grants first, whose Release grants last
+	fq.Release(Batch) // grants first, whose Release grants last
 	for _, want := range []string{"first", "last"} {
 		select {
 		case got := <-results:
@@ -258,7 +258,7 @@ func TestFairQueueConcurrentStress(t *testing.T) {
 				}
 				time.Sleep(time.Duration(rng.Intn(20)) * time.Microsecond)
 				held.Add(-1)
-				fq.Release()
+				fq.Release(class)
 			}
 		}(g)
 	}
@@ -271,4 +271,77 @@ func TestFairQueueConcurrentStress(t *testing.T) {
 			t.Fatalf("leaked waiters: Waiting(%v) = %d", c, got)
 		}
 	}
+}
+
+// TestFairQueueInteractiveReserve pins the head-of-line-blocking fix: batch
+// admissions cap at capacity-1, so a batch flood leaves one slot that only
+// an interactive request can take — without queuing behind the flood.
+func TestFairQueueInteractiveReserve(t *testing.T) {
+	fq := NewFairQueue(2)
+	if fq.BatchLimit() != 1 {
+		t.Fatalf("BatchLimit = %d, want 1", fq.BatchLimit())
+	}
+	if !fq.TryAcquire(Batch) {
+		t.Fatal("first batch admission must succeed")
+	}
+	if fq.TryAcquire(Batch) {
+		t.Fatal("second batch admission took the reserved interactive slot")
+	}
+	if !fq.TryAcquire(Interactive) {
+		t.Fatal("interactive could not take the reserved slot")
+	}
+	if fq.InUse() != 2 || fq.BatchInUse() != 1 {
+		t.Fatalf("inUse=%d batchInUse=%d, want 2/1", fq.InUse(), fq.BatchInUse())
+	}
+
+	// A queued batch waiter must not inherit the slot an interactive release
+	// frees — the reserve survives slot transfer.
+	done := make(chan error, 1)
+	go func() { done <- fq.Acquire(context.Background(), "b", 1, Batch) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for fq.Waiting(Batch) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("batch waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	fq.Release(Interactive)
+	select {
+	case <-done:
+		t.Fatal("batch waiter granted the reserved interactive slot")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if fq.InUse() != 1 {
+		t.Fatalf("inUse after interactive release = %d, want 1", fq.InUse())
+	}
+	// And the slot really is usable by interactive right now.
+	if !fq.TryAcquire(Interactive) {
+		t.Fatal("reserved slot not available to interactive")
+	}
+	fq.Release(Interactive)
+
+	// Releasing the batch slot grants the queued batch waiter.
+	fq.Release(Batch)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("queued batch waiter: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued batch waiter never granted after batch release")
+	}
+	fq.Release(Batch)
+	if fq.InUse() != 0 || fq.BatchInUse() != 0 {
+		t.Fatalf("drain: inUse=%d batchInUse=%d, want 0/0", fq.InUse(), fq.BatchInUse())
+	}
+
+	// Capacity 1 disables the reserve so batch still runs.
+	one := NewFairQueue(1)
+	if one.BatchLimit() != 1 {
+		t.Fatalf("capacity-1 BatchLimit = %d, want 1", one.BatchLimit())
+	}
+	if !one.TryAcquire(Batch) {
+		t.Fatal("capacity-1 queue refused batch entirely")
+	}
+	one.Release(Batch)
 }

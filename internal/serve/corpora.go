@@ -2,7 +2,6 @@ package serve
 
 import (
 	"bufio"
-	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -12,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"mapsynth/internal/ingest"
 	"mapsynth/internal/snapshot"
 )
 
@@ -55,11 +55,17 @@ type corpusInfo struct {
 	// History lists the version numbers available for activate/rollback,
 	// most recently live last.
 	History []int64 `json:"history,omitempty"`
+	// SnapshotCRC is the whole-file CRC of a v2-backed state's snapshot
+	// image (hex) — the content identity delta replication matches on.
+	SnapshotCRC string `json:"snapshot_crc,omitempty"`
+	// Ingest reports live-ingestion staleness (log head vs applied LSN);
+	// absent for corpora never ingested into.
+	Ingest *ingest.Status `json:"ingest,omitempty"`
 }
 
-func infoFor(c *corpus) corpusInfo {
+func (s *Server) infoFor(c *corpus) corpusInfo {
 	st := c.state.Load()
-	return corpusInfo{
+	info := corpusInfo{
 		Name:              c.name,
 		Version:           st.Version,
 		Snapshot:          st.Path,
@@ -74,13 +80,18 @@ func infoFor(c *corpus) corpusInfo {
 		Reloads:           c.reloads.Load(),
 		History:           c.historyVersions(),
 	}
+	if crc, ok := stateCRC(st); ok {
+		info.SnapshotCRC = fmt.Sprintf("%08x", crc)
+	}
+	info.Ingest = s.ingestStatusFor(c.name)
+	return info
 }
 
 func (s *Server) handleCorporaList(w http.ResponseWriter, r *http.Request) {
 	cs := s.reg.list()
 	infos := make([]corpusInfo, len(cs))
 	for i, c := range cs {
-		infos[i] = infoFor(c)
+		infos[i] = s.infoFor(c)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"count":   len(infos),
@@ -98,7 +109,7 @@ func (s *Server) handleCorpusResource(w http.ResponseWriter, r *http.Request) {
 		if !ok {
 			return
 		}
-		writeJSON(w, http.StatusOK, infoFor(c))
+		writeJSON(w, http.StatusOK, s.infoFor(c))
 	case http.MethodPut:
 		s.handleCorpusPut(w, r, name)
 	case http.MethodDelete:
@@ -139,7 +150,11 @@ func (s *Server) handleCorpusPut(w http.ResponseWriter, r *http.Request, name st
 			writeError(w, r, CodeBadRequest, "reading snapshot body: "+err.Error())
 			return
 		}
-		st, err = s.LoadCorpusSnapshot(name, data)
+		if snapshot.IsDelta(data) {
+			st, err = s.LoadCorpusDelta(name, data)
+		} else {
+			st, err = s.LoadCorpusSnapshot(name, data)
+		}
 	} else {
 		var req putCorpusRequest
 		if _, perr := body.Peek(1); perr == nil { // non-empty body
@@ -218,23 +233,30 @@ func (s *Server) writeUploadTooLarge(w http.ResponseWriter, r *http.Request, err
 // heap-backed state (memory or decoded v1) is re-encoded to v2 on the fly so
 // any node can act as a roll source. The X-Corpus-Version header carries the
 // source version for the replicator's convergence check.
+// The ?since=V and ?since_crc=HEX query parameters request a delta: the
+// caller names the full snapshot it already holds (by this corpus's version
+// number, or — across nodes, whose version counters are unrelated — by the
+// snapshot's whole-file CRC), and if that base is still available in the
+// live state or the history ring, the response is a delta file
+// reconstructing the live snapshot from it. The X-Delta-Base and
+// X-Delta-Base-CRC headers mark a delta response. Any miss — unknown base,
+// non-v2 base with nothing to diff against, encoding failure — silently
+// falls back to the full snapshot: the parameters are an optimization, not
+// a contract.
 func (s *Server) handleCorpusSnapshot(c *corpus, w http.ResponseWriter, r *http.Request) {
 	st := c.state.Load()
-	var data []byte
-	switch {
-	case st.Format == 2 && st.handle != nil:
-		data = st.handle.Bytes()
-	case st.Maps != nil:
-		var buf bytes.Buffer
-		if err := snapshot.WriteV2(&buf, st.Maps); err != nil {
-			writeError(w, r, CodeInternal, "encoding snapshot: "+err.Error())
-			return
-		}
-		data = buf.Bytes()
-	default:
+	data, err := stateSnapshotBytes(st)
+	if err != nil {
 		writeError(w, r, CodeUnprocessable,
-			fmt.Sprintf("corpus %q has no serializable state", c.name))
+			fmt.Sprintf("corpus %q has no serializable state: %s", c.name, err))
 		return
+	}
+	if delta, base := s.corpusDelta(c, st, data, r); delta != nil {
+		w.Header().Set("X-Delta-Base", strconv.FormatInt(base.Version, 10))
+		if crc, ok := stateCRC(base); ok {
+			w.Header().Set("X-Delta-Base-CRC", fmt.Sprintf("%08x", crc))
+		}
+		data = delta
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
@@ -243,6 +265,40 @@ func (s *Server) handleCorpusSnapshot(c *corpus, w http.ResponseWriter, r *http.
 	if r.Method != http.MethodHead {
 		_, _ = w.Write(data)
 	}
+}
+
+// corpusDelta builds the delta response for a snapshot GET carrying ?since
+// or ?since_crc, or returns nil when the request wants (or must fall back
+// to) the full snapshot. liveData is the live state's full image.
+func (s *Server) corpusDelta(c *corpus, live *State, liveData []byte, r *http.Request) ([]byte, *State) {
+	q := r.URL.Query()
+	sinceStr, crcStr := q.Get("since"), q.Get("since_crc")
+	if sinceStr == "" && crcStr == "" {
+		return nil, nil
+	}
+	var version int64
+	var crc uint64
+	var err error
+	if sinceStr != "" {
+		if version, err = strconv.ParseInt(sinceStr, 10, 64); err != nil || version < 1 {
+			return nil, nil
+		}
+	} else if crc, err = strconv.ParseUint(crcStr, 16, 32); err != nil {
+		return nil, nil
+	}
+	base := c.findState(version, uint32(crc))
+	if base == nil {
+		return nil, nil
+	}
+	baseData, err := stateSnapshotBytes(base)
+	if err != nil {
+		return nil, nil
+	}
+	delta, err := snapshot.BuildDelta(baseData, liveData, base.Version, live.Version)
+	if err != nil || len(delta) >= len(liveData) {
+		return nil, nil // a delta that doesn't save bytes is not worth a two-format protocol
+	}
+	return delta, base
 }
 
 func (s *Server) handleCorpusDelete(w http.ResponseWriter, r *http.Request, name string) {

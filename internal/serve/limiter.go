@@ -66,7 +66,7 @@ func (s *Server) acquireRow(ctx context.Context, tn *tenant) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	if !s.fair.TryAcquire() {
+	if !s.fair.TryAcquire(qos.Batch) {
 		s.batch.backpressure.Add(1)
 		tn.queued.Add(1)
 		err := s.fair.Acquire(ctx, tn.name, tn.fairWeight(), qos.Batch)
@@ -92,7 +92,7 @@ func (s *Server) releaseRow(failed bool) {
 	if failed {
 		s.batch.rowErrs.Add(1)
 	}
-	s.fair.Release()
+	s.fair.Release(qos.Batch)
 }
 
 // BatchSnapshot is the /stats view of batch admission. MaxRows reports the

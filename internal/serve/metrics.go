@@ -217,6 +217,58 @@ func (s *Server) registerMetrics(reg *metrics.Registry) {
 			}
 		})
 
+	// Live ingestion: log position, synthesis staleness and incremental-
+	// engine effectiveness, per corpus. Absent until the first ingest.
+	reg.GaugeVecFunc("mapsynth_ingest_head_lsn",
+		"Highest durable LSN in each corpus's ingest log.", []string{"corpus"},
+		func(emit func([]string, float64)) {
+			for name, ing := range s.ingest.All() {
+				emit([]string{name}, float64(ing.Head()))
+			}
+		})
+	reg.GaugeVecFunc("mapsynth_ingest_applied_lsn",
+		"Highest LSN reflected in each corpus's live serving state.", []string{"corpus"},
+		func(emit func([]string, float64)) {
+			for name, ing := range s.ingest.All() {
+				emit([]string{name}, float64(ing.Applied()))
+			}
+		})
+	reg.GaugeVecFunc("mapsynth_ingest_lag_seconds",
+		"Age of the oldest durable-but-unapplied ingest row (0 when caught up).", []string{"corpus"},
+		func(emit func([]string, float64)) {
+			for name, ing := range s.ingest.All() {
+				emit([]string{name}, ing.Status().LagSeconds)
+			}
+		})
+	reg.CounterVecFunc("mapsynth_ingest_runs_total",
+		"Completed incremental synthesis runs per corpus.", []string{"corpus"},
+		func(emit func([]string, float64)) {
+			for name, ing := range s.ingest.All() {
+				emit([]string{name}, float64(ing.Status().Runs))
+			}
+		})
+	reg.CounterVecFunc("mapsynth_ingest_run_errors_total",
+		"Failed incremental synthesis runs per corpus.", []string{"corpus"},
+		func(emit func([]string, float64)) {
+			for name, ing := range s.ingest.All() {
+				emit([]string{name}, float64(ing.Status().RunErrors))
+			}
+		})
+	reg.CounterVecFunc("mapsynth_ingest_component_cache_hits_total",
+		"Compatibility-graph components reused from the incremental cache.", []string{"corpus"},
+		func(emit func([]string, float64)) {
+			for name, ing := range s.ingest.All() {
+				emit([]string{name}, float64(ing.Status().CacheHits))
+			}
+		})
+	reg.CounterVecFunc("mapsynth_ingest_component_cache_misses_total",
+		"Compatibility-graph components re-synthesized (dirty or cold).", []string{"corpus"},
+		func(emit func([]string, float64)) {
+			for name, ing := range s.ingest.All() {
+				emit([]string{name}, float64(ing.Status().CacheMisses))
+			}
+		})
+
 	// Lookup result cache of each corpus's live state. The counters reset on
 	// reload (each state owns its cache) — rate() across a reload shows the
 	// cold-cache dip, which is exactly what an operator wants to see.

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"sort"
@@ -292,6 +293,103 @@ func (s *Server) LoadCorpusContext(ctx context.Context, name, path string) (*Sta
 	return s.swapIn(name, s.buildLoadedState(ld, path, t0)), nil
 }
 
+// stateSnapshotBytes returns the exact v2 snapshot image of a state: the
+// mapped/backing region for v2 states (zero-copy), a fresh canonical
+// encoding for heap-backed ones. ok is false for states with nothing to
+// serialize.
+func stateSnapshotBytes(st *State) ([]byte, error) {
+	switch {
+	case st.Format == 2 && st.handle != nil:
+		return st.handle.Bytes(), nil
+	case st.Maps != nil:
+		var buf bytes.Buffer
+		if err := snapshot.WriteV2(&buf, st.Maps); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	default:
+		return nil, fmt.Errorf("state v%d has no serializable form", st.Version)
+	}
+}
+
+// stateCRC returns the whole-file CRC identifying a v2-backed state's
+// snapshot image — the content identity delta shipping matches bases on.
+// Heap-backed states report ok=false: hashing them would mean re-encoding
+// the whole corpus on every probe.
+func stateCRC(st *State) (uint32, bool) {
+	if st.Format != 2 || st.handle == nil {
+		return 0, false
+	}
+	return snapshot.FileCRC(st.handle.Bytes())
+}
+
+// findState returns the live or history state matching version (when
+// version > 0) or whose v2 image CRC equals crc (when version == 0) — the
+// two ways a delta requester can name its base. nil when nothing matches.
+func (c *corpus) findState(version int64, crc uint32) *State {
+	match := func(st *State) bool {
+		if version > 0 {
+			return st.Version == version
+		}
+		got, ok := stateCRC(st)
+		return ok && got == crc
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cur := c.state.Load(); cur != nil && match(cur) {
+		return cur
+	}
+	for i := len(c.history) - 1; i >= 0; i-- {
+		if match(c.history[i]) {
+			return c.history[i]
+		}
+	}
+	return nil
+}
+
+// LoadCorpusDelta applies an uploaded delta snapshot to the named corpus —
+// the PUT-with-delta-bytes path of delta-shipped replication. The base is
+// located by the delta's own base CRC among the live and history states;
+// applying verifies both the base and the reconstructed target CRCs, and
+// the whole read-apply-install sequence holds the corpus's write lock, so
+// a concurrent load cannot slip a different base underneath and queries
+// can never observe a partially applied delta (installs are one atomic
+// pointer swap of a fully verified state).
+func (s *Server) LoadCorpusDelta(name string, data []byte) (*State, error) {
+	if !validCorpusName(name) {
+		return nil, fmt.Errorf("serve: invalid corpus name %q (want 1-64 chars of [A-Za-z0-9._-])", name)
+	}
+	t0 := time.Now()
+	d, err := snapshot.OpenDelta(data)
+	if err != nil {
+		return nil, fmt.Errorf("corpus %q: opening delta: %w", name, err)
+	}
+	c := s.reg.shell(name)
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if c.state.Load() == nil {
+		return nil, fmt.Errorf("corpus %q: cannot apply a delta to a corpus with no state (roll a full snapshot first)", name)
+	}
+	base := c.findState(0, d.BaseCRC)
+	if base == nil {
+		return nil, fmt.Errorf("corpus %q: no state matches delta base crc %08x (base version %d): %w",
+			name, d.BaseCRC, d.BaseVersion, snapshot.ErrDeltaBase)
+	}
+	baseData, err := stateSnapshotBytes(base)
+	if err != nil {
+		return nil, fmt.Errorf("corpus %q: serializing delta base v%d: %w", name, base.Version, err)
+	}
+	target, err := d.Apply(baseData)
+	if err != nil {
+		return nil, fmt.Errorf("corpus %q: applying delta to v%d: %w", name, base.Version, err)
+	}
+	ld, err := snapshot.LoadBytes(target)
+	if err != nil {
+		return nil, fmt.Errorf("corpus %q: decoding delta result: %w", name, err)
+	}
+	return s.swapIn(name, s.buildLoadedState(ld, "", t0)), nil
+}
+
 // LoadCorpusSnapshot decodes an uploaded snapshot body into the named
 // corpus — the PUT-with-bytes path. The resulting state has no snapshot
 // path, so it can only be replaced by another PUT, not re-read.
@@ -329,6 +427,7 @@ func (s *Server) DeleteCorpus(name string) error {
 	if s.reg.remove(name) == nil {
 		return fmt.Errorf("serve: no such corpus: %q", name)
 	}
+	s.ingest.Remove(name)
 	return nil
 }
 

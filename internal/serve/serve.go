@@ -27,11 +27,14 @@ import (
 
 	"mapsynth/internal/apps"
 	"mapsynth/internal/index"
+	"mapsynth/internal/ingest"
 	"mapsynth/internal/mapping"
 	"mapsynth/internal/metrics"
+	"mapsynth/internal/pipeline"
 	"mapsynth/internal/pool"
 	"mapsynth/internal/qos"
 	"mapsynth/internal/snapshot"
+	"mapsynth/internal/table"
 	"mapsynth/internal/textnorm"
 )
 
@@ -107,6 +110,22 @@ type Options struct {
 	// The context is the request's, so a disconnecting client cancels the
 	// rebuild; the engine guarantees a prompt, leak-free stop.
 	Rebuild func(ctx context.Context) ([]*mapping.Mapping, error)
+	// IngestDir is where POST /v1/corpora/{name}/tables persists each
+	// corpus's append log (<name>.mlog). Empty keeps the logs in memory:
+	// ingestion still works, but does not survive a restart.
+	IngestDir string
+	// IngestBase supplies the offline table corpus that ingested tables
+	// extend for a given corpus name; synthesis after ingestion runs over
+	// base + ingested tables. Nil (or a nil result) means ingested-only:
+	// the corpus's served mappings are replaced by synthesis over just the
+	// ingested tables on the first ingest.
+	IngestBase func(ctx context.Context, corpus string) ([]*table.Table, error)
+	// IngestConfig overrides the synthesis configuration used by the
+	// ingestion engine; nil selects pipeline.DefaultConfig() with Workers
+	// aligned to Options.Workers. Ingest synthesis is incremental: only
+	// compatibility components touched by new tables recompute, and the
+	// published result is byte-identical to a from-scratch rebuild.
+	IngestConfig *pipeline.Config
 	// Metrics is the registry the server exports its operational state into
 	// and serves at GET /v1/metrics. Nil builds a private registry — the
 	// endpoint always answers; pass a shared registry to co-export other
@@ -212,6 +231,9 @@ type Server struct {
 	// tenants resolves X-Tenant headers to per-tenant buckets, weights and
 	// counters.
 	tenants *tenantSet
+	// ingest owns the per-corpus append logs and incremental synthesis
+	// engines behind POST /v1/corpora/{name}/tables.
+	ingest *ingest.Manager
 	// metrics is the exposition registry (never nil; a private one is built
 	// when Options.Metrics is unset), logger the structured access/event
 	// logger (never nil; discards when unset).
@@ -254,6 +276,7 @@ func newServer(opts Options) *Server {
 		batch:   newBatchLimiter(opts.MaxBatchRequests),
 		fair:    qos.NewFairQueue(opts.MaxBatchRows),
 		tenants: newTenantSet(opts.Tenants),
+		ingest:  ingest.NewManager(opts.IngestDir),
 		metrics: opts.Metrics,
 		logger:  opts.Logger,
 	}
@@ -470,6 +493,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/corpora/{name}/activate", s.handleActivate)
 	mux.HandleFunc("/v1/corpora/{name}/rollback", s.handleRollback)
 	mux.HandleFunc("/v1/corpora/{name}/snapshot", s.getOnly(s.withCorpus(pathResolver, s.handleCorpusSnapshot)))
+	mux.HandleFunc("/v1/corpora/{name}/tables", s.handleIngestTables)
 	// Tenant-quota administration (v1-only, like the corpora surface).
 	mux.HandleFunc("/v1/tenants", s.handleTenants)
 	routed := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -569,7 +593,7 @@ func (s *Server) runApp(tn *tenant, class qos.Class, c *corpus, w http.ResponseW
 		if err != nil {
 			return writeError(w, r, CodeInternal, "request cancelled while queued")
 		}
-		defer s.fair.Release()
+		defer s.fair.Release(qos.Interactive)
 	}
 	return h(c, w, r)
 }
@@ -624,9 +648,18 @@ func (s *Server) Run(ctx context.Context, addr string) error {
 		// Shutdown closes the listener first, failing ListenAndServe while
 		// in-flight requests are still draining; wait for the drain itself.
 		<-drained
+		s.Close()
 		return nil
 	}
 	return err
+}
+
+// Close releases background resources — today the per-corpus ingestors and
+// their append-log file handles. Run calls it on graceful shutdown; embedders
+// (and tests) that never call Run should Close the server themselves. Queries
+// against a closed server still work; only ingestion stops.
+func (s *Server) Close() {
+	s.ingest.Close()
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) bool {
@@ -866,6 +899,12 @@ type corpusHealth struct {
 	Shards     int     `json:"shards"`
 	LoadedAt   string  `json:"loaded_at"`
 	AgeSeconds float64 `json:"age_s"`
+	// SnapshotCRC is the hex whole-file CRC of a v2-backed state's image —
+	// the base identity a replica quotes in ?since_crc to request a delta.
+	SnapshotCRC string `json:"snapshot_crc,omitempty"`
+	// Ingest reports live-ingestion staleness; absent when the corpus has
+	// never been ingested into.
+	Ingest *ingest.Status `json:"ingest,omitempty"`
 }
 
 // handleHealthz reports per-corpus readiness: every loaded corpus appears
@@ -880,7 +919,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	corpora := make(map[string]corpusHealth)
 	for _, c := range s.reg.list() {
 		st := c.state.Load()
-		corpora[c.name] = corpusHealth{
+		ch := corpusHealth{
 			Snapshot:   st.Path,
 			Version:    st.Version,
 			Format:     st.FormatName(),
@@ -889,7 +928,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			Shards:     st.Index.NumShards(),
 			LoadedAt:   st.LoadedAt.UTC().Format(time.RFC3339),
 			AgeSeconds: time.Since(st.LoadedAt).Seconds(),
+			Ingest:     s.ingestStatusFor(c.name),
 		}
+		if crc, ok := stateCRC(st); ok {
+			ch.SnapshotCRC = fmt.Sprintf("%08x", crc)
+		}
+		corpora[c.name] = ch
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":   "ok",
@@ -917,6 +961,9 @@ type StatsSnapshot struct {
 	FairQueue FairQueueSnapshot         `json:"fair_queue"`
 	Cache     CacheSnapshot             `json:"cache"`
 	Snapshot  map[string]any            `json:"snapshot"`
+	// Ingest reports live-ingestion staleness for this corpus (log head
+	// LSN, applied LSN, lag); absent when never ingested into.
+	Ingest *ingest.Status `json:"ingest,omitempty"`
 }
 
 // CacheSnapshot reports the lookup cache of the live state.
@@ -988,6 +1035,7 @@ func (s *Server) statsFor(c *corpus) StatsSnapshot {
 			"mapped_bytes": st.MappedBytes,
 			"activation_s": st.ActivationSeconds,
 		},
+		Ingest: s.ingestStatusFor(c.name),
 	}
 }
 

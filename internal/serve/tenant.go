@@ -287,6 +287,8 @@ func (s *Server) tenantSnapshots() map[string]TenantSnapshot {
 type FairQueueSnapshot struct {
 	Slots              int `json:"slots"`
 	InUse              int `json:"in_use"`
+	BatchInUse         int `json:"batch_in_use"`
+	BatchLimit         int `json:"batch_limit"`
 	WaitingInteractive int `json:"waiting_interactive"`
 	WaitingBatch       int `json:"waiting_batch"`
 }
@@ -295,6 +297,8 @@ func (s *Server) fairSnapshot() FairQueueSnapshot {
 	return FairQueueSnapshot{
 		Slots:              s.fair.Capacity(),
 		InUse:              s.fair.InUse(),
+		BatchInUse:         s.fair.BatchInUse(),
+		BatchLimit:         s.fair.BatchLimit(),
 		WaitingInteractive: s.fair.Waiting(qos.Interactive),
 		WaitingBatch:       s.fair.Waiting(qos.Batch),
 	}

@@ -211,7 +211,7 @@ func TestInteractivePreemptsBatchEndToEnd(t *testing.T) {
 	h := s.Handler()
 
 	// Occupy the only slot directly.
-	if !s.fair.TryAcquire() {
+	if !s.fair.TryAcquire(qos.Batch) {
 		t.Fatal("could not take the only slot")
 	}
 
@@ -236,7 +236,7 @@ func TestInteractivePreemptsBatchEndToEnd(t *testing.T) {
 
 	// One release: the interactive request must win the slot, finish, and
 	// its own release then grants the batch row.
-	s.fair.Release()
+	s.fair.Release(qos.Batch)
 	if code := <-lookupDone; code != http.StatusOK {
 		t.Fatalf("interactive lookup = %d", code)
 	}

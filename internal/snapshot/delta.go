@@ -1,0 +1,331 @@
+// Delta snapshots: the wire format of incremental replication. A delta file
+// records how to rebuild one full v2 snapshot (the target) from another the
+// receiver already holds (the base): for each target mapping, either "copy
+// base mapping i" or a literal v1-encoded mapping body. Applying a delta
+// re-runs the deterministic v2 encoder over the reconstructed mapping list,
+// so the output is byte-identical to the target file the delta was built
+// from — verified against the recorded whole-file CRC, never assumed.
+//
+// Layout (little-endian):
+//
+//	[0:4)   magic "MSNP"
+//	[4]     version byte VersionDelta
+//	[5:9)   base file CRC   — the base snapshot's trailing whole-file CRC
+//	[9:13)  target file CRC — the CRC Apply's output must reproduce
+//	[13:21) base corpus version (u64)
+//	[21:29) target corpus version (u64)
+//	[29:31) changed-sections bitmask (bit i set → v2 section type i+1 differs)
+//	then varint stream: base mapping count, target mapping count, and one op
+//	per target mapping: 0x00 + uvarint base index (copy), or 0x01 + a v1
+//	mapping body (literal)
+//	footer: IEEE CRC32 of everything before it, little-endian fixed32
+//
+// Deltas are small because the op stream names unchanged mappings by index:
+// a one-table ingest typically appends a few mappings and leaves the rest
+// byte-identical, so the delta is a few copy varints plus a few literals
+// instead of the full arena.
+package snapshot
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"mapsynth/internal/mapping"
+)
+
+// VersionDelta is the snapshot version byte identifying a delta file. A
+// delta is not a loadable snapshot — Load/Decode reject it with ErrVersion;
+// it only makes sense next to the base it names.
+const VersionDelta byte = 3
+
+// ErrDeltaBase reports a delta applied against a snapshot that is not the
+// base it was built from (or a base that changed underneath it).
+var ErrDeltaBase = errors.New("snapshot: delta base mismatch")
+
+// deltaHeaderSize is the fixed prefix before the varint op stream.
+const deltaHeaderSize = 31
+
+const (
+	deltaOpCopy    = 0x00
+	deltaOpLiteral = 0x01
+)
+
+// Delta is a parsed, validated delta file.
+type Delta struct {
+	// BaseVersion and TargetVersion are the corpus versions the builder
+	// recorded — advisory routing metadata; correctness rests on the CRCs.
+	BaseVersion   int64
+	TargetVersion int64
+	// BaseCRC is the whole-file CRC of the base snapshot this delta applies
+	// to; TargetCRC is the whole-file CRC Apply's output must reproduce.
+	BaseCRC   uint32
+	TargetCRC uint32
+	// ChangedSections is a bitmask over v2 section types: bit i set means
+	// section type i+1 differs between base and target (informational).
+	ChangedSections uint16
+	// BaseCount is the number of mappings in the base snapshot.
+	BaseCount int
+	// Literals is the number of mappings carried as full literal bodies;
+	// the remaining TargetCount()-Literals are copies from the base.
+	Literals int
+
+	ops []deltaOp
+}
+
+// deltaOp reconstructs one target mapping: a copy of base mapping copyIdx,
+// or (when lit is non-nil) a literal.
+type deltaOp struct {
+	copyIdx int
+	lit     *mapping.Mapping
+}
+
+// TargetCount returns the number of mappings in the target snapshot.
+func (d *Delta) TargetCount() int { return len(d.ops) }
+
+// Copies returns the number of target mappings copied from the base.
+func (d *Delta) Copies() int { return len(d.ops) - d.Literals }
+
+// IsDelta reports whether data opens with the delta magic and version.
+func IsDelta(data []byte) bool {
+	return len(data) >= 5 && [4]byte(data[:4]) == Magic && data[4] == VersionDelta
+}
+
+// FileCRC returns a snapshot file's whole-file CRC — the content identity
+// delta shipping matches bases on. ok is false when data is too short to
+// carry a CRC footer.
+func FileCRC(data []byte) (crc uint32, ok bool) {
+	if len(data) < 4 {
+		return 0, false
+	}
+	return trailingCRC(data), true
+}
+
+// trailingCRC returns a snapshot file's whole-file CRC: every format (v1,
+// v2, delta) ends with the IEEE CRC32 of everything before it.
+func trailingCRC(data []byte) uint32 {
+	if len(data) < 4 {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(data[len(data)-4:])
+}
+
+// BuildDelta encodes the instructions that turn baseData (the full snapshot
+// a receiver holds) into targetData (the full snapshot it should hold).
+// Both inputs may be v1 or v2 files; the delta always reconstructs the
+// canonical v2 encoding of the target's mappings. baseVersion and
+// targetVersion are recorded for routing; they carry no correctness weight.
+func BuildDelta(baseData, targetData []byte, baseVersion, targetVersion int64) ([]byte, error) {
+	baseMaps, err := Decode(baseData)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: delta base: %w", err)
+	}
+	targetMaps, err := Decode(targetData)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: delta target: %w", err)
+	}
+	targetCRC := trailingCRC(targetData)
+	if len(targetData) < 5 || targetData[4] != Version2 {
+		// Apply emits the deterministic v2 encoding; when the target is not
+		// already v2, record the CRC of that canonical form instead.
+		var canon bytes.Buffer
+		if err := WriteV2(&canon, targetMaps); err != nil {
+			return nil, err
+		}
+		targetCRC = trailingCRC(canon.Bytes())
+	}
+
+	// Index base mappings by serialized body so identical content (first
+	// occurrence wins) becomes a copy op.
+	byBody := make(map[string]int, len(baseMaps))
+	for i, m := range baseMaps {
+		b, err := mappingBody(m)
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := byBody[string(b)]; !ok {
+			byBody[string(b)] = i
+		}
+	}
+
+	var buf bytes.Buffer
+	buf.Write(Magic[:])
+	buf.WriteByte(VersionDelta)
+	var fixed [deltaHeaderSize - 5]byte
+	binary.LittleEndian.PutUint32(fixed[0:], trailingCRC(baseData))
+	binary.LittleEndian.PutUint32(fixed[4:], targetCRC)
+	binary.LittleEndian.PutUint64(fixed[8:], uint64(baseVersion))
+	binary.LittleEndian.PutUint64(fixed[16:], uint64(targetVersion))
+	binary.LittleEndian.PutUint16(fixed[24:], sectionDiffMask(baseData, targetData))
+	buf.Write(fixed[:])
+
+	mw := &mappingWriter{w: bufio.NewWriter(&buf)}
+	mw.uvarint(uint64(len(baseMaps)))
+	mw.uvarint(uint64(len(targetMaps)))
+	for _, m := range targetMaps {
+		body, err := mappingBody(m)
+		if err != nil {
+			return nil, err
+		}
+		if idx, ok := byBody[string(body)]; ok {
+			mw.w.WriteByte(deltaOpCopy)
+			mw.uvarint(uint64(idx))
+		} else {
+			mw.w.WriteByte(deltaOpLiteral)
+			mw.w.Write(body)
+		}
+	}
+	if mw.err != nil {
+		return nil, mw.err
+	}
+	if err := mw.w.Flush(); err != nil {
+		return nil, err
+	}
+	var footer [4]byte
+	binary.LittleEndian.PutUint32(footer[:], crc32.ChecksumIEEE(buf.Bytes()))
+	buf.Write(footer[:])
+	return buf.Bytes(), nil
+}
+
+// mappingBody serializes one mapping's v1 body — the delta codec's unit of
+// content identity and its literal record format.
+func mappingBody(m *mapping.Mapping) ([]byte, error) {
+	var b bytes.Buffer
+	mw := &mappingWriter{w: bufio.NewWriter(&b)}
+	mw.mapping(m)
+	if mw.err != nil {
+		return nil, mw.err
+	}
+	if err := mw.w.Flush(); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+// sectionDiffMask compares the nine v2 sections of two snapshot files
+// byte-wise; bit i is set when section type i+1 differs. When either file
+// is not v2 every bit is set — everything may have changed.
+func sectionDiffMask(baseData, targetData []byte) uint16 {
+	const all = 1<<v2NumSections - 1
+	if len(baseData) < v2TableEnd || baseData[4] != Version2 ||
+		len(targetData) < v2TableEnd || targetData[4] != Version2 {
+		return all
+	}
+	section := func(data []byte, i int) []byte {
+		e := v2HeaderSize + i*v2SectionEntry
+		off := binary.LittleEndian.Uint64(data[e+8:])
+		ln := binary.LittleEndian.Uint64(data[e+16:])
+		if off > uint64(len(data)) || ln > uint64(len(data))-off {
+			return nil
+		}
+		return data[off : off+ln]
+	}
+	var mask uint16
+	for i := 0; i < v2NumSections; i++ {
+		if !bytes.Equal(section(baseData, i), section(targetData, i)) {
+			mask |= 1 << i
+		}
+	}
+	return mask
+}
+
+// OpenDelta parses and fully validates a delta file: magic, version, footer
+// CRC (before any field is interpreted), op stream bounds, and literal
+// bodies. Arbitrary bytes fail with a typed error, never a panic or
+// over-read.
+func OpenDelta(data []byte) (*Delta, error) {
+	if len(data) < deltaHeaderSize+4 {
+		return nil, ErrTruncated
+	}
+	if [4]byte(data[:4]) != Magic {
+		return nil, ErrMagic
+	}
+	if data[4] != VersionDelta {
+		return nil, fmt.Errorf("%w: %d (not a delta)", ErrVersion, data[4])
+	}
+	payload, footer := data[:len(data)-4], data[len(data)-4:]
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(footer); got != want {
+		return nil, fmt.Errorf("%w: crc %08x, want %08x", ErrChecksum, got, want)
+	}
+	d := &Delta{
+		BaseCRC:         binary.LittleEndian.Uint32(payload[5:]),
+		TargetCRC:       binary.LittleEndian.Uint32(payload[9:]),
+		BaseVersion:     int64(binary.LittleEndian.Uint64(payload[13:])),
+		TargetVersion:   int64(binary.LittleEndian.Uint64(payload[21:])),
+		ChangedSections: binary.LittleEndian.Uint16(payload[29:]),
+	}
+	dec := &decoder{buf: payload[deltaHeaderSize:]}
+	baseCount := dec.uvarint()
+	targetCount := dec.uvarint()
+	if dec.err != nil || baseCount > 1<<40 || targetCount > uint64(len(dec.buf)) {
+		return nil, fmt.Errorf("%w: implausible delta counts", ErrLayout)
+	}
+	d.BaseCount = int(baseCount)
+	d.ops = make([]deltaOp, 0, targetCount)
+	for i := uint64(0); i < targetCount; i++ {
+		if len(dec.buf) == 0 {
+			return nil, fmt.Errorf("%w: truncated op stream", ErrLayout)
+		}
+		op := dec.buf[0]
+		dec.buf = dec.buf[1:]
+		switch op {
+		case deltaOpCopy:
+			idx := dec.uvarint()
+			if dec.err != nil || idx >= baseCount {
+				return nil, fmt.Errorf("%w: copy index %d out of range (base has %d)", ErrLayout, idx, baseCount)
+			}
+			d.ops = append(d.ops, deltaOp{copyIdx: int(idx)})
+		case deltaOpLiteral:
+			m, err := dec.mapping()
+			if err != nil {
+				return nil, err
+			}
+			d.ops = append(d.ops, deltaOp{copyIdx: -1, lit: m})
+			d.Literals++
+		default:
+			return nil, fmt.Errorf("%w: unknown delta op 0x%02x", ErrLayout, op)
+		}
+	}
+	if len(dec.buf) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after last op", ErrLayout, len(dec.buf))
+	}
+	return d, nil
+}
+
+// Apply reconstructs the target snapshot from the base the receiver holds.
+// It verifies baseData is the exact base the delta was built against
+// (ErrDeltaBase otherwise), rebuilds the mapping list, re-runs the
+// deterministic v2 encoder, and verifies the output reproduces the recorded
+// target CRC — the result is byte-identical to the builder's target or an
+// error, never silently divergent.
+func (d *Delta) Apply(baseData []byte) ([]byte, error) {
+	if got := trailingCRC(baseData); got != d.BaseCRC {
+		return nil, fmt.Errorf("%w: base crc %08x, delta was built against %08x", ErrDeltaBase, got, d.BaseCRC)
+	}
+	baseMaps, err := Decode(baseData)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: delta base: %w", err)
+	}
+	if len(baseMaps) != d.BaseCount {
+		return nil, fmt.Errorf("%w: base has %d mappings, delta expects %d", ErrDeltaBase, len(baseMaps), d.BaseCount)
+	}
+	out := make([]*mapping.Mapping, len(d.ops))
+	for i, op := range d.ops {
+		if op.lit != nil {
+			out[i] = op.lit
+		} else {
+			out[i] = baseMaps[op.copyIdx]
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteV2(&buf, out); err != nil {
+		return nil, err
+	}
+	if got := trailingCRC(buf.Bytes()); got != d.TargetCRC {
+		return nil, fmt.Errorf("%w: applied snapshot crc %08x, delta recorded %08x", ErrChecksum, got, d.TargetCRC)
+	}
+	return buf.Bytes(), nil
+}

@@ -55,106 +55,97 @@ var (
 	ErrLayout = errors.New("snapshot: invalid layout")
 )
 
+// mappingWriter serializes v1 varint payloads with sticky error handling.
+// Its mapping method emits one mapping's body — the unit shared by the v1
+// whole-file codec (Write) and the delta codec's literal records (delta.go).
+type mappingWriter struct {
+	w       *bufio.Writer
+	scratch [binary.MaxVarintLen64]byte
+	err     error
+}
+
+func (mw *mappingWriter) uvarint(v uint64) {
+	if mw.err != nil {
+		return
+	}
+	n := binary.PutUvarint(mw.scratch[:], v)
+	_, mw.err = mw.w.Write(mw.scratch[:n])
+}
+
+func (mw *mappingWriter) str(s string) {
+	mw.uvarint(uint64(len(s)))
+	if mw.err == nil {
+		_, mw.err = mw.w.WriteString(s)
+	}
+}
+
+// ints delta-encodes a sorted ascending id list: Build keeps these sorted,
+// so deltas are small non-negative varints.
+func (mw *mappingWriter) ints(ids []int) {
+	mw.uvarint(uint64(len(ids)))
+	prev := 0
+	for i, id := range ids {
+		d := id - prev
+		if d < 0 || (i == 0 && id < 0) {
+			if mw.err == nil {
+				mw.err = fmt.Errorf("snapshot: ids not sorted ascending: %v", ids)
+			}
+			return
+		}
+		mw.uvarint(uint64(d))
+		prev = id
+	}
+}
+
+// mapping writes one mapping's complete v1 body.
+func (mw *mappingWriter) mapping(m *mapping.Mapping) {
+	mw.uvarint(uint64(m.ID))
+	mw.uvarint(uint64(len(m.Pairs)))
+	for _, p := range m.Pairs {
+		mw.str(p.L)
+		mw.str(p.R)
+	}
+	for _, s := range m.PairSupports() {
+		mw.uvarint(uint64(s))
+	}
+	mw.ints(m.TableIDs)
+	mw.uvarint(uint64(len(m.Domains)))
+	for _, d := range m.Domains {
+		mw.str(d)
+	}
+	mw.ints(m.CandidateIDs)
+	sr := m.SurfaceRights()
+	mw.uvarint(uint64(len(sr)))
+	// Deterministic output: iterate keys in sorted order.
+	keys := make([]string, 0, len(sr))
+	for k := range sr {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		mw.str(k)
+		mw.str(sr[k])
+	}
+}
+
 // Write encodes the mappings to w. The mappings are not mutated.
 func Write(w io.Writer, maps []*mapping.Mapping) error {
 	crc := crc32.NewIEEE()
-	bw := bufio.NewWriter(io.MultiWriter(w, crc))
-	var scratch [binary.MaxVarintLen64]byte
-	putUvarint := func(v uint64) error {
-		n := binary.PutUvarint(scratch[:], v)
-		_, err := bw.Write(scratch[:n])
+	mw := &mappingWriter{w: bufio.NewWriter(io.MultiWriter(w, crc))}
+	if _, err := mw.w.Write(Magic[:]); err != nil {
 		return err
 	}
-	putString := func(s string) error {
-		if err := putUvarint(uint64(len(s))); err != nil {
-			return err
-		}
-		_, err := bw.WriteString(s)
+	if err := mw.w.WriteByte(Version); err != nil {
 		return err
 	}
-	putInts := func(ids []int) error {
-		// Delta-encode: Build keeps these sorted ascending, so deltas are
-		// small non-negative varints.
-		if err := putUvarint(uint64(len(ids))); err != nil {
-			return err
-		}
-		prev := 0
-		for i, id := range ids {
-			d := id - prev
-			if d < 0 || (i == 0 && id < 0) {
-				return fmt.Errorf("snapshot: ids not sorted ascending: %v", ids)
-			}
-			if err := putUvarint(uint64(d)); err != nil {
-				return err
-			}
-			prev = id
-		}
-		return nil
-	}
-
-	if _, err := bw.Write(Magic[:]); err != nil {
-		return err
-	}
-	if err := bw.WriteByte(Version); err != nil {
-		return err
-	}
-	if err := putUvarint(uint64(len(maps))); err != nil {
-		return err
-	}
+	mw.uvarint(uint64(len(maps)))
 	for _, m := range maps {
-		if err := putUvarint(uint64(m.ID)); err != nil {
-			return err
-		}
-		if err := putUvarint(uint64(len(m.Pairs))); err != nil {
-			return err
-		}
-		for _, p := range m.Pairs {
-			if err := putString(p.L); err != nil {
-				return err
-			}
-			if err := putString(p.R); err != nil {
-				return err
-			}
-		}
-		for _, s := range m.PairSupports() {
-			if err := putUvarint(uint64(s)); err != nil {
-				return err
-			}
-		}
-		if err := putInts(m.TableIDs); err != nil {
-			return err
-		}
-		if err := putUvarint(uint64(len(m.Domains))); err != nil {
-			return err
-		}
-		for _, d := range m.Domains {
-			if err := putString(d); err != nil {
-				return err
-			}
-		}
-		if err := putInts(m.CandidateIDs); err != nil {
-			return err
-		}
-		sr := m.SurfaceRights()
-		if err := putUvarint(uint64(len(sr))); err != nil {
-			return err
-		}
-		// Deterministic output: iterate keys in sorted order.
-		keys := make([]string, 0, len(sr))
-		for k := range sr {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			if err := putString(k); err != nil {
-				return err
-			}
-			if err := putString(sr[k]); err != nil {
-				return err
-			}
-		}
+		mw.mapping(m)
 	}
-	if err := bw.Flush(); err != nil {
+	if mw.err != nil {
+		return mw.err
+	}
+	if err := mw.w.Flush(); err != nil {
 		return err
 	}
 	var footer [4]byte
@@ -243,43 +234,11 @@ func Decode(data []byte) ([]*mapping.Mapping, error) {
 	count := d.uvarint()
 	maps := make([]*mapping.Mapping, 0, min(int(count), 1<<20))
 	for i := uint64(0); i < count; i++ {
-		id := int(d.uvarint())
-		np := int(d.uvarint())
-		if d.err != nil || np < 0 || np > len(d.buf) {
-			return nil, d.fail("pair count")
+		m, err := d.mapping()
+		if err != nil {
+			return nil, err
 		}
-		pairs := make([]table.Pair, np)
-		for j := range pairs {
-			pairs[j].L = d.str()
-			pairs[j].R = d.str()
-		}
-		supports := make([]int, np)
-		for j := range supports {
-			supports[j] = int(d.uvarint())
-		}
-		tableIDs := d.ints()
-		nd := int(d.uvarint())
-		if d.err != nil || nd < 0 || nd > len(d.buf)+1 {
-			return nil, d.fail("domain count")
-		}
-		domains := make([]string, nd)
-		for j := range domains {
-			domains[j] = d.str()
-		}
-		candidateIDs := d.ints()
-		ns := int(d.uvarint())
-		if d.err != nil || ns < 0 || ns > len(d.buf)+1 {
-			return nil, d.fail("surface count")
-		}
-		surfaceR := make(map[string]string, ns)
-		for j := 0; j < ns; j++ {
-			k := d.str()
-			surfaceR[k] = d.str()
-		}
-		if d.err != nil {
-			return nil, d.fail(fmt.Sprintf("mapping %d", i))
-		}
-		maps = append(maps, mapping.Restore(id, pairs, supports, tableIDs, domains, candidateIDs, surfaceR))
+		maps = append(maps, m)
 	}
 	if len(d.buf) != 0 {
 		return nil, fmt.Errorf("snapshot: %d trailing bytes after last mapping", len(d.buf))
@@ -387,6 +346,51 @@ func (d *decoder) str() string {
 	s := string(d.buf[:n])
 	d.buf = d.buf[n:]
 	return s
+}
+
+// mapping decodes one v1 mapping body — the inverse of
+// mappingWriter.mapping, shared by Decode and the delta codec's literal
+// records. Every count is bounds-checked against the remaining buffer
+// before allocation, so arbitrary bytes fail cleanly instead of
+// over-allocating.
+func (d *decoder) mapping() (*mapping.Mapping, error) {
+	id := int(d.uvarint())
+	np := int(d.uvarint())
+	if d.err != nil || np < 0 || np > len(d.buf) {
+		return nil, d.fail("pair count")
+	}
+	pairs := make([]table.Pair, np)
+	for j := range pairs {
+		pairs[j].L = d.str()
+		pairs[j].R = d.str()
+	}
+	supports := make([]int, np)
+	for j := range supports {
+		supports[j] = int(d.uvarint())
+	}
+	tableIDs := d.ints()
+	nd := int(d.uvarint())
+	if d.err != nil || nd < 0 || nd > len(d.buf)+1 {
+		return nil, d.fail("domain count")
+	}
+	domains := make([]string, nd)
+	for j := range domains {
+		domains[j] = d.str()
+	}
+	candidateIDs := d.ints()
+	ns := int(d.uvarint())
+	if d.err != nil || ns < 0 || ns > len(d.buf)+1 {
+		return nil, d.fail("surface count")
+	}
+	surfaceR := make(map[string]string, ns)
+	for j := 0; j < ns; j++ {
+		k := d.str()
+		surfaceR[k] = d.str()
+	}
+	if d.err != nil {
+		return nil, d.fail("mapping body")
+	}
+	return mapping.Restore(id, pairs, supports, tableIDs, domains, candidateIDs, surfaceR), nil
 }
 
 func (d *decoder) ints() []int {

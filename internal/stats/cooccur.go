@@ -62,6 +62,36 @@ func BuildIndex(tables []*table.Table) *CooccurrenceIndex {
 	return idx
 }
 
+// Append indexes additional tables in place, continuing the dense column ID
+// sequence where the previous build stopped. Because column IDs are assigned
+// in table order and posting lists are appended in increasing ID, the result
+// is exactly the index BuildIndex would produce over the concatenated corpus
+// — the identity the incremental pipeline relies on. Appending re-weights
+// every NPMI (N grows), which is why the incremental path re-runs extraction
+// globally while reusing this index.
+func (x *CooccurrenceIndex) Append(tables []*table.Table) {
+	colID := int32(x.n)
+	for _, t := range tables {
+		for ci := range t.Columns {
+			c := &t.Columns[ci]
+			seen := make(map[string]struct{}, len(c.Values))
+			for _, v := range c.Values {
+				nv := textnorm.Normalize(v)
+				if nv == "" {
+					continue
+				}
+				if _, ok := seen[nv]; ok {
+					continue
+				}
+				seen[nv] = struct{}{}
+				x.columns[nv] = append(x.columns[nv], colID)
+			}
+			colID++
+		}
+	}
+	x.n = int(colID)
+}
+
 // NumColumns returns N, the total number of columns indexed.
 func (x *CooccurrenceIndex) NumColumns() int { return x.n }
 

@@ -149,3 +149,36 @@ func TestColumnCoherenceSampling(t *testing.T) {
 	idx := BuildIndex(corpusOf(vals, vals))
 	_ = idx.ColumnCoherence(vals) // must terminate quickly; value unchecked
 }
+
+func TestAppendEquivalence(t *testing.T) {
+	all := corpusOf(
+		[]string{"USA", "Canada", "Mexico"},
+		[]string{"usa", "canada"},
+		[]string{"Canada", "Japan"},
+		[]string{"usa", "usa", "USA"},
+		[]string{"Japan", "Korea", ""},
+		[]string{"korea", "mexico"},
+	)
+	for split := 0; split <= len(all); split++ {
+		inc := BuildIndex(all[:split])
+		inc.Append(all[split:])
+		full := BuildIndex(all)
+		if inc.NumColumns() != full.NumColumns() {
+			t.Fatalf("split %d: NumColumns %d vs %d", split, inc.NumColumns(), full.NumColumns())
+		}
+		for _, u := range []string{"usa", "canada", "mexico", "japan", "korea", "absent"} {
+			if inc.DocFreq(u) != full.DocFreq(u) {
+				t.Fatalf("split %d: DocFreq(%s) %d vs %d", split, u, inc.DocFreq(u), full.DocFreq(u))
+			}
+			for _, v := range []string{"usa", "canada", "mexico", "japan", "korea"} {
+				if inc.CoFreq(u, v) != full.CoFreq(u, v) {
+					t.Fatalf("split %d: CoFreq(%s,%s) %d vs %d", split, u, v, inc.CoFreq(u, v), full.CoFreq(u, v))
+				}
+				in, fn := inc.NPMI(u, v), full.NPMI(u, v)
+				if in != fn && !(math.IsNaN(in) && math.IsNaN(fn)) {
+					t.Fatalf("split %d: NPMI(%s,%s) %v vs %v", split, u, v, in, fn)
+				}
+			}
+		}
+	}
+}

@@ -15,6 +15,10 @@ type ClusterCorpus struct {
 	Version  int64  `json:"version"`
 	Format   string `json:"format"`
 	Mappings int    `json:"mappings"`
+	// SnapshotCRC is the whole-file CRC of the peer's live snapshot — the
+	// base identity a roll uses to ship this peer a delta instead of a
+	// full image. Empty when the peer's state is not CRC-identified.
+	SnapshotCRC string `json:"snapshot_crc,omitempty"`
 }
 
 // ClusterPeer is one peer's entry in ClusterInfo.
@@ -71,17 +75,27 @@ type RollRequest struct {
 type RolledPeer struct {
 	Peer    string `json:"peer"`
 	Version int64  `json:"version"`
+	// Delta reports the peer was rolled with a delta snapshot (only the
+	// sections changed since the base it already held).
+	Delta bool `json:"delta,omitempty"`
+	// Bytes is what was actually shipped to this peer (the delta's size
+	// when Delta, the full image's otherwise).
+	Bytes int64 `json:"bytes"`
 }
 
 // RollReport is the answer to a successful POST /v1/cluster/roll.
 type RollReport struct {
 	ResponseMeta
-	Corpus        string       `json:"corpus"`
-	Source        string       `json:"source"`
-	SourceVersion int64        `json:"source_version"`
-	Bytes         int64        `json:"bytes"`
-	Rolled        []RolledPeer `json:"rolled"`
-	DurationMs    float64      `json:"duration_ms"`
+	Corpus        string `json:"corpus"`
+	Source        string `json:"source"`
+	SourceVersion int64  `json:"source_version"`
+	// Bytes is the full snapshot image's size; ShippedBytes is what
+	// actually crossed the wire to all peers — with delta rolls it can be
+	// far below Bytes * len(Rolled).
+	Bytes        int64        `json:"bytes"`
+	ShippedBytes int64        `json:"shipped_bytes"`
+	Rolled       []RolledPeer `json:"rolled"`
+	DurationMs   float64      `json:"duration_ms"`
 }
 
 // RollCluster asks a coordinator to ship the named corpus's snapshot from

@@ -1,0 +1,194 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"mapsynth/internal/corpusgen"
+	"mapsynth/internal/serve"
+	"mapsynth/internal/snapshot"
+	"mapsynth/internal/table"
+)
+
+// ingestService builds a real server whose default corpus accepts live
+// ingestion, plus the held-out tables to stream into it.
+func ingestService(t *testing.T) (*Client, []*table.Table) {
+	t.Helper()
+	gen := corpusgen.GenerateWeb(corpusgen.Options{Seed: 11, SampleFraction: 0.25})
+	if len(gen.Tables) < 12 {
+		t.Fatalf("test corpus too small: %d tables", len(gen.Tables))
+	}
+	base, held := gen.Tables[:len(gen.Tables)-2], gen.Tables[len(gen.Tables)-2:]
+	srv := serve.NewFromMappings(codedMappings("DEF"), serve.Options{
+		CacheSize: 16,
+		IngestDir: t.TempDir(),
+		IngestBase: func(ctx context.Context, corpus string) ([]*table.Table, error) {
+			return base, nil
+		},
+	})
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return New(ts.URL), held
+}
+
+func ingestTableOf(tab *table.Table) IngestTable {
+	it := IngestTable{Domain: tab.Domain, Title: tab.Title}
+	for _, c := range tab.Columns {
+		it.Columns = append(it.Columns, IngestColumn{Name: c.Name, Values: c.Values})
+	}
+	return it
+}
+
+// TestIngestTables streams two tables (one invalid) with Wait and checks
+// the acknowledgement lines, the trailer, and the staleness report
+// surfaced through Corpus.Get.
+func TestIngestTables(t *testing.T) {
+	c, held := ingestService(t)
+	ctx := context.Background()
+	def := c.Corpus(DefaultCorpus)
+
+	tables := []IngestTable{
+		ingestTableOf(held[0]),
+		{Domain: "bad.test"}, // no columns: rejected row, not a failed call
+	}
+	var lines []IngestLine
+	trailer, err := def.IngestTables(ctx, tables, IngestOptions{Wait: true}, func(l IngestLine) error {
+		lines = append(lines, l)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trailer.Accepted != 1 || trailer.Rejected != 1 || trailer.Synthesis != "applied" {
+		t.Fatalf("trailer = %+v", trailer)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	var acks, errs int
+	for _, l := range lines {
+		if l.Err != nil {
+			errs++
+		} else if l.LSN > 0 {
+			acks++
+		}
+	}
+	if acks != 1 || errs != 1 {
+		t.Fatalf("acks=%d errs=%d, want 1/1 (%+v)", acks, errs, lines)
+	}
+
+	info, err := def.Get(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Ingest == nil {
+		t.Fatal("CorpusInfo.Ingest missing after ingestion")
+	}
+	if info.Ingest.AppliedLSN != info.Ingest.HeadLSN || info.Ingest.Pending {
+		t.Fatalf("staleness did not converge: %+v", info.Ingest)
+	}
+	if info.SnapshotCRC == "" || info.Format != "v2" {
+		t.Fatalf("ingest-published state not CRC-identified: format=%q crc=%q", info.Format, info.SnapshotCRC)
+	}
+
+	// Healthz carries the same staleness so coordinators can probe it.
+	h, err := c.Healthz(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, ok := h.Corpora[DefaultCorpus]
+	if !ok || ch.Ingest == nil || ch.SnapshotCRC != info.SnapshotCRC {
+		t.Fatalf("healthz ingest/CRC mismatch: %+v", ch)
+	}
+}
+
+// TestSnapshotSince checks the delta download path end to end: a delta
+// against a held base reconstructs the live image, an unknown base falls
+// back to the full snapshot, and the delta round-trips through Upload.
+func TestSnapshotSince(t *testing.T) {
+	c, held := ingestService(t)
+	ctx := context.Background()
+	def := c.Corpus(DefaultCorpus)
+
+	if _, err := def.IngestTables(ctx, []IngestTable{ingestTableOf(held[0])}, IngestOptions{Wait: true}, nil); err != nil {
+		t.Fatal(err)
+	}
+	fullA, versionA, err := def.Snapshot(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	infoA, err := def.Get(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := def.IngestTables(ctx, []IngestTable{ingestTableOf(held[1])}, IngestOptions{Wait: true}, nil); err != nil {
+		t.Fatal(err)
+	}
+	fullB, versionB, err := def.Snapshot(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if versionB <= versionA {
+		t.Fatalf("versions did not advance: %d -> %d", versionA, versionB)
+	}
+
+	for name, fetch := range map[string]func() (*SnapshotResult, error){
+		"since":     func() (*SnapshotResult, error) { return def.SnapshotSince(ctx, versionA, "") },
+		"since_crc": func() (*SnapshotResult, error) { return def.SnapshotSince(ctx, 0, infoA.SnapshotCRC) },
+	} {
+		res, err := fetch()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Delta || res.BaseVersion != versionA || res.Version != versionB {
+			t.Fatalf("%s: result = delta=%v base=%d version=%d, want delta v%d->v%d",
+				name, res.Delta, res.BaseVersion, res.Version, versionA, versionB)
+		}
+		if len(res.Data) >= len(fullB) {
+			t.Fatalf("%s: delta (%d bytes) not smaller than full (%d bytes)", name, len(res.Data), len(fullB))
+		}
+		d, err := snapshot.OpenDelta(res.Data)
+		if err != nil {
+			t.Fatalf("%s: OpenDelta: %v", name, err)
+		}
+		rebuilt, err := d.Apply(fullA)
+		if err != nil {
+			t.Fatalf("%s: Apply: %v", name, err)
+		}
+		if !bytes.Equal(rebuilt, fullB) {
+			t.Fatalf("%s: delta-rebuilt image differs from full snapshot", name)
+		}
+	}
+
+	// Unknown base: silent fallback to the full image.
+	res, err := def.SnapshotSince(ctx, 0, "deadbeef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delta || !bytes.Equal(res.Data, fullB) {
+		t.Fatal("unknown base did not fall back to the full snapshot")
+	}
+
+	// The delta body Uploads directly: a follower holding fullA catches up.
+	res, err = def.SnapshotSince(ctx, versionA, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	follower := c.Corpus("follower")
+	if _, err := follower.Upload(ctx, fullA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := follower.Upload(ctx, res.Data); err != nil {
+		t.Fatalf("delta upload: %v", err)
+	}
+	got, _, err := follower.Snapshot(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, fullB) {
+		t.Fatal("delta-rolled follower differs from source")
+	}
+}

@@ -217,6 +217,37 @@ type CorpusHealth struct {
 	Shards     int     `json:"shards"`
 	LoadedAt   string  `json:"loaded_at"`
 	AgeSeconds float64 `json:"age_s"`
+	// SnapshotCRC is the hex whole-file CRC of a v2-backed state's snapshot
+	// image — the content identity to quote in SnapshotSince's sinceCRC.
+	SnapshotCRC string `json:"snapshot_crc,omitempty"`
+	// Ingest reports live-ingestion staleness; nil for corpora never
+	// ingested into.
+	Ingest *IngestStatus `json:"ingest,omitempty"`
+}
+
+// IngestStatus is one corpus's live-ingestion staleness report: how far the
+// durable log head has run ahead of what the serving state reflects.
+type IngestStatus struct {
+	// HeadLSN is the highest durable LSN in the append log.
+	HeadLSN int64 `json:"head_lsn"`
+	// AppliedLSN is the highest LSN folded into the live serving state.
+	AppliedLSN int64 `json:"applied_lsn"`
+	// LagSeconds is the age of the oldest durable-but-unapplied row; 0 when
+	// caught up.
+	LagSeconds float64 `json:"lag_seconds"`
+	// Pending reports rows are durable but not yet applied.
+	Pending   bool    `json:"pending"`
+	Runs      int64   `json:"runs"`
+	RunErrors int64   `json:"run_errors,omitempty"`
+	LastError string  `json:"last_error,omitempty"`
+	LastRunMs float64 `json:"last_run_ms,omitempty"`
+	// CacheHits / CacheMisses count compatibility-graph components reused
+	// vs re-synthesized by the incremental engine, cumulative.
+	CacheHits   int    `json:"cache_hits"`
+	CacheMisses int    `json:"cache_misses"`
+	LogPath     string `json:"log_path,omitempty"`
+	// LogBytesTruncated counts bytes of torn tail discarded at replay.
+	LogBytesTruncated int64 `json:"log_bytes_truncated,omitempty"`
 }
 
 // EndpointStats is one endpoint's counters in Stats.
@@ -311,6 +342,12 @@ type CorpusInfo struct {
 	// History lists the versions available for Activate/Rollback, most
 	// recently live last.
 	History []int64 `json:"history"`
+	// SnapshotCRC is the hex whole-file CRC of a v2-backed state's snapshot
+	// image; empty for heap-backed states.
+	SnapshotCRC string `json:"snapshot_crc,omitempty"`
+	// Ingest reports live-ingestion staleness; nil for corpora never
+	// ingested into.
+	Ingest *IngestStatus `json:"ingest,omitempty"`
 }
 
 // PutCorpusRequest is the JSON body of PUT /v1/corpora/{name}.
